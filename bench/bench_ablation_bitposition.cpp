@@ -1,0 +1,71 @@
+// Stuck-bit position ablation: which bits of the 32-bit accumulator path
+// actually matter. The paper holds the bit position fixed per campaign;
+// this sweep runs a full campaign per bit on realistic (random INT8)
+// operands, measuring how often the fault reaches the output and how
+// large the damage is — the error-magnitude dimension that application-
+// level injectors need alongside the spatial classes.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace saffire;
+  using namespace saffire::bench;
+
+  std::cout << "=== Stuck-bit position sweep (GEMM 16x16, WS, random "
+               "operands, 256 sites/bit) ===\n\n";
+  const std::vector<std::size_t> widths = {4, 4, 8, 14, 16, 16};
+  PrintRow({"bit", "pol", "masked", "clean pattern", "mean |delta|",
+            "max |delta|"},
+           widths);
+  PrintRule(widths);
+
+  for (const StuckPolarity polarity :
+       {StuckPolarity::kStuckAt1, StuckPolarity::kStuckAt0}) {
+    for (const int bit : {0, 4, 8, 12, 16, 20, 24, 28, 31}) {
+      CampaignConfig config;
+      config.accel = PaperAccel();
+      config.workload = Gemm16x16();
+      config.workload.input_fill = OperandFill::kRandom;
+      config.workload.weight_fill = OperandFill::kRandom;
+      config.dataflow = Dataflow::kWeightStationary;
+      config.bit = bit;
+      config.polarity = polarity;
+      const CampaignResult result = RunCampaignParallel(config, 4);
+
+      std::int64_t masked = 0;
+      std::int64_t clean = 0;
+      double mean_delta = 0.0;
+      std::int64_t max_delta = 0;
+      std::int64_t active = 0;
+      for (const ExperimentRecord& record : result.records) {
+        if (record.observed == PatternClass::kMasked) {
+          ++masked;
+          continue;
+        }
+        ++active;
+        if (record.observed != PatternClass::kOther) ++clean;
+        mean_delta += static_cast<double>(record.max_abs_delta);
+        max_delta = std::max(max_delta, record.max_abs_delta);
+      }
+      if (active > 0) mean_delta /= static_cast<double>(active);
+
+      PrintRow({std::to_string(bit), ToString(polarity),
+                std::to_string(masked), std::to_string(clean),
+                FormatDouble(mean_delta, 0), std::to_string(max_delta)},
+               widths);
+    }
+  }
+
+  std::cout
+      << "\nEvery active fault shifts its reach by exactly ±2^bit (one "
+         "flipped adder bit\nper pass), so damage grows exponentially with "
+         "the bit position: bit-0 faults\nchange outputs by 1 LSB, bit-31 "
+         "faults by 2^31. Only the lowest bits are ever\nvalue-masked on "
+         "random data — signed partial sums keep the high bits busy\n(sign "
+         "extension), so SA0 fires there too. Low bits also degrade the "
+         "clean\nspatial classes into partial ('other') shapes. Error "
+         "magnitude, not just the\nspatial class, determines whether a "
+         "stuck MAC is benign.\n";
+  return 0;
+}

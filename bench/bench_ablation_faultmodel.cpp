@@ -1,0 +1,140 @@
+// Fault-model ablations around the paper's choices (Sec. II-E/F):
+//   1. SSF vs MSF — the paper injects single stuck-at faults, citing that
+//      SSF tests detect 98% of small multiple-fault sets; here multiple
+//      simultaneous faults simply union their single-fault patterns.
+//   2. Permanent stuck-at vs transient bit-flip — the Rech et al. contrast:
+//      one flipped cycle corrupts at most a point, a permanent fault owns
+//      the whole column/element structure.
+//   3. Injection signal — the paper targets the adder output; the other
+//      MAC signals produce different (sometimes unclassifiable) shapes,
+//      showing why the site matters.
+#include <iostream>
+
+#include "bench_util.h"
+#include "fi/runner.h"
+
+int main() {
+  using namespace saffire;
+  using namespace saffire::bench;
+  const AccelConfig config = PaperAccel();
+  const WorkloadSpec workload = Gemm16x16();
+  const Dataflow dataflow = Dataflow::kWeightStationary;
+  const ClassifyContext context =
+      MakeClassifyContext(workload, config, dataflow);
+
+  FiRunner runner(config);
+  const RunResult golden = runner.RunGolden(workload, dataflow);
+
+  std::cout << "=== 1. single vs multiple stuck-at faults (GEMM 16x16, WS, "
+               "SA1 bit 8) ===\n\n";
+  {
+    const std::vector<std::size_t> widths = {7, 34, 10, 26};
+    PrintRow({"faults", "sites", "corrupted", "shape"}, widths);
+    PrintRule(widths);
+    const PeCoord sites[] = {{4, 9}, {7, 2}, {0, 13}, {11, 5}, {15, 9}};
+    for (const std::size_t count : {1u, 2u, 5u}) {
+      std::vector<FaultSpec> faults;
+      std::vector<std::string> labels;
+      for (std::size_t i = 0; i < count; ++i) {
+        faults.push_back(
+            StuckAtAdder(sites[i], 8, StuckPolarity::kStuckAt1));
+        labels.push_back("(" + std::to_string(sites[i].row) + "," +
+                         std::to_string(sites[i].col) + ")");
+      }
+      const RunResult faulty = runner.RunFaulty(workload, dataflow, faults);
+      const CorruptionMap map =
+          ExtractCorruption(golden.output, faulty.output);
+      const auto cols = map.DistinctCols();
+      // Site (15,9) shares column 9 with site (4,9): 5 faults hit only 4
+      // distinct columns — patterns union per column.
+      PrintRow({std::to_string(count), Join(labels, " "),
+                std::to_string(map.count()),
+                std::to_string(cols.size()) + " full column(s)"},
+               widths);
+    }
+    std::cout << "\nMSF corruption is the union of the per-fault "
+                 "single-column patterns (two faults\nin one column "
+                 "coincide) — consistent with the paper's use of the SSF "
+                 "model as\nrepresentative.\n\n";
+  }
+
+  std::cout << "=== 2. permanent stuck-at vs transient bit-flip ===\n\n";
+  {
+    const std::vector<std::size_t> widths = {22, 12, 10, 26};
+    PrintRow({"fault", "strike cycle", "corrupted", "observed class"},
+             widths);
+    PrintRule(widths);
+    // Permanent baseline.
+    {
+      const FaultSpec fault =
+          StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1);
+      const RunResult faulty =
+          runner.RunFaulty(workload, dataflow, {&fault, 1});
+      const CorruptionMap map =
+          ExtractCorruption(golden.output, faulty.output);
+      PrintRow({"permanent SA1 bit8", "-", std::to_string(map.count()),
+                ToString(Classify(map, context))},
+               widths);
+    }
+    // Transient flips at several strike cycles; each faulty run uses a
+    // fresh accelerator so the strike cycle is relative to run start.
+    for (const std::int64_t strike : {0ll, 20ll, 45ll, 60ll, 90ll}) {
+      FaultSpec flip;
+      flip.kind = FaultKind::kTransientFlip;
+      flip.pe = PeCoord{4, 9};
+      flip.signal = MacSignal::kAdderOut;
+      flip.bit = 8;
+      flip.at_cycle = strike;
+      FiRunner fresh(config);
+      const RunResult faulty =
+          fresh.RunFaulty(workload, dataflow, {&flip, 1});
+      const CorruptionMap map =
+          ExtractCorruption(golden.output, faulty.output);
+      PrintRow({"transient flip bit8", std::to_string(strike),
+                std::to_string(map.count()),
+                ToString(Classify(map, context))},
+               widths);
+    }
+    std::cout << "\nA transient flip corrupts at most one element of the "
+                 "column (or nothing when it\nstrikes preload/DMA/drain "
+                 "cycles); the permanent fault corrupts the full column\n— "
+                 "why Rech et al.'s transient classification does not carry "
+                 "over to stuck-at\nfaults.\n\n";
+  }
+
+  std::cout << "=== 3. injection signal (fault site within the MAC) ===\n\n";
+  {
+    const std::vector<std::size_t> widths = {16, 3, 10, 26};
+    PrintRow({"signal", "DF", "corrupted", "observed class"}, widths);
+    PrintRule(widths);
+    for (const Dataflow df :
+         {Dataflow::kWeightStationary, Dataflow::kOutputStationary}) {
+      const RunResult df_golden = runner.RunGolden(workload, df);
+      const ClassifyContext df_context =
+          MakeClassifyContext(workload, config, df);
+      for (const MacSignal signal :
+           {MacSignal::kAdderOut, MacSignal::kMulOut,
+            MacSignal::kWeightOperand, MacSignal::kActForward,
+            MacSignal::kSouthForward}) {
+        FaultSpec fault;
+        fault.pe = PeCoord{4, 9};
+        fault.signal = signal;
+        fault.bit = signal == MacSignal::kAdderOut ? 8 : 2;
+        fault.polarity = StuckPolarity::kStuckAt1;
+        const RunResult faulty = runner.RunFaulty(workload, df, {&fault, 1});
+        const CorruptionMap map =
+            ExtractCorruption(df_golden.output, faulty.output);
+        PrintRow({ToString(signal), ToString(df),
+                  std::to_string(map.count()),
+                  ToString(Classify(map, df_context))},
+                 widths);
+      }
+    }
+    std::cout << "\nOperand/forwarding faults spread corruption across "
+                 "regions (activations carry\neast, so a stuck forward "
+                 "poisons every column downstream) — patterns the\npaper's "
+                 "adder-output model does not need to cover, but that this "
+                 "framework can\nexplore.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation for Challenge 2 (Sec. III-A): why the paper extracts patterns
+// with uniform all-ones matrices instead of real DNN weights.
+//
+// Near-zero operands leave most partial sums at zero, so a stuck-at fault
+// frequently changes nothing observable (or corrupts only a ragged subset
+// that no longer forms a clean pattern). This sweep measures, per operand
+// fill and fault polarity/bit, how many of the 256 sites stay masked and
+// how many still produce a clean (paper-class) pattern.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace saffire;
+  using namespace saffire::bench;
+
+  std::cout << "=== Challenge 2 ablation: operand fill vs masking (GEMM "
+               "16x16, WS, 256 sites) ===\n\n";
+  const std::vector<std::size_t> widths = {10, 4, 4, 7, 13, 10};
+  PrintRow({"fill", "pol", "bit", "masked", "clean pattern", "'other'"},
+           widths);
+  PrintRule(widths);
+
+  for (const OperandFill fill :
+       {OperandFill::kOnes, OperandFill::kRandom, OperandFill::kNearZero}) {
+    for (const StuckPolarity polarity :
+         {StuckPolarity::kStuckAt1, StuckPolarity::kStuckAt0}) {
+      for (const int bit : {2, 8, 20}) {
+        CampaignConfig config;
+        config.accel = PaperAccel();
+        config.workload = Gemm16x16();
+        config.workload.input_fill = fill;
+        config.workload.weight_fill = fill;
+        config.dataflow = Dataflow::kWeightStationary;
+        config.bit = bit;
+        config.polarity = polarity;
+        const CampaignResult result = RunCampaignParallel(config, 4);
+
+        std::int64_t masked = 0;
+        std::int64_t clean = 0;
+        std::int64_t other = 0;
+        for (const auto& [pattern, count] : result.Histogram()) {
+          if (pattern == PatternClass::kMasked) {
+            masked += count;
+          } else if (pattern == PatternClass::kOther) {
+            other += count;
+          } else {
+            clean += count;
+          }
+        }
+        PrintRow({ToString(fill), ToString(polarity), std::to_string(bit),
+                  std::to_string(masked), std::to_string(clean),
+                  std::to_string(other)},
+                 widths);
+      }
+    }
+  }
+
+  std::cout
+      << "\nThe all-ones fill shows a clean pattern at every site whenever "
+         "the stuck bit\ndisagrees with the known partial sums; realistic "
+         "and near-zero operands mask\nmany sites or degrade the corruption "
+         "into partial ('other') shapes — exactly\nwhy the paper uses a "
+         "uniform non-zero weight matrix for pattern extraction.\n";
+  return 0;
+}

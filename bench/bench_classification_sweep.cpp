@@ -1,0 +1,90 @@
+// The "six well-defined classes" claim (Sec. IV, Discussion): across the
+// whole configuration matrix, every observed fault pattern falls into one
+// of the paper's classes; within a configuration the class is the same for
+// every (non-masked) MAC unit.
+//
+// This sweep broadens the paper's campaigns along the fault-model axes it
+// held fixed: both stuck-at polarities and several bit positions. Large
+// workloads sample 64 sites to keep the sweep under a minute; the small
+// ones stay exhaustive.
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace saffire;
+  using namespace saffire::bench;
+
+  std::cout << "=== Classification sweep: workloads x dataflow x polarity x "
+               "bit ===\n\n";
+  const std::vector<std::size_t> widths = {24, 3, 4, 4, 40, 7};
+  PrintRow({"workload", "DF", "pol", "bit", "class histogram", "1-class"},
+           widths);
+  PrintRule(widths);
+
+  std::map<PatternClass, std::int64_t> global_histogram;
+  std::int64_t experiments = 0;
+  std::int64_t other_class = 0;
+
+  struct Case {
+    WorkloadSpec workload;
+    Dataflow dataflow;
+    std::int64_t sites;  // 0 = exhaustive
+  };
+  const Case cases[] = {
+      {Gemm16x16(), Dataflow::kWeightStationary, 0},
+      {Gemm16x16(), Dataflow::kOutputStationary, 0},
+      {Conv16Kernel3x3x3x3(), Dataflow::kWeightStationary, 0},
+      {Conv16Kernel3x3x3x8(), Dataflow::kWeightStationary, 0},
+      {Gemm112x112(), Dataflow::kWeightStationary, 32},
+      {Gemm112x112(), Dataflow::kOutputStationary, 32},
+      {Conv112Kernel3x3x3x8(), Dataflow::kWeightStationary, 32},
+  };
+
+  for (const Case& sweep_case : cases) {
+    const std::vector<int> bits = sweep_case.sites == 0
+                                      ? std::vector<int>{4, 8, 20, 31}
+                                      : std::vector<int>{8, 31};
+    for (const StuckPolarity polarity :
+         {StuckPolarity::kStuckAt1, StuckPolarity::kStuckAt0}) {
+      for (const int bit : bits) {
+        CampaignConfig config;
+        config.accel = PaperAccel();
+        config.workload = sweep_case.workload;
+        config.dataflow = sweep_case.dataflow;
+        config.bit = bit;
+        config.polarity = polarity;
+        config.max_sites = sweep_case.sites;
+        const CampaignResult result = RunCampaignParallel(config, 4);
+
+        for (const auto& [pattern, count] : result.Histogram()) {
+          global_histogram[pattern] += count;
+          if (pattern == PatternClass::kOther) other_class += count;
+        }
+        experiments += static_cast<std::int64_t>(result.records.size());
+
+        PrintRow({sweep_case.workload.name, ToString(sweep_case.dataflow),
+                  ToString(polarity), std::to_string(bit),
+                  HistogramString(result),
+                  result.SingleClassProperty() ? "yes" : "no"},
+                 widths);
+      }
+    }
+  }
+
+  std::cout << "\n=== aggregate over " << experiments << " experiments ===\n";
+  for (const auto& [pattern, count] : global_histogram) {
+    std::cout << "  " << PadRight(ToString(pattern), 28)
+              << PadLeft(std::to_string(count), 7) << "\n";
+  }
+  std::cout << "\nunclassifiable ('other') experiments: " << other_class
+            << " — the paper's claim that stuck-at patterns are "
+               "well-defined holds when every\nobservation lands in a named "
+               "class or is masked.\n"
+            << "Sites are masked when the stuck value equals the bit the "
+               "datapath already\ncarries (e.g. SA0 on a bit the all-ones "
+               "partial sums never set) or when the\nfaulty column lies "
+               "outside the operand footprint.\n";
+  return 0;
+}

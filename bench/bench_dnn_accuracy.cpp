@@ -1,0 +1,87 @@
+// DNN accuracy degradation under stuck-at faults — the motivation the
+// paper opens with (Sec. I, citing Zhang et al.: 8 of 65K faulty MACs cost
+// a CNN 40% of its MNIST accuracy).
+//
+// A quantized MLP classifies synthetic digits on the simulated
+// accelerator; we sweep the number of simultaneously faulty MAC units
+// under both dataflows and report simulated (RTL-style) accuracy alongside
+// the app-level predicted-pattern injector. RQ1's containment result shows
+// up at application level: OS degrades far more gracefully than WS.
+#include <iostream>
+
+#include "bench_util.h"
+#include "dnn/quantize.h"
+#include "fi/injector.h"
+
+int main() {
+  using namespace saffire;
+  using namespace saffire::bench;
+
+  const Dataset train = MakeSyntheticDigits(600, 0.02, 21);
+  const Dataset test = MakeSyntheticDigits(300, 0.02, 22);
+  Mlp mlp(kDigitPixels, 32, kDigitClasses, 5);
+  Rng train_rng(6);
+  mlp.TrainUntil(train, 0.98, 80, 0.1, train_rng);
+  const QuantizedMlp quantized(mlp, train);
+
+  const AccelConfig config = PaperAccel();
+  Accelerator accel(config);
+  Driver driver(accel);
+
+  std::cout << "=== DNN accuracy vs faulty MAC count (16x16 array, "
+               "stuck-at-1, random sites/bits, 3 trials) ===\n\n";
+  std::cout << "float test accuracy: " << Percent(mlp.Accuracy(test))
+            << ", INT8 clean accuracy: "
+            << Percent(quantized.AccuracyCpu(test)) << "\n\n";
+
+  const std::vector<std::size_t> widths = {11, 13, 13, 13};
+  PrintRow({"faulty MACs", "WS sim", "OS sim", "WS app-FI"}, widths);
+  PrintRule(widths);
+
+  Rng fault_rng(99);
+  for (const int faulty_macs : {0, 1, 2, 4, 8, 16, 32}) {
+    double ws_sum = 0.0;
+    double os_sum = 0.0;
+    double appfi_sum = 0.0;
+    const int trials = faulty_macs == 0 ? 1 : 3;
+    for (int trial = 0; trial < trials; ++trial) {
+      std::vector<FaultSpec> faults;
+      for (int i = 0; i < faulty_macs; ++i) {
+        FaultSpec fault = SampleAdderFault(config.array, fault_rng, 8, 28);
+        fault.polarity = StuckPolarity::kStuckAt1;
+        faults.push_back(fault);
+      }
+      if (faults.empty()) {
+        ws_sum += quantized.AccuracyAccel(test, driver,
+                                          Dataflow::kWeightStationary);
+        os_sum += quantized.AccuracyAccel(test, driver,
+                                          Dataflow::kOutputStationary);
+        appfi_sum += quantized.AccuracyAppFi(
+            test, config, Dataflow::kWeightStationary, faults);
+        continue;
+      }
+      FaultInjector injector(faults, config.array);
+      accel.array().InstallFaultHook(&injector);
+      ws_sum += quantized.AccuracyAccel(test, driver,
+                                        Dataflow::kWeightStationary);
+      os_sum += quantized.AccuracyAccel(test, driver,
+                                        Dataflow::kOutputStationary);
+      accel.array().ClearFaultHook();
+      appfi_sum += quantized.AccuracyAppFi(
+          test, config, Dataflow::kWeightStationary, faults);
+    }
+    PrintRow({std::to_string(faulty_macs),
+              Percent(ws_sum / trials), Percent(os_sum / trials),
+              Percent(appfi_sum / trials)},
+             widths);
+  }
+
+  std::cout
+      << "\nShape to compare with the paper's motivation: a handful of "
+         "faulty MACs (out of\n256) collapses WS accuracy — each poisons a "
+         "full output column of every layer —\nwhile OS (single-element "
+         "blast radius, RQ1) degrades much more slowly. The\napp-level "
+         "injector tracks the simulated WS degradation without running "
+         "the\narray.\n";
+  return 0;
+}

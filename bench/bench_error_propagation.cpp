@@ -1,0 +1,104 @@
+// Intermediate-layer error propagation — the question the paper opens
+// with: prior work measured only end accuracy, but "it is not clear how
+// these faults manifest at the intermediate layers of the DNNs" (Sec. I).
+//
+// A quantized CNN (the paper's 3×3×3×8 conv on a 16×16 input, then
+// ReLU/requantize, 2×2 max-pool, and a dense head) runs on the simulated
+// accelerator under an exhaustive 256-site stuck-at campaign. For every
+// fault we measure the corrupted-element fraction at each observation tap
+// and whether the final classification flips (SDC).
+#include <iostream>
+
+#include "bench_util.h"
+#include "dnn/cnn.h"
+#include "dnn/mlp.h"
+#include "fi/injector.h"
+
+int main() {
+  using namespace saffire;
+  using namespace saffire::bench;
+  const AccelConfig config = PaperAccel();
+
+  ConvParams conv;
+  conv.in_channels = 3;
+  conv.height = 16;
+  conv.width = 16;
+  conv.out_channels = 8;
+  conv.kernel_h = 3;
+  conv.kernel_w = 3;
+  const SmallCnn cnn(conv, 10, 7);
+
+  Rng rng(12);
+  Int8Tensor image({1, 3, 16, 16});
+  for (std::int64_t i = 0; i < image.size(); ++i) {
+    image.flat(i) = static_cast<std::int8_t>(rng.UniformInt(0, 60));
+  }
+
+  Accelerator accel(config);
+  Driver driver(accel);
+  std::cout << "=== Error propagation through conv -> relu/shift -> "
+               "maxpool -> dense (256-site campaigns, SA1 bit 20) ===\n\n";
+  const std::vector<std::size_t> widths = {3, 12, 12, 12, 12, 9, 8};
+  PrintRow({"DF", "conv_raw", "conv_act", "pooled", "logits", "SDC",
+            "masked"},
+           widths);
+  PrintRule(widths);
+
+  for (const Dataflow dataflow :
+       {Dataflow::kWeightStationary, Dataflow::kOutputStationary}) {
+    ExecOptions options;
+    options.dataflow = dataflow;
+    const auto golden = cnn.Forward(image, &driver, options);
+    const auto golden_prediction = ArgmaxRows(golden.logits);
+
+    double raw_sum = 0.0;
+    double act_sum = 0.0;
+    double pooled_sum = 0.0;
+    double logits_sum = 0.0;
+    std::int64_t sdc = 0;
+    std::int64_t masked = 0;
+    const auto sites = AllPeCoords(config.array);
+    for (const PeCoord site : sites) {
+      FaultInjector injector(
+          {StuckAtAdder(site, 20, StuckPolarity::kStuckAt1)}, config.array);
+      accel.array().InstallFaultHook(&injector);
+      const auto faulty = cnn.Forward(image, &driver, options);
+      accel.array().ClearFaultHook();
+
+      const double raw =
+          SmallCnn::CorruptedFraction(golden.conv_raw, faulty.conv_raw);
+      const double logits =
+          SmallCnn::CorruptedFraction(golden.logits, faulty.logits);
+      raw_sum += raw;
+      act_sum += SmallCnn::CorruptedFraction(golden.conv_act,
+                                             faulty.conv_act);
+      pooled_sum +=
+          SmallCnn::CorruptedFraction(golden.pooled, faulty.pooled);
+      logits_sum += logits;
+      if (ArgmaxRows(faulty.logits) != golden_prediction) ++sdc;
+      if (raw == 0.0 && logits == 0.0) ++masked;
+    }
+    const auto n = static_cast<double>(sites.size());
+    PrintRow({ToString(dataflow), Percent(raw_sum / n),
+              Percent(act_sum / n), Percent(pooled_sum / n),
+              Percent(logits_sum / n),
+              std::to_string(sdc) + "/256", std::to_string(masked)},
+             widths);
+  }
+
+  std::cout
+      << "\nColumns show the mean corrupted-element fraction at each tap. "
+         "Under WS a fault\ncorrupts (part of) whole conv channels, ~8x the "
+         "footprint of OS's isolated\nelements — the intermediate-layer "
+         "face of RQ1. ReLU/requantization and\nmax-pooling attenuate "
+         "absolute corruption counts, but the dense head\nre-broadcasts "
+         "any surviving corrupted value into every logit, so the final\n"
+         "SDC rate is high for both dataflows at this high stuck bit: "
+         "containment at the\nconv layer only pays off when downstream "
+         "layers (or mitigations like ABFT)\ncan exploit the smaller "
+         "footprint.\n"
+      << "(Faults striking only the dense GEMM appear with conv taps clean "
+         "but logits\ncorrupted; they count toward SDC, not toward "
+         "'masked'.)\n";
+  return 0;
+}

@@ -1,0 +1,155 @@
+// FI cost model (google-benchmark): the per-experiment cost structure
+// behind the paper's scalability discussion — each FPGA experiment took
+// ~45 s for GEMM and ~130 s for convolution (≈2.9×), 49 h for the full
+// campaigns, which is why application-level injection matters.
+//
+// We reproduce the *shape*: per-experiment simulation cost for every
+// Table I workload (conv costs a small multiple of GEMM; 112×112 costs a
+// large multiple of 16×16), raw datapath throughput, and the analytical
+// app-level path that replaces simulation entirely.
+#include <benchmark/benchmark.h>
+
+#include "appfi/appfi.h"
+#include "bench_util.h"
+#include "fi/runner.h"
+
+namespace {
+
+using namespace saffire;
+using namespace saffire::bench;
+
+WorkloadSpec WorkloadByIndex(int index) {
+  switch (index) {
+    case 0:
+      return Gemm16x16();
+    case 1:
+      return Conv16Kernel3x3x3x3();
+    case 2:
+      return Conv16Kernel3x3x3x8();
+    case 3:
+      return Gemm112x112();
+    default:
+      return Conv112Kernel3x3x3x8();
+  }
+}
+
+Dataflow DataflowByIndex(int index) {
+  return index == 0 ? Dataflow::kWeightStationary
+                    : Dataflow::kOutputStationary;
+}
+
+// One complete FI experiment: faulty run + diff + classification (the
+// golden run is amortized across a campaign, as in RunCampaign).
+void BM_FiExperiment(benchmark::State& state) {
+  const WorkloadSpec workload =
+      WorkloadByIndex(static_cast<int>(state.range(0)));
+  const Dataflow dataflow =
+      DataflowByIndex(static_cast<int>(state.range(1)));
+  if (workload.op == OpType::kConv &&
+      dataflow == Dataflow::kOutputStationary) {
+    state.SkipWithError("Table I runs convolutions under WS only");
+    return;
+  }
+  const AccelConfig config = PaperAccel();
+  FiRunner runner(config);
+  const RunResult golden = runner.RunGolden(workload, dataflow);
+  const ClassifyContext context =
+      MakeClassifyContext(workload, config, dataflow);
+  const FaultSpec fault =
+      StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1);
+
+  std::uint64_t pe_steps = 0;
+  for (auto _ : state) {
+    const RunResult faulty = runner.RunFaulty(workload, dataflow, {&fault, 1});
+    const CorruptionMap map = ExtractCorruption(golden.output, faulty.output);
+    benchmark::DoNotOptimize(Classify(map, context));
+    pe_steps += faulty.pe_steps;
+  }
+  state.SetLabel(workload.name + "/" + ToString(dataflow));
+  state.counters["pe_steps_per_expt"] = benchmark::Counter(
+      static_cast<double>(pe_steps) /
+      static_cast<double>(state.iterations()));
+  state.counters["sim_cycles"] =
+      benchmark::Counter(static_cast<double>(golden.cycles));
+}
+
+// The analytical app-level alternative for the same experiment.
+void BM_AppFiExperiment(benchmark::State& state) {
+  const WorkloadSpec workload =
+      WorkloadByIndex(static_cast<int>(state.range(0)));
+  const Dataflow dataflow =
+      DataflowByIndex(static_cast<int>(state.range(1)));
+  if (workload.op == OpType::kConv &&
+      dataflow == Dataflow::kOutputStationary) {
+    state.SkipWithError("Table I runs convolutions under WS only");
+    return;
+  }
+  const AccelConfig config = PaperAccel();
+  FiRunner runner(config);
+  const RunResult golden = runner.RunGolden(workload, dataflow);
+  const FaultSpec fault =
+      StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmulateExtractionFault(
+        golden.output, workload, config, dataflow, fault));
+  }
+  state.SetLabel(workload.name + "/" + ToString(dataflow));
+}
+
+// Raw datapath throughput: PE evaluations per second of the cycle-accurate
+// model (the quantity that fixes campaign wall-clock).
+void BM_ArrayStepThroughput(benchmark::State& state) {
+  ArrayConfig config;
+  SystolicArray array(config);
+  const auto dataflow = DataflowByIndex(static_cast<int>(state.range(0)));
+  for (std::int32_t r = 0; r < 16; ++r) {
+    array.SetWestInput(r, 1);
+  }
+  for (auto _ : state) {
+    array.Step(dataflow);
+  }
+  state.SetLabel(ToString(dataflow));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * config.num_pes());
+}
+
+// Same, with a fault hook installed on one PE (the campaign configuration).
+void BM_ArrayStepWithHook(benchmark::State& state) {
+  ArrayConfig config;
+  SystolicArray array(config);
+  FaultInjector injector(
+      {StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1)}, config);
+  array.InstallFaultHook(&injector);
+  for (auto _ : state) {
+    array.Step(Dataflow::kWeightStationary);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * config.num_pes());
+}
+
+}  // namespace
+
+// Convolutions run under WS only, matching Table I.
+BENCHMARK(BM_FiExperiment)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({4, 0})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AppFiExperiment)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({4, 0})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ArrayStepThroughput)->Arg(0)->Arg(1);
+BENCHMARK(BM_ArrayStepWithHook);
+
+BENCHMARK_MAIN();

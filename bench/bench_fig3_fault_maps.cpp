@@ -1,0 +1,75 @@
+// Figure 3 reproduction: regenerates each of the seven fault-map panels
+// and checks the observed pattern class against the paper's caption.
+#include <iostream>
+
+#include "bench_util.h"
+#include "fi/runner.h"
+#include "patterns/report.h"
+
+int main() {
+  using namespace saffire;
+  using namespace saffire::bench;
+
+  struct Panel {
+    const char* id;
+    const char* caption;
+    WorkloadSpec workload;
+    Dataflow dataflow;
+    PeCoord site;
+    PatternClass expected;
+  };
+  const Panel panels[] = {
+      {"3a", "(GEMM, WS, 16x16)", Gemm16x16(), Dataflow::kWeightStationary,
+       PeCoord{4, 9}, PatternClass::kSingleColumn},
+      {"3b", "(GEMM, OS, 16x16)", Gemm16x16(), Dataflow::kOutputStationary,
+       PeCoord{4, 9}, PatternClass::kSingleElement},
+      {"3c", "(GEMM, WS, 112x112)", Gemm112x112(),
+       Dataflow::kWeightStationary, PeCoord{4, 9},
+       PatternClass::kSingleColumnMultiTile},
+      {"3d", "(GEMM, OS, 112x112)", Gemm112x112(),
+       Dataflow::kOutputStationary, PeCoord{4, 9},
+       PatternClass::kSingleElementMultiTile},
+      {"3e", "(Conv, WS, 16x16 input, 3x3x3x3)", Conv16Kernel3x3x3x3(),
+       Dataflow::kWeightStationary, PeCoord{4, 4},
+       PatternClass::kSingleChannel},
+      {"3f", "(Conv, WS, 16x16 input, 3x3x3x8)", Conv16Kernel3x3x3x8(),
+       Dataflow::kWeightStationary, PeCoord{4, 4},
+       PatternClass::kMultiChannel},
+      {"3g", "(Conv, WS, 112x112 input, 3x3x3x8)", Conv112Kernel3x3x3x8(),
+       Dataflow::kWeightStationary, PeCoord{4, 4},
+       PatternClass::kMultiChannel},
+  };
+
+  const AccelConfig config = PaperAccel();
+  FiRunner runner(config);
+  int matches = 0;
+  for (const Panel& panel : panels) {
+    const FaultSpec fault =
+        StuckAtAdder(panel.site, 8, StuckPolarity::kStuckAt1);
+    const RunResult golden = runner.RunGolden(panel.workload, panel.dataflow);
+    const RunResult faulty =
+        runner.RunFaulty(panel.workload, panel.dataflow, {&fault, 1});
+    const CorruptionMap map = ExtractCorruption(golden.output, faulty.output);
+    const ClassifyContext context =
+        MakeClassifyContext(panel.workload, config, panel.dataflow);
+    const PatternClass observed = Classify(map, context);
+    const bool match = observed == panel.expected;
+    matches += match ? 1 : 0;
+
+    std::cout << "=== Fig. " << panel.id << " " << panel.caption << " ===\n"
+              << "fault: " << fault.ToString() << "\n"
+              << "paper class: " << ToString(panel.expected)
+              << " | observed: " << ToString(observed) << " ["
+              << (match ? "MATCH" : "DEVIATION") << "]\n"
+              << map.count() << " corrupted elements, |delta| in ["
+              << map.min_abs_delta << ", " << map.max_abs_delta << "]\n"
+              << RenderCorruptionMap(map, context, 20);
+    if (panel.workload.op == OpType::kConv) {
+      std::cout << "output-channel view:\n"
+                << RenderConvChannelMap(map, context, 6);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "panels matching the paper's class: " << matches << "/7\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Fault mitigation via ABFT checksums — the paper's Sec. V closes wishing
+// for "generic software resilience solutions ... irrespective of the DNN
+// accelerator being used"; this bench evaluates one: Huang–Abraham
+// checksummed GEMM over exhaustive stuck-at campaigns.
+//
+// Because the fault patterns are exactly the paper's classes, the
+// checksum geometry maps 1:1: WS column faults and OS element faults are
+// fully *corrected*, IS row faults likewise; multi-tile patterns are
+// *detected* but underdetermined. The checksum overhead is O(M·K+K·N+M·N)
+// host work against the array's O(M·K·N).
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "fi/injector.h"
+#include "mitigation/abft.h"
+#include "tensor/gemm.h"
+
+int main() {
+  using namespace saffire;
+  using namespace saffire::bench;
+  const AccelConfig config = PaperAccel();
+
+  std::cout << "=== ABFT over exhaustive 256-site stuck-at campaigns (SA1 "
+               "bit 24, positive operands) ===\n\n";
+  const std::vector<std::size_t> widths = {14, 3, 38, 10, 10};
+  PrintRow({"GEMM", "DF", "diagnosis histogram", "corrected", "detected"},
+           widths);
+  PrintRule(widths);
+
+  Rng rng(42);
+  const auto make_positive = [&rng](std::int64_t rows, std::int64_t cols) {
+    Int8Tensor t({rows, cols});
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+      t.flat(i) = static_cast<std::int8_t>(rng.UniformInt(1, 40));
+    }
+    return t;
+  };
+
+  struct Case {
+    std::int64_t size;
+    Dataflow dataflow;
+  };
+  const Case cases[] = {
+      {16, Dataflow::kWeightStationary},
+      {16, Dataflow::kOutputStationary},
+      {16, Dataflow::kInputStationary},
+      {48, Dataflow::kWeightStationary},
+      {48, Dataflow::kOutputStationary},
+  };
+
+  for (const Case& bench_case : cases) {
+    const auto a = make_positive(bench_case.size, bench_case.size);
+    const auto b = make_positive(bench_case.size, bench_case.size);
+    const auto golden = GemmRef(a, b);
+
+    Accelerator accel(config);
+    Driver driver(accel);
+    AbftGemm abft(driver);
+    ExecOptions options;
+    options.dataflow = bench_case.dataflow;
+
+    std::map<AbftDiagnosis, std::int64_t> histogram;
+    std::int64_t corrected_exactly = 0;
+    std::int64_t detected = 0;
+    for (const PeCoord site : AllPeCoords(config.array)) {
+      FaultInjector injector(
+          {StuckAtAdder(site, 24, StuckPolarity::kStuckAt1)}, config.array);
+      accel.array().InstallFaultHook(&injector);
+      AbftReport report;
+      const auto result = abft.Multiply(a, b, options, &report);
+      accel.array().ClearFaultHook();
+      ++histogram[report.diagnosis];
+      if (report.diagnosis != AbftDiagnosis::kClean) ++detected;
+      if (result == golden && report.diagnosis != AbftDiagnosis::kComplex) {
+        ++corrected_exactly;
+      }
+    }
+
+    std::vector<std::string> parts;
+    for (const auto& [diagnosis, count] : histogram) {
+      parts.push_back(ToString(diagnosis) + "x" + std::to_string(count));
+    }
+    PrintRow({std::to_string(bench_case.size) + "x" +
+                  std::to_string(bench_case.size),
+              ToString(bench_case.dataflow), Join(parts, ", "),
+              std::to_string(corrected_exactly) + "/256",
+              std::to_string(detected) + "/256"},
+             widths);
+  }
+
+  std::cout
+      << "\n'clean' entries are value-masked faults (no output corruption "
+         "to mitigate);\nuntiled single-column/-row/-element corruptions are "
+         "corrected to the exact\ngolden result; tiled (48x48) WS faults "
+         "spread over 3 columns — detected but\nuncorrectable from one "
+         "checksum pair. Checksum cost for 16x16: ~768 host MACs\nvs 4096 "
+         "array MACs per GEMM (~19%), amortizing to O(1/N) for larger "
+         "operands.\n";
+  return 0;
+}

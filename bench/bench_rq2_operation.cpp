@@ -1,0 +1,63 @@
+// RQ2: how do fault patterns change with the type of operation — GEMM vs
+// convolution (Sec. IV-A2)?
+//
+// Under WS, a GEMM fault corrupts one output-matrix column; a convolution
+// fault corrupts entire output channel(s), because the lowering maps
+// channel structure onto array columns. Reported per kernel from Table I,
+// for both conv lowerings implemented (the shift-GEMM mapping that matches
+// the paper's figures, and plain im2col for contrast).
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace saffire;
+  using namespace saffire::bench;
+
+  std::cout << "=== RQ2: operation type under WS (256-site exhaustive, SA1 "
+               "bit 8) ===\n\n";
+  const std::vector<std::size_t> widths = {24, 11, 42, 7};
+  PrintRow({"workload", "lowering", "class histogram", "masked"}, widths);
+  PrintRule(widths);
+
+  const auto run = [&](WorkloadSpec workload) {
+    CampaignConfig config;
+    config.accel = PaperAccel();
+    config.workload = std::move(workload);
+    config.dataflow = Dataflow::kWeightStationary;
+    config.bit = 8;
+    const CampaignResult result = RunCampaignParallel(config, 4);
+    const std::string lowering =
+        config.workload.op == OpType::kConv
+            ? ToString(config.workload.lowering)
+            : std::string("-");
+    PrintRow({config.workload.name, lowering, HistogramString(result),
+              std::to_string(result.MaskedCount())},
+             widths);
+  };
+
+  run(Gemm16x16());
+  run(Conv16Kernel3x3x3x3());
+  run(Conv16Kernel3x3x3x8());
+
+  // Contrast: the same kernels under the plain im2col lowering, where the
+  // output-channel count alone determines the corrupted columns.
+  auto conv3_im2col = Conv16Kernel3x3x3x3();
+  conv3_im2col.lowering = ConvLowering::kIm2Col;
+  conv3_im2col.name += "-im2col";
+  run(conv3_im2col);
+  auto conv8_im2col = Conv16Kernel3x3x3x8();
+  conv8_im2col.lowering = ConvLowering::kIm2Col;
+  conv8_im2col.name += "-im2col";
+  run(conv8_im2col);
+
+  std::cout
+      << "\nPaper: GEMM -> single-column; conv 3x3x3x3 -> single-channel "
+         "(Fig. 3e);\nconv 3x3x3x8 -> multi-channel (Fig. 3f). The "
+         "shift-GEMM lowering reproduces\nthat split (its 9x24 stationary "
+         "matrix column-tiles on the 16-wide array);\nim2col, whose "
+         "stationary matrix is only K columns wide, can never produce\n"
+         "multi-channel corruption for K <= 16 — evidence the paper's "
+         "platform used a\nkernel-column-interleaved weight layout.\n";
+  return 0;
+}

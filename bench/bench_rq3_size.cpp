@@ -1,0 +1,72 @@
+// RQ3: how do fault patterns change with operation size — the tiling
+// effect (Sec. IV-A3)?
+//
+// When the operation exceeds the array, the same faulty PE serves every
+// tile, so the per-tile pattern replicates across the output: Fig. 3a→3c
+// and 3b→3d for GEMM, Fig. 3e→3f/3g for convolution. This bench
+// quantifies the replication factor per configuration.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace saffire;
+  using namespace saffire::bench;
+
+  std::cout << "=== RQ3: operation size and the tiling effect (SA1 bit 8, "
+               "exhaustive 256 sites) ===\n\n";
+  const std::vector<std::size_t> widths = {24, 3, 27, 14, 22};
+  PrintRow({"workload", "DF", "dominant class", "output tiles",
+            "corrupted/experiment"},
+           widths);
+  PrintRule(widths);
+
+  struct Row {
+    WorkloadSpec workload;
+    Dataflow dataflow;
+  };
+  const Row rows[] = {
+      {Gemm16x16(), Dataflow::kWeightStationary},
+      {Gemm112x112(), Dataflow::kWeightStationary},
+      {Gemm16x16(), Dataflow::kOutputStationary},
+      {Gemm112x112(), Dataflow::kOutputStationary},
+      {Conv16Kernel3x3x3x8(), Dataflow::kWeightStationary},
+      {Conv112Kernel3x3x3x8(), Dataflow::kWeightStationary},
+  };
+
+  for (const Row& row : rows) {
+    CampaignConfig config;
+    config.accel = PaperAccel();
+    config.workload = row.workload;
+    config.dataflow = row.dataflow;
+    config.bit = 8;
+    const CampaignResult result = RunCampaignParallel(config, 4);
+
+    const TileGrid grid = Driver::PlanTiles(
+        row.workload.GemmM(), row.workload.GemmN(), row.workload.GemmK(),
+        config.accel, row.dataflow);
+    double mean = 0.0;
+    for (const ExperimentRecord& record : result.records) {
+      mean += static_cast<double>(record.corrupted_count);
+    }
+    mean /= static_cast<double>(result.records.size());
+
+    PrintRow({row.workload.name, ToString(row.dataflow),
+              ToString(result.DominantClass()),
+              std::to_string(grid.m_tiles()) + "x" +
+                  std::to_string(grid.n_tiles()),
+              "mean " + FormatDouble(mean, 1)},
+             widths);
+  }
+
+  std::cout
+      << "\nPaper: growing the GEMM from 16x16 to 112x112 turns "
+         "single-column into\nsingle-column-multi-tile (WS, Fig. 3c) and "
+         "single-element into\nsingle-element-multi-tile (OS, Fig. 3d: the "
+         "same element offset in every one of\nthe 7x7 tiles). For "
+         "convolution the tiled kernel corrupts multiple channels\nand the "
+         "112x112 input keeps the same class as the 16x16 input (Fig. 3f vs "
+         "3g) —\nthe tiling structure, not the input size, fixes the "
+         "pattern.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Sampling-accuracy study: FI methodology context for the paper's choice
+// to run *exhaustive* 256-site campaigns (Sec. III-B). When campaigns get
+// expensive (large arrays, long workloads), practitioners sample — this
+// bench measures how fast sampled class histograms converge to the
+// exhaustive ground truth, on the one Table I configuration whose classes
+// are genuinely mixed (conv 3×3×3×8: single- vs multi-channel by site).
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "patterns/report.h"
+
+int main() {
+  using namespace saffire;
+  using namespace saffire::bench;
+
+  CampaignConfig config;
+  config.accel = PaperAccel();
+  config.workload = Conv16Kernel3x3x3x8();
+  config.dataflow = Dataflow::kWeightStationary;
+  config.bit = 8;
+
+  const CampaignResult exhaustive = RunCampaignParallel(config, 4);
+  std::map<PatternClass, double> truth;
+  for (const auto& [pattern, count] : exhaustive.Histogram()) {
+    truth[pattern] = static_cast<double>(count) /
+                     static_cast<double>(exhaustive.records.size());
+  }
+
+  std::cout << "=== Sampled vs exhaustive class histograms (conv-16x16-"
+               "3x3x3x8, WS) ===\n\nexhaustive ground truth:\n"
+            << RenderHistogram(exhaustive) << "\n";
+
+  const std::vector<std::size_t> widths = {7, 7, 26, 26};
+  PrintRow({"sites", "seeds", "max class-fraction error",
+            "worst dominant-class miss"},
+           widths);
+  PrintRule(widths);
+
+  for (const std::int64_t sites : {8ll, 16ll, 32ll, 64ll, 128ll}) {
+    double worst_error = 0.0;
+    int dominant_misses = 0;
+    constexpr int kSeeds = 20;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      CampaignConfig sampled_config = config;
+      sampled_config.max_sites = sites;
+      sampled_config.seed = static_cast<std::uint64_t>(seed);
+      const CampaignResult sampled = RunCampaignParallel(sampled_config, 4);
+      std::map<PatternClass, double> estimate;
+      for (const auto& [pattern, count] : sampled.Histogram()) {
+        estimate[pattern] = static_cast<double>(count) /
+                            static_cast<double>(sampled.records.size());
+      }
+      for (const auto& [pattern, fraction] : truth) {
+        const double err = std::abs(estimate[pattern] - fraction);
+        worst_error = std::max(worst_error, err);
+      }
+      for (const auto& [pattern, fraction] : estimate) {
+        if (truth.find(pattern) == truth.end()) {
+          worst_error = std::max(worst_error, fraction);
+        }
+      }
+      if (sampled.DominantClass() != exhaustive.DominantClass()) {
+        ++dominant_misses;
+      }
+    }
+    PrintRow({std::to_string(sites), std::to_string(kSeeds),
+              Percent(worst_error),
+              std::to_string(dominant_misses) + "/" +
+                  std::to_string(kSeeds) + " seeds"},
+             widths);
+  }
+
+  std::cout
+      << "\nWith a 50/50 class mix, small samples routinely misestimate "
+         "fractions and can\neven flip the dominant class — supporting the "
+         "paper's exhaustive methodology at\n16x16, and (for larger arrays) "
+         "the symmetry-guided sampling of\nbench_symmetry_reduction, which "
+         "is exact rather than statistical.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table I reproduction: the full campaign matrix of the paper's
+// evaluation. One row per (workload, dataflow) configuration with an
+// exhaustive 256-site stuck-at campaign (Sec. III-B), reporting the
+// dominant fault-pattern class, the masked-site count, the single-class
+// property, and predictor agreement.
+//
+// Paper reference points:
+//   RQ1 rows: GEMM 16×16 under OS vs WS (Fig. 3a/3b).
+//   RQ2 rows: GEMM vs conv kernels 3×3×3×3 and 3×3×3×8 under WS.
+//   RQ3 rows: 16×16 vs 112×112 operand sizes.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace saffire;
+  using namespace saffire::bench;
+
+  struct Row {
+    const char* rq;
+    WorkloadSpec workload;
+    Dataflow dataflow;
+  };
+  const Row rows[] = {
+      {"RQ1", Gemm16x16(), Dataflow::kWeightStationary},
+      {"RQ1", Gemm16x16(), Dataflow::kOutputStationary},
+      {"RQ2", Conv16Kernel3x3x3x3(), Dataflow::kWeightStationary},
+      {"RQ2", Conv16Kernel3x3x3x8(), Dataflow::kWeightStationary},
+      {"RQ3", Gemm112x112(), Dataflow::kWeightStationary},
+      {"RQ3", Gemm112x112(), Dataflow::kOutputStationary},
+      {"RQ3", Conv112Kernel3x3x3x8(), Dataflow::kWeightStationary},
+  };
+
+  std::cout << "=== Table I campaign matrix: exhaustive 256-site stuck-at "
+               "campaigns (SA1, adder_out bit 8) ===\n\n";
+  const std::vector<std::size_t> widths = {4, 22, 3, 26, 7, 13, 10, 10};
+  PrintRow({"RQ", "workload", "DF", "dominant class", "masked",
+            "single-class", "cls-agree", "exact"},
+           widths);
+  PrintRule(widths);
+
+  for (const Row& row : rows) {
+    CampaignConfig config;
+    config.accel = PaperAccel();
+    config.workload = row.workload;
+    config.dataflow = row.dataflow;
+    config.bit = 8;
+    config.polarity = StuckPolarity::kStuckAt1;
+    const CampaignResult result = RunCampaignParallel(config, 4);
+    PrintRow({row.rq, row.workload.name, ToString(row.dataflow),
+              ToString(result.DominantClass()),
+              std::to_string(result.MaskedCount()),
+              result.SingleClassProperty() ? "holds" : "violated",
+              Percent(result.ClassAgreement()),
+              Percent(result.ExactAgreement())},
+             widths);
+  }
+
+  std::cout
+      << "\nPaper expectations: WS GEMM -> single-column (Fig. 3a), OS GEMM "
+         "-> single-element\n(Fig. 3b); 112x112 adds the multi-tile variants "
+         "(Fig. 3c/3d); conv 3x3x3x3 ->\nsingle-channel (Fig. 3e), conv "
+         "3x3x3x8 -> multi-channel (Fig. 3f/3g).\n"
+         "Deviation note: under the shift-GEMM conv mapping the 3x3x3x8 "
+         "kernel yields\nmulti-channel for fault columns reused across "
+         "column-tiles (c < 8) and\nsingle-channel for the rest — the paper "
+         "reports one class per configuration\nfrom representative sites; "
+         "masked sites for 3x3x3x3 sit in array columns the\n9-column "
+         "operand never reaches.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared helpers for the benchmark/reproduction binaries: the paper's
+// accelerator configuration and simple fixed-width table printing.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "patterns/campaign.h"
+
+namespace saffire::bench {
+
+// The evaluation platform of Table I: 16×16 INT8 systolic array.
+inline AccelConfig PaperAccel() {
+  AccelConfig config;
+  config.max_compute_rows = 1024;
+  config.spad_rows = 2048;
+  config.acc_rows = 1024;
+  config.dram_bytes = 16 << 20;
+  return config;
+}
+
+inline void PrintRule(const std::vector<std::size_t>& widths) {
+  std::string line;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    line += std::string(widths[i] + 2, '-');
+    if (i + 1 < widths.size()) line += '+';
+  }
+  std::cout << line << '\n';
+}
+
+inline void PrintRow(const std::vector<std::string>& cells,
+                     const std::vector<std::size_t>& widths) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    line += ' ';
+    line += PadRight(cells[i], widths[i]);
+    line += ' ';
+    if (i + 1 < cells.size()) line += '|';
+  }
+  std::cout << line << '\n';
+}
+
+// Formats the non-masked class histogram as "class×count, ...".
+inline std::string HistogramString(const CampaignResult& result) {
+  std::vector<std::string> parts;
+  for (const auto& [pattern, count] : result.Histogram()) {
+    parts.push_back(ToString(pattern) + "x" + std::to_string(count));
+  }
+  return Join(parts, ", ");
+}
+
+inline std::string Percent(double fraction) {
+  return FormatDouble(100.0 * fraction, 1) + "%";
+}
+
+}  // namespace saffire::bench

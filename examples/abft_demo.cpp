@@ -1,0 +1,65 @@
+// ABFT demo: a stuck-at fault corrupts an accelerated GEMM; checksum-based
+// detection localizes the damage and repairs it — the kind of generic,
+// accelerator-independent software mitigation the paper's related-work
+// section calls for.
+//
+//   $ ./abft_demo
+#include <iostream>
+
+#include "common/rng.h"
+#include "fi/injector.h"
+#include "mitigation/abft.h"
+#include "tensor/gemm.h"
+
+int main() {
+  using namespace saffire;
+
+  AccelConfig config;
+  Accelerator accel(config);
+  Driver driver(accel);
+  AbftGemm abft(driver);
+
+  Rng rng(2023);
+  Int8Tensor a({16, 16});
+  Int8Tensor b({16, 16});
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    a.flat(i) = static_cast<std::int8_t>(rng.UniformInt(1, 40));
+    b.flat(i) = static_cast<std::int8_t>(rng.UniformInt(1, 40));
+  }
+  const auto golden = GemmRef(a, b);
+
+  const FaultSpec fault =
+      StuckAtAdder(PeCoord{4, 9}, 24, StuckPolarity::kStuckAt1);
+  std::cout << "hardware fault: " << fault.ToString() << "\n\n";
+
+  for (const Dataflow dataflow :
+       {Dataflow::kWeightStationary, Dataflow::kOutputStationary,
+        Dataflow::kInputStationary}) {
+    ExecOptions options;
+    options.dataflow = dataflow;
+
+    FaultInjector injector({fault}, config.array);
+    accel.array().InstallFaultHook(&injector);
+    const auto unprotected = driver.Gemm(a, b, options);
+    AbftReport report;
+    const auto protected_result = abft.Multiply(a, b, options, &report);
+    accel.array().ClearFaultHook();
+
+    std::int64_t corrupted = 0;
+    for (std::int64_t i = 0; i < golden.size(); ++i) {
+      if (unprotected.flat(i) != golden.flat(i)) ++corrupted;
+    }
+    std::cout << "dataflow " << ToString(dataflow) << ": unprotected GEMM has "
+              << corrupted << " corrupted elements; ABFT diagnosis: "
+              << ToString(report.diagnosis) << ", " << report.corrections
+              << " corrections, result "
+              << (protected_result == golden ? "matches golden" : "WRONG")
+              << "\n";
+  }
+
+  std::cout << "\nThe checksum geometry matches the fault-pattern classes: "
+               "WS column faults, OS\nelement faults, and IS row faults are "
+               "all repaired exactly, at O(n^2) host\ncost against the "
+               "array's O(n^3) work.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Campaign CLI: run a fault-injection campaign from the command line and
+// get the summary plus an optional per-experiment CSV.
+//
+//   $ ./campaign_cli --workload gemm16 --dataflow ws
+//   $ ./campaign_cli --workload conv16k8 --bit 12 --polarity sa0
+//         --sites 64 --csv out.csv            (one line)
+//
+// Flags:
+//   --workload {gemm16|gemm112|conv16k3|conv16k8|conv112k8}  (gemm16)
+//   --dataflow {ws|os}        (ws)
+//   --bit N                   stuck bit on the adder output (8)
+//   --polarity {sa0|sa1}      (sa1)
+//   --fill {ones|random|nearzero}  operand fill (ones)
+//   --signal {adder_out|mul_out|weight_operand|act_forward|south_forward}
+//   --kind {stuck|transient}  fault kind (stuck)
+//   --sites N                 sample N sites instead of all 256 (0 = all)
+//   --rows N --cols N         array dimensions (16×16)
+//   --threads N               parallel campaign workers (1)
+//   --csv PATH                write per-experiment CSV
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/strings.h"
+#include "patterns/report.h"
+
+namespace {
+
+using namespace saffire;
+
+WorkloadSpec WorkloadByName(const std::string& name) {
+  if (name == "gemm16") return Gemm16x16();
+  if (name == "gemm112") return Gemm112x112();
+  if (name == "conv16k3") return Conv16Kernel3x3x3x3();
+  if (name == "conv16k8") return Conv16Kernel3x3x3x8();
+  if (name == "conv112k8") return Conv112Kernel3x3x3x8();
+  throw std::invalid_argument("unknown workload '" + name + "'");
+}
+
+OperandFill FillByName(const std::string& name) {
+  if (name == "ones") return OperandFill::kOnes;
+  if (name == "random") return OperandFill::kRandom;
+  if (name == "nearzero") return OperandFill::kNearZero;
+  throw std::invalid_argument("unknown fill '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    if (!StartsWith(key, "--")) {
+      std::cerr << "expected a --flag, got '" << key << "'\n";
+      return 1;
+    }
+    flags[key.substr(2)] = argv[i + 1];
+  }
+  const auto flag = [&](const std::string& key, const std::string& fallback) {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  };
+
+  try {
+    CampaignConfig config;
+    config.accel.array.rows =
+        static_cast<std::int32_t>(ParseInt(flag("rows", "16")));
+    config.accel.array.cols =
+        static_cast<std::int32_t>(ParseInt(flag("cols", "16")));
+    config.workload = WorkloadByName(flag("workload", "gemm16"));
+    config.workload.input_fill = FillByName(flag("fill", "ones"));
+    config.workload.weight_fill = config.workload.input_fill;
+    config.dataflow = flag("dataflow", "ws") == "os"
+                          ? Dataflow::kOutputStationary
+                          : Dataflow::kWeightStationary;
+    config.bit = static_cast<int>(ParseInt(flag("bit", "8")));
+    config.polarity = flag("polarity", "sa1") == "sa0"
+                          ? StuckPolarity::kStuckAt0
+                          : StuckPolarity::kStuckAt1;
+    config.max_sites = ParseInt(flag("sites", "0"));
+    config.signal = MacSignalFromString(flag("signal", "adder_out"));
+    config.kind = flag("kind", "stuck") == "transient"
+                      ? FaultKind::kTransientFlip
+                      : FaultKind::kStuckAt;
+    const int threads = static_cast<int>(ParseInt(flag("threads", "1")));
+
+    const CampaignResult result = RunCampaignParallel(config, threads);
+    std::cout << RenderCampaignSummary(result);
+
+    const std::string csv_path = flag("csv", "");
+    if (!csv_path.empty()) {
+      std::ofstream out(csv_path);
+      if (!out) {
+        std::cerr << "cannot open '" << csv_path << "'\n";
+        return 1;
+      }
+      WriteCampaignCsv(result, out);
+      std::cout << "wrote " << result.records.size() << " rows to "
+                << csv_path << "\n";
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// End-to-end DNN inference on the simulated accelerator, clean and under
+// stuck-at faults — the motivation scenario of the paper's introduction
+// (Zhang et al.: 8 faulty MACs out of 65K drop MNIST accuracy by 40%).
+//
+//   $ ./dnn_inference
+//
+// Trains a small MLP on a synthetic digit task (float, host), quantizes it
+// to INT8, runs inference through the cycle-accurate accelerator, then
+// sweeps the number of simultaneously faulty MAC units and reports the
+// accuracy of (a) RTL-style simulation and (b) the app-level predicted-
+// pattern injector.
+#include <iostream>
+
+#include "common/strings.h"
+#include "dnn/quantize.h"
+#include "fi/injector.h"
+
+int main() {
+  using namespace saffire;
+
+  std::cout << "training a " << kDigitPixels
+            << "-32-10 MLP on synthetic digits...\n";
+  const Dataset train = MakeSyntheticDigits(600, 0.02, 21);
+  const Dataset test = MakeSyntheticDigits(300, 0.02, 22);
+  Mlp mlp(kDigitPixels, 32, kDigitClasses, 5);
+  Rng train_rng(6);
+  const double float_accuracy = mlp.TrainUntil(train, 0.98, 80, 0.1, train_rng);
+  std::cout << "  float train accuracy: "
+            << FormatDouble(100.0 * float_accuracy, 1) << "%, test: "
+            << FormatDouble(100.0 * mlp.Accuracy(test), 1) << "%\n";
+
+  const QuantizedMlp quantized(mlp, train);
+  AccelConfig config;
+  config.max_compute_rows = 512;
+  config.spad_rows = 1024;
+  config.acc_rows = 512;
+  Accelerator accel(config);
+  Driver driver(accel);
+
+  const double clean =
+      quantized.AccuracyAccel(test, driver, Dataflow::kWeightStationary);
+  std::cout << "  INT8 accuracy on the simulated accelerator (WS): "
+            << FormatDouble(100.0 * clean, 1) << "%\n\n";
+
+  std::cout << "accuracy vs number of faulty MAC units (stuck-at-1, random "
+               "site/bit):\n";
+  std::cout << "  faulty_macs | sim (RTL-style) | app-level FI\n";
+  Rng fault_rng(99);
+  for (const int faulty_macs : {0, 1, 2, 4, 8, 16}) {
+    std::vector<FaultSpec> faults;
+    for (int i = 0; i < faulty_macs; ++i) {
+      FaultSpec fault = SampleAdderFault(config.array, fault_rng, 8, 28);
+      fault.polarity = StuckPolarity::kStuckAt1;
+      faults.push_back(fault);
+    }
+    double sim_accuracy = clean;
+    if (!faults.empty()) {
+      FaultInjector injector(faults, config.array);
+      accel.array().InstallFaultHook(&injector);
+      sim_accuracy =
+          quantized.AccuracyAccel(test, driver, Dataflow::kWeightStationary);
+      accel.array().ClearFaultHook();
+    }
+    const double appfi_accuracy = quantized.AccuracyAppFi(
+        test, config, Dataflow::kWeightStationary, faults);
+    std::cout << "  " << PadLeft(std::to_string(faulty_macs), 11) << " | "
+              << PadLeft(FormatDouble(100.0 * sim_accuracy, 1) + "%", 15)
+              << " | "
+              << PadLeft(FormatDouble(100.0 * appfi_accuracy, 1) + "%", 12)
+              << "\n";
+  }
+
+  std::cout << "\nEven a handful of faulty MACs collapses accuracy under the "
+               "weight-stationary\ndataflow (each one poisons a whole output "
+               "column of every layer), matching the\npaper's motivation.\n";
+  return 0;
+}

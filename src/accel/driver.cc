@@ -1,0 +1,165 @@
+#include "accel/driver.h"
+
+#include "tensor/im2col.h"
+#include "tensor/shift_gemm.h"
+#include "tensor/transpose.h"
+
+namespace saffire {
+
+std::string ToString(ConvLowering lowering) {
+  return lowering == ConvLowering::kIm2Col ? "im2col" : "shift-gemm";
+}
+
+TileGrid Driver::PlanTiles(std::int64_t m, std::int64_t n, std::int64_t k,
+                           const AccelConfig& config, Dataflow dataflow) {
+  config.Validate();
+  // The reduction block is bounded by the array rows (the depth of the
+  // psum chain / weight column) AND by the scratchpad row width (= array
+  // cols): each streamed matrix row occupies one scratchpad row, so its
+  // length cannot exceed the row width. Square arrays make this min() a
+  // no-op; rows-heavy arrays leave their extra rows idle, as a real
+  // cols-wide scratchpad would force.
+  const std::int64_t reduction_block =
+      std::min(config.array.rows, config.array.cols);
+  switch (dataflow) {
+    case Dataflow::kWeightStationary:
+      return TileGrid(m, n, k, config.max_compute_rows, config.array.cols,
+                      reduction_block);
+    case Dataflow::kOutputStationary:
+      return TileGrid(m, n, k, config.array.rows, config.array.cols,
+                      config.array.cols);
+    case Dataflow::kInputStationary:
+      // The WS plan of the transposed problem, mapped back to C-space:
+      // the stationary Aᵀ tile pins M to the array columns and K to the
+      // reduction block; the weight stream N is chunked like a WS
+      // activation stream.
+      return TileGrid(m, n, k, config.array.cols, config.max_compute_rows,
+                      reduction_block);
+  }
+  SAFFIRE_CHECK_MSG(false, "unknown dataflow");
+}
+
+std::int64_t Driver::RunTiledGemm(const Int8Tensor& a, const Int8Tensor& b,
+                                  const ExecOptions& options, bool quantized) {
+  SAFFIRE_CHECK_MSG(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(0),
+                    "A " << a.ShapeString() << " B " << b.ShapeString());
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  const AccelConfig& config = accel_.config();
+  const TileGrid grid = PlanTiles(m, n, k, config, options.dataflow);
+
+  HostMemory& dram = accel_.dram();
+  dram.FreeAll();
+  const std::int64_t a_addr = dram.Allocate(m * k);
+  dram.WriteMatrix(a_addr, a);
+  const std::int64_t b_addr = dram.Allocate(k * n);
+  dram.WriteMatrix(b_addr, b);
+  const std::int64_t c_addr =
+      dram.Allocate(quantized ? m * n : m * n * 4);
+
+  const std::int32_t spad_a_row = 0;
+  const auto spad_b_row = config.max_compute_rows;
+
+  Program program;
+  program.Push(
+      ConfigOp{options.dataflow, options.activation, options.output_shift});
+  for (std::int64_t mi = 0; mi < grid.m_tiles(); ++mi) {
+    const std::int64_t m0 = grid.RowStart(mi);
+    const auto me = static_cast<std::int32_t>(grid.TileRows(mi));
+    for (std::int64_t ni = 0; ni < grid.n_tiles(); ++ni) {
+      const std::int64_t n0 = grid.ColStart(ni);
+      const auto ne = static_cast<std::int32_t>(grid.TileCols(ni));
+      for (std::int64_t ki = 0; ki < grid.k_tiles(); ++ki) {
+        const std::int64_t k0 = grid.DepthStart(ki);
+        const auto ke = static_cast<std::int32_t>(grid.TileDepth(ki));
+        program.Push(
+            MvinOp{b_addr + k0 * n + n0, n, spad_b_row, ke, ne});
+        if (options.dataflow == Dataflow::kWeightStationary) {
+          program.Push(PreloadOp{spad_b_row, ke, ne});
+        }
+        program.Push(MvinOp{a_addr + m0 * k + k0, k, spad_a_row, me, ke});
+        ComputeOp compute;
+        compute.a_spad_row = spad_a_row;
+        compute.a_rows = me;
+        compute.a_cols = ke;
+        compute.acc_row = 0;
+        compute.accumulate = ki > 0;
+        if (options.dataflow == Dataflow::kOutputStationary) {
+          compute.b_spad_row = spad_b_row;
+          compute.b_rows = ke;
+          compute.b_cols = ne;
+        }
+        program.Push(compute);
+      }
+      if (quantized) {
+        program.Push(Mvout8Op{c_addr + m0 * n + n0, n, 0, me, ne});
+      } else {
+        program.Push(Mvout32Op{c_addr + (m0 * n + n0) * 4, n, 0, me, ne});
+      }
+    }
+  }
+
+  accel_.Execute(program);
+  last_program_ = std::move(program);
+  return c_addr;
+}
+
+Int32Tensor Driver::Gemm(const Int8Tensor& a, const Int8Tensor& b,
+                         const ExecOptions& options) {
+  if (options.dataflow == Dataflow::kInputStationary) {
+    // IS = the WS program of the transposed problem (Cᵀ = Bᵀ·Aᵀ); the
+    // host stages transposed operands and un-transposes the result.
+    ExecOptions ws = options;
+    ws.dataflow = Dataflow::kWeightStationary;
+    return Transpose(Gemm(Transpose(b), Transpose(a), ws));
+  }
+  const std::int64_t c_addr =
+      RunTiledGemm(a, b, options, /*quantized=*/false);
+  return accel_.dram().ReadInt32Matrix(c_addr, a.dim(0), b.dim(1));
+}
+
+Int8Tensor Driver::GemmQuantized(const Int8Tensor& a, const Int8Tensor& b,
+                                 const ExecOptions& options) {
+  if (options.dataflow == Dataflow::kInputStationary) {
+    ExecOptions ws = options;
+    ws.dataflow = Dataflow::kWeightStationary;
+    return Transpose(GemmQuantized(Transpose(b), Transpose(a), ws));
+  }
+  const std::int64_t c_addr = RunTiledGemm(a, b, options, /*quantized=*/true);
+  return accel_.dram().ReadInt8Matrix(c_addr, a.dim(0), b.dim(1));
+}
+
+Int32Tensor Driver::Conv(const Int8Tensor& input, const Int8Tensor& kernel,
+                         const ConvParams& params,
+                         const ExecOptions& options) {
+  if (options.conv_lowering == ConvLowering::kShiftGemm) {
+    const auto a2 = ShiftGemmLowerInput(input, params);
+    const auto w2 = ShiftGemmLowerKernel(kernel, params);
+    return ShiftGemmFold(Gemm(a2, w2, options), params);
+  }
+  const auto patches = Im2Col(input, params);
+  const auto weights = FlattenKernel(kernel, params);
+  return FoldGemmOutput(Gemm(patches, weights, options), params);
+}
+
+Int8Tensor Driver::ConvQuantized(const Int8Tensor& input,
+                                 const Int8Tensor& kernel,
+                                 const ConvParams& params,
+                                 const ExecOptions& options) {
+  // Requantization must see the fully-accumulated INT32 result, which for
+  // the shift-GEMM lowering only exists after the fold; apply the same
+  // Requantize stage the MVOUT8 path uses, post-fold.
+  ExecOptions raw = options;
+  raw.activation = Activation::kNone;
+  raw.output_shift = 0;
+  const auto folded = Conv(input, kernel, params, raw);
+  Int8Tensor out(folded.shape());
+  for (std::int64_t i = 0; i < folded.size(); ++i) {
+    out.flat(i) =
+        Requantize(folded.flat(i), options.activation, options.output_shift);
+  }
+  return out;
+}
+
+}  // namespace saffire

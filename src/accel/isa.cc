@@ -1,0 +1,74 @@
+#include "accel/isa.h"
+
+#include <sstream>
+
+namespace saffire {
+namespace {
+
+struct Disassembler {
+  std::string operator()(const ConfigOp& op) const {
+    std::ostringstream os;
+    os << "config dataflow=" << ToString(op.dataflow)
+       << " act=" << ToString(op.activation) << " shift=" << op.output_shift;
+    return os.str();
+  }
+  std::string operator()(const MvinOp& op) const {
+    std::ostringstream os;
+    os << "mvin dram=0x" << std::hex << op.dram_addr << std::dec
+       << " stride=" << op.dram_stride << " spad=" << op.spad_row << " "
+       << op.rows << "x" << op.cols;
+    return os.str();
+  }
+  std::string operator()(const PreloadOp& op) const {
+    std::ostringstream os;
+    os << "preload spad=" << op.b_spad_row << " " << op.b_rows << "x"
+       << op.b_cols;
+    return os.str();
+  }
+  std::string operator()(const ComputeOp& op) const {
+    std::ostringstream os;
+    os << "compute a_spad=" << op.a_spad_row << " " << op.a_rows << "x"
+       << op.a_cols << " acc=" << op.acc_row
+       << (op.accumulate ? " +=" : " =");
+    if (op.b_rows > 0) {
+      os << " b_spad=" << op.b_spad_row << " " << op.b_rows << "x"
+         << op.b_cols;
+    }
+    return os.str();
+  }
+  std::string operator()(const Mvout32Op& op) const {
+    std::ostringstream os;
+    os << "mvout32 dram=0x" << std::hex << op.dram_addr << std::dec
+       << " stride=" << op.dram_stride << " acc=" << op.acc_row << " "
+       << op.rows << "x" << op.cols;
+    return os.str();
+  }
+  std::string operator()(const Mvout8Op& op) const {
+    std::ostringstream os;
+    os << "mvout8 dram=0x" << std::hex << op.dram_addr << std::dec
+       << " stride=" << op.dram_stride << " acc=" << op.acc_row << " "
+       << op.rows << "x" << op.cols;
+    return os.str();
+  }
+  std::string operator()(const FenceOp&) const { return "fence"; }
+};
+
+}  // namespace
+
+std::string ToString(Activation activation) {
+  return activation == Activation::kRelu ? "relu" : "none";
+}
+
+std::string Disassemble(const Instruction& instruction) {
+  return std::visit(Disassembler{}, instruction);
+}
+
+std::string Program::Disassembly() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < instructions_.size(); ++i) {
+    os << i << ": " << Disassemble(instructions_[i]) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace saffire

@@ -1,0 +1,127 @@
+// Instruction set of the simulated accelerator, modelled on Gemmini's
+// CISC-style RoCC commands (Fig. 2 of the paper): the host CPU issues
+// CONFIG / MVIN / PRELOAD / COMPUTE / MVOUT instructions; the controller
+// sequences the scratchpad, the systolic array, and the accumulator SRAM.
+//
+// Address spaces:
+//   - DRAM:        byte-addressed host memory (HostMemory).
+//   - Scratchpad:  row-addressed; each row holds `array.cols` INT8 values.
+//   - Accumulator: row-addressed; each row holds `array.cols` INT32 values.
+//
+// Operand blocking follows Gemmini: the stationary operand (B) is always an
+// array-sized block; the streamed operand (A) may span up to
+// `max_compute_rows` scratchpad rows in one COMPUTE, which is how the
+// weight-stationary dataflow amortizes a single weight preload over many
+// activation rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "systolic/config.h"
+
+namespace saffire {
+
+// Output activation applied by MVOUT8 (quantizing store).
+enum class Activation : std::uint8_t { kNone = 0, kRelu = 1 };
+
+std::string ToString(Activation activation);
+
+// CONFIG: selects dataflow and the MVOUT8 post-processing (activation +
+// rounding right-shift used to requantize INT32 accumulators to INT8).
+struct ConfigOp {
+  Dataflow dataflow = Dataflow::kWeightStationary;
+  Activation activation = Activation::kNone;
+  std::int32_t output_shift = 0;  // arithmetic right shift with rounding
+};
+
+// MVIN: DRAM → scratchpad. Moves `rows` rows of `cols` INT8 values from a
+// row-major DRAM matrix with stride `dram_stride` (in elements).
+struct MvinOp {
+  std::int64_t dram_addr = 0;
+  std::int64_t dram_stride = 0;
+  std::int32_t spad_row = 0;
+  std::int32_t rows = 0;
+  std::int32_t cols = 0;
+};
+
+// PRELOAD: installs the stationary B block (spad rows `b_spad_row` ..
+// `b_spad_row + b_rows − 1`, first `b_cols` columns) into the PE weight
+// registers. Only meaningful under the weight-stationary dataflow.
+struct PreloadOp {
+  std::int32_t b_spad_row = 0;
+  std::int32_t b_rows = 0;
+  std::int32_t b_cols = 0;
+};
+
+// COMPUTE: streams A (spad rows `a_spad_row` .., `a_rows × a_cols`) through
+// the array and writes the `a_rows × out_cols` result block into the
+// accumulator at `acc_row` (overwriting or accumulating).
+//   WS: out_cols = the preloaded b_cols; a_cols must equal the preloaded
+//       b_rows; a_rows is bounded by max_compute_rows.
+//   OS: requires b fields inline (no preload): the B block is read from
+//       scratchpad rows `b_spad_row`..; a_rows ≤ array rows.
+struct ComputeOp {
+  std::int32_t a_spad_row = 0;
+  std::int32_t a_rows = 0;
+  std::int32_t a_cols = 0;
+  std::int32_t acc_row = 0;
+  bool accumulate = false;
+  // OS only: location of the streamed B block in the scratchpad.
+  std::int32_t b_spad_row = 0;
+  std::int32_t b_rows = 0;
+  std::int32_t b_cols = 0;
+};
+
+// MVOUT32: accumulator → DRAM, raw INT32 values.
+struct Mvout32Op {
+  std::int64_t dram_addr = 0;
+  std::int64_t dram_stride = 0;  // in elements
+  std::int32_t acc_row = 0;
+  std::int32_t rows = 0;
+  std::int32_t cols = 0;
+};
+
+// MVOUT8: accumulator → DRAM with requantization: activation, rounding
+// right-shift by the configured output_shift, saturation to INT8.
+struct Mvout8Op {
+  std::int64_t dram_addr = 0;
+  std::int64_t dram_stride = 0;  // in elements
+  std::int32_t acc_row = 0;
+  std::int32_t rows = 0;
+  std::int32_t cols = 0;
+};
+
+// FENCE: drains the (conceptual) command queue; a no-op in this in-order
+// model, retained for ISA completeness and cost accounting.
+struct FenceOp {};
+
+using Instruction = std::variant<ConfigOp, MvinOp, PreloadOp, ComputeOp,
+                                 Mvout32Op, Mvout8Op, FenceOp>;
+
+// Human-readable disassembly, e.g. "mvin dram=0x0 stride=16 spad=0 16x16".
+std::string Disassemble(const Instruction& instruction);
+
+// A complete command stream plus a builder API, so drivers can be audited
+// by disassembling the program they emitted.
+class Program {
+ public:
+  void Push(Instruction instruction) {
+    instructions_.push_back(std::move(instruction));
+  }
+  const std::vector<Instruction>& instructions() const {
+    return instructions_;
+  }
+  std::size_t size() const { return instructions_.size(); }
+  bool empty() const { return instructions_.empty(); }
+
+  // Full disassembly listing, one instruction per line.
+  std::string Disassembly() const;
+
+ private:
+  std::vector<Instruction> instructions_;
+};
+
+}  // namespace saffire

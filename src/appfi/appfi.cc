@@ -1,0 +1,149 @@
+#include "appfi/appfi.h"
+
+#include "common/check.h"
+#include "fi/runner.h"
+#include "patterns/corruption.h"
+
+namespace saffire {
+
+std::string ToString(PerturbMode mode) {
+  switch (mode) {
+    case PerturbMode::kSetBit:
+      return "set-bit";
+    case PerturbMode::kClearBit:
+      return "clear-bit";
+    case PerturbMode::kFlipBit:
+      return "flip-bit";
+    case PerturbMode::kAddDelta:
+      return "add-delta";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::int32_t Perturb(std::int32_t value, const PerturbSpec& spec) {
+  switch (spec.mode) {
+    case PerturbMode::kSetBit:
+      SAFFIRE_CHECK_MSG(spec.bit >= 0 && spec.bit < 32, "bit=" << spec.bit);
+      return static_cast<std::int32_t>(static_cast<std::uint32_t>(value) |
+                                       (std::uint32_t{1} << spec.bit));
+    case PerturbMode::kClearBit:
+      SAFFIRE_CHECK_MSG(spec.bit >= 0 && spec.bit < 32, "bit=" << spec.bit);
+      return static_cast<std::int32_t>(static_cast<std::uint32_t>(value) &
+                                       ~(std::uint32_t{1} << spec.bit));
+    case PerturbMode::kFlipBit:
+      SAFFIRE_CHECK_MSG(spec.bit >= 0 && spec.bit < 32, "bit=" << spec.bit);
+      return static_cast<std::int32_t>(static_cast<std::uint32_t>(value) ^
+                                       (std::uint32_t{1} << spec.bit));
+    case PerturbMode::kAddDelta:
+      return value + spec.delta;
+  }
+  SAFFIRE_CHECK_MSG(false, "unknown perturb mode");
+}
+
+}  // namespace
+
+Int32Tensor InjectPattern(const Int32Tensor& golden,
+                          const WorkloadSpec& workload,
+                          const AccelConfig& accel, Dataflow dataflow,
+                          const FaultSpec& fault,
+                          const PerturbSpec& perturb) {
+  SAFFIRE_CHECK_MSG(golden.rank() == 2 && golden.dim(0) == workload.GemmM() &&
+                        golden.dim(1) == workload.GemmN(),
+                    "golden " << golden.ShapeString() << " vs workload "
+                              << workload.ToString());
+  const PredictedPattern prediction =
+      PredictPattern(workload, accel, dataflow, fault);
+  Int32Tensor faulty = golden;
+  for (const MatrixCoord& coord : prediction.coords) {
+    faulty(coord.row, coord.col) =
+        Perturb(faulty(coord.row, coord.col), perturb);
+  }
+  return faulty;
+}
+
+Int32Tensor EmulateExtractionFault(const Int32Tensor& golden,
+                                   const WorkloadSpec& workload,
+                                   const AccelConfig& accel, Dataflow dataflow,
+                                   const FaultSpec& fault) {
+  SAFFIRE_CHECK_MSG(workload.input_fill == OperandFill::kOnes &&
+                        workload.weight_fill == OperandFill::kOnes,
+                    "exact emulation requires the all-ones extraction "
+                    "workload, got "
+                        << workload.ToString());
+  SAFFIRE_CHECK_MSG(fault.kind == FaultKind::kStuckAt &&
+                        fault.polarity == StuckPolarity::kStuckAt1 &&
+                        fault.signal == MacSignal::kAdderOut,
+                    "exact emulation covers stuck-at-1 adder faults, got "
+                        << fault.ToString());
+  // All intermediate partial sums of the ones-workload are bounded by the
+  // per-tile reduction depth; the stuck bit must sit strictly above them so
+  // every pass contributes exactly 2^bit.
+  const TileGrid grid =
+      Driver::PlanTiles(workload.GemmM(), workload.GemmN(), workload.GemmK(),
+                        accel, dataflow);
+  const std::int64_t max_partial = grid.tile_k();
+  SAFFIRE_CHECK_MSG((std::int64_t{1} << fault.bit) > max_partial,
+                    "bit " << fault.bit << " collides with partial sums up to "
+                           << max_partial);
+
+  PerturbSpec perturb;
+  perturb.mode = PerturbMode::kAddDelta;
+  perturb.delta = static_cast<std::int32_t>(
+      grid.k_tiles() * (std::int64_t{1} << fault.bit));
+  return InjectPattern(golden, workload, accel, dataflow, fault, perturb);
+}
+
+FaultSpec SampleAdderFault(const ArrayConfig& config, Rng& rng, int bit_lo,
+                           int bit_hi) {
+  config.Validate();
+  SAFFIRE_CHECK_MSG(bit_lo >= 0 && bit_lo <= bit_hi &&
+                        bit_hi < config.acc_bits,
+                    "bit range [" << bit_lo << ", " << bit_hi << "]");
+  FaultSpec fault;
+  fault.kind = FaultKind::kStuckAt;
+  fault.pe.row = static_cast<std::int32_t>(rng.UniformInt(0, config.rows - 1));
+  fault.pe.col = static_cast<std::int32_t>(rng.UniformInt(0, config.cols - 1));
+  fault.signal = MacSignal::kAdderOut;
+  fault.bit = static_cast<int>(rng.UniformInt(bit_lo, bit_hi));
+  fault.polarity = rng.Bernoulli(0.5) ? StuckPolarity::kStuckAt1
+                                      : StuckPolarity::kStuckAt0;
+  return fault;
+}
+
+Int32Tensor InjectNaiveBaseline(const Int32Tensor& golden, Rng& rng,
+                                int bit) {
+  SAFFIRE_CHECK_MSG(golden.rank() == 2, "golden " << golden.ShapeString());
+  SAFFIRE_CHECK_MSG(bit >= 0 && bit < 32, "bit=" << bit);
+  Int32Tensor faulty = golden;
+  const std::int64_t index = rng.UniformInt(0, golden.size() - 1);
+  faulty.flat(index) = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(faulty.flat(index)) ^
+      (std::uint32_t{1} << bit));
+  return faulty;
+}
+
+CrossValidation CrossValidate(const WorkloadSpec& workload,
+                              const AccelConfig& accel, Dataflow dataflow,
+                              const FaultSpec& fault) {
+  FiRunner runner(accel);
+  const RunResult golden = runner.RunGolden(workload, dataflow);
+  const RunResult simulated = runner.RunFaulty(workload, dataflow, {&fault, 1});
+  const CorruptionMap observed =
+      ExtractCorruption(golden.output, simulated.output);
+
+  const Int32Tensor emulated =
+      EmulateExtractionFault(golden.output, workload, accel, dataflow, fault);
+  const CorruptionMap predicted = ExtractCorruption(golden.output, emulated);
+
+  CrossValidation validation;
+  validation.coords_match = observed.corrupted == predicted.corrupted;
+  validation.values_match = emulated == simulated.output;
+  validation.predicted_count = predicted.count();
+  validation.observed_count = observed.count();
+  validation.simulated_pe_steps = simulated.pe_steps;
+  return validation;
+}
+
+}  // namespace saffire

@@ -1,0 +1,63 @@
+#include "common/bits.h"
+
+#include "common/check.h"
+
+namespace saffire {
+
+std::string ToString(StuckPolarity polarity) {
+  return polarity == StuckPolarity::kStuckAt0 ? "SA0" : "SA1";
+}
+
+std::int64_t SignExtend(std::int64_t value, int width) {
+  SAFFIRE_CHECK_MSG(width >= 1 && width <= 64, "width=" << width);
+  if (width == 64) return value;
+  const auto uvalue = static_cast<std::uint64_t>(value);
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  const std::uint64_t truncated = uvalue & mask;
+  const std::uint64_t sign_bit = std::uint64_t{1} << (width - 1);
+  if ((truncated & sign_bit) != 0) {
+    return static_cast<std::int64_t>(truncated | ~mask);
+  }
+  return static_cast<std::int64_t>(truncated);
+}
+
+std::int64_t ApplyStuckAt(std::int64_t value, int bit, StuckPolarity polarity,
+                          int width) {
+  SAFFIRE_CHECK_MSG(width >= 1 && width <= 64, "width=" << width);
+  SAFFIRE_CHECK_MSG(bit >= 0 && bit < width,
+                    "bit=" << bit << " width=" << width);
+  auto uvalue = static_cast<std::uint64_t>(value);
+  const std::uint64_t bit_mask = std::uint64_t{1} << bit;
+  if (polarity == StuckPolarity::kStuckAt1) {
+    uvalue |= bit_mask;
+  } else {
+    uvalue &= ~bit_mask;
+  }
+  return SignExtend(static_cast<std::int64_t>(uvalue), width);
+}
+
+std::int64_t FlipBit(std::int64_t value, int bit, int width) {
+  SAFFIRE_CHECK_MSG(width >= 1 && width <= 64, "width=" << width);
+  SAFFIRE_CHECK_MSG(bit >= 0 && bit < width,
+                    "bit=" << bit << " width=" << width);
+  const auto uvalue = static_cast<std::uint64_t>(value);
+  return SignExtend(
+      static_cast<std::int64_t>(uvalue ^ (std::uint64_t{1} << bit)), width);
+}
+
+bool TestBit(std::int64_t value, int bit) {
+  SAFFIRE_CHECK_MSG(bit >= 0 && bit < 64, "bit=" << bit);
+  return ((static_cast<std::uint64_t>(value) >> bit) & 1u) != 0;
+}
+
+std::string ToBinary(std::int64_t value, int width) {
+  SAFFIRE_CHECK_MSG(width >= 1 && width <= 64, "width=" << width);
+  std::string out;
+  out.reserve(static_cast<std::size_t>(width));
+  for (int b = width - 1; b >= 0; --b) {
+    out.push_back(TestBit(value, b) ? '1' : '0');
+  }
+  return out;
+}
+
+}  // namespace saffire

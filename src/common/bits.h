@@ -1,0 +1,42 @@
+// Bit-level helpers used to model stuck-at and transient faults on the
+// hardware signals of the simulated systolic array.
+//
+// All signal values are carried as int64_t inside the simulator regardless
+// of the architectural width of the signal (8/16/32 bits); the helpers here
+// interpret them under a given width with two's-complement semantics so the
+// simulator can inject a fault into "bit b of a w-bit signal" exactly as an
+// RTL-level injector would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace saffire {
+
+// Polarity of a stuck-at fault: the affected wire permanently reads 0 or 1.
+enum class StuckPolarity : std::uint8_t { kStuckAt0 = 0, kStuckAt1 = 1 };
+
+// Returns "SA0" / "SA1".
+std::string ToString(StuckPolarity polarity);
+
+// Returns `value` truncated to the low `width` bits and sign-extended back
+// to 64 bits (two's complement), i.e. what a `width`-bit register would hold.
+std::int64_t SignExtend(std::int64_t value, int width);
+
+// Returns `value` with bit `bit` forced to `polarity`, then re-interpreted
+// as a `width`-bit two's-complement quantity. `bit` must be in [0, width).
+std::int64_t ApplyStuckAt(std::int64_t value, int bit, StuckPolarity polarity,
+                          int width);
+
+// Returns `value` with bit `bit` inverted, re-interpreted at `width` bits.
+// Models a transient single-bit flip on a `width`-bit signal.
+std::int64_t FlipBit(std::int64_t value, int bit, int width);
+
+// Returns true if bit `bit` of `value` is set (bit must be in [0, 63]).
+bool TestBit(std::int64_t value, int bit);
+
+// Renders the low `width` bits of `value` as a binary string, MSB first.
+// Used by traces and debug reports.
+std::string ToBinary(std::int64_t value, int width);
+
+}  // namespace saffire

@@ -1,0 +1,38 @@
+#include "common/csv.h"
+
+#include "common/check.h"
+
+namespace saffire {
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), arity_(header.size()) {
+  SAFFIRE_CHECK(!header.empty());
+  WriteRow(header);
+  rows_written_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  SAFFIRE_CHECK_MSG(fields.size() == arity_,
+                    "row arity " << fields.size() << " != header " << arity_);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << CsvEscape(fields[i]);
+  }
+  out_ << '\n';
+  ++rows_written_;
+}
+
+}  // namespace saffire

@@ -1,0 +1,33 @@
+// CSV emission for campaign results and benchmark tables.
+//
+// Fields containing commas, quotes, or newlines are quoted per RFC 4180 so
+// result files load cleanly into pandas/spreadsheets for post-analysis.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace saffire {
+
+// Streams rows to an std::ostream. The header is written on construction;
+// every row must have the same arity as the header.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+  std::size_t rows_written() const { return rows_written_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t arity_;
+  std::size_t rows_written_ = 0;
+};
+
+// Quotes a single field per RFC 4180 if needed.
+std::string CsvEscape(const std::string& field);
+
+}  // namespace saffire

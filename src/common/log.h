@@ -1,0 +1,62 @@
+// Minimal leveled logger.
+//
+// Campaign runners emit progress at kInfo; the simulator emits per-cycle
+// detail at kTrace (off by default — a 112×112 tiled campaign produces
+// millions of cycles). The level is a process-wide setting, adjustable via
+// the SAFFIRE_LOG_LEVEL environment variable (trace|debug|info|warn|error)
+// or programmatically with SetLogLevel.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace saffire {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+};
+
+// Returns "TRACE" / "DEBUG" / ....
+std::string ToString(LogLevel level);
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// True if a message at `level` would be emitted; use to skip expensive
+// message construction.
+bool LogEnabled(LogLevel level);
+
+namespace detail {
+
+// Streams the message and writes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace saffire
+
+#define SAFFIRE_LOG(level)                                          \
+  if (!::saffire::LogEnabled(level)) {                              \
+  } else                                                            \
+    ::saffire::detail::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define SAFFIRE_LOG_TRACE SAFFIRE_LOG(::saffire::LogLevel::kTrace)
+#define SAFFIRE_LOG_DEBUG SAFFIRE_LOG(::saffire::LogLevel::kDebug)
+#define SAFFIRE_LOG_INFO SAFFIRE_LOG(::saffire::LogLevel::kInfo)
+#define SAFFIRE_LOG_WARN SAFFIRE_LOG(::saffire::LogLevel::kWarn)
+#define SAFFIRE_LOG_ERROR SAFFIRE_LOG(::saffire::LogLevel::kError)

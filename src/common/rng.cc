@@ -1,0 +1,111 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace saffire {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t RotL(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(sm);
+  // xoshiro's all-zero state is a fixed point; SplitMix64 cannot produce four
+  // zero outputs from any seed, but guard anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  SAFFIRE_CHECK_MSG(lo <= hi, "lo=" << lo << " hi=" << hi);
+  const auto range =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Rejection sampling over the largest multiple of `range`.
+  const std::uint64_t limit = (~std::uint64_t{0} / range) * range;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   draw % range);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = UniformDouble();
+  while (u1 <= 0.0) u1 = UniformDouble();
+  const double u2 = UniformDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  have_cached_normal_ = true;
+  return mean + stddev * radius * std::cos(angle);
+}
+
+bool Rng::Bernoulli(double p) {
+  SAFFIRE_CHECK_MSG(p >= 0.0 && p <= 1.0, "p=" << p);
+  return UniformDouble() < p;
+}
+
+std::vector<std::int64_t> Rng::SampleWithoutReplacement(
+    std::int64_t population, std::int64_t count) {
+  SAFFIRE_CHECK_MSG(count >= 0 && count <= population,
+                    "count=" << count << " population=" << population);
+  // Floyd's algorithm: O(count) draws, no O(population) allocation.
+  std::vector<std::int64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t j = population - count; j < population; ++j) {
+    const std::int64_t t = UniformInt(0, j);
+    bool duplicate = false;
+    for (const std::int64_t c : chosen) {
+      if (c == t) {
+        duplicate = true;
+        break;
+      }
+    }
+    chosen.push_back(duplicate ? j : t);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+Rng Rng::Fork() { return Rng((*this)()); }
+
+}  // namespace saffire

@@ -1,0 +1,95 @@
+#include "dnn/cnn.h"
+
+#include <algorithm>
+
+#include "accel/scratchpad.h"
+#include "dnn/quantize.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+
+SmallCnn::SmallCnn(const ConvParams& conv, std::int64_t classes,
+                   std::uint64_t seed)
+    : conv_(conv), classes_(classes) {
+  conv_.Validate();
+  SAFFIRE_CHECK_MSG(classes > 1, "classes=" << classes);
+  SAFFIRE_CHECK_MSG(conv_.out_height() >= 2 && conv_.out_width() >= 2,
+                    "conv output too small to pool: " << conv_.ToString());
+  Rng rng(seed);
+  kernel_ = Int8Tensor({conv_.out_channels, conv_.in_channels, conv_.kernel_h,
+                        conv_.kernel_w});
+  for (std::int64_t i = 0; i < kernel_.size(); ++i) {
+    kernel_.flat(i) = static_cast<std::int8_t>(rng.UniformInt(-6, 6));
+  }
+  const std::int64_t pooled_h = conv_.out_height() / 2;
+  const std::int64_t pooled_w = conv_.out_width() / 2;
+  dense_ = Int8Tensor({conv_.out_channels * pooled_h * pooled_w, classes_});
+  for (std::int64_t i = 0; i < dense_.size(); ++i) {
+    dense_.flat(i) = static_cast<std::int8_t>(rng.UniformInt(-6, 6));
+  }
+  // Worst-case conv accumulator magnitude: CRS × |in|max × |w|max.
+  const std::int64_t worst =
+      conv_.gemm_inner() * 127 * 6;
+  conv_shift_ = ChooseRequantShift(worst);
+}
+
+Int8Tensor MaxPool2x2(const Int8Tensor& input) {
+  SAFFIRE_CHECK_MSG(input.rank() == 4, "input " << input.ShapeString());
+  const std::int64_t n = input.dim(0);
+  const std::int64_t k = input.dim(1);
+  const std::int64_t h = input.dim(2) / 2;
+  const std::int64_t w = input.dim(3) / 2;
+  SAFFIRE_CHECK_MSG(h > 0 && w > 0, "input too small " << input.ShapeString());
+  Int8Tensor out({n, k, h, w});
+  for (std::int64_t nn = 0; nn < n; ++nn) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) {
+          out(nn, kk, y, x) = std::max(
+              std::max(input(nn, kk, 2 * y, 2 * x),
+                       input(nn, kk, 2 * y, 2 * x + 1)),
+              std::max(input(nn, kk, 2 * y + 1, 2 * x),
+                       input(nn, kk, 2 * y + 1, 2 * x + 1)));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SmallCnn::LayerTaps SmallCnn::Forward(const Int8Tensor& input, Driver* driver,
+                                      const ExecOptions& options) const {
+  SAFFIRE_CHECK_MSG(input.rank() == 4 && input.dim(1) == conv_.in_channels &&
+                        input.dim(2) == conv_.height &&
+                        input.dim(3) == conv_.width,
+                    "input " << input.ShapeString() << " vs "
+                             << conv_.ToString());
+  ConvParams batch_params = conv_;
+  batch_params.batch = input.dim(0);
+
+  LayerTaps taps;
+  if (driver != nullptr) {
+    taps.conv_raw = driver->Conv(input, kernel_, batch_params, options);
+  } else {
+    taps.conv_raw = ConvRef(input, kernel_, batch_params);
+  }
+
+  taps.conv_act = Int8Tensor(taps.conv_raw.shape());
+  for (std::int64_t i = 0; i < taps.conv_raw.size(); ++i) {
+    taps.conv_act.flat(i) =
+        Requantize(taps.conv_raw.flat(i), Activation::kRelu, conv_shift_);
+  }
+
+  taps.pooled = MaxPool2x2(taps.conv_act);
+
+  const Int8Tensor flat =
+      taps.pooled.Reshape({input.dim(0), dense_.dim(0)});
+  if (driver != nullptr) {
+    taps.logits = driver->Gemm(flat, dense_, options);
+  } else {
+    taps.logits = GemmRef(flat, dense_);
+  }
+  return taps;
+}
+
+}  // namespace saffire

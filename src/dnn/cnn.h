@@ -1,0 +1,79 @@
+// A small quantized CNN with per-layer observation taps, for studying how
+// systolic-array fault patterns manifest at the intermediate layers of a
+// DNN — the gap the paper's introduction calls out: "it is not clear how
+// these faults manifest at the intermediate layers of the DNNs", which is
+// "important because understanding fault manifestation at the intermediate
+// layers ... provides insights into building more resilient DNN
+// architectures" (Sec. I).
+//
+// Pipeline (INT8 operands, INT32 accumulation, matching the array):
+//
+//   input 1×C×H×W ─conv K×C×3×3─ relu/shift ─maxpool 2×2─ flatten ─dense─ logits
+//
+// The convolution and the dense layer run on the simulated accelerator
+// (or on the bit-identical CPU reference); pooling and requantization are
+// host stages. Weights are fixed pseudo-random INT8 — propagation analysis
+// compares golden and faulty activations layer by layer, which does not
+// require a trained network.
+#pragma once
+
+#include <cstdint>
+
+#include "accel/driver.h"
+#include "common/rng.h"
+#include "tensor/conv.h"
+#include "tensor/tensor.h"
+
+namespace saffire {
+
+class SmallCnn {
+ public:
+  // `conv` fixes the convolution geometry (e.g. the paper's 16×16 input
+  // with a 3×3×3×8 kernel); `classes` sizes the dense head. Weights are
+  // deterministic in `seed`.
+  SmallCnn(const ConvParams& conv, std::int64_t classes, std::uint64_t seed);
+
+  const ConvParams& conv_params() const { return conv_; }
+  std::int64_t classes() const { return classes_; }
+
+  // Activations captured after every stage of one forward pass.
+  struct LayerTaps {
+    Int32Tensor conv_raw{{1, 1}};   // N×K×P×Q accumulators
+    Int8Tensor conv_act{{1, 1}};    // after ReLU + rounding shift
+    Int8Tensor pooled{{1, 1}};      // after 2×2 max-pooling
+    Int32Tensor logits{{1, 1}};     // dense head accumulators [N × classes]
+  };
+
+  // Runs one image batch. With `driver` non-null the convolution and the
+  // dense layer execute on the accelerator under `options` (any installed
+  // fault hook applies); with nullptr the bit-identical CPU reference runs.
+  LayerTaps Forward(const Int8Tensor& input, Driver* driver,
+                    const ExecOptions& options) const;
+
+  // Fraction of elements in `faulty` differing from `golden` (same shape).
+  template <typename T>
+  static double CorruptedFraction(const Tensor<T>& golden,
+                                  const Tensor<T>& faulty) {
+    SAFFIRE_CHECK_MSG(golden.shape() == faulty.shape(),
+                      golden.ShapeString() << " vs " << faulty.ShapeString());
+    std::int64_t corrupted = 0;
+    for (std::int64_t i = 0; i < golden.size(); ++i) {
+      if (golden.flat(i) != faulty.flat(i)) ++corrupted;
+    }
+    return static_cast<double>(corrupted) /
+           static_cast<double>(golden.size());
+  }
+
+ private:
+  ConvParams conv_;
+  std::int64_t classes_;
+  std::int32_t conv_shift_;
+  Int8Tensor kernel_{{1, 1, 1, 1}};   // K×C×R×S
+  Int8Tensor dense_{{1, 1}};          // [K·(P/2)·(Q/2) × classes]
+};
+
+// 2×2 max-pooling with stride 2 over N×K×P×Q (odd trailing row/col
+// dropped, standard floor semantics).
+Int8Tensor MaxPool2x2(const Int8Tensor& input);
+
+}  // namespace saffire

@@ -1,0 +1,209 @@
+#include "dnn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+
+Mlp::Mlp(std::int64_t inputs, std::int64_t hidden, std::int64_t outputs,
+         std::uint64_t seed)
+    : inputs_(inputs),
+      hidden_(hidden),
+      outputs_(outputs),
+      w1_({std::max<std::int64_t>(inputs, 1),
+           std::max<std::int64_t>(hidden, 1)}),
+      b1_({1, std::max<std::int64_t>(hidden, 1)}),
+      w2_({std::max<std::int64_t>(hidden, 1),
+           std::max<std::int64_t>(outputs, 1)}),
+      b2_({1, std::max<std::int64_t>(outputs, 1)}) {
+  SAFFIRE_CHECK_MSG(inputs > 0 && hidden > 0 && outputs > 0,
+                    inputs << "/" << hidden << "/" << outputs);
+  Rng rng(seed);
+  const double scale1 = std::sqrt(2.0 / static_cast<double>(inputs));
+  for (std::int64_t i = 0; i < w1_.size(); ++i) {
+    w1_.flat(i) = static_cast<float>(rng.Normal(0.0, scale1));
+  }
+  const double scale2 = std::sqrt(2.0 / static_cast<double>(hidden));
+  for (std::int64_t i = 0; i < w2_.size(); ++i) {
+    w2_.flat(i) = static_cast<float>(rng.Normal(0.0, scale2));
+  }
+}
+
+FloatTensor Mlp::Forward(const FloatTensor& batch) const {
+  SAFFIRE_CHECK_MSG(batch.rank() == 2 && batch.dim(1) == inputs_,
+                    "batch " << batch.ShapeString());
+  FloatTensor z1 = GemmRef(batch, w1_);
+  for (std::int64_t r = 0; r < z1.dim(0); ++r) {
+    for (std::int64_t c = 0; c < z1.dim(1); ++c) {
+      z1(r, c) = std::max(0.0f, z1(r, c) + b1_(0, c));
+    }
+  }
+  FloatTensor z2 = GemmRef(z1, w2_);
+  for (std::int64_t r = 0; r < z2.dim(0); ++r) {
+    for (std::int64_t c = 0; c < z2.dim(1); ++c) {
+      z2(r, c) += b2_(0, c);
+    }
+  }
+  return z2;
+}
+
+double Mlp::TrainEpoch(const Dataset& dataset, double learning_rate,
+                       std::int64_t batch_size, Rng& rng) {
+  SAFFIRE_CHECK_MSG(batch_size > 0, "batch_size=" << batch_size);
+  SAFFIRE_CHECK_MSG(dataset.inputs.dim(1) == inputs_,
+                    "dataset width " << dataset.inputs.dim(1));
+  std::vector<std::int64_t> order(static_cast<std::size_t>(dataset.size()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::int64_t>(i);
+  }
+  rng.Shuffle(order);
+
+  double total_loss = 0.0;
+  for (std::int64_t start = 0; start < dataset.size(); start += batch_size) {
+    const std::int64_t size =
+        std::min(batch_size, dataset.size() - start);
+
+    FloatTensor x({size, inputs_});
+    std::vector<int> labels(static_cast<std::size_t>(size));
+    for (std::int64_t i = 0; i < size; ++i) {
+      const std::int64_t src = order[static_cast<std::size_t>(start + i)];
+      for (std::int64_t c = 0; c < inputs_; ++c) {
+        x(i, c) = dataset.inputs(src, c);
+      }
+      labels[static_cast<std::size_t>(i)] =
+          dataset.labels[static_cast<std::size_t>(src)];
+    }
+
+    // Forward with cached activations.
+    FloatTensor z1 = GemmRef(x, w1_);
+    FloatTensor h = z1;
+    for (std::int64_t r = 0; r < h.dim(0); ++r) {
+      for (std::int64_t c = 0; c < h.dim(1); ++c) {
+        h(r, c) = std::max(0.0f, z1(r, c) + b1_(0, c));
+      }
+    }
+    FloatTensor logits = GemmRef(h, w2_);
+    for (std::int64_t r = 0; r < logits.dim(0); ++r) {
+      for (std::int64_t c = 0; c < logits.dim(1); ++c) {
+        logits(r, c) += b2_(0, c);
+      }
+    }
+
+    // Softmax + cross-entropy; dlogits = softmax − onehot.
+    FloatTensor dlogits({size, outputs_});
+    for (std::int64_t r = 0; r < size; ++r) {
+      float max_logit = logits(r, 0);
+      for (std::int64_t c = 1; c < outputs_; ++c) {
+        max_logit = std::max(max_logit, logits(r, c));
+      }
+      double denom = 0.0;
+      for (std::int64_t c = 0; c < outputs_; ++c) {
+        denom += std::exp(static_cast<double>(logits(r, c) - max_logit));
+      }
+      const int label = labels[static_cast<std::size_t>(r)];
+      for (std::int64_t c = 0; c < outputs_; ++c) {
+        const double p =
+            std::exp(static_cast<double>(logits(r, c) - max_logit)) / denom;
+        dlogits(r, c) = static_cast<float>(p) - (c == label ? 1.0f : 0.0f);
+        if (c == label) total_loss += -std::log(std::max(p, 1e-12));
+      }
+    }
+
+    const float step =
+        static_cast<float>(learning_rate / static_cast<double>(size));
+
+    // Gradients: dW2 = hᵀ·dlogits, db2 = Σrows dlogits,
+    // dh = dlogits·W2ᵀ (gated by ReLU), dW1 = xᵀ·dh, db1 = Σrows dh.
+    FloatTensor dh({size, hidden_});
+    for (std::int64_t r = 0; r < size; ++r) {
+      for (std::int64_t c = 0; c < hidden_; ++c) {
+        float grad = 0.0f;
+        for (std::int64_t o = 0; o < outputs_; ++o) {
+          grad += dlogits(r, o) * w2_(c, o);
+        }
+        dh(r, c) = h(r, c) > 0.0f ? grad : 0.0f;
+      }
+    }
+    for (std::int64_t c = 0; c < hidden_; ++c) {
+      for (std::int64_t o = 0; o < outputs_; ++o) {
+        float grad = 0.0f;
+        for (std::int64_t r = 0; r < size; ++r) {
+          grad += h(r, c) * dlogits(r, o);
+        }
+        w2_(c, o) -= step * grad;
+      }
+    }
+    for (std::int64_t o = 0; o < outputs_; ++o) {
+      float grad = 0.0f;
+      for (std::int64_t r = 0; r < size; ++r) grad += dlogits(r, o);
+      b2_(0, o) -= step * grad;
+    }
+    for (std::int64_t i = 0; i < inputs_; ++i) {
+      for (std::int64_t c = 0; c < hidden_; ++c) {
+        float grad = 0.0f;
+        for (std::int64_t r = 0; r < size; ++r) {
+          grad += x(r, i) * dh(r, c);
+        }
+        w1_(i, c) -= step * grad;
+      }
+    }
+    for (std::int64_t c = 0; c < hidden_; ++c) {
+      float grad = 0.0f;
+      for (std::int64_t r = 0; r < size; ++r) grad += dh(r, c);
+      b1_(0, c) -= step * grad;
+    }
+  }
+  return total_loss / static_cast<double>(dataset.size());
+}
+
+double Mlp::Accuracy(const Dataset& dataset) const {
+  const auto predictions = ArgmaxRows(Forward(dataset.inputs));
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == dataset.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+double Mlp::TrainUntil(const Dataset& dataset, double target,
+                       std::int64_t max_epochs, double learning_rate,
+                       Rng& rng) {
+  double accuracy = Accuracy(dataset);
+  for (std::int64_t epoch = 0; epoch < max_epochs && accuracy < target;
+       ++epoch) {
+    TrainEpoch(dataset, learning_rate, 32, rng);
+    accuracy = Accuracy(dataset);
+  }
+  return accuracy;
+}
+
+namespace {
+
+template <typename T>
+std::vector<int> ArgmaxRowsImpl(const Tensor<T>& logits) {
+  SAFFIRE_CHECK(logits.rank() == 2);
+  std::vector<int> out(static_cast<std::size_t>(logits.dim(0)));
+  for (std::int64_t r = 0; r < logits.dim(0); ++r) {
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < logits.dim(1); ++c) {
+      if (logits(r, c) > logits(r, best)) best = c;
+    }
+    out[static_cast<std::size_t>(r)] = static_cast<int>(best);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> ArgmaxRows(const FloatTensor& logits) {
+  return ArgmaxRowsImpl(logits);
+}
+
+std::vector<int> ArgmaxRows(const Int32Tensor& logits) {
+  return ArgmaxRowsImpl(logits);
+}
+
+}  // namespace saffire

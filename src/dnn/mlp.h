@@ -1,0 +1,60 @@
+// A small two-layer perceptron (dense → ReLU → dense) with from-scratch
+// SGD training. The inference phase — the paper's focus (Sec. I) — is what
+// gets quantized and mapped onto the simulated accelerator; training stays
+// in float on the host, as it would with a real edge TPU.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "dnn/synthetic.h"
+#include "tensor/tensor.h"
+
+namespace saffire {
+
+class Mlp {
+ public:
+  // He-initialized weights; deterministic in `seed`.
+  Mlp(std::int64_t inputs, std::int64_t hidden, std::int64_t outputs,
+      std::uint64_t seed);
+
+  std::int64_t inputs() const { return inputs_; }
+  std::int64_t hidden() const { return hidden_; }
+  std::int64_t outputs() const { return outputs_; }
+
+  // Logits for a batch [batch × inputs] → [batch × outputs].
+  FloatTensor Forward(const FloatTensor& batch) const;
+
+  // One epoch of minibatch SGD with softmax cross-entropy; returns the mean
+  // loss over the epoch. Sample order is shuffled with `rng`.
+  double TrainEpoch(const Dataset& dataset, double learning_rate,
+                    std::int64_t batch_size, Rng& rng);
+
+  // Classification accuracy in [0, 1].
+  double Accuracy(const Dataset& dataset) const;
+
+  // Trains until `dataset` accuracy reaches `target` or `max_epochs` pass;
+  // returns the final accuracy.
+  double TrainUntil(const Dataset& dataset, double target,
+                    std::int64_t max_epochs, double learning_rate, Rng& rng);
+
+  const FloatTensor& w1() const { return w1_; }
+  const FloatTensor& b1() const { return b1_; }
+  const FloatTensor& w2() const { return w2_; }
+  const FloatTensor& b2() const { return b2_; }
+
+ private:
+  std::int64_t inputs_;
+  std::int64_t hidden_;
+  std::int64_t outputs_;
+  FloatTensor w1_;  // [inputs × hidden]
+  FloatTensor b1_;  // [1 × hidden]
+  FloatTensor w2_;  // [hidden × outputs]
+  FloatTensor b2_;  // [1 × outputs]
+};
+
+// Argmax over each row of a logits matrix.
+std::vector<int> ArgmaxRows(const FloatTensor& logits);
+std::vector<int> ArgmaxRows(const Int32Tensor& logits);
+
+}  // namespace saffire

@@ -1,0 +1,185 @@
+#include "dnn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "accel/scratchpad.h"
+#include "common/check.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+
+Int8Tensor QuantizeSymmetric(const FloatTensor& tensor, float& scale) {
+  float max_abs = 0.0f;
+  for (std::int64_t i = 0; i < tensor.size(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(tensor.flat(i)));
+  }
+  scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  Int8Tensor out(tensor.shape());
+  for (std::int64_t i = 0; i < tensor.size(); ++i) {
+    const float scaled = tensor.flat(i) / scale;
+    const float rounded = std::nearbyint(scaled);
+    out.flat(i) = static_cast<std::int8_t>(
+        std::clamp(rounded, -128.0f, 127.0f));
+  }
+  return out;
+}
+
+std::int32_t ChooseRequantShift(std::int64_t max_magnitude) {
+  SAFFIRE_CHECK_MSG(max_magnitude >= 0, "max_magnitude=" << max_magnitude);
+  std::int32_t shift = 0;
+  while (shift < 31 && (max_magnitude >> shift) > 127) ++shift;
+  return shift;
+}
+
+QuantizedMlp::QuantizedMlp(const Mlp& mlp, const Dataset& calibration)
+    : inputs_(mlp.inputs()), hidden_(mlp.hidden()), outputs_(mlp.outputs()) {
+  SAFFIRE_CHECK_MSG(calibration.size() > 0, "empty calibration set");
+  (void)QuantizeSymmetric(calibration.inputs, input_scale_);
+  w1q_ = QuantizeSymmetric(mlp.w1(), w1_scale_);
+  w2q_ = QuantizeSymmetric(mlp.w2(), w2_scale_);
+
+  // Layer-1 bias in accumulator units (input_scale · w1_scale).
+  b1q_ = Int32Tensor({1, hidden_});
+  for (std::int64_t c = 0; c < hidden_; ++c) {
+    b1q_(0, c) = static_cast<std::int32_t>(std::nearbyint(
+        mlp.b1()(0, c) / (input_scale_ * w1_scale_)));
+  }
+
+  // Calibrate the inter-layer shift on the real INT32 accumulators.
+  const Int8Tensor xq = QuantizeInputs(calibration.inputs);
+  const Int32Tensor a1 = AddBias(GemmRef(xq, w1q_), b1q_);
+  std::int64_t max_magnitude = 0;
+  for (std::int64_t i = 0; i < a1.size(); ++i) {
+    max_magnitude = std::max<std::int64_t>(max_magnitude,
+                                           std::max(0, a1.flat(i)));
+  }
+  layer1_shift_ = ChooseRequantShift(max_magnitude);
+
+  // Layer-2 bias in layer-2 accumulator units (hidden_scale · w2_scale),
+  // hidden_scale = input_scale · w1_scale · 2^shift.
+  const float hidden_scale = input_scale_ * w1_scale_ *
+                             static_cast<float>(1 << layer1_shift_);
+  b2q_ = Int32Tensor({1, outputs_});
+  for (std::int64_t c = 0; c < outputs_; ++c) {
+    b2q_(0, c) = static_cast<std::int32_t>(
+        std::nearbyint(mlp.b2()(0, c) / (hidden_scale * w2_scale_)));
+  }
+}
+
+Int8Tensor QuantizedMlp::QuantizeInputs(const FloatTensor& batch) const {
+  SAFFIRE_CHECK_MSG(batch.rank() == 2 && batch.dim(1) == inputs_,
+                    "batch " << batch.ShapeString());
+  Int8Tensor out(batch.shape());
+  for (std::int64_t i = 0; i < batch.size(); ++i) {
+    const float rounded = std::nearbyint(batch.flat(i) / input_scale_);
+    out.flat(i) =
+        static_cast<std::int8_t>(std::clamp(rounded, -128.0f, 127.0f));
+  }
+  return out;
+}
+
+Int32Tensor QuantizedMlp::AddBias(const Int32Tensor& accum,
+                                  const Int32Tensor& bias) const {
+  SAFFIRE_CHECK(accum.rank() == 2 && bias.dim(1) == accum.dim(1));
+  Int32Tensor out = accum;
+  for (std::int64_t r = 0; r < out.dim(0); ++r) {
+    for (std::int64_t c = 0; c < out.dim(1); ++c) {
+      out(r, c) += bias(0, c);
+    }
+  }
+  return out;
+}
+
+Int8Tensor QuantizedMlp::RequantizeHidden(const Int32Tensor& accum) const {
+  Int8Tensor out(accum.shape());
+  for (std::int64_t i = 0; i < accum.size(); ++i) {
+    // Identical arithmetic to the accelerator's MVOUT8 stage.
+    out.flat(i) =
+        Requantize(accum.flat(i), Activation::kRelu, layer1_shift_);
+  }
+  return out;
+}
+
+std::vector<int> QuantizedMlp::PredictCpu(const FloatTensor& batch) const {
+  const Int8Tensor xq = QuantizeInputs(batch);
+  const Int8Tensor hq =
+      RequantizeHidden(AddBias(GemmRef(xq, w1q_), b1q_));
+  return ArgmaxRows(AddBias(GemmRef(hq, w2q_), b2q_));
+}
+
+std::vector<int> QuantizedMlp::PredictAccel(const FloatTensor& batch,
+                                            Driver& driver,
+                                            Dataflow dataflow) const {
+  ExecOptions options;
+  options.dataflow = dataflow;
+  const Int8Tensor xq = QuantizeInputs(batch);
+  const Int8Tensor hq =
+      RequantizeHidden(AddBias(driver.Gemm(xq, w1q_, options), b1q_));
+  return ArgmaxRows(AddBias(driver.Gemm(hq, w2q_, options), b2q_));
+}
+
+std::vector<int> QuantizedMlp::PredictAppFi(
+    const FloatTensor& batch, const AccelConfig& accel, Dataflow dataflow,
+    std::span<const FaultSpec> faults) const {
+  const auto perturb_for = [](const FaultSpec& fault) {
+    PerturbSpec perturb;
+    perturb.bit = fault.bit;
+    perturb.mode = fault.polarity == StuckPolarity::kStuckAt1
+                       ? PerturbMode::kSetBit
+                       : PerturbMode::kClearBit;
+    return perturb;
+  };
+  const auto inject_layer = [&](Int32Tensor gemm_out, std::int64_t k_dim) {
+    WorkloadSpec layer;
+    layer.op = OpType::kGemm;
+    layer.m = gemm_out.dim(0);
+    layer.k = k_dim;
+    layer.n = gemm_out.dim(1);
+    for (const FaultSpec& fault : faults) {
+      gemm_out = InjectPattern(gemm_out, layer, accel, dataflow, fault,
+                               perturb_for(fault));
+    }
+    return gemm_out;
+  };
+
+  const Int8Tensor xq = QuantizeInputs(batch);
+  const Int32Tensor a1 = inject_layer(GemmRef(xq, w1q_), inputs_);
+  const Int8Tensor hq = RequantizeHidden(AddBias(a1, b1q_));
+  const Int32Tensor a2 = inject_layer(GemmRef(hq, w2q_), hidden_);
+  return ArgmaxRows(AddBias(a2, b2q_));
+}
+
+namespace {
+
+double AccuracyOf(const std::vector<int>& predictions,
+                  const std::vector<int>& labels) {
+  SAFFIRE_ASSERT(predictions.size() == labels.size());
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(predictions.size());
+}
+
+}  // namespace
+
+double QuantizedMlp::AccuracyCpu(const Dataset& dataset) const {
+  return AccuracyOf(PredictCpu(dataset.inputs), dataset.labels);
+}
+
+double QuantizedMlp::AccuracyAccel(const Dataset& dataset, Driver& driver,
+                                   Dataflow dataflow) const {
+  return AccuracyOf(PredictAccel(dataset.inputs, driver, dataflow),
+                    dataset.labels);
+}
+
+double QuantizedMlp::AccuracyAppFi(const Dataset& dataset,
+                                   const AccelConfig& accel, Dataflow dataflow,
+                                   std::span<const FaultSpec> faults) const {
+  return AccuracyOf(PredictAppFi(dataset.inputs, accel, dataflow, faults),
+                    dataset.labels);
+}
+
+}  // namespace saffire

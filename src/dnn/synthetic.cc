@@ -1,0 +1,152 @@
+#include "dnn/synthetic.h"
+
+#include <array>
+#include <string_view>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace saffire {
+namespace {
+
+// 8×8 glyphs, '#' = on. Hand-drawn to be mutually distinguishable under
+// one-pixel jitter and moderate noise.
+constexpr std::array<std::string_view, kDigitClasses> kGlyphs = {
+    // 0
+    ".####..."
+    "#....#.."
+    "#....#.."
+    "#....#.."
+    "#....#.."
+    "#....#.."
+    ".####..."
+    "........",
+    // 1
+    "...#...."
+    "..##...."
+    "...#...."
+    "...#...."
+    "...#...."
+    "...#...."
+    "..###..."
+    "........",
+    // 2
+    ".####..."
+    "#....#.."
+    ".....#.."
+    "...##..."
+    "..#....."
+    ".#......"
+    "######.."
+    "........",
+    // 3
+    "#####..."
+    "....#..."
+    "....#..."
+    ".####..."
+    "....#..."
+    "....#..."
+    "#####..."
+    "........",
+    // 4
+    "....#..."
+    "...##..."
+    "..#.#..."
+    ".#..#..."
+    "######.."
+    "....#..."
+    "....#..."
+    "........",
+    // 5
+    "######.."
+    "#......."
+    "#####..."
+    ".....#.."
+    ".....#.."
+    "#....#.."
+    ".####..."
+    "........",
+    // 6
+    "..##...."
+    ".#......"
+    "#......."
+    "#.##...."
+    "##..#..."
+    "#...#..."
+    ".###...."
+    "........",
+    // 7
+    "######.."
+    ".....#.."
+    "....#..."
+    "...#...."
+    "..#....."
+    "..#....."
+    "..#....."
+    "........",
+    // 8
+    ".####..."
+    "#....#.."
+    "#....#.."
+    ".####..."
+    "#....#.."
+    "#....#.."
+    ".####..."
+    "........",
+    // 9
+    ".###...."
+    "#...#..."
+    "#..##..."
+    ".##.#..."
+    "....#..."
+    "...#...."
+    ".##....."
+    "........",
+};
+
+}  // namespace
+
+FloatTensor DigitGlyph(int digit) {
+  SAFFIRE_CHECK_MSG(digit >= 0 && digit < kDigitClasses, "digit=" << digit);
+  const std::string_view glyph = kGlyphs[static_cast<std::size_t>(digit)];
+  SAFFIRE_ASSERT(static_cast<std::int64_t>(glyph.size()) == kDigitPixels);
+  FloatTensor row({1, kDigitPixels});
+  for (std::int64_t i = 0; i < kDigitPixels; ++i) {
+    row.flat(i) = glyph[static_cast<std::size_t>(i)] == '#' ? 1.0f : 0.0f;
+  }
+  return row;
+}
+
+Dataset MakeSyntheticDigits(std::int64_t count, double noise,
+                            std::uint64_t seed) {
+  SAFFIRE_CHECK_MSG(count > 0, "count=" << count);
+  SAFFIRE_CHECK_MSG(noise >= 0.0 && noise <= 0.5, "noise=" << noise);
+  Rng rng(seed);
+  Dataset dataset;
+  dataset.inputs = FloatTensor({count, kDigitPixels});
+  dataset.labels.reserve(static_cast<std::size_t>(count));
+
+  for (std::int64_t sample = 0; sample < count; ++sample) {
+    const int digit = static_cast<int>(rng.UniformInt(0, kDigitClasses - 1));
+    dataset.labels.push_back(digit);
+    const FloatTensor glyph = DigitGlyph(digit);
+    const std::int64_t dy = rng.UniformInt(-1, 1);
+    const std::int64_t dx = rng.UniformInt(-1, 1);
+    const float gain = 0.75f + 0.25f * static_cast<float>(rng.UniformDouble());
+    for (std::int64_t y = 0; y < kDigitGridSize; ++y) {
+      for (std::int64_t x = 0; x < kDigitGridSize; ++x) {
+        const std::int64_t sy = y - dy;
+        const std::int64_t sx = x - dx;
+        float value = 0.0f;
+        if (sy >= 0 && sy < kDigitGridSize && sx >= 0 && sx < kDigitGridSize) {
+          value = glyph.flat(sy * kDigitGridSize + sx);
+        }
+        if (rng.Bernoulli(noise)) value = 1.0f - value;
+        dataset.inputs(sample, y * kDigitGridSize + x) = value * gain;
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace saffire

@@ -1,0 +1,64 @@
+#include "fi/fault.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace saffire {
+
+std::string ToString(FaultKind kind) {
+  return kind == FaultKind::kStuckAt ? "stuck-at" : "transient-flip";
+}
+
+void FaultSpec::Validate(const ArrayConfig& config) const {
+  config.Validate();
+  SAFFIRE_CHECK_MSG(pe.row >= 0 && pe.row < config.rows && pe.col >= 0 &&
+                        pe.col < config.cols,
+                    "PE (" << pe.row << ", " << pe.col << ") out of "
+                           << config.ToString());
+  const int width = SignalWidth(signal, config);
+  SAFFIRE_CHECK_MSG(bit >= 0 && bit < width,
+                    "bit " << bit << " outside " << saffire::ToString(signal)
+                           << " width " << width);
+  if (kind == FaultKind::kTransientFlip) {
+    SAFFIRE_CHECK_MSG(at_cycle >= 0,
+                      "transient fault needs at_cycle >= 0, got " << at_cycle);
+  }
+}
+
+std::string FaultSpec::ToString() const {
+  std::ostringstream os;
+  if (kind == FaultKind::kStuckAt) {
+    os << saffire::ToString(polarity);
+  } else {
+    os << "FLIP";
+  }
+  os << " bit" << bit << " " << saffire::ToString(signal) << " @PE(" << pe.row
+     << "," << pe.col << ")";
+  if (kind == FaultKind::kTransientFlip) os << " cy" << at_cycle;
+  return os.str();
+}
+
+FaultSpec StuckAtAdder(PeCoord pe, int bit, StuckPolarity polarity) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kStuckAt;
+  spec.pe = pe;
+  spec.signal = MacSignal::kAdderOut;
+  spec.bit = bit;
+  spec.polarity = polarity;
+  return spec;
+}
+
+std::vector<PeCoord> AllPeCoords(const ArrayConfig& config) {
+  config.Validate();
+  std::vector<PeCoord> coords;
+  coords.reserve(static_cast<std::size_t>(config.num_pes()));
+  for (std::int32_t r = 0; r < config.rows; ++r) {
+    for (std::int32_t c = 0; c < config.cols; ++c) {
+      coords.push_back(PeCoord{r, c});
+    }
+  }
+  return coords;
+}
+
+}  // namespace saffire

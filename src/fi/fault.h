@@ -1,0 +1,54 @@
+// Fault specification: what to inject, where, and when.
+//
+// The paper's fault model (Sec. II-E/F): a single permanent stuck-at fault
+// on an intermediate MAC signal — specifically the adder output, before the
+// accumulator register — in one randomly (or exhaustively) chosen MAC unit.
+// The framework generalizes along the axes the paper names as comparisons
+// or future work: transient single-bit flips (the Rech et al. contrast) and
+// multiple simultaneous stuck-at faults (the MSF model of Zhang et al.).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "systolic/config.h"
+#include "systolic/signals.h"
+
+namespace saffire {
+
+enum class FaultKind : std::uint8_t {
+  kStuckAt = 0,        // permanent: applies on every cycle
+  kTransientFlip = 1,  // transient: inverts the bit on exactly one cycle
+};
+
+std::string ToString(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kStuckAt;
+  PeCoord pe;
+  MacSignal signal = MacSignal::kAdderOut;
+  int bit = 0;
+  StuckPolarity polarity = StuckPolarity::kStuckAt1;  // stuck-at only
+  std::int64_t at_cycle = -1;  // transient only: the global cycle to strike
+
+  // Validates coordinates and bit position against the array configuration;
+  // throws std::invalid_argument on violation.
+  void Validate(const ArrayConfig& config) const;
+
+  // e.g. "SA1 bit8 adder_out @PE(4,9)" or "FLIP bit3 mul_out @PE(0,0) cy120".
+  std::string ToString() const;
+
+  bool operator==(const FaultSpec&) const = default;
+};
+
+// Constructs the paper's canonical fault: a stuck-at on the adder output of
+// one PE.
+FaultSpec StuckAtAdder(PeCoord pe, int bit, StuckPolarity polarity);
+
+// All PE coordinates of an array in row-major order — the exhaustive site
+// list of the paper's 256-experiment campaigns.
+std::vector<PeCoord> AllPeCoords(const ArrayConfig& config);
+
+}  // namespace saffire

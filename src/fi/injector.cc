@@ -1,0 +1,43 @@
+#include "fi/injector.h"
+
+#include "common/check.h"
+
+namespace saffire {
+
+FaultInjector::FaultInjector(std::vector<FaultSpec> faults,
+                             const ArrayConfig& config)
+    : faults_(std::move(faults)) {
+  SAFFIRE_CHECK_MSG(!faults_.empty(), "at least one fault required");
+  widths_.reserve(faults_.size());
+  for (const FaultSpec& fault : faults_) {
+    fault.Validate(config);
+    widths_.push_back(SignalWidth(fault.signal, config));
+  }
+}
+
+std::int64_t FaultInjector::Apply(PeCoord pe, MacSignal signal,
+                                  std::int64_t value, std::int64_t cycle) {
+  std::int64_t out = value;
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    const FaultSpec& fault = faults_[i];
+    if (fault.pe != pe || fault.signal != signal) continue;
+    std::int64_t corrupted = out;
+    if (fault.kind == FaultKind::kStuckAt) {
+      corrupted = ApplyStuckAt(out, fault.bit, fault.polarity, widths_[i]);
+    } else if (cycle == fault.at_cycle) {
+      corrupted = FlipBit(out, fault.bit, widths_[i]);
+    }
+    if (corrupted != out) ++activations_;
+    out = corrupted;
+  }
+  return out;
+}
+
+bool FaultInjector::AppliesTo(PeCoord pe) const {
+  for (const FaultSpec& fault : faults_) {
+    if (fault.pe == pe) return true;
+  }
+  return false;
+}
+
+}  // namespace saffire

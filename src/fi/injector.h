@@ -1,0 +1,37 @@
+// The FaultHook implementation: intercepts MAC signals on the simulated
+// array and applies the configured fault(s).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fi/fault.h"
+#include "systolic/fault_hook.h"
+
+namespace saffire {
+
+// Applies one or more FaultSpecs. A single spec is the paper's SSF model;
+// multiple specs realize the MSF model it cites (Sec. II-F).
+class FaultInjector : public FaultHook {
+ public:
+  FaultInjector(std::vector<FaultSpec> faults, const ArrayConfig& config);
+
+  std::int64_t Apply(PeCoord pe, MacSignal signal, std::int64_t value,
+                     std::int64_t cycle) override;
+  bool AppliesTo(PeCoord pe) const override;
+
+  const std::vector<FaultSpec>& faults() const { return faults_; }
+
+  // Number of times a fault actually changed a signal value. A permanent
+  // fault whose activations stay zero over a whole run was fully masked at
+  // the hardware level.
+  std::uint64_t activations() const { return activations_; }
+  void ResetActivations() { activations_ = 0; }
+
+ private:
+  std::vector<FaultSpec> faults_;
+  std::vector<int> widths_;  // per-fault signal width, precomputed
+  std::uint64_t activations_ = 0;
+};
+
+}  // namespace saffire

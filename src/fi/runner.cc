@@ -1,0 +1,45 @@
+#include "fi/runner.h"
+
+namespace saffire {
+
+RunResult FiRunner::RunGolden(const WorkloadSpec& workload,
+                              Dataflow dataflow) {
+  return Run(workload, dataflow, nullptr);
+}
+
+RunResult FiRunner::RunFaulty(const WorkloadSpec& workload, Dataflow dataflow,
+                              std::span<const FaultSpec> faults) {
+  FaultInjector injector(std::vector<FaultSpec>(faults.begin(), faults.end()),
+                         accel_.config().array);
+  return Run(workload, dataflow, &injector);
+}
+
+RunResult FiRunner::Run(const WorkloadSpec& workload, Dataflow dataflow,
+                        FaultInjector* injector) {
+  const MaterializedWorkload operands = Materialize(workload);
+  ExecOptions options;
+  options.dataflow = dataflow;
+  options.conv_lowering = workload.lowering;
+
+  SystolicArray& array = accel_.array();
+  const std::int64_t cycles_before = array.cycle();
+  const std::uint64_t steps_before = array.total_pe_steps();
+
+  array.InstallFaultHook(injector);
+  RunResult result;
+  try {
+    result.output = driver_.Gemm(operands.a, operands.b, options);
+  } catch (...) {
+    array.ClearFaultHook();
+    throw;
+  }
+  array.ClearFaultHook();
+
+  result.cycles = array.cycle() - cycles_before;
+  result.pe_steps = array.total_pe_steps() - steps_before;
+  result.fault_activations =
+      injector == nullptr ? 0 : injector->activations();
+  return result;
+}
+
+}  // namespace saffire

@@ -1,0 +1,54 @@
+// Executes one workload on the simulated accelerator, fault-free (golden)
+// or with faults installed — the per-experiment engine of the paper's FI
+// campaigns (Sec. III-B: "fault patterns are extracted by contrasting the
+// output of the systolic array with and without FI").
+#pragma once
+
+#include <span>
+
+#include "accel/driver.h"
+#include "fi/fault.h"
+#include "fi/injector.h"
+#include "fi/workload.h"
+
+namespace saffire {
+
+struct RunResult {
+  // The GEMM-view output matrix (for convolutions: the lowered GEMM result,
+  // before folding) — the space in which fault patterns are classified.
+  Int32Tensor output{{1, 1}};
+  // Accelerator cycles and PE evaluations consumed by this run — the basis
+  // of the FI-cost comparison (the paper's 45 s GEMM vs 130 s conv).
+  std::int64_t cycles = 0;
+  std::uint64_t pe_steps = 0;
+  // Times the injected fault actually changed a signal value (0 for golden
+  // runs; 0 in a faulty run means the fault was electrically masked).
+  std::uint64_t fault_activations = 0;
+};
+
+class FiRunner {
+ public:
+  explicit FiRunner(const AccelConfig& config) : accel_(config), driver_(accel_) {}
+
+  // Fault-free execution.
+  RunResult RunGolden(const WorkloadSpec& workload, Dataflow dataflow);
+
+  // Execution with the given fault(s) installed for the whole run. The
+  // injector is installed before the first instruction and removed after
+  // the last, so permanent faults span every tile invocation — the source
+  // of the paper's multi-tile fault patterns.
+  RunResult RunFaulty(const WorkloadSpec& workload, Dataflow dataflow,
+                      std::span<const FaultSpec> faults);
+
+  Accelerator& accel() { return accel_; }
+  Driver& driver() { return driver_; }
+
+ private:
+  RunResult Run(const WorkloadSpec& workload, Dataflow dataflow,
+                FaultInjector* injector);
+
+  Accelerator accel_;
+  Driver driver_;
+};
+
+}  // namespace saffire

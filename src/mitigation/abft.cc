@@ -1,0 +1,168 @@
+#include "mitigation/abft.h"
+
+#include "common/check.h"
+
+namespace saffire {
+
+std::string ToString(AbftDiagnosis diagnosis) {
+  switch (diagnosis) {
+    case AbftDiagnosis::kClean:
+      return "clean";
+    case AbftDiagnosis::kSingleElement:
+      return "single-element(corrected)";
+    case AbftDiagnosis::kSingleColumn:
+      return "single-column(corrected)";
+    case AbftDiagnosis::kSingleRow:
+      return "single-row(corrected)";
+    case AbftDiagnosis::kComplex:
+      return "complex(detected)";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct Residuals {
+  std::vector<std::int64_t> row;  // Σ_j C[i][j] − expected
+  std::vector<std::int64_t> col;  // Σ_i C[i][j] − expected
+};
+
+Residuals ComputeResiduals(const Int8Tensor& a, const Int8Tensor& b,
+                           const Int32Tensor& c) {
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+
+  // Host-side checksums in INT64: O(M·K + K·N) work versus the array's
+  // O(M·K·N).
+  std::vector<std::int64_t> b_rowsum(static_cast<std::size_t>(k), 0);
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      b_rowsum[static_cast<std::size_t>(kk)] += b(kk, j);
+    }
+  }
+  std::vector<std::int64_t> a_colsum(static_cast<std::size_t>(k), 0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      a_colsum[static_cast<std::size_t>(kk)] += a(i, kk);
+    }
+  }
+
+  Residuals residuals;
+  residuals.row.assign(static_cast<std::size_t>(m), 0);
+  residuals.col.assign(static_cast<std::size_t>(n), 0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::int64_t expected = 0;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      expected += static_cast<std::int64_t>(a(i, kk)) *
+                  b_rowsum[static_cast<std::size_t>(kk)];
+    }
+    std::int64_t actual = 0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      actual += c(i, j);
+    }
+    residuals.row[static_cast<std::size_t>(i)] = actual - expected;
+  }
+  for (std::int64_t j = 0; j < n; ++j) {
+    std::int64_t expected = 0;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      expected += a_colsum[static_cast<std::size_t>(kk)] *
+                  static_cast<std::int64_t>(b(kk, j));
+    }
+    std::int64_t actual = 0;
+    for (std::int64_t i = 0; i < m; ++i) {
+      actual += c(i, j);
+    }
+    residuals.col[static_cast<std::size_t>(j)] = actual - expected;
+  }
+  return residuals;
+}
+
+bool AllZero(const std::vector<std::int64_t>& values) {
+  for (const std::int64_t value : values) {
+    if (value != 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::int64_t> NonZeroIndices(
+    const std::vector<std::int64_t>& values) {
+  std::vector<std::int64_t> indices;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] != 0) indices.push_back(static_cast<std::int64_t>(i));
+  }
+  return indices;
+}
+
+}  // namespace
+
+AbftReport VerifyAndCorrect(const Int8Tensor& a, const Int8Tensor& b,
+                            Int32Tensor& c) {
+  SAFFIRE_CHECK_MSG(a.rank() == 2 && b.rank() == 2 && c.rank() == 2 &&
+                        a.dim(1) == b.dim(0) && c.dim(0) == a.dim(0) &&
+                        c.dim(1) == b.dim(1),
+                    "A " << a.ShapeString() << " B " << b.ShapeString()
+                         << " C " << c.ShapeString());
+  const Residuals residuals = ComputeResiduals(a, b, c);
+
+  AbftReport report;
+  report.flagged_rows = NonZeroIndices(residuals.row);
+  report.flagged_cols = NonZeroIndices(residuals.col);
+
+  if (report.flagged_rows.empty() && report.flagged_cols.empty()) {
+    report.diagnosis = AbftDiagnosis::kClean;
+    report.verified_after_correction = true;
+    return report;
+  }
+
+  const auto correct = [&](std::int64_t row, std::int64_t col,
+                           std::int64_t residual) {
+    c(row, col) = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(c(row, col)) - residual);
+    ++report.corrections;
+  };
+
+  if (report.flagged_rows.size() == 1 && report.flagged_cols.size() == 1) {
+    report.diagnosis = AbftDiagnosis::kSingleElement;
+    const std::int64_t row = report.flagged_rows.front();
+    correct(row, report.flagged_cols.front(),
+            residuals.row[static_cast<std::size_t>(row)]);
+  } else if (report.flagged_cols.size() == 1) {
+    // One bad element per flagged row, all in the same column — the
+    // weight-stationary fault pattern.
+    report.diagnosis = AbftDiagnosis::kSingleColumn;
+    const std::int64_t col = report.flagged_cols.front();
+    for (const std::int64_t row : report.flagged_rows) {
+      correct(row, col, residuals.row[static_cast<std::size_t>(row)]);
+    }
+  } else if (report.flagged_rows.size() == 1) {
+    // The input-stationary fault pattern: one bad element per column.
+    report.diagnosis = AbftDiagnosis::kSingleRow;
+    const std::int64_t row = report.flagged_rows.front();
+    for (const std::int64_t col : report.flagged_cols) {
+      correct(row, col, residuals.col[static_cast<std::size_t>(col)]);
+    }
+  } else {
+    // Multiple rows and columns (multi-tile patterns): per-element deltas
+    // are underdetermined by one checksum pair.
+    report.diagnosis = AbftDiagnosis::kComplex;
+    report.verified_after_correction = false;
+    return report;
+  }
+
+  const Residuals recheck = ComputeResiduals(a, b, c);
+  report.verified_after_correction =
+      AllZero(recheck.row) && AllZero(recheck.col);
+  return report;
+}
+
+Int32Tensor AbftGemm::Multiply(const Int8Tensor& a, const Int8Tensor& b,
+                               const ExecOptions& options,
+                               AbftReport* report) {
+  Int32Tensor c = driver_.Gemm(a, b, options);
+  AbftReport local = VerifyAndCorrect(a, b, c);
+  if (report != nullptr) *report = local;
+  return c;
+}
+
+}  // namespace saffire

@@ -1,0 +1,73 @@
+// Algorithm-based fault tolerance (ABFT) for accelerated GEMM — the
+// "generic software resilience solutions ... that can be easily integrated
+// with existing applications irrespective of the DNN accelerator" the
+// paper calls for in its fault-mitigation discussion (Sec. V).
+//
+// Huang–Abraham style checksums: the O(M·N·K) product runs on the
+// (possibly faulty) array; the host computes O(M·K + K·N + M·N) INT64
+// checksums — r = B·1 and c = 1ᵀ·A, then A·r per row and c·B per column —
+// and verifies every row/column sum of the array's result. The flagged
+// row/column sets diagnose the corruption shape, directly mirroring the
+// paper's pattern classes:
+//
+//   one row & one column flagged  → single-element (OS faults): corrected
+//   one column, many rows         → single-column  (WS faults): corrected
+//   one row, many columns         → single-row     (IS faults): corrected
+//   several rows AND columns      → complex (multi-tile patterns):
+//                                    detected, not correctable from one
+//                                    checksum pair (underdetermined)
+//
+// Corrections subtract the per-row (or per-column) checksum residual from
+// the unique flagged element of that row/column, then re-verify.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/driver.h"
+#include "tensor/tensor.h"
+
+namespace saffire {
+
+enum class AbftDiagnosis : std::uint8_t {
+  kClean = 0,          // all checksums verified
+  kSingleElement = 1,  // corrected
+  kSingleColumn = 2,   // corrected
+  kSingleRow = 3,      // corrected
+  kComplex = 4,        // detected; not correctable from these checksums
+};
+
+std::string ToString(AbftDiagnosis diagnosis);
+
+struct AbftReport {
+  AbftDiagnosis diagnosis = AbftDiagnosis::kClean;
+  std::vector<std::int64_t> flagged_rows;
+  std::vector<std::int64_t> flagged_cols;
+  std::int64_t corrections = 0;  // elements repaired
+  bool verified_after_correction = false;  // re-check passed (or was clean)
+};
+
+class AbftGemm {
+ public:
+  explicit AbftGemm(Driver& driver) : driver_(driver) {}
+
+  // C = A·B on the accelerator, verified and (where possible) corrected.
+  // The returned tensor is the corrected result; `report` (optional)
+  // receives the diagnosis.
+  Int32Tensor Multiply(const Int8Tensor& a, const Int8Tensor& b,
+                       const ExecOptions& options,
+                       AbftReport* report = nullptr);
+
+ private:
+  Driver& driver_;
+};
+
+// Verification core, exposed for tests and for checking externally
+// produced results: flags every row i with Σ_j C[i][j] ≠ (A·(B·1))[i] and
+// every column j with Σ_i C[i][j] ≠ ((1ᵀ·A)·B)[j]; diagnoses and corrects
+// in place.
+AbftReport VerifyAndCorrect(const Int8Tensor& a, const Int8Tensor& b,
+                            Int32Tensor& c);
+
+}  // namespace saffire

@@ -1,0 +1,242 @@
+#include "patterns/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace saffire {
+
+std::string CampaignConfig::ToString() const {
+  std::ostringstream os;
+  os << workload.ToString() << " | " << saffire::ToString(dataflow) << " | ";
+  if (kind == FaultKind::kStuckAt) {
+    os << saffire::ToString(polarity);
+  } else {
+    os << "transient-flip";
+  }
+  os << " bit" << bit << " on " << saffire::ToString(signal) << " | array "
+     << accel.array.ToString();
+  if (max_sites > 0) os << " | sampled " << max_sites << " sites";
+  return os.str();
+}
+
+std::vector<PeCoord> CampaignSites(const CampaignConfig& config) {
+  const std::vector<PeCoord> all = AllPeCoords(config.accel.array);
+  if (config.max_sites <= 0 ||
+      config.max_sites >= static_cast<std::int64_t>(all.size())) {
+    return all;
+  }
+  Rng rng(config.seed);
+  const auto picks = rng.SampleWithoutReplacement(
+      static_cast<std::int64_t>(all.size()), config.max_sites);
+  std::vector<PeCoord> sites;
+  sites.reserve(picks.size());
+  for (const std::int64_t index : picks) {
+    sites.push_back(all[static_cast<std::size_t>(index)]);
+  }
+  return sites;
+}
+
+namespace {
+
+// Builds the fault of each experiment. For transient campaigns, at_cycle
+// holds the strike offset *relative to the faulty run's start*; the
+// executor rebases it onto its own simulator's cycle counter. Offsets are
+// pre-sampled here so serial and parallel execution (and any site order)
+// yield identical experiments.
+std::vector<FaultSpec> PlanFaults(const CampaignConfig& config,
+                                  const std::vector<PeCoord>& sites,
+                                  std::int64_t golden_cycles) {
+  Rng strike_rng(config.seed ^ 0x7261696ec0ffeeULL);
+  std::vector<FaultSpec> faults;
+  faults.reserve(sites.size());
+  for (const PeCoord site : sites) {
+    FaultSpec fault;
+    fault.kind = config.kind;
+    fault.pe = site;
+    fault.signal = config.signal;
+    fault.bit = config.bit;
+    fault.polarity = config.polarity;
+    if (config.kind == FaultKind::kTransientFlip) {
+      fault.at_cycle = strike_rng.UniformInt(0, golden_cycles - 1);
+    }
+    faults.push_back(fault);
+  }
+  return faults;
+}
+
+bool PredictorCoversSignal(MacSignal signal) {
+  return signal == MacSignal::kAdderOut || signal == MacSignal::kMulOut ||
+         signal == MacSignal::kWeightOperand;
+}
+
+ExperimentRecord RunOneExperiment(const CampaignConfig& config,
+                                  const Int32Tensor& golden_output,
+                                  const ClassifyContext& context,
+                                  FiRunner& runner, FaultSpec fault) {
+  if (fault.kind == FaultKind::kTransientFlip) {
+    // Rebase the relative strike offset onto this simulator's clock.
+    fault.at_cycle += runner.accel().cycles();
+  }
+  const RunResult faulty =
+      runner.RunFaulty(config.workload, config.dataflow, {&fault, 1});
+  const CorruptionMap map = ExtractCorruption(golden_output, faulty.output);
+
+  ExperimentRecord record;
+  record.fault = fault;
+  record.observed = Classify(map, context);
+  record.corrupted_count = map.count();
+  record.max_abs_delta = map.max_abs_delta;
+  record.fault_activations = faulty.fault_activations;
+  record.cycles = faulty.cycles;
+
+  if (PredictorCoversSignal(config.signal)) {
+    const PredictedPattern prediction = PredictPattern(
+        config.workload, config.accel, config.dataflow, fault);
+    record.predicted = prediction.pattern;
+    record.prediction_exact = map.corrupted == prediction.coords;
+    record.observed_within_predicted =
+        std::includes(prediction.coords.begin(), prediction.coords.end(),
+                      map.corrupted.begin(), map.corrupted.end());
+  } else {
+    // No analytical model for this signal; record the observation only.
+    record.predicted = PatternClass::kOther;
+    record.prediction_exact = false;
+    record.observed_within_predicted = false;
+  }
+  return record;
+}
+
+}  // namespace
+
+CampaignResult RunCampaign(const CampaignConfig& config) {
+  return RunCampaignParallel(config, 1);
+}
+
+CampaignResult RunCampaignParallel(const CampaignConfig& config,
+                                   int threads) {
+  config.accel.Validate();
+  config.workload.Validate();
+  SAFFIRE_CHECK_MSG(threads >= 1 && threads <= 256, "threads=" << threads);
+
+  CampaignResult result;
+  result.config = config;
+
+  FiRunner main_runner(config.accel);
+  const RunResult golden =
+      main_runner.RunGolden(config.workload, config.dataflow);
+  result.golden_cycles = golden.cycles;
+  result.golden_pe_steps = golden.pe_steps;
+
+  const ClassifyContext context =
+      MakeClassifyContext(config.workload, config.accel, config.dataflow);
+  const std::vector<PeCoord> sites = CampaignSites(config);
+  const std::vector<FaultSpec> faults =
+      PlanFaults(config, sites, golden.cycles);
+  SAFFIRE_LOG_INFO << "campaign: " << config.ToString() << " — "
+                   << sites.size() << " fault sites, " << threads
+                   << " thread(s)";
+
+  result.records.resize(faults.size());
+  if (threads == 1 || faults.size() < 2) {
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      result.records[i] = RunOneExperiment(config, golden.output, context,
+                                           main_runner, faults[i]);
+    }
+    return result;
+  }
+
+  const auto worker_count =
+      std::min<std::size_t>(static_cast<std::size_t>(threads), faults.size());
+  std::atomic<std::size_t> next_index{0};
+  std::vector<std::thread> workers;
+  workers.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    workers.emplace_back([&]() {
+      FiRunner runner(config.accel);
+      for (std::size_t i = next_index.fetch_add(1); i < faults.size();
+           i = next_index.fetch_add(1)) {
+        result.records[i] = RunOneExperiment(config, golden.output, context,
+                                             runner, faults[i]);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  return result;
+}
+
+std::map<PatternClass, std::int64_t> CampaignResult::Histogram() const {
+  std::map<PatternClass, std::int64_t> histogram;
+  for (const ExperimentRecord& record : records) {
+    ++histogram[record.observed];
+  }
+  return histogram;
+}
+
+std::int64_t CampaignResult::MaskedCount() const {
+  std::int64_t masked = 0;
+  for (const ExperimentRecord& record : records) {
+    if (record.observed == PatternClass::kMasked) ++masked;
+  }
+  return masked;
+}
+
+PatternClass CampaignResult::DominantClass() const {
+  PatternClass best = PatternClass::kMasked;
+  std::int64_t best_count = 0;
+  for (const auto& [pattern, count] : Histogram()) {
+    if (pattern == PatternClass::kMasked) continue;
+    if (count > best_count) {
+      best = pattern;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+double CampaignResult::ClassAgreement() const {
+  if (records.empty()) return 1.0;
+  std::int64_t agree = 0;
+  for (const ExperimentRecord& record : records) {
+    if (record.observed == record.predicted) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(records.size());
+}
+
+double CampaignResult::ExactAgreement() const {
+  if (records.empty()) return 1.0;
+  std::int64_t exact = 0;
+  for (const ExperimentRecord& record : records) {
+    if (record.prediction_exact) ++exact;
+  }
+  return static_cast<double>(exact) / static_cast<double>(records.size());
+}
+
+double CampaignResult::ContainmentRate() const {
+  if (records.empty()) return 1.0;
+  std::int64_t contained = 0;
+  for (const ExperimentRecord& record : records) {
+    if (record.observed_within_predicted) ++contained;
+  }
+  return static_cast<double>(contained) /
+         static_cast<double>(records.size());
+}
+
+bool CampaignResult::SingleClassProperty() const {
+  PatternClass seen = PatternClass::kMasked;
+  for (const ExperimentRecord& record : records) {
+    if (record.observed == PatternClass::kMasked) continue;
+    if (seen == PatternClass::kMasked) {
+      seen = record.observed;
+    } else if (record.observed != seen) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace saffire

@@ -1,0 +1,91 @@
+// Fault-injection campaign orchestration: the paper's evaluation
+// methodology (Sec. III-B) — for each configuration, inject a stuck-at
+// fault into every MAC unit of the array (256 experiments on the 16×16
+// array), contrast each faulty output with the golden run, classify the
+// corruption, and cross-validate against the analytical predictor.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fi/runner.h"
+#include "patterns/classify.h"
+#include "patterns/predictor.h"
+
+namespace saffire {
+
+struct CampaignConfig {
+  AccelConfig accel;
+  Dataflow dataflow = Dataflow::kWeightStationary;
+  WorkloadSpec workload;
+
+  // Fault parameters applied at every site. For kTransientFlip campaigns
+  // (the Rech et al. comparison) each experiment strikes once, at a cycle
+  // drawn uniformly from the operation's execution window (seeded).
+  FaultKind kind = FaultKind::kStuckAt;
+  MacSignal signal = MacSignal::kAdderOut;
+  int bit = 8;
+  StuckPolarity polarity = StuckPolarity::kStuckAt1;
+
+  // Site selection: 0 = exhaustive over all PEs (the paper's 256-campaign
+  // methodology); otherwise a uniform sample without replacement.
+  std::int64_t max_sites = 0;
+  std::uint64_t seed = 1;
+
+  std::string ToString() const;
+};
+
+struct ExperimentRecord {
+  FaultSpec fault;
+  PatternClass observed = PatternClass::kMasked;
+  PatternClass predicted = PatternClass::kMasked;
+  // Observed corruption coordinates equal the predicted reach exactly.
+  bool prediction_exact = false;
+  // Observed corruption is contained in the predicted reach (must always
+  // hold; a violation would falsify the paper's determinism claim).
+  bool observed_within_predicted = false;
+  std::int64_t corrupted_count = 0;
+  std::int64_t max_abs_delta = 0;
+  std::uint64_t fault_activations = 0;
+  std::int64_t cycles = 0;
+};
+
+struct CampaignResult {
+  CampaignConfig config;
+  std::int64_t golden_cycles = 0;
+  std::uint64_t golden_pe_steps = 0;
+  std::vector<ExperimentRecord> records;
+
+  // Experiments per observed pattern class.
+  std::map<PatternClass, std::int64_t> Histogram() const;
+  std::int64_t MaskedCount() const;
+  // The dominant (most frequent) non-masked class, or kMasked if none.
+  PatternClass DominantClass() const;
+  // Fraction of experiments whose predicted class matches the observed one.
+  double ClassAgreement() const;
+  // Fraction whose corrupted coordinate set matches the prediction exactly.
+  double ExactAgreement() const;
+  // Fraction with observed ⊆ predicted (soundness of the reach model).
+  double ContainmentRate() const;
+  // True if every non-masked experiment observed the same class — the
+  // paper's "same fault pattern class regardless of the MAC unit" claim.
+  bool SingleClassProperty() const;
+};
+
+// Runs the campaign. Per-experiment work: one faulty run, one diff, one
+// classification, one prediction; the golden run happens once.
+CampaignResult RunCampaign(const CampaignConfig& config);
+
+// Same result, computed across `threads` workers, each owning a private
+// simulator instance (experiments are independent: a permanent fault only
+// lives for its own run). Record order and content match RunCampaign
+// bit-for-bit; `threads <= 1` falls back to the serial path.
+CampaignResult RunCampaignParallel(const CampaignConfig& config, int threads);
+
+// Enumerates the fault sites the campaign will use (exhaustive or sampled),
+// in execution order.
+std::vector<PeCoord> CampaignSites(const CampaignConfig& config);
+
+}  // namespace saffire

@@ -1,0 +1,171 @@
+#include "patterns/classify.h"
+
+#include <set>
+
+#include "common/check.h"
+#include "tensor/shift_gemm.h"
+
+namespace saffire {
+
+std::string ToString(PatternClass pattern) {
+  switch (pattern) {
+    case PatternClass::kMasked:
+      return "masked";
+    case PatternClass::kSingleElement:
+      return "single-element";
+    case PatternClass::kSingleElementMultiTile:
+      return "single-element-multi-tile";
+    case PatternClass::kSingleRow:
+      return "single-row";
+    case PatternClass::kSingleRowMultiTile:
+      return "single-row-multi-tile";
+    case PatternClass::kSingleColumn:
+      return "single-column";
+    case PatternClass::kSingleColumnMultiTile:
+      return "single-column-multi-tile";
+    case PatternClass::kSingleChannel:
+      return "single-channel";
+    case PatternClass::kMultiChannel:
+      return "multi-channel";
+    case PatternClass::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+ClassifyContext MakeClassifyContext(const WorkloadSpec& workload,
+                                    const AccelConfig& accel,
+                                    Dataflow dataflow) {
+  workload.Validate();
+  const TileGrid grid = Driver::PlanTiles(
+      workload.GemmM(), workload.GemmN(), workload.GemmK(), accel, dataflow);
+  ClassifyContext context;
+  context.op = workload.op;
+  context.rows = workload.GemmM();
+  context.cols = workload.GemmN();
+  context.tile_rows = grid.tile_m();
+  context.tile_cols = grid.tile_n();
+  context.conv = workload.conv;
+  context.lowering = workload.lowering;
+  return context;
+}
+
+std::int64_t ColumnToChannel(std::int64_t col,
+                             const ClassifyContext& context) {
+  SAFFIRE_CHECK_MSG(context.op == OpType::kConv, "not a convolution context");
+  if (context.lowering == ConvLowering::kShiftGemm) {
+    return ShiftGemmColToChannel(col, context.conv);
+  }
+  SAFFIRE_CHECK_MSG(col >= 0 && col < context.conv.out_channels,
+                    "col=" << col);
+  return col;  // im2col: one column per output channel
+}
+
+namespace {
+
+// GEMM-space classification shared by both operation types.
+PatternClass ClassifyGemm(const CorruptionMap& map,
+                          const ClassifyContext& context) {
+  const auto tile_of = [&](const MatrixCoord& coord) {
+    return MatrixCoord{coord.row / context.tile_rows,
+                       coord.col / context.tile_cols};
+  };
+  const auto offset_of = [&](const MatrixCoord& coord) {
+    return MatrixCoord{coord.row % context.tile_rows,
+                       coord.col % context.tile_cols};
+  };
+
+  std::set<MatrixCoord> tiles;
+  std::set<MatrixCoord> offsets;
+  for (const MatrixCoord& coord : map.corrupted) {
+    tiles.insert(tile_of(coord));
+    offsets.insert(offset_of(coord));
+  }
+
+  // Single element, possibly replicated once per tile at the same offset.
+  if (offsets.size() == 1 &&
+      map.count() == static_cast<std::int64_t>(tiles.size())) {
+    return tiles.size() == 1 ? PatternClass::kSingleElement
+                             : PatternClass::kSingleElementMultiTile;
+  }
+
+  // Fully corrupted columns sharing one within-tile column offset.
+  const auto distinct_cols = map.DistinctCols();
+  bool all_columns_full = true;
+  std::set<std::int64_t> col_offsets;
+  for (const std::int64_t col : distinct_cols) {
+    if (!map.ColumnFullyCorrupted(col)) {
+      all_columns_full = false;
+      break;
+    }
+    col_offsets.insert(col % context.tile_cols);
+  }
+  if (all_columns_full &&
+      map.count() == map.rows * static_cast<std::int64_t>(
+                                    distinct_cols.size()) &&
+      col_offsets.size() == 1) {
+    return tiles.size() == 1 ? PatternClass::kSingleColumn
+                             : PatternClass::kSingleColumnMultiTile;
+  }
+
+  // Fully corrupted rows sharing one within-tile row offset.
+  const auto distinct_rows = map.DistinctRows();
+  bool all_rows_full = true;
+  std::set<std::int64_t> row_offsets;
+  for (const std::int64_t row : distinct_rows) {
+    std::int64_t hits = 0;
+    for (const MatrixCoord& coord : map.corrupted) {
+      if (coord.row == row) ++hits;
+    }
+    if (hits != map.cols) {
+      all_rows_full = false;
+      break;
+    }
+    row_offsets.insert(row % context.tile_rows);
+  }
+  if (all_rows_full &&
+      map.count() ==
+          map.cols * static_cast<std::int64_t>(distinct_rows.size()) &&
+      row_offsets.size() == 1) {
+    return tiles.size() == 1 ? PatternClass::kSingleRow
+                             : PatternClass::kSingleRowMultiTile;
+  }
+
+  return PatternClass::kOther;
+}
+
+}  // namespace
+
+PatternClass Classify(const CorruptionMap& map,
+                      const ClassifyContext& context) {
+  SAFFIRE_CHECK_MSG(context.rows > 0 && context.cols > 0 &&
+                        context.tile_rows > 0 && context.tile_cols > 0,
+                    "uninitialized ClassifyContext");
+  SAFFIRE_CHECK_MSG(map.rows == context.rows && map.cols == context.cols,
+                    "map " << map.rows << "x" << map.cols << " vs context "
+                           << context.rows << "x" << context.cols);
+  if (map.empty()) return PatternClass::kMasked;
+
+  if (context.op == OpType::kConv) {
+    // Channel classification: every corrupted column fully corrupted →
+    // whole output channels are affected (a partially corrupted column
+    // cannot be a channel pattern and falls through to the generic rules).
+    bool all_full = true;
+    std::set<std::int64_t> channels;
+    for (const std::int64_t col : map.DistinctCols()) {
+      if (!map.ColumnFullyCorrupted(col)) {
+        all_full = false;
+        break;
+      }
+      channels.insert(ColumnToChannel(col, context));
+    }
+    if (all_full) {
+      return channels.size() == 1 ? PatternClass::kSingleChannel
+                                  : PatternClass::kMultiChannel;
+    }
+  }
+
+  return ClassifyGemm(map, context);
+}
+
+}  // namespace saffire

@@ -1,0 +1,64 @@
+// Spatial classification of fault patterns — the paper's taxonomy
+// (Sec. IV, Discussion): single-element, single-element multi-tile,
+// single-column, single-column multi-tile, single-channel, and
+// multi-channel corruption, plus the masked and unrecognized outcomes the
+// framework needs for exhaustive campaigns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "accel/driver.h"
+#include "fi/workload.h"
+#include "patterns/corruption.h"
+
+namespace saffire {
+
+enum class PatternClass : std::uint8_t {
+  kMasked = 0,                 // no output corruption observed
+  kSingleElement,              // Fig. 3b  — one corrupted element
+  kSingleElementMultiTile,     // Fig. 3d  — same element offset in every tile
+  kSingleRow,                  // the row analogue (paper Sec. III-B list)
+  kSingleRowMultiTile,
+  kSingleColumn,               // Fig. 3a  — one fully corrupted column
+  kSingleColumnMultiTile,      // Fig. 3c  — same column offset across tiles
+  kSingleChannel,              // Fig. 3e  — one conv output channel
+  kMultiChannel,               // Fig. 3f/g — several conv output channels
+  kOther,                      // corruption with none of the above shapes
+};
+
+inline constexpr int kNumPatternClasses = 10;
+
+std::string ToString(PatternClass pattern);
+
+// Everything the classifier needs to know about how the output matrix was
+// produced: its dimensions, the output-space tile extents (from the
+// driver's plan), and — for convolutions — how matrix columns map to output
+// channels.
+struct ClassifyContext {
+  OpType op = OpType::kGemm;
+  std::int64_t rows = 0;       // output matrix dimensions
+  std::int64_t cols = 0;
+  std::int64_t tile_rows = 0;  // output tile extents (tile_m × tile_n)
+  std::int64_t tile_cols = 0;
+  // Valid when op == kConv:
+  ConvParams conv;
+  ConvLowering lowering = ConvLowering::kShiftGemm;
+
+  bool untiled() const { return rows <= tile_rows && cols <= tile_cols; }
+};
+
+// Builds the context from the workload, the accelerator configuration, and
+// the dataflow (which fixes the driver's tile plan).
+ClassifyContext MakeClassifyContext(const WorkloadSpec& workload,
+                                    const AccelConfig& accel,
+                                    Dataflow dataflow);
+
+// Output channel fed by matrix column `col` under the context's lowering.
+std::int64_t ColumnToChannel(std::int64_t col, const ClassifyContext& context);
+
+// Classifies a corruption map. Deterministic and total: every map gets
+// exactly one class.
+PatternClass Classify(const CorruptionMap& map, const ClassifyContext& context);
+
+}  // namespace saffire

@@ -1,0 +1,53 @@
+#include "patterns/corruption.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace saffire {
+
+std::vector<std::int64_t> CorruptionMap::DistinctCols() const {
+  std::set<std::int64_t> cols_set;
+  for (const MatrixCoord& coord : corrupted) cols_set.insert(coord.col);
+  return {cols_set.begin(), cols_set.end()};
+}
+
+std::vector<std::int64_t> CorruptionMap::DistinctRows() const {
+  std::set<std::int64_t> rows_set;
+  for (const MatrixCoord& coord : corrupted) rows_set.insert(coord.row);
+  return {rows_set.begin(), rows_set.end()};
+}
+
+bool CorruptionMap::ColumnFullyCorrupted(std::int64_t col) const {
+  std::int64_t hits = 0;
+  for (const MatrixCoord& coord : corrupted) {
+    if (coord.col == col) ++hits;
+  }
+  return hits == rows;
+}
+
+CorruptionMap ExtractCorruption(const Int32Tensor& golden,
+                                const Int32Tensor& faulty) {
+  SAFFIRE_CHECK_MSG(golden.rank() == 2 && golden.shape() == faulty.shape(),
+                    "golden " << golden.ShapeString() << " vs faulty "
+                              << faulty.ShapeString());
+  CorruptionMap map;
+  map.rows = golden.dim(0);
+  map.cols = golden.dim(1);
+  for (std::int64_t r = 0; r < map.rows; ++r) {
+    for (std::int64_t c = 0; c < map.cols; ++c) {
+      if (golden(r, c) == faulty(r, c)) continue;
+      map.corrupted.push_back(MatrixCoord{r, c});
+      const std::int64_t delta =
+          std::llabs(static_cast<std::int64_t>(faulty(r, c)) -
+                     static_cast<std::int64_t>(golden(r, c)));
+      map.max_abs_delta = std::max(map.max_abs_delta, delta);
+      map.min_abs_delta =
+          map.min_abs_delta == 0 ? delta : std::min(map.min_abs_delta, delta);
+    }
+  }
+  return map;
+}
+
+}  // namespace saffire

@@ -1,0 +1,286 @@
+#include "patterns/dictionary.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace saffire {
+
+bool FaultDictionary::operator==(const FaultDictionary& other) const {
+  return workload_name == other.workload_name && dataflow == other.dataflow &&
+         array_rows == other.array_rows && array_cols == other.array_cols &&
+         gemm_m == other.gemm_m && gemm_k == other.gemm_k &&
+         gemm_n == other.gemm_n && classes == other.classes;
+}
+
+FaultDictionary BuildFaultDictionary(const WorkloadSpec& workload,
+                                     const AccelConfig& accel,
+                                     Dataflow dataflow) {
+  workload.Validate();
+  accel.Validate();
+  FaultDictionary dictionary;
+  dictionary.workload_name =
+      workload.name.empty() ? workload.ToString() : workload.name;
+  dictionary.dataflow = dataflow;
+  dictionary.array_rows = accel.array.rows;
+  dictionary.array_cols = accel.array.cols;
+  dictionary.gemm_m = workload.GemmM();
+  dictionary.gemm_k = workload.GemmK();
+  dictionary.gemm_n = workload.GemmN();
+  dictionary.classes = PartitionFaultSites(workload, accel, dataflow);
+  return dictionary;
+}
+
+namespace {
+
+void EmitString(std::ostringstream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    SAFFIRE_CHECK_MSG(c != '"' && c != '\\' &&
+                          static_cast<unsigned char>(c) >= 0x20,
+                      "unsupported character in dictionary string");
+    os << c;
+  }
+  os << '"';
+}
+
+template <typename Pair>
+void EmitPairArray(std::ostringstream& os, const std::vector<Pair>& pairs,
+                   auto first, auto second) {
+  os << '[';
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '[' << first(pairs[i]) << ',' << second(pairs[i]) << ']';
+  }
+  os << ']';
+}
+
+// --- Minimal parser for the emitted subset ---------------------------------
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipWhitespace();
+    SAFFIRE_CHECK_MSG(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    SAFFIRE_CHECK_MSG(Peek() == c, "expected '" << c << "' at offset "
+                                                << pos_ << ", got '"
+                                                << text_[pos_] << "'");
+    ++pos_;
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      SAFFIRE_CHECK_MSG(pos_ < text_.size(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      SAFFIRE_CHECK_MSG(c != '\\', "escapes unsupported");
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::int64_t ParseInt() {
+    SkipWhitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    SAFFIRE_CHECK_MSG(pos_ > start && (text_[start] != '-' || pos_ > start + 1),
+                      "expected integer at offset " << start);
+    return std::stoll(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  // Parses the key of an object member and positions after the ':'.
+  std::string ParseKey() {
+    const std::string key = ParseString();
+    Expect(':');
+    return key;
+  }
+
+  void ExpectEnd() {
+    SkipWhitespace();
+    SAFFIRE_CHECK_MSG(pos_ == text_.size(),
+                      "trailing characters at offset " << pos_);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+template <typename Element>
+std::vector<Element> ParsePairArray(JsonCursor& cursor, auto make) {
+  std::vector<Element> out;
+  cursor.Expect('[');
+  if (cursor.Consume(']')) return out;
+  do {
+    cursor.Expect('[');
+    const std::int64_t first = cursor.ParseInt();
+    cursor.Expect(',');
+    const std::int64_t second = cursor.ParseInt();
+    cursor.Expect(']');
+    out.push_back(make(first, second));
+  } while (cursor.Consume(','));
+  cursor.Expect(']');
+  return out;
+}
+
+Dataflow DataflowFromString(const std::string& name) {
+  if (name == "WS") return Dataflow::kWeightStationary;
+  if (name == "OS") return Dataflow::kOutputStationary;
+  if (name == "IS") return Dataflow::kInputStationary;
+  SAFFIRE_CHECK_MSG(false, "unknown dataflow '" << name << "'");
+}
+
+PatternClass PatternClassFromString(const std::string& name) {
+  for (int i = 0; i < kNumPatternClasses; ++i) {
+    const auto pattern = static_cast<PatternClass>(i);
+    if (ToString(pattern) == name) return pattern;
+  }
+  SAFFIRE_CHECK_MSG(false, "unknown pattern class '" << name << "'");
+}
+
+}  // namespace
+
+std::string ToJson(const FaultDictionary& dictionary) {
+  std::ostringstream os;
+  os << "{\"workload\":";
+  EmitString(os, dictionary.workload_name);
+  os << ",\"dataflow\":";
+  EmitString(os, ToString(dictionary.dataflow));
+  os << ",\"array\":{\"rows\":" << dictionary.array_rows
+     << ",\"cols\":" << dictionary.array_cols << "}"
+     << ",\"gemm\":{\"m\":" << dictionary.gemm_m
+     << ",\"k\":" << dictionary.gemm_k << ",\"n\":" << dictionary.gemm_n
+     << "},\"classes\":[";
+  for (std::size_t i = 0; i < dictionary.classes.size(); ++i) {
+    const SiteEquivalenceClass& equivalence = dictionary.classes[i];
+    if (i != 0) os << ',';
+    os << "{\"pattern\":";
+    EmitString(os, ToString(equivalence.prediction.pattern));
+    os << ",\"sites\":";
+    EmitPairArray(os, equivalence.members,
+                  [](const PeCoord& pe) { return pe.row; },
+                  [](const PeCoord& pe) { return pe.col; });
+    os << ",\"coords\":";
+    EmitPairArray(os, equivalence.prediction.coords,
+                  [](const MatrixCoord& coord) { return coord.row; },
+                  [](const MatrixCoord& coord) { return coord.col; });
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+FaultDictionary FaultDictionaryFromJson(std::string_view json) {
+  JsonCursor cursor(json);
+  FaultDictionary dictionary;
+  cursor.Expect('{');
+  do {
+    const std::string key = cursor.ParseKey();
+    if (key == "workload") {
+      dictionary.workload_name = cursor.ParseString();
+    } else if (key == "dataflow") {
+      dictionary.dataflow = DataflowFromString(cursor.ParseString());
+    } else if (key == "array") {
+      cursor.Expect('{');
+      do {
+        const std::string field = cursor.ParseKey();
+        const auto value = static_cast<std::int32_t>(cursor.ParseInt());
+        if (field == "rows") {
+          dictionary.array_rows = value;
+        } else if (field == "cols") {
+          dictionary.array_cols = value;
+        } else {
+          SAFFIRE_CHECK_MSG(false, "unknown array field '" << field << "'");
+        }
+      } while (cursor.Consume(','));
+      cursor.Expect('}');
+    } else if (key == "gemm") {
+      cursor.Expect('{');
+      do {
+        const std::string field = cursor.ParseKey();
+        const std::int64_t value = cursor.ParseInt();
+        if (field == "m") {
+          dictionary.gemm_m = value;
+        } else if (field == "k") {
+          dictionary.gemm_k = value;
+        } else if (field == "n") {
+          dictionary.gemm_n = value;
+        } else {
+          SAFFIRE_CHECK_MSG(false, "unknown gemm field '" << field << "'");
+        }
+      } while (cursor.Consume(','));
+      cursor.Expect('}');
+    } else if (key == "classes") {
+      cursor.Expect('[');
+      if (!cursor.Consume(']')) {
+        do {
+          SiteEquivalenceClass equivalence;
+          cursor.Expect('{');
+          do {
+            const std::string field = cursor.ParseKey();
+            if (field == "pattern") {
+              equivalence.prediction.pattern =
+                  PatternClassFromString(cursor.ParseString());
+            } else if (field == "sites") {
+              equivalence.members = ParsePairArray<PeCoord>(
+                  cursor, [](std::int64_t row, std::int64_t col) {
+                    return PeCoord{static_cast<std::int32_t>(row),
+                                   static_cast<std::int32_t>(col)};
+                  });
+            } else if (field == "coords") {
+              equivalence.prediction.coords = ParsePairArray<MatrixCoord>(
+                  cursor, [](std::int64_t row, std::int64_t col) {
+                    return MatrixCoord{row, col};
+                  });
+            } else {
+              SAFFIRE_CHECK_MSG(false, "unknown class field '" << field
+                                                               << "'");
+            }
+          } while (cursor.Consume(','));
+          cursor.Expect('}');
+          SAFFIRE_CHECK_MSG(!equivalence.members.empty(),
+                            "class without sites");
+          equivalence.representative = equivalence.members.front();
+          dictionary.classes.push_back(std::move(equivalence));
+        } while (cursor.Consume(','));
+        cursor.Expect(']');
+      }
+    } else {
+      SAFFIRE_CHECK_MSG(false, "unknown dictionary field '" << key << "'");
+    }
+  } while (cursor.Consume(','));
+  cursor.Expect('}');
+  cursor.ExpectEnd();
+  return dictionary;
+}
+
+}  // namespace saffire

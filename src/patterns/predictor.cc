@@ -1,0 +1,89 @@
+#include "patterns/predictor.h"
+
+#include "common/check.h"
+
+namespace saffire {
+
+PredictedPattern PredictPattern(const WorkloadSpec& workload,
+                                const AccelConfig& accel, Dataflow dataflow,
+                                const FaultSpec& fault) {
+  workload.Validate();
+  fault.Validate(accel.array);
+  // The reach model covers every signal whose corruption stays inside the
+  // PE's own MAC contribution: the adder output (the paper's site), the
+  // multiplier output, and the weight operand all feed exactly the same
+  // output coordinates. The forwarding signals (act/south) spread to
+  // downstream PEs and need simulation.
+  SAFFIRE_CHECK_MSG(fault.signal == MacSignal::kAdderOut ||
+                        fault.signal == MacSignal::kMulOut ||
+                        fault.signal == MacSignal::kWeightOperand,
+                    "analytical prediction covers adder_out/mul_out/"
+                    "weight_operand faults; got "
+                        << ToString(fault.signal));
+
+  const std::int64_t m = workload.GemmM();
+  const std::int64_t n = workload.GemmN();
+  const std::int64_t k = workload.GemmK();
+  const TileGrid grid = Driver::PlanTiles(m, n, k, accel, dataflow);
+
+  PredictedPattern prediction;
+  switch (dataflow) {
+    case Dataflow::kWeightStationary: {
+      // The fault sits on the partial-sum chain of array column c_pe, so
+      // it reaches column c_pe of every column-tile — all rows (the whole
+      // activation stream passes through), invisible to K-tiling (same
+      // coordinates every pass).
+      std::vector<std::int64_t> cols;
+      for (std::int64_t ni = 0; ni < grid.n_tiles(); ++ni) {
+        if (fault.pe.col < grid.TileCols(ni)) {
+          cols.push_back(grid.ColStart(ni) + fault.pe.col);
+        }
+      }
+      for (std::int64_t row = 0; row < m; ++row) {
+        for (const std::int64_t col : cols) {
+          prediction.coords.push_back(MatrixCoord{row, col});
+        }
+      }
+      break;
+    }
+    case Dataflow::kInputStationary: {
+      // IS runs the WS datapath on the transposed problem, so array column
+      // c_pe owns output *row* c_pe of every row-tile — all columns.
+      for (std::int64_t mi = 0; mi < grid.m_tiles(); ++mi) {
+        if (fault.pe.col >= grid.TileRows(mi)) continue;
+        const std::int64_t row = grid.RowStart(mi) + fault.pe.col;
+        for (std::int64_t col = 0; col < n; ++col) {
+          prediction.coords.push_back(MatrixCoord{row, col});
+        }
+      }
+      break;
+    }
+    case Dataflow::kOutputStationary: {
+      // The fault owns output element (r_pe, c_pe) of every output tile.
+      for (std::int64_t mi = 0; mi < grid.m_tiles(); ++mi) {
+        if (fault.pe.row >= grid.TileRows(mi)) continue;
+        for (std::int64_t ni = 0; ni < grid.n_tiles(); ++ni) {
+          if (fault.pe.col >= grid.TileCols(ni)) continue;
+          prediction.coords.push_back(
+              MatrixCoord{grid.RowStart(mi) + fault.pe.row,
+                          grid.ColStart(ni) + fault.pe.col});
+        }
+      }
+      break;
+    }
+  }
+
+  // The predicted class is, by definition, what the classifier says about
+  // the predicted reach — keeping predictor and classifier consistent even
+  // on degenerate geometries (a corrupted column of a 1-row output is the
+  // same set as a corrupted element).
+  CorruptionMap reach;
+  reach.rows = m;
+  reach.cols = n;
+  reach.corrupted = prediction.coords;
+  prediction.pattern =
+      Classify(reach, MakeClassifyContext(workload, accel, dataflow));
+  return prediction;
+}
+
+}  // namespace saffire

@@ -1,0 +1,55 @@
+// Analytical fault-pattern predictor.
+//
+// The paper's central observation (Sec. IV, Discussion): "the fault
+// patterns are deterministic, i.e., given the hardware configurations, type
+// of operation and its properties, and the location of the stuck-at fault,
+// we can predict the fault patterns, after taking into account the tiling
+// effect and flattening of convolutions into GEMM." This module is that
+// prediction, in closed form, for stuck-at faults on the adder output (the
+// paper's injection site):
+//
+//   WS: a fault in PE(r, c) sits on the partial-sum chain of array column
+//       c, so it can corrupt exactly the output columns
+//       {c + tile_n·t : t < n_tiles, in range} — every row of them (the
+//       whole stream passes through the column), replicated across K-tiles
+//       invisibly (same coordinates).
+//   OS: a fault in PE(r, c) owns output element (r, c) of each output tile:
+//       {(r + tile_m·i, c + tile_n·j) : in range}.
+//
+// The predicted coordinate set is the *reach* of the fault: the observed
+// corruption is always a subset (value-level masking can hide elements —
+// Challenge 2), and equals it exactly for the paper's all-ones extraction
+// workload with a fault that flips at least one produced bit. This is
+// precisely the contract an application-level injector (TensorFI / LLTFI)
+// needs to re-create the pattern without RTL simulation.
+#pragma once
+
+#include <vector>
+
+#include "fi/fault.h"
+#include "fi/workload.h"
+#include "patterns/classify.h"
+
+namespace saffire {
+
+struct PredictedPattern {
+  PatternClass pattern = PatternClass::kMasked;
+  // Predicted corrupted coordinates in the GEMM-view output, sorted
+  // row-major. Empty iff pattern == kMasked (a structurally masked site:
+  // the faulty PE never touches sampled output).
+  std::vector<MatrixCoord> coords;
+
+  bool operator==(const PredictedPattern&) const = default;
+};
+
+// Predicts the pattern for a stuck-at or transient fault on kAdderOut (the
+// paper's site), kMulOut, or kWeightOperand — the three signals whose
+// corruption stays within the PE's own MAC contribution and therefore
+// share one reach. Throws std::invalid_argument for the forwarding signals
+// (kActForward/kSouthForward), whose corruption spreads to downstream PEs
+// and requires simulation.
+PredictedPattern PredictPattern(const WorkloadSpec& workload,
+                                const AccelConfig& accel, Dataflow dataflow,
+                                const FaultSpec& fault);
+
+}  // namespace saffire

@@ -1,0 +1,172 @@
+#include "patterns/report.h"
+
+#include <set>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace saffire {
+
+std::string RenderCorruptionMap(const CorruptionMap& map,
+                                const ClassifyContext& context,
+                                std::int64_t max_rows) {
+  SAFFIRE_CHECK_MSG(max_rows > 0, "max_rows=" << max_rows);
+  std::set<MatrixCoord> corrupted(map.corrupted.begin(), map.corrupted.end());
+  std::ostringstream os;
+  const std::int64_t rows_to_show = std::min(map.rows, max_rows);
+
+  const auto emit_hline = [&]() {
+    for (std::int64_t c = 0; c < map.cols; ++c) {
+      if (c > 0 && c % context.tile_cols == 0) os << '+';
+      os << '-';
+    }
+    os << '\n';
+  };
+
+  for (std::int64_t r = 0; r < rows_to_show; ++r) {
+    if (r > 0 && r % context.tile_rows == 0) emit_hline();
+    for (std::int64_t c = 0; c < map.cols; ++c) {
+      if (c > 0 && c % context.tile_cols == 0) os << '|';
+      os << (corrupted.contains(MatrixCoord{r, c}) ? '#' : '.');
+    }
+    os << '\n';
+  }
+  if (rows_to_show < map.rows) {
+    os << "... (" << (map.rows - rows_to_show) << " more rows)\n";
+  }
+  return os.str();
+}
+
+std::map<std::int64_t, std::set<MatrixCoord>> ConvCorruptionByChannel(
+    const CorruptionMap& map, const ClassifyContext& context) {
+  SAFFIRE_CHECK_MSG(context.op == OpType::kConv, "not a convolution context");
+  const ConvParams& conv = context.conv;
+  const std::int64_t out_h = conv.out_height();
+  const std::int64_t out_w = conv.out_width();
+  std::map<std::int64_t, std::set<MatrixCoord>> by_channel;
+  for (const MatrixCoord& cell : map.corrupted) {
+    if (context.lowering == ConvLowering::kIm2Col) {
+      // Row index is (n, p, q); column is the channel.
+      const std::int64_t q = cell.row % out_w;
+      const std::int64_t p = (cell.row / out_w) % out_h;
+      by_channel[cell.col].insert(MatrixCoord{p, q});
+      continue;
+    }
+    // Shift-GEMM: row is (n, p, x) over padded input columns; column is
+    // k·S + s. Cell (row, col) feeds output pixel (p, q) with
+    // q·stride + s == x.
+    const std::int64_t padded_w = conv.width + 2 * conv.pad;
+    const std::int64_t x = cell.row % padded_w;
+    const std::int64_t p = (cell.row / padded_w) % out_h;
+    const std::int64_t k = cell.col / conv.kernel_w;
+    const std::int64_t s = cell.col % conv.kernel_w;
+    const std::int64_t numerator = x - s;
+    if (numerator < 0 || numerator % conv.stride != 0) continue;
+    const std::int64_t q = numerator / conv.stride;
+    if (q < 0 || q >= out_w) continue;
+    by_channel[k].insert(MatrixCoord{p, q});
+  }
+  return by_channel;
+}
+
+std::string RenderConvChannelMap(const CorruptionMap& map,
+                                 const ClassifyContext& context,
+                                 std::int64_t max_rows) {
+  SAFFIRE_CHECK_MSG(max_rows > 0, "max_rows=" << max_rows);
+  const auto by_channel = ConvCorruptionByChannel(map, context);
+  const std::int64_t out_h = context.conv.out_height();
+  const std::int64_t out_w = context.conv.out_width();
+  std::ostringstream os;
+  if (by_channel.empty()) {
+    os << "no corrupted output channels\n";
+    return os.str();
+  }
+  for (const auto& [channel, pixels] : by_channel) {
+    os << "channel " << channel << ": " << pixels.size() << "/"
+       << out_h * out_w << " pixels corrupted\n";
+    const std::int64_t rows_to_show = std::min(out_h, max_rows);
+    for (std::int64_t p = 0; p < rows_to_show; ++p) {
+      os << "  ";
+      for (std::int64_t q = 0; q < out_w; ++q) {
+        os << (pixels.contains(MatrixCoord{p, q}) ? '#' : '.');
+      }
+      os << '\n';
+    }
+    if (rows_to_show < out_h) {
+      os << "  ... (" << (out_h - rows_to_show) << " more rows)\n";
+    }
+  }
+  return os.str();
+}
+
+std::string RenderHistogram(const CampaignResult& result) {
+  std::ostringstream os;
+  const auto histogram = result.Histogram();
+  const auto total = static_cast<double>(result.records.size());
+  for (const auto& [pattern, count] : histogram) {
+    const double percent =
+        total == 0 ? 0.0 : 100.0 * static_cast<double>(count) / total;
+    os << "  " << PadRight(ToString(pattern), 28) << PadLeft(
+        std::to_string(count), 6)
+       << " (" << FormatDouble(percent, 1) << "%)\n";
+  }
+  return os.str();
+}
+
+std::string RenderCampaignSummary(const CampaignResult& result) {
+  std::ostringstream os;
+  os << "campaign: " << result.config.ToString() << '\n'
+     << "  experiments: " << result.records.size() << '\n'
+     << RenderHistogram(result) << "  dominant class: "
+     << ToString(result.DominantClass()) << '\n'
+     << "  single-class property (non-masked): "
+     << (result.SingleClassProperty() ? "HOLDS" : "VIOLATED") << '\n';
+  if (result.config.signal == MacSignal::kAdderOut ||
+      result.config.signal == MacSignal::kMulOut ||
+      result.config.signal == MacSignal::kWeightOperand) {
+    os << "  predictor class agreement: "
+       << FormatDouble(100.0 * result.ClassAgreement(), 1) << "%\n"
+       << "  predictor exact-coordinate agreement: "
+       << FormatDouble(100.0 * result.ExactAgreement(), 1) << "%\n"
+       << "  observed ⊆ predicted: "
+       << FormatDouble(100.0 * result.ContainmentRate(), 1) << "%\n";
+  }
+  std::int64_t total_cycles = result.golden_cycles;
+  for (const ExperimentRecord& record : result.records) {
+    total_cycles += record.cycles;
+  }
+  os << "  golden cycles: " << result.golden_cycles
+     << ", campaign cycles (incl. golden): " << total_cycles << '\n';
+  return os.str();
+}
+
+void WriteCampaignCsv(const CampaignResult& result, std::ostream& out) {
+  CsvWriter writer(
+      out, {"workload", "dataflow", "pe_row", "pe_col", "signal", "bit",
+            "polarity", "observed_class", "predicted_class",
+            "prediction_exact", "observed_within_predicted",
+            "corrupted_count", "max_abs_delta", "fault_activations",
+            "cycles"});
+  for (const ExperimentRecord& record : result.records) {
+    writer.WriteRow({
+        result.config.workload.name,
+        ToString(result.config.dataflow),
+        std::to_string(record.fault.pe.row),
+        std::to_string(record.fault.pe.col),
+        ToString(record.fault.signal),
+        std::to_string(record.fault.bit),
+        ToString(record.fault.polarity),
+        ToString(record.observed),
+        ToString(record.predicted),
+        record.prediction_exact ? "1" : "0",
+        record.observed_within_predicted ? "1" : "0",
+        std::to_string(record.corrupted_count),
+        std::to_string(record.max_abs_delta),
+        std::to_string(record.fault_activations),
+        std::to_string(record.cycles),
+    });
+  }
+}
+
+}  // namespace saffire

@@ -1,0 +1,48 @@
+// Human-readable rendering of campaign results: ASCII fault maps (the
+// Fig. 3 panels), class histograms, summary lines, and CSV export.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "patterns/campaign.h"
+
+namespace saffire {
+
+// Renders the corruption map as an ASCII grid: '#' corrupted, '.' clean,
+// with '|' / '-' separators on tile boundaries (the paper highlights tiles
+// with colors in Fig. 3). Grids taller than `max_rows` are truncated with
+// an ellipsis line — Fig. 3's conv panels show only the top of the NPQ
+// dimension too.
+std::string RenderCorruptionMap(const CorruptionMap& map,
+                                const ClassifyContext& context,
+                                std::int64_t max_rows = 48);
+
+// Folds a convolution corruption map from the lowered GEMM space back to
+// output-channel space: for every output channel, the set of corrupted
+// (p, q) pixels. Requires a kConv context; a corrupted lowered cell marks
+// every output pixel it feeds.
+std::map<std::int64_t, std::set<MatrixCoord>> ConvCorruptionByChannel(
+    const CorruptionMap& map, const ClassifyContext& context);
+
+// Renders the folded view the paper's conv panels show: one P×Q grid per
+// corrupted channel ('#' corrupted pixels), plus a per-channel summary
+// line. Grids taller than `max_rows` are truncated.
+std::string RenderConvChannelMap(const CorruptionMap& map,
+                                 const ClassifyContext& context,
+                                 std::int64_t max_rows = 16);
+
+// One line per observed class: "single-column ........ 256 (100.0%)".
+std::string RenderHistogram(const CampaignResult& result);
+
+// Multi-line summary: configuration, sites, histogram, prediction
+// agreement, determinism property, cost.
+std::string RenderCampaignSummary(const CampaignResult& result);
+
+// One CSV row per experiment (fault site, class, prediction agreement,
+// corruption statistics, cycles).
+void WriteCampaignCsv(const CampaignResult& result, std::ostream& out);
+
+}  // namespace saffire

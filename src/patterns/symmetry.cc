@@ -1,0 +1,45 @@
+#include "patterns/symmetry.h"
+
+#include <map>
+
+namespace saffire {
+
+std::vector<SiteEquivalenceClass> PartitionFaultSites(
+    const WorkloadSpec& workload, const AccelConfig& accel,
+    Dataflow dataflow) {
+  workload.Validate();
+  accel.Validate();
+
+  std::vector<SiteEquivalenceClass> classes;
+  // Key: the predicted coordinate set. A map keyed by the coords vector
+  // keeps lookup simple; class count is small (≤ num_pes).
+  std::map<std::vector<MatrixCoord>, std::size_t> index_by_reach;
+
+  for (const PeCoord site : AllPeCoords(accel.array)) {
+    const FaultSpec fault =
+        StuckAtAdder(site, /*bit=*/8, StuckPolarity::kStuckAt1);
+    PredictedPattern prediction =
+        PredictPattern(workload, accel, dataflow, fault);
+    const auto it = index_by_reach.find(prediction.coords);
+    if (it == index_by_reach.end()) {
+      index_by_reach.emplace(prediction.coords, classes.size());
+      SiteEquivalenceClass equivalence;
+      equivalence.representative = site;
+      equivalence.members = {site};
+      equivalence.prediction = std::move(prediction);
+      classes.push_back(std::move(equivalence));
+    } else {
+      classes[it->second].members.push_back(site);
+    }
+  }
+  return classes;
+}
+
+double SymmetryReductionFactor(const WorkloadSpec& workload,
+                               const AccelConfig& accel, Dataflow dataflow) {
+  const auto classes = PartitionFaultSites(workload, accel, dataflow);
+  const auto num_pes = static_cast<double>(accel.array.num_pes());
+  return (num_pes - static_cast<double>(classes.size())) / num_pes;
+}
+
+}  // namespace saffire

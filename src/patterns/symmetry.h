@@ -1,0 +1,43 @@
+// Fault-site symmetry reduction.
+//
+// The paper observes (Sec. IV, Discussion) that "the fault pattern class
+// remains the same irrespective of the position of the faulty MAC unit"
+// and proposes using this symmetry "to reduce the number of FI
+// experiments". The determinism result makes the reduction precise: two
+// fault sites are equivalent for a configuration iff their predicted
+// corruption reaches are identical — under WS every site in an array
+// column collapses into one class representative (256 → ≤16 experiments on
+// the 16×16 array), under IS every site in a column likewise, while OS
+// keeps all sites distinct (each owns different output coordinates).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fi/fault.h"
+#include "fi/workload.h"
+#include "patterns/predictor.h"
+
+namespace saffire {
+
+struct SiteEquivalenceClass {
+  PeCoord representative;            // first site (row-major order)
+  std::vector<PeCoord> members;      // all equivalent sites, row-major
+  PredictedPattern prediction;       // shared predicted reach & class
+
+  bool operator==(const SiteEquivalenceClass&) const = default;
+};
+
+// Partitions every PE of the array into equivalence classes of identical
+// predicted reach for stuck-at faults on the adder output. Classes are
+// ordered by their representative (row-major).
+std::vector<SiteEquivalenceClass> PartitionFaultSites(
+    const WorkloadSpec& workload, const AccelConfig& accel,
+    Dataflow dataflow);
+
+// Experiments saved by running one representative per class instead of
+// every site: (num_pes − num_classes) / num_pes.
+double SymmetryReductionFactor(const WorkloadSpec& workload,
+                               const AccelConfig& accel, Dataflow dataflow);
+
+}  // namespace saffire

@@ -1,0 +1,192 @@
+#include "systolic/array.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+
+namespace saffire {
+
+SystolicArray::SystolicArray(const ArrayConfig& config)
+    : config_(config), rows_(config.rows), cols_(config.cols) {
+  config_.Validate();
+  const auto n = static_cast<std::size_t>(config_.num_pes());
+  weights_.assign(n, 0);
+  accumulators_.assign(n, 0);
+  act_wire_.assign(n, 0);
+  south_wire_.assign(n, 0);
+  act_wire_next_.assign(n, 0);
+  south_wire_next_.assign(n, 0);
+  west_inputs_.assign(static_cast<std::size_t>(rows_), 0);
+  north_inputs_.assign(static_cast<std::size_t>(cols_), 0);
+  hooked_.assign(n, 0);
+}
+
+void SystolicArray::InstallFaultHook(FaultHook* hook) {
+  hook_ = hook;
+  if (hook_ == nullptr) {
+    std::fill(hooked_.begin(), hooked_.end(), std::uint8_t{0});
+    return;
+  }
+  for (std::int32_t r = 0; r < rows_; ++r) {
+    for (std::int32_t c = 0; c < cols_; ++c) {
+      hooked_[Index(r, c)] =
+          hook_->AppliesTo(PeCoord{r, c}) ? std::uint8_t{1} : std::uint8_t{0};
+    }
+  }
+}
+
+void SystolicArray::Reset() {
+  std::fill(weights_.begin(), weights_.end(), 0);
+  std::fill(accumulators_.begin(), accumulators_.end(), 0);
+  std::fill(act_wire_.begin(), act_wire_.end(), 0);
+  std::fill(south_wire_.begin(), south_wire_.end(), 0);
+  std::fill(act_wire_next_.begin(), act_wire_next_.end(), 0);
+  std::fill(south_wire_next_.begin(), south_wire_next_.end(), 0);
+  ClearEdgeInputs();
+}
+
+void SystolicArray::CheckCoord(PeCoord pe) const {
+  SAFFIRE_CHECK_MSG(pe.row >= 0 && pe.row < rows_ && pe.col >= 0 &&
+                        pe.col < cols_,
+                    "PE (" << pe.row << ", " << pe.col << ") out of "
+                           << config_.ToString());
+}
+
+void SystolicArray::SetWeight(PeCoord pe, std::int64_t value) {
+  CheckCoord(pe);
+  weights_[Index(pe.row, pe.col)] = SignExtend(value, config_.input_bits);
+}
+
+std::int64_t SystolicArray::weight(PeCoord pe) const {
+  CheckCoord(pe);
+  return weights_[Index(pe.row, pe.col)];
+}
+
+std::int64_t SystolicArray::accumulator(PeCoord pe) const {
+  CheckCoord(pe);
+  return accumulators_[Index(pe.row, pe.col)];
+}
+
+void SystolicArray::ClearAccumulators() {
+  std::fill(accumulators_.begin(), accumulators_.end(), 0);
+}
+
+void SystolicArray::SetWestInput(std::int32_t row, std::int64_t value) {
+  SAFFIRE_CHECK_MSG(row >= 0 && row < rows_, "row=" << row);
+  west_inputs_[static_cast<std::size_t>(row)] =
+      SignExtend(value, config_.input_bits);
+}
+
+void SystolicArray::SetNorthInput(std::int32_t col, std::int64_t value) {
+  SAFFIRE_CHECK_MSG(col >= 0 && col < cols_, "col=" << col);
+  // North inputs carry partial-sum seeds under WS (acc_bits) and streamed
+  // weights under OS (input_bits); store at accumulator width and let the
+  // per-signal truncation in Step() narrow as needed.
+  north_inputs_[static_cast<std::size_t>(col)] =
+      SignExtend(value, config_.acc_bits);
+}
+
+void SystolicArray::ClearEdgeInputs() {
+  std::fill(west_inputs_.begin(), west_inputs_.end(), 0);
+  std::fill(north_inputs_.begin(), north_inputs_.end(), 0);
+}
+
+void SystolicArray::Step(Dataflow dataflow) {
+  // Input-stationary is a scheduling convention over the WS datapath
+  // (dataflow.h); the physical array only knows WS and OS cycles.
+  SAFFIRE_CHECK_MSG(dataflow != Dataflow::kInputStationary,
+                    "drive IS through InputStationaryScheduler");
+  const bool ws = dataflow == Dataflow::kWeightStationary;
+  const int input_bits = config_.input_bits;
+  const int product_bits = config_.product_bits();
+  const int acc_bits = config_.acc_bits;
+
+  for (std::int32_t r = 0; r < rows_; ++r) {
+    for (std::int32_t c = 0; c < cols_; ++c) {
+      const std::size_t idx = Index(r, c);
+      const PeCoord coord{r, c};
+      const bool hooked = hooked_[idx] != 0;
+
+      std::int64_t act_in = (c == 0)
+                                ? west_inputs_[static_cast<std::size_t>(r)]
+                                : act_wire_[idx - 1];
+      const std::int64_t north_in =
+          (r == 0) ? north_inputs_[static_cast<std::size_t>(c)]
+                   : south_wire_[Index(r - 1, c)];
+
+      // Weight operand: preloaded register (WS) or the streamed north value
+      // truncated to operand width (OS).
+      std::int64_t weight_operand =
+          ws ? weights_[idx] : SignExtend(north_in, input_bits);
+      if (hooked) {
+        weight_operand = hook_->Apply(coord, MacSignal::kWeightOperand,
+                                      weight_operand, cycle_);
+        ++hook_invocations_;
+      }
+
+      std::int64_t mul_out = SignExtend(act_in * weight_operand, product_bits);
+      if (hooked) {
+        mul_out = hook_->Apply(coord, MacSignal::kMulOut, mul_out, cycle_);
+        ++hook_invocations_;
+      }
+
+      const std::int64_t addend = ws ? north_in : accumulators_[idx];
+      std::int64_t adder_out = SignExtend(addend + mul_out, acc_bits);
+      if (hooked) {
+        adder_out =
+            hook_->Apply(coord, MacSignal::kAdderOut, adder_out, cycle_);
+        ++hook_invocations_;
+      }
+
+      std::int64_t south_out;
+      if (ws) {
+        south_out = adder_out;  // partial sum continues down the column
+      } else {
+        accumulators_[idx] = adder_out;  // result stays in place
+        south_out = SignExtend(north_in, input_bits);  // weight forwarded
+      }
+      if (hooked) {
+        south_out = hook_->Apply(
+            coord, MacSignal::kSouthForward, south_out,
+            cycle_);
+        ++hook_invocations_;
+      }
+
+      std::int64_t act_out = act_in;
+      if (hooked) {
+        act_out =
+            hook_->Apply(coord, MacSignal::kActForward, act_out, cycle_);
+        ++hook_invocations_;
+      }
+
+      act_wire_next_[idx] = act_out;
+      south_wire_next_[idx] = south_out;
+
+      if (tracer_ != nullptr) {
+        tracer_->OnSignal(coord, MacSignal::kWeightOperand, weight_operand,
+                          cycle_);
+        tracer_->OnSignal(coord, MacSignal::kMulOut, mul_out, cycle_);
+        tracer_->OnSignal(coord, MacSignal::kAdderOut, adder_out, cycle_);
+        tracer_->OnSignal(coord, MacSignal::kSouthForward, south_out, cycle_);
+        tracer_->OnSignal(coord, MacSignal::kActForward, act_out, cycle_);
+      }
+    }
+  }
+
+  act_wire_.swap(act_wire_next_);
+  south_wire_.swap(south_wire_next_);
+  ++cycle_;
+  pe_steps_ += static_cast<std::uint64_t>(config_.num_pes());
+}
+
+std::int64_t SystolicArray::SouthOutput(std::int32_t col) const {
+  SAFFIRE_CHECK_MSG(col >= 0 && col < cols_, "col=" << col);
+  return south_wire_[Index(rows_ - 1, col)];
+}
+
+void SystolicArray::AdvanceIdle(std::int64_t cycles) {
+  SAFFIRE_CHECK_MSG(cycles >= 0, "cycles=" << cycles);
+  cycle_ += cycles;
+}
+
+}  // namespace saffire

@@ -1,0 +1,130 @@
+// Cycle-accurate model of the 2-D MAC array datapath.
+//
+// The array is pure datapath: a grid of MAC units plus the inter-PE wires
+// (activations west→east, partial sums / streamed weights north→south).
+// Sequencing — operand skewing, weight preload, output sampling — belongs to
+// the dataflow schedulers in dataflow.h, mirroring the hardware split
+// between Gemmini's mesh and its controller.
+//
+// Register-transfer semantics: Step() evaluates every PE combinationally
+// from the *previous* cycle's registered neighbour outputs and the current
+// edge inputs, then commits all registers at once. A value written to a
+// west/north edge input on cycle t is consumed by the edge PEs on cycle t
+// and reaches PE column c / row r after c / r further cycles, exactly as in
+// the RTL.
+//
+// Per-PE, per-cycle combinational function (both dataflows share the
+// datapath; `weight` is the preloaded register under WS and the north
+// operand under OS):
+//
+//   mul_out   = act_in × weight                  (product_bits wide)
+//   adder_out = (WS ? north_in : acc) + mul_out  (acc_bits wide)
+//   WS: south_out = adder_out                    (psum chain)
+//   OS: acc' = adder_out, south_out = north_in   (weight forwarded)
+//   act_east = act_in                            (activation forwarded)
+//
+// A FaultHook observes/corrupts any of these named signals on any PE, any
+// cycle — the paper's injection point is adder_out (Sec. II-F).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "systolic/config.h"
+#include "systolic/fault_hook.h"
+#include "tensor/tensor.h"
+
+namespace saffire {
+
+class SystolicArray {
+ public:
+  explicit SystolicArray(const ArrayConfig& config);
+
+  const ArrayConfig& config() const { return config_; }
+
+  // Installs a non-owning fault hook; replaces any previous hook. The hook
+  // must outlive the array or be cleared first. Passing nullptr clears.
+  void InstallFaultHook(FaultHook* hook);
+  void ClearFaultHook() { InstallFaultHook(nullptr); }
+
+  // Installs a non-owning waveform tracer (nullptr clears). Tracing every
+  // signal is expensive; intended for tests and small demos only.
+  void InstallTracer(Tracer* tracer) { tracer_ = tracer; }
+
+  // Clears all PE registers, wires, and edge inputs. Does not advance the
+  // cycle counter and does not remove the fault hook — a permanent fault
+  // survives any number of tile invocations (this is what produces the
+  // paper's multi-tile fault patterns).
+  void Reset();
+
+  // --- Weight-stationary state -------------------------------------------
+  // Directly writes the weight register of one PE. The scheduler accounts
+  // the preload latency separately via AdvanceIdle (the load path is
+  // distinct from the MAC datapath and outside the fault model, which
+  // targets the MAC compute signals; memory/load faults are assumed
+  // ECC-protected per the paper's fault-model assumption 1).
+  void SetWeight(PeCoord pe, std::int64_t weight);
+  std::int64_t weight(PeCoord pe) const;
+
+  // --- Output-stationary state -------------------------------------------
+  std::int64_t accumulator(PeCoord pe) const;
+  void ClearAccumulators();
+
+  // --- Edge inputs (valid for the next Step only) ------------------------
+  void SetWestInput(std::int32_t row, std::int64_t value);
+  void SetNorthInput(std::int32_t col, std::int64_t value);
+  void ClearEdgeInputs();
+
+  // Executes one clock cycle under `dataflow`.
+  void Step(Dataflow dataflow);
+
+  // Registered output at the south edge of column `col` (the value that
+  // left the bottom PE on the most recent Step).
+  std::int64_t SouthOutput(std::int32_t col) const;
+
+  // Advances the cycle counter without datapath activity; models phases
+  // whose cost we account but whose logic we do not simulate (weight
+  // preload shift-in, accumulator drain).
+  void AdvanceIdle(std::int64_t cycles);
+
+  // --- Instrumentation ----------------------------------------------------
+  std::int64_t cycle() const { return cycle_; }
+  std::uint64_t total_pe_steps() const { return pe_steps_; }
+  // Number of times the installed fault hook was consulted.
+  std::uint64_t hook_invocations() const { return hook_invocations_; }
+
+ private:
+  std::size_t Index(std::int32_t row, std::int32_t col) const {
+    return static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(col);
+  }
+  void CheckCoord(PeCoord pe) const;
+
+  ArrayConfig config_;
+  std::int32_t rows_;
+  std::int32_t cols_;
+
+  // Per-PE registers.
+  std::vector<std::int64_t> weights_;
+  std::vector<std::int64_t> accumulators_;
+
+  // Inter-PE wires, double-buffered for register semantics.
+  std::vector<std::int64_t> act_wire_;        // PE(r,c) -> PE(r,c+1)
+  std::vector<std::int64_t> south_wire_;      // PE(r,c) -> PE(r+1,c)
+  std::vector<std::int64_t> act_wire_next_;
+  std::vector<std::int64_t> south_wire_next_;
+
+  // Edge inputs for the upcoming cycle.
+  std::vector<std::int64_t> west_inputs_;
+  std::vector<std::int64_t> north_inputs_;
+
+  FaultHook* hook_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  std::vector<std::uint8_t> hooked_;  // per-PE cache of hook->AppliesTo
+
+  std::int64_t cycle_ = 0;
+  std::uint64_t pe_steps_ = 0;
+  std::uint64_t hook_invocations_ = 0;
+};
+
+}  // namespace saffire

@@ -1,0 +1,73 @@
+// Architectural configuration of the simulated systolic array.
+//
+// The paper's evaluation platform is a 16×16 INT8 Gemmini instance
+// (Table I); `ArrayConfig{}` defaults to exactly that. Both dataflows the
+// paper studies (RQ1) are supported on the same datapath.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace saffire {
+
+// Data-flow mapping scheme (Sec. II-D).
+//  kWeightStationary: weights are preloaded into the PEs; activations stream
+//    west→east and partial sums flow north→south. Output C[i][j] exits the
+//    bottom of column j after traversing every PE in that column.
+//  kOutputStationary: each PE owns one output element; activations stream
+//    west→east, weights stream north→south, and products accumulate in
+//    place.
+//  kInputStationary: the input (activation) tile is preloaded and the
+//    weights stream — one of the "other data flow mapping schemes" the
+//    paper names (Sec. II-D). Physically it is the WS datapath with the
+//    operand roles swapped (Cᵀ = Bᵀ·Aᵀ), so a stuck-at fault in array
+//    column c corrupts output *row* c — the single-row pattern class.
+enum class Dataflow : std::uint8_t {
+  kOutputStationary = 0,
+  kWeightStationary = 1,
+  kInputStationary = 2,
+};
+
+// Returns "OS" / "WS" / "IS" (the paper's abbreviations).
+std::string ToString(Dataflow dataflow);
+
+struct ArrayConfig {
+  std::int32_t rows = 16;
+  std::int32_t cols = 16;
+  std::int32_t input_bits = 8;  // operand width (activations and weights)
+  std::int32_t acc_bits = 32;   // accumulator / partial-sum width
+
+  std::int32_t product_bits() const { return 2 * input_bits; }
+  std::int64_t num_pes() const {
+    return static_cast<std::int64_t>(rows) * cols;
+  }
+
+  void Validate() const {
+    SAFFIRE_CHECK_MSG(rows > 0 && rows <= 1024, "rows=" << rows);
+    SAFFIRE_CHECK_MSG(cols > 0 && cols <= 1024, "cols=" << cols);
+    SAFFIRE_CHECK_MSG(input_bits >= 2 && input_bits <= 16,
+                      "input_bits=" << input_bits);
+    SAFFIRE_CHECK_MSG(acc_bits >= 2 * input_bits && acc_bits <= 64,
+                      "acc_bits=" << acc_bits);
+  }
+
+  std::string ToString() const {
+    return std::to_string(rows) + "x" + std::to_string(cols) + " INT" +
+           std::to_string(input_bits) + "/ACC" + std::to_string(acc_bits);
+  }
+};
+
+// Coordinate of a processing element: row 0 is the north edge (weights
+// enter / first reduction step), column 0 is the west edge (activations
+// enter).
+struct PeCoord {
+  std::int32_t row = 0;
+  std::int32_t col = 0;
+
+  bool operator==(const PeCoord&) const = default;
+  auto operator<=>(const PeCoord&) const = default;
+};
+
+}  // namespace saffire

@@ -1,0 +1,164 @@
+#include "systolic/dataflow.h"
+
+#include "systolic/timing.h"
+#include "tensor/transpose.h"
+
+namespace saffire {
+namespace {
+
+void CheckGemmShapes(const Int8Tensor& a, const Int8Tensor& b) {
+  SAFFIRE_CHECK_MSG(a.rank() == 2 && b.rank() == 2,
+                    "A " << a.ShapeString() << " B " << b.ShapeString());
+  SAFFIRE_CHECK_MSG(a.dim(1) == b.dim(0), "A " << a.ShapeString()
+                                               << " incompatible with B "
+                                               << b.ShapeString());
+}
+
+}  // namespace
+
+Int32Tensor WeightStationaryScheduler::Multiply(const Int8Tensor& a,
+                                                const Int8Tensor& b,
+                                                const Int32Tensor* psum_seed,
+                                                bool charge_preload) {
+  CheckGemmShapes(a, b);
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  const auto rows = static_cast<std::int64_t>(array_.config().rows);
+  const auto cols = static_cast<std::int64_t>(array_.config().cols);
+  SAFFIRE_CHECK_MSG(k <= rows, "K=" << k << " exceeds array rows " << rows
+                                    << " — tile first");
+  SAFFIRE_CHECK_MSG(n <= cols, "N=" << n << " exceeds array cols " << cols
+                                    << " — tile first");
+  if (psum_seed != nullptr) {
+    SAFFIRE_CHECK_MSG(psum_seed->rank() == 2 && psum_seed->dim(0) == m &&
+                          psum_seed->dim(1) == n,
+                      "psum seed " << psum_seed->ShapeString());
+  }
+
+  const std::int64_t start_cycle = array_.cycle();
+  array_.Reset();
+
+  // Weight preload: B[r][c] into PE(r, c); PEs outside the operand footprint
+  // keep the zero written by Reset. The shift-in latency is accounted as
+  // idle cycles (see SystolicArray::SetWeight doc).
+  for (std::int64_t r = 0; r < k; ++r) {
+    for (std::int64_t c = 0; c < n; ++c) {
+      array_.SetWeight(
+          PeCoord{static_cast<std::int32_t>(r), static_cast<std::int32_t>(c)},
+          b(r, c));
+    }
+  }
+  if (charge_preload) array_.AdvanceIdle(rows);
+
+  // Stream: cycle t feeds A[t−r][r] at west row r and the partial-sum seed
+  // for output row t−c at north column c; output C[i][c] leaves the south
+  // edge of column c after the Step of cycle i + (rows−1) + c.
+  Int32Tensor out({m, n});
+  const std::int64_t steps = WeightStationaryStreamCycles(m, array_.config());
+  for (std::int64_t t = 0; t < steps; ++t) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const std::int64_t i = t - r;
+      const bool valid = r < k && i >= 0 && i < m;
+      array_.SetWestInput(static_cast<std::int32_t>(r),
+                          valid ? a(i, r) : 0);
+    }
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const std::int64_t i = t - c;
+      std::int64_t seed = 0;
+      if (psum_seed != nullptr && c < n && i >= 0 && i < m) {
+        seed = (*psum_seed)(i, c);
+      }
+      array_.SetNorthInput(static_cast<std::int32_t>(c), seed);
+    }
+    array_.Step(Dataflow::kWeightStationary);
+    for (std::int64_t c = 0; c < n; ++c) {
+      const std::int64_t i = t - (rows - 1) - c;
+      if (i >= 0 && i < m) {
+        out(i, c) = static_cast<std::int32_t>(
+            array_.SouthOutput(static_cast<std::int32_t>(c)));
+      }
+    }
+  }
+
+  last_cycles_ = array_.cycle() - start_cycle;
+  return out;
+}
+
+Int32Tensor OutputStationaryScheduler::Multiply(const Int8Tensor& a,
+                                                const Int8Tensor& b) {
+  CheckGemmShapes(a, b);
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  const auto rows = static_cast<std::int64_t>(array_.config().rows);
+  const auto cols = static_cast<std::int64_t>(array_.config().cols);
+  SAFFIRE_CHECK_MSG(m <= rows, "M=" << m << " exceeds array rows " << rows
+                                    << " — tile first");
+  SAFFIRE_CHECK_MSG(n <= cols, "N=" << n << " exceeds array cols " << cols
+                                    << " — tile first");
+
+  const std::int64_t start_cycle = array_.cycle();
+  array_.Reset();
+
+  // Stream: cycle t feeds A[i][t−i] at west row i and B[t−j][j] at north
+  // column j; the operands for reduction step k meet at PE(i, j) on cycle
+  // k + i + j.
+  const std::int64_t steps = OutputStationaryStreamCycles(k, array_.config());
+  for (std::int64_t t = 0; t < steps; ++t) {
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const std::int64_t kk = t - i;
+      const bool valid = i < m && kk >= 0 && kk < k;
+      array_.SetWestInput(static_cast<std::int32_t>(i),
+                          valid ? a(i, kk) : 0);
+    }
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const std::int64_t kk = t - j;
+      const bool valid = j < n && kk >= 0 && kk < k;
+      array_.SetNorthInput(static_cast<std::int32_t>(j),
+                           valid ? b(kk, j) : 0);
+    }
+    array_.Step(Dataflow::kOutputStationary);
+  }
+
+  // Drain: results are read from the in-place accumulators; the shift-out
+  // latency is accounted as idle cycles.
+  Int32Tensor out({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      out(i, j) = static_cast<std::int32_t>(array_.accumulator(
+          PeCoord{static_cast<std::int32_t>(i), static_cast<std::int32_t>(j)}));
+    }
+  }
+  array_.AdvanceIdle(rows);
+
+  last_cycles_ = array_.cycle() - start_cycle;
+  return out;
+}
+
+Int32Tensor InputStationaryScheduler::Multiply(const Int8Tensor& a,
+                                               const Int8Tensor& b) {
+  CheckGemmShapes(a, b);
+  return Transpose(ws_.Multiply(Transpose(b), Transpose(a)));
+}
+
+Int32Tensor MatMulSingleTile(SystolicArray& array, Dataflow dataflow,
+                             const Int8Tensor& a, const Int8Tensor& b) {
+  switch (dataflow) {
+    case Dataflow::kWeightStationary: {
+      WeightStationaryScheduler scheduler(array);
+      return scheduler.Multiply(a, b);
+    }
+    case Dataflow::kOutputStationary: {
+      OutputStationaryScheduler scheduler(array);
+      return scheduler.Multiply(a, b);
+    }
+    case Dataflow::kInputStationary: {
+      InputStationaryScheduler scheduler(array);
+      return scheduler.Multiply(a, b);
+    }
+  }
+  SAFFIRE_CHECK_MSG(false, "unknown dataflow");
+}
+
+}  // namespace saffire

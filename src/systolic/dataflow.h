@@ -1,0 +1,88 @@
+// Dataflow schedulers: the sequencing logic that drives the SystolicArray
+// datapath through one tile-sized matrix multiplication under each of the
+// paper's two mapping schemes (Sec. II-D).
+//
+// Both schedulers implement C = A·B for a single tile:
+//   - WeightStationaryScheduler preloads B into the PE weight registers,
+//     streams the rows of A west→east with the classic diagonal skew, and
+//     samples finished partial sums at the south edge of each column. The
+//     number of A rows (M) is unbounded — rows stream through — while
+//     A's columns (K) must fit the array rows and B's columns (N) the array
+//     columns.
+//   - OutputStationaryScheduler streams A from the west and B from the
+//     north; each PE (i, j) accumulates C[i][j] in place. M must fit the
+//     array rows and N the array columns; the reduction depth K is
+//     unbounded.
+//
+// Operations larger than these limits are tiled by the accelerator driver
+// (accel/driver.h), never by the schedulers.
+#pragma once
+
+#include "systolic/array.h"
+#include "tensor/tensor.h"
+
+namespace saffire {
+
+class WeightStationaryScheduler {
+ public:
+  explicit WeightStationaryScheduler(SystolicArray& array) : array_(array) {}
+
+  // C[M×N] = A[M×K]·B[K×N] (+ psum_seed[M×N] if non-null, injected at the
+  // north edge like Gemmini's bias rows). Requires K ≤ array rows and
+  // N ≤ array cols; undersized operands are zero-padded onto the full array
+  // so every PE — including a faulty one outside the operand footprint —
+  // still cycles. `charge_preload` controls whether the weight shift-in
+  // latency (rows idle cycles) is billed here; a double-buffered
+  // controller bills only the non-overlapped remainder itself.
+  Int32Tensor Multiply(const Int8Tensor& a, const Int8Tensor& b,
+                       const Int32Tensor* psum_seed = nullptr,
+                       bool charge_preload = true);
+
+  // Cycles consumed by the most recent Multiply (preload + stream).
+  std::int64_t last_cycles() const { return last_cycles_; }
+
+ private:
+  SystolicArray& array_;
+  std::int64_t last_cycles_ = 0;
+};
+
+class OutputStationaryScheduler {
+ public:
+  explicit OutputStationaryScheduler(SystolicArray& array) : array_(array) {}
+
+  // C[M×N] = A[M×K]·B[K×N]. Requires M ≤ array rows and N ≤ array cols.
+  Int32Tensor Multiply(const Int8Tensor& a, const Int8Tensor& b);
+
+  // Cycles consumed by the most recent Multiply (stream + drain).
+  std::int64_t last_cycles() const { return last_cycles_; }
+
+ private:
+  SystolicArray& array_;
+  std::int64_t last_cycles_ = 0;
+};
+
+// Input-stationary scheduler: the stationary operand is the *input* tile.
+// Physically this is the WS datapath computing Cᵀ = Bᵀ·Aᵀ — Aᵀ (K×M) is
+// preloaded into the PE registers and the rows of Bᵀ stream — so a fault
+// in array column c lands in output **row** c. Requires K ≤ array rows and
+// M ≤ array cols; the weight-stream length N is unbounded.
+class InputStationaryScheduler {
+ public:
+  explicit InputStationaryScheduler(SystolicArray& array) : ws_(array) {}
+
+  // C[M×N] = A[M×K]·B[K×N].
+  Int32Tensor Multiply(const Int8Tensor& a, const Int8Tensor& b);
+
+  // Cycles consumed by the most recent Multiply.
+  std::int64_t last_cycles() const { return ws_.last_cycles(); }
+
+ private:
+  WeightStationaryScheduler ws_;
+};
+
+// Convenience dispatcher for a single-tile multiply under any dataflow;
+// used by tests and the fault-injection runner for untiled operations.
+Int32Tensor MatMulSingleTile(SystolicArray& array, Dataflow dataflow,
+                             const Int8Tensor& a, const Int8Tensor& b);
+
+}  // namespace saffire

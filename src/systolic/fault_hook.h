@@ -1,0 +1,42 @@
+// Interception point between the simulated datapath and the fault injector.
+//
+// The array calls Apply() for every value produced on a hooked PE's named
+// signals, every cycle — exactly the observability an RTL-level injector
+// has. The hook is non-owning and optional; a null hook is the golden
+// (fault-free) configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "systolic/config.h"
+#include "systolic/signals.h"
+
+namespace saffire {
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  // Returns the (possibly corrupted) value of `signal` at `pe` on `cycle`.
+  // `value` is the fault-free value, already truncated to the signal's
+  // architectural width. Implementations must return a value representable
+  // at that width.
+  virtual std::int64_t Apply(PeCoord pe, MacSignal signal, std::int64_t value,
+                             std::int64_t cycle) = 0;
+
+  // True if this hook can ever modify a signal of `pe`. The array caches
+  // the answer per PE when the hook is installed, so fault-free PEs pay one
+  // cached-flag test per cycle instead of a virtual call per signal.
+  virtual bool AppliesTo(PeCoord pe) const = 0;
+};
+
+// Observer for waveform capture (VCD dumps, golden traces in tests).
+// Receives every hooked signal value *after* fault application.
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+  virtual void OnSignal(PeCoord pe, MacSignal signal, std::int64_t value,
+                        std::int64_t cycle) = 0;
+};
+
+}  // namespace saffire

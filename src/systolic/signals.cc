@@ -1,0 +1,72 @@
+#include "systolic/signals.h"
+
+#include <algorithm>
+
+namespace saffire {
+
+std::string ToString(MacSignal signal) {
+  switch (signal) {
+    case MacSignal::kMulOut:
+      return "mul_out";
+    case MacSignal::kAdderOut:
+      return "adder_out";
+    case MacSignal::kWeightOperand:
+      return "weight_operand";
+    case MacSignal::kActForward:
+      return "act_forward";
+    case MacSignal::kSouthForward:
+      return "south_forward";
+  }
+  return "unknown";
+}
+
+MacSignal MacSignalFromString(const std::string& name) {
+  if (name == "mul_out") return MacSignal::kMulOut;
+  if (name == "adder_out") return MacSignal::kAdderOut;
+  if (name == "weight_operand") return MacSignal::kWeightOperand;
+  if (name == "act_forward") return MacSignal::kActForward;
+  if (name == "south_forward") return MacSignal::kSouthForward;
+  SAFFIRE_CHECK_MSG(false, "unknown MAC signal '" << name << "'");
+}
+
+int SignalWidth(MacSignal signal, const ArrayConfig& config) {
+  config.Validate();
+  switch (signal) {
+    case MacSignal::kMulOut:
+      return config.product_bits();
+    case MacSignal::kAdderOut:
+      return config.acc_bits;
+    case MacSignal::kWeightOperand:
+      return config.input_bits;
+    case MacSignal::kActForward:
+      return config.input_bits;
+    case MacSignal::kSouthForward:
+      return std::max(config.acc_bits, config.input_bits);
+  }
+  SAFFIRE_CHECK_MSG(false, "unknown MAC signal");
+}
+
+int SignalWidth(MacSignal signal, const ArrayConfig& config,
+                Dataflow dataflow) {
+  if (signal == MacSignal::kSouthForward) {
+    // WS (and IS, which runs the WS datapath) forwards partial sums south;
+    // OS forwards the streamed weight.
+    return dataflow == Dataflow::kOutputStationary ? config.input_bits
+                                                   : config.acc_bits;
+  }
+  return SignalWidth(signal, config);
+}
+
+std::string ToString(Dataflow dataflow) {
+  switch (dataflow) {
+    case Dataflow::kOutputStationary:
+      return "OS";
+    case Dataflow::kWeightStationary:
+      return "WS";
+    case Dataflow::kInputStationary:
+      return "IS";
+  }
+  return "unknown";
+}
+
+}  // namespace saffire

@@ -1,0 +1,44 @@
+// Named internal signals of a MAC unit, addressable by the fault injector.
+//
+// The paper's injection point is kAdderOut: "we injected a single stuck-at
+// fault in the intermediate signals of the MAC unit, right after the
+// addition logic and before the result is stored in the accumulator"
+// (Sec. II-F). The other signals let the framework explore the rest of the
+// datapath (multiplier output, operand registers, forwarding paths), which
+// the paper leaves to future work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "systolic/config.h"
+
+namespace saffire {
+
+enum class MacSignal : std::uint8_t {
+  kMulOut = 0,     // multiplier output (product_bits wide)
+  kAdderOut = 1,   // adder output, pre-accumulator (acc_bits wide) — paper's site
+  kWeightOperand = 2,  // weight operand as consumed by the multiplier
+  kActForward = 3,     // activation forwarded to the east neighbour
+  kSouthForward = 4,   // value forwarded to the south neighbour
+};
+
+inline constexpr int kNumMacSignals = 5;
+
+// Returns "mul_out" / "adder_out" / ....
+std::string ToString(MacSignal signal);
+
+// Parses the strings produced by ToString; throws on unknown names.
+MacSignal MacSignalFromString(const std::string& name);
+
+// Architectural width in bits of `signal` under `config`. For
+// kSouthForward the width depends on the dataflow: the south wire carries a
+// partial sum (acc_bits) under WS and a forwarded weight (input_bits) under
+// OS; this returns the wider of the two so injected bit positions are
+// always representable. Prefer SignalWidth(signal, config, dataflow).
+int SignalWidth(MacSignal signal, const ArrayConfig& config);
+
+int SignalWidth(MacSignal signal, const ArrayConfig& config,
+                Dataflow dataflow);
+
+}  // namespace saffire

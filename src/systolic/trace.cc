@@ -1,0 +1,96 @@
+#include "systolic/trace.h"
+
+#include "common/bits.h"
+
+namespace saffire {
+
+void RecordingTracer::OnSignal(PeCoord pe, MacSignal signal,
+                               std::int64_t value, std::int64_t cycle) {
+  samples_.push_back(Sample{pe, signal, value, cycle});
+}
+
+std::vector<RecordingTracer::Sample> RecordingTracer::SamplesFor(
+    PeCoord pe, MacSignal signal) const {
+  std::vector<Sample> out;
+  for (const Sample& s : samples_) {
+    if (s.pe == pe && s.signal == signal) out.push_back(s);
+  }
+  return out;
+}
+
+VcdTracer::VcdTracer(std::ostream& out, const ArrayConfig& config)
+    : out_(out), config_(config) {
+  config_.Validate();
+  out_ << "$date saffire simulation $end\n"
+       << "$version saffire-1.0 $end\n"
+       << "$timescale 1ns $end\n"
+       << "$scope module systolic_array $end\n";
+  // Declare every PE signal up front so viewers see the full hierarchy even
+  // for signals that never change.
+  for (std::int32_t r = 0; r < config_.rows; ++r) {
+    for (std::int32_t c = 0; c < config_.cols; ++c) {
+      for (int s = 0; s < kNumMacSignals; ++s) {
+        const auto signal = static_cast<MacSignal>(s);
+        const VarKey key{r, c, signal};
+        const std::string id = IdFor(key);
+        out_ << "$var wire " << SignalWidth(signal, config_) << " " << id
+             << " pe_" << r << "_" << c << "_" << ToString(signal)
+             << " $end\n";
+      }
+    }
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+VcdTracer::~VcdTracer() {
+  try {
+    Finish();
+  } catch (...) {
+    // Never throw from a destructor; a failed final flush loses only the
+    // closing timestamp.
+  }
+}
+
+std::string VcdTracer::IdFor(const VarKey& key) {
+  const auto it = ids_.find(key);
+  if (it != ids_.end()) return it->second;
+  // Base-94 identifier over the printable ASCII range, per the VCD spec.
+  std::size_t n = ids_.size();
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + n % 94));
+    n /= 94;
+  } while (n != 0);
+  ids_.emplace(key, id);
+  return id;
+}
+
+void VcdTracer::EmitValue(const VarKey& key, std::int64_t value) {
+  out_ << 'b' << ToBinary(value, SignalWidth(key.signal, config_)) << ' '
+       << IdFor(key) << '\n';
+}
+
+void VcdTracer::OnSignal(PeCoord pe, MacSignal signal, std::int64_t value,
+                         std::int64_t cycle) {
+  SAFFIRE_CHECK_MSG(!finished_, "VcdTracer already finished");
+  if (cycle != current_time_) {
+    SAFFIRE_CHECK_MSG(cycle > current_time_,
+                      "non-monotonic cycle " << cycle);
+    out_ << '#' << cycle << '\n';
+    current_time_ = cycle;
+  }
+  const VarKey key{pe.row, pe.col, signal};
+  const auto it = last_values_.find(key);
+  if (it != last_values_.end() && it->second == value) return;
+  last_values_[key] = value;
+  EmitValue(key, value);
+}
+
+void VcdTracer::Finish() {
+  if (finished_) return;
+  out_ << '#' << (current_time_ + 1) << '\n';
+  out_.flush();
+  finished_ = true;
+}
+
+}  // namespace saffire

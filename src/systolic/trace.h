@@ -1,0 +1,77 @@
+// Waveform capture: an in-memory signal recorder for tests and a VCD
+// (Value Change Dump) writer so small simulations can be inspected in
+// standard waveform viewers (GTKWave etc.) — the debugging workflow an
+// RTL-level FI framework supports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "systolic/fault_hook.h"
+
+namespace saffire {
+
+// Records every observed signal sample; intended for unit tests and small
+// demos (memory grows linearly with PE-count × cycles).
+class RecordingTracer : public Tracer {
+ public:
+  struct Sample {
+    PeCoord pe;
+    MacSignal signal = MacSignal::kAdderOut;
+    std::int64_t value = 0;
+    std::int64_t cycle = 0;
+  };
+
+  void OnSignal(PeCoord pe, MacSignal signal, std::int64_t value,
+                std::int64_t cycle) override;
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  void Clear() { samples_.clear(); }
+
+  // All samples of one signal at one PE, in cycle order.
+  std::vector<Sample> SamplesFor(PeCoord pe, MacSignal signal) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+// Streams a VCD file. Declare the scope up front with the array config,
+// then install on the array; Finish() (or destruction) flushes the final
+// timestamp. One VCD time unit == one array cycle.
+class VcdTracer : public Tracer {
+ public:
+  // `out` must outlive the tracer.
+  VcdTracer(std::ostream& out, const ArrayConfig& config);
+  ~VcdTracer() override;
+  VcdTracer(const VcdTracer&) = delete;
+  VcdTracer& operator=(const VcdTracer&) = delete;
+
+  void OnSignal(PeCoord pe, MacSignal signal, std::int64_t value,
+                std::int64_t cycle) override;
+
+  // Emits the closing timestamp; further samples are rejected.
+  void Finish();
+
+ private:
+  struct VarKey {
+    std::int32_t row;
+    std::int32_t col;
+    MacSignal signal;
+    auto operator<=>(const VarKey&) const = default;
+  };
+
+  std::string IdFor(const VarKey& key);
+  void EmitValue(const VarKey& key, std::int64_t value);
+
+  std::ostream& out_;
+  ArrayConfig config_;
+  std::map<VarKey, std::string> ids_;
+  std::map<VarKey, std::int64_t> last_values_;
+  std::int64_t current_time_ = -1;
+  bool finished_ = false;
+};
+
+}  // namespace saffire

@@ -1,0 +1,101 @@
+#include "tensor/conv.h"
+
+#include <sstream>
+
+namespace saffire {
+
+std::int64_t ConvParams::out_height() const {
+  return (height + 2 * pad - kernel_h) / stride + 1;
+}
+
+std::int64_t ConvParams::out_width() const {
+  return (width + 2 * pad - kernel_w) / stride + 1;
+}
+
+std::int64_t ConvParams::gemm_rows() const {
+  return batch * out_height() * out_width();
+}
+
+std::int64_t ConvParams::gemm_inner() const {
+  return in_channels * kernel_h * kernel_w;
+}
+
+std::int64_t ConvParams::gemm_cols() const { return out_channels; }
+
+void ConvParams::Validate() const {
+  SAFFIRE_CHECK_MSG(batch > 0, "N=" << batch);
+  SAFFIRE_CHECK_MSG(in_channels > 0, "C=" << in_channels);
+  SAFFIRE_CHECK_MSG(height > 0 && width > 0,
+                    "H=" << height << " W=" << width);
+  SAFFIRE_CHECK_MSG(out_channels > 0, "K=" << out_channels);
+  SAFFIRE_CHECK_MSG(kernel_h > 0 && kernel_w > 0,
+                    "R=" << kernel_h << " S=" << kernel_w);
+  SAFFIRE_CHECK_MSG(stride > 0, "stride=" << stride);
+  SAFFIRE_CHECK_MSG(pad >= 0, "pad=" << pad);
+  SAFFIRE_CHECK_MSG(kernel_h <= height + 2 * pad,
+                    "kernel taller than padded input");
+  SAFFIRE_CHECK_MSG(kernel_w <= width + 2 * pad,
+                    "kernel wider than padded input");
+}
+
+std::string ConvParams::ToString() const {
+  std::ostringstream os;
+  os << "conv N" << batch << " C" << in_channels << " H" << height << " W"
+     << width << " K" << out_channels << " R" << kernel_h << " S" << kernel_w
+     << " s" << stride << " p" << pad;
+  return os.str();
+}
+
+std::string KernelShorthand(const ConvParams& params) {
+  std::ostringstream os;
+  os << params.kernel_h << "x" << params.kernel_w << "x" << params.in_channels
+     << "x" << params.out_channels;
+  return os.str();
+}
+
+Int32Tensor ConvRef(const Int8Tensor& input, const Int8Tensor& kernel,
+                    const ConvParams& params) {
+  params.Validate();
+  SAFFIRE_CHECK_MSG(input.rank() == 4 && input.dim(0) == params.batch &&
+                        input.dim(1) == params.in_channels &&
+                        input.dim(2) == params.height &&
+                        input.dim(3) == params.width,
+                    "input shape " << input.ShapeString() << " vs "
+                                   << params.ToString());
+  SAFFIRE_CHECK_MSG(kernel.rank() == 4 && kernel.dim(0) == params.out_channels &&
+                        kernel.dim(1) == params.in_channels &&
+                        kernel.dim(2) == params.kernel_h &&
+                        kernel.dim(3) == params.kernel_w,
+                    "kernel shape " << kernel.ShapeString() << " vs "
+                                    << params.ToString());
+  const std::int64_t out_h = params.out_height();
+  const std::int64_t out_w = params.out_width();
+  Int32Tensor output({params.batch, params.out_channels, out_h, out_w});
+  for (std::int64_t n = 0; n < params.batch; ++n) {
+    for (std::int64_t k = 0; k < params.out_channels; ++k) {
+      for (std::int64_t p = 0; p < out_h; ++p) {
+        for (std::int64_t q = 0; q < out_w; ++q) {
+          std::int32_t acc = 0;
+          for (std::int64_t c = 0; c < params.in_channels; ++c) {
+            for (std::int64_t r = 0; r < params.kernel_h; ++r) {
+              for (std::int64_t s = 0; s < params.kernel_w; ++s) {
+                const std::int64_t h = p * params.stride + r - params.pad;
+                const std::int64_t w = q * params.stride + s - params.pad;
+                if (h < 0 || h >= params.height || w < 0 ||
+                    w >= params.width) {
+                  continue;  // zero padding contributes nothing
+                }
+                acc += static_cast<std::int32_t>(input(n, c, h, w)) *
+                       static_cast<std::int32_t>(kernel(k, c, r, s));
+              }
+            }
+          }
+          output(n, k, p, q) = acc;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+}  // namespace saffire

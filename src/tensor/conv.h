@@ -1,0 +1,54 @@
+// 2-D convolution: parameter bookkeeping and the direct reference
+// implementation used as the golden model.
+//
+// Notation follows the paper (Sec. II-B): input is N×C×H×W, the kernel is
+// K×C×R×S (K output channels, R×S spatial extent), and the output is
+// N×K×P×Q with P/Q the output height/width.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace saffire {
+
+struct ConvParams {
+  std::int64_t batch = 1;        // N
+  std::int64_t in_channels = 1;  // C
+  std::int64_t height = 1;       // H
+  std::int64_t width = 1;        // W
+  std::int64_t out_channels = 1; // K
+  std::int64_t kernel_h = 1;     // R
+  std::int64_t kernel_w = 1;     // S
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  // Output spatial dimensions: P = (H + 2·pad − R)/stride + 1, similarly Q.
+  std::int64_t out_height() const;  // P
+  std::int64_t out_width() const;   // Q
+
+  // Dimensions of the lowered GEMM (Sec. II-B): the convolution becomes
+  // C[NPQ × K] = A[NPQ × CRS] · W[CRS × K].
+  std::int64_t gemm_rows() const;  // N·P·Q
+  std::int64_t gemm_inner() const; // C·R·S
+  std::int64_t gemm_cols() const;  // K
+
+  // Throws std::invalid_argument if the configuration is degenerate
+  // (non-positive dims, kernel larger than padded input, ...).
+  void Validate() const;
+
+  // e.g. "conv N1 C3 H16 W16 K8 R3 S3 s1 p0" for reports.
+  std::string ToString() const;
+};
+
+// Returns the paper's shorthand kernel description "R×S×C×K", e.g.
+// "3x3x3x8" for Table I.
+std::string KernelShorthand(const ConvParams& params);
+
+// Direct (non-lowered) convolution; INT8 operands, INT32 accumulation.
+// input: N×C×H×W, kernel: K×C×R×S → output: N×K×P×Q.
+Int32Tensor ConvRef(const Int8Tensor& input, const Int8Tensor& kernel,
+                    const ConvParams& params);
+
+}  // namespace saffire

@@ -1,0 +1,47 @@
+#include "tensor/gemm.h"
+
+namespace saffire {
+namespace {
+
+template <typename In, typename Acc>
+void GemmInto(const Tensor<In>& a, const Tensor<In>& b, Tensor<Acc>& c) {
+  SAFFIRE_CHECK_MSG(a.rank() == 2 && b.rank() == 2 && c.rank() == 2,
+                    "GEMM requires rank-2 tensors");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  SAFFIRE_CHECK_MSG(b.dim(0) == k, "A is " << a.ShapeString() << " but B is "
+                                           << b.ShapeString());
+  SAFFIRE_CHECK_MSG(c.dim(0) == m && c.dim(1) == n,
+                    "C is " << c.ShapeString());
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      Acc acc = c(i, j);
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<Acc>(a(i, p)) * static_cast<Acc>(b(p, j));
+      }
+      c(i, j) = acc;
+    }
+  }
+}
+
+}  // namespace
+
+Int32Tensor GemmRef(const Int8Tensor& a, const Int8Tensor& b) {
+  Int32Tensor c({a.dim(0), b.dim(1)});
+  GemmInto(a, b, c);
+  return c;
+}
+
+void GemmAccumulateRef(const Int8Tensor& a, const Int8Tensor& b,
+                       Int32Tensor& c) {
+  GemmInto(a, b, c);
+}
+
+FloatTensor GemmRef(const FloatTensor& a, const FloatTensor& b) {
+  FloatTensor c({a.dim(0), b.dim(1)});
+  GemmInto(a, b, c);
+  return c;
+}
+
+}  // namespace saffire

@@ -1,0 +1,25 @@
+// Reference (CPU, non-systolic) GEMM used as the golden model for fault
+// injection and as the correctness oracle for the cycle-accurate simulator.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace saffire {
+
+// C[M×N] = A[M×K] · B[K×N] with INT8 operands and INT32 accumulation —
+// exactly the arithmetic the simulated array performs. Inner products are
+// accumulated left-to-right in k order, matching the row-by-row accumulation
+// order of the weight-stationary array (intermediate psum after row r equals
+// the prefix sum over k ≤ r), so golden and simulated intermediate values
+// are comparable bit-for-bit.
+Int32Tensor GemmRef(const Int8Tensor& a, const Int8Tensor& b);
+
+// C += A · B for INT32 accumulators; used when summing tile contributions
+// along the K dimension (Sec. II-C, Eq. 4).
+void GemmAccumulateRef(const Int8Tensor& a, const Int8Tensor& b,
+                       Int32Tensor& c);
+
+// Float GEMM for the DNN training path (not accelerated).
+FloatTensor GemmRef(const FloatTensor& a, const FloatTensor& b);
+
+}  // namespace saffire

@@ -1,0 +1,44 @@
+// im2col lowering of convolution to GEMM (Sec. II-B), the scheme used by
+// cuDNN and by Gemmini's software stack.
+//
+// The paper lowers the convolution so that the output matrix is NPQ × K and
+// "each output channel is mapped to each column of the systolic array"
+// (Sec. IV-A2). We therefore lower to
+//
+//     C[NPQ × K] = A[NPQ × CRS] · W[CRS × K]
+//
+// with the CRS axis ordered channel-major (index = c·R·S + r·S + s) and the
+// NPQ axis ordered (n, p, q). With the weight-stationary dataflow, W is the
+// preloaded operand, so a fault in array column j corrupts output channel j
+// — this mapping is what produces the paper's single-channel fault class.
+#pragma once
+
+#include "tensor/conv.h"
+#include "tensor/tensor.h"
+
+namespace saffire {
+
+// Lowers the N×C×H×W input into the A[NPQ × CRS] patch matrix.
+Int8Tensor Im2Col(const Int8Tensor& input, const ConvParams& params);
+
+// Lowers the K×C×R×S kernel into the W[CRS × K] weight matrix.
+Int8Tensor FlattenKernel(const Int8Tensor& kernel, const ConvParams& params);
+
+// Folds the C[NPQ × K] GEMM result back into the N×K×P×Q output tensor.
+Int32Tensor FoldGemmOutput(const Int32Tensor& gemm_out,
+                           const ConvParams& params);
+
+// Inverse bookkeeping of FoldGemmOutput: maps a (row, col) coordinate of the
+// lowered NPQ×K output matrix to the (n, k, p, q) coordinate of the
+// convolution output. Used by the fault-pattern analysis to express matrix
+// corruptions in channel terms.
+struct ConvOutputCoord {
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+  std::int64_t p = 0;
+  std::int64_t q = 0;
+};
+ConvOutputCoord GemmCoordToConvCoord(std::int64_t row, std::int64_t col,
+                                     const ConvParams& params);
+
+}  // namespace saffire

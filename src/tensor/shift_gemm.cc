@@ -1,0 +1,119 @@
+#include "tensor/shift_gemm.h"
+
+#include "tensor/gemm.h"
+
+namespace saffire {
+
+std::int64_t ShiftGemmRows(const ConvParams& params) {
+  return params.batch * params.out_height() * (params.width + 2 * params.pad);
+}
+
+std::int64_t ShiftGemmInner(const ConvParams& params) {
+  return params.in_channels * params.kernel_h;
+}
+
+std::int64_t ShiftGemmCols(const ConvParams& params) {
+  return params.kernel_w * params.out_channels;
+}
+
+Int8Tensor ShiftGemmLowerInput(const Int8Tensor& input,
+                               const ConvParams& params) {
+  params.Validate();
+  SAFFIRE_CHECK_MSG(input.rank() == 4 && input.dim(0) == params.batch &&
+                        input.dim(1) == params.in_channels &&
+                        input.dim(2) == params.height &&
+                        input.dim(3) == params.width,
+                    "input shape " << input.ShapeString() << " vs "
+                                   << params.ToString());
+  const std::int64_t out_h = params.out_height();
+  const std::int64_t padded_w = params.width + 2 * params.pad;
+  Int8Tensor a2({ShiftGemmRows(params), ShiftGemmInner(params)});
+  std::int64_t row = 0;
+  for (std::int64_t n = 0; n < params.batch; ++n) {
+    for (std::int64_t p = 0; p < out_h; ++p) {
+      for (std::int64_t x = 0; x < padded_w; ++x, ++row) {
+        std::int64_t col = 0;
+        for (std::int64_t c = 0; c < params.in_channels; ++c) {
+          for (std::int64_t r = 0; r < params.kernel_h; ++r, ++col) {
+            const std::int64_t h = p * params.stride + r - params.pad;
+            const std::int64_t w = x - params.pad;
+            if (h < 0 || h >= params.height || w < 0 || w >= params.width) {
+              a2(row, col) = 0;  // zero padding
+            } else {
+              a2(row, col) = input(n, c, h, w);
+            }
+          }
+        }
+      }
+    }
+  }
+  return a2;
+}
+
+Int8Tensor ShiftGemmLowerKernel(const Int8Tensor& kernel,
+                                const ConvParams& params) {
+  params.Validate();
+  SAFFIRE_CHECK_MSG(kernel.rank() == 4 && kernel.dim(0) == params.out_channels &&
+                        kernel.dim(1) == params.in_channels &&
+                        kernel.dim(2) == params.kernel_h &&
+                        kernel.dim(3) == params.kernel_w,
+                    "kernel shape " << kernel.ShapeString() << " vs "
+                                    << params.ToString());
+  Int8Tensor w2({ShiftGemmInner(params), ShiftGemmCols(params)});
+  for (std::int64_t k = 0; k < params.out_channels; ++k) {
+    for (std::int64_t s = 0; s < params.kernel_w; ++s) {
+      const std::int64_t col = k * params.kernel_w + s;
+      std::int64_t row = 0;
+      for (std::int64_t c = 0; c < params.in_channels; ++c) {
+        for (std::int64_t r = 0; r < params.kernel_h; ++r, ++row) {
+          w2(row, col) = kernel(k, c, r, s);
+        }
+      }
+    }
+  }
+  return w2;
+}
+
+Int32Tensor ShiftGemmFold(const Int32Tensor& d, const ConvParams& params) {
+  params.Validate();
+  SAFFIRE_CHECK_MSG(d.rank() == 2 && d.dim(0) == ShiftGemmRows(params) &&
+                        d.dim(1) == ShiftGemmCols(params),
+                    "D shape " << d.ShapeString() << " vs "
+                               << params.ToString());
+  const std::int64_t out_h = params.out_height();
+  const std::int64_t out_w = params.out_width();
+  const std::int64_t padded_w = params.width + 2 * params.pad;
+  Int32Tensor output({params.batch, params.out_channels, out_h, out_w});
+  for (std::int64_t n = 0; n < params.batch; ++n) {
+    for (std::int64_t k = 0; k < params.out_channels; ++k) {
+      for (std::int64_t p = 0; p < out_h; ++p) {
+        for (std::int64_t q = 0; q < out_w; ++q) {
+          std::int32_t acc = 0;
+          for (std::int64_t s = 0; s < params.kernel_w; ++s) {
+            const std::int64_t x = q * params.stride + s;
+            const std::int64_t row = (n * out_h + p) * padded_w + x;
+            acc += d(row, k * params.kernel_w + s);
+          }
+          output(n, k, p, q) = acc;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+std::int64_t ShiftGemmColToChannel(std::int64_t col,
+                                   const ConvParams& params) {
+  params.Validate();
+  SAFFIRE_CHECK_MSG(col >= 0 && col < ShiftGemmCols(params), "col=" << col);
+  return col / params.kernel_w;
+}
+
+Int32Tensor ShiftGemmConvRef(const Int8Tensor& input, const Int8Tensor& kernel,
+                             const ConvParams& params) {
+  const auto a2 = ShiftGemmLowerInput(input, params);
+  const auto w2 = ShiftGemmLowerKernel(kernel, params);
+  return ShiftGemmFold(GemmRef(a2, w2), params);
+}
+
+}  // namespace saffire

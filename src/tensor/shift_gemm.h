@@ -1,0 +1,64 @@
+// Shift-GEMM convolution lowering.
+//
+// The cuDNN-style im2col lowering (im2col.h) maps output channels to array
+// columns, so a weight-stationary column fault corrupts exactly one channel
+// regardless of kernel size. The paper, however, observes *multi-channel*
+// corruption for the 3×3×3×8 kernel (Fig. 3f/3g) while the 3×3×3×3 kernel
+// corrupts a single channel (Fig. 3e) — which implies a lowering whose
+// stationary weight matrix is smaller than the array for the small kernel
+// (9×9) and wider than the array for the large one (9×24), with (kernel
+// column, output channel) pairs interleaved on the array columns. This file
+// implements that lowering:
+//
+//     D[(n,p,x)][(k,s)] = Σ_{c,r} in_pad(n, c, p·stride + r, x) · w(k,c,r,s)
+//
+// i.e. a GEMM with reduction dimension C·R on the array rows and S·K
+// (k-major: column index = k·S + s) on the array columns; the streamed rows
+// are indexed by (n, p, x) over every padded input column x. The output is
+// recovered by accumulating the S shifted contributions:
+//
+//     out(n,k,p,q) = Σ_s D[(n, p, q·stride + s)][(k,s)]
+//
+// — in hardware this is the accumulator's address generator applying a
+// per-column offset; here the fold is done on the host with identical
+// arithmetic, which preserves fault corruption exactly (each corrupted D
+// column feeds every output pixel of its channel).
+//
+// Tiling consequence (the paper's Fig. 3 observations): a stuck-at fault in
+// array column c corrupts D columns {c + array_cols·t}; with S·K ≤ array
+// columns that is a single (k, s) pair → single-channel corruption; with
+// S·K > array columns the reused column spans ≥ 2 distinct channels →
+// multi-channel corruption.
+#pragma once
+
+#include "tensor/conv.h"
+#include "tensor/tensor.h"
+
+namespace saffire {
+
+// Dimensions of the shift-GEMM: rows stream (n, p, x), reduction C·R,
+// columns S·K.
+std::int64_t ShiftGemmRows(const ConvParams& params);    // N·P·(W + 2·pad)
+std::int64_t ShiftGemmInner(const ConvParams& params);   // C·R
+std::int64_t ShiftGemmCols(const ConvParams& params);    // S·K
+
+// Builds the streamed operand A2[ShiftGemmRows × C·R].
+Int8Tensor ShiftGemmLowerInput(const Int8Tensor& input,
+                               const ConvParams& params);
+
+// Builds the stationary operand W2[C·R × S·K] (column index = k·S + s).
+Int8Tensor ShiftGemmLowerKernel(const Int8Tensor& kernel,
+                                const ConvParams& params);
+
+// Accumulates the GEMM result D back into the N×K×P×Q output tensor.
+Int32Tensor ShiftGemmFold(const Int32Tensor& d, const ConvParams& params);
+
+// Channel that shift-GEMM column `col` feeds (k = col / S).
+std::int64_t ShiftGemmColToChannel(std::int64_t col, const ConvParams& params);
+
+// Convenience: full convolution through the lowering on the CPU reference
+// GEMM (used by tests and as the golden model for this mapping).
+Int32Tensor ShiftGemmConvRef(const Int8Tensor& input, const Int8Tensor& kernel,
+                             const ConvParams& params);
+
+}  // namespace saffire

@@ -1,0 +1,118 @@
+#include "tensor/tiling.h"
+
+#include <sstream>
+
+namespace saffire {
+
+std::int64_t CeilDiv(std::int64_t numerator, std::int64_t denominator) {
+  SAFFIRE_CHECK_MSG(denominator > 0, "denominator=" << denominator);
+  SAFFIRE_CHECK_MSG(numerator >= 0, "numerator=" << numerator);
+  return (numerator + denominator - 1) / denominator;
+}
+
+TileGrid::TileGrid(std::int64_t m, std::int64_t n, std::int64_t k,
+                   std::int64_t tile_m, std::int64_t tile_n,
+                   std::int64_t tile_k)
+    : m_(m), n_(n), k_(k), tile_m_(tile_m), tile_n_(tile_n), tile_k_(tile_k) {
+  SAFFIRE_CHECK_MSG(m > 0 && n > 0 && k > 0,
+                    "m=" << m << " n=" << n << " k=" << k);
+  SAFFIRE_CHECK_MSG(tile_m > 0 && tile_n > 0 && tile_k > 0,
+                    "tile_m=" << tile_m << " tile_n=" << tile_n
+                              << " tile_k=" << tile_k);
+  m_tiles_ = CeilDiv(m, tile_m);
+  n_tiles_ = CeilDiv(n, tile_n);
+  k_tiles_ = CeilDiv(k, tile_k);
+}
+
+std::int64_t TileGrid::TileRows(std::int64_t mi) const {
+  SAFFIRE_CHECK_MSG(mi >= 0 && mi < m_tiles_, "mi=" << mi);
+  return std::min(tile_m_, m_ - mi * tile_m_);
+}
+
+std::int64_t TileGrid::TileCols(std::int64_t ni) const {
+  SAFFIRE_CHECK_MSG(ni >= 0 && ni < n_tiles_, "ni=" << ni);
+  return std::min(tile_n_, n_ - ni * tile_n_);
+}
+
+std::int64_t TileGrid::TileDepth(std::int64_t ki) const {
+  SAFFIRE_CHECK_MSG(ki >= 0 && ki < k_tiles_, "ki=" << ki);
+  return std::min(tile_k_, k_ - ki * tile_k_);
+}
+
+std::int64_t TileGrid::RowStart(std::int64_t mi) const {
+  SAFFIRE_CHECK_MSG(mi >= 0 && mi < m_tiles_, "mi=" << mi);
+  return mi * tile_m_;
+}
+
+std::int64_t TileGrid::ColStart(std::int64_t ni) const {
+  SAFFIRE_CHECK_MSG(ni >= 0 && ni < n_tiles_, "ni=" << ni);
+  return ni * tile_n_;
+}
+
+std::int64_t TileGrid::DepthStart(std::int64_t ki) const {
+  SAFFIRE_CHECK_MSG(ki >= 0 && ki < k_tiles_, "ki=" << ki);
+  return ki * tile_k_;
+}
+
+std::vector<TileCoord> TileGrid::EnumerateTiles() const {
+  std::vector<TileCoord> tiles;
+  tiles.reserve(static_cast<std::size_t>(total_tiles()));
+  for (std::int64_t mi = 0; mi < m_tiles_; ++mi) {
+    for (std::int64_t ni = 0; ni < n_tiles_; ++ni) {
+      for (std::int64_t ki = 0; ki < k_tiles_; ++ki) {
+        tiles.push_back(TileCoord{mi, ni, ki});
+      }
+    }
+  }
+  return tiles;
+}
+
+std::string TileGrid::ToString() const {
+  std::ostringstream os;
+  os << "TileGrid(" << m_ << "x" << n_ << "x" << k_ << " in " << tile_m_
+     << "x" << tile_n_ << "x" << tile_k_ << " tiles => " << m_tiles_ << "x"
+     << n_tiles_ << "x" << k_tiles_ << ")";
+  return os.str();
+}
+
+Int8Tensor ExtractTilePadded(const Int8Tensor& source, std::int64_t row0,
+                             std::int64_t col0, std::int64_t rows,
+                             std::int64_t cols, std::int64_t padded_rows,
+                             std::int64_t padded_cols) {
+  SAFFIRE_CHECK(source.rank() == 2);
+  SAFFIRE_CHECK_MSG(rows > 0 && cols > 0 && rows <= padded_rows &&
+                        cols <= padded_cols,
+                    "rows=" << rows << " cols=" << cols);
+  SAFFIRE_CHECK_MSG(row0 >= 0 && row0 + rows <= source.dim(0) && col0 >= 0 &&
+                        col0 + cols <= source.dim(1),
+                    "region (" << row0 << "," << col0 << ")+" << rows << "x"
+                               << cols << " out of " << source.ShapeString());
+  Int8Tensor tile({padded_rows, padded_cols});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      tile(r, c) = source(row0 + r, col0 + c);
+    }
+  }
+  return tile;
+}
+
+void AccumulateTile(const Int32Tensor& tile, std::int64_t row0,
+                    std::int64_t col0, std::int64_t rows, std::int64_t cols,
+                    Int32Tensor& dest) {
+  SAFFIRE_CHECK(tile.rank() == 2 && dest.rank() == 2);
+  SAFFIRE_CHECK_MSG(rows > 0 && cols > 0 && rows <= tile.dim(0) &&
+                        cols <= tile.dim(1),
+                    "rows=" << rows << " cols=" << cols << " tile "
+                            << tile.ShapeString());
+  SAFFIRE_CHECK_MSG(row0 >= 0 && row0 + rows <= dest.dim(0) && col0 >= 0 &&
+                        col0 + cols <= dest.dim(1),
+                    "region (" << row0 << "," << col0 << ")+" << rows << "x"
+                               << cols << " out of " << dest.ShapeString());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      dest(row0 + r, col0 + c) += tile(r, c);
+    }
+  }
+}
+
+}  // namespace saffire

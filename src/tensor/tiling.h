@@ -1,0 +1,94 @@
+// Operation tiling (Sec. II-C): decomposition of a GEMM that exceeds the
+// systolic array dimensions into array-sized tiles.
+//
+// A C[M×N] = A[M×K]·B[K×N] problem on an array of `tile_m × tile_n` PEs with
+// a depth budget of `tile_k` becomes an (m_tiles × n_tiles × k_tiles) grid;
+// tile (mi, ni) of C is the sum over ki of A-tile(mi, ki) · B-tile(ki, ni) —
+// Eq. (4) in the paper. Edge tiles are zero-padded to the full tile shape,
+// which is what the real hardware does (zeros stream through the same PEs),
+// so fault sites are exercised identically on ragged edges.
+//
+// The same grid arithmetic is reused by the analytical fault-pattern
+// predictor: a faulty PE at (r, c) touches output coordinates
+// {(r + mi·tile_m, c + ni·tile_n)} (output stationary) or columns
+// {c + ni·tile_n} (weight stationary) across all tiles — the paper's
+// "multi-tile" pattern classes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace saffire {
+
+std::int64_t CeilDiv(std::int64_t numerator, std::int64_t denominator);
+
+struct TileCoord {
+  std::int64_t mi = 0;  // tile row index (M direction)
+  std::int64_t ni = 0;  // tile col index (N direction)
+  std::int64_t ki = 0;  // reduction tile index (K direction)
+};
+
+class TileGrid {
+ public:
+  // Dimensions of the full problem and of one tile. All must be positive.
+  TileGrid(std::int64_t m, std::int64_t n, std::int64_t k, std::int64_t tile_m,
+           std::int64_t tile_n, std::int64_t tile_k);
+
+  std::int64_t m() const { return m_; }
+  std::int64_t n() const { return n_; }
+  std::int64_t k() const { return k_; }
+  std::int64_t tile_m() const { return tile_m_; }
+  std::int64_t tile_n() const { return tile_n_; }
+  std::int64_t tile_k() const { return tile_k_; }
+
+  std::int64_t m_tiles() const { return m_tiles_; }
+  std::int64_t n_tiles() const { return n_tiles_; }
+  std::int64_t k_tiles() const { return k_tiles_; }
+  std::int64_t total_tiles() const { return m_tiles_ * n_tiles_ * k_tiles_; }
+
+  // True when the problem fits in a single tile (no tiling effect; the
+  // paper's 16×16-on-16×16 configurations).
+  bool untiled() const { return total_tiles() == 1; }
+
+  // Extent of a specific tile; interior tiles are full-sized, edge tiles
+  // carry the remainder.
+  std::int64_t TileRows(std::int64_t mi) const;   // rows of A/C tile mi
+  std::int64_t TileCols(std::int64_t ni) const;   // cols of B/C tile ni
+  std::int64_t TileDepth(std::int64_t ki) const;  // reduction extent of ki
+
+  // First row/col/depth coordinate covered by a tile.
+  std::int64_t RowStart(std::int64_t mi) const;
+  std::int64_t ColStart(std::int64_t ni) const;
+  std::int64_t DepthStart(std::int64_t ki) const;
+
+  // Enumerates all tiles in the execution order used by the driver:
+  // for each (mi, ni) output tile, all ki reduction steps consecutively —
+  // the order in which a weight-stationary accelerator revisits the same
+  // physical PEs.
+  std::vector<TileCoord> EnumerateTiles() const;
+
+  std::string ToString() const;
+
+ private:
+  std::int64_t m_, n_, k_;
+  std::int64_t tile_m_, tile_n_, tile_k_;
+  std::int64_t m_tiles_, n_tiles_, k_tiles_;
+};
+
+// Copies the `rows × cols` region of `source` starting at (row0, col0) into
+// a zero-padded `padded_rows × padded_cols` tile.
+Int8Tensor ExtractTilePadded(const Int8Tensor& source, std::int64_t row0,
+                             std::int64_t col0, std::int64_t rows,
+                             std::int64_t cols, std::int64_t padded_rows,
+                             std::int64_t padded_cols);
+
+// Adds the top-left `rows × cols` region of `tile` into `dest` at
+// (row0, col0). Padding rows/cols of the tile are ignored.
+void AccumulateTile(const Int32Tensor& tile, std::int64_t row0,
+                    std::int64_t col0, std::int64_t rows, std::int64_t cols,
+                    Int32Tensor& dest);
+
+}  // namespace saffire

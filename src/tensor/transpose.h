@@ -1,0 +1,23 @@
+// Matrix transposition, used by the input-stationary dataflow (which runs
+// the weight-stationary datapath on transposed operands) and by ABFT
+// checksum construction.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace saffire {
+
+template <typename T>
+Tensor<T> Transpose(const Tensor<T>& matrix) {
+  SAFFIRE_CHECK_MSG(matrix.rank() == 2,
+                    "transpose requires rank 2, got " << matrix.ShapeString());
+  Tensor<T> out({matrix.dim(1), matrix.dim(0)});
+  for (std::int64_t r = 0; r < matrix.dim(0); ++r) {
+    for (std::int64_t c = 0; c < matrix.dim(1); ++c) {
+      out(c, r) = matrix(r, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace saffire

@@ -1,0 +1,110 @@
+// Regression tests for non-square arrays. A fuzzed campaign once tripped
+// the scratchpad width limit: on a rows-heavy array the WS plan produced
+// A-tiles wider than a scratchpad row (whose width is the array column
+// count). The tile plan must bound the reduction block by
+// min(rows, cols); these tests pin the fix across the full pipeline.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fi/runner.h"
+#include "patterns/predictor.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+namespace {
+
+AccelConfig NonSquare(std::int32_t rows, std::int32_t cols) {
+  AccelConfig config;
+  config.array.rows = rows;
+  config.array.cols = cols;
+  config.max_compute_rows = 64;
+  config.acc_rows = 64;
+  config.spad_rows = 64 + std::max(rows, cols);
+  config.dram_bytes = 1 << 20;
+  return config;
+}
+
+Int8Tensor RandomInt8(Rng& rng, std::int64_t rows, std::int64_t cols) {
+  Int8Tensor t({rows, cols});
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t.flat(i) = static_cast<std::int8_t>(rng.UniformInt(-30, 30));
+  }
+  return t;
+}
+
+TEST(NonSquareDriverTest, RowsHeavyPlanBoundsReductionBlock) {
+  const auto config = NonSquare(8, 4);
+  const auto ws =
+      Driver::PlanTiles(20, 20, 20, config, Dataflow::kWeightStationary);
+  EXPECT_EQ(ws.tile_k(), 4);  // min(rows=8, cols=4): scratchpad row width
+  EXPECT_EQ(ws.tile_n(), 4);
+  const auto is =
+      Driver::PlanTiles(20, 20, 20, config, Dataflow::kInputStationary);
+  EXPECT_EQ(is.tile_k(), 4);
+  EXPECT_EQ(is.tile_m(), 4);
+}
+
+TEST(NonSquareDriverTest, ColsHeavyPlanUsesAllRows) {
+  const auto config = NonSquare(4, 8);
+  const auto ws =
+      Driver::PlanTiles(20, 20, 20, config, Dataflow::kWeightStationary);
+  EXPECT_EQ(ws.tile_k(), 4);  // min(rows=4, cols=8)
+  EXPECT_EQ(ws.tile_n(), 8);
+  const auto os =
+      Driver::PlanTiles(20, 20, 20, config, Dataflow::kOutputStationary);
+  EXPECT_EQ(os.tile_m(), 4);
+  EXPECT_EQ(os.tile_k(), 8);  // A-tile width = scratchpad width
+}
+
+class NonSquareGemmTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(NonSquareGemmTest, AllDataflowsMatchReference) {
+  const auto [rows, cols] = GetParam();
+  Accelerator accel(NonSquare(static_cast<std::int32_t>(rows),
+                              static_cast<std::int32_t>(cols)));
+  Driver driver(accel);
+  Rng rng(static_cast<std::uint64_t>(rows * 100 + cols));
+  const auto a = RandomInt8(rng, 19, 23);
+  const auto b = RandomInt8(rng, 23, 17);
+  const auto expected = GemmRef(a, b);
+  for (const Dataflow dataflow :
+       {Dataflow::kWeightStationary, Dataflow::kOutputStationary,
+        Dataflow::kInputStationary}) {
+    ExecOptions options;
+    options.dataflow = dataflow;
+    EXPECT_EQ(driver.Gemm(a, b, options), expected)
+        << rows << "x" << cols << " " << ToString(dataflow);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, NonSquareGemmTest,
+                         ::testing::Values(std::pair{8, 4}, std::pair{4, 8},
+                                           std::pair{16, 2}, std::pair{2, 16},
+                                           std::pair{3, 5}));
+
+TEST(NonSquareDriverTest, PredictionStaysExactOnRowsHeavyArray) {
+  // The original failure path: WS campaign on an 8×4 array.
+  const auto config = NonSquare(8, 4);
+  WorkloadSpec workload;
+  workload.name = "gemm-12";
+  workload.m = workload.k = workload.n = 12;
+  FiRunner runner(config);
+  const auto golden = runner.RunGolden(workload, Dataflow::kWeightStationary);
+  const auto context =
+      MakeClassifyContext(workload, config, Dataflow::kWeightStationary);
+  for (const PeCoord site : AllPeCoords(config.array)) {
+    const FaultSpec fault = StuckAtAdder(site, 8, StuckPolarity::kStuckAt1);
+    const auto faulty =
+        runner.RunFaulty(workload, Dataflow::kWeightStationary, {&fault, 1});
+    const auto map = ExtractCorruption(golden.output, faulty.output);
+    const auto prediction = PredictPattern(
+        workload, config, Dataflow::kWeightStationary, fault);
+    EXPECT_EQ(map.corrupted, prediction.coords) << fault.ToString();
+    EXPECT_EQ(Classify(map, context), prediction.pattern)
+        << fault.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace saffire

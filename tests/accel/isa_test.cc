@@ -1,0 +1,67 @@
+#include "accel/isa.h"
+
+#include <gtest/gtest.h>
+
+namespace saffire {
+namespace {
+
+TEST(DisassembleTest, Config) {
+  const Instruction instr =
+      ConfigOp{Dataflow::kOutputStationary, Activation::kRelu, 6};
+  EXPECT_EQ(Disassemble(instr), "config dataflow=OS act=relu shift=6");
+}
+
+TEST(DisassembleTest, Mvin) {
+  const Instruction instr = MvinOp{0x100, 16, 32, 8, 4};
+  EXPECT_EQ(Disassemble(instr), "mvin dram=0x100 stride=16 spad=32 8x4");
+}
+
+TEST(DisassembleTest, Preload) {
+  const Instruction instr = PreloadOp{64, 16, 12};
+  EXPECT_EQ(Disassemble(instr), "preload spad=64 16x12");
+}
+
+TEST(DisassembleTest, ComputeWsAndOs) {
+  ComputeOp ws;
+  ws.a_spad_row = 0;
+  ws.a_rows = 100;
+  ws.a_cols = 16;
+  ws.acc_row = 0;
+  ws.accumulate = true;
+  EXPECT_EQ(Disassemble(Instruction{ws}), "compute a_spad=0 100x16 acc=0 +=");
+
+  ComputeOp os = ws;
+  os.accumulate = false;
+  os.b_spad_row = 200;
+  os.b_rows = 16;
+  os.b_cols = 9;
+  EXPECT_EQ(Disassemble(Instruction{os}),
+            "compute a_spad=0 100x16 acc=0 = b_spad=200 16x9");
+}
+
+TEST(DisassembleTest, MvoutAndFence) {
+  EXPECT_EQ(Disassemble(Instruction{Mvout32Op{0x40, 8, 0, 4, 4}}),
+            "mvout32 dram=0x40 stride=8 acc=0 4x4");
+  EXPECT_EQ(Disassemble(Instruction{Mvout8Op{0x40, 8, 0, 4, 4}}),
+            "mvout8 dram=0x40 stride=8 acc=0 4x4");
+  EXPECT_EQ(Disassemble(Instruction{FenceOp{}}), "fence");
+}
+
+TEST(ProgramTest, CollectsAndDisassembles) {
+  Program program;
+  EXPECT_TRUE(program.empty());
+  program.Push(FenceOp{});
+  program.Push(PreloadOp{0, 2, 2});
+  EXPECT_EQ(program.size(), 2u);
+  const std::string listing = program.Disassembly();
+  EXPECT_NE(listing.find("0: fence"), std::string::npos);
+  EXPECT_NE(listing.find("1: preload spad=0 2x2"), std::string::npos);
+}
+
+TEST(ActivationTest, Names) {
+  EXPECT_EQ(ToString(Activation::kNone), "none");
+  EXPECT_EQ(ToString(Activation::kRelu), "relu");
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,130 @@
+#include "accel/scratchpad.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+namespace saffire {
+namespace {
+
+TEST(ScratchpadTest, ReadWriteRoundTrip) {
+  Scratchpad spad(32, 16);
+  spad.Write(0, 0, -5);
+  spad.Write(31, 15, 7);
+  EXPECT_EQ(spad.Read(0, 0), -5);
+  EXPECT_EQ(spad.Read(31, 15), 7);
+  EXPECT_EQ(spad.Read(10, 10), 0);
+}
+
+TEST(ScratchpadTest, BoundsChecked) {
+  Scratchpad spad(32, 16);
+  EXPECT_THROW(spad.Read(32, 0), std::invalid_argument);
+  EXPECT_THROW(spad.Read(0, 16), std::invalid_argument);
+  EXPECT_THROW(spad.Write(-1, 0, 0), std::invalid_argument);
+}
+
+TEST(ScratchpadTest, BlockRoundTrip) {
+  Scratchpad spad(32, 16);
+  const auto block = Int8Tensor::FromRows({{1, 2, 3}, {4, 5, 6}});
+  spad.WriteBlock(5, block);
+  EXPECT_EQ(spad.ReadBlock(5, 2, 3), block);
+  // Columns beyond the block stay zero.
+  EXPECT_EQ(spad.Read(5, 3), 0);
+}
+
+TEST(ScratchpadTest, BlockBoundsChecked) {
+  Scratchpad spad(8, 4);
+  EXPECT_THROW(spad.WriteBlock(7, Int8Tensor({2, 2})), std::invalid_argument);
+  EXPECT_THROW(spad.WriteBlock(0, Int8Tensor({2, 5})), std::invalid_argument);
+  EXPECT_THROW(spad.ReadBlock(7, 2, 2), std::invalid_argument);
+}
+
+TEST(ScratchpadTest, ClearZeroes) {
+  Scratchpad spad(4, 4);
+  spad.Write(1, 1, 9);
+  spad.Clear();
+  EXPECT_EQ(spad.Read(1, 1), 0);
+}
+
+TEST(AccumulatorMemTest, OverwriteAndAccumulate) {
+  AccumulatorMem acc(16, 4);
+  const auto block = Int32Tensor::FromRows({{10, 20}, {30, 40}});
+  acc.WriteBlock(2, block, /*accumulate=*/false);
+  EXPECT_EQ(acc.Read(2, 0), 10);
+  acc.WriteBlock(2, block, /*accumulate=*/true);
+  EXPECT_EQ(acc.Read(2, 0), 20);
+  EXPECT_EQ(acc.Read(3, 1), 80);
+  acc.WriteBlock(2, block, /*accumulate=*/false);
+  EXPECT_EQ(acc.Read(2, 0), 10);
+}
+
+TEST(AccumulatorMemTest, ReadBlock) {
+  AccumulatorMem acc(16, 4);
+  const auto block = Int32Tensor::FromRows({{1, 2}, {3, 4}});
+  acc.WriteBlock(0, block, false);
+  EXPECT_EQ(acc.ReadBlock(0, 2, 2), block);
+}
+
+TEST(AccumulatorMemTest, BoundsChecked) {
+  AccumulatorMem acc(8, 4);
+  EXPECT_THROW(acc.Read(8, 0), std::invalid_argument);
+  EXPECT_THROW(acc.WriteBlock(7, Int32Tensor({2, 2}), false),
+               std::invalid_argument);
+  EXPECT_THROW(acc.ReadBlock(0, 1, 5), std::invalid_argument);
+}
+
+TEST(RequantizeTest, IdentityWithoutShift) {
+  EXPECT_EQ(Requantize(5, Activation::kNone, 0), 5);
+  EXPECT_EQ(Requantize(-5, Activation::kNone, 0), -5);
+}
+
+TEST(RequantizeTest, SaturatesToInt8) {
+  EXPECT_EQ(Requantize(1000, Activation::kNone, 0), 127);
+  EXPECT_EQ(Requantize(-1000, Activation::kNone, 0), -128);
+}
+
+TEST(RequantizeTest, ReluClampsNegative) {
+  EXPECT_EQ(Requantize(-77, Activation::kRelu, 0), 0);
+  EXPECT_EQ(Requantize(77, Activation::kRelu, 0), 77);
+}
+
+TEST(RequantizeTest, RoundingShiftHalfAwayFromZero) {
+  EXPECT_EQ(Requantize(6, Activation::kNone, 2), 2);   // 1.5 → 2
+  EXPECT_EQ(Requantize(5, Activation::kNone, 2), 1);   // 1.25 → 1
+  EXPECT_EQ(Requantize(-6, Activation::kNone, 2), -2); // −1.5 → −2
+  EXPECT_EQ(Requantize(-5, Activation::kNone, 2), -1);
+  EXPECT_EQ(Requantize(256, Activation::kNone, 4), 16);
+}
+
+TEST(RequantizeTest, ReluAppliesBeforeShift) {
+  EXPECT_EQ(Requantize(-256, Activation::kRelu, 4), 0);
+}
+
+TEST(RequantizeTest, RejectsBadShift) {
+  EXPECT_THROW(Requantize(0, Activation::kNone, -1), std::invalid_argument);
+  EXPECT_THROW(Requantize(0, Activation::kNone, 32), std::invalid_argument);
+}
+
+class RequantizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RequantizeSweep, ShiftMatchesFloatRounding) {
+  const int shift = GetParam();
+  for (std::int32_t v = -4000; v <= 4000; v += 37) {
+    const double scaled = static_cast<double>(v) / (1 << shift);
+    const double rounded =
+        scaled >= 0 ? std::floor(scaled + 0.5) : std::ceil(scaled - 0.5);
+    const double clamped = std::clamp(rounded, -128.0, 127.0);
+    EXPECT_EQ(Requantize(v, Activation::kNone, shift),
+              static_cast<std::int8_t>(clamped))
+        << "v=" << v << " shift=" << shift;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, RequantizeSweep,
+                         ::testing::Values(0, 1, 2, 4, 8));
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,177 @@
+#include "appfi/appfi.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "fi/runner.h"
+
+namespace saffire {
+namespace {
+
+AccelConfig TestConfig() {
+  AccelConfig config;  // 16×16 array
+  config.max_compute_rows = 1024;
+  config.spad_rows = 2048;
+  config.acc_rows = 1024;
+  config.dram_bytes = 8 << 20;
+  return config;
+}
+
+TEST(PerturbModeTest, Names) {
+  EXPECT_EQ(ToString(PerturbMode::kSetBit), "set-bit");
+  EXPECT_EQ(ToString(PerturbMode::kAddDelta), "add-delta");
+}
+
+TEST(InjectPatternTest, PerturbsExactlyPredictedCoords) {
+  const auto config = TestConfig();
+  const auto workload = Gemm16x16();
+  FiRunner runner(config);
+  const auto golden =
+      runner.RunGolden(workload, Dataflow::kOutputStationary).output;
+  const FaultSpec fault =
+      StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1);
+  PerturbSpec perturb;
+  perturb.mode = PerturbMode::kSetBit;
+  perturb.bit = 8;
+  const auto faulty = InjectPattern(golden, workload, config,
+                                    Dataflow::kOutputStationary, fault,
+                                    perturb);
+  std::int64_t differences = 0;
+  for (std::int64_t r = 0; r < 16; ++r) {
+    for (std::int64_t c = 0; c < 16; ++c) {
+      if (faulty(r, c) != golden(r, c)) {
+        ++differences;
+        EXPECT_EQ(r, 4);
+        EXPECT_EQ(c, 9);
+        EXPECT_EQ(faulty(r, c), golden(r, c) | 256);
+      }
+    }
+  }
+  EXPECT_EQ(differences, 1);
+}
+
+TEST(InjectPatternTest, MaskedFaultLeavesTensorUnchanged) {
+  const auto config = TestConfig();
+  auto workload = Conv16Kernel3x3x3x3();  // S·K = 9: columns 9..15 unused
+  FiRunner runner(config);
+  const auto golden =
+      runner.RunGolden(workload, Dataflow::kWeightStationary).output;
+  const FaultSpec fault =
+      StuckAtAdder(PeCoord{0, 12}, 8, StuckPolarity::kStuckAt1);
+  const auto faulty =
+      InjectPattern(golden, workload, config, Dataflow::kWeightStationary,
+                    fault, PerturbSpec{});
+  EXPECT_EQ(faulty, golden);
+}
+
+TEST(InjectPatternTest, RejectsWrongGoldenShape) {
+  const auto config = TestConfig();
+  EXPECT_THROW(
+      InjectPattern(Int32Tensor({4, 4}), Gemm16x16(), config,
+                    Dataflow::kWeightStationary,
+                    StuckAtAdder(PeCoord{0, 0}, 8, StuckPolarity::kStuckAt1),
+                    PerturbSpec{}),
+      std::invalid_argument);
+}
+
+TEST(EmulateExtractionFaultTest, RejectsUnsupportedConfigurations) {
+  const auto config = TestConfig();
+  FiRunner runner(config);
+  const auto golden =
+      runner.RunGolden(Gemm16x16(), Dataflow::kWeightStationary).output;
+  // Non-ones workload.
+  auto random_workload = Gemm16x16();
+  random_workload.weight_fill = OperandFill::kRandom;
+  EXPECT_THROW(
+      EmulateExtractionFault(golden, random_workload, config,
+                             Dataflow::kWeightStationary,
+                             StuckAtAdder(PeCoord{0, 0}, 8,
+                                          StuckPolarity::kStuckAt1)),
+      std::invalid_argument);
+  // Stuck-at-0.
+  EXPECT_THROW(
+      EmulateExtractionFault(golden, Gemm16x16(), config,
+                             Dataflow::kWeightStationary,
+                             StuckAtAdder(PeCoord{0, 0}, 8,
+                                          StuckPolarity::kStuckAt0)),
+      std::invalid_argument);
+  // Bit colliding with real partial sums (≤ 16).
+  EXPECT_THROW(
+      EmulateExtractionFault(golden, Gemm16x16(), config,
+                             Dataflow::kWeightStationary,
+                             StuckAtAdder(PeCoord{0, 0}, 2,
+                                          StuckPolarity::kStuckAt1)),
+      std::invalid_argument);
+}
+
+TEST(SampleAdderFaultTest, StaysInBoundsAndCoversArray) {
+  const ArrayConfig config;
+  Rng rng(7);
+  std::set<std::pair<int, int>> sites;
+  for (int i = 0; i < 2000; ++i) {
+    const FaultSpec fault = SampleAdderFault(config, rng, 4, 20);
+    EXPECT_GE(fault.pe.row, 0);
+    EXPECT_LT(fault.pe.row, 16);
+    EXPECT_GE(fault.pe.col, 0);
+    EXPECT_LT(fault.pe.col, 16);
+    EXPECT_GE(fault.bit, 4);
+    EXPECT_LE(fault.bit, 20);
+    EXPECT_EQ(fault.signal, MacSignal::kAdderOut);
+    sites.insert({fault.pe.row, fault.pe.col});
+  }
+  EXPECT_GT(sites.size(), 200u);
+  EXPECT_THROW(SampleAdderFault(config, rng, 8, 40), std::invalid_argument);
+}
+
+// The headline cross-validation: for every Table I workload and dataflow,
+// the application-level injector reproduces the cycle-accurate faulty
+// output bit-for-bit — the paper's proposed LLTFI integration, validated.
+struct CrossValidateCase {
+  const char* label;
+  WorkloadSpec (*workload)();
+  Dataflow dataflow;
+};
+
+class CrossValidateTest : public ::testing::TestWithParam<CrossValidateCase> {
+};
+
+TEST_P(CrossValidateTest, AppLevelInjectionMatchesSimulation) {
+  const auto& tc = GetParam();
+  const auto config = TestConfig();
+  for (const PeCoord site :
+       {PeCoord{0, 0}, PeCoord{4, 9}, PeCoord{15, 15}, PeCoord{7, 3}}) {
+    const FaultSpec fault =
+        StuckAtAdder(site, 8, StuckPolarity::kStuckAt1);
+    const CrossValidation validation =
+        CrossValidate(tc.workload(), config, tc.dataflow, fault);
+    EXPECT_TRUE(validation.coords_match)
+        << tc.label << " " << fault.ToString();
+    EXPECT_TRUE(validation.values_match)
+        << tc.label << " " << fault.ToString();
+    EXPECT_GT(validation.simulated_pe_steps, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, CrossValidateTest,
+    ::testing::Values(
+        CrossValidateCase{"gemm16_ws", &Gemm16x16,
+                          Dataflow::kWeightStationary},
+        CrossValidateCase{"gemm16_os", &Gemm16x16,
+                          Dataflow::kOutputStationary},
+        CrossValidateCase{"gemm112_ws", &Gemm112x112,
+                          Dataflow::kWeightStationary},
+        CrossValidateCase{"gemm112_os", &Gemm112x112,
+                          Dataflow::kOutputStationary},
+        CrossValidateCase{"conv16k3_ws", &Conv16Kernel3x3x3x3,
+                          Dataflow::kWeightStationary},
+        CrossValidateCase{"conv16k8_ws", &Conv16Kernel3x3x3x8,
+                          Dataflow::kWeightStationary}),
+    [](const ::testing::TestParamInfo<CrossValidateCase>& param_info) {
+      return std::string(param_info.param.label);
+    });
+
+}  // namespace
+}  // namespace saffire

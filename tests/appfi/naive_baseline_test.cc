@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "appfi/appfi.h"
+#include "patterns/corruption.h"
+
+namespace saffire {
+namespace {
+
+TEST(InjectNaiveBaselineTest, CorruptsExactlyOneElementByOneBit) {
+  Int32Tensor golden({8, 8});
+  for (std::int64_t i = 0; i < golden.size(); ++i) {
+    golden.flat(i) = static_cast<std::int32_t>(i * 3 - 17);
+  }
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto faulty = InjectNaiveBaseline(golden, rng, 8);
+    const auto map = ExtractCorruption(golden, faulty);
+    ASSERT_EQ(map.count(), 1) << "trial " << trial;
+    EXPECT_EQ(map.max_abs_delta, 256) << "trial " << trial;
+  }
+}
+
+TEST(InjectNaiveBaselineTest, CoversTheWholeTensor) {
+  Int32Tensor golden({4, 4});
+  Rng rng(2);
+  std::set<std::pair<std::int64_t, std::int64_t>> hit;
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto faulty = InjectNaiveBaseline(golden, rng, 0);
+    const auto map = ExtractCorruption(golden, faulty);
+    ASSERT_EQ(map.count(), 1);
+    hit.insert({map.corrupted.front().row, map.corrupted.front().col});
+  }
+  EXPECT_EQ(hit.size(), 16u);  // uniform over all elements
+}
+
+TEST(InjectNaiveBaselineTest, FlipIsInvolutive) {
+  Int32Tensor golden({2, 3});
+  golden(1, 2) = -99;
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const auto once = InjectNaiveBaseline(golden, rng_a, 5);
+  const auto twice = InjectNaiveBaseline(once, rng_b, 5);
+  EXPECT_EQ(twice, golden);  // same element (same rng stream), same bit
+}
+
+TEST(InjectNaiveBaselineTest, RejectsBadArguments) {
+  Rng rng(4);
+  EXPECT_THROW(InjectNaiveBaseline(Int32Tensor({2, 2, 2}), rng, 0),
+               std::invalid_argument);
+  EXPECT_THROW(InjectNaiveBaseline(Int32Tensor({2, 2}), rng, 32),
+               std::invalid_argument);
+  EXPECT_THROW(InjectNaiveBaseline(Int32Tensor({2, 2}), rng, -1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saffire

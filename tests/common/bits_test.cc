@@ -1,0 +1,164 @@
+#include "common/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <tuple>
+
+namespace saffire {
+namespace {
+
+TEST(SignExtendTest, IdentityWithin64Bits) {
+  EXPECT_EQ(SignExtend(0, 64), 0);
+  EXPECT_EQ(SignExtend(-1, 64), -1);
+  EXPECT_EQ(SignExtend(123456789, 64), 123456789);
+}
+
+TEST(SignExtendTest, TruncatesPositiveOverflow) {
+  // 8-bit: 128 wraps to -128.
+  EXPECT_EQ(SignExtend(128, 8), -128);
+  EXPECT_EQ(SignExtend(255, 8), -1);
+  EXPECT_EQ(SignExtend(256, 8), 0);
+  EXPECT_EQ(SignExtend(257, 8), 1);
+}
+
+TEST(SignExtendTest, PreservesInRangeValues) {
+  for (int v = -128; v <= 127; ++v) {
+    EXPECT_EQ(SignExtend(v, 8), v) << "v=" << v;
+  }
+}
+
+TEST(SignExtendTest, NegativeValuesAtWiderWidths) {
+  EXPECT_EQ(SignExtend(-1, 32), -1);
+  EXPECT_EQ(SignExtend(std::int64_t{1} << 31, 32),
+            std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(SignExtend((std::int64_t{1} << 31) - 1, 32),
+            std::numeric_limits<std::int32_t>::max());
+}
+
+TEST(SignExtendTest, SingleBitWidth) {
+  EXPECT_EQ(SignExtend(0, 1), 0);
+  EXPECT_EQ(SignExtend(1, 1), -1);  // the only set bit is the sign bit
+}
+
+TEST(SignExtendTest, RejectsBadWidths) {
+  EXPECT_THROW(SignExtend(0, 0), std::invalid_argument);
+  EXPECT_THROW(SignExtend(0, 65), std::invalid_argument);
+  EXPECT_THROW(SignExtend(0, -3), std::invalid_argument);
+}
+
+TEST(ApplyStuckAtTest, StuckAt1SetsBit) {
+  EXPECT_EQ(ApplyStuckAt(0, 0, StuckPolarity::kStuckAt1, 32), 1);
+  EXPECT_EQ(ApplyStuckAt(0, 4, StuckPolarity::kStuckAt1, 32), 16);
+  EXPECT_EQ(ApplyStuckAt(16, 4, StuckPolarity::kStuckAt1, 32), 16);
+}
+
+TEST(ApplyStuckAtTest, StuckAt0ClearsBit) {
+  EXPECT_EQ(ApplyStuckAt(16, 4, StuckPolarity::kStuckAt0, 32), 0);
+  EXPECT_EQ(ApplyStuckAt(17, 0, StuckPolarity::kStuckAt0, 32), 16);
+  EXPECT_EQ(ApplyStuckAt(0, 7, StuckPolarity::kStuckAt0, 32), 0);
+}
+
+TEST(ApplyStuckAtTest, SignBitStuckAt1MakesNegative) {
+  EXPECT_EQ(ApplyStuckAt(0, 31, StuckPolarity::kStuckAt1, 32),
+            std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(ApplyStuckAt(5, 7, StuckPolarity::kStuckAt1, 8), 5 - 128);
+}
+
+TEST(ApplyStuckAtTest, SignBitStuckAt0MakesNonNegative) {
+  EXPECT_EQ(ApplyStuckAt(-1, 31, StuckPolarity::kStuckAt0, 32),
+            std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ(ApplyStuckAt(-128, 7, StuckPolarity::kStuckAt0, 8), 0);
+}
+
+TEST(ApplyStuckAtTest, Idempotent) {
+  // A permanent fault applied twice equals the fault applied once — the
+  // property that makes repeated per-cycle application physical.
+  for (const auto polarity :
+       {StuckPolarity::kStuckAt0, StuckPolarity::kStuckAt1}) {
+    for (int bit = 0; bit < 32; ++bit) {
+      const std::int64_t value = 0x5A5A5A5A;
+      const std::int64_t once = ApplyStuckAt(value, bit, polarity, 32);
+      EXPECT_EQ(ApplyStuckAt(once, bit, polarity, 32), once)
+          << "bit=" << bit;
+    }
+  }
+}
+
+TEST(ApplyStuckAtTest, RejectsBitOutsideWidth) {
+  EXPECT_THROW(ApplyStuckAt(0, 8, StuckPolarity::kStuckAt1, 8),
+               std::invalid_argument);
+  EXPECT_THROW(ApplyStuckAt(0, -1, StuckPolarity::kStuckAt1, 8),
+               std::invalid_argument);
+}
+
+TEST(FlipBitTest, TogglesAndRestores) {
+  const std::int64_t value = 12345;
+  for (int bit = 0; bit < 32; ++bit) {
+    const std::int64_t flipped = FlipBit(value, bit, 32);
+    EXPECT_NE(flipped, value) << "bit=" << bit;
+    EXPECT_EQ(FlipBit(flipped, bit, 32), value) << "bit=" << bit;
+  }
+}
+
+TEST(FlipBitTest, FlippingSignBitNegates) {
+  EXPECT_EQ(FlipBit(0, 7, 8), -128);
+  EXPECT_EQ(FlipBit(-128, 7, 8), 0);
+}
+
+TEST(TestBitTest, MatchesShift) {
+  const std::int64_t value = 0b1011001;
+  EXPECT_TRUE(TestBit(value, 0));
+  EXPECT_FALSE(TestBit(value, 1));
+  EXPECT_FALSE(TestBit(value, 2));
+  EXPECT_TRUE(TestBit(value, 3));
+  EXPECT_TRUE(TestBit(value, 4));
+  EXPECT_FALSE(TestBit(value, 5));
+  EXPECT_TRUE(TestBit(value, 6));
+}
+
+TEST(TestBitTest, NegativeValuesHaveHighBitsSet) {
+  EXPECT_TRUE(TestBit(-1, 63));
+  EXPECT_TRUE(TestBit(-1, 0));
+}
+
+TEST(ToBinaryTest, FormatsMsbFirst) {
+  EXPECT_EQ(ToBinary(5, 4), "0101");
+  EXPECT_EQ(ToBinary(-1, 4), "1111");
+  EXPECT_EQ(ToBinary(16, 8), "00010000");
+}
+
+TEST(StuckPolarityTest, ToStringNames) {
+  EXPECT_EQ(ToString(StuckPolarity::kStuckAt0), "SA0");
+  EXPECT_EQ(ToString(StuckPolarity::kStuckAt1), "SA1");
+}
+
+// Property sweep: ApplyStuckAt agrees with manual bit arithmetic on a grid
+// of values, widths, bits, and polarities.
+class StuckAtPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StuckAtPropertyTest, MatchesManualBitArithmetic) {
+  const int width = std::get<0>(GetParam());
+  const int bit = std::get<1>(GetParam());
+  if (bit >= width) GTEST_SKIP() << "bit outside width";
+  const std::int64_t probes[] = {0,  1,   -1,   2,    -2,   16,  -16,
+                                 42, 127, -128, 1000, -999, 65535};
+  for (const std::int64_t value : probes) {
+    const auto uvalue = static_cast<std::uint64_t>(value);
+    const std::uint64_t mask = std::uint64_t{1} << bit;
+    EXPECT_EQ(ApplyStuckAt(value, bit, StuckPolarity::kStuckAt1, width),
+              SignExtend(static_cast<std::int64_t>(uvalue | mask), width));
+    EXPECT_EQ(ApplyStuckAt(value, bit, StuckPolarity::kStuckAt0, width),
+              SignExtend(static_cast<std::int64_t>(uvalue & ~mask), width));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndBits, StuckAtPropertyTest,
+    ::testing::Combine(::testing::Values(4, 8, 16, 32, 64),
+                       ::testing::Values(0, 1, 3, 7, 15, 31, 63)));
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,47 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace saffire {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+  EXPECT_EQ(CsvEscape("123"), "123");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"a", "b"});
+  writer.WriteRow({"1", "2"});
+  writer.WriteRow({"x,y", "z"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n\"x,y\",z\n");
+  EXPECT_EQ(writer.rows_written(), 2u);
+}
+
+TEST(CsvWriterTest, RejectsWrongArity) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"a", "b", "c"});
+  EXPECT_THROW(writer.WriteRow({"1", "2"}), std::invalid_argument);
+  EXPECT_THROW(writer.WriteRow({"1", "2", "3", "4"}), std::invalid_argument);
+  writer.WriteRow({"1", "2", "3"});
+  EXPECT_EQ(writer.rows_written(), 1u);
+}
+
+TEST(CsvWriterTest, RejectsEmptyHeader) {
+  std::ostringstream out;
+  EXPECT_THROW(CsvWriter(out, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saffire

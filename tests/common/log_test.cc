@@ -1,0 +1,67 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace saffire {
+namespace {
+
+// The log level is process-global; restore it around each test.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_EQ(ToString(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(ToString(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(ToString(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(ToString(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(ToString(LogLevel::kError), "ERROR");
+}
+
+TEST_F(LogTest, SetAndGetRoundTrip) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kTrace);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kTrace);
+}
+
+TEST_F(LogTest, EnabledRespectsThreshold) {
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(LogEnabled(LogLevel::kTrace));
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, DisabledMacroSkipsMessageConstruction) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  const auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "built";
+  };
+  SAFFIRE_LOG_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);
+  testing::internal::CaptureStderr();
+  SAFFIRE_LOG_ERROR << expensive();
+  const std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(output.find("built"), std::string::npos);
+  EXPECT_NE(output.find("[ERROR"), std::string::npos);
+  EXPECT_NE(output.find("log_test.cc"), std::string::npos);
+}
+
+TEST_F(LogTest, StreamsArbitraryTypes) {
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  SAFFIRE_LOG_INFO << "value=" << 42 << " pi=" << 3.5 << " flag=" << true;
+  const std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("value=42 pi=3.5 flag=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saffire

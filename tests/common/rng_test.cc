@@ -1,0 +1,165 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace saffire {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.UniformInt(-5, 11);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 11);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.UniformInt(3, 3), 3);
+  }
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.UniformInt(2, 1), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(1234);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(rng.UniformInt(0, 7));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.UniformInt(0, kBuckets - 1)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    // 5σ tolerance for a binomial(kDraws, 1/16) count.
+    const double sigma = std::sqrt(expected * (1.0 - 1.0 / kBuckets));
+    EXPECT_NEAR(counts[b], expected, 5 * sigma) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  Rng rng(8);
+  constexpr int kDraws = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.Normal(3.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.Bernoulli(-0.1), std::invalid_argument);
+  EXPECT_THROW(rng.Bernoulli(1.1), std::invalid_argument);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(11);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = values;
+  rng.Shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsSortedDistinctInRange) {
+  Rng rng(21);
+  const auto sample = rng.SampleWithoutReplacement(1000, 50);
+  ASSERT_EQ(sample.size(), 50u);
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    EXPECT_GE(sample[i], 0);
+    EXPECT_LT(sample[i], 1000);
+    if (i > 0) {
+      EXPECT_LT(sample[i - 1], sample[i]);
+    }
+  }
+}
+
+TEST(RngTest, SampleWholePopulation) {
+  Rng rng(22);
+  const auto sample = rng.SampleWithoutReplacement(16, 16);
+  ASSERT_EQ(sample.size(), 16u);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(sample[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(RngTest, SampleZero) {
+  Rng rng(23);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+  EXPECT_THROW(rng.SampleWithoutReplacement(5, 6), std::invalid_argument);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(77);
+  Rng child = parent.Fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(77);
+  (void)parent_copy();  // align with the draw consumed by Fork
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child() == parent_copy()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,76 @@
+#include "dnn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace saffire {
+namespace {
+
+TEST(MlpTest, ConstructionAndShapes) {
+  const Mlp mlp(64, 32, 10, 1);
+  EXPECT_EQ(mlp.w1().ShapeString(), "(64, 32)");
+  EXPECT_EQ(mlp.b1().ShapeString(), "(1, 32)");
+  EXPECT_EQ(mlp.w2().ShapeString(), "(32, 10)");
+  EXPECT_EQ(mlp.b2().ShapeString(), "(1, 10)");
+  EXPECT_THROW(Mlp(0, 4, 2, 1), std::invalid_argument);
+}
+
+TEST(MlpTest, ForwardShapeAndDeterminism) {
+  const Mlp mlp(8, 4, 3, 2);
+  FloatTensor batch({5, 8});
+  for (std::int64_t i = 0; i < batch.size(); ++i) {
+    batch.flat(i) = static_cast<float>(i % 7) * 0.1f;
+  }
+  const auto logits = mlp.Forward(batch);
+  EXPECT_EQ(logits.dim(0), 5);
+  EXPECT_EQ(logits.dim(1), 3);
+  EXPECT_EQ(mlp.Forward(batch), logits);
+  EXPECT_THROW(mlp.Forward(FloatTensor({5, 9})), std::invalid_argument);
+}
+
+TEST(MlpTest, SameSeedSameNetwork) {
+  const Mlp a(8, 4, 3, 7);
+  const Mlp b(8, 4, 3, 7);
+  EXPECT_EQ(a.w1(), b.w1());
+  EXPECT_EQ(a.w2(), b.w2());
+}
+
+TEST(MlpTest, TrainingReducesLoss) {
+  const auto dataset = MakeSyntheticDigits(300, 0.02, 11);
+  Mlp mlp(kDigitPixels, 32, kDigitClasses, 5);
+  Rng rng(6);
+  const double first_loss = mlp.TrainEpoch(dataset, 0.1, 32, rng);
+  double last_loss = first_loss;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    last_loss = mlp.TrainEpoch(dataset, 0.1, 32, rng);
+  }
+  EXPECT_LT(last_loss, first_loss);
+}
+
+TEST(MlpTest, LearnsSyntheticDigits) {
+  const auto train = MakeSyntheticDigits(600, 0.02, 21);
+  const auto test = MakeSyntheticDigits(200, 0.02, 22);
+  Mlp mlp(kDigitPixels, 32, kDigitClasses, 5);
+  Rng rng(6);
+  const double train_accuracy = mlp.TrainUntil(train, 0.97, 60, 0.1, rng);
+  EXPECT_GE(train_accuracy, 0.97);
+  EXPECT_GE(mlp.Accuracy(test), 0.90);
+}
+
+TEST(ArgmaxRowsTest, FloatAndInt32) {
+  const auto f = FloatTensor::FromRows({{0.1f, 0.9f, 0.2f}, {5.0f, 1.0f, 2.0f}});
+  EXPECT_EQ(ArgmaxRows(f), (std::vector<int>{1, 0}));
+  const auto i = Int32Tensor::FromRows({{-5, -1, -9}, {0, 0, 1}});
+  EXPECT_EQ(ArgmaxRows(i), (std::vector<int>{1, 2}));
+}
+
+TEST(MlpTest, TrainEpochValidatesArguments) {
+  const auto dataset = MakeSyntheticDigits(10, 0.0, 1);
+  Mlp mlp(kDigitPixels, 8, kDigitClasses, 1);
+  Rng rng(1);
+  EXPECT_THROW(mlp.TrainEpoch(dataset, 0.1, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,86 @@
+#include "dnn/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace saffire {
+namespace {
+
+TEST(DigitGlyphTest, ShapesAndRange) {
+  for (int digit = 0; digit < kDigitClasses; ++digit) {
+    const auto glyph = DigitGlyph(digit);
+    EXPECT_EQ(glyph.dim(0), 1);
+    EXPECT_EQ(glyph.dim(1), kDigitPixels);
+    float on_pixels = 0.0f;
+    for (std::int64_t i = 0; i < glyph.size(); ++i) {
+      EXPECT_TRUE(glyph.flat(i) == 0.0f || glyph.flat(i) == 1.0f);
+      on_pixels += glyph.flat(i);
+    }
+    EXPECT_GT(on_pixels, 5.0f) << "digit " << digit;
+  }
+  EXPECT_THROW(DigitGlyph(-1), std::invalid_argument);
+  EXPECT_THROW(DigitGlyph(10), std::invalid_argument);
+}
+
+TEST(DigitGlyphTest, GlyphsAreMutuallyDistinct) {
+  for (int a = 0; a < kDigitClasses; ++a) {
+    for (int b = a + 1; b < kDigitClasses; ++b) {
+      int differing = 0;
+      const auto ga = DigitGlyph(a);
+      const auto gb = DigitGlyph(b);
+      for (std::int64_t i = 0; i < kDigitPixels; ++i) {
+        if (ga.flat(i) != gb.flat(i)) ++differing;
+      }
+      EXPECT_GE(differing, 4) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(MakeSyntheticDigitsTest, ShapesLabelsAndDeterminism) {
+  const auto dataset = MakeSyntheticDigits(200, 0.02, 42);
+  EXPECT_EQ(dataset.size(), 200);
+  EXPECT_EQ(dataset.inputs.dim(0), 200);
+  EXPECT_EQ(dataset.inputs.dim(1), kDigitPixels);
+  std::set<int> classes;
+  for (const int label : dataset.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, kDigitClasses);
+    classes.insert(label);
+  }
+  EXPECT_EQ(classes.size(), 10u);
+
+  const auto replay = MakeSyntheticDigits(200, 0.02, 42);
+  EXPECT_EQ(replay.inputs, dataset.inputs);
+  EXPECT_EQ(replay.labels, dataset.labels);
+}
+
+TEST(MakeSyntheticDigitsTest, ValuesInUnitRange) {
+  const auto dataset = MakeSyntheticDigits(50, 0.1, 7);
+  for (std::int64_t i = 0; i < dataset.inputs.size(); ++i) {
+    EXPECT_GE(dataset.inputs.flat(i), 0.0f);
+    EXPECT_LE(dataset.inputs.flat(i), 1.0f);
+  }
+}
+
+TEST(MakeSyntheticDigitsTest, RejectsBadArguments) {
+  EXPECT_THROW(MakeSyntheticDigits(0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(MakeSyntheticDigits(10, 0.9, 1), std::invalid_argument);
+}
+
+TEST(MakeSyntheticDigitsTest, NoiseZeroSamplesMatchShiftedGlyphs) {
+  const auto dataset = MakeSyntheticDigits(30, 0.0, 3);
+  // Every sample must correlate strongly with its own glyph: at least half
+  // of the glyph's on-pixels present (possibly shifted by one).
+  for (std::int64_t s = 0; s < dataset.size(); ++s) {
+    float total = 0.0f;
+    for (std::int64_t i = 0; i < kDigitPixels; ++i) {
+      total += dataset.inputs(s, i);
+    }
+    EXPECT_GT(total, 3.0f) << "sample " << s;
+  }
+}
+
+}  // namespace
+}  // namespace saffire

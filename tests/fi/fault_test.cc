@@ -1,0 +1,82 @@
+#include "fi/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace saffire {
+namespace {
+
+TEST(FaultSpecTest, ValidateAcceptsPaperFault) {
+  const ArrayConfig config;
+  const FaultSpec fault =
+      StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1);
+  EXPECT_NO_THROW(fault.Validate(config));
+  EXPECT_EQ(fault.signal, MacSignal::kAdderOut);
+  EXPECT_EQ(fault.kind, FaultKind::kStuckAt);
+}
+
+TEST(FaultSpecTest, ValidateRejectsOutOfRangePe) {
+  const ArrayConfig config;
+  FaultSpec fault = StuckAtAdder(PeCoord{16, 0}, 0, StuckPolarity::kStuckAt0);
+  EXPECT_THROW(fault.Validate(config), std::invalid_argument);
+  fault.pe = PeCoord{0, -1};
+  EXPECT_THROW(fault.Validate(config), std::invalid_argument);
+}
+
+TEST(FaultSpecTest, ValidateRejectsBitOutsideSignalWidth) {
+  const ArrayConfig config;  // 8-bit operands, 32-bit accumulator
+  FaultSpec fault = StuckAtAdder(PeCoord{0, 0}, 32, StuckPolarity::kStuckAt1);
+  EXPECT_THROW(fault.Validate(config), std::invalid_argument);
+  fault.bit = 31;
+  EXPECT_NO_THROW(fault.Validate(config));
+  fault.signal = MacSignal::kWeightOperand;  // 8-bit signal
+  fault.bit = 8;
+  EXPECT_THROW(fault.Validate(config), std::invalid_argument);
+}
+
+TEST(FaultSpecTest, TransientRequiresCycle) {
+  const ArrayConfig config;
+  FaultSpec fault;
+  fault.kind = FaultKind::kTransientFlip;
+  fault.bit = 3;
+  EXPECT_THROW(fault.Validate(config), std::invalid_argument);
+  fault.at_cycle = 100;
+  EXPECT_NO_THROW(fault.Validate(config));
+}
+
+TEST(FaultSpecTest, ToStringFormats) {
+  FaultSpec stuck = StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1);
+  EXPECT_EQ(stuck.ToString(), "SA1 bit8 adder_out @PE(4,9)");
+  FaultSpec flip;
+  flip.kind = FaultKind::kTransientFlip;
+  flip.pe = PeCoord{0, 1};
+  flip.signal = MacSignal::kMulOut;
+  flip.bit = 3;
+  flip.at_cycle = 120;
+  EXPECT_EQ(flip.ToString(), "FLIP bit3 mul_out @PE(0,1) cy120");
+}
+
+TEST(AllPeCoordsTest, EnumeratesRowMajor) {
+  ArrayConfig config;
+  config.rows = 2;
+  config.cols = 3;
+  const auto coords = AllPeCoords(config);
+  ASSERT_EQ(coords.size(), 6u);
+  EXPECT_EQ(coords[0], (PeCoord{0, 0}));
+  EXPECT_EQ(coords[2], (PeCoord{0, 2}));
+  EXPECT_EQ(coords[3], (PeCoord{1, 0}));
+  EXPECT_EQ(coords[5], (PeCoord{1, 2}));
+}
+
+TEST(AllPeCoordsTest, PaperArrayHas256Sites) {
+  EXPECT_EQ(AllPeCoords(ArrayConfig{}).size(), 256u);
+}
+
+TEST(FaultKindTest, Names) {
+  EXPECT_EQ(ToString(FaultKind::kStuckAt), "stuck-at");
+  EXPECT_EQ(ToString(FaultKind::kTransientFlip), "transient-flip");
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,95 @@
+#include "fi/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace saffire {
+namespace {
+
+TEST(FaultInjectorTest, StuckAtAppliesEveryCycle) {
+  const ArrayConfig config;
+  FaultInjector injector(
+      {StuckAtAdder(PeCoord{1, 2}, 0, StuckPolarity::kStuckAt1)}, config);
+  EXPECT_EQ(injector.Apply(PeCoord{1, 2}, MacSignal::kAdderOut, 4, 0), 5);
+  EXPECT_EQ(injector.Apply(PeCoord{1, 2}, MacSignal::kAdderOut, 4, 999), 5);
+  EXPECT_EQ(injector.activations(), 2u);
+}
+
+TEST(FaultInjectorTest, OnlyMatchingPeAndSignalAffected) {
+  const ArrayConfig config;
+  FaultInjector injector(
+      {StuckAtAdder(PeCoord{1, 2}, 0, StuckPolarity::kStuckAt1)}, config);
+  EXPECT_EQ(injector.Apply(PeCoord{1, 3}, MacSignal::kAdderOut, 4, 0), 4);
+  EXPECT_EQ(injector.Apply(PeCoord{1, 2}, MacSignal::kMulOut, 4, 0), 4);
+  EXPECT_EQ(injector.activations(), 0u);
+  EXPECT_TRUE(injector.AppliesTo(PeCoord{1, 2}));
+  EXPECT_FALSE(injector.AppliesTo(PeCoord{2, 1}));
+}
+
+TEST(FaultInjectorTest, MaskedApplicationsNotCountedAsActivations) {
+  const ArrayConfig config;
+  FaultInjector injector(
+      {StuckAtAdder(PeCoord{0, 0}, 0, StuckPolarity::kStuckAt1)}, config);
+  // Value already has bit 0 set: fault changes nothing.
+  EXPECT_EQ(injector.Apply(PeCoord{0, 0}, MacSignal::kAdderOut, 5, 0), 5);
+  EXPECT_EQ(injector.activations(), 0u);
+}
+
+TEST(FaultInjectorTest, TransientFiresOnExactCycleOnly) {
+  const ArrayConfig config;
+  FaultSpec flip;
+  flip.kind = FaultKind::kTransientFlip;
+  flip.pe = PeCoord{0, 0};
+  flip.signal = MacSignal::kAdderOut;
+  flip.bit = 2;
+  flip.at_cycle = 10;
+  FaultInjector injector({flip}, config);
+  EXPECT_EQ(injector.Apply(PeCoord{0, 0}, MacSignal::kAdderOut, 0, 9), 0);
+  EXPECT_EQ(injector.Apply(PeCoord{0, 0}, MacSignal::kAdderOut, 0, 10), 4);
+  EXPECT_EQ(injector.Apply(PeCoord{0, 0}, MacSignal::kAdderOut, 0, 11), 0);
+  EXPECT_EQ(injector.activations(), 1u);
+}
+
+TEST(FaultInjectorTest, MultipleFaultsCompose) {
+  const ArrayConfig config;
+  FaultInjector injector(
+      {StuckAtAdder(PeCoord{0, 0}, 0, StuckPolarity::kStuckAt1),
+       StuckAtAdder(PeCoord{0, 0}, 1, StuckPolarity::kStuckAt1)},
+      config);
+  EXPECT_EQ(injector.Apply(PeCoord{0, 0}, MacSignal::kAdderOut, 0, 0), 3);
+  EXPECT_TRUE(injector.AppliesTo(PeCoord{0, 0}));
+}
+
+TEST(FaultInjectorTest, MultiplePesSupported) {
+  const ArrayConfig config;
+  FaultInjector injector(
+      {StuckAtAdder(PeCoord{0, 0}, 0, StuckPolarity::kStuckAt1),
+       StuckAtAdder(PeCoord{5, 5}, 0, StuckPolarity::kStuckAt0)},
+      config);
+  EXPECT_TRUE(injector.AppliesTo(PeCoord{0, 0}));
+  EXPECT_TRUE(injector.AppliesTo(PeCoord{5, 5}));
+  EXPECT_FALSE(injector.AppliesTo(PeCoord{5, 0}));
+  EXPECT_EQ(injector.Apply(PeCoord{5, 5}, MacSignal::kAdderOut, 7, 0), 6);
+}
+
+TEST(FaultInjectorTest, StuckAtSignBitProducesNegative) {
+  const ArrayConfig config;
+  FaultInjector injector(
+      {StuckAtAdder(PeCoord{0, 0}, 31, StuckPolarity::kStuckAt1)}, config);
+  const std::int64_t out =
+      injector.Apply(PeCoord{0, 0}, MacSignal::kAdderOut, 100, 0);
+  EXPECT_LT(out, 0);
+}
+
+TEST(FaultInjectorTest, RejectsEmptyAndInvalidSpecs) {
+  const ArrayConfig config;
+  EXPECT_THROW(FaultInjector({}, config), std::invalid_argument);
+  EXPECT_THROW(FaultInjector({StuckAtAdder(PeCoord{99, 0}, 0,
+                                           StuckPolarity::kStuckAt1)},
+                             config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,114 @@
+#include "fi/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/shift_gemm.h"
+
+namespace saffire {
+namespace {
+
+TEST(OperandFillTest, OnesAreAllOnes) {
+  Rng rng(1);
+  const auto t = MakeOperand({4, 4}, OperandFill::kOnes, rng);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t.flat(i), 1);
+  }
+}
+
+TEST(OperandFillTest, NearZeroIsMostlyZero) {
+  Rng rng(2);
+  const auto t = MakeOperand({100, 100}, OperandFill::kNearZero, rng);
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    if (t.flat(i) == 0) {
+      ++zeros;
+    } else {
+      EXPECT_TRUE(t.flat(i) == 1 || t.flat(i) == -1);
+    }
+  }
+  EXPECT_GT(zeros, 8000);
+  EXPECT_LT(zeros, 9800);
+}
+
+TEST(OperandFillTest, RandomIsDeterministicPerSeed) {
+  Rng rng_a(3);
+  Rng rng_b(3);
+  EXPECT_EQ(MakeOperand({8, 8}, OperandFill::kRandom, rng_a),
+            MakeOperand({8, 8}, OperandFill::kRandom, rng_b));
+}
+
+TEST(WorkloadSpecTest, GemmDims) {
+  const auto spec = Gemm16x16();
+  EXPECT_EQ(spec.GemmM(), 16);
+  EXPECT_EQ(spec.GemmK(), 16);
+  EXPECT_EQ(spec.GemmN(), 16);
+  const auto big = Gemm112x112();
+  EXPECT_EQ(big.GemmM(), 112);
+}
+
+TEST(WorkloadSpecTest, ConvDimsFollowLowering) {
+  auto spec = Conv16Kernel3x3x3x8();
+  EXPECT_EQ(spec.lowering, ConvLowering::kShiftGemm);
+  EXPECT_EQ(spec.GemmM(), ShiftGemmRows(spec.conv));   // N·P·W = 14·16
+  EXPECT_EQ(spec.GemmK(), 9);                          // C·R
+  EXPECT_EQ(spec.GemmN(), 24);                         // S·K
+  spec.lowering = ConvLowering::kIm2Col;
+  EXPECT_EQ(spec.GemmM(), 14 * 14);                    // NPQ
+  EXPECT_EQ(spec.GemmK(), 27);                         // CRS
+  EXPECT_EQ(spec.GemmN(), 8);                          // K
+}
+
+TEST(WorkloadSpecTest, TableIPresetsValidate) {
+  for (const WorkloadSpec& spec :
+       {Gemm16x16(), Gemm112x112(), Conv16Kernel3x3x3x3(),
+        Conv16Kernel3x3x3x8(), Conv112Kernel3x3x3x8()}) {
+    EXPECT_NO_THROW(spec.Validate()) << spec.ToString();
+    EXPECT_FALSE(spec.name.empty());
+  }
+}
+
+TEST(WorkloadSpecTest, PaperKernelShorthands) {
+  EXPECT_EQ(KernelShorthand(Conv16Kernel3x3x3x3().conv), "3x3x3x3");
+  EXPECT_EQ(KernelShorthand(Conv16Kernel3x3x3x8().conv), "3x3x3x8");
+  EXPECT_EQ(Conv112Kernel3x3x3x8().conv.height, 112);
+}
+
+TEST(MaterializeTest, GemmShapes) {
+  const auto materialized = Materialize(Gemm112x112());
+  EXPECT_EQ(materialized.a.ShapeString(), "(112, 112)");
+  EXPECT_EQ(materialized.b.ShapeString(), "(112, 112)");
+}
+
+TEST(MaterializeTest, ConvShapesMatchGemmDims) {
+  for (const WorkloadSpec& spec :
+       {Conv16Kernel3x3x3x3(), Conv16Kernel3x3x3x8()}) {
+    const auto materialized = Materialize(spec);
+    EXPECT_EQ(materialized.a.dim(0), spec.GemmM());
+    EXPECT_EQ(materialized.a.dim(1), spec.GemmK());
+    EXPECT_EQ(materialized.b.dim(0), spec.GemmK());
+    EXPECT_EQ(materialized.b.dim(1), spec.GemmN());
+  }
+}
+
+TEST(MaterializeTest, DeterministicInSeed) {
+  auto spec = Gemm16x16();
+  spec.input_fill = OperandFill::kRandom;
+  spec.weight_fill = OperandFill::kRandom;
+  const auto first = Materialize(spec);
+  const auto second = Materialize(spec);
+  EXPECT_EQ(first.a, second.a);
+  EXPECT_EQ(first.b, second.b);
+  spec.data_seed = 999;
+  const auto third = Materialize(spec);
+  EXPECT_FALSE(first.a == third.a);
+}
+
+TEST(WorkloadSpecTest, ToStringIsDescriptive) {
+  const auto text = Conv16Kernel3x3x3x8().ToString();
+  EXPECT_NE(text.find("conv"), std::string::npos);
+  EXPECT_NE(text.find("shift-gemm"), std::string::npos);
+  EXPECT_NE(text.find("ones"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,249 @@
+#include "mitigation/abft.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "fi/injector.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+namespace {
+
+AccelConfig TestConfig() {
+  AccelConfig config;
+  config.max_compute_rows = 256;
+  config.spad_rows = 512;
+  config.acc_rows = 256;
+  config.dram_bytes = 8 << 20;
+  return config;
+}
+
+Int8Tensor RandomInt8(Rng& rng, std::int64_t rows, std::int64_t cols) {
+  Int8Tensor t({rows, cols});
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t.flat(i) = static_cast<std::int8_t>(rng.UniformInt(-40, 40));
+  }
+  return t;
+}
+
+// Strictly positive operands guarantee positive outputs, so a stuck-at-1
+// on a high clear bit corrupts every reached element (no value masking).
+Int8Tensor RandomPositive(Rng& rng, std::int64_t rows, std::int64_t cols) {
+  Int8Tensor t({rows, cols});
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t.flat(i) = static_cast<std::int8_t>(rng.UniformInt(1, 40));
+  }
+  return t;
+}
+
+TEST(VerifyAndCorrectTest, CleanResultVerifies) {
+  Rng rng(1);
+  const auto a = RandomInt8(rng, 8, 8);
+  const auto b = RandomInt8(rng, 8, 8);
+  auto c = GemmRef(a, b);
+  const AbftReport report = VerifyAndCorrect(a, b, c);
+  EXPECT_EQ(report.diagnosis, AbftDiagnosis::kClean);
+  EXPECT_TRUE(report.verified_after_correction);
+  EXPECT_EQ(report.corrections, 0);
+}
+
+TEST(VerifyAndCorrectTest, SingleElementCorrected) {
+  Rng rng(2);
+  const auto a = RandomInt8(rng, 8, 8);
+  const auto b = RandomInt8(rng, 8, 8);
+  const auto golden = GemmRef(a, b);
+  auto c = golden;
+  c(3, 5) += 777;
+  const AbftReport report = VerifyAndCorrect(a, b, c);
+  EXPECT_EQ(report.diagnosis, AbftDiagnosis::kSingleElement);
+  EXPECT_EQ(report.corrections, 1);
+  EXPECT_TRUE(report.verified_after_correction);
+  EXPECT_EQ(c, golden);
+}
+
+TEST(VerifyAndCorrectTest, SingleColumnCorrected) {
+  Rng rng(3);
+  const auto a = RandomInt8(rng, 8, 8);
+  const auto b = RandomInt8(rng, 8, 8);
+  const auto golden = GemmRef(a, b);
+  auto c = golden;
+  for (std::int64_t r = 0; r < 8; ++r) {
+    c(r, 5) += 256 + static_cast<std::int32_t>(r);  // non-uniform deltas
+  }
+  const AbftReport report = VerifyAndCorrect(a, b, c);
+  EXPECT_EQ(report.diagnosis, AbftDiagnosis::kSingleColumn);
+  EXPECT_EQ(report.corrections, 8);
+  EXPECT_TRUE(report.verified_after_correction);
+  EXPECT_EQ(c, golden);
+}
+
+TEST(VerifyAndCorrectTest, SingleRowCorrected) {
+  Rng rng(4);
+  const auto a = RandomInt8(rng, 8, 8);
+  const auto b = RandomInt8(rng, 8, 8);
+  const auto golden = GemmRef(a, b);
+  auto c = golden;
+  for (std::int64_t j = 0; j < 8; ++j) {
+    c(2, j) -= 100 + static_cast<std::int32_t>(j);
+  }
+  const AbftReport report = VerifyAndCorrect(a, b, c);
+  EXPECT_EQ(report.diagnosis, AbftDiagnosis::kSingleRow);
+  EXPECT_TRUE(report.verified_after_correction);
+  EXPECT_EQ(c, golden);
+}
+
+TEST(VerifyAndCorrectTest, MultiColumnDetectedNotCorrected) {
+  Rng rng(5);
+  const auto a = RandomInt8(rng, 8, 8);
+  const auto b = RandomInt8(rng, 8, 8);
+  const auto golden = GemmRef(a, b);
+  auto c = golden;
+  for (std::int64_t r = 0; r < 8; ++r) {
+    c(r, 2) += 256;
+    c(r, 6) += 512;
+  }
+  const AbftReport report = VerifyAndCorrect(a, b, c);
+  EXPECT_EQ(report.diagnosis, AbftDiagnosis::kComplex);
+  EXPECT_FALSE(report.verified_after_correction);
+  EXPECT_EQ(report.corrections, 0);
+  EXPECT_EQ(report.flagged_cols.size(), 2u);
+}
+
+TEST(VerifyAndCorrectTest, CancellingDeltasEscapeRowChecksumButNotColumn) {
+  // Classic ABFT limitation probe: +d and −d in the same row cancel in the
+  // row checksum but both columns still flag.
+  Rng rng(6);
+  const auto a = RandomInt8(rng, 8, 8);
+  const auto b = RandomInt8(rng, 8, 8);
+  auto c = GemmRef(a, b);
+  c(3, 1) += 500;
+  c(3, 6) -= 500;
+  const AbftReport report = VerifyAndCorrect(a, b, c);
+  EXPECT_TRUE(report.flagged_rows.empty());
+  EXPECT_EQ(report.flagged_cols.size(), 2u);
+  EXPECT_EQ(report.diagnosis, AbftDiagnosis::kComplex);
+}
+
+TEST(VerifyAndCorrectTest, RejectsShapeMismatch) {
+  auto c = Int32Tensor({2, 2});
+  EXPECT_THROW(
+      VerifyAndCorrect(Int8Tensor({2, 3}), Int8Tensor({3, 3}), c),
+      std::invalid_argument);
+}
+
+// --- End-to-end against real hardware faults -------------------------------
+
+TEST(AbftGemmTest, CorrectsWsColumnFault) {
+  Accelerator accel(TestConfig());
+  Driver driver(accel);
+  AbftGemm abft(driver);
+  Rng rng(7);
+  const auto a = RandomPositive(rng, 16, 16);
+  const auto b = RandomPositive(rng, 16, 16);
+  const auto golden = GemmRef(a, b);
+
+  // High stuck bit so every element of the column is visibly corrupted.
+  FaultInjector injector(
+      {StuckAtAdder(PeCoord{4, 9}, 24, StuckPolarity::kStuckAt1)},
+      accel.config().array);
+  accel.array().InstallFaultHook(&injector);
+  AbftReport report;
+  const auto corrected = abft.Multiply(a, b, ExecOptions{}, &report);
+  accel.array().ClearFaultHook();
+
+  EXPECT_EQ(report.diagnosis, AbftDiagnosis::kSingleColumn);
+  EXPECT_TRUE(report.verified_after_correction);
+  EXPECT_EQ(corrected, golden);
+}
+
+TEST(AbftGemmTest, CorrectsOsElementFault) {
+  Accelerator accel(TestConfig());
+  Driver driver(accel);
+  AbftGemm abft(driver);
+  Rng rng(8);
+  const auto a = RandomPositive(rng, 16, 16);
+  const auto b = RandomPositive(rng, 16, 16);
+  const auto golden = GemmRef(a, b);
+
+  FaultInjector injector(
+      {StuckAtAdder(PeCoord{4, 9}, 24, StuckPolarity::kStuckAt1)},
+      accel.config().array);
+  accel.array().InstallFaultHook(&injector);
+  ExecOptions options;
+  options.dataflow = Dataflow::kOutputStationary;
+  AbftReport report;
+  const auto corrected = abft.Multiply(a, b, options, &report);
+  accel.array().ClearFaultHook();
+
+  EXPECT_EQ(report.diagnosis, AbftDiagnosis::kSingleElement);
+  EXPECT_EQ(corrected, golden);
+}
+
+TEST(AbftGemmTest, CorrectsIsRowFault) {
+  Accelerator accel(TestConfig());
+  Driver driver(accel);
+  AbftGemm abft(driver);
+  Rng rng(9);
+  const auto a = RandomPositive(rng, 16, 16);
+  const auto b = RandomPositive(rng, 16, 16);
+  const auto golden = GemmRef(a, b);
+
+  FaultInjector injector(
+      {StuckAtAdder(PeCoord{4, 9}, 24, StuckPolarity::kStuckAt1)},
+      accel.config().array);
+  accel.array().InstallFaultHook(&injector);
+  ExecOptions options;
+  options.dataflow = Dataflow::kInputStationary;
+  AbftReport report;
+  const auto corrected = abft.Multiply(a, b, options, &report);
+  accel.array().ClearFaultHook();
+
+  EXPECT_EQ(report.diagnosis, AbftDiagnosis::kSingleRow);
+  EXPECT_EQ(corrected, golden);
+}
+
+TEST(AbftGemmTest, DetectsMultiTileFault) {
+  Accelerator accel(TestConfig());
+  Driver driver(accel);
+  AbftGemm abft(driver);
+  Rng rng(10);
+  const auto a = RandomPositive(rng, 48, 48);
+  const auto b = RandomPositive(rng, 48, 48);
+
+  FaultInjector injector(
+      {StuckAtAdder(PeCoord{4, 9}, 24, StuckPolarity::kStuckAt1)},
+      accel.config().array);
+  accel.array().InstallFaultHook(&injector);
+  AbftReport report;
+  (void)abft.Multiply(a, b, ExecOptions{}, &report);
+  accel.array().ClearFaultHook();
+
+  // Three corrupted columns (9, 25, 41) under WS: detected, uncorrectable.
+  EXPECT_EQ(report.diagnosis, AbftDiagnosis::kComplex);
+  EXPECT_EQ(report.flagged_cols.size(), 3u);
+}
+
+TEST(AbftGemmTest, CleanHardwarePassesThrough) {
+  Accelerator accel(TestConfig());
+  Driver driver(accel);
+  AbftGemm abft(driver);
+  Rng rng(11);
+  const auto a = RandomInt8(rng, 20, 20);
+  const auto b = RandomInt8(rng, 20, 20);
+  AbftReport report;
+  const auto c = abft.Multiply(a, b, ExecOptions{}, &report);
+  EXPECT_EQ(report.diagnosis, AbftDiagnosis::kClean);
+  EXPECT_EQ(c, GemmRef(a, b));
+}
+
+TEST(AbftDiagnosisTest, Names) {
+  EXPECT_EQ(ToString(AbftDiagnosis::kClean), "clean");
+  EXPECT_EQ(ToString(AbftDiagnosis::kSingleColumn),
+            "single-column(corrected)");
+  EXPECT_EQ(ToString(AbftDiagnosis::kComplex), "complex(detected)");
+}
+
+}  // namespace
+}  // namespace saffire

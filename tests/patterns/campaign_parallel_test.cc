@@ -1,0 +1,81 @@
+// The parallel campaign runner must reproduce the serial result exactly.
+#include <gtest/gtest.h>
+
+#include "patterns/campaign.h"
+
+namespace saffire {
+namespace {
+
+AccelConfig SmallAccel() {
+  AccelConfig config;
+  config.array.rows = 8;
+  config.array.cols = 8;
+  config.max_compute_rows = 64;
+  config.spad_rows = 128;
+  config.acc_rows = 64;
+  config.dram_bytes = 1 << 20;
+  return config;
+}
+
+CampaignConfig BaseConfig() {
+  CampaignConfig config;
+  config.accel = SmallAccel();
+  config.workload.name = "gemm-20";
+  config.workload.m = config.workload.k = config.workload.n = 20;
+  config.bit = 8;
+  return config;
+}
+
+void ExpectIdentical(const CampaignResult& serial,
+                     const CampaignResult& parallel) {
+  ASSERT_EQ(serial.records.size(), parallel.records.size());
+  EXPECT_EQ(serial.golden_cycles, parallel.golden_cycles);
+  for (std::size_t i = 0; i < serial.records.size(); ++i) {
+    const ExperimentRecord& a = serial.records[i];
+    const ExperimentRecord& b = parallel.records[i];
+    EXPECT_EQ(a.fault.pe, b.fault.pe) << i;
+    EXPECT_EQ(a.observed, b.observed) << i;
+    EXPECT_EQ(a.predicted, b.predicted) << i;
+    EXPECT_EQ(a.prediction_exact, b.prediction_exact) << i;
+    EXPECT_EQ(a.corrupted_count, b.corrupted_count) << i;
+    EXPECT_EQ(a.max_abs_delta, b.max_abs_delta) << i;
+    EXPECT_EQ(a.fault_activations, b.fault_activations) << i;
+    EXPECT_EQ(a.cycles, b.cycles) << i;
+  }
+}
+
+TEST(ParallelCampaignTest, MatchesSerialStuckAt) {
+  const auto config = BaseConfig();
+  ExpectIdentical(RunCampaign(config), RunCampaignParallel(config, 4));
+}
+
+TEST(ParallelCampaignTest, MatchesSerialTransient) {
+  auto config = BaseConfig();
+  config.kind = FaultKind::kTransientFlip;
+  ExpectIdentical(RunCampaign(config), RunCampaignParallel(config, 4));
+}
+
+TEST(ParallelCampaignTest, MatchesSerialAcrossDataflows) {
+  for (const Dataflow dataflow :
+       {Dataflow::kOutputStationary, Dataflow::kInputStationary}) {
+    auto config = BaseConfig();
+    config.dataflow = dataflow;
+    ExpectIdentical(RunCampaign(config), RunCampaignParallel(config, 3));
+  }
+}
+
+TEST(ParallelCampaignTest, MoreThreadsThanSitesWorks) {
+  auto config = BaseConfig();
+  config.max_sites = 3;
+  const auto result = RunCampaignParallel(config, 16);
+  EXPECT_EQ(result.records.size(), 3u);
+}
+
+TEST(ParallelCampaignTest, RejectsBadThreadCounts) {
+  EXPECT_THROW(RunCampaignParallel(BaseConfig(), 0), std::invalid_argument);
+  EXPECT_THROW(RunCampaignParallel(BaseConfig(), 1000),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saffire

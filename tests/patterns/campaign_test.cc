@@ -1,0 +1,173 @@
+#include "patterns/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace saffire {
+namespace {
+
+AccelConfig SmallAccel() {
+  AccelConfig config;
+  config.array.rows = 8;
+  config.array.cols = 8;
+  config.max_compute_rows = 64;
+  config.spad_rows = 128;
+  config.acc_rows = 64;
+  config.dram_bytes = 1 << 20;
+  return config;
+}
+
+WorkloadSpec SmallGemm(std::int64_t size) {
+  WorkloadSpec spec;
+  spec.name = "gemm-" + std::to_string(size);
+  spec.op = OpType::kGemm;
+  spec.m = spec.k = spec.n = size;
+  return spec;
+}
+
+CampaignConfig BaseConfig() {
+  CampaignConfig config;
+  config.accel = SmallAccel();
+  config.workload = SmallGemm(8);
+  config.bit = 8;
+  config.polarity = StuckPolarity::kStuckAt1;
+  return config;
+}
+
+TEST(CampaignSitesTest, ExhaustiveByDefault) {
+  const auto sites = CampaignSites(BaseConfig());
+  EXPECT_EQ(sites.size(), 64u);
+  std::set<std::pair<int, int>> unique;
+  for (const PeCoord site : sites) unique.insert({site.row, site.col});
+  EXPECT_EQ(unique.size(), 64u);
+}
+
+TEST(CampaignSitesTest, SamplingIsDeterministicAndBounded) {
+  CampaignConfig config = BaseConfig();
+  config.max_sites = 10;
+  const auto first = CampaignSites(config);
+  const auto second = CampaignSites(config);
+  EXPECT_EQ(first.size(), 10u);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]);
+  }
+  config.seed = 2;
+  const auto reseeded = CampaignSites(config);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < reseeded.size(); ++i) {
+    if (!(reseeded[i] == first[i])) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(CampaignTest, WsGemmAllSitesSingleColumn) {
+  // RQ1 in miniature: exhaustive WS campaign — every site yields the
+  // single-column class and the predictor agrees exactly.
+  CampaignConfig config = BaseConfig();
+  config.dataflow = Dataflow::kWeightStationary;
+  const auto result = RunCampaign(config);
+  ASSERT_EQ(result.records.size(), 64u);
+  EXPECT_EQ(result.DominantClass(), PatternClass::kSingleColumn);
+  EXPECT_TRUE(result.SingleClassProperty());
+  EXPECT_EQ(result.MaskedCount(), 0);
+  EXPECT_DOUBLE_EQ(result.ClassAgreement(), 1.0);
+  EXPECT_DOUBLE_EQ(result.ExactAgreement(), 1.0);
+  EXPECT_DOUBLE_EQ(result.ContainmentRate(), 1.0);
+  const auto histogram = result.Histogram();
+  EXPECT_EQ(histogram.at(PatternClass::kSingleColumn), 64);
+}
+
+TEST(CampaignTest, OsGemmAllSitesSingleElement) {
+  CampaignConfig config = BaseConfig();
+  config.dataflow = Dataflow::kOutputStationary;
+  const auto result = RunCampaign(config);
+  EXPECT_EQ(result.DominantClass(), PatternClass::kSingleElement);
+  EXPECT_TRUE(result.SingleClassProperty());
+  EXPECT_DOUBLE_EQ(result.ExactAgreement(), 1.0);
+}
+
+TEST(CampaignTest, TiledGemmYieldsMultiTileClasses) {
+  CampaignConfig config = BaseConfig();
+  config.workload = SmallGemm(20);  // 3×3 output tiles on the 8×8 array
+  config.dataflow = Dataflow::kWeightStationary;
+  const auto ws = RunCampaign(config);
+  EXPECT_EQ(ws.DominantClass(), PatternClass::kSingleColumnMultiTile);
+  EXPECT_TRUE(ws.SingleClassProperty());
+  config.dataflow = Dataflow::kOutputStationary;
+  const auto os = RunCampaign(config);
+  EXPECT_EQ(os.DominantClass(), PatternClass::kSingleElementMultiTile);
+  EXPECT_TRUE(os.SingleClassProperty());
+}
+
+TEST(CampaignTest, OsCorruptsOneElementWsCorruptsWholeColumn) {
+  // RQ1's fault-tolerance comparison: per experiment, OS corrupts exactly
+  // one element while WS corrupts a full column.
+  CampaignConfig config = BaseConfig();
+  config.dataflow = Dataflow::kOutputStationary;
+  const auto os = RunCampaign(config);
+  for (const ExperimentRecord& record : os.records) {
+    EXPECT_EQ(record.corrupted_count, 1);
+  }
+  config.dataflow = Dataflow::kWeightStationary;
+  const auto ws = RunCampaign(config);
+  for (const ExperimentRecord& record : ws.records) {
+    EXPECT_EQ(record.corrupted_count, 8);
+  }
+}
+
+TEST(CampaignTest, NearZeroWeightsMaskStuckAt0) {
+  // Challenge 2: with near-zero operands most partial sums are zero, so a
+  // stuck-at-0 fault rarely changes anything.
+  CampaignConfig config = BaseConfig();
+  config.workload.input_fill = OperandFill::kNearZero;
+  config.workload.weight_fill = OperandFill::kNearZero;
+  config.bit = 4;
+  config.polarity = StuckPolarity::kStuckAt0;
+  const auto result = RunCampaign(config);
+  // Mostly-zero partial sums leave bit 4 clear almost everywhere, so a
+  // large fraction of sites are fully masked (negative sums, whose high
+  // bits are set, keep it from being all of them).
+  EXPECT_GT(result.MaskedCount(),
+            static_cast<std::int64_t>(result.records.size()) / 4);
+  // Whereas the paper's all-ones workload never masks (on a clear bit).
+  CampaignConfig ones = BaseConfig();
+  ones.polarity = StuckPolarity::kStuckAt1;
+  EXPECT_EQ(RunCampaign(ones).MaskedCount(), 0);
+}
+
+TEST(CampaignTest, RecordsCarryCostAndActivationData) {
+  CampaignConfig config = BaseConfig();
+  const auto result = RunCampaign(config);
+  EXPECT_GT(result.golden_cycles, 0);
+  EXPECT_GT(result.golden_pe_steps, 0u);
+  for (const ExperimentRecord& record : result.records) {
+    EXPECT_EQ(record.cycles, result.golden_cycles);  // FI never alters timing
+    EXPECT_GT(record.fault_activations, 0u);
+    EXPECT_GT(record.max_abs_delta, 0);
+  }
+}
+
+TEST(CampaignTest, SampledCampaignRunsRequestedSites) {
+  CampaignConfig config = BaseConfig();
+  config.max_sites = 7;
+  const auto result = RunCampaign(config);
+  EXPECT_EQ(result.records.size(), 7u);
+}
+
+TEST(CampaignResultTest, SingleClassPropertyDetectsViolation) {
+  CampaignResult result;
+  ExperimentRecord a;
+  a.observed = PatternClass::kSingleColumn;
+  ExperimentRecord b;
+  b.observed = PatternClass::kMasked;
+  ExperimentRecord c;
+  c.observed = PatternClass::kSingleElement;
+  result.records = {a, b};
+  EXPECT_TRUE(result.SingleClassProperty());
+  result.records = {a, b, c};
+  EXPECT_FALSE(result.SingleClassProperty());
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,96 @@
+// Transient-flip campaigns: the Rech et al. fault model run through the
+// same exhaustive methodology, contrasting with permanent stuck-at faults.
+#include <gtest/gtest.h>
+
+#include "patterns/campaign.h"
+
+namespace saffire {
+namespace {
+
+AccelConfig SmallAccel() {
+  AccelConfig config;
+  config.array.rows = 8;
+  config.array.cols = 8;
+  config.max_compute_rows = 64;
+  config.spad_rows = 128;
+  config.acc_rows = 64;
+  config.dram_bytes = 1 << 20;
+  return config;
+}
+
+CampaignConfig TransientConfig() {
+  CampaignConfig config;
+  config.accel = SmallAccel();
+  config.workload.name = "gemm-8";
+  config.workload.m = config.workload.k = config.workload.n = 8;
+  config.kind = FaultKind::kTransientFlip;
+  config.bit = 8;
+  return config;
+}
+
+TEST(TransientCampaignTest, RunsAndBoundsCorruption) {
+  const auto result = RunCampaign(TransientConfig());
+  ASSERT_EQ(result.records.size(), 64u);
+  for (const ExperimentRecord& record : result.records) {
+    // One flipped cycle can corrupt at most one output element under WS
+    // (one partial sum on the faulty column's chain).
+    EXPECT_LE(record.corrupted_count, 1) << record.fault.ToString();
+    EXPECT_LE(record.fault_activations, 1u);
+    // And whatever it corrupts lies inside the permanent fault's reach.
+    if (record.corrupted_count > 0) {
+      EXPECT_TRUE(record.observed_within_predicted)
+          << record.fault.ToString();
+    }
+  }
+  // Strikes landing on preload/DMA/drain or pad cycles are masked; with a
+  // uniform strike over the whole window a fair share must still hit.
+  EXPECT_GT(result.MaskedCount(), 0);
+  EXPECT_LT(result.MaskedCount(),
+            static_cast<std::int64_t>(result.records.size()));
+}
+
+TEST(TransientCampaignTest, DeterministicInSeed) {
+  const auto first = RunCampaign(TransientConfig());
+  const auto second = RunCampaign(TransientConfig());
+  ASSERT_EQ(first.records.size(), second.records.size());
+  for (std::size_t i = 0; i < first.records.size(); ++i) {
+    EXPECT_EQ(first.records[i].fault.at_cycle,
+              second.records[i].fault.at_cycle);
+    EXPECT_EQ(first.records[i].observed, second.records[i].observed);
+  }
+  auto reseeded_config = TransientConfig();
+  reseeded_config.seed = 99;
+  const auto reseeded = RunCampaign(reseeded_config);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < reseeded.records.size(); ++i) {
+    if (reseeded.records[i].fault.at_cycle !=
+        first.records[i].fault.at_cycle) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(TransientCampaignTest, PermanentCorruptsStrictlyMore) {
+  auto permanent_config = TransientConfig();
+  permanent_config.kind = FaultKind::kStuckAt;
+  const auto permanent = RunCampaign(permanent_config);
+  const auto transient = RunCampaign(TransientConfig());
+  std::int64_t permanent_total = 0;
+  std::int64_t transient_total = 0;
+  for (const auto& record : permanent.records) {
+    permanent_total += record.corrupted_count;
+  }
+  for (const auto& record : transient.records) {
+    transient_total += record.corrupted_count;
+  }
+  EXPECT_GT(permanent_total, 4 * transient_total);
+}
+
+TEST(TransientCampaignTest, ToStringMentionsTransient) {
+  EXPECT_NE(TransientConfig().ToString().find("transient-flip"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,256 @@
+#include "patterns/classify.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace saffire {
+namespace {
+
+// Builds a corruption map directly from coordinates.
+CorruptionMap MakeMap(std::int64_t rows, std::int64_t cols,
+                      std::vector<MatrixCoord> coords) {
+  CorruptionMap map;
+  map.rows = rows;
+  map.cols = cols;
+  map.corrupted = std::move(coords);
+  map.max_abs_delta = map.corrupted.empty() ? 0 : 256;
+  map.min_abs_delta = map.max_abs_delta;
+  return map;
+}
+
+ClassifyContext GemmContext(std::int64_t rows, std::int64_t cols,
+                            std::int64_t tile_rows, std::int64_t tile_cols) {
+  ClassifyContext context;
+  context.op = OpType::kGemm;
+  context.rows = rows;
+  context.cols = cols;
+  context.tile_rows = tile_rows;
+  context.tile_cols = tile_cols;
+  return context;
+}
+
+std::vector<MatrixCoord> FullColumn(std::int64_t rows, std::int64_t col) {
+  std::vector<MatrixCoord> coords;
+  for (std::int64_t r = 0; r < rows; ++r) coords.push_back({r, col});
+  return coords;
+}
+
+TEST(ClassifyTest, EmptyIsMasked) {
+  EXPECT_EQ(Classify(MakeMap(16, 16, {}), GemmContext(16, 16, 16, 16)),
+            PatternClass::kMasked);
+}
+
+TEST(ClassifyTest, SingleElement) {
+  EXPECT_EQ(
+      Classify(MakeMap(16, 16, {{4, 9}}), GemmContext(16, 16, 16, 16)),
+      PatternClass::kSingleElement);
+}
+
+TEST(ClassifyTest, SingleElementMultiTile) {
+  // The Fig. 3d shape: the same (4, 9) offset in each 16×16 tile of a
+  // 32×32 output.
+  const auto map =
+      MakeMap(32, 32, {{4, 9}, {4, 25}, {20, 9}, {20, 25}});
+  EXPECT_EQ(Classify(map, GemmContext(32, 32, 16, 16)),
+            PatternClass::kSingleElementMultiTile);
+}
+
+TEST(ClassifyTest, ElementsAtDifferentOffsetsAreOther) {
+  const auto map = MakeMap(32, 32, {{4, 9}, {5, 25}});
+  EXPECT_EQ(Classify(map, GemmContext(32, 32, 16, 16)),
+            PatternClass::kOther);
+}
+
+TEST(ClassifyTest, TwoElementsSameTileAreOther) {
+  const auto map = MakeMap(16, 16, {{4, 9}, {5, 9}});
+  EXPECT_EQ(Classify(map, GemmContext(16, 16, 16, 16)),
+            PatternClass::kOther);
+}
+
+TEST(ClassifyTest, SingleColumn) {
+  EXPECT_EQ(Classify(MakeMap(16, 16, FullColumn(16, 9)),
+                     GemmContext(16, 16, 16, 16)),
+            PatternClass::kSingleColumn);
+}
+
+TEST(ClassifyTest, SingleColumnMultiTile) {
+  // Fig. 3c: the same column offset fully corrupted in every column-tile.
+  std::vector<MatrixCoord> coords;
+  for (std::int64_t c : {9ll, 25ll}) {
+    const auto col = FullColumn(32, c);
+    coords.insert(coords.end(), col.begin(), col.end());
+  }
+  std::sort(coords.begin(), coords.end());
+  EXPECT_EQ(Classify(MakeMap(32, 32, coords), GemmContext(32, 32, 16, 16)),
+            PatternClass::kSingleColumnMultiTile);
+}
+
+TEST(ClassifyTest, ColumnSpanningVerticalTilesIsMultiTile) {
+  // One full column of a 32-row output tiled 16×16: the corruption crosses
+  // two tiles vertically.
+  EXPECT_EQ(Classify(MakeMap(32, 16, FullColumn(32, 3)),
+                     GemmContext(32, 16, 16, 16)),
+            PatternClass::kSingleColumnMultiTile);
+}
+
+TEST(ClassifyTest, PartialColumnIsOther) {
+  auto coords = FullColumn(16, 9);
+  coords.pop_back();
+  EXPECT_EQ(Classify(MakeMap(16, 16, coords), GemmContext(16, 16, 16, 16)),
+            PatternClass::kOther);
+}
+
+TEST(ClassifyTest, ColumnsAtDifferentOffsetsAreOther) {
+  std::vector<MatrixCoord> coords = FullColumn(32, 9);
+  const auto second = FullColumn(32, 26);  // offset 10, not 9
+  coords.insert(coords.end(), second.begin(), second.end());
+  std::sort(coords.begin(), coords.end());
+  EXPECT_EQ(Classify(MakeMap(32, 32, coords), GemmContext(32, 32, 16, 16)),
+            PatternClass::kOther);
+}
+
+TEST(ClassifyTest, SingleRow) {
+  std::vector<MatrixCoord> coords;
+  for (std::int64_t c = 0; c < 16; ++c) coords.push_back({5, c});
+  EXPECT_EQ(Classify(MakeMap(16, 16, coords), GemmContext(16, 16, 16, 16)),
+            PatternClass::kSingleRow);
+}
+
+TEST(ClassifyTest, SingleRowMultiTile) {
+  std::vector<MatrixCoord> coords;
+  for (std::int64_t r : {5ll, 21ll}) {
+    for (std::int64_t c = 0; c < 32; ++c) coords.push_back({r, c});
+  }
+  std::sort(coords.begin(), coords.end());
+  EXPECT_EQ(Classify(MakeMap(32, 32, coords), GemmContext(32, 32, 16, 16)),
+            PatternClass::kSingleRowMultiTile);
+}
+
+TEST(ClassifyTest, FullMatrixIsOther) {
+  std::vector<MatrixCoord> coords;
+  for (std::int64_t r = 0; r < 4; ++r) {
+    for (std::int64_t c = 0; c < 4; ++c) coords.push_back({r, c});
+  }
+  // Both "all rows full" and "all columns full" hold, but at multiple
+  // offsets → other.
+  EXPECT_EQ(Classify(MakeMap(4, 4, coords), GemmContext(4, 4, 4, 4)),
+            PatternClass::kOther);
+}
+
+// --- Convolution contexts --------------------------------------------------
+
+ClassifyContext ConvContext(ConvLowering lowering) {
+  ClassifyContext context;
+  context.op = OpType::kConv;
+  context.lowering = lowering;
+  context.conv.in_channels = 3;
+  context.conv.height = 16;
+  context.conv.width = 16;
+  context.conv.out_channels = 8;
+  context.conv.kernel_h = 3;
+  context.conv.kernel_w = 3;
+  if (lowering == ConvLowering::kShiftGemm) {
+    context.rows = 14 * 16;  // N·P·W
+    context.cols = 24;       // S·K
+  } else {
+    context.rows = 14 * 14;  // NPQ
+    context.cols = 8;        // K
+  }
+  context.tile_rows = 1024;
+  context.tile_cols = 16;
+  return context;
+}
+
+TEST(ClassifyTest, ConvSingleChannelShiftGemm) {
+  const auto context = ConvContext(ConvLowering::kShiftGemm);
+  // Columns 3, 4, 5 all belong to channel 1 (k·S + s, S = 3).
+  std::vector<MatrixCoord> coords = FullColumn(context.rows, 4);
+  EXPECT_EQ(Classify(MakeMap(context.rows, context.cols, coords), context),
+            PatternClass::kSingleChannel);
+}
+
+TEST(ClassifyTest, ConvMultiChannelShiftGemm) {
+  const auto context = ConvContext(ConvLowering::kShiftGemm);
+  // Columns 2 and 18: channels 0 and 6 — the Fig. 3f mechanism.
+  auto coords = FullColumn(context.rows, 2);
+  const auto second = FullColumn(context.rows, 18);
+  coords.insert(coords.end(), second.begin(), second.end());
+  std::sort(coords.begin(), coords.end());
+  EXPECT_EQ(Classify(MakeMap(context.rows, context.cols, coords), context),
+            PatternClass::kMultiChannel);
+}
+
+TEST(ClassifyTest, ConvTwoColumnsSameChannelIsSingleChannel) {
+  const auto context = ConvContext(ConvLowering::kShiftGemm);
+  auto coords = FullColumn(context.rows, 3);
+  const auto second = FullColumn(context.rows, 5);  // both channel 1
+  coords.insert(coords.end(), second.begin(), second.end());
+  std::sort(coords.begin(), coords.end());
+  EXPECT_EQ(Classify(MakeMap(context.rows, context.cols, coords), context),
+            PatternClass::kSingleChannel);
+}
+
+TEST(ClassifyTest, ConvSingleChannelIm2Col) {
+  const auto context = ConvContext(ConvLowering::kIm2Col);
+  EXPECT_EQ(Classify(MakeMap(context.rows, context.cols,
+                             FullColumn(context.rows, 5)),
+                     context),
+            PatternClass::kSingleChannel);
+}
+
+TEST(ClassifyTest, ConvPartialColumnFallsThroughToGemmRules) {
+  const auto context = ConvContext(ConvLowering::kIm2Col);
+  // A single corrupted element in a conv output is not a channel pattern;
+  // the generic rules classify it (OS-style conv faults land here).
+  EXPECT_EQ(Classify(MakeMap(context.rows, context.cols, {{7, 3}}), context),
+            PatternClass::kSingleElement);
+}
+
+TEST(ClassifyTest, ColumnToChannelMappings) {
+  const auto shift = ConvContext(ConvLowering::kShiftGemm);
+  EXPECT_EQ(ColumnToChannel(0, shift), 0);
+  EXPECT_EQ(ColumnToChannel(5, shift), 1);
+  EXPECT_EQ(ColumnToChannel(23, shift), 7);
+  const auto im2col = ConvContext(ConvLowering::kIm2Col);
+  EXPECT_EQ(ColumnToChannel(5, im2col), 5);
+  EXPECT_THROW(ColumnToChannel(8, im2col), std::invalid_argument);
+}
+
+TEST(ClassifyTest, RejectsMismatchedMapAndContext) {
+  EXPECT_THROW(
+      Classify(MakeMap(8, 8, {}), GemmContext(16, 16, 16, 16)),
+      std::invalid_argument);
+  ClassifyContext uninitialized;
+  EXPECT_THROW(Classify(MakeMap(8, 8, {}), uninitialized),
+               std::invalid_argument);
+}
+
+TEST(MakeClassifyContextTest, FollowsDriverPlan) {
+  AccelConfig accel;
+  accel.max_compute_rows = 1024;
+  accel.spad_rows = 2048;
+  accel.acc_rows = 1024;
+  const auto ws_context = MakeClassifyContext(
+      Gemm112x112(), accel, Dataflow::kWeightStationary);
+  EXPECT_EQ(ws_context.rows, 112);
+  EXPECT_EQ(ws_context.tile_rows, 1024);  // M streams in one chunk
+  EXPECT_EQ(ws_context.tile_cols, 16);
+  const auto os_context = MakeClassifyContext(
+      Gemm112x112(), accel, Dataflow::kOutputStationary);
+  EXPECT_EQ(os_context.tile_rows, 16);
+  EXPECT_EQ(os_context.tile_cols, 16);
+}
+
+TEST(PatternClassTest, AllNamesDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumPatternClasses; ++i) {
+    names.insert(ToString(static_cast<PatternClass>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumPatternClasses));
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,206 @@
+// Folding corruption maps back to convolution output-channel space — the
+// view the paper's Fig. 3e–3g panels actually show.
+#include <gtest/gtest.h>
+
+#include "fi/runner.h"
+#include "patterns/report.h"
+
+namespace saffire {
+namespace {
+
+AccelConfig TestConfig() {
+  AccelConfig config;
+  config.max_compute_rows = 1024;
+  config.spad_rows = 2048;
+  config.acc_rows = 1024;
+  config.dram_bytes = 8 << 20;
+  return config;
+}
+
+CorruptionMap MapWithColumn(std::int64_t rows, std::int64_t cols,
+                            std::int64_t corrupted_col) {
+  CorruptionMap map;
+  map.rows = rows;
+  map.cols = cols;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    map.corrupted.push_back(MatrixCoord{r, corrupted_col});
+  }
+  return map;
+}
+
+TEST(ConvCorruptionByChannelTest, Im2ColColumnIsFullChannel) {
+  ClassifyContext context;
+  context.op = OpType::kConv;
+  context.lowering = ConvLowering::kIm2Col;
+  context.conv.in_channels = 3;
+  context.conv.height = 16;
+  context.conv.width = 16;
+  context.conv.out_channels = 8;
+  context.conv.kernel_h = 3;
+  context.conv.kernel_w = 3;
+  context.rows = 14 * 14;
+  context.cols = 8;
+  context.tile_rows = 1024;
+  context.tile_cols = 16;
+
+  const auto by_channel = ConvCorruptionByChannel(
+      MapWithColumn(context.rows, context.cols, 5), context);
+  ASSERT_EQ(by_channel.size(), 1u);
+  EXPECT_EQ(by_channel.begin()->first, 5);
+  EXPECT_EQ(by_channel.begin()->second.size(), 14u * 14u);
+}
+
+TEST(ConvCorruptionByChannelTest, ShiftGemmColumnIsFullChannel) {
+  ClassifyContext context;
+  context.op = OpType::kConv;
+  context.lowering = ConvLowering::kShiftGemm;
+  context.conv.in_channels = 1;
+  context.conv.height = 5;
+  context.conv.width = 5;
+  context.conv.out_channels = 2;
+  context.conv.kernel_h = 3;
+  context.conv.kernel_w = 3;
+  context.rows = 3 * 5;  // P·(W+2·pad)
+  context.cols = 6;      // S·K
+  context.tile_rows = 1024;
+  context.tile_cols = 16;
+
+  // Column k=1, s=2.
+  const auto by_channel = ConvCorruptionByChannel(
+      MapWithColumn(context.rows, context.cols, 1 * 3 + 2), context);
+  ASSERT_EQ(by_channel.size(), 1u);
+  EXPECT_EQ(by_channel.begin()->first, 1);
+  // Every pixel of the 3×3 output sees the s=2 contribution.
+  EXPECT_EQ(by_channel.begin()->second.size(), 9u);
+}
+
+TEST(ConvCorruptionByChannelTest, StrideSkipsNonAlignedCells) {
+  ClassifyContext context;
+  context.op = OpType::kConv;
+  context.lowering = ConvLowering::kShiftGemm;
+  context.conv.in_channels = 1;
+  context.conv.height = 6;
+  context.conv.width = 6;
+  context.conv.out_channels = 1;
+  context.conv.kernel_h = 2;
+  context.conv.kernel_w = 2;
+  context.conv.stride = 2;
+  context.rows = context.conv.out_height() * 6;  // 3·6
+  context.cols = 2;
+  context.tile_rows = 1024;
+  context.tile_cols = 16;
+
+  // Column (k=0, s=0): only even x positions feed an output pixel.
+  const auto by_channel =
+      ConvCorruptionByChannel(MapWithColumn(context.rows, 2, 0), context);
+  ASSERT_EQ(by_channel.size(), 1u);
+  // P = Q = 3: all 9 pixels still reached (via their own x = 2q).
+  EXPECT_EQ(by_channel.begin()->second.size(), 9u);
+}
+
+TEST(ConvCorruptionByChannelTest, RejectsGemmContext) {
+  ClassifyContext context;
+  context.op = OpType::kGemm;
+  context.rows = 4;
+  context.cols = 4;
+  context.tile_rows = 4;
+  context.tile_cols = 4;
+  CorruptionMap map;
+  map.rows = 4;
+  map.cols = 4;
+  EXPECT_THROW(ConvCorruptionByChannel(map, context), std::invalid_argument);
+}
+
+TEST(ConvChannelViewTest, EndToEndMatchesPaperPanel3e) {
+  // A WS fault on an active column of the 3×3×3×3 conv corrupts exactly
+  // one output channel — every pixel of it.
+  const auto config = TestConfig();
+  const auto workload = Conv16Kernel3x3x3x3();
+  FiRunner runner(config);
+  const auto golden = runner.RunGolden(workload, Dataflow::kWeightStationary);
+  const FaultSpec fault =
+      StuckAtAdder(PeCoord{2, 4}, 8, StuckPolarity::kStuckAt1);
+  const auto faulty =
+      runner.RunFaulty(workload, Dataflow::kWeightStationary, {&fault, 1});
+  const auto map = ExtractCorruption(golden.output, faulty.output);
+  const auto context =
+      MakeClassifyContext(workload, config, Dataflow::kWeightStationary);
+
+  const auto by_channel = ConvCorruptionByChannel(map, context);
+  ASSERT_EQ(by_channel.size(), 1u);
+  EXPECT_EQ(by_channel.begin()->first, 4 / 3);  // column 4 → channel 1
+  EXPECT_EQ(by_channel.begin()->second.size(), 14u * 14u);
+
+  const std::string rendered = RenderConvChannelMap(map, context, 4);
+  EXPECT_NE(rendered.find("channel 1: 196/196 pixels corrupted"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("##############"), std::string::npos);
+  EXPECT_NE(rendered.find("more rows"), std::string::npos);
+}
+
+TEST(ConvChannelViewTest, EndToEndMatchesPaperPanel3f) {
+  // The 3×3×3×8 kernel: a fault in a reused column corrupts two channels.
+  const auto config = TestConfig();
+  const auto workload = Conv16Kernel3x3x3x8();
+  FiRunner runner(config);
+  const auto golden = runner.RunGolden(workload, Dataflow::kWeightStationary);
+  const FaultSpec fault =
+      StuckAtAdder(PeCoord{2, 4}, 8, StuckPolarity::kStuckAt1);
+  const auto faulty =
+      runner.RunFaulty(workload, Dataflow::kWeightStationary, {&fault, 1});
+  const auto map = ExtractCorruption(golden.output, faulty.output);
+  const auto context =
+      MakeClassifyContext(workload, config, Dataflow::kWeightStationary);
+
+  const auto by_channel = ConvCorruptionByChannel(map, context);
+  ASSERT_EQ(by_channel.size(), 2u);  // columns 4 and 20 → channels 1 and 6
+  EXPECT_TRUE(by_channel.contains(1));
+  EXPECT_TRUE(by_channel.contains(6));
+  for (const auto& [channel, pixels] : by_channel) {
+    EXPECT_EQ(pixels.size(), 14u * 14u) << "channel " << channel;
+  }
+}
+
+TEST(ConvChannelViewTest, BatchedConvStaysDeterministic) {
+  // Batch > 1 multiplies the streamed rows; the pattern machinery must
+  // stay exact (the paper evaluates batch 1 only).
+  const auto config = TestConfig();
+  WorkloadSpec workload = Conv16Kernel3x3x3x3();
+  workload.name = "conv-batch2";
+  workload.conv.batch = 2;
+  FiRunner runner(config);
+  const auto golden = runner.RunGolden(workload, Dataflow::kWeightStationary);
+  const auto context =
+      MakeClassifyContext(workload, config, Dataflow::kWeightStationary);
+  for (const PeCoord site : {PeCoord{0, 0}, PeCoord{7, 4}, PeCoord{15, 8}}) {
+    const FaultSpec fault = StuckAtAdder(site, 8, StuckPolarity::kStuckAt1);
+    const auto faulty =
+        runner.RunFaulty(workload, Dataflow::kWeightStationary, {&fault, 1});
+    const auto map = ExtractCorruption(golden.output, faulty.output);
+    const auto prediction = PredictPattern(
+        workload, config, Dataflow::kWeightStationary, fault);
+    EXPECT_EQ(map.corrupted, prediction.coords) << fault.ToString();
+    if (!map.empty()) {
+      // Both batch elements carry the full corrupted channel.
+      const auto by_channel = ConvCorruptionByChannel(map, context);
+      for (const auto& [channel, pixels] : by_channel) {
+        EXPECT_EQ(pixels.size(), 14u * 14u) << "channel " << channel;
+      }
+    }
+  }
+}
+
+TEST(ConvChannelViewTest, CleanMapRendersEmpty) {
+  const auto config = TestConfig();
+  const auto context = MakeClassifyContext(Conv16Kernel3x3x3x3(), config,
+                                           Dataflow::kWeightStationary);
+  CorruptionMap map;
+  map.rows = context.rows;
+  map.cols = context.cols;
+  EXPECT_NE(RenderConvChannelMap(map, context)
+                .find("no corrupted output channels"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,82 @@
+#include "patterns/corruption.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace saffire {
+namespace {
+
+TEST(ExtractCorruptionTest, IdenticalTensorsYieldEmptyMap) {
+  const auto golden = Int32Tensor::FromRows({{1, 2}, {3, 4}});
+  const auto map = ExtractCorruption(golden, golden);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.count(), 0);
+  EXPECT_EQ(map.rows, 2);
+  EXPECT_EQ(map.cols, 2);
+  EXPECT_EQ(map.max_abs_delta, 0);
+}
+
+TEST(ExtractCorruptionTest, FindsAllDifferences) {
+  const auto golden = Int32Tensor::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const auto faulty = Int32Tensor::FromRows({{1, 9, 3}, {4, 5, 0}});
+  const auto map = ExtractCorruption(golden, faulty);
+  ASSERT_EQ(map.count(), 2);
+  EXPECT_EQ(map.corrupted[0], (MatrixCoord{0, 1}));
+  EXPECT_EQ(map.corrupted[1], (MatrixCoord{1, 2}));
+  EXPECT_EQ(map.max_abs_delta, 7);
+  EXPECT_EQ(map.min_abs_delta, 6);
+}
+
+TEST(ExtractCorruptionTest, CoordsSortedRowMajor) {
+  auto golden = Int32Tensor({4, 4});
+  auto faulty = golden;
+  faulty(3, 0) = 1;
+  faulty(0, 3) = 1;
+  faulty(2, 2) = 1;
+  const auto map = ExtractCorruption(golden, faulty);
+  ASSERT_EQ(map.count(), 3);
+  EXPECT_EQ(map.corrupted[0], (MatrixCoord{0, 3}));
+  EXPECT_EQ(map.corrupted[1], (MatrixCoord{2, 2}));
+  EXPECT_EQ(map.corrupted[2], (MatrixCoord{3, 0}));
+}
+
+TEST(ExtractCorruptionTest, RejectsShapeMismatch) {
+  EXPECT_THROW(ExtractCorruption(Int32Tensor({2, 2}), Int32Tensor({2, 3})),
+               std::invalid_argument);
+}
+
+TEST(CorruptionMapTest, DistinctColsAndRows) {
+  auto golden = Int32Tensor({4, 4});
+  auto faulty = golden;
+  faulty(0, 1) = 1;
+  faulty(2, 1) = 1;
+  faulty(2, 3) = 1;
+  const auto map = ExtractCorruption(golden, faulty);
+  EXPECT_EQ(map.DistinctCols(), (std::vector<std::int64_t>{1, 3}));
+  EXPECT_EQ(map.DistinctRows(), (std::vector<std::int64_t>{0, 2}));
+}
+
+TEST(CorruptionMapTest, ColumnFullyCorrupted) {
+  auto golden = Int32Tensor({3, 2});
+  auto faulty = golden;
+  faulty(0, 0) = 1;
+  faulty(1, 0) = 1;
+  faulty(2, 0) = 1;
+  faulty(1, 1) = 1;
+  const auto map = ExtractCorruption(golden, faulty);
+  EXPECT_TRUE(map.ColumnFullyCorrupted(0));
+  EXPECT_FALSE(map.ColumnFullyCorrupted(1));
+}
+
+TEST(ExtractCorruptionTest, DeltaWithOverflowValues) {
+  auto golden = Int32Tensor({1, 1});
+  auto faulty = golden;
+  golden(0, 0) = std::numeric_limits<std::int32_t>::max();
+  faulty(0, 0) = std::numeric_limits<std::int32_t>::min();
+  const auto map = ExtractCorruption(golden, faulty);
+  EXPECT_EQ(map.max_abs_delta, (std::int64_t{1} << 32) - 1);
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,94 @@
+// Randomized end-to-end property test: across random array geometries,
+// workload shapes, dataflows, operand fills, and fault parameters, the
+// pipeline invariants must hold —
+//   golden run == reference GEMM,
+//   observed corruption ⊆ predicted reach,
+//   fault injection never perturbs timing,
+//   classification is total.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fi/runner.h"
+#include "patterns/predictor.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+namespace {
+
+TEST(FuzzPropertyTest, PipelineInvariantsHoldOnRandomConfigurations) {
+  Rng rng(20230706);
+  constexpr int kIterations = 150;
+  for (int iteration = 0; iteration < kIterations; ++iteration) {
+    AccelConfig config;
+    config.array.rows = static_cast<std::int32_t>(rng.UniformInt(2, 8));
+    config.array.cols = static_cast<std::int32_t>(rng.UniformInt(2, 8));
+    config.max_compute_rows =
+        static_cast<std::int32_t>(rng.UniformInt(config.array.rows, 64));
+    config.acc_rows = config.max_compute_rows;
+    config.spad_rows = config.max_compute_rows +
+                       std::max(config.array.rows, config.array.cols);
+    config.dram_bytes = 1 << 20;
+
+    WorkloadSpec workload;
+    workload.name = "fuzz-" + std::to_string(iteration);
+    workload.m = rng.UniformInt(1, 24);
+    workload.k = rng.UniformInt(1, 24);
+    workload.n = rng.UniformInt(1, 24);
+    const OperandFill fills[] = {OperandFill::kOnes, OperandFill::kRandom,
+                                 OperandFill::kNearZero};
+    workload.input_fill = fills[rng.UniformInt(0, 2)];
+    workload.weight_fill = fills[rng.UniformInt(0, 2)];
+    workload.data_seed = rng();
+
+    const Dataflow dataflows[] = {Dataflow::kWeightStationary,
+                                  Dataflow::kOutputStationary,
+                                  Dataflow::kInputStationary};
+    const Dataflow dataflow = dataflows[rng.UniformInt(0, 2)];
+
+    FaultSpec fault;
+    fault.pe.row =
+        static_cast<std::int32_t>(rng.UniformInt(0, config.array.rows - 1));
+    fault.pe.col =
+        static_cast<std::int32_t>(rng.UniformInt(0, config.array.cols - 1));
+    const MacSignal signals[] = {MacSignal::kAdderOut, MacSignal::kMulOut,
+                                 MacSignal::kWeightOperand};
+    fault.signal = signals[rng.UniformInt(0, 2)];
+    fault.bit = static_cast<int>(
+        rng.UniformInt(0, SignalWidth(fault.signal, config.array) - 1));
+    fault.polarity = rng.Bernoulli(0.5) ? StuckPolarity::kStuckAt1
+                                        : StuckPolarity::kStuckAt0;
+
+    SCOPED_TRACE(workload.ToString() + " | " + ToString(dataflow) + " | " +
+                 fault.ToString() + " | array " + config.array.ToString());
+
+    FiRunner runner(config);
+    const RunResult golden = runner.RunGolden(workload, dataflow);
+    const MaterializedWorkload operands = Materialize(workload);
+    ASSERT_EQ(golden.output, GemmRef(operands.a, operands.b));
+
+    const RunResult faulty = runner.RunFaulty(workload, dataflow, {&fault, 1});
+    EXPECT_EQ(faulty.cycles, golden.cycles);
+    EXPECT_EQ(faulty.pe_steps, golden.pe_steps);
+
+    const CorruptionMap map = ExtractCorruption(golden.output, faulty.output);
+    const ClassifyContext context =
+        MakeClassifyContext(workload, config, dataflow);
+    EXPECT_NO_THROW({ (void)Classify(map, context); });
+
+    const PredictedPattern prediction =
+        PredictPattern(workload, config, dataflow, fault);
+    EXPECT_TRUE(std::includes(prediction.coords.begin(),
+                              prediction.coords.end(), map.corrupted.begin(),
+                              map.corrupted.end()));
+    if (map.empty()) {
+      // Masked observation is always admissible; nothing more to check.
+      continue;
+    }
+    // A corrupted run must have activated the fault at least once.
+    EXPECT_GT(faulty.fault_activations, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace saffire

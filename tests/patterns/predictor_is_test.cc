@@ -1,0 +1,106 @@
+// Determinism property under the input-stationary dataflow: predicted row
+// patterns must match the cycle-accurate simulation exactly — extending
+// the paper's WS/OS characterization to the third mapping it names.
+#include <gtest/gtest.h>
+
+#include "fi/runner.h"
+#include "patterns/predictor.h"
+
+namespace saffire {
+namespace {
+
+AccelConfig TestConfig() {
+  AccelConfig config;
+  config.max_compute_rows = 1024;
+  config.spad_rows = 2048;
+  config.acc_rows = 1024;
+  config.dram_bytes = 8 << 20;
+  return config;
+}
+
+TEST(PredictorIsTest, UntiledGemmIsSingleRow) {
+  const auto prediction = PredictPattern(
+      Gemm16x16(), TestConfig(), Dataflow::kInputStationary,
+      StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1));
+  EXPECT_EQ(prediction.pattern, PatternClass::kSingleRow);
+  ASSERT_EQ(prediction.coords.size(), 16u);
+  for (const MatrixCoord& coord : prediction.coords) {
+    EXPECT_EQ(coord.row, 9);  // the faulty PE's column owns output row 9
+  }
+}
+
+TEST(PredictorIsTest, TiledGemmIsRowMultiTile) {
+  const auto prediction = PredictPattern(
+      Gemm112x112(), TestConfig(), Dataflow::kInputStationary,
+      StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1));
+  EXPECT_EQ(prediction.pattern, PatternClass::kSingleRowMultiTile);
+  // Rows 9, 25, ..., 105 × 112 columns.
+  EXPECT_EQ(prediction.coords.size(), 7u * 112u);
+}
+
+TEST(PredictorIsTest, FaultRowIrrelevant) {
+  const auto config = TestConfig();
+  const auto base = PredictPattern(
+      Gemm16x16(), config, Dataflow::kInputStationary,
+      StuckAtAdder(PeCoord{0, 9}, 8, StuckPolarity::kStuckAt1));
+  for (std::int32_t row = 1; row < 16; ++row) {
+    const auto other = PredictPattern(
+        Gemm16x16(), config, Dataflow::kInputStationary,
+        StuckAtAdder(PeCoord{row, 9}, 8, StuckPolarity::kStuckAt1));
+    EXPECT_EQ(other.coords, base.coords);
+  }
+}
+
+TEST(PredictorIsTest, ColumnBeyondStationaryOperandIsMasked) {
+  // M = 4 occupies array columns 0..3; faults in columns 4..15 never touch
+  // sampled output rows.
+  WorkloadSpec narrow = Gemm16x16();
+  narrow.m = 4;
+  const auto prediction = PredictPattern(
+      narrow, TestConfig(), Dataflow::kInputStationary,
+      StuckAtAdder(PeCoord{2, 9}, 8, StuckPolarity::kStuckAt1));
+  EXPECT_EQ(prediction.pattern, PatternClass::kMasked);
+}
+
+struct IsCase {
+  const char* label;
+  WorkloadSpec (*workload)();
+};
+
+class IsDeterminismTest : public ::testing::TestWithParam<IsCase> {};
+
+TEST_P(IsDeterminismTest, PredictionMatchesSimulationExactly) {
+  const AccelConfig config = TestConfig();
+  const WorkloadSpec workload = GetParam().workload();
+  FiRunner runner(config);
+  const auto golden =
+      runner.RunGolden(workload, Dataflow::kInputStationary);
+  const auto context =
+      MakeClassifyContext(workload, config, Dataflow::kInputStationary);
+  const auto sites = AllPeCoords(config.array);
+  for (std::size_t i = 0; i < sites.size(); i += 8) {
+    const FaultSpec fault =
+        StuckAtAdder(sites[i], 8, StuckPolarity::kStuckAt1);
+    const auto faulty =
+        runner.RunFaulty(workload, Dataflow::kInputStationary, {&fault, 1});
+    const auto map = ExtractCorruption(golden.output, faulty.output);
+    const auto prediction =
+        PredictPattern(workload, config, Dataflow::kInputStationary, fault);
+    EXPECT_EQ(Classify(map, context), prediction.pattern)
+        << GetParam().label << " " << fault.ToString();
+    EXPECT_EQ(map.corrupted, prediction.coords)
+        << GetParam().label << " " << fault.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, IsDeterminismTest,
+    ::testing::Values(IsCase{"gemm16", &Gemm16x16},
+                      IsCase{"gemm112", &Gemm112x112},
+                      IsCase{"conv16k3", &Conv16Kernel3x3x3x3}),
+    [](const ::testing::TestParamInfo<IsCase>& param_info) {
+      return std::string(param_info.param.label);
+    });
+
+}  // namespace
+}  // namespace saffire

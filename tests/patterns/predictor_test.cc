@@ -1,0 +1,204 @@
+// Validation of the paper's determinism claim (Sec. IV, Discussion): for
+// every fault site, the analytically predicted fault pattern must match the
+// cycle-accurate simulation — class and exact coordinates — on the
+// pattern-extraction workload, and must contain the observed corruption for
+// arbitrary operand values.
+#include "patterns/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fi/runner.h"
+#include "patterns/classify.h"
+
+namespace saffire {
+namespace {
+
+AccelConfig TestConfig() {
+  AccelConfig config;  // 16×16 array
+  config.max_compute_rows = 1024;
+  config.spad_rows = 2048;
+  config.acc_rows = 1024;
+  config.dram_bytes = 8 << 20;
+  return config;
+}
+
+TEST(PredictorTest, RejectsForwardingSignals) {
+  FaultSpec fault = StuckAtAdder(PeCoord{0, 0}, 8, StuckPolarity::kStuckAt1);
+  fault.signal = MacSignal::kActForward;
+  fault.bit = 2;
+  EXPECT_THROW(PredictPattern(Gemm16x16(), TestConfig(),
+                              Dataflow::kWeightStationary, fault),
+               std::invalid_argument);
+}
+
+TEST(PredictorTest, WsUntiledGemmIsSingleColumn) {
+  const auto prediction = PredictPattern(
+      Gemm16x16(), TestConfig(), Dataflow::kWeightStationary,
+      StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1));
+  EXPECT_EQ(prediction.pattern, PatternClass::kSingleColumn);
+  ASSERT_EQ(prediction.coords.size(), 16u);
+  for (const MatrixCoord& coord : prediction.coords) {
+    EXPECT_EQ(coord.col, 9);
+  }
+}
+
+TEST(PredictorTest, OsUntiledGemmIsSingleElement) {
+  const auto prediction = PredictPattern(
+      Gemm16x16(), TestConfig(), Dataflow::kOutputStationary,
+      StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1));
+  EXPECT_EQ(prediction.pattern, PatternClass::kSingleElement);
+  ASSERT_EQ(prediction.coords.size(), 1u);
+  EXPECT_EQ(prediction.coords[0], (MatrixCoord{4, 9}));
+}
+
+TEST(PredictorTest, WsTiledGemmIsColumnMultiTile) {
+  const auto prediction = PredictPattern(
+      Gemm112x112(), TestConfig(), Dataflow::kWeightStationary,
+      StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1));
+  EXPECT_EQ(prediction.pattern, PatternClass::kSingleColumnMultiTile);
+  // Columns 9, 25, ..., 105 × 112 rows.
+  EXPECT_EQ(prediction.coords.size(), 7u * 112u);
+}
+
+TEST(PredictorTest, OsTiledGemmIsElementMultiTile) {
+  const auto prediction = PredictPattern(
+      Gemm112x112(), TestConfig(), Dataflow::kOutputStationary,
+      StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1));
+  EXPECT_EQ(prediction.pattern, PatternClass::kSingleElementMultiTile);
+  EXPECT_EQ(prediction.coords.size(), 49u);  // 7×7 tiles
+}
+
+TEST(PredictorTest, ConvUntiledKernelIsSingleChannel) {
+  const auto prediction = PredictPattern(
+      Conv16Kernel3x3x3x3(), TestConfig(), Dataflow::kWeightStationary,
+      StuckAtAdder(PeCoord{2, 4}, 8, StuckPolarity::kStuckAt1));
+  EXPECT_EQ(prediction.pattern, PatternClass::kSingleChannel);
+}
+
+TEST(PredictorTest, ConvTiledKernelReusedColumnIsMultiChannel) {
+  // Column 4 is reused by S·K columns 4 (channel 1) and 20 (channel 6).
+  const auto prediction = PredictPattern(
+      Conv16Kernel3x3x3x8(), TestConfig(), Dataflow::kWeightStationary,
+      StuckAtAdder(PeCoord{2, 4}, 8, StuckPolarity::kStuckAt1));
+  EXPECT_EQ(prediction.pattern, PatternClass::kMultiChannel);
+}
+
+TEST(PredictorTest, ConvColumnBeyondOperandIsMasked) {
+  // S·K = 9 for the 3×3×3×3 kernel: array columns 9..15 never carry
+  // sampled outputs.
+  const auto prediction = PredictPattern(
+      Conv16Kernel3x3x3x3(), TestConfig(), Dataflow::kWeightStationary,
+      StuckAtAdder(PeCoord{2, 12}, 8, StuckPolarity::kStuckAt1));
+  EXPECT_EQ(prediction.pattern, PatternClass::kMasked);
+  EXPECT_TRUE(prediction.coords.empty());
+}
+
+TEST(PredictorTest, FaultRowNeverChangesWsPrediction) {
+  // In WS the whole column chain passes through every row — the paper's
+  // symmetry observation.
+  const auto config = TestConfig();
+  const auto base = PredictPattern(
+      Gemm16x16(), config, Dataflow::kWeightStationary,
+      StuckAtAdder(PeCoord{0, 9}, 8, StuckPolarity::kStuckAt1));
+  for (std::int32_t row = 1; row < 16; ++row) {
+    const auto other = PredictPattern(
+        Gemm16x16(), config, Dataflow::kWeightStationary,
+        StuckAtAdder(PeCoord{row, 9}, 8, StuckPolarity::kStuckAt1));
+    EXPECT_EQ(other.pattern, base.pattern);
+    EXPECT_EQ(other.coords, base.coords);
+  }
+}
+
+// --- The determinism property, simulated vs predicted ----------------------
+
+struct DeterminismCase {
+  const char* label;
+  WorkloadSpec (*workload)();
+  Dataflow dataflow;
+  std::size_t site_stride;  // 1 = fully exhaustive over all 256 sites
+};
+
+class DeterminismTest : public ::testing::TestWithParam<DeterminismCase> {};
+
+// Predicted class and exact coordinates must match the simulation at every
+// visited site (bit 8 stuck-at-1 always fires on the small all-ones
+// values). The flagship 16x16 configurations are fully exhaustive (all 256
+// sites); the expensive tiled ones visit every 8th site.
+TEST_P(DeterminismTest, PredictionMatchesSimulationExactly) {
+  const DeterminismCase& tc = GetParam();
+  const AccelConfig config = TestConfig();
+  const WorkloadSpec workload = tc.workload();
+  FiRunner runner(config);
+  const auto golden = runner.RunGolden(workload, tc.dataflow);
+  const auto context = MakeClassifyContext(workload, config, tc.dataflow);
+
+  const auto sites = AllPeCoords(config.array);
+  for (std::size_t i = 0; i < sites.size(); i += tc.site_stride) {
+    const FaultSpec fault =
+        StuckAtAdder(sites[i], 8, StuckPolarity::kStuckAt1);
+    const auto faulty = runner.RunFaulty(workload, tc.dataflow, {&fault, 1});
+    const auto map = ExtractCorruption(golden.output, faulty.output);
+    const auto observed = Classify(map, context);
+    const auto prediction =
+        PredictPattern(workload, config, tc.dataflow, fault);
+    EXPECT_EQ(observed, prediction.pattern)
+        << tc.label << " site " << fault.ToString();
+    EXPECT_EQ(map.corrupted, prediction.coords)
+        << tc.label << " site " << fault.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, DeterminismTest,
+    ::testing::Values(
+        DeterminismCase{"gemm16-ws", &Gemm16x16,
+                        Dataflow::kWeightStationary, 1},
+        DeterminismCase{"gemm16-os", &Gemm16x16,
+                        Dataflow::kOutputStationary, 1},
+        DeterminismCase{"gemm112-ws", &Gemm112x112,
+                        Dataflow::kWeightStationary, 8},
+        DeterminismCase{"gemm112-os", &Gemm112x112,
+                        Dataflow::kOutputStationary, 8},
+        DeterminismCase{"conv16-k3-ws", &Conv16Kernel3x3x3x3,
+                        Dataflow::kWeightStationary, 1},
+        DeterminismCase{"conv16-k8-ws", &Conv16Kernel3x3x3x8,
+                        Dataflow::kWeightStationary, 1}),
+    [](const ::testing::TestParamInfo<DeterminismCase>& param_info) {
+      std::string name = param_info.param.label;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// With arbitrary (random) operand values, value-level masking may shrink
+// the observed corruption, but it must stay inside the predicted reach.
+TEST(PredictorTest, ObservedCorruptionContainedForRandomOperands) {
+  const AccelConfig config = TestConfig();
+  WorkloadSpec workload = Gemm16x16();
+  workload.input_fill = OperandFill::kRandom;
+  workload.weight_fill = OperandFill::kRandom;
+  FiRunner runner(config);
+  for (const Dataflow dataflow :
+       {Dataflow::kWeightStationary, Dataflow::kOutputStationary}) {
+    const auto golden = runner.RunGolden(workload, dataflow);
+    for (std::size_t i = 0; i < 256; i += 16) {
+      const FaultSpec fault = StuckAtAdder(
+          PeCoord{static_cast<std::int32_t>(i / 16),
+                  static_cast<std::int32_t>(i % 16)},
+          0, StuckPolarity::kStuckAt0);
+      const auto faulty = runner.RunFaulty(workload, dataflow, {&fault, 1});
+      const auto map = ExtractCorruption(golden.output, faulty.output);
+      const auto prediction =
+          PredictPattern(workload, config, dataflow, fault);
+      EXPECT_TRUE(std::includes(prediction.coords.begin(),
+                                prediction.coords.end(),
+                                map.corrupted.begin(), map.corrupted.end()))
+          << ToString(dataflow) << " " << fault.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saffire

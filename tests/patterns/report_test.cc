@@ -1,0 +1,98 @@
+#include "patterns/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace saffire {
+namespace {
+
+AccelConfig SmallAccel() {
+  AccelConfig config;
+  config.array.rows = 4;
+  config.array.cols = 4;
+  config.max_compute_rows = 16;
+  config.spad_rows = 32;
+  config.acc_rows = 16;
+  config.dram_bytes = 1 << 18;
+  return config;
+}
+
+CampaignConfig SmallCampaign() {
+  CampaignConfig config;
+  config.accel = SmallAccel();
+  config.workload.name = "gemm-4";
+  config.workload.m = config.workload.k = config.workload.n = 4;
+  config.bit = 8;
+  return config;
+}
+
+TEST(RenderCorruptionMapTest, MarksCorruptedCellsAndTiles) {
+  CorruptionMap map;
+  map.rows = 4;
+  map.cols = 4;
+  map.corrupted = {{0, 1}, {1, 1}, {2, 1}, {3, 1}};
+  ClassifyContext context;
+  context.rows = 4;
+  context.cols = 4;
+  context.tile_rows = 2;
+  context.tile_cols = 2;
+  const std::string rendered = RenderCorruptionMap(map, context);
+  EXPECT_EQ(rendered,
+            ".#|..\n"
+            ".#|..\n"
+            "--+--\n"
+            ".#|..\n"
+            ".#|..\n");
+}
+
+TEST(RenderCorruptionMapTest, TruncatesTallMaps) {
+  CorruptionMap map;
+  map.rows = 100;
+  map.cols = 2;
+  ClassifyContext context;
+  context.rows = 100;
+  context.cols = 2;
+  context.tile_rows = 100;
+  context.tile_cols = 2;
+  const std::string rendered = RenderCorruptionMap(map, context, 10);
+  EXPECT_NE(rendered.find("(90 more rows)"), std::string::npos);
+}
+
+TEST(RenderHistogramTest, ShowsCountsAndPercentages) {
+  const auto result = RunCampaign(SmallCampaign());
+  const std::string histogram = RenderHistogram(result);
+  EXPECT_NE(histogram.find("single-column"), std::string::npos);
+  EXPECT_NE(histogram.find("16"), std::string::npos);
+  EXPECT_NE(histogram.find("100.0%"), std::string::npos);
+}
+
+TEST(RenderCampaignSummaryTest, CoversKeyFields) {
+  const auto result = RunCampaign(SmallCampaign());
+  const std::string summary = RenderCampaignSummary(result);
+  EXPECT_NE(summary.find("experiments: 16"), std::string::npos);
+  EXPECT_NE(summary.find("dominant class: single-column"),
+            std::string::npos);
+  EXPECT_NE(summary.find("single-class property (non-masked): HOLDS"),
+            std::string::npos);
+  EXPECT_NE(summary.find("predictor class agreement: 100.0%"),
+            std::string::npos);
+}
+
+TEST(WriteCampaignCsvTest, OneRowPerExperiment) {
+  const auto result = RunCampaign(SmallCampaign());
+  std::ostringstream out;
+  WriteCampaignCsv(result, out);
+  const std::string csv = out.str();
+  std::size_t lines = 0;
+  for (const char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 17u);  // header + 16 experiments
+  EXPECT_NE(csv.find("workload,dataflow,pe_row"), std::string::npos);
+  EXPECT_NE(csv.find("single-column"), std::string::npos);
+  EXPECT_NE(csv.find("gemm-4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,134 @@
+#include "patterns/symmetry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fi/runner.h"
+
+namespace saffire {
+namespace {
+
+AccelConfig TestConfig() {
+  AccelConfig config;
+  config.max_compute_rows = 1024;
+  config.spad_rows = 2048;
+  config.acc_rows = 1024;
+  config.dram_bytes = 8 << 20;
+  return config;
+}
+
+std::int64_t TotalMembers(const std::vector<SiteEquivalenceClass>& classes) {
+  std::int64_t total = 0;
+  for (const auto& equivalence : classes) {
+    total += static_cast<std::int64_t>(equivalence.members.size());
+  }
+  return total;
+}
+
+TEST(SymmetryTest, WsCollapsesColumns) {
+  // Under WS every PE in an array column produces the same reach: 256
+  // sites → 16 classes of 16 members (one per column).
+  const auto classes = PartitionFaultSites(Gemm16x16(), TestConfig(),
+                                           Dataflow::kWeightStationary);
+  ASSERT_EQ(classes.size(), 16u);
+  EXPECT_EQ(TotalMembers(classes), 256);
+  for (const auto& equivalence : classes) {
+    EXPECT_EQ(equivalence.members.size(), 16u);
+    // All members share the representative's column.
+    for (const PeCoord member : equivalence.members) {
+      EXPECT_EQ(member.col, equivalence.representative.col);
+    }
+    EXPECT_EQ(equivalence.prediction.pattern, PatternClass::kSingleColumn);
+  }
+  EXPECT_DOUBLE_EQ(SymmetryReductionFactor(Gemm16x16(), TestConfig(),
+                                           Dataflow::kWeightStationary),
+                   (256.0 - 16.0) / 256.0);
+}
+
+TEST(SymmetryTest, IsCollapsesColumnsIntoRows) {
+  const auto classes = PartitionFaultSites(Gemm16x16(), TestConfig(),
+                                           Dataflow::kInputStationary);
+  EXPECT_EQ(classes.size(), 16u);
+  EXPECT_EQ(TotalMembers(classes), 256);
+}
+
+TEST(SymmetryTest, OsKeepsEverySiteDistinct) {
+  // Each OS site owns a different output element: no reduction.
+  const auto classes = PartitionFaultSites(Gemm16x16(), TestConfig(),
+                                           Dataflow::kOutputStationary);
+  EXPECT_EQ(classes.size(), 256u);
+  EXPECT_DOUBLE_EQ(SymmetryReductionFactor(Gemm16x16(), TestConfig(),
+                                           Dataflow::kOutputStationary),
+                   0.0);
+}
+
+TEST(SymmetryTest, MaskedSitesFormOneClass) {
+  // Conv 3×3×3×3 under WS uses 9 of 16 array columns; the 7 unused columns
+  // (7 × 16 sites) share the empty reach.
+  const auto classes = PartitionFaultSites(
+      Conv16Kernel3x3x3x3(), TestConfig(), Dataflow::kWeightStationary);
+  ASSERT_EQ(classes.size(), 10u);  // 9 used columns + 1 masked class
+  std::int64_t masked_members = 0;
+  for (const auto& equivalence : classes) {
+    if (equivalence.prediction.pattern == PatternClass::kMasked) {
+      masked_members += static_cast<std::int64_t>(equivalence.members.size());
+    }
+  }
+  EXPECT_EQ(masked_members, 7 * 16);
+}
+
+TEST(SymmetryTest, RepresentativesValidatedBySimulation) {
+  // The point of the reduction: simulating one representative per class
+  // reproduces the exhaustive campaign. Validate a few members of each WS
+  // class against their representative's simulated corruption.
+  const AccelConfig config = TestConfig();
+  const WorkloadSpec workload = Gemm16x16();
+  FiRunner runner(config);
+  const auto golden =
+      runner.RunGolden(workload, Dataflow::kWeightStationary);
+  const auto classes =
+      PartitionFaultSites(workload, config, Dataflow::kWeightStationary);
+  for (std::size_t i = 0; i < classes.size(); i += 4) {
+    const auto& equivalence = classes[i];
+    const FaultSpec representative_fault = StuckAtAdder(
+        equivalence.representative, 8, StuckPolarity::kStuckAt1);
+    const auto representative_run = runner.RunFaulty(
+        workload, Dataflow::kWeightStationary, {&representative_fault, 1});
+    const auto representative_map =
+        ExtractCorruption(golden.output, representative_run.output);
+    // Last member (farthest from the representative).
+    const FaultSpec member_fault = StuckAtAdder(
+        equivalence.members.back(), 8, StuckPolarity::kStuckAt1);
+    const auto member_run = runner.RunFaulty(
+        workload, Dataflow::kWeightStationary, {&member_fault, 1});
+    const auto member_map =
+        ExtractCorruption(golden.output, member_run.output);
+    EXPECT_EQ(member_map.corrupted, representative_map.corrupted);
+  }
+}
+
+TEST(SymmetryTest, TiledOsStillDistinct) {
+  const auto classes = PartitionFaultSites(Gemm112x112(), TestConfig(),
+                                           Dataflow::kOutputStationary);
+  EXPECT_EQ(classes.size(), 256u);
+}
+
+TEST(SymmetryTest, ClassesPartitionAllSites) {
+  for (const Dataflow dataflow :
+       {Dataflow::kWeightStationary, Dataflow::kOutputStationary,
+        Dataflow::kInputStationary}) {
+    const auto classes =
+        PartitionFaultSites(Gemm112x112(), TestConfig(), dataflow);
+    EXPECT_EQ(TotalMembers(classes), 256) << ToString(dataflow);
+    std::set<std::pair<int, int>> seen;
+    for (const auto& equivalence : classes) {
+      for (const PeCoord member : equivalence.members) {
+        EXPECT_TRUE(seen.insert({member.row, member.col}).second);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,238 @@
+#include "systolic/array.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/bits.h"
+
+namespace saffire {
+namespace {
+
+// Hook that forces one signal of one PE to a constant and records calls.
+class ConstantHook : public FaultHook {
+ public:
+  ConstantHook(PeCoord pe, MacSignal signal, std::int64_t forced)
+      : pe_(pe), signal_(signal), forced_(forced) {}
+
+  std::int64_t Apply(PeCoord pe, MacSignal signal, std::int64_t value,
+                     std::int64_t cycle) override {
+    last_cycle_ = cycle;
+    ++calls_;
+    if (pe == pe_ && signal == signal_) return forced_;
+    return value;
+  }
+
+  bool AppliesTo(PeCoord pe) const override { return pe == pe_; }
+
+  std::int64_t calls() const { return calls_; }
+  std::int64_t last_cycle() const { return last_cycle_; }
+
+ private:
+  PeCoord pe_;
+  MacSignal signal_;
+  std::int64_t forced_;
+  std::int64_t calls_ = 0;
+  std::int64_t last_cycle_ = -1;
+};
+
+ArrayConfig SmallConfig(std::int32_t rows, std::int32_t cols) {
+  ArrayConfig config;
+  config.rows = rows;
+  config.cols = cols;
+  return config;
+}
+
+TEST(ArrayConfigTest, DefaultsMatchPaperPlatform) {
+  const ArrayConfig config;
+  EXPECT_EQ(config.rows, 16);
+  EXPECT_EQ(config.cols, 16);
+  EXPECT_EQ(config.input_bits, 8);
+  EXPECT_EQ(config.acc_bits, 32);
+  EXPECT_EQ(config.num_pes(), 256);
+  EXPECT_EQ(config.ToString(), "16x16 INT8/ACC32");
+}
+
+TEST(ArrayConfigTest, ValidateRejectsBadConfigs) {
+  ArrayConfig config;
+  config.rows = 0;
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+  config.rows = 16;
+  config.acc_bits = 8;  // must be at least 2×input_bits
+  EXPECT_THROW(config.Validate(), std::invalid_argument);
+}
+
+TEST(SystolicArrayTest, SinglePeWeightStationaryMac) {
+  SystolicArray array(SmallConfig(1, 1));
+  array.SetWeight(PeCoord{0, 0}, 3);
+  array.SetWestInput(0, 5);
+  array.SetNorthInput(0, 100);
+  array.Step(Dataflow::kWeightStationary);
+  EXPECT_EQ(array.SouthOutput(0), 100 + 5 * 3);
+  EXPECT_EQ(array.cycle(), 1);
+}
+
+TEST(SystolicArrayTest, SinglePeOutputStationaryAccumulates) {
+  SystolicArray array(SmallConfig(1, 1));
+  for (int t = 0; t < 4; ++t) {
+    array.SetWestInput(0, 2);
+    array.SetNorthInput(0, 3);  // streamed weight
+    array.Step(Dataflow::kOutputStationary);
+  }
+  EXPECT_EQ(array.accumulator(PeCoord{0, 0}), 4 * 2 * 3);
+  // OS forwards the streamed weight south.
+  EXPECT_EQ(array.SouthOutput(0), 3);
+}
+
+TEST(SystolicArrayTest, ActivationPropagatesOnePePerCycle) {
+  SystolicArray array(SmallConfig(1, 3));
+  array.SetWeight(PeCoord{0, 0}, 1);
+  array.SetWeight(PeCoord{0, 1}, 1);
+  array.SetWeight(PeCoord{0, 2}, 1);
+  // Pulse a single activation into the west edge on cycle 0.
+  array.SetWestInput(0, 7);
+  array.Step(Dataflow::kWeightStationary);
+  array.SetWestInput(0, 0);
+  // The single-row array: column c's south output equals the activation
+  // that reached it, so the pulse appears at column c after c+1 steps.
+  EXPECT_EQ(array.SouthOutput(0), 7);
+  array.Step(Dataflow::kWeightStationary);
+  EXPECT_EQ(array.SouthOutput(1), 7);
+  EXPECT_EQ(array.SouthOutput(0), 0);
+  array.Step(Dataflow::kWeightStationary);
+  EXPECT_EQ(array.SouthOutput(2), 7);
+}
+
+TEST(SystolicArrayTest, PartialSumFlowsDownColumn) {
+  SystolicArray array(SmallConfig(3, 1));
+  array.SetWeight(PeCoord{0, 0}, 1);
+  array.SetWeight(PeCoord{1, 0}, 1);
+  array.SetWeight(PeCoord{2, 0}, 1);
+  // Feed activation 1 into every row with the proper skew so one output
+  // accumulates 3; seed the psum with 10 at the right cycle.
+  for (int t = 0; t < 5; ++t) {
+    for (std::int32_t r = 0; r < 3; ++r) {
+      array.SetWestInput(r, (t == r) ? 1 : 0);
+    }
+    array.SetNorthInput(0, t == 0 ? 10 : 0);
+    array.Step(Dataflow::kWeightStationary);
+  }
+  // Output row 0 left the south edge after cycle 0 + (3−1) + 0 = 2, i.e.
+  // after the third step; it stays registered until overwritten.
+  // Re-run sampling: after 3 steps the value is 10 + 3·1 = 13.
+  // (We stepped 5 times; the south register was last written with garbage
+  // rows, so recompute via a fresh run sampling at the right step.)
+  SystolicArray fresh(SmallConfig(3, 1));
+  fresh.SetWeight(PeCoord{0, 0}, 1);
+  fresh.SetWeight(PeCoord{1, 0}, 1);
+  fresh.SetWeight(PeCoord{2, 0}, 1);
+  for (int t = 0; t < 3; ++t) {
+    for (std::int32_t r = 0; r < 3; ++r) {
+      fresh.SetWestInput(r, (t == r) ? 1 : 0);
+    }
+    fresh.SetNorthInput(0, t == 0 ? 10 : 0);
+    fresh.Step(Dataflow::kWeightStationary);
+  }
+  EXPECT_EQ(fresh.SouthOutput(0), 13);
+}
+
+TEST(SystolicArrayTest, WeightsTruncateToOperandWidth) {
+  SystolicArray array(SmallConfig(1, 1));
+  array.SetWeight(PeCoord{0, 0}, 130);  // wraps to −126 at 8 bits
+  EXPECT_EQ(array.weight(PeCoord{0, 0}), SignExtend(130, 8));
+}
+
+TEST(SystolicArrayTest, ResetClearsStateButKeepsHookAndCycle) {
+  SystolicArray array(SmallConfig(2, 2));
+  ConstantHook hook(PeCoord{0, 0}, MacSignal::kAdderOut, 0);
+  array.InstallFaultHook(&hook);
+  array.SetWeight(PeCoord{1, 1}, 5);
+  array.Step(Dataflow::kWeightStationary);
+  const std::int64_t cycle_before = array.cycle();
+  const std::int64_t calls_before = hook.calls();
+  array.Reset();
+  EXPECT_EQ(array.weight(PeCoord{1, 1}), 0);
+  EXPECT_EQ(array.cycle(), cycle_before);
+  array.Step(Dataflow::kWeightStationary);
+  EXPECT_GT(hook.calls(), calls_before);  // hook survived the reset
+}
+
+TEST(SystolicArrayTest, HookCalledOnlyForItsPe) {
+  SystolicArray array(SmallConfig(2, 2));
+  ConstantHook hook(PeCoord{1, 0}, MacSignal::kAdderOut, 42);
+  array.InstallFaultHook(&hook);
+  array.Step(Dataflow::kWeightStationary);
+  // 5 signals per cycle on exactly one hooked PE.
+  EXPECT_EQ(hook.calls(), 5);
+  EXPECT_EQ(array.hook_invocations(), 5u);
+  array.Step(Dataflow::kWeightStationary);
+  EXPECT_EQ(hook.calls(), 10);
+}
+
+TEST(SystolicArrayTest, ForcedAdderOutReachesSouthWire) {
+  SystolicArray array(SmallConfig(1, 1));
+  ConstantHook hook(PeCoord{0, 0}, MacSignal::kAdderOut, 42);
+  array.InstallFaultHook(&hook);
+  array.SetWeight(PeCoord{0, 0}, 1);
+  array.SetWestInput(0, 1);
+  array.Step(Dataflow::kWeightStationary);
+  EXPECT_EQ(array.SouthOutput(0), 42);
+}
+
+TEST(SystolicArrayTest, ClearFaultHookStopsCalls) {
+  SystolicArray array(SmallConfig(2, 2));
+  ConstantHook hook(PeCoord{0, 0}, MacSignal::kAdderOut, 0);
+  array.InstallFaultHook(&hook);
+  array.Step(Dataflow::kWeightStationary);
+  const std::int64_t calls = hook.calls();
+  array.ClearFaultHook();
+  array.Step(Dataflow::kWeightStationary);
+  EXPECT_EQ(hook.calls(), calls);
+}
+
+TEST(SystolicArrayTest, AdvanceIdleBumpsOnlyCycle) {
+  SystolicArray array(SmallConfig(2, 2));
+  const auto steps = array.total_pe_steps();
+  array.AdvanceIdle(16);
+  EXPECT_EQ(array.cycle(), 16);
+  EXPECT_EQ(array.total_pe_steps(), steps);
+  EXPECT_THROW(array.AdvanceIdle(-1), std::invalid_argument);
+}
+
+TEST(SystolicArrayTest, BoundsChecking) {
+  SystolicArray array(SmallConfig(2, 3));
+  EXPECT_THROW(array.SetWeight(PeCoord{2, 0}, 1), std::invalid_argument);
+  EXPECT_THROW(array.SetWeight(PeCoord{0, 3}, 1), std::invalid_argument);
+  EXPECT_THROW(array.SetWestInput(2, 1), std::invalid_argument);
+  EXPECT_THROW(array.SetNorthInput(3, 1), std::invalid_argument);
+  EXPECT_THROW(array.SouthOutput(-1), std::invalid_argument);
+  EXPECT_THROW(array.accumulator(PeCoord{-1, 0}), std::invalid_argument);
+}
+
+TEST(SystolicArrayTest, PeStepAccounting) {
+  SystolicArray array(SmallConfig(4, 4));
+  array.Step(Dataflow::kOutputStationary);
+  array.Step(Dataflow::kOutputStationary);
+  EXPECT_EQ(array.total_pe_steps(), 32u);
+}
+
+TEST(SystolicArrayTest, AccumulatorWraparoundAt32Bits) {
+  // Drive the accumulator past INT32_MAX and confirm two's-complement
+  // wraparound, as 32-bit RTL would.
+  ArrayConfig config = SmallConfig(1, 1);
+  SystolicArray array(config);
+  // 127 × 127 = 16129 per cycle; ~133200 cycles to overflow. Instead use a
+  // narrower accumulator to keep the test fast.
+  config.acc_bits = 16;
+  SystolicArray narrow(config);
+  for (int t = 0; t < 3; ++t) {
+    narrow.SetWestInput(0, 127);
+    narrow.SetNorthInput(0, 127);
+    narrow.Step(Dataflow::kOutputStationary);
+  }
+  // 3 × 16129 = 48387 wraps at 16 bits to 48387 − 65536 = −17149.
+  EXPECT_EQ(narrow.accumulator(PeCoord{0, 0}), 48387 - 65536);
+}
+
+}  // namespace
+}  // namespace saffire

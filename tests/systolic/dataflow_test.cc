@@ -1,0 +1,288 @@
+#include "systolic/dataflow.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "systolic/timing.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+namespace {
+
+Int8Tensor RandomInt8(Rng& rng, std::int64_t rows, std::int64_t cols) {
+  Int8Tensor t({rows, cols});
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t.flat(i) = static_cast<std::int8_t>(rng.UniformInt(-128, 127));
+  }
+  return t;
+}
+
+ArrayConfig Config16() { return ArrayConfig{}; }
+
+TEST(WeightStationaryTest, FullArrayGemmMatchesReference) {
+  SystolicArray array(Config16());
+  WeightStationaryScheduler scheduler(array);
+  Rng rng(1);
+  const auto a = RandomInt8(rng, 16, 16);
+  const auto b = RandomInt8(rng, 16, 16);
+  EXPECT_EQ(scheduler.Multiply(a, b), GemmRef(a, b));
+}
+
+TEST(OutputStationaryTest, FullArrayGemmMatchesReference) {
+  SystolicArray array(Config16());
+  OutputStationaryScheduler scheduler(array);
+  Rng rng(2);
+  const auto a = RandomInt8(rng, 16, 16);
+  const auto b = RandomInt8(rng, 16, 16);
+  EXPECT_EQ(scheduler.Multiply(a, b), GemmRef(a, b));
+}
+
+TEST(WeightStationaryTest, AllOnesYieldsInnerDim) {
+  // The paper's pattern-extraction workload.
+  SystolicArray array(Config16());
+  WeightStationaryScheduler scheduler(array);
+  const auto a = Int8Tensor::Full({16, 16}, 1);
+  const auto b = Int8Tensor::Full({16, 16}, 1);
+  const auto c = scheduler.Multiply(a, b);
+  for (std::int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c.flat(i), 16);
+  }
+}
+
+TEST(WeightStationaryTest, StreamsManyMoreRowsThanArray) {
+  SystolicArray array(Config16());
+  WeightStationaryScheduler scheduler(array);
+  Rng rng(3);
+  const auto a = RandomInt8(rng, 200, 16);
+  const auto b = RandomInt8(rng, 16, 16);
+  EXPECT_EQ(scheduler.Multiply(a, b), GemmRef(a, b));
+}
+
+TEST(WeightStationaryTest, PsumSeedActsAsBias) {
+  SystolicArray array(Config16());
+  WeightStationaryScheduler scheduler(array);
+  Rng rng(4);
+  const auto a = RandomInt8(rng, 10, 16);
+  const auto b = RandomInt8(rng, 16, 12);
+  Int32Tensor seed({10, 12});
+  for (std::int64_t i = 0; i < seed.size(); ++i) {
+    seed.flat(i) = static_cast<std::int32_t>(rng.UniformInt(-1000, 1000));
+  }
+  auto expected = seed;
+  GemmAccumulateRef(a, b, expected);
+  EXPECT_EQ(scheduler.Multiply(a, b, &seed), expected);
+}
+
+TEST(WeightStationaryTest, RejectsOversizedOperands) {
+  SystolicArray array(Config16());
+  WeightStationaryScheduler scheduler(array);
+  EXPECT_THROW(
+      scheduler.Multiply(Int8Tensor({4, 17}), Int8Tensor({17, 4})),
+      std::invalid_argument);  // K > rows
+  EXPECT_THROW(
+      scheduler.Multiply(Int8Tensor({4, 16}), Int8Tensor({16, 17})),
+      std::invalid_argument);  // N > cols
+  EXPECT_THROW(
+      scheduler.Multiply(Int8Tensor({4, 3}), Int8Tensor({4, 3})),
+      std::invalid_argument);  // inner mismatch
+}
+
+TEST(OutputStationaryTest, RejectsOversizedOperands) {
+  SystolicArray array(Config16());
+  OutputStationaryScheduler scheduler(array);
+  EXPECT_THROW(
+      scheduler.Multiply(Int8Tensor({17, 4}), Int8Tensor({4, 4})),
+      std::invalid_argument);  // M > rows
+  EXPECT_THROW(
+      scheduler.Multiply(Int8Tensor({4, 4}), Int8Tensor({4, 17})),
+      std::invalid_argument);  // N > cols
+}
+
+TEST(OutputStationaryTest, DeepReductionStreams) {
+  // OS streams K without bound: a 16×500 by 500×16 product.
+  SystolicArray array(Config16());
+  OutputStationaryScheduler scheduler(array);
+  Rng rng(5);
+  const auto a = RandomInt8(rng, 16, 500);
+  const auto b = RandomInt8(rng, 500, 16);
+  EXPECT_EQ(scheduler.Multiply(a, b), GemmRef(a, b));
+}
+
+TEST(WeightStationaryTest, CycleCountMatchesAnalyticalModel) {
+  SystolicArray array(Config16());
+  WeightStationaryScheduler scheduler(array);
+  const auto a = Int8Tensor::Full({40, 16}, 1);
+  const auto b = Int8Tensor::Full({16, 16}, 1);
+  (void)scheduler.Multiply(a, b);
+  EXPECT_EQ(scheduler.last_cycles(),
+            WeightStationaryTileCycles(40, array.config()));
+}
+
+TEST(OutputStationaryTest, CycleCountMatchesAnalyticalModel) {
+  SystolicArray array(Config16());
+  OutputStationaryScheduler scheduler(array);
+  const auto a = Int8Tensor::Full({16, 37}, 1);
+  const auto b = Int8Tensor::Full({37, 16}, 1);
+  (void)scheduler.Multiply(a, b);
+  EXPECT_EQ(scheduler.last_cycles(),
+            OutputStationaryTileCycles(37, array.config()));
+}
+
+TEST(TimingTest, ClosedForms) {
+  const ArrayConfig config;
+  EXPECT_EQ(WeightStationaryStreamCycles(16, config), 16 + 16 + 16 - 2);
+  EXPECT_EQ(WeightStationaryTileCycles(16, config), 46 + 16);
+  EXPECT_EQ(OutputStationaryStreamCycles(16, config), 46);
+  EXPECT_EQ(OutputStationaryTileCycles(16, config), 62);
+  EXPECT_THROW(WeightStationaryStreamCycles(0, config),
+               std::invalid_argument);
+}
+
+TEST(MatMulSingleTileTest, DispatchesBothDataflows) {
+  SystolicArray array(Config16());
+  Rng rng(6);
+  const auto a = RandomInt8(rng, 8, 8);
+  const auto b = RandomInt8(rng, 8, 8);
+  const auto expected = GemmRef(a, b);
+  EXPECT_EQ(MatMulSingleTile(array, Dataflow::kWeightStationary, a, b),
+            expected);
+  EXPECT_EQ(MatMulSingleTile(array, Dataflow::kOutputStationary, a, b),
+            expected);
+}
+
+// Equivalence sweep: both dataflows agree with the reference across
+// rectangular shapes, extreme operand values, and non-square arrays.
+struct DataflowCase {
+  Dataflow dataflow;
+  std::int32_t array_rows;
+  std::int32_t array_cols;
+  std::int64_t m, k, n;
+};
+
+class DataflowEquivalenceTest
+    : public ::testing::TestWithParam<DataflowCase> {};
+
+TEST_P(DataflowEquivalenceTest, MatchesReferenceGemm) {
+  const DataflowCase& tc = GetParam();
+  ArrayConfig config;
+  config.rows = tc.array_rows;
+  config.cols = tc.array_cols;
+  SystolicArray array(config);
+  Rng rng(static_cast<std::uint64_t>(tc.m * 100 + tc.k * 10 + tc.n));
+  const auto a = RandomInt8(rng, tc.m, tc.k);
+  const auto b = RandomInt8(rng, tc.k, tc.n);
+  EXPECT_EQ(MatMulSingleTile(array, tc.dataflow, a, b), GemmRef(a, b));
+}
+
+std::vector<DataflowCase> EquivalenceCases() {
+  std::vector<DataflowCase> cases;
+  for (const Dataflow dataflow :
+       {Dataflow::kWeightStationary, Dataflow::kOutputStationary}) {
+    // (m, k, n) triples; WS requires k ≤ rows and n ≤ cols, OS requires
+    // m ≤ rows and n ≤ cols — all of these satisfy both.
+    for (const auto& [m, k, n] :
+         std::vector<std::tuple<std::int64_t, std::int64_t, std::int64_t>>{
+             {1, 1, 1},
+             {1, 16, 16},
+             {16, 1, 16},
+             {16, 16, 1},
+             {7, 5, 3},
+             {16, 16, 16},
+             {2, 9, 13}}) {
+      cases.push_back(DataflowCase{dataflow, 16, 16, m, k, n});
+    }
+    // Non-square arrays.
+    cases.push_back(DataflowCase{dataflow, 4, 8, 4, 4, 8});
+    cases.push_back(DataflowCase{dataflow, 8, 4, 3, 4, 4});
+    cases.push_back(DataflowCase{dataflow, 1, 1, 1, 1, 1});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DataflowEquivalenceTest,
+                         ::testing::ValuesIn(EquivalenceCases()));
+
+// A stuck-at fault on the adder of PE(r, c) under WS corrupts only column c
+// of the output — checked here at the scheduler level (the full
+// classification lives in the patterns module).
+class StuckAtAdderHook : public FaultHook {
+ public:
+  StuckAtAdderHook(PeCoord pe, int bit, StuckPolarity polarity, int width)
+      : pe_(pe), bit_(bit), polarity_(polarity), width_(width) {}
+
+  std::int64_t Apply(PeCoord pe, MacSignal signal, std::int64_t value,
+                     std::int64_t /*cycle*/) override {
+    if (pe == pe_ && signal == MacSignal::kAdderOut) {
+      return ApplyStuckAt(value, bit_, polarity_, width_);
+    }
+    return value;
+  }
+
+  bool AppliesTo(PeCoord pe) const override { return pe == pe_; }
+
+ private:
+  PeCoord pe_;
+  int bit_;
+  StuckPolarity polarity_;
+  int width_;
+};
+
+TEST(FaultyDataflowTest, WsAdderFaultCorruptsOnlyItsColumn) {
+  SystolicArray array(Config16());
+  const auto a = Int8Tensor::Full({16, 16}, 1);
+  const auto b = Int8Tensor::Full({16, 16}, 1);
+  WeightStationaryScheduler scheduler(array);
+  const auto golden = scheduler.Multiply(a, b);
+
+  // With all-ones operands the partial sum leaving PE(4, 9) is 5 (0b101),
+  // so bit 0 stuck at 1 would be masked; bit 1 guarantees corruption.
+  StuckAtAdderHook hook(PeCoord{4, 9}, 1, StuckPolarity::kStuckAt1, 32);
+  array.InstallFaultHook(&hook);
+  const auto faulty = scheduler.Multiply(a, b);
+  array.ClearFaultHook();
+
+  int corrupted_cols = 0;
+  for (std::int64_t c = 0; c < 16; ++c) {
+    bool corrupted = false;
+    for (std::int64_t r = 0; r < 16; ++r) {
+      if (faulty(r, c) != golden(r, c)) corrupted = true;
+    }
+    if (corrupted) {
+      ++corrupted_cols;
+      EXPECT_EQ(c, 9);
+    }
+  }
+  EXPECT_EQ(corrupted_cols, 1);
+}
+
+TEST(FaultyDataflowTest, OsAdderFaultCorruptsOnlyItsElement) {
+  SystolicArray array(Config16());
+  const auto a = Int8Tensor::Full({16, 16}, 1);
+  const auto b = Int8Tensor::Full({16, 16}, 1);
+  OutputStationaryScheduler scheduler(array);
+  const auto golden = scheduler.Multiply(a, b);
+
+  StuckAtAdderHook hook(PeCoord{4, 9}, 0, StuckPolarity::kStuckAt1, 32);
+  array.InstallFaultHook(&hook);
+  const auto faulty = scheduler.Multiply(a, b);
+  array.ClearFaultHook();
+
+  int corrupted = 0;
+  for (std::int64_t r = 0; r < 16; ++r) {
+    for (std::int64_t c = 0; c < 16; ++c) {
+      if (faulty(r, c) != golden(r, c)) {
+        ++corrupted;
+        EXPECT_EQ(r, 4);
+        EXPECT_EQ(c, 9);
+      }
+    }
+  }
+  EXPECT_EQ(corrupted, 1);
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "systolic/dataflow.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+namespace {
+
+Int8Tensor RandomInt8(Rng& rng, std::int64_t rows, std::int64_t cols) {
+  Int8Tensor t({rows, cols});
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t.flat(i) = static_cast<std::int8_t>(rng.UniformInt(-128, 127));
+  }
+  return t;
+}
+
+TEST(InputStationaryTest, FullArrayGemmMatchesReference) {
+  SystolicArray array(ArrayConfig{});
+  InputStationaryScheduler scheduler(array);
+  Rng rng(1);
+  const auto a = RandomInt8(rng, 16, 16);
+  const auto b = RandomInt8(rng, 16, 16);
+  EXPECT_EQ(scheduler.Multiply(a, b), GemmRef(a, b));
+}
+
+TEST(InputStationaryTest, DeepWeightStreams) {
+  // IS streams the weight dimension N without bound.
+  SystolicArray array(ArrayConfig{});
+  InputStationaryScheduler scheduler(array);
+  Rng rng(2);
+  const auto a = RandomInt8(rng, 16, 16);
+  const auto b = RandomInt8(rng, 16, 300);
+  EXPECT_EQ(scheduler.Multiply(a, b), GemmRef(a, b));
+}
+
+TEST(InputStationaryTest, RejectsOversizedStationaryOperand) {
+  SystolicArray array(ArrayConfig{});
+  InputStationaryScheduler scheduler(array);
+  // M maps onto array columns, K onto array rows.
+  EXPECT_THROW(
+      scheduler.Multiply(Int8Tensor({17, 4}), Int8Tensor({4, 4})),
+      std::invalid_argument);
+  EXPECT_THROW(
+      scheduler.Multiply(Int8Tensor({4, 17}), Int8Tensor({17, 4})),
+      std::invalid_argument);
+}
+
+TEST(InputStationaryTest, StepRejectsIsMode) {
+  SystolicArray array(ArrayConfig{});
+  EXPECT_THROW(array.Step(Dataflow::kInputStationary),
+               std::invalid_argument);
+}
+
+TEST(InputStationaryTest, CycleAccountingMatchesTransposedWs) {
+  SystolicArray array(ArrayConfig{});
+  InputStationaryScheduler scheduler(array);
+  const auto a = Int8Tensor::Full({16, 16}, 1);
+  const auto b = Int8Tensor::Full({16, 40}, 1);
+  (void)scheduler.Multiply(a, b);
+  // The stream length is N = 40 (rows of Bᵀ).
+  EXPECT_EQ(scheduler.last_cycles(), 40 + 16 + 16 - 2 + 16);
+}
+
+class IsEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(IsEquivalenceTest, MatchesReference) {
+  const auto [m, k, n] = GetParam();
+  SystolicArray array(ArrayConfig{});
+  Rng rng(static_cast<std::uint64_t>(m * 100 + k * 10 + n));
+  const auto a = RandomInt8(rng, m, k);
+  const auto b = RandomInt8(rng, k, n);
+  EXPECT_EQ(MatMulSingleTile(array, Dataflow::kInputStationary, a, b),
+            GemmRef(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, IsEquivalenceTest,
+                         ::testing::Values(std::tuple{1, 1, 1},
+                                           std::tuple{16, 16, 16},
+                                           std::tuple{7, 5, 3},
+                                           std::tuple{16, 16, 1},
+                                           std::tuple{1, 16, 50},
+                                           std::tuple{16, 1, 16}));
+
+// The defining fault behaviour: a stuck-at on PE(r, c)'s adder corrupts
+// output ROW c under IS.
+class StuckAtAdderHook : public FaultHook {
+ public:
+  explicit StuckAtAdderHook(PeCoord pe) : pe_(pe) {}
+  std::int64_t Apply(PeCoord pe, MacSignal signal, std::int64_t value,
+                     std::int64_t) override {
+    if (pe == pe_ && signal == MacSignal::kAdderOut) {
+      return ApplyStuckAt(value, 8, StuckPolarity::kStuckAt1, 32);
+    }
+    return value;
+  }
+  bool AppliesTo(PeCoord pe) const override { return pe == pe_; }
+
+ private:
+  PeCoord pe_;
+};
+
+TEST(InputStationaryTest, AdderFaultCorruptsOnlyItsRow) {
+  SystolicArray array(ArrayConfig{});
+  InputStationaryScheduler scheduler(array);
+  const auto a = Int8Tensor::Full({16, 16}, 1);
+  const auto b = Int8Tensor::Full({16, 16}, 1);
+  const auto golden = scheduler.Multiply(a, b);
+
+  StuckAtAdderHook hook(PeCoord{4, 9});
+  array.InstallFaultHook(&hook);
+  const auto faulty = scheduler.Multiply(a, b);
+  array.ClearFaultHook();
+
+  for (std::int64_t r = 0; r < 16; ++r) {
+    for (std::int64_t c = 0; c < 16; ++c) {
+      if (r == 9) {
+        EXPECT_NE(faulty(r, c), golden(r, c)) << r << "," << c;
+      } else {
+        EXPECT_EQ(faulty(r, c), golden(r, c)) << r << "," << c;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,135 @@
+#include "systolic/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "systolic/array.h"
+#include "systolic/dataflow.h"
+
+namespace saffire {
+namespace {
+
+ArrayConfig TinyConfig() {
+  ArrayConfig config;
+  config.rows = 2;
+  config.cols = 2;
+  return config;
+}
+
+TEST(RecordingTracerTest, CapturesEverySignalEveryCycle) {
+  SystolicArray array(TinyConfig());
+  RecordingTracer tracer;
+  array.InstallTracer(&tracer);
+  array.Step(Dataflow::kWeightStationary);
+  array.Step(Dataflow::kWeightStationary);
+  // 4 PEs × 5 signals × 2 cycles.
+  EXPECT_EQ(tracer.samples().size(), 40u);
+}
+
+TEST(RecordingTracerTest, SamplesForFiltersAndOrders) {
+  SystolicArray array(TinyConfig());
+  RecordingTracer tracer;
+  array.InstallTracer(&tracer);
+  array.SetWeight(PeCoord{0, 0}, 2);
+  for (int t = 0; t < 3; ++t) {
+    array.SetWestInput(0, 3);
+    array.Step(Dataflow::kWeightStationary);
+  }
+  const auto samples =
+      tracer.SamplesFor(PeCoord{0, 0}, MacSignal::kAdderOut);
+  ASSERT_EQ(samples.size(), 3u);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].cycle, static_cast<std::int64_t>(i));
+    EXPECT_EQ(samples[i].value, 6);  // 3 × 2 every cycle, no psum seed
+  }
+}
+
+TEST(RecordingTracerTest, TracerSeesFaultedValues) {
+  class ForceHook : public FaultHook {
+   public:
+    std::int64_t Apply(PeCoord, MacSignal signal, std::int64_t value,
+                       std::int64_t) override {
+      return signal == MacSignal::kAdderOut ? 99 : value;
+    }
+    bool AppliesTo(PeCoord pe) const override {
+      return pe == PeCoord{0, 0};
+    }
+  };
+  SystolicArray array(TinyConfig());
+  RecordingTracer tracer;
+  ForceHook hook;
+  array.InstallTracer(&tracer);
+  array.InstallFaultHook(&hook);
+  array.Step(Dataflow::kWeightStationary);
+  const auto samples =
+      tracer.SamplesFor(PeCoord{0, 0}, MacSignal::kAdderOut);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].value, 99);
+}
+
+TEST(VcdTracerTest, EmitsWellFormedHeader) {
+  std::ostringstream out;
+  {
+    VcdTracer tracer(out, TinyConfig());
+    tracer.Finish();
+  }
+  const std::string vcd = out.str();
+  EXPECT_NE(vcd.find("$timescale"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(vcd.find("pe_0_0_adder_out"), std::string::npos);
+  EXPECT_NE(vcd.find("pe_1_1_mul_out"), std::string::npos);
+  // 2×2 PEs × 5 signals declared.
+  std::size_t vars = 0;
+  for (std::size_t pos = vcd.find("$var"); pos != std::string::npos;
+       pos = vcd.find("$var", pos + 1)) {
+    ++vars;
+  }
+  EXPECT_EQ(vars, 20u);
+}
+
+TEST(VcdTracerTest, RecordsValueChangesWithTimestamps) {
+  std::ostringstream out;
+  SystolicArray array(TinyConfig());
+  {
+    VcdTracer tracer(out, TinyConfig());
+    array.InstallTracer(&tracer);
+    array.SetWeight(PeCoord{0, 0}, 1);
+    array.SetWestInput(0, 1);
+    array.Step(Dataflow::kWeightStationary);
+    array.SetWestInput(0, 1);
+    array.Step(Dataflow::kWeightStationary);
+    array.InstallTracer(nullptr);
+    tracer.Finish();
+  }
+  const std::string vcd = out.str();
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_NE(vcd.find("#1"), std::string::npos);
+  // adder_out of PE(0,0) is 1 from cycle 0 onwards: a 32-bit binary '1'.
+  EXPECT_NE(vcd.find("b00000000000000000000000000000001"),
+            std::string::npos);
+}
+
+TEST(VcdTracerTest, SuppressesUnchangedValues) {
+  std::ostringstream out;
+  SystolicArray array(TinyConfig());
+  VcdTracer tracer(out, TinyConfig());
+  array.InstallTracer(&tracer);
+  // No inputs: every signal is 0 every cycle; after the cycle-0 dump no
+  // further value lines should appear.
+  array.Step(Dataflow::kWeightStationary);
+  const auto size_after_first = out.str().size();
+  array.Step(Dataflow::kWeightStationary);
+  array.Step(Dataflow::kWeightStationary);
+  array.InstallTracer(nullptr);
+  tracer.Finish();
+  const std::string tail = out.str().substr(size_after_first);
+  // Only timestamps in the tail, no 'b...' value changes.
+  EXPECT_EQ(tail.find(" b"), std::string::npos);
+  for (const char c : tail) {
+    if (c == 'b') FAIL() << "unexpected value change: " << tail;
+  }
+}
+
+}  // namespace
+}  // namespace saffire

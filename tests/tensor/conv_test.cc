@@ -1,0 +1,196 @@
+#include "tensor/conv.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "common/rng.h"
+
+namespace saffire {
+namespace {
+
+Int8Tensor RandomInt8(Rng& rng, std::vector<std::int64_t> shape) {
+  Int8Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t.flat(i) = static_cast<std::int8_t>(rng.UniformInt(-8, 8));
+  }
+  return t;
+}
+
+TEST(ConvParamsTest, OutputDims) {
+  ConvParams p;
+  p.height = 16;
+  p.width = 16;
+  p.kernel_h = 3;
+  p.kernel_w = 3;
+  EXPECT_EQ(p.out_height(), 14);
+  EXPECT_EQ(p.out_width(), 14);
+  p.pad = 1;
+  EXPECT_EQ(p.out_height(), 16);
+  p.stride = 2;
+  EXPECT_EQ(p.out_height(), 8);
+}
+
+TEST(ConvParamsTest, GemmDimsMatchPaperNotation) {
+  // Paper Sec. II-B: input lowers to NPQ × CRS, kernel to CRS × K.
+  ConvParams p;
+  p.batch = 2;
+  p.in_channels = 3;
+  p.height = 16;
+  p.width = 16;
+  p.out_channels = 8;
+  p.kernel_h = 3;
+  p.kernel_w = 3;
+  EXPECT_EQ(p.gemm_rows(), 2 * 14 * 14);
+  EXPECT_EQ(p.gemm_inner(), 3 * 3 * 3);
+  EXPECT_EQ(p.gemm_cols(), 8);
+}
+
+TEST(ConvParamsTest, ValidateRejectsDegenerate) {
+  ConvParams p;
+  p.height = 2;
+  p.width = 2;
+  p.kernel_h = 3;
+  p.kernel_w = 1;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p.kernel_h = 1;
+  p.stride = 0;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p.stride = 1;
+  p.pad = -1;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p.pad = 0;
+  EXPECT_NO_THROW(p.Validate());
+}
+
+TEST(ConvParamsTest, KernelShorthandMatchesTable1) {
+  ConvParams p;
+  p.kernel_h = 3;
+  p.kernel_w = 3;
+  p.in_channels = 3;
+  p.out_channels = 8;
+  p.height = 16;
+  p.width = 16;
+  EXPECT_EQ(KernelShorthand(p), "3x3x3x8");
+}
+
+TEST(ConvRefTest, OneByOneKernelIsChannelMix) {
+  // 1×1 kernel over a 1-channel input scales every pixel.
+  ConvParams p;
+  p.height = 3;
+  p.width = 3;
+  Int8Tensor input({1, 1, 3, 3});
+  for (std::int64_t i = 0; i < 9; ++i) input.flat(i) = static_cast<std::int8_t>(i);
+  auto kernel = Int8Tensor({1, 1, 1, 1});
+  kernel.flat(0) = 2;
+  const auto out = ConvRef(input, kernel, p);
+  EXPECT_EQ(out.ShapeString(), "(1, 1, 3, 3)");
+  for (std::int64_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(out.flat(i), 2 * i);
+  }
+}
+
+TEST(ConvRefTest, KnownThreeByThree) {
+  ConvParams p;
+  p.height = 3;
+  p.width = 3;
+  p.kernel_h = 3;
+  p.kernel_w = 3;
+  Int8Tensor input({1, 1, 3, 3});
+  for (std::int64_t i = 0; i < 9; ++i) input.flat(i) = static_cast<std::int8_t>(i + 1);
+  const auto kernel = Int8Tensor::Full({1, 1, 3, 3}, 1);
+  const auto out = ConvRef(input, kernel, p);
+  EXPECT_EQ(out.ShapeString(), "(1, 1, 1, 1)");
+  EXPECT_EQ(out(0, 0, 0, 0), 45);  // sum 1..9
+}
+
+TEST(ConvRefTest, PaddingContributesZero) {
+  ConvParams p;
+  p.height = 2;
+  p.width = 2;
+  p.kernel_h = 3;
+  p.kernel_w = 3;
+  p.pad = 1;
+  const auto input = Int8Tensor::Full({1, 1, 2, 2}, 1);
+  const auto kernel = Int8Tensor::Full({1, 1, 3, 3}, 1);
+  const auto out = ConvRef(input, kernel, p);
+  EXPECT_EQ(out.ShapeString(), "(1, 1, 2, 2)");
+  // Each output sees exactly the 4 real pixels minus those shifted out.
+  EXPECT_EQ(out(0, 0, 0, 0), 4);
+  EXPECT_EQ(out(0, 0, 0, 1), 4);
+  EXPECT_EQ(out(0, 0, 1, 0), 4);
+  EXPECT_EQ(out(0, 0, 1, 1), 4);
+}
+
+TEST(ConvRefTest, MultiChannelSumsOverC) {
+  ConvParams p;
+  p.in_channels = 3;
+  p.height = 2;
+  p.width = 2;
+  p.kernel_h = 1;
+  p.kernel_w = 1;
+  const auto input = Int8Tensor::Full({1, 3, 2, 2}, 2);
+  const auto kernel = Int8Tensor::Full({1, 3, 1, 1}, 3);
+  const auto out = ConvRef(input, kernel, p);
+  EXPECT_EQ(out(0, 0, 0, 0), 3 * 2 * 3);
+}
+
+TEST(ConvRefTest, StrideSkipsPositions) {
+  ConvParams p;
+  p.height = 4;
+  p.width = 4;
+  p.kernel_h = 2;
+  p.kernel_w = 2;
+  p.stride = 2;
+  Int8Tensor input({1, 1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) input.flat(i) = static_cast<std::int8_t>(i);
+  const auto kernel = Int8Tensor::Full({1, 1, 2, 2}, 1);
+  const auto out = ConvRef(input, kernel, p);
+  EXPECT_EQ(out.ShapeString(), "(1, 1, 2, 2)");
+  EXPECT_EQ(out(0, 0, 0, 0), 0 + 1 + 4 + 5);
+  EXPECT_EQ(out(0, 0, 1, 1), 10 + 11 + 14 + 15);
+}
+
+TEST(ConvRefTest, RejectsShapeMismatches) {
+  ConvParams p;
+  p.height = 4;
+  p.width = 4;
+  const auto input = Int8Tensor({1, 1, 4, 5});  // W mismatch
+  const auto kernel = Int8Tensor({1, 1, 1, 1});
+  EXPECT_THROW(ConvRef(input, kernel, p), std::invalid_argument);
+  const auto input_ok = Int8Tensor({1, 1, 4, 4});
+  const auto kernel_bad = Int8Tensor({2, 1, 1, 1});  // K mismatch
+  EXPECT_THROW(ConvRef(input_ok, kernel_bad, p), std::invalid_argument);
+}
+
+// Property: convolving with a one-hot kernel selects a shifted copy of the
+// input (cross-correlation semantics).
+class ConvOneHotTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ConvOneHotTest, OneHotKernelShifts) {
+  const auto [dr, ds] = GetParam();
+  ConvParams p;
+  p.height = 5;
+  p.width = 5;
+  p.kernel_h = 3;
+  p.kernel_w = 3;
+  Rng rng(static_cast<std::uint64_t>(dr * 10 + ds));
+  const auto input = RandomInt8(rng, {1, 1, 5, 5});
+  Int8Tensor kernel({1, 1, 3, 3});
+  kernel(0, 0, dr, ds) = 1;
+  const auto out = ConvRef(input, kernel, p);
+  for (std::int64_t pp = 0; pp < 3; ++pp) {
+    for (std::int64_t q = 0; q < 3; ++q) {
+      EXPECT_EQ(out(0, 0, pp, q), input(0, 0, pp + dr, q + ds));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, ConvOneHotTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,143 @@
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "common/rng.h"
+
+namespace saffire {
+namespace {
+
+Int8Tensor RandomInt8(Rng& rng, std::int64_t rows, std::int64_t cols) {
+  Int8Tensor t({rows, cols});
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t.flat(i) = static_cast<std::int8_t>(rng.UniformInt(-128, 127));
+  }
+  return t;
+}
+
+TEST(GemmRefTest, TwoByTwoKnownAnswer) {
+  const auto a = Int8Tensor::FromRows({{1, 2}, {3, 4}});
+  const auto b = Int8Tensor::FromRows({{5, 6}, {7, 8}});
+  const auto c = GemmRef(a, b);
+  EXPECT_EQ(c(0, 0), 19);
+  EXPECT_EQ(c(0, 1), 22);
+  EXPECT_EQ(c(1, 0), 43);
+  EXPECT_EQ(c(1, 1), 50);
+}
+
+TEST(GemmRefTest, IdentityIsNeutral) {
+  Rng rng(1);
+  const auto a = RandomInt8(rng, 5, 5);
+  auto eye = Int8Tensor({5, 5});
+  for (std::int64_t i = 0; i < 5; ++i) eye(i, i) = 1;
+  EXPECT_EQ(GemmRef(a, eye), a.Cast<std::int32_t>());
+  EXPECT_EQ(GemmRef(eye, a), a.Cast<std::int32_t>());
+}
+
+TEST(GemmRefTest, AllOnesCountsInnerDimension) {
+  // The paper's pattern-extraction workload: all-ones operands make every
+  // output equal K (Challenge 2, Sec. III-A).
+  const auto a = Int8Tensor::Full({4, 7}, 1);
+  const auto b = Int8Tensor::Full({7, 3}, 1);
+  const auto c = GemmRef(a, b);
+  for (std::int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(c.flat(i), 7);
+  }
+}
+
+TEST(GemmRefTest, RejectsMismatchedShapes) {
+  const auto a = Int8Tensor({2, 3});
+  const auto b = Int8Tensor({4, 2});
+  EXPECT_THROW(GemmRef(a, b), std::invalid_argument);
+}
+
+TEST(GemmRefTest, RejectsNonMatrix) {
+  const auto a = Int8Tensor({2, 3, 4});
+  const auto b = Int8Tensor({4, 2});
+  EXPECT_THROW(GemmRef(a, b), std::invalid_argument);
+}
+
+TEST(GemmRefTest, ExtremeOperandValuesDoNotOverflowInt32) {
+  // 16 accumulations of (-128 × -128) stay well inside int32.
+  const auto a = Int8Tensor::Full({1, 16}, -128);
+  const auto b = Int8Tensor::Full({16, 1}, -128);
+  const auto c = GemmRef(a, b);
+  EXPECT_EQ(c(0, 0), 16 * 128 * 128);
+}
+
+TEST(GemmAccumulateRefTest, AddsIntoExisting) {
+  const auto a = Int8Tensor::FromRows({{1, 1}});
+  const auto b = Int8Tensor::FromRows({{2}, {3}});
+  auto c = Int32Tensor::FromRows({{100}});
+  GemmAccumulateRef(a, b, c);
+  EXPECT_EQ(c(0, 0), 105);
+  GemmAccumulateRef(a, b, c);
+  EXPECT_EQ(c(0, 0), 110);
+}
+
+TEST(GemmAccumulateRefTest, RejectsWrongOutputShape) {
+  const auto a = Int8Tensor({2, 2});
+  const auto b = Int8Tensor({2, 2});
+  auto c = Int32Tensor({2, 3});
+  EXPECT_THROW(GemmAccumulateRef(a, b, c), std::invalid_argument);
+}
+
+TEST(GemmRefTest, FloatVariantMatchesManual) {
+  const auto a = FloatTensor::FromRows({{0.5f, 1.5f}});
+  const auto b = FloatTensor::FromRows({{2.0f}, {4.0f}});
+  const auto c = GemmRef(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 7.0f);
+}
+
+// Property: GEMM distributes over K-splits — A·B == A1·B1 + A2·B2 where
+// A = [A1 | A2], B = [B1 ; B2]. This is the algebraic identity tiling
+// relies on (Eq. 4 in the paper).
+class GemmSplitPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(GemmSplitPropertyTest, KSplitAccumulates) {
+  const auto [m, k, n, split] = GetParam();
+  if (split >= k) GTEST_SKIP() << "split outside K";
+  Rng rng(static_cast<std::uint64_t>(m * 1000 + k * 100 + n * 10 + split));
+  const auto a = RandomInt8(rng, m, k);
+  const auto b = RandomInt8(rng, k, n);
+  const auto full = GemmRef(a, b);
+
+  Int8Tensor a1({m, split});
+  Int8Tensor a2({m, k - split});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      if (j < split) {
+        a1(i, j) = a(i, j);
+      } else {
+        a2(i, j - split) = a(i, j);
+      }
+    }
+  }
+  Int8Tensor b1({split, n});
+  Int8Tensor b2({k - split, n});
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (i < split) {
+        b1(i, j) = b(i, j);
+      } else {
+        b2(i - split, j) = b(i, j);
+      }
+    }
+  }
+  Int32Tensor sum({m, n});
+  GemmAccumulateRef(a1, b1, sum);
+  GemmAccumulateRef(a2, b2, sum);
+  EXPECT_EQ(sum, full);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSplitPropertyTest,
+    ::testing::Combine(::testing::Values(1, 3, 8), ::testing::Values(2, 5, 16),
+                       ::testing::Values(1, 4, 9), ::testing::Values(1, 3)));
+
+}  // namespace
+}  // namespace saffire

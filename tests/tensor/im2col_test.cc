@@ -1,0 +1,167 @@
+#include "tensor/im2col.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "common/rng.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+namespace {
+
+Int8Tensor RandomInt8(Rng& rng, std::vector<std::int64_t> shape) {
+  Int8Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t.flat(i) = static_cast<std::int8_t>(rng.UniformInt(-9, 9));
+  }
+  return t;
+}
+
+ConvParams MakeParams(std::int64_t n, std::int64_t c, std::int64_t hw,
+                      std::int64_t k, std::int64_t rs, std::int64_t stride,
+                      std::int64_t pad) {
+  ConvParams p;
+  p.batch = n;
+  p.in_channels = c;
+  p.height = hw;
+  p.width = hw;
+  p.out_channels = k;
+  p.kernel_h = rs;
+  p.kernel_w = rs;
+  p.stride = stride;
+  p.pad = pad;
+  return p;
+}
+
+TEST(Im2ColTest, ShapesMatchPaperNotation) {
+  const auto p = MakeParams(1, 3, 16, 8, 3, 1, 0);
+  const auto input = Int8Tensor({1, 3, 16, 16});
+  const auto kernel = Int8Tensor({8, 3, 3, 3});
+  const auto a = Im2Col(input, p);
+  const auto w = FlattenKernel(kernel, p);
+  EXPECT_EQ(a.dim(0), p.gemm_rows());   // NPQ = 196
+  EXPECT_EQ(a.dim(1), p.gemm_inner());  // CRS = 27
+  EXPECT_EQ(w.dim(0), p.gemm_inner());
+  EXPECT_EQ(w.dim(1), p.gemm_cols());   // K = 8
+}
+
+TEST(Im2ColTest, PatchOrderIsChannelMajor) {
+  // CRS axis ordering must be c·R·S + r·S + s.
+  const auto p = MakeParams(1, 2, 3, 1, 2, 1, 0);
+  Int8Tensor input({1, 2, 3, 3});
+  for (std::int64_t i = 0; i < input.size(); ++i) {
+    input.flat(i) = static_cast<std::int8_t>(i);
+  }
+  const auto a = Im2Col(input, p);
+  // First patch (p=0, q=0): channel 0 then channel 1, each row-major 2×2.
+  EXPECT_EQ(a(0, 0), input(0, 0, 0, 0));
+  EXPECT_EQ(a(0, 1), input(0, 0, 0, 1));
+  EXPECT_EQ(a(0, 2), input(0, 0, 1, 0));
+  EXPECT_EQ(a(0, 3), input(0, 0, 1, 1));
+  EXPECT_EQ(a(0, 4), input(0, 1, 0, 0));
+  EXPECT_EQ(a(0, 7), input(0, 1, 1, 1));
+}
+
+TEST(FlattenKernelTest, ColumnPerOutputChannel) {
+  // The paper maps "each output channel to each column" (Sec. IV-A2):
+  // column k of the lowered weight matrix must be kernel k.
+  const auto p = MakeParams(1, 1, 4, 3, 2, 1, 0);
+  Int8Tensor kernel({3, 1, 2, 2});
+  for (std::int64_t k = 0; k < 3; ++k) {
+    for (std::int64_t i = 0; i < 4; ++i) {
+      kernel.flat(k * 4 + i) = static_cast<std::int8_t>(10 * k + i);
+    }
+  }
+  const auto w = FlattenKernel(kernel, p);
+  for (std::int64_t k = 0; k < 3; ++k) {
+    for (std::int64_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(w(i, k), 10 * k + i);
+    }
+  }
+}
+
+TEST(FoldGemmOutputTest, RoundTripsCoordinates) {
+  const auto p = MakeParams(2, 1, 4, 3, 2, 1, 0);
+  Int32Tensor gemm_out({p.gemm_rows(), p.gemm_cols()});
+  for (std::int64_t i = 0; i < gemm_out.size(); ++i) {
+    gemm_out.flat(i) = static_cast<std::int32_t>(i);
+  }
+  const auto folded = FoldGemmOutput(gemm_out, p);
+  for (std::int64_t row = 0; row < p.gemm_rows(); ++row) {
+    for (std::int64_t col = 0; col < p.gemm_cols(); ++col) {
+      const auto coord = GemmCoordToConvCoord(row, col, p);
+      EXPECT_EQ(folded(coord.n, coord.k, coord.p, coord.q),
+                gemm_out(row, col));
+    }
+  }
+}
+
+TEST(GemmCoordToConvCoordTest, ChannelIsColumn) {
+  const auto p = MakeParams(1, 3, 16, 8, 3, 1, 0);
+  for (std::int64_t col = 0; col < 8; ++col) {
+    EXPECT_EQ(GemmCoordToConvCoord(0, col, p).k, col);
+    EXPECT_EQ(GemmCoordToConvCoord(100, col, p).k, col);
+  }
+  EXPECT_THROW(GemmCoordToConvCoord(p.gemm_rows(), 0, p),
+               std::invalid_argument);
+  EXPECT_THROW(GemmCoordToConvCoord(0, 8, p), std::invalid_argument);
+}
+
+// The headline property (paper Sec. II-B): lowering + GEMM + folding equals
+// direct convolution, across a parameter sweep covering multi-batch,
+// multi-channel, stride, and padding.
+class Im2ColEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, int, int, int, int, int>> {};
+
+TEST_P(Im2ColEquivalenceTest, LoweredGemmEqualsDirectConv) {
+  const auto [n, c, hw, k, rs, stride, pad] = GetParam();
+  const auto p = MakeParams(n, c, hw, k, rs, stride, pad);
+  if (p.kernel_h > p.height + 2 * p.pad) GTEST_SKIP();
+  Rng rng(static_cast<std::uint64_t>(n * 100000 + c * 10000 + hw * 1000 +
+                                     k * 100 + rs * 10 + stride + pad));
+  const auto input = RandomInt8(rng, {n, c, hw, hw});
+  const auto kernel = RandomInt8(rng, {k, c, rs, rs});
+
+  const auto direct = ConvRef(input, kernel, p);
+  const auto lowered =
+      FoldGemmOutput(GemmRef(Im2Col(input, p), FlattenKernel(kernel, p)), p);
+  EXPECT_EQ(lowered, direct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Im2ColEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2),          // N
+                       ::testing::Values(1, 3),          // C
+                       ::testing::Values(5, 8),          // H=W
+                       ::testing::Values(1, 4),          // K
+                       ::testing::Values(1, 3),          // R=S
+                       ::testing::Values(1, 2),          // stride
+                       ::testing::Values(0, 1)));        // pad
+
+// Table I workloads verified explicitly (the exact configurations the FI
+// campaigns run).
+TEST(Im2ColEquivalenceTest, PaperKernel3x3x3x3On16x16) {
+  const auto p = MakeParams(1, 3, 16, 3, 3, 1, 0);
+  Rng rng(2023);
+  const auto input = RandomInt8(rng, {1, 3, 16, 16});
+  const auto kernel = RandomInt8(rng, {3, 3, 3, 3});
+  EXPECT_EQ(
+      FoldGemmOutput(GemmRef(Im2Col(input, p), FlattenKernel(kernel, p)), p),
+      ConvRef(input, kernel, p));
+}
+
+TEST(Im2ColEquivalenceTest, PaperKernel3x3x3x8On16x16) {
+  const auto p = MakeParams(1, 3, 16, 8, 3, 1, 0);
+  Rng rng(2024);
+  const auto input = RandomInt8(rng, {1, 3, 16, 16});
+  const auto kernel = RandomInt8(rng, {8, 3, 3, 3});
+  EXPECT_EQ(
+      FoldGemmOutput(GemmRef(Im2Col(input, p), FlattenKernel(kernel, p)), p),
+      ConvRef(input, kernel, p));
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,136 @@
+#include "tensor/shift_gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "common/rng.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+namespace {
+
+Int8Tensor RandomInt8(Rng& rng, std::vector<std::int64_t> shape) {
+  Int8Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t.flat(i) = static_cast<std::int8_t>(rng.UniformInt(-9, 9));
+  }
+  return t;
+}
+
+ConvParams MakeParams(std::int64_t n, std::int64_t c, std::int64_t hw,
+                      std::int64_t k, std::int64_t rs, std::int64_t stride,
+                      std::int64_t pad) {
+  ConvParams p;
+  p.batch = n;
+  p.in_channels = c;
+  p.height = hw;
+  p.width = hw;
+  p.out_channels = k;
+  p.kernel_h = rs;
+  p.kernel_w = rs;
+  p.stride = stride;
+  p.pad = pad;
+  return p;
+}
+
+TEST(ShiftGemmDimsTest, PaperKernels) {
+  // 3×3×3×3 on a 16×16 input: stationary matrix 9×9 — fits a 16×16 array.
+  const auto small = MakeParams(1, 3, 16, 3, 3, 1, 0);
+  EXPECT_EQ(ShiftGemmInner(small), 9);
+  EXPECT_EQ(ShiftGemmCols(small), 9);
+  EXPECT_EQ(ShiftGemmRows(small), 14 * 16);
+  // 3×3×3×8: stationary matrix 9×24 — wider than the array → column tiling.
+  const auto large = MakeParams(1, 3, 16, 8, 3, 1, 0);
+  EXPECT_EQ(ShiftGemmInner(large), 9);
+  EXPECT_EQ(ShiftGemmCols(large), 24);
+}
+
+TEST(ShiftGemmTest, KernelColumnsAreKMajor) {
+  const auto p = MakeParams(1, 2, 4, 3, 2, 1, 0);
+  Int8Tensor kernel({3, 2, 2, 2});
+  for (std::int64_t i = 0; i < kernel.size(); ++i) {
+    kernel.flat(i) = static_cast<std::int8_t>(i + 1);
+  }
+  const auto w2 = ShiftGemmLowerKernel(kernel, p);
+  EXPECT_EQ(w2.dim(0), 4);  // C·R
+  EXPECT_EQ(w2.dim(1), 6);  // S·K, k-major
+  // Column k·S + s; row c·R + r.
+  for (std::int64_t k = 0; k < 3; ++k) {
+    for (std::int64_t s = 0; s < 2; ++s) {
+      for (std::int64_t c = 0; c < 2; ++c) {
+        for (std::int64_t r = 0; r < 2; ++r) {
+          EXPECT_EQ(w2(c * 2 + r, k * 2 + s), kernel(k, c, r, s));
+        }
+      }
+    }
+  }
+}
+
+TEST(ShiftGemmTest, ColToChannel) {
+  const auto p = MakeParams(1, 3, 16, 8, 3, 1, 0);
+  EXPECT_EQ(ShiftGemmColToChannel(0, p), 0);
+  EXPECT_EQ(ShiftGemmColToChannel(2, p), 0);
+  EXPECT_EQ(ShiftGemmColToChannel(3, p), 1);
+  EXPECT_EQ(ShiftGemmColToChannel(23, p), 7);
+  EXPECT_THROW(ShiftGemmColToChannel(24, p), std::invalid_argument);
+}
+
+TEST(ShiftGemmTest, ColumnTileReuseSpansDistinctChannels) {
+  // The mechanism behind the paper's multi-channel class: on a 16-column
+  // array, columns c and c+16 of the 9×24 stationary matrix belong to
+  // different output channels for every c < 8.
+  const auto p = MakeParams(1, 3, 16, 8, 3, 1, 0);
+  for (std::int64_t c = 0; c < 8; ++c) {
+    EXPECT_NE(ShiftGemmColToChannel(c, p), ShiftGemmColToChannel(c + 16, p));
+  }
+}
+
+// Equivalence: the shift-GEMM lowering computes exactly the direct
+// convolution across batch/channel/stride/padding sweeps.
+class ShiftGemmEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, int, int, int, int, int>> {};
+
+TEST_P(ShiftGemmEquivalenceTest, MatchesDirectConv) {
+  const auto [n, c, hw, k, rs, stride, pad] = GetParam();
+  const auto p = MakeParams(n, c, hw, k, rs, stride, pad);
+  if (p.kernel_h > p.height + 2 * p.pad) GTEST_SKIP();
+  Rng rng(static_cast<std::uint64_t>(n * 100000 + c * 10000 + hw * 1000 +
+                                     k * 100 + rs * 10 + stride + pad));
+  const auto input = RandomInt8(rng, {n, c, hw, hw});
+  const auto kernel = RandomInt8(rng, {k, c, rs, rs});
+  EXPECT_EQ(ShiftGemmConvRef(input, kernel, p), ConvRef(input, kernel, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShiftGemmEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2),    // N
+                       ::testing::Values(1, 3),    // C
+                       ::testing::Values(5, 8),    // H=W
+                       ::testing::Values(1, 4),    // K
+                       ::testing::Values(1, 3),    // R=S
+                       ::testing::Values(1, 2),    // stride
+                       ::testing::Values(0, 1)));  // pad
+
+TEST(ShiftGemmEquivalenceTest, PaperConfigurations) {
+  for (const auto& [k, hw] :
+       std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {3, 16}, {8, 16}, {8, 112}}) {
+    const auto p = MakeParams(1, 3, hw, k, 3, 1, 0);
+    Rng rng(static_cast<std::uint64_t>(k * 1000 + hw));
+    const auto input = RandomInt8(rng, {1, 3, hw, hw});
+    const auto kernel = RandomInt8(rng, {k, 3, 3, 3});
+    EXPECT_EQ(ShiftGemmConvRef(input, kernel, p), ConvRef(input, kernel, p))
+        << "K=" << k << " HW=" << hw;
+  }
+}
+
+TEST(ShiftGemmTest, FoldRejectsWrongShape) {
+  const auto p = MakeParams(1, 1, 4, 1, 2, 1, 0);
+  EXPECT_THROW(ShiftGemmFold(Int32Tensor({3, 3}), p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saffire

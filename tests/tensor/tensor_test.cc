@@ -1,0 +1,116 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace saffire {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Int32Tensor t({3, 4});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 4);
+  EXPECT_EQ(t.size(), 12);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t.flat(i), 0);
+  }
+}
+
+TEST(TensorTest, FullFillsValue) {
+  const auto t = Int8Tensor::Full({2, 2}, 1);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t.flat(i), 1);
+  }
+}
+
+TEST(TensorTest, RejectsBadShapes) {
+  EXPECT_THROW(Int32Tensor({}), std::invalid_argument);
+  EXPECT_THROW(Int32Tensor({0}), std::invalid_argument);
+  EXPECT_THROW(Int32Tensor({2, -1}), std::invalid_argument);
+}
+
+TEST(TensorTest, RejectsHugeShapes) {
+  EXPECT_THROW(Int32Tensor({1 << 20, 1 << 20, 1 << 20}),
+               std::invalid_argument);
+}
+
+TEST(TensorTest, Rank2AccessIsRowMajor) {
+  Int32Tensor t({2, 3});
+  int v = 0;
+  for (std::int64_t r = 0; r < 2; ++r) {
+    for (std::int64_t c = 0; c < 3; ++c) {
+      t(r, c) = v++;
+    }
+  }
+  for (std::int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(t.flat(i), i);
+  }
+}
+
+TEST(TensorTest, Rank2AccessBoundsChecked) {
+  Int32Tensor t({2, 3});
+  EXPECT_THROW(t(2, 0), std::invalid_argument);
+  EXPECT_THROW(t(0, 3), std::invalid_argument);
+  EXPECT_THROW(t(-1, 0), std::invalid_argument);
+}
+
+TEST(TensorTest, Rank2AccessOnWrongRankThrows) {
+  Int32Tensor t({2, 3, 4});
+  EXPECT_THROW(t(0, 0), std::invalid_argument);
+}
+
+TEST(TensorTest, Rank4AccessIsNchwOrdered) {
+  Int32Tensor t({2, 3, 4, 5});
+  t(1, 2, 3, 4) = 99;
+  // Flat offset = ((1*3+2)*4+3)*5+4 = 119.
+  EXPECT_EQ(t.flat(119), 99);
+  EXPECT_THROW(t(2, 0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(t(0, 3, 0, 0), std::invalid_argument);
+}
+
+TEST(TensorTest, FromRowsBuildsMatrix) {
+  const auto t = Int32Tensor::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 2);
+  EXPECT_EQ(t(2, 1), 6);
+  EXPECT_THROW(Int32Tensor::FromRows({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  auto t = Int32Tensor::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const auto r = t.Reshape({3, 2});
+  EXPECT_EQ(r(0, 0), 1);
+  EXPECT_EQ(r(0, 1), 2);
+  EXPECT_EQ(r(1, 0), 3);
+  EXPECT_EQ(r(2, 1), 6);
+  EXPECT_THROW(t.Reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(TensorTest, CastConverts) {
+  const auto t = Int32Tensor::FromRows({{1, -2}, {127, 0}});
+  const auto c = t.Cast<std::int8_t>();
+  EXPECT_EQ(c(0, 0), 1);
+  EXPECT_EQ(c(0, 1), -2);
+  EXPECT_EQ(c(1, 0), 127);
+}
+
+TEST(TensorTest, EqualityComparesShapeAndData) {
+  const auto a = Int32Tensor::FromRows({{1, 2}});
+  const auto b = Int32Tensor::FromRows({{1, 2}});
+  auto c = Int32Tensor::FromRows({{1, 3}});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  // Same data, different shape.
+  const auto d = a.Reshape({2, 1});
+  EXPECT_FALSE(a == d);
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Int32Tensor({2, 3}).ShapeString(), "(2, 3)");
+  EXPECT_EQ(Int32Tensor({7}).ShapeString(), "(7)");
+}
+
+}  // namespace
+}  // namespace saffire

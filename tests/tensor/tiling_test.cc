@@ -1,0 +1,156 @@
+#include "tensor/tiling.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "common/rng.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+namespace {
+
+Int8Tensor RandomInt8(Rng& rng, std::int64_t rows, std::int64_t cols) {
+  Int8Tensor t({rows, cols});
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t.flat(i) = static_cast<std::int8_t>(rng.UniformInt(-30, 30));
+  }
+  return t;
+}
+
+TEST(CeilDivTest, Basics) {
+  EXPECT_EQ(CeilDiv(0, 4), 0);
+  EXPECT_EQ(CeilDiv(1, 4), 1);
+  EXPECT_EQ(CeilDiv(4, 4), 1);
+  EXPECT_EQ(CeilDiv(5, 4), 2);
+  EXPECT_EQ(CeilDiv(112, 16), 7);
+  EXPECT_THROW(CeilDiv(1, 0), std::invalid_argument);
+  EXPECT_THROW(CeilDiv(-1, 2), std::invalid_argument);
+}
+
+TEST(TileGridTest, PaperGemm112On16x16Array) {
+  // RQ3's 112×112 GEMM on the 16×16 array: 7 tiles per dimension.
+  const TileGrid grid(112, 112, 112, 16, 16, 16);
+  EXPECT_EQ(grid.m_tiles(), 7);
+  EXPECT_EQ(grid.n_tiles(), 7);
+  EXPECT_EQ(grid.k_tiles(), 7);
+  EXPECT_EQ(grid.total_tiles(), 343);
+  EXPECT_FALSE(grid.untiled());
+}
+
+TEST(TileGridTest, ExactFitIsUntiled) {
+  const TileGrid grid(16, 16, 16, 16, 16, 16);
+  EXPECT_TRUE(grid.untiled());
+  EXPECT_EQ(grid.TileRows(0), 16);
+  EXPECT_EQ(grid.TileCols(0), 16);
+  EXPECT_EQ(grid.TileDepth(0), 16);
+}
+
+TEST(TileGridTest, RaggedEdgeExtents) {
+  const TileGrid grid(18, 5, 33, 16, 16, 16);
+  EXPECT_EQ(grid.m_tiles(), 2);
+  EXPECT_EQ(grid.n_tiles(), 1);
+  EXPECT_EQ(grid.k_tiles(), 3);
+  EXPECT_EQ(grid.TileRows(0), 16);
+  EXPECT_EQ(grid.TileRows(1), 2);
+  EXPECT_EQ(grid.TileCols(0), 5);
+  EXPECT_EQ(grid.TileDepth(2), 1);
+  EXPECT_EQ(grid.RowStart(1), 16);
+  EXPECT_EQ(grid.DepthStart(2), 32);
+  EXPECT_THROW(grid.TileRows(2), std::invalid_argument);
+}
+
+TEST(TileGridTest, EnumerationCoversAllAndGroupsReductions) {
+  const TileGrid grid(20, 20, 20, 16, 16, 16);
+  const auto tiles = grid.EnumerateTiles();
+  ASSERT_EQ(tiles.size(), 8u);
+  // Reduction steps of one output tile must be consecutive.
+  EXPECT_EQ(tiles[0].mi, 0);
+  EXPECT_EQ(tiles[0].ni, 0);
+  EXPECT_EQ(tiles[0].ki, 0);
+  EXPECT_EQ(tiles[1].mi, 0);
+  EXPECT_EQ(tiles[1].ni, 0);
+  EXPECT_EQ(tiles[1].ki, 1);
+  EXPECT_EQ(tiles[2].ni, 1);
+}
+
+TEST(ExtractTilePaddedTest, CopiesAndPads) {
+  const auto m = Int8Tensor::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const auto tile = ExtractTilePadded(m, 0, 1, 2, 2, 4, 4);
+  EXPECT_EQ(tile.dim(0), 4);
+  EXPECT_EQ(tile.dim(1), 4);
+  EXPECT_EQ(tile(0, 0), 2);
+  EXPECT_EQ(tile(0, 1), 3);
+  EXPECT_EQ(tile(1, 0), 5);
+  EXPECT_EQ(tile(1, 1), 6);
+  EXPECT_EQ(tile(2, 2), 0);
+  EXPECT_EQ(tile(3, 3), 0);
+}
+
+TEST(ExtractTilePaddedTest, RejectsOutOfRange) {
+  const auto m = Int8Tensor({4, 4});
+  EXPECT_THROW(ExtractTilePadded(m, 3, 0, 2, 1, 2, 2), std::invalid_argument);
+  EXPECT_THROW(ExtractTilePadded(m, 0, 0, 3, 1, 2, 2), std::invalid_argument);
+}
+
+TEST(AccumulateTileTest, AddsRegionIgnoringPadding) {
+  auto dest = Int32Tensor({3, 3});
+  auto tile = Int32Tensor::FromRows({{1, 2, 99}, {3, 4, 99}, {99, 99, 99}});
+  AccumulateTile(tile, 1, 1, 2, 2, dest);
+  EXPECT_EQ(dest(1, 1), 1);
+  EXPECT_EQ(dest(1, 2), 2);
+  EXPECT_EQ(dest(2, 1), 3);
+  EXPECT_EQ(dest(2, 2), 4);
+  EXPECT_EQ(dest(0, 0), 0);
+  AccumulateTile(tile, 1, 1, 2, 2, dest);
+  EXPECT_EQ(dest(2, 2), 8);
+}
+
+// Property: the full tiled decomposition (Eq. 4) reconstructs the reference
+// GEMM for arbitrary shapes, including ragged edges.
+class TiledGemmPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(TiledGemmPropertyTest, TiledDecompositionMatchesReference) {
+  const auto [m, n, k, tile] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 10000 + n * 1000 + k * 10 + tile));
+  const auto a = RandomInt8(rng, m, k);
+  const auto b = RandomInt8(rng, k, n);
+  const auto expected = GemmRef(a, b);
+
+  const TileGrid grid(m, n, k, tile, tile, tile);
+  Int32Tensor c({m, n});
+  for (const TileCoord& t : grid.EnumerateTiles()) {
+    const auto a_tile =
+        ExtractTilePadded(a, grid.RowStart(t.mi), grid.DepthStart(t.ki),
+                          grid.TileRows(t.mi), grid.TileDepth(t.ki),
+                          tile, tile);
+    const auto b_tile =
+        ExtractTilePadded(b, grid.DepthStart(t.ki), grid.ColStart(t.ni),
+                          grid.TileDepth(t.ki), grid.TileCols(t.ni),
+                          tile, tile);
+    Int32Tensor c_tile({tile, tile});
+    GemmAccumulateRef(a_tile, b_tile, c_tile);
+    AccumulateTile(c_tile, grid.RowStart(t.mi), grid.ColStart(t.ni),
+                   grid.TileRows(t.mi), grid.TileCols(t.ni), c);
+  }
+  EXPECT_EQ(c, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TiledGemmPropertyTest,
+    ::testing::Combine(::testing::Values(4, 16, 23), ::testing::Values(4, 17),
+                       ::testing::Values(4, 16, 21),
+                       ::testing::Values(4, 8, 16)));
+
+// The paper's 2×2 worked example (Eq. 1–4): a 4×4 GEMM on a 2×2 tile size
+// decomposes into eight tile multiplications and four additions.
+TEST(TiledGemmTest, PaperWorkedExample) {
+  const TileGrid grid(4, 4, 4, 2, 2, 2);
+  EXPECT_EQ(grid.total_tiles(), 8);
+  EXPECT_EQ(grid.m_tiles() * grid.n_tiles(), 4);
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,0 +1,58 @@
+#include "tensor/transpose.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+namespace {
+
+TEST(TransposeTest, SwapsCoordinates) {
+  const auto m = Int32Tensor::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const auto t = Transpose(m);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 2);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    for (std::int64_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(t(c, r), m(r, c));
+    }
+  }
+}
+
+TEST(TransposeTest, InvolutionAndEdgeShapes) {
+  Rng rng(3);
+  Int8Tensor m({5, 7});
+  for (std::int64_t i = 0; i < m.size(); ++i) {
+    m.flat(i) = static_cast<std::int8_t>(rng.UniformInt(-128, 127));
+  }
+  EXPECT_EQ(Transpose(Transpose(m)), m);
+  const auto row = Int32Tensor::FromRows({{1, 2, 3}});
+  EXPECT_EQ(Transpose(row).ShapeString(), "(3, 1)");
+  const auto scalar = Int32Tensor({1, 1});
+  EXPECT_EQ(Transpose(scalar), scalar);
+}
+
+TEST(TransposeTest, RejectsNonMatrix) {
+  EXPECT_THROW(Transpose(Int32Tensor({2, 2, 2})), std::invalid_argument);
+  EXPECT_THROW(Transpose(Int32Tensor({4})), std::invalid_argument);
+}
+
+TEST(TransposeTest, GemmTransposeIdentity) {
+  // (A·B)ᵀ == Bᵀ·Aᵀ — the identity the input-stationary dataflow uses.
+  Rng rng(9);
+  Int8Tensor a({4, 6});
+  Int8Tensor b({6, 5});
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    a.flat(i) = static_cast<std::int8_t>(rng.UniformInt(-50, 50));
+  }
+  for (std::int64_t i = 0; i < b.size(); ++i) {
+    b.flat(i) = static_cast<std::int8_t>(rng.UniformInt(-50, 50));
+  }
+  EXPECT_EQ(Transpose(GemmRef(a, b)), GemmRef(Transpose(b), Transpose(a)));
+}
+
+}  // namespace
+}  // namespace saffire
