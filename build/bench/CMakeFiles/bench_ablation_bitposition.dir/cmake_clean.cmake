@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bitposition.dir/bench_ablation_bitposition.cpp.o"
+  "CMakeFiles/bench_ablation_bitposition.dir/bench_ablation_bitposition.cpp.o.d"
+  "bench_ablation_bitposition"
+  "bench_ablation_bitposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bitposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

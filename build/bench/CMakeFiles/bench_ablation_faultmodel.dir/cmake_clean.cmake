@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_faultmodel.dir/bench_ablation_faultmodel.cpp.o"
+  "CMakeFiles/bench_ablation_faultmodel.dir/bench_ablation_faultmodel.cpp.o.d"
+  "bench_ablation_faultmodel"
+  "bench_ablation_faultmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_faultmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

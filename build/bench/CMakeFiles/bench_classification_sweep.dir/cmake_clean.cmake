@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_classification_sweep.dir/bench_classification_sweep.cpp.o"
+  "CMakeFiles/bench_classification_sweep.dir/bench_classification_sweep.cpp.o.d"
+  "bench_classification_sweep"
+  "bench_classification_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classification_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

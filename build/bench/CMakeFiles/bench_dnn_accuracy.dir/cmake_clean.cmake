@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dnn_accuracy.dir/bench_dnn_accuracy.cpp.o"
+  "CMakeFiles/bench_dnn_accuracy.dir/bench_dnn_accuracy.cpp.o.d"
+  "bench_dnn_accuracy"
+  "bench_dnn_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dnn_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

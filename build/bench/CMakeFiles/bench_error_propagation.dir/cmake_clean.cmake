@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_error_propagation.dir/bench_error_propagation.cpp.o"
+  "CMakeFiles/bench_error_propagation.dir/bench_error_propagation.cpp.o.d"
+  "bench_error_propagation"
+  "bench_error_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_error_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fi_cost.dir/bench_fi_cost.cpp.o"
+  "CMakeFiles/bench_fi_cost.dir/bench_fi_cost.cpp.o.d"
+  "bench_fi_cost"
+  "bench_fi_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fi_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

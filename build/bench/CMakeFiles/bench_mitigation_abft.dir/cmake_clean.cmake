@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mitigation_abft.dir/bench_mitigation_abft.cpp.o"
+  "CMakeFiles/bench_mitigation_abft.dir/bench_mitigation_abft.cpp.o.d"
+  "bench_mitigation_abft"
+  "bench_mitigation_abft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mitigation_abft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

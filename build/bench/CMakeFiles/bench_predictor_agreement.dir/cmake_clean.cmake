@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predictor_agreement.dir/bench_predictor_agreement.cpp.o"
+  "CMakeFiles/bench_predictor_agreement.dir/bench_predictor_agreement.cpp.o.d"
+  "bench_predictor_agreement"
+  "bench_predictor_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predictor_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

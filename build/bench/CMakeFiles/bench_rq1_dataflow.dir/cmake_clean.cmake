@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rq1_dataflow.dir/bench_rq1_dataflow.cpp.o"
+  "CMakeFiles/bench_rq1_dataflow.dir/bench_rq1_dataflow.cpp.o.d"
+  "bench_rq1_dataflow"
+  "bench_rq1_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq1_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rq2_operation.dir/bench_rq2_operation.cpp.o"
+  "CMakeFiles/bench_rq2_operation.dir/bench_rq2_operation.cpp.o.d"
+  "bench_rq2_operation"
+  "bench_rq2_operation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq2_operation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rq3_size.dir/bench_rq3_size.cpp.o"
+  "CMakeFiles/bench_rq3_size.dir/bench_rq3_size.cpp.o.d"
+  "bench_rq3_size"
+  "bench_rq3_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq3_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

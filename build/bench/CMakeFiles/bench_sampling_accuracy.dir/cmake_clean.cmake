@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sampling_accuracy.dir/bench_sampling_accuracy.cpp.o"
+  "CMakeFiles/bench_sampling_accuracy.dir/bench_sampling_accuracy.cpp.o.d"
+  "bench_sampling_accuracy"
+  "bench_sampling_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sampling_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_arrays.dir/bench_scaling_arrays.cpp.o"
+  "CMakeFiles/bench_scaling_arrays.dir/bench_scaling_arrays.cpp.o.d"
+  "bench_scaling_arrays"
+  "bench_scaling_arrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

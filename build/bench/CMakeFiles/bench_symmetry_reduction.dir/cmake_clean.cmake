@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_symmetry_reduction.dir/bench_symmetry_reduction.cpp.o"
+  "CMakeFiles/bench_symmetry_reduction.dir/bench_symmetry_reduction.cpp.o.d"
+  "bench_symmetry_reduction"
+  "bench_symmetry_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_symmetry_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

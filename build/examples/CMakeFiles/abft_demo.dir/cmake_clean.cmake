@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abft_demo.dir/abft_demo.cpp.o"
+  "CMakeFiles/abft_demo.dir/abft_demo.cpp.o.d"
+  "abft_demo"
+  "abft_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abft_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

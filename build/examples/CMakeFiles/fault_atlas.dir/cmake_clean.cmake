@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_atlas.dir/fault_atlas.cpp.o"
+  "CMakeFiles/fault_atlas.dir/fault_atlas.cpp.o.d"
+  "fault_atlas"
+  "fault_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fault_atlas "/root/repo/build/examples/fault_atlas")
+set_tests_properties(example_fault_atlas PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dnn_inference "/root/repo/build/examples/dnn_inference")
+set_tests_properties(example_dnn_inference PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vcd_trace "/root/repo/build/examples/vcd_trace" "/root/repo/build/examples/smoke.vcd")
+set_tests_properties(example_vcd_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_abft_demo "/root/repo/build/examples/abft_demo")
+set_tests_properties(example_abft_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_export_dictionary "/root/repo/build/examples/export_dictionary" "/root/repo/build/examples")
+set_tests_properties(example_export_dictionary PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_campaign_cli "/root/repo/build/examples/campaign_cli" "--workload" "conv16k3" "--sites" "16" "--threads" "2" "--csv" "/root/repo/build/examples/smoke.csv")
+set_tests_properties(example_campaign_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/controller.cc" "src/accel/CMakeFiles/saffire_accel.dir/controller.cc.o" "gcc" "src/accel/CMakeFiles/saffire_accel.dir/controller.cc.o.d"
+  "/root/repo/src/accel/driver.cc" "src/accel/CMakeFiles/saffire_accel.dir/driver.cc.o" "gcc" "src/accel/CMakeFiles/saffire_accel.dir/driver.cc.o.d"
+  "/root/repo/src/accel/host_memory.cc" "src/accel/CMakeFiles/saffire_accel.dir/host_memory.cc.o" "gcc" "src/accel/CMakeFiles/saffire_accel.dir/host_memory.cc.o.d"
+  "/root/repo/src/accel/isa.cc" "src/accel/CMakeFiles/saffire_accel.dir/isa.cc.o" "gcc" "src/accel/CMakeFiles/saffire_accel.dir/isa.cc.o.d"
+  "/root/repo/src/accel/scratchpad.cc" "src/accel/CMakeFiles/saffire_accel.dir/scratchpad.cc.o" "gcc" "src/accel/CMakeFiles/saffire_accel.dir/scratchpad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/saffire_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/saffire_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/saffire_systolic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saffire_accel.dir/controller.cc.o"
+  "CMakeFiles/saffire_accel.dir/controller.cc.o.d"
+  "CMakeFiles/saffire_accel.dir/driver.cc.o"
+  "CMakeFiles/saffire_accel.dir/driver.cc.o.d"
+  "CMakeFiles/saffire_accel.dir/host_memory.cc.o"
+  "CMakeFiles/saffire_accel.dir/host_memory.cc.o.d"
+  "CMakeFiles/saffire_accel.dir/isa.cc.o"
+  "CMakeFiles/saffire_accel.dir/isa.cc.o.d"
+  "CMakeFiles/saffire_accel.dir/scratchpad.cc.o"
+  "CMakeFiles/saffire_accel.dir/scratchpad.cc.o.d"
+  "libsaffire_accel.a"
+  "libsaffire_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saffire_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

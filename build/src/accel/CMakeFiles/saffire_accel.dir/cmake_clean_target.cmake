@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsaffire_accel.a"
+)

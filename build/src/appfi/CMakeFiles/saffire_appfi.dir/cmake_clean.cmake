@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saffire_appfi.dir/appfi.cc.o"
+  "CMakeFiles/saffire_appfi.dir/appfi.cc.o.d"
+  "libsaffire_appfi.a"
+  "libsaffire_appfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saffire_appfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for saffire_appfi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saffire_common.dir/bits.cc.o"
+  "CMakeFiles/saffire_common.dir/bits.cc.o.d"
+  "CMakeFiles/saffire_common.dir/csv.cc.o"
+  "CMakeFiles/saffire_common.dir/csv.cc.o.d"
+  "CMakeFiles/saffire_common.dir/log.cc.o"
+  "CMakeFiles/saffire_common.dir/log.cc.o.d"
+  "CMakeFiles/saffire_common.dir/rng.cc.o"
+  "CMakeFiles/saffire_common.dir/rng.cc.o.d"
+  "CMakeFiles/saffire_common.dir/strings.cc.o"
+  "CMakeFiles/saffire_common.dir/strings.cc.o.d"
+  "libsaffire_common.a"
+  "libsaffire_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saffire_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

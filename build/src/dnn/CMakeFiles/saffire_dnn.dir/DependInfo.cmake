@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/cnn.cc" "src/dnn/CMakeFiles/saffire_dnn.dir/cnn.cc.o" "gcc" "src/dnn/CMakeFiles/saffire_dnn.dir/cnn.cc.o.d"
+  "/root/repo/src/dnn/mlp.cc" "src/dnn/CMakeFiles/saffire_dnn.dir/mlp.cc.o" "gcc" "src/dnn/CMakeFiles/saffire_dnn.dir/mlp.cc.o.d"
+  "/root/repo/src/dnn/quantize.cc" "src/dnn/CMakeFiles/saffire_dnn.dir/quantize.cc.o" "gcc" "src/dnn/CMakeFiles/saffire_dnn.dir/quantize.cc.o.d"
+  "/root/repo/src/dnn/synthetic.cc" "src/dnn/CMakeFiles/saffire_dnn.dir/synthetic.cc.o" "gcc" "src/dnn/CMakeFiles/saffire_dnn.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/saffire_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/saffire_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/saffire_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/saffire_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/saffire_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/saffire_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/appfi/CMakeFiles/saffire_appfi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saffire_dnn.dir/cnn.cc.o"
+  "CMakeFiles/saffire_dnn.dir/cnn.cc.o.d"
+  "CMakeFiles/saffire_dnn.dir/mlp.cc.o"
+  "CMakeFiles/saffire_dnn.dir/mlp.cc.o.d"
+  "CMakeFiles/saffire_dnn.dir/quantize.cc.o"
+  "CMakeFiles/saffire_dnn.dir/quantize.cc.o.d"
+  "CMakeFiles/saffire_dnn.dir/synthetic.cc.o"
+  "CMakeFiles/saffire_dnn.dir/synthetic.cc.o.d"
+  "libsaffire_dnn.a"
+  "libsaffire_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saffire_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

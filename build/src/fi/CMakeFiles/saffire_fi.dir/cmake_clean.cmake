@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saffire_fi.dir/fault.cc.o"
+  "CMakeFiles/saffire_fi.dir/fault.cc.o.d"
+  "CMakeFiles/saffire_fi.dir/injector.cc.o"
+  "CMakeFiles/saffire_fi.dir/injector.cc.o.d"
+  "CMakeFiles/saffire_fi.dir/runner.cc.o"
+  "CMakeFiles/saffire_fi.dir/runner.cc.o.d"
+  "CMakeFiles/saffire_fi.dir/workload.cc.o"
+  "CMakeFiles/saffire_fi.dir/workload.cc.o.d"
+  "libsaffire_fi.a"
+  "libsaffire_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saffire_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saffire_mitigation.dir/abft.cc.o"
+  "CMakeFiles/saffire_mitigation.dir/abft.cc.o.d"
+  "libsaffire_mitigation.a"
+  "libsaffire_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saffire_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

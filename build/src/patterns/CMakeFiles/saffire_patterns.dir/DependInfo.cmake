@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/patterns/campaign.cc" "src/patterns/CMakeFiles/saffire_patterns.dir/campaign.cc.o" "gcc" "src/patterns/CMakeFiles/saffire_patterns.dir/campaign.cc.o.d"
+  "/root/repo/src/patterns/classify.cc" "src/patterns/CMakeFiles/saffire_patterns.dir/classify.cc.o" "gcc" "src/patterns/CMakeFiles/saffire_patterns.dir/classify.cc.o.d"
+  "/root/repo/src/patterns/corruption.cc" "src/patterns/CMakeFiles/saffire_patterns.dir/corruption.cc.o" "gcc" "src/patterns/CMakeFiles/saffire_patterns.dir/corruption.cc.o.d"
+  "/root/repo/src/patterns/dictionary.cc" "src/patterns/CMakeFiles/saffire_patterns.dir/dictionary.cc.o" "gcc" "src/patterns/CMakeFiles/saffire_patterns.dir/dictionary.cc.o.d"
+  "/root/repo/src/patterns/predictor.cc" "src/patterns/CMakeFiles/saffire_patterns.dir/predictor.cc.o" "gcc" "src/patterns/CMakeFiles/saffire_patterns.dir/predictor.cc.o.d"
+  "/root/repo/src/patterns/report.cc" "src/patterns/CMakeFiles/saffire_patterns.dir/report.cc.o" "gcc" "src/patterns/CMakeFiles/saffire_patterns.dir/report.cc.o.d"
+  "/root/repo/src/patterns/symmetry.cc" "src/patterns/CMakeFiles/saffire_patterns.dir/symmetry.cc.o" "gcc" "src/patterns/CMakeFiles/saffire_patterns.dir/symmetry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/saffire_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/saffire_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/saffire_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/saffire_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/saffire_fi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

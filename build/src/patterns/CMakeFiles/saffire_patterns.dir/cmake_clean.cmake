@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saffire_patterns.dir/campaign.cc.o"
+  "CMakeFiles/saffire_patterns.dir/campaign.cc.o.d"
+  "CMakeFiles/saffire_patterns.dir/classify.cc.o"
+  "CMakeFiles/saffire_patterns.dir/classify.cc.o.d"
+  "CMakeFiles/saffire_patterns.dir/corruption.cc.o"
+  "CMakeFiles/saffire_patterns.dir/corruption.cc.o.d"
+  "CMakeFiles/saffire_patterns.dir/dictionary.cc.o"
+  "CMakeFiles/saffire_patterns.dir/dictionary.cc.o.d"
+  "CMakeFiles/saffire_patterns.dir/predictor.cc.o"
+  "CMakeFiles/saffire_patterns.dir/predictor.cc.o.d"
+  "CMakeFiles/saffire_patterns.dir/report.cc.o"
+  "CMakeFiles/saffire_patterns.dir/report.cc.o.d"
+  "CMakeFiles/saffire_patterns.dir/symmetry.cc.o"
+  "CMakeFiles/saffire_patterns.dir/symmetry.cc.o.d"
+  "libsaffire_patterns.a"
+  "libsaffire_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saffire_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systolic/array.cc" "src/systolic/CMakeFiles/saffire_systolic.dir/array.cc.o" "gcc" "src/systolic/CMakeFiles/saffire_systolic.dir/array.cc.o.d"
+  "/root/repo/src/systolic/dataflow.cc" "src/systolic/CMakeFiles/saffire_systolic.dir/dataflow.cc.o" "gcc" "src/systolic/CMakeFiles/saffire_systolic.dir/dataflow.cc.o.d"
+  "/root/repo/src/systolic/signals.cc" "src/systolic/CMakeFiles/saffire_systolic.dir/signals.cc.o" "gcc" "src/systolic/CMakeFiles/saffire_systolic.dir/signals.cc.o.d"
+  "/root/repo/src/systolic/timing.cc" "src/systolic/CMakeFiles/saffire_systolic.dir/timing.cc.o" "gcc" "src/systolic/CMakeFiles/saffire_systolic.dir/timing.cc.o.d"
+  "/root/repo/src/systolic/trace.cc" "src/systolic/CMakeFiles/saffire_systolic.dir/trace.cc.o" "gcc" "src/systolic/CMakeFiles/saffire_systolic.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/saffire_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/saffire_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

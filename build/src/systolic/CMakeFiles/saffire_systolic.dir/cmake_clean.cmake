@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saffire_systolic.dir/array.cc.o"
+  "CMakeFiles/saffire_systolic.dir/array.cc.o.d"
+  "CMakeFiles/saffire_systolic.dir/dataflow.cc.o"
+  "CMakeFiles/saffire_systolic.dir/dataflow.cc.o.d"
+  "CMakeFiles/saffire_systolic.dir/signals.cc.o"
+  "CMakeFiles/saffire_systolic.dir/signals.cc.o.d"
+  "CMakeFiles/saffire_systolic.dir/timing.cc.o"
+  "CMakeFiles/saffire_systolic.dir/timing.cc.o.d"
+  "CMakeFiles/saffire_systolic.dir/trace.cc.o"
+  "CMakeFiles/saffire_systolic.dir/trace.cc.o.d"
+  "libsaffire_systolic.a"
+  "libsaffire_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saffire_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/conv.cc" "src/tensor/CMakeFiles/saffire_tensor.dir/conv.cc.o" "gcc" "src/tensor/CMakeFiles/saffire_tensor.dir/conv.cc.o.d"
+  "/root/repo/src/tensor/gemm.cc" "src/tensor/CMakeFiles/saffire_tensor.dir/gemm.cc.o" "gcc" "src/tensor/CMakeFiles/saffire_tensor.dir/gemm.cc.o.d"
+  "/root/repo/src/tensor/im2col.cc" "src/tensor/CMakeFiles/saffire_tensor.dir/im2col.cc.o" "gcc" "src/tensor/CMakeFiles/saffire_tensor.dir/im2col.cc.o.d"
+  "/root/repo/src/tensor/shift_gemm.cc" "src/tensor/CMakeFiles/saffire_tensor.dir/shift_gemm.cc.o" "gcc" "src/tensor/CMakeFiles/saffire_tensor.dir/shift_gemm.cc.o.d"
+  "/root/repo/src/tensor/tiling.cc" "src/tensor/CMakeFiles/saffire_tensor.dir/tiling.cc.o" "gcc" "src/tensor/CMakeFiles/saffire_tensor.dir/tiling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/saffire_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saffire_tensor.dir/conv.cc.o"
+  "CMakeFiles/saffire_tensor.dir/conv.cc.o.d"
+  "CMakeFiles/saffire_tensor.dir/gemm.cc.o"
+  "CMakeFiles/saffire_tensor.dir/gemm.cc.o.d"
+  "CMakeFiles/saffire_tensor.dir/im2col.cc.o"
+  "CMakeFiles/saffire_tensor.dir/im2col.cc.o.d"
+  "CMakeFiles/saffire_tensor.dir/shift_gemm.cc.o"
+  "CMakeFiles/saffire_tensor.dir/shift_gemm.cc.o.d"
+  "CMakeFiles/saffire_tensor.dir/tiling.cc.o"
+  "CMakeFiles/saffire_tensor.dir/tiling.cc.o.d"
+  "libsaffire_tensor.a"
+  "libsaffire_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saffire_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

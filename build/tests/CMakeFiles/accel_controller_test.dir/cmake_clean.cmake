@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_controller_test.dir/accel/controller_test.cc.o"
+  "CMakeFiles/accel_controller_test.dir/accel/controller_test.cc.o.d"
+  "accel_controller_test"
+  "accel_controller_test.pdb"
+  "accel_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

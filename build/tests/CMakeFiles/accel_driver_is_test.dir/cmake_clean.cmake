@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_driver_is_test.dir/accel/driver_is_test.cc.o"
+  "CMakeFiles/accel_driver_is_test.dir/accel/driver_is_test.cc.o.d"
+  "accel_driver_is_test"
+  "accel_driver_is_test.pdb"
+  "accel_driver_is_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_driver_is_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_host_memory_test.dir/accel/host_memory_test.cc.o"
+  "CMakeFiles/accel_host_memory_test.dir/accel/host_memory_test.cc.o.d"
+  "accel_host_memory_test"
+  "accel_host_memory_test.pdb"
+  "accel_host_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_host_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_isa_test.dir/accel/isa_test.cc.o"
+  "CMakeFiles/accel_isa_test.dir/accel/isa_test.cc.o.d"
+  "accel_isa_test"
+  "accel_isa_test.pdb"
+  "accel_isa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

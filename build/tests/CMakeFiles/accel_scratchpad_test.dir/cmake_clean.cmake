@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_scratchpad_test.dir/accel/scratchpad_test.cc.o"
+  "CMakeFiles/accel_scratchpad_test.dir/accel/scratchpad_test.cc.o.d"
+  "accel_scratchpad_test"
+  "accel_scratchpad_test.pdb"
+  "accel_scratchpad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_scratchpad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appfi_appfi_test.dir/appfi/appfi_test.cc.o"
+  "CMakeFiles/appfi_appfi_test.dir/appfi/appfi_test.cc.o.d"
+  "appfi_appfi_test"
+  "appfi_appfi_test.pdb"
+  "appfi_appfi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appfi_appfi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

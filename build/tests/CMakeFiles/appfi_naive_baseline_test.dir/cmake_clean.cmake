@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appfi_naive_baseline_test.dir/appfi/naive_baseline_test.cc.o"
+  "CMakeFiles/appfi_naive_baseline_test.dir/appfi/naive_baseline_test.cc.o.d"
+  "appfi_naive_baseline_test"
+  "appfi_naive_baseline_test.pdb"
+  "appfi_naive_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appfi_naive_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

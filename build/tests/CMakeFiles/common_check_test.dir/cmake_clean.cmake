@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_check_test.dir/common/check_test.cc.o"
+  "CMakeFiles/common_check_test.dir/common/check_test.cc.o.d"
+  "common_check_test"
+  "common_check_test.pdb"
+  "common_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

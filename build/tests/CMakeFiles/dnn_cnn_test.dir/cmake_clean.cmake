@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_cnn_test.dir/dnn/cnn_test.cc.o"
+  "CMakeFiles/dnn_cnn_test.dir/dnn/cnn_test.cc.o.d"
+  "dnn_cnn_test"
+  "dnn_cnn_test.pdb"
+  "dnn_cnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_cnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

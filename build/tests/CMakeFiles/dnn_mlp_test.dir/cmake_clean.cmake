@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_mlp_test.dir/dnn/mlp_test.cc.o"
+  "CMakeFiles/dnn_mlp_test.dir/dnn/mlp_test.cc.o.d"
+  "dnn_mlp_test"
+  "dnn_mlp_test.pdb"
+  "dnn_mlp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_mlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

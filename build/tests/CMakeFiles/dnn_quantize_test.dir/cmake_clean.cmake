@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_quantize_test.dir/dnn/quantize_test.cc.o"
+  "CMakeFiles/dnn_quantize_test.dir/dnn/quantize_test.cc.o.d"
+  "dnn_quantize_test"
+  "dnn_quantize_test.pdb"
+  "dnn_quantize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_quantize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_synthetic_test.dir/dnn/synthetic_test.cc.o"
+  "CMakeFiles/dnn_synthetic_test.dir/dnn/synthetic_test.cc.o.d"
+  "dnn_synthetic_test"
+  "dnn_synthetic_test.pdb"
+  "dnn_synthetic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_synthetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

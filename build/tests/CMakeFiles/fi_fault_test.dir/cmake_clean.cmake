@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fi_fault_test.dir/fi/fault_test.cc.o"
+  "CMakeFiles/fi_fault_test.dir/fi/fault_test.cc.o.d"
+  "fi_fault_test"
+  "fi_fault_test.pdb"
+  "fi_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fi_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

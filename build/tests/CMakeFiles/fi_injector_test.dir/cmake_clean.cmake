@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fi_injector_test.dir/fi/injector_test.cc.o"
+  "CMakeFiles/fi_injector_test.dir/fi/injector_test.cc.o.d"
+  "fi_injector_test"
+  "fi_injector_test.pdb"
+  "fi_injector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fi_injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fi_runner_test.dir/fi/runner_test.cc.o"
+  "CMakeFiles/fi_runner_test.dir/fi/runner_test.cc.o.d"
+  "fi_runner_test"
+  "fi_runner_test.pdb"
+  "fi_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fi_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fi_workload_test.dir/fi/workload_test.cc.o"
+  "CMakeFiles/fi_workload_test.dir/fi/workload_test.cc.o.d"
+  "fi_workload_test"
+  "fi_workload_test.pdb"
+  "fi_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fi_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

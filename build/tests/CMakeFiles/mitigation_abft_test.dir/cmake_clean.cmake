@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_abft_test.dir/mitigation/abft_test.cc.o"
+  "CMakeFiles/mitigation_abft_test.dir/mitigation/abft_test.cc.o.d"
+  "mitigation_abft_test"
+  "mitigation_abft_test.pdb"
+  "mitigation_abft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_abft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patterns_campaign_transient_test.dir/patterns/campaign_transient_test.cc.o"
+  "CMakeFiles/patterns_campaign_transient_test.dir/patterns/campaign_transient_test.cc.o.d"
+  "patterns_campaign_transient_test"
+  "patterns_campaign_transient_test.pdb"
+  "patterns_campaign_transient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patterns_campaign_transient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

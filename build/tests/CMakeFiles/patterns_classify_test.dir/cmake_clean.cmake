@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patterns_classify_test.dir/patterns/classify_test.cc.o"
+  "CMakeFiles/patterns_classify_test.dir/patterns/classify_test.cc.o.d"
+  "patterns_classify_test"
+  "patterns_classify_test.pdb"
+  "patterns_classify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patterns_classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

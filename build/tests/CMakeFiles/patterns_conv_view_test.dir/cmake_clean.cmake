@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patterns_conv_view_test.dir/patterns/conv_view_test.cc.o"
+  "CMakeFiles/patterns_conv_view_test.dir/patterns/conv_view_test.cc.o.d"
+  "patterns_conv_view_test"
+  "patterns_conv_view_test.pdb"
+  "patterns_conv_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patterns_conv_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patterns_corruption_test.dir/patterns/corruption_test.cc.o"
+  "CMakeFiles/patterns_corruption_test.dir/patterns/corruption_test.cc.o.d"
+  "patterns_corruption_test"
+  "patterns_corruption_test.pdb"
+  "patterns_corruption_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patterns_corruption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

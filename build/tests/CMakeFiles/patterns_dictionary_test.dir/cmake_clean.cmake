@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patterns_dictionary_test.dir/patterns/dictionary_test.cc.o"
+  "CMakeFiles/patterns_dictionary_test.dir/patterns/dictionary_test.cc.o.d"
+  "patterns_dictionary_test"
+  "patterns_dictionary_test.pdb"
+  "patterns_dictionary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patterns_dictionary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patterns_fuzz_property_test.dir/patterns/fuzz_property_test.cc.o"
+  "CMakeFiles/patterns_fuzz_property_test.dir/patterns/fuzz_property_test.cc.o.d"
+  "patterns_fuzz_property_test"
+  "patterns_fuzz_property_test.pdb"
+  "patterns_fuzz_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patterns_fuzz_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patterns_predictor_test.dir/patterns/predictor_test.cc.o"
+  "CMakeFiles/patterns_predictor_test.dir/patterns/predictor_test.cc.o.d"
+  "patterns_predictor_test"
+  "patterns_predictor_test.pdb"
+  "patterns_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patterns_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patterns_report_test.dir/patterns/report_test.cc.o"
+  "CMakeFiles/patterns_report_test.dir/patterns/report_test.cc.o.d"
+  "patterns_report_test"
+  "patterns_report_test.pdb"
+  "patterns_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patterns_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patterns_symmetry_test.dir/patterns/symmetry_test.cc.o"
+  "CMakeFiles/patterns_symmetry_test.dir/patterns/symmetry_test.cc.o.d"
+  "patterns_symmetry_test"
+  "patterns_symmetry_test.pdb"
+  "patterns_symmetry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patterns_symmetry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

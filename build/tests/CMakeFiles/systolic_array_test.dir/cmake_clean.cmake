@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_array_test.dir/systolic/array_test.cc.o"
+  "CMakeFiles/systolic_array_test.dir/systolic/array_test.cc.o.d"
+  "systolic_array_test"
+  "systolic_array_test.pdb"
+  "systolic_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

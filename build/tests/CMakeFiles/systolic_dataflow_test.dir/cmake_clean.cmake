@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_dataflow_test.dir/systolic/dataflow_test.cc.o"
+  "CMakeFiles/systolic_dataflow_test.dir/systolic/dataflow_test.cc.o.d"
+  "systolic_dataflow_test"
+  "systolic_dataflow_test.pdb"
+  "systolic_dataflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_dataflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_input_stationary_test.dir/systolic/input_stationary_test.cc.o"
+  "CMakeFiles/systolic_input_stationary_test.dir/systolic/input_stationary_test.cc.o.d"
+  "systolic_input_stationary_test"
+  "systolic_input_stationary_test.pdb"
+  "systolic_input_stationary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_input_stationary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_trace_test.dir/systolic/trace_test.cc.o"
+  "CMakeFiles/systolic_trace_test.dir/systolic/trace_test.cc.o.d"
+  "systolic_trace_test"
+  "systolic_trace_test.pdb"
+  "systolic_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

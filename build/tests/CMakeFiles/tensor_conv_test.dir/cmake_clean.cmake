@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_conv_test.dir/tensor/conv_test.cc.o"
+  "CMakeFiles/tensor_conv_test.dir/tensor/conv_test.cc.o.d"
+  "tensor_conv_test"
+  "tensor_conv_test.pdb"
+  "tensor_conv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_conv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_shift_gemm_test.dir/tensor/shift_gemm_test.cc.o"
+  "CMakeFiles/tensor_shift_gemm_test.dir/tensor/shift_gemm_test.cc.o.d"
+  "tensor_shift_gemm_test"
+  "tensor_shift_gemm_test.pdb"
+  "tensor_shift_gemm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_shift_gemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

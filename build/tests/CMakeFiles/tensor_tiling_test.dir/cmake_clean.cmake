@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_tiling_test.dir/tensor/tiling_test.cc.o"
+  "CMakeFiles/tensor_tiling_test.dir/tensor/tiling_test.cc.o.d"
+  "tensor_tiling_test"
+  "tensor_tiling_test.pdb"
+  "tensor_tiling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_tiling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

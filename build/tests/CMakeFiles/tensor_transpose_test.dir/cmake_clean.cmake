@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_transpose_test.dir/tensor/transpose_test.cc.o"
+  "CMakeFiles/tensor_transpose_test.dir/tensor/transpose_test.cc.o.d"
+  "tensor_transpose_test"
+  "tensor_transpose_test.pdb"
+  "tensor_transpose_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_transpose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[FuzzPropertyTest.PipelineInvariantsHoldOnRandomConfigurations]=]  /root/repo/build/tests/patterns_fuzz_property_test [==[--gtest_filter=FuzzPropertyTest.PipelineInvariantsHoldOnRandomConfigurations]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[FuzzPropertyTest.PipelineInvariantsHoldOnRandomConfigurations]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  patterns_fuzz_property_test_TESTS FuzzPropertyTest.PipelineInvariantsHoldOnRandomConfigurations)
