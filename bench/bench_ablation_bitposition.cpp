@@ -31,7 +31,7 @@ int main() {
       config.dataflow = Dataflow::kWeightStationary;
       config.bit = bit;
       config.polarity = polarity;
-      const CampaignResult result = RunCampaignParallel(config, 4);
+      const CampaignResult result = RunCampaignParallel(config, bench::BenchThreads());
 
       std::int64_t masked = 0;
       std::int64_t clean = 0;

@@ -56,7 +56,7 @@ int main() {
         config.bit = bit;
         config.polarity = polarity;
         config.max_sites = sweep_case.sites;
-        const CampaignResult result = RunCampaignParallel(config, 4);
+        const CampaignResult result = RunCampaignParallel(config, bench::BenchThreads());
 
         for (const auto& [pattern, count] : result.Histogram()) {
           global_histogram[pattern] += count;

@@ -73,6 +73,49 @@ void BM_FiExperiment(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(golden.cycles));
 }
 
+// The same experiment on the differential engine: faulty execution
+// restricted to the fault cone, outside reads replayed from the recorded
+// golden trace. Contrast pe_steps_per_expt / pe_steps_skipped_per_expt with
+// BM_FiExperiment to see the cone saving.
+void BM_FiExperimentDifferential(benchmark::State& state) {
+  const WorkloadSpec workload =
+      WorkloadByIndex(static_cast<int>(state.range(0)));
+  const Dataflow dataflow =
+      DataflowByIndex(static_cast<int>(state.range(1)));
+  if (workload.op == OpType::kConv &&
+      dataflow == Dataflow::kOutputStationary) {
+    state.SkipWithError("Table I runs convolutions under WS only");
+    return;
+  }
+  const AccelConfig config = PaperAccel();
+  FiRunner runner(config);
+  GoldenTrace trace;
+  const RunResult golden =
+      runner.RunGoldenRecorded(workload, dataflow, &trace);
+  const ClassifyContext context =
+      MakeClassifyContext(workload, config, dataflow);
+  const FaultSpec fault =
+      StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1);
+
+  std::uint64_t pe_steps = 0;
+  std::uint64_t pe_steps_skipped = 0;
+  for (auto _ : state) {
+    const RunResult faulty =
+        runner.RunFaultyDifferential(workload, dataflow, {&fault, 1}, trace);
+    const CorruptionMap map = ExtractCorruption(golden.output, faulty.output);
+    benchmark::DoNotOptimize(Classify(map, context));
+    pe_steps += faulty.pe_steps;
+    pe_steps_skipped += faulty.pe_steps_skipped;
+  }
+  state.SetLabel(workload.name + "/" + ToString(dataflow));
+  state.counters["pe_steps_per_expt"] = benchmark::Counter(
+      static_cast<double>(pe_steps) /
+      static_cast<double>(state.iterations()));
+  state.counters["pe_steps_skipped_per_expt"] = benchmark::Counter(
+      static_cast<double>(pe_steps_skipped) /
+      static_cast<double>(state.iterations()));
+}
+
 // The analytical app-level alternative for the same experiment.
 void BM_AppFiExperiment(benchmark::State& state) {
   const WorkloadSpec workload =
@@ -98,18 +141,23 @@ void BM_AppFiExperiment(benchmark::State& state) {
 }
 
 // Raw datapath throughput: PE evaluations per second of the cycle-accurate
-// model (the quantity that fixes campaign wall-clock).
+// model (the quantity that fixes campaign wall-clock). range(1) selects the
+// execution tier: 0 = fast-path kernel, 1 = forced reference loop — the
+// recorded series behind the fast-path speedup claim.
 void BM_ArrayStepThroughput(benchmark::State& state) {
   ArrayConfig config;
   SystolicArray array(config);
   const auto dataflow = DataflowByIndex(static_cast<int>(state.range(0)));
+  const bool reference = state.range(1) != 0;
+  array.set_force_reference_step(reference);
   for (std::int32_t r = 0; r < 16; ++r) {
     array.SetWestInput(r, 1);
   }
   for (auto _ : state) {
     array.Step(dataflow);
   }
-  state.SetLabel(ToString(dataflow));
+  state.SetLabel(ToString(dataflow) +
+                 (reference ? "/reference" : "/fast-path"));
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations()) * config.num_pes());
 }
@@ -140,6 +188,15 @@ BENCHMARK(BM_FiExperiment)
     ->Args({3, 1})
     ->Args({4, 0})
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FiExperimentDifferential)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({4, 0})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AppFiExperiment)
     ->Args({0, 0})
     ->Args({0, 1})
@@ -149,7 +206,11 @@ BENCHMARK(BM_AppFiExperiment)
     ->Args({3, 1})
     ->Args({4, 0})
     ->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_ArrayStepThroughput)->Arg(0)->Arg(1);
+BENCHMARK(BM_ArrayStepThroughput)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
 BENCHMARK(BM_ArrayStepWithHook);
 
 BENCHMARK_MAIN();

@@ -32,7 +32,7 @@ int main() {
     config.workload = Gemm16x16();
     config.dataflow = dataflow;
     config.bit = 8;
-    const CampaignResult result = RunCampaignParallel(config, 4);
+    const CampaignResult result = RunCampaignParallel(config, bench::BenchThreads());
 
     std::int64_t min_corrupted = 1 << 30;
     std::int64_t max_corrupted = 0;

@@ -26,7 +26,7 @@ int main() {
     config.workload = std::move(workload);
     config.dataflow = Dataflow::kWeightStationary;
     config.bit = 8;
-    const CampaignResult result = RunCampaignParallel(config, 4);
+    const CampaignResult result = RunCampaignParallel(config, bench::BenchThreads());
     const std::string lowering =
         config.workload.op == OpType::kConv
             ? ToString(config.workload.lowering)

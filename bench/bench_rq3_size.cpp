@@ -40,7 +40,7 @@ int main() {
     config.workload = row.workload;
     config.dataflow = row.dataflow;
     config.bit = 8;
-    const CampaignResult result = RunCampaignParallel(config, 4);
+    const CampaignResult result = RunCampaignParallel(config, bench::BenchThreads());
 
     const TileGrid grid = Driver::PlanTiles(
         row.workload.GemmM(), row.workload.GemmN(), row.workload.GemmK(),

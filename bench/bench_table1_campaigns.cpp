@@ -8,6 +8,11 @@
 //   RQ1 rows: GEMM 16×16 under OS vs WS (Fig. 3a/3b).
 //   RQ2 rows: GEMM vs conv kernels 3×3×3×3 and 3×3×3×8 under WS.
 //   RQ3 rows: 16×16 vs 112×112 operand sizes.
+//
+// The trailing engine-comparison section re-runs the 16×16 WS GEMM campaign
+// under all three execution engines (reference / full / differential) and
+// checks their results are bit-identical, recording the PE-step saving.
+#include <chrono>
 #include <iostream>
 
 #include "bench_util.h"
@@ -46,7 +51,7 @@ int main() {
     config.dataflow = row.dataflow;
     config.bit = 8;
     config.polarity = StuckPolarity::kStuckAt1;
-    const CampaignResult result = RunCampaignParallel(config, 4);
+    const CampaignResult result = RunCampaignParallel(config, bench::BenchThreads());
     PrintRow({row.rq, row.workload.name, ToString(row.dataflow),
               ToString(result.DominantClass()),
               std::to_string(result.MaskedCount()),
@@ -67,5 +72,57 @@ int main() {
          "reports one class per configuration\nfrom representative sites; "
          "masked sites for 3x3x3x3 sit in array columns the\n9-column "
          "operand never reaches.\n";
+
+  std::cout << "\n=== Execution-engine comparison: GEMM 16x16 WS, exhaustive "
+               "256 sites ===\n\n";
+  const std::vector<std::size_t> engine_widths = {14, 10, 14, 14, 9};
+  PrintRow({"engine", "wall [s]", "faulty PE-steps", "skipped", "identical"},
+           engine_widths);
+  PrintRule(engine_widths);
+
+  CampaignResult baseline;
+  for (const CampaignEngine engine :
+       {CampaignEngine::kReference, CampaignEngine::kFull,
+        CampaignEngine::kDifferential}) {
+    CampaignConfig config;
+    config.accel = PaperAccel();
+    config.workload = Gemm16x16();
+    config.dataflow = Dataflow::kWeightStationary;
+    config.bit = 8;
+    config.polarity = StuckPolarity::kStuckAt1;
+    config.engine = engine;
+    const auto start = std::chrono::steady_clock::now();
+    const CampaignResult result =
+        RunCampaignParallel(config, bench::BenchThreads());
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    bool identical = true;
+    if (engine == CampaignEngine::kReference) {
+      baseline = result;
+    } else {
+      identical = result.Histogram() == baseline.Histogram() &&
+                  result.ClassAgreement() == baseline.ClassAgreement() &&
+                  result.ContainmentRate() == baseline.ContainmentRate();
+      for (std::size_t i = 0; i < result.records.size(); ++i) {
+        identical = identical &&
+                    result.records[i].observed ==
+                        baseline.records[i].observed &&
+                    result.records[i].corrupted_count ==
+                        baseline.records[i].corrupted_count &&
+                    result.records[i].cycles == baseline.records[i].cycles;
+      }
+    }
+    PrintRow({ToString(engine), FormatDouble(seconds, 2),
+              std::to_string(result.FaultyPeSteps()),
+              std::to_string(result.FaultyPeStepsSkipped()),
+              identical ? "yes" : "NO"},
+             engine_widths);
+    if (!identical) {
+      std::cout << "\nERROR: " << ToString(engine)
+                << " engine diverged from the reference results\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -11,6 +11,9 @@
 
 namespace saffire::bench {
 
+// Worker count for campaign benches: all hardware threads.
+inline int BenchThreads() { return DefaultCampaignThreads(); }
+
 // The evaluation platform of Table I: 16×16 INT8 systolic array.
 inline AccelConfig PaperAccel() {
   AccelConfig config;

@@ -1,0 +1,28 @@
+#include "fi/cone.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace saffire {
+
+ColumnCone FaultCone(std::span<const FaultSpec> faults, Dataflow dataflow,
+                     const ArrayConfig& config) {
+  SAFFIRE_CHECK_MSG(!faults.empty(), "cone of an empty fault set");
+  SAFFIRE_CHECK_MSG(dataflow != Dataflow::kInputStationary,
+                    "IS is lowered onto the WS datapath; pass the lowered "
+                    "dataflow");
+  (void)dataflow;  // WS and OS share the wire topology; same rule.
+  ColumnCone cone{config.cols, -1};
+  for (const FaultSpec& fault : faults) {
+    fault.Validate(config);
+    const std::int32_t c = fault.pe.col;
+    const std::int32_t hi =
+        fault.signal == MacSignal::kActForward ? config.cols - 1 : c;
+    cone.lo = std::min(cone.lo, c);
+    cone.hi = std::max(cone.hi, hi);
+  }
+  return cone;
+}
+
+}  // namespace saffire

@@ -1,0 +1,45 @@
+// Static influence cone of a set of faults — which array columns a faulty
+// run can differ from the golden run in.
+//
+// The cone is a *column* range because every inter-PE wire in the array runs
+// either south (partial sums / streamed weights, within one column) or east
+// (activations, across columns):
+//
+//   - kWeightOperand / kMulOut / kAdderOut / kSouthForward at PE(r, c)
+//     corrupt the MAC result and the value travelling down column c; under
+//     WS that reaches the column's south output, under OS the column's
+//     accumulators and the forwarded weight chain. Either way the corruption
+//     never leaves column c: the only eastbound wire is act_east, which
+//     carries act_in unmodified. Cone: [c, c].
+//
+//   - kActForward at PE(r, c) corrupts the activation entering PE(r, c+1),
+//     which propagates east through every subsequent act register and feeds
+//     every MAC to the right. Cone: [c, cols − 1].
+//
+// The rule is identical for WS and OS because both dataflows share the
+// physical wire topology (systolic/array.h); only the interpretation of the
+// north operand differs. Input-stationary is lowered onto the WS datapath by
+// the driver with transposed operands, and fault coordinates are expressed in
+// physical array space (tests/patterns/predictor_is_test.cc), so IS callers
+// pass the lowered dataflow.
+//
+// Columns outside the cone provably compute golden values in a faulty run —
+// this is what makes differential execution (SystolicArray::BeginDifferential)
+// sound, and it is the simulation-side face of the paper's determinism result
+// (Sec. IV): a stuck-at at (r, c) yields the same contained corruption
+// footprint on every run.
+#pragma once
+
+#include <span>
+
+#include "fi/fault.h"
+#include "systolic/golden_trace.h"
+
+namespace saffire {
+
+// Union of the per-fault cones. `faults` must be non-empty and `dataflow`
+// must be a physical array dataflow (WS or OS; lower IS first).
+ColumnCone FaultCone(std::span<const FaultSpec> faults, Dataflow dataflow,
+                     const ArrayConfig& config);
+
+}  // namespace saffire

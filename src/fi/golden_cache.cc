@@ -1,0 +1,83 @@
+#include "fi/golden_cache.h"
+
+#include <sstream>
+
+namespace saffire {
+
+GoldenRunCache& GoldenRunCache::Instance() {
+  static GoldenRunCache* cache = new GoldenRunCache();
+  return *cache;
+}
+
+std::string GoldenRunCache::Key(const AccelConfig& config,
+                                const WorkloadSpec& workload,
+                                Dataflow dataflow) {
+  // Serialize every field that feeds the simulation. WorkloadSpec::ToString
+  // is a display string (it omits data_seed, among others), so the key
+  // enumerates fields explicitly; `name` is excluded because it does not
+  // affect the data.
+  std::ostringstream key;
+  key << config.array.rows << ',' << config.array.cols << ','
+      << config.array.input_bits << ',' << config.array.acc_bits << ';'
+      << config.spad_rows << ',' << config.acc_rows << ','
+      << config.max_compute_rows << ',' << config.double_buffered_weights
+      << ',' << config.dram_bytes << ';' << static_cast<int>(dataflow) << ';'
+      << static_cast<int>(workload.op) << ',' << workload.m << ','
+      << workload.k << ',' << workload.n << ';' << workload.conv.batch << ','
+      << workload.conv.in_channels << ',' << workload.conv.height << ','
+      << workload.conv.width << ',' << workload.conv.out_channels << ','
+      << workload.conv.kernel_h << ',' << workload.conv.kernel_w << ','
+      << workload.conv.stride << ',' << workload.conv.pad << ';'
+      << static_cast<int>(workload.lowering) << ','
+      << static_cast<int>(workload.input_fill) << ','
+      << static_cast<int>(workload.weight_fill) << ',' << workload.data_seed;
+  return key.str();
+}
+
+std::shared_ptr<const GoldenRunCache::Entry> GoldenRunCache::GetOrCompute(
+    const AccelConfig& config, const WorkloadSpec& workload,
+    Dataflow dataflow, bool* cache_hit) {
+  const std::string key = Key(config, workload, dataflow);
+  // Computed under the lock: concurrent workers asking for the same key
+  // (the RunCampaignParallel startup pattern) block until the first one has
+  // published the entry instead of duplicating the golden run.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    if (cache_hit != nullptr) *cache_hit = true;
+    return it->second;
+  }
+  ++misses_;
+  if (cache_hit != nullptr) *cache_hit = false;
+  auto entry = std::make_shared<Entry>();
+  FiRunner runner(config);
+  entry->result = runner.RunGoldenRecorded(workload, dataflow, &entry->trace);
+  std::shared_ptr<const Entry> published = std::move(entry);
+  entries_.emplace(key, published);
+  return published;
+}
+
+void GoldenRunCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+std::uint64_t GoldenRunCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t GoldenRunCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t GoldenRunCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace saffire

@@ -1,0 +1,62 @@
+// Process-wide cache of golden runs and their traces, keyed on everything
+// that determines them: the accelerator configuration, the dataflow, and the
+// full workload specification (including operand fills and the data seed).
+//
+// Campaign sweeps over fault sites / bits / polarities / signals re-execute
+// the *same* fault-free workload for every configuration cell; Table 1 alone
+// replays identical golden GEMMs hundreds of times. With the cache, each
+// (workload, dataflow, config) triple is simulated fault-free exactly once
+// per process and every subsequent campaign — including all workers of
+// RunCampaignParallel — shares the recorded result and trace.
+//
+// Entries are immutable once published (shared_ptr<const Entry>), so workers
+// replay from the trace concurrently without synchronization.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "fi/runner.h"
+
+namespace saffire {
+
+class GoldenRunCache {
+ public:
+  struct Entry {
+    RunResult result;
+    GoldenTrace trace;
+  };
+
+  static GoldenRunCache& Instance();
+
+  // Returns the cached golden run for (config, workload, dataflow),
+  // computing and recording it on first use. If `cache_hit` is non-null it
+  // is set to whether the entry was already present.
+  std::shared_ptr<const Entry> GetOrCompute(const AccelConfig& config,
+                                            const WorkloadSpec& workload,
+                                            Dataflow dataflow,
+                                            bool* cache_hit = nullptr);
+
+  // Drops all entries and zeroes the counters (tests; memory pressure).
+  void Clear();
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t entries() const;
+
+ private:
+  GoldenRunCache() = default;
+
+  static std::string Key(const AccelConfig& config,
+                         const WorkloadSpec& workload, Dataflow dataflow);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const Entry>> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace saffire

@@ -1,6 +1,19 @@
 #include "fi/runner.h"
 
+#include "fi/cone.h"
+
 namespace saffire {
+namespace {
+
+// The physical array dataflow a run executes: the driver lowers IS onto the
+// WS datapath with transposed operands (accel/driver.cc).
+Dataflow LoweredDataflow(Dataflow dataflow) {
+  return dataflow == Dataflow::kOutputStationary
+             ? Dataflow::kOutputStationary
+             : Dataflow::kWeightStationary;
+}
+
+}  // namespace
 
 RunResult FiRunner::RunGolden(const WorkloadSpec& workload,
                               Dataflow dataflow) {
@@ -14,6 +27,42 @@ RunResult FiRunner::RunFaulty(const WorkloadSpec& workload, Dataflow dataflow,
   return Run(workload, dataflow, &injector);
 }
 
+RunResult FiRunner::RunGoldenRecorded(const WorkloadSpec& workload,
+                                      Dataflow dataflow, GoldenTrace* trace) {
+  SystolicArray& array = accel_.array();
+  array.BeginGoldenRecording(trace);
+  RunResult result;
+  try {
+    result = Run(workload, dataflow, nullptr);
+  } catch (...) {
+    array.EndGoldenRecording();
+    throw;
+  }
+  array.EndGoldenRecording();
+  return result;
+}
+
+RunResult FiRunner::RunFaultyDifferential(const WorkloadSpec& workload,
+                                          Dataflow dataflow,
+                                          std::span<const FaultSpec> faults,
+                                          const GoldenTrace& trace) {
+  FaultInjector injector(std::vector<FaultSpec>(faults.begin(), faults.end()),
+                         accel_.config().array);
+  const ColumnCone cone =
+      FaultCone(faults, LoweredDataflow(dataflow), accel_.config().array);
+  SystolicArray& array = accel_.array();
+  array.BeginDifferential(cone, &trace);
+  RunResult result;
+  try {
+    result = Run(workload, dataflow, &injector);
+  } catch (...) {
+    array.EndDifferential();
+    throw;
+  }
+  array.EndDifferential();
+  return result;
+}
+
 RunResult FiRunner::Run(const WorkloadSpec& workload, Dataflow dataflow,
                         FaultInjector* injector) {
   const MaterializedWorkload operands = Materialize(workload);
@@ -24,6 +73,7 @@ RunResult FiRunner::Run(const WorkloadSpec& workload, Dataflow dataflow,
   SystolicArray& array = accel_.array();
   const std::int64_t cycles_before = array.cycle();
   const std::uint64_t steps_before = array.total_pe_steps();
+  const std::uint64_t skipped_before = array.pe_steps_skipped();
 
   array.InstallFaultHook(injector);
   RunResult result;
@@ -37,6 +87,7 @@ RunResult FiRunner::Run(const WorkloadSpec& workload, Dataflow dataflow,
 
   result.cycles = array.cycle() - cycles_before;
   result.pe_steps = array.total_pe_steps() - steps_before;
+  result.pe_steps_skipped = array.pe_steps_skipped() - skipped_before;
   result.fault_activations =
       injector == nullptr ? 0 : injector->activations();
   return result;

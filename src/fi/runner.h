@@ -21,6 +21,10 @@ struct RunResult {
   // of the FI-cost comparison (the paper's 45 s GEMM vs 130 s conv).
   std::int64_t cycles = 0;
   std::uint64_t pe_steps = 0;
+  // PE evaluations avoided by differential execution (0 for golden and
+  // full faulty runs). pe_steps + pe_steps_skipped equals the pe_steps of
+  // the equivalent full run.
+  std::uint64_t pe_steps_skipped = 0;
   // Times the injected fault actually changed a signal value (0 for golden
   // runs; 0 in a faulty run means the fault was electrically masked).
   std::uint64_t fault_activations = 0;
@@ -39,6 +43,23 @@ class FiRunner {
   // of the paper's multi-tile fault patterns.
   RunResult RunFaulty(const WorkloadSpec& workload, Dataflow dataflow,
                       std::span<const FaultSpec> faults);
+
+  // Fault-free execution that additionally records the golden trace needed
+  // by RunFaultyDifferential (see systolic/golden_trace.h). Bit-identical
+  // to RunGolden in every RunResult field.
+  RunResult RunGoldenRecorded(const WorkloadSpec& workload, Dataflow dataflow,
+                              GoldenTrace* trace);
+
+  // Faulty execution restricted to the faults' static influence cone
+  // (fi/cone.h); array state outside the cone is replayed from `trace`,
+  // which must have been recorded by RunGoldenRecorded on the same
+  // workload/dataflow/configuration. Bit-identical to RunFaulty in output,
+  // cycles, and fault_activations; pe_steps + pe_steps_skipped equals
+  // RunFaulty's pe_steps (tests/fi/differential_test.cc).
+  RunResult RunFaultyDifferential(const WorkloadSpec& workload,
+                                  Dataflow dataflow,
+                                  std::span<const FaultSpec> faults,
+                                  const GoldenTrace& trace);
 
   Accelerator& accel() { return accel_; }
   Driver& driver() { return driver_; }

@@ -1,14 +1,32 @@
 #include "patterns/campaign.h"
 
 #include <algorithm>
-#include <atomic>
+#include <memory>
 #include <sstream>
 #include <thread>
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "fi/golden_cache.h"
 
 namespace saffire {
+
+std::string ToString(CampaignEngine engine) {
+  switch (engine) {
+    case CampaignEngine::kDifferential:
+      return "differential";
+    case CampaignEngine::kFull:
+      return "full";
+    case CampaignEngine::kReference:
+      return "reference";
+  }
+  return "unknown";
+}
+
+int DefaultCampaignThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 256u));
+}
 
 std::string CampaignConfig::ToString() const {
   std::ostringstream os;
@@ -74,16 +92,27 @@ bool PredictorCoversSignal(MacSignal signal) {
          signal == MacSignal::kWeightOperand;
 }
 
+// Applies the engine choice to a freshly constructed per-worker simulator.
+void ConfigureEngine(FiRunner& runner, CampaignEngine engine) {
+  runner.accel().array().set_force_reference_step(engine ==
+                                                  CampaignEngine::kReference);
+}
+
+// `trace` is non-null iff the engine runs differentially.
 ExperimentRecord RunOneExperiment(const CampaignConfig& config,
                                   const Int32Tensor& golden_output,
                                   const ClassifyContext& context,
-                                  FiRunner& runner, FaultSpec fault) {
+                                  FiRunner& runner, FaultSpec fault,
+                                  const GoldenTrace* trace) {
   if (fault.kind == FaultKind::kTransientFlip) {
     // Rebase the relative strike offset onto this simulator's clock.
     fault.at_cycle += runner.accel().cycles();
   }
   const RunResult faulty =
-      runner.RunFaulty(config.workload, config.dataflow, {&fault, 1});
+      trace != nullptr
+          ? runner.RunFaultyDifferential(config.workload, config.dataflow,
+                                         {&fault, 1}, *trace)
+          : runner.RunFaulty(config.workload, config.dataflow, {&fault, 1});
   const CorruptionMap map = ExtractCorruption(golden_output, faulty.output);
 
   ExperimentRecord record;
@@ -93,6 +122,8 @@ ExperimentRecord RunOneExperiment(const CampaignConfig& config,
   record.max_abs_delta = map.max_abs_delta;
   record.fault_activations = faulty.fault_activations;
   record.cycles = faulty.cycles;
+  record.pe_steps = faulty.pe_steps;
+  record.pe_steps_skipped = faulty.pe_steps_skipped;
 
   if (PredictorCoversSignal(config.signal)) {
     const PredictedPattern prediction = PredictPattern(
@@ -126,47 +157,100 @@ CampaignResult RunCampaignParallel(const CampaignConfig& config,
   CampaignResult result;
   result.config = config;
 
-  FiRunner main_runner(config.accel);
-  const RunResult golden =
-      main_runner.RunGolden(config.workload, config.dataflow);
-  result.golden_cycles = golden.cycles;
-  result.golden_pe_steps = golden.pe_steps;
+  // The golden run: recomputed through the instrumented loop under
+  // kReference (the pre-optimization baseline), served from the process-wide
+  // cache otherwise. `cached` keeps the shared entry (and its trace) alive
+  // for the workers.
+  std::shared_ptr<const GoldenRunCache::Entry> cached;
+  RunResult reference_golden;
+  const RunResult* golden = nullptr;
+  const GoldenTrace* trace = nullptr;
+  if (config.engine == CampaignEngine::kReference) {
+    FiRunner golden_runner(config.accel);
+    ConfigureEngine(golden_runner, config.engine);
+    reference_golden =
+        golden_runner.RunGolden(config.workload, config.dataflow);
+    golden = &reference_golden;
+  } else {
+    bool hit = false;
+    cached = GoldenRunCache::Instance().GetOrCompute(
+        config.accel, config.workload, config.dataflow, &hit);
+    golden = &cached->result;
+    result.golden_cache_hit = hit;
+    if (config.engine == CampaignEngine::kDifferential) {
+      trace = &cached->trace;
+    }
+  }
+  result.golden_cycles = golden->cycles;
+  result.golden_pe_steps = golden->pe_steps;
 
   const ClassifyContext context =
       MakeClassifyContext(config.workload, config.accel, config.dataflow);
   const std::vector<PeCoord> sites = CampaignSites(config);
   const std::vector<FaultSpec> faults =
-      PlanFaults(config, sites, golden.cycles);
+      PlanFaults(config, sites, golden->cycles);
   SAFFIRE_LOG_INFO << "campaign: " << config.ToString() << " — "
                    << sites.size() << " fault sites, " << threads
-                   << " thread(s)";
+                   << " thread(s), " << ToString(config.engine) << " engine";
 
-  result.records.resize(faults.size());
   if (threads == 1 || faults.size() < 2) {
-    for (std::size_t i = 0; i < faults.size(); ++i) {
-      result.records[i] = RunOneExperiment(config, golden.output, context,
-                                           main_runner, faults[i]);
+    FiRunner runner(config.accel);
+    ConfigureEngine(runner, config.engine);
+    result.records.reserve(faults.size());
+    for (const FaultSpec& fault : faults) {
+      result.records.push_back(RunOneExperiment(config, golden->output,
+                                                context, runner, fault,
+                                                trace));
     }
     return result;
   }
 
-  const auto worker_count =
-      std::min<std::size_t>(static_cast<std::size_t>(threads), faults.size());
-  std::atomic<std::size_t> next_index{0};
+  // Chunked ranges with per-worker record buffers: workers never write to
+  // shared cache lines (the former atomic-counter loop interleaved adjacent
+  // result.records[i] slots across workers), and the in-order merge at join
+  // preserves the serial record order bit-for-bit.
+  const std::size_t n = faults.size();
+  const std::size_t worker_count =
+      std::min<std::size_t>(static_cast<std::size_t>(threads), n);
+  std::vector<std::vector<ExperimentRecord>> chunks(worker_count);
   std::vector<std::thread> workers;
   workers.reserve(worker_count);
   for (std::size_t w = 0; w < worker_count; ++w) {
-    workers.emplace_back([&]() {
+    workers.emplace_back([&, w]() {
+      const std::size_t begin = n * w / worker_count;
+      const std::size_t end = n * (w + 1) / worker_count;
       FiRunner runner(config.accel);
-      for (std::size_t i = next_index.fetch_add(1); i < faults.size();
-           i = next_index.fetch_add(1)) {
-        result.records[i] = RunOneExperiment(config, golden.output, context,
-                                             runner, faults[i]);
+      ConfigureEngine(runner, config.engine);
+      std::vector<ExperimentRecord>& local = chunks[w];
+      local.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        local.push_back(RunOneExperiment(config, golden->output, context,
+                                         runner, faults[i], trace));
       }
     });
   }
   for (std::thread& worker : workers) worker.join();
+  result.records.reserve(n);
+  for (std::vector<ExperimentRecord>& chunk : chunks) {
+    result.records.insert(result.records.end(),
+                          std::make_move_iterator(chunk.begin()),
+                          std::make_move_iterator(chunk.end()));
+  }
   return result;
+}
+
+std::uint64_t CampaignResult::FaultyPeSteps() const {
+  std::uint64_t total = 0;
+  for (const ExperimentRecord& record : records) total += record.pe_steps;
+  return total;
+}
+
+std::uint64_t CampaignResult::FaultyPeStepsSkipped() const {
+  std::uint64_t total = 0;
+  for (const ExperimentRecord& record : records) {
+    total += record.pe_steps_skipped;
+  }
+  return total;
 }
 
 std::map<PatternClass, std::int64_t> CampaignResult::Histogram() const {

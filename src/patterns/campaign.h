@@ -16,6 +16,28 @@
 
 namespace saffire {
 
+// How each faulty experiment is executed. All engines produce bit-identical
+// records (tests/fi/differential_test.cc, tests/patterns tier); they differ
+// only in cost, which the pe_steps / pe_steps_skipped counters quantify.
+enum class CampaignEngine : std::uint8_t {
+  // Fault-cone differential runs (fi/cone.h) against a cached golden trace;
+  // fast-path kernels for unhooked columns. The default.
+  kDifferential = 0,
+  // Full faulty runs (every PE simulated) with fast-path kernels and the
+  // golden-run cache.
+  kFull = 1,
+  // Everything through the instrumented reference Step() loop, golden runs
+  // recomputed per campaign — the pre-optimization behavior, kept as the
+  // baseline the other engines are validated against.
+  kReference = 2,
+};
+
+std::string ToString(CampaignEngine engine);
+
+// std::thread::hardware_concurrency(), clamped to the [1, 256] range
+// RunCampaignParallel accepts — the default worker count for benches/CLIs.
+int DefaultCampaignThreads();
+
 struct CampaignConfig {
   AccelConfig accel;
   Dataflow dataflow = Dataflow::kWeightStationary;
@@ -34,6 +56,8 @@ struct CampaignConfig {
   std::int64_t max_sites = 0;
   std::uint64_t seed = 1;
 
+  CampaignEngine engine = CampaignEngine::kDifferential;
+
   std::string ToString() const;
 };
 
@@ -50,13 +74,25 @@ struct ExperimentRecord {
   std::int64_t max_abs_delta = 0;
   std::uint64_t fault_activations = 0;
   std::int64_t cycles = 0;
+  // Cost of this faulty run: PE evaluations executed, and evaluations the
+  // differential engine replayed from the golden trace instead of
+  // recomputing (0 under kFull/kReference). Their sum is engine-invariant.
+  std::uint64_t pe_steps = 0;
+  std::uint64_t pe_steps_skipped = 0;
 };
 
 struct CampaignResult {
   CampaignConfig config;
   std::int64_t golden_cycles = 0;
   std::uint64_t golden_pe_steps = 0;
+  // Whether the golden run was served from the process-wide GoldenRunCache
+  // (always false under CampaignEngine::kReference).
+  bool golden_cache_hit = false;
   std::vector<ExperimentRecord> records;
+
+  // Aggregate faulty-run cost across all experiments.
+  std::uint64_t FaultyPeSteps() const;
+  std::uint64_t FaultyPeStepsSkipped() const;
 
   // Experiments per observed pattern class.
   std::map<PatternClass, std::int64_t> Histogram() const;

@@ -25,6 +25,37 @@
 //
 // A FaultHook observes/corrupts any of these named signals on any PE, any
 // cycle — the paper's injection point is adder_out (Sec. II-F).
+//
+// --- Execution tiers -------------------------------------------------------
+// Step() picks between two implementations of the same RT function:
+//
+//   Reference path: the fully instrumented per-PE loop above, consulting the
+//     fault hook on every named signal of hooked PEs and the tracer on every
+//     signal of every PE. Selected whenever a tracer is installed, for the
+//     columns that contain hooked PEs, or when force_reference_step() is on.
+//
+//   Fast path: a branch-free, hook-free kernel templated on the dataflow
+//     with flat structure-of-arrays inner loops the compiler can vectorize.
+//     When acc_bits == 32 (the paper's INT8/ACC32 configuration) the whole
+//     state is held in int32_t and the accumulator truncation is the free
+//     wrap-around of 32-bit arithmetic. Selected for golden runs and, in
+//     faulty runs, for every maximal run of columns without a hooked PE.
+//
+//   Both paths are bit-for-bit identical in outputs, cycle counts, and
+//   pe_steps (tests/systolic/fastpath_equivalence_test.cc).
+//
+// --- Differential (fault-cone) execution -----------------------------------
+// BeginDifferential() restricts Step() to a contiguous column cone [lo, hi]
+// and replays every read that would touch a column outside the cone from a
+// GoldenTrace recorded on a fault-free run of the same instruction stream:
+// SouthOutput() of an outside column returns the recorded golden value, and
+// accumulator() of an outside column returns the recorded end-of-tile
+// checkpoint. The activations entering the cone's west edge are reproduced
+// by a delay line over the west edge inputs — columns west of the cone are
+// a pure `lo`-cycle delay for the activation stream, which is exactly why
+// the cone is static (no fault west of it can exist, by construction in
+// fi/cone.h). PE evaluations skipped this way are counted in
+// pe_steps_skipped(), the quantity behind the campaign-cost reduction.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +63,7 @@
 
 #include "systolic/config.h"
 #include "systolic/fault_hook.h"
+#include "systolic/golden_trace.h"
 #include "tensor/tensor.h"
 
 namespace saffire {
@@ -51,11 +83,30 @@ class SystolicArray {
   // signal is expensive; intended for tests and small demos only.
   void InstallTracer(Tracer* tracer) { tracer_ = tracer; }
 
+  // Forces every Step through the fully instrumented reference loop, even
+  // without a hook or tracer. For equivalence tests and benchmark baselines.
+  void set_force_reference_step(bool force) { force_reference_ = force; }
+  bool force_reference_step() const { return force_reference_; }
+
   // Clears all PE registers, wires, and edge inputs. Does not advance the
   // cycle counter and does not remove the fault hook — a permanent fault
   // survives any number of tile invocations (this is what produces the
   // paper's multi-tile fault patterns).
   void Reset();
+
+  // --- Golden-trace recording --------------------------------------------
+  // Records the externally visible state of every subsequent Step/Reset into
+  // `trace` (non-owning) until EndGoldenRecording(). See golden_trace.h.
+  void BeginGoldenRecording(GoldenTrace* trace);
+  void EndGoldenRecording();
+
+  // --- Differential execution --------------------------------------------
+  // Restricts Step() to the column cone and replays outside reads from
+  // `trace` (non-owning, recorded on a fault-free run of the same
+  // instruction stream). Incompatible with a tracer and with recording.
+  void BeginDifferential(ColumnCone cone, const GoldenTrace* trace);
+  void EndDifferential();
+  bool differential_active() const { return replay_ != nullptr; }
 
   // --- Weight-stationary state -------------------------------------------
   // Directly writes the weight register of one PE. The scheduler accounts
@@ -90,6 +141,10 @@ class SystolicArray {
   // --- Instrumentation ----------------------------------------------------
   std::int64_t cycle() const { return cycle_; }
   std::uint64_t total_pe_steps() const { return pe_steps_; }
+  // PE evaluations avoided by differential execution: PEs outside the cone
+  // on each differential Step, whose values were replayed instead of
+  // recomputed.
+  std::uint64_t pe_steps_skipped() const { return pe_steps_skipped_; }
   // Number of times the installed fault hook was consulted.
   std::uint64_t hook_invocations() const { return hook_invocations_; }
 
@@ -100,11 +155,33 @@ class SystolicArray {
   }
   void CheckCoord(PeCoord pe) const;
 
+  // The instrumented reference loop over columns [c0, c1]; consults the
+  // hook for hooked PEs and the tracer for every PE.
+  void StepReference(bool ws, std::int32_t c0, std::int32_t c1);
+  // The branch-free kernels over columns [c0, c1] (wide = int64_t state,
+  // narrow = int32_t state; narrow requires acc_bits == 32).
+  template <bool kWs>
+  void StepFastWide(std::int32_t c0, std::int32_t c1);
+  template <bool kWs>
+  void StepFastNarrow(std::int32_t c0, std::int32_t c1);
+
+  // Fills west_entry_ with the activations entering column entry_col_ this
+  // cycle and advances the west-input delay line (differential mode).
+  void PrepareWestEntry();
+
+  // Representation management for the narrow (int32) fast path. Exactly one
+  // representation is canonical at a time, tracked by narrow_.
+  void EnsureWide();
+  void EnsureNarrow();
+
+  std::vector<std::int64_t> SnapshotAccumulators() const;
+
   ArrayConfig config_;
   std::int32_t rows_;
   std::int32_t cols_;
+  bool narrow_capable_;  // acc_bits == 32: int32 holds every signal exactly
 
-  // Per-PE registers.
+  // Per-PE registers (wide representation).
   std::vector<std::int64_t> weights_;
   std::vector<std::int64_t> accumulators_;
 
@@ -114,16 +191,42 @@ class SystolicArray {
   std::vector<std::int64_t> act_wire_next_;
   std::vector<std::int64_t> south_wire_next_;
 
-  // Edge inputs for the upcoming cycle.
+  // Narrow (int32) representation of the same state, canonical iff narrow_.
+  std::vector<std::int32_t> weights32_;
+  std::vector<std::int32_t> accumulators32_;
+  std::vector<std::int32_t> act32_;
+  std::vector<std::int32_t> south32_;
+  std::vector<std::int32_t> act32_next_;
+  std::vector<std::int32_t> south32_next_;
+  bool narrow_ = false;
+
+  // Edge inputs for the upcoming cycle (always wide; small and read once
+  // per Step).
   std::vector<std::int64_t> west_inputs_;
   std::vector<std::int64_t> north_inputs_;
+  std::vector<std::int32_t> north_inputs32_;  // per-Step narrow copy
 
   FaultHook* hook_ = nullptr;
   Tracer* tracer_ = nullptr;
-  std::vector<std::uint8_t> hooked_;  // per-PE cache of hook->AppliesTo
+  bool force_reference_ = false;
+  std::vector<std::uint8_t> hooked_;      // per-PE cache of hook->AppliesTo
+  std::vector<std::uint8_t> col_hooked_;  // per-column: any hooked PE
+
+  // Differential-mode state.
+  const GoldenTrace* replay_ = nullptr;
+  ColumnCone cone_{0, 0};
+  std::int32_t entry_col_ = 0;          // 0, or cone_.lo in differential mode
+  std::vector<std::int64_t> west_entry_;  // activations entering entry_col_
+  std::vector<std::int64_t> west_hist_;   // delay line: cone_.lo × rows_
+  std::int64_t steps_since_reset_ = 0;
+  std::int64_t replay_step_ = 0;   // Steps executed since BeginDifferential
+  std::int64_t replay_reset_ = 0;  // Resets executed since BeginDifferential
+
+  GoldenTrace* recording_ = nullptr;
 
   std::int64_t cycle_ = 0;
   std::uint64_t pe_steps_ = 0;
+  std::uint64_t pe_steps_skipped_ = 0;
   std::uint64_t hook_invocations_ = 0;
 };
 

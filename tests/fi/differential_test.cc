@@ -1,0 +1,219 @@
+// Differential faulty runs (FiRunner::RunFaultyDifferential) must be
+// bit-for-bit identical to full faulty runs: same output, cycles, and fault
+// activations, with pe_steps + pe_steps_skipped equal to the full run's
+// pe_steps. Exercised exhaustively over an 8×8 array for every MacSignal,
+// plus tiled and transient workloads, and the golden-run cache that feeds
+// the campaign layer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fi/cone.h"
+#include "fi/golden_cache.h"
+#include "fi/runner.h"
+
+namespace saffire {
+namespace {
+
+AccelConfig SmallAccel() {
+  AccelConfig config;
+  config.array.rows = 8;
+  config.array.cols = 8;
+  return config;
+}
+
+WorkloadSpec SmallGemm(std::int64_t m, std::int64_t k, std::int64_t n) {
+  WorkloadSpec spec;
+  spec.name = "gemm-diff-test";
+  spec.m = m;
+  spec.k = k;
+  spec.n = n;
+  spec.input_fill = OperandFill::kRandom;
+  spec.weight_fill = OperandFill::kRandom;
+  return spec;
+}
+
+void ExpectDifferentialMatchesFull(const AccelConfig& accel,
+                                   const WorkloadSpec& workload,
+                                   Dataflow dataflow, const FaultSpec& fault) {
+  SCOPED_TRACE(fault.ToString() + " | " + ToString(dataflow));
+  GoldenTrace trace;
+  FiRunner recorded_runner(accel);
+  const RunResult golden =
+      recorded_runner.RunGoldenRecorded(workload, dataflow, &trace);
+
+  FiRunner full_runner(accel);
+  const RunResult plain_golden = full_runner.RunGolden(workload, dataflow);
+  ASSERT_EQ(golden.output, plain_golden.output);
+  ASSERT_EQ(golden.cycles, plain_golden.cycles);
+  ASSERT_EQ(golden.pe_steps, plain_golden.pe_steps);
+
+  const RunResult full =
+      full_runner.RunFaulty(workload, dataflow, {&fault, 1});
+  FiRunner diff_runner(accel);
+  const RunResult diff = diff_runner.RunFaultyDifferential(
+      workload, dataflow, {&fault, 1}, trace);
+
+  ASSERT_EQ(diff.output, full.output);
+  ASSERT_EQ(diff.cycles, full.cycles);
+  ASSERT_EQ(diff.fault_activations, full.fault_activations);
+  ASSERT_EQ(full.pe_steps_skipped, 0u);
+  ASSERT_EQ(diff.pe_steps + diff.pe_steps_skipped, full.pe_steps);
+}
+
+TEST(FaultConeTest, ColumnConfinedSignalsConeIsOneColumn) {
+  const ArrayConfig array = SmallAccel().array;
+  for (const MacSignal signal :
+       {MacSignal::kWeightOperand, MacSignal::kMulOut, MacSignal::kAdderOut,
+        MacSignal::kSouthForward}) {
+    FaultSpec fault = StuckAtAdder({3, 5}, 2, StuckPolarity::kStuckAt1);
+    fault.signal = signal;
+    for (const Dataflow dataflow :
+         {Dataflow::kWeightStationary, Dataflow::kOutputStationary}) {
+      const ColumnCone cone = FaultCone({&fault, 1}, dataflow, array);
+      EXPECT_EQ(cone, (ColumnCone{5, 5})) << ToString(signal);
+    }
+  }
+}
+
+TEST(FaultConeTest, ActForwardConeReachesEastEdge) {
+  const ArrayConfig array = SmallAccel().array;
+  FaultSpec fault = StuckAtAdder({3, 5}, 2, StuckPolarity::kStuckAt1);
+  fault.signal = MacSignal::kActForward;
+  const ColumnCone cone =
+      FaultCone({&fault, 1}, Dataflow::kWeightStationary, array);
+  EXPECT_EQ(cone, (ColumnCone{5, 7}));
+}
+
+TEST(FaultConeTest, MultiFaultConeIsTheUnion) {
+  const ArrayConfig array = SmallAccel().array;
+  const FaultSpec faults[] = {
+      StuckAtAdder({1, 2}, 0, StuckPolarity::kStuckAt1),
+      StuckAtAdder({6, 6}, 0, StuckPolarity::kStuckAt0),
+  };
+  const ColumnCone cone =
+      FaultCone(faults, Dataflow::kOutputStationary, array);
+  EXPECT_EQ(cone, (ColumnCone{2, 6}));
+}
+
+// The ISSUE's acceptance campaign: every PE of the 8×8 array, every
+// MacSignal, both stuck polarities, under both physical dataflows.
+TEST(DifferentialRunTest, ExhaustiveEightByEightMatchesFullRuns) {
+  const AccelConfig accel = SmallAccel();
+  const WorkloadSpec workload = SmallGemm(8, 8, 8);
+  for (const Dataflow dataflow :
+       {Dataflow::kWeightStationary, Dataflow::kOutputStationary}) {
+    GoldenTrace trace;
+    FiRunner golden_runner(accel);
+    const RunResult golden =
+        golden_runner.RunGoldenRecorded(workload, dataflow, &trace);
+    FiRunner full_runner(accel);
+    FiRunner diff_runner(accel);
+    for (const MacSignal signal :
+         {MacSignal::kMulOut, MacSignal::kAdderOut, MacSignal::kWeightOperand,
+          MacSignal::kActForward, MacSignal::kSouthForward}) {
+      for (const StuckPolarity polarity :
+           {StuckPolarity::kStuckAt0, StuckPolarity::kStuckAt1}) {
+        for (const PeCoord pe : AllPeCoords(accel.array)) {
+          FaultSpec fault;
+          fault.pe = pe;
+          fault.signal = signal;
+          fault.bit = 3;
+          fault.polarity = polarity;
+          const RunResult full =
+              full_runner.RunFaulty(workload, dataflow, {&fault, 1});
+          const RunResult diff = diff_runner.RunFaultyDifferential(
+              workload, dataflow, {&fault, 1}, trace);
+          ASSERT_EQ(diff.output, full.output)
+              << fault.ToString() << " | " << ToString(dataflow);
+          ASSERT_EQ(diff.cycles, full.cycles) << fault.ToString();
+          ASSERT_EQ(diff.fault_activations, full.fault_activations)
+              << fault.ToString();
+          ASSERT_EQ(diff.pe_steps + diff.pe_steps_skipped, full.pe_steps)
+              << fault.ToString();
+        }
+      }
+    }
+    // Column-confined faults evaluate one column out of eight; the skip
+    // counter must reflect a real saving, not just equality.
+    FaultSpec probe = StuckAtAdder({4, 4}, 3, StuckPolarity::kStuckAt1);
+    const RunResult diff = diff_runner.RunFaultyDifferential(
+        workload, dataflow, {&probe, 1}, trace);
+    EXPECT_GT(diff.pe_steps_skipped, 0u);
+    EXPECT_LT(diff.pe_steps, golden.pe_steps);
+  }
+}
+
+// Multi-tile replay: a 12×12×12 GEMM on the 8×8 array splits into several
+// COMPUTE invocations (and, under OS, several accumulator drains), so the
+// trace's per-Reset checkpoints and step alignment get exercised.
+TEST(DifferentialRunTest, TiledWorkloadMatchesFullRuns) {
+  const AccelConfig accel = SmallAccel();
+  const WorkloadSpec workload = SmallGemm(12, 12, 12);
+  for (const Dataflow dataflow :
+       {Dataflow::kWeightStationary, Dataflow::kOutputStationary,
+        Dataflow::kInputStationary}) {
+    for (const PeCoord pe : {PeCoord{0, 0}, PeCoord{3, 4}, PeCoord{7, 7}}) {
+      ExpectDifferentialMatchesFull(
+          accel, workload, dataflow,
+          StuckAtAdder(pe, 5, StuckPolarity::kStuckAt1));
+    }
+  }
+}
+
+TEST(DifferentialRunTest, TransientFlipMatchesFullRun) {
+  const AccelConfig accel = SmallAccel();
+  const WorkloadSpec workload = SmallGemm(8, 8, 8);
+  FaultSpec fault;
+  fault.kind = FaultKind::kTransientFlip;
+  fault.pe = {2, 6};
+  fault.signal = MacSignal::kAdderOut;
+  fault.bit = 7;
+  fault.at_cycle = 10;
+  ExpectDifferentialMatchesFull(accel, workload,
+                                Dataflow::kWeightStationary, fault);
+}
+
+TEST(GoldenRunCacheTest, HitsOnRepeatKeyMissesOnChangedKey) {
+  GoldenRunCache& cache = GoldenRunCache::Instance();
+  cache.Clear();
+  const AccelConfig accel = SmallAccel();
+  const WorkloadSpec workload = SmallGemm(8, 8, 8);
+
+  bool hit = true;
+  const auto first = cache.GetOrCompute(accel, workload,
+                                        Dataflow::kWeightStationary, &hit);
+  EXPECT_FALSE(hit);
+  const auto second = cache.GetOrCompute(accel, workload,
+                                         Dataflow::kWeightStationary, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());
+
+  // Same display string, different data seed: must be a distinct entry.
+  WorkloadSpec reseeded = workload;
+  reseeded.data_seed ^= 0xbeef;
+  cache.GetOrCompute(accel, reseeded, Dataflow::kWeightStationary, &hit);
+  EXPECT_FALSE(hit);
+  cache.GetOrCompute(accel, workload, Dataflow::kOutputStationary, &hit);
+  EXPECT_FALSE(hit);
+
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.entries(), 3u);
+
+  // The cached entry matches a fresh golden run bit-for-bit and carries a
+  // usable trace.
+  FiRunner runner(accel);
+  const RunResult golden =
+      runner.RunGolden(workload, Dataflow::kWeightStationary);
+  EXPECT_EQ(first->result.output, golden.output);
+  EXPECT_EQ(first->result.cycles, golden.cycles);
+  EXPECT_GT(first->trace.steps(), 0);
+
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace saffire

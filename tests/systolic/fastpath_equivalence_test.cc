@@ -1,0 +1,235 @@
+// Property test for the two-tier execution engine (systolic/array.h): the
+// branch-free fast-path kernels must be bit-for-bit identical to the
+// instrumented reference Step() loop — outputs, cycle counts, and pe_steps —
+// across dataflows, array shapes, signal widths, and edge-input patterns.
+#include "systolic/array.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "systolic/dataflow.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+namespace {
+
+ArrayConfig MakeConfig(std::int32_t rows, std::int32_t cols,
+                       std::int32_t input_bits, std::int32_t acc_bits) {
+  ArrayConfig config;
+  config.rows = rows;
+  config.cols = cols;
+  config.input_bits = input_bits;
+  config.acc_bits = acc_bits;
+  return config;
+}
+
+// Input stimulus mixing uniform-random values with the extremes that expose
+// truncation and sign-extension bugs.
+std::int64_t RandomEdgeValue(Rng& rng, std::int32_t bits) {
+  const std::int64_t max = (std::int64_t{1} << (bits - 1)) - 1;
+  const std::int64_t min = -max - 1;
+  switch (rng.UniformInt(0, 4)) {
+    case 0:
+      return min;
+    case 1:
+      return max;
+    case 2:
+      return 0;
+    case 3:
+      return -1;
+    default:
+      return rng.UniformInt(min, max);
+  }
+}
+
+// Drives two arrays of the same configuration in lockstep — one forced
+// through the reference loop, one free to select the fast kernels — and
+// asserts every externally visible quantity stays equal.
+void RunLockstep(const ArrayConfig& config, Dataflow dataflow,
+                 std::uint64_t seed, int steps) {
+  SCOPED_TRACE(config.ToString() + " " + ToString(dataflow) +
+               " seed=" + std::to_string(seed));
+  SystolicArray reference(config);
+  SystolicArray fast(config);
+  reference.set_force_reference_step(true);
+  ASSERT_TRUE(reference.force_reference_step());
+  ASSERT_FALSE(fast.force_reference_step());
+
+  Rng rng(seed);
+  for (int step = 0; step < steps; ++step) {
+    if (step == 0 || rng.UniformInt(0, 19) == 0) {
+      reference.Reset();
+      fast.Reset();
+      if (dataflow == Dataflow::kWeightStationary) {
+        for (std::int32_t r = 0; r < config.rows; ++r) {
+          for (std::int32_t c = 0; c < config.cols; ++c) {
+            const std::int64_t w = RandomEdgeValue(rng, config.input_bits);
+            reference.SetWeight({r, c}, w);
+            fast.SetWeight({r, c}, w);
+          }
+        }
+      }
+    }
+    for (std::int32_t r = 0; r < config.rows; ++r) {
+      const std::int64_t act = RandomEdgeValue(rng, config.input_bits);
+      reference.SetWestInput(r, act);
+      fast.SetWestInput(r, act);
+    }
+    for (std::int32_t c = 0; c < config.cols; ++c) {
+      // North carries acc-width psum seeds under WS, operand-width streamed
+      // weights under OS; exercise the full accumulator range either way.
+      const std::int64_t north = RandomEdgeValue(rng, config.acc_bits);
+      reference.SetNorthInput(c, north);
+      fast.SetNorthInput(c, north);
+    }
+    reference.Step(dataflow);
+    fast.Step(dataflow);
+
+    ASSERT_EQ(reference.cycle(), fast.cycle());
+    ASSERT_EQ(reference.total_pe_steps(), fast.total_pe_steps());
+    EXPECT_EQ(fast.pe_steps_skipped(), 0u);
+    for (std::int32_t c = 0; c < config.cols; ++c) {
+      ASSERT_EQ(reference.SouthOutput(c), fast.SouthOutput(c)) << "col " << c;
+    }
+    for (std::int32_t r = 0; r < config.rows; ++r) {
+      for (std::int32_t c = 0; c < config.cols; ++c) {
+        ASSERT_EQ(reference.accumulator({r, c}), fast.accumulator({r, c}))
+            << "PE (" << r << ", " << c << ")";
+        ASSERT_EQ(reference.weight({r, c}), fast.weight({r, c}))
+            << "PE (" << r << ", " << c << ")";
+      }
+    }
+  }
+}
+
+TEST(FastPathEquivalenceTest, LockstepAcrossShapesWidthsAndDataflows) {
+  const std::int32_t shapes[][2] = {{1, 1}, {2, 3}, {5, 2}, {4, 4}, {8, 8}};
+  const std::int32_t widths[][2] = {{8, 32}, {4, 32}, {16, 32},  // narrow
+                                    {8, 20}, {4, 17}, {16, 48}}; // wide
+  std::uint64_t seed = 20230801;
+  for (const auto& shape : shapes) {
+    for (const auto& width : widths) {
+      const ArrayConfig config =
+          MakeConfig(shape[0], shape[1], width[0], width[1]);
+      RunLockstep(config, Dataflow::kWeightStationary, ++seed, 60);
+      RunLockstep(config, Dataflow::kOutputStationary, ++seed, 60);
+    }
+  }
+}
+
+// The narrow (int32) kernel's adder relies on 32-bit wrap-around equalling
+// the acc_bits == 32 truncation; saturate the accumulators to make sure.
+TEST(FastPathEquivalenceTest, NarrowKernelWrapsLikeReference) {
+  const ArrayConfig config = MakeConfig(3, 3, 16, 32);
+  RunLockstep(config, Dataflow::kOutputStationary, 77, 400);
+}
+
+// Scheduler-level equivalence: whole multiplies under all three dataflows,
+// including the IS lowering onto the WS datapath, on square and non-square
+// operands.
+TEST(FastPathEquivalenceTest, SchedulerMultipliesMatchReference) {
+  const ArrayConfig config = MakeConfig(8, 8, 8, 32);
+  Rng rng(99);
+  for (const Dataflow dataflow :
+       {Dataflow::kWeightStationary, Dataflow::kOutputStationary,
+        Dataflow::kInputStationary}) {
+    for (int round = 0; round < 4; ++round) {
+      const std::int64_t m = rng.UniformInt(1, 8);
+      const std::int64_t k = rng.UniformInt(1, 8);
+      const std::int64_t n = rng.UniformInt(1, 8);
+      Int8Tensor a({m, k});
+      Int8Tensor b({k, n});
+      for (std::int64_t i = 0; i < a.size(); ++i) {
+        a.flat(i) = static_cast<std::int8_t>(rng.UniformInt(-128, 127));
+      }
+      for (std::int64_t i = 0; i < b.size(); ++i) {
+        b.flat(i) = static_cast<std::int8_t>(rng.UniformInt(-128, 127));
+      }
+
+      SystolicArray reference_array(config);
+      reference_array.set_force_reference_step(true);
+      SystolicArray fast_array(config);
+      const Int32Tensor expected =
+          MatMulSingleTile(reference_array, dataflow, a, b);
+      const Int32Tensor actual = MatMulSingleTile(fast_array, dataflow, a, b);
+      SCOPED_TRACE(ToString(dataflow) + " m=" + std::to_string(m) +
+                   " k=" + std::to_string(k) + " n=" + std::to_string(n));
+      EXPECT_EQ(actual, expected);
+      EXPECT_EQ(actual, GemmRef(a, b));
+      EXPECT_EQ(fast_array.cycle(), reference_array.cycle());
+      EXPECT_EQ(fast_array.total_pe_steps(), reference_array.total_pe_steps());
+    }
+  }
+}
+
+// Hook that perturbs one PE's adder output; AppliesTo gates which columns
+// the engine must route through the instrumented loop.
+class OffsetHook : public FaultHook {
+ public:
+  explicit OffsetHook(PeCoord pe) : pe_(pe) {}
+
+  std::int64_t Apply(PeCoord pe, MacSignal signal, std::int64_t value,
+                     std::int64_t) override {
+    if (pe == pe_ && signal == MacSignal::kAdderOut) return value + 1;
+    return value;
+  }
+  bool AppliesTo(PeCoord pe) const override { return pe == pe_; }
+
+ private:
+  PeCoord pe_;
+};
+
+// With a hook installed the engine runs hooked columns through the reference
+// loop and the rest through the fast kernel; the mix must still match an
+// all-reference run, including the hook-invocation count (5 signals per
+// hooked PE per cycle, as the seed engine counted).
+TEST(FastPathEquivalenceTest, HookedColumnsPartitionMatchesReference) {
+  const ArrayConfig config = MakeConfig(4, 6, 8, 32);
+  for (const Dataflow dataflow :
+       {Dataflow::kWeightStationary, Dataflow::kOutputStationary}) {
+    for (const PeCoord pe :
+         {PeCoord{1, 0}, PeCoord{2, 3}, PeCoord{0, 5}}) {
+      SystolicArray reference(config);
+      SystolicArray mixed(config);
+      reference.set_force_reference_step(true);
+      OffsetHook reference_hook(pe);
+      OffsetHook mixed_hook(pe);
+      reference.InstallFaultHook(&reference_hook);
+      mixed.InstallFaultHook(&mixed_hook);
+
+      Rng rng(500 + static_cast<std::uint64_t>(pe.col));
+      for (int step = 0; step < 40; ++step) {
+        for (std::int32_t r = 0; r < config.rows; ++r) {
+          const std::int64_t act = RandomEdgeValue(rng, config.input_bits);
+          reference.SetWestInput(r, act);
+          mixed.SetWestInput(r, act);
+        }
+        for (std::int32_t c = 0; c < config.cols; ++c) {
+          const std::int64_t north = RandomEdgeValue(rng, config.acc_bits);
+          reference.SetNorthInput(c, north);
+          mixed.SetNorthInput(c, north);
+        }
+        reference.Step(dataflow);
+        mixed.Step(dataflow);
+        for (std::int32_t c = 0; c < config.cols; ++c) {
+          ASSERT_EQ(reference.SouthOutput(c), mixed.SouthOutput(c));
+        }
+        for (std::int32_t r = 0; r < config.rows; ++r) {
+          for (std::int32_t c = 0; c < config.cols; ++c) {
+            ASSERT_EQ(reference.accumulator({r, c}),
+                      mixed.accumulator({r, c}));
+          }
+        }
+      }
+      EXPECT_EQ(reference.hook_invocations(), mixed.hook_invocations());
+      EXPECT_EQ(mixed.hook_invocations(),
+                static_cast<std::uint64_t>(40) * 5u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saffire
