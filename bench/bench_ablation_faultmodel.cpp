@@ -38,8 +38,12 @@ int main() {
       for (std::size_t i = 0; i < count; ++i) {
         faults.push_back(
             StuckAtAdder(sites[i], 8, StuckPolarity::kStuckAt1));
-        labels.push_back("(" + std::to_string(sites[i].row) + "," +
-                         std::to_string(sites[i].col) + ")");
+        std::string label = "(";
+        label += std::to_string(sites[i].row);
+        label += ",";
+        label += std::to_string(sites[i].col);
+        label += ")";
+        labels.push_back(std::move(label));
       }
       const RunResult faulty = runner.RunFaulty(workload, dataflow, faults);
       const CorruptionMap map =

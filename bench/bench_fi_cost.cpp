@@ -162,6 +162,48 @@ void BM_ArrayStepThroughput(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations()) * config.num_pes());
 }
 
+// A whole campaign batch through the persistent executor pool: four small
+// campaigns (SA1/SA0 × bits 4/8) on a 16-site sample, one plan. The reuse
+// counters show the service amortization — simulators constructed once per
+// worker and then reused across every campaign in the batch.
+void BM_CampaignBatch(benchmark::State& state) {
+  SweepSpec spec;
+  spec.accel = PaperAccel();
+  spec.workloads = {Gemm16x16()};
+  spec.polarities = {StuckPolarity::kStuckAt1, StuckPolarity::kStuckAt0};
+  spec.bits = {4, 8};
+  spec.max_sites = 16;
+  const CampaignPlan plan = BuildCampaignPlan(spec);
+
+  CampaignExecutor& executor = CampaignExecutor::Shared();
+  const ExecutorStats before = executor.stats();
+  std::int64_t experiments = 0;
+  for (auto _ : state) {
+    CollectorSink collector;
+    executor.Run(plan, collector);
+    for (const CampaignResult& result : collector.results()) {
+      experiments += static_cast<std::int64_t>(result.records.size());
+    }
+  }
+  const ExecutorStats after = executor.stats();
+  const auto iterations = static_cast<double>(state.iterations());
+  state.SetLabel("campaigns=" + std::to_string(plan.campaigns.size()) +
+                 "/threads=" + std::to_string(executor.threads()));
+  state.counters["experiments_per_batch"] =
+      benchmark::Counter(static_cast<double>(experiments) / iterations);
+  state.counters["simulators_constructed"] = benchmark::Counter(
+      static_cast<double>(after.simulators_constructed -
+                          before.simulators_constructed));
+  state.counters["simulators_reused_per_batch"] = benchmark::Counter(
+      static_cast<double>(after.simulators_reused -
+                          before.simulators_reused) /
+      iterations);
+  state.counters["golden_cache_hits_per_batch"] = benchmark::Counter(
+      static_cast<double>(after.golden_cache_hits -
+                          before.golden_cache_hits) /
+      iterations);
+}
+
 // Same, with a fault hook installed on one PE (the campaign configuration).
 void BM_ArrayStepWithHook(benchmark::State& state) {
   ArrayConfig config;
@@ -212,5 +254,6 @@ BENCHMARK(BM_ArrayStepThroughput)
     ->Args({1, 0})
     ->Args({1, 1});
 BENCHMARK(BM_ArrayStepWithHook);
+BENCHMARK(BM_CampaignBatch)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

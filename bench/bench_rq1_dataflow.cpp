@@ -22,17 +22,20 @@ int main() {
            widths);
   PrintRule(widths);
 
+  // The dataflow axis is one sweep: three campaigns, one executor batch.
+  SweepSpec spec;
+  spec.accel = PaperAccel();
+  spec.workloads = {Gemm16x16()};
+  spec.dataflows = {Dataflow::kOutputStationary, Dataflow::kWeightStationary,
+                    Dataflow::kInputStationary};
+  const ExecutorStats before = CampaignExecutor::Shared().stats();
+  const std::vector<CampaignResult> results = RunSweep(spec);
+
   double os_mean = 0.0;
   double ws_mean = 0.0;
-  for (const Dataflow dataflow :
-       {Dataflow::kOutputStationary, Dataflow::kWeightStationary,
-        Dataflow::kInputStationary}) {
-    CampaignConfig config;
-    config.accel = PaperAccel();
-    config.workload = Gemm16x16();
-    config.dataflow = dataflow;
-    config.bit = 8;
-    const CampaignResult result = RunCampaignParallel(config, bench::BenchThreads());
+  for (std::size_t d = 0; d < spec.dataflows.size(); ++d) {
+    const Dataflow dataflow = spec.dataflows[d];
+    const CampaignResult& result = results[d];
 
     std::int64_t min_corrupted = 1 << 30;
     std::int64_t max_corrupted = 0;
@@ -62,5 +65,6 @@ int main() {
                "mapping. The IS row extends the comparison to the third\n"
                "scheme the paper names (Sec. II-D): IS mirrors WS with "
                "row-shaped blast radius.\n";
+  std::cout << "\n" << ExecutorStatsLine(before) << "\n";
   return 0;
 }

@@ -20,36 +20,33 @@ int main() {
   PrintRow({"workload", "lowering", "class histogram", "masked"}, widths);
   PrintRule(widths);
 
-  const auto run = [&](WorkloadSpec workload) {
-    CampaignConfig config;
-    config.accel = PaperAccel();
-    config.workload = std::move(workload);
-    config.dataflow = Dataflow::kWeightStationary;
-    config.bit = 8;
-    const CampaignResult result = RunCampaignParallel(config, bench::BenchThreads());
-    const std::string lowering =
-        config.workload.op == OpType::kConv
-            ? ToString(config.workload.lowering)
-            : std::string("-");
-    PrintRow({config.workload.name, lowering, HistogramString(result),
-              std::to_string(result.MaskedCount())},
-             widths);
-  };
-
-  run(Gemm16x16());
-  run(Conv16Kernel3x3x3x3());
-  run(Conv16Kernel3x3x3x8());
-
-  // Contrast: the same kernels under the plain im2col lowering, where the
-  // output-channel count alone determines the corrupted columns.
+  // Contrast rows: the same kernels under the plain im2col lowering, where
+  // the output-channel count alone determines the corrupted columns.
   auto conv3_im2col = Conv16Kernel3x3x3x3();
   conv3_im2col.lowering = ConvLowering::kIm2Col;
   conv3_im2col.name += "-im2col";
-  run(conv3_im2col);
   auto conv8_im2col = Conv16Kernel3x3x3x8();
   conv8_im2col.lowering = ConvLowering::kIm2Col;
   conv8_im2col.name += "-im2col";
-  run(conv8_im2col);
+
+  // The workload axis is the sweep: five campaigns, one executor batch.
+  SweepSpec spec;
+  spec.accel = PaperAccel();
+  spec.workloads = {Gemm16x16(), Conv16Kernel3x3x3x3(), Conv16Kernel3x3x3x8(),
+                    conv3_im2col, conv8_im2col};
+  const ExecutorStats before = CampaignExecutor::Shared().stats();
+  const std::vector<CampaignResult> results = RunSweep(spec);
+
+  for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+    const WorkloadSpec& workload = spec.workloads[w];
+    const CampaignResult& result = results[w];
+    const std::string lowering = workload.op == OpType::kConv
+                                     ? ToString(workload.lowering)
+                                     : std::string("-");
+    PrintRow({workload.name, lowering, HistogramString(result),
+              std::to_string(result.MaskedCount())},
+             widths);
+  }
 
   std::cout
       << "\nPaper: GEMM -> single-column; conv 3x3x3x3 -> single-channel "
@@ -59,5 +56,6 @@ int main() {
          "stationary matrix is only K columns wide, can never produce\n"
          "multi-channel corruption for K <= 16 — evidence the paper's "
          "platform used a\nkernel-column-interleaved weight layout.\n";
+  std::cout << "\n" << ExecutorStatsLine(before) << "\n";
   return 0;
 }

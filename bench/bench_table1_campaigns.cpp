@@ -9,9 +9,11 @@
 //   RQ2 rows: GEMM vs conv kernels 3×3×3×3 and 3×3×3×8 under WS.
 //   RQ3 rows: 16×16 vs 112×112 operand sizes.
 //
+// The matrix runs as one CampaignPlan batch through the shared executor.
 // The trailing engine-comparison section re-runs the 16×16 WS GEMM campaign
 // under all three execution engines (reference / full / differential) and
-// checks their results are bit-identical, recording the PE-step saving.
+// checks their results are bit-identical, recording the PE-step saving;
+// those three run as separate plans so each engine gets its own wall clock.
 #include <chrono>
 #include <iostream>
 
@@ -44,14 +46,20 @@ int main() {
            widths);
   PrintRule(widths);
 
+  std::vector<SweepSpec> specs;
   for (const Row& row : rows) {
-    CampaignConfig config;
-    config.accel = PaperAccel();
-    config.workload = row.workload;
-    config.dataflow = row.dataflow;
-    config.bit = 8;
-    config.polarity = StuckPolarity::kStuckAt1;
-    const CampaignResult result = RunCampaignParallel(config, bench::BenchThreads());
+    SweepSpec spec;
+    spec.accel = PaperAccel();
+    spec.workloads = {row.workload};
+    spec.dataflows = {row.dataflow};
+    specs.push_back(std::move(spec));
+  }
+  const ExecutorStats before = CampaignExecutor::Shared().stats();
+  const std::vector<CampaignResult> results = RunSweep(specs);
+
+  for (std::size_t r = 0; r < std::size(rows); ++r) {
+    const Row& row = rows[r];
+    const CampaignResult& result = results[r];
     PrintRow({row.rq, row.workload.name, ToString(row.dataflow),
               ToString(result.DominantClass()),
               std::to_string(result.MaskedCount()),
@@ -72,6 +80,7 @@ int main() {
          "reports one class per configuration\nfrom representative sites; "
          "masked sites for 3x3x3x3 sit in array columns the\n9-column "
          "operand never reaches.\n";
+  std::cout << "\n" << ExecutorStatsLine(before) << "\n";
 
   std::cout << "\n=== Execution-engine comparison: GEMM 16x16 WS, exhaustive "
                "256 sites ===\n\n";
@@ -91,12 +100,13 @@ int main() {
     config.bit = 8;
     config.polarity = StuckPolarity::kStuckAt1;
     config.engine = engine;
+    CollectorSink collector;
     const auto start = std::chrono::steady_clock::now();
-    const CampaignResult result =
-        RunCampaignParallel(config, bench::BenchThreads());
+    CampaignExecutor::Shared().Run(SingleCampaignPlan(config), collector);
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+    const CampaignResult result = collector.TakeResults().front();
     bool identical = true;
     if (engine == CampaignEngine::kReference) {
       baseline = result;

@@ -8,11 +8,47 @@
 
 #include "common/strings.h"
 #include "patterns/campaign.h"
+#include "service/executor.h"
+#include "service/sink.h"
 
 namespace saffire::bench {
 
 // Worker count for campaign benches: all hardware threads.
 inline int BenchThreads() { return DefaultCampaignThreads(); }
+
+// Runs every campaign of `specs` through the shared executor pool as one
+// batch (so workers keep their simulators across campaigns) and returns
+// the per-campaign results in canonical plan order.
+inline std::vector<CampaignResult> RunSweep(
+    const std::vector<SweepSpec>& specs) {
+  CollectorSink collector;
+  CampaignExecutor::Shared().Run(BuildCampaignPlan(specs), collector);
+  return collector.TakeResults();
+}
+
+inline std::vector<CampaignResult> RunSweep(const SweepSpec& spec) {
+  return RunSweep(std::vector<SweepSpec>{spec});
+}
+
+// One-line executor summary for the work done since `before` was sampled:
+// how many simulators the pool built vs reused, and golden-run cache hits.
+inline std::string ExecutorStatsLine(const ExecutorStats& before) {
+  const ExecutorStats after = CampaignExecutor::Shared().stats();
+  std::string line = "[executor] threads=";
+  line += std::to_string(after.pool_threads);
+  line += " campaigns=";
+  line += std::to_string(after.campaigns_executed - before.campaigns_executed);
+  line += " experiments=";
+  line += std::to_string(after.experiments_run - before.experiments_run);
+  line += " simulators: constructed=";
+  line += std::to_string(after.simulators_constructed -
+                         before.simulators_constructed);
+  line += " reused=";
+  line += std::to_string(after.simulators_reused - before.simulators_reused);
+  line += " golden-cache-hits=";
+  line += std::to_string(after.golden_cache_hits - before.golden_cache_hits);
+  return line;
+}
 
 // The evaluation platform of Table I: 16×16 INT8 systolic array.
 inline AccelConfig PaperAccel() {

@@ -1,29 +1,54 @@
-// Campaign CLI: run a fault-injection campaign from the command line and
-// get the summary plus an optional per-experiment CSV.
+// Campaign CLI: run a fault-injection sweep from the command line and get
+// the summary plus optional per-experiment CSV / JSONL streams.
 //
 //   $ ./campaign_cli --workload gemm16 --dataflow ws
 //   $ ./campaign_cli --workload conv16k8 --bit 12 --polarity sa0
-//         --sites 64 --csv out.csv            (one line)
+//         --sites 64 --csv out.csv                          (one line)
+//   $ ./campaign_cli --workload gemm16 --polarity sa0,sa1 --bit 4,8,31
+//         --jsonl out.jsonl --progress                      (12-campaign sweep)
+//   $ ./campaign_cli --spec sweep.json --shard 0 --jsonl shard0.jsonl
+//   $ ./campaign_cli --spec sweep.json --resume shard0.jsonl --csv full.csv
 //
-// Flags:
-//   --workload {gemm16|gemm112|conv16k3|conv16k8|conv112k8}  (gemm16)
-//   --dataflow {ws|os}        (ws)
-//   --bit N                   stuck bit on the adder output (8)
-//   --polarity {sa0|sa1}      (sa1)
+// Sweep axes (comma-separated lists expand to the cartesian product):
+//   --workload LIST  {gemm16|gemm112|conv16k3|conv16k8|conv112k8}  (gemm16)
+//   --dataflow LIST  {ws|os|is}            (ws)
+//   --signal LIST    {adder_out|mul_out|weight_operand|act_forward|
+//                     south_forward}       (adder_out)
+//   --polarity LIST  {sa0|sa1}             (sa1)
+//   --bit LIST       stuck/flipped bit     (8)
+// Fault model and sampling:
+//   --kind {stuck|transient}  fault kind   (stuck)
 //   --fill {ones|random|nearzero}  operand fill (ones)
-//   --signal {adder_out|mul_out|weight_operand|act_forward|south_forward}
-//   --kind {stuck|transient}  fault kind (stuck)
-//   --sites N                 sample N sites instead of all 256 (0 = all)
-//   --rows N --cols N         array dimensions (16×16)
-//   --threads N               parallel campaign workers (1)
-//   --csv PATH                write per-experiment CSV
+//   --sites N        sample N sites instead of all (0 = exhaustive)
+//   --seed N         sampling seed         (1)
+//   --rows N --cols N  array dimensions    (16x16)
+// Execution:
+//   --engine {differential|full|reference}  execution engine (differential)
+//   --threads N      parallel workers      (all hardware threads)
+//   --shards N       split each campaign into N site ranges (1)
+//   --shard K        run only shard K of every campaign (for process splits)
+//   --resume PATH    replay records from a previous --jsonl stream instead
+//                    of re-simulating them
+// Spec files and output:
+//   --spec PATH      load the sweep from a JSON spec (exclusive with the
+//                    axis/fault-model flags above)
+//   --print-spec     print the sweep spec as JSON and exit without running
+//   --csv PATH       write per-experiment CSV
+//   --jsonl PATH     stream records as JSONL (doubles as a checkpoint)
+//   --progress       live progress/ETA line on stderr
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 
 #include "common/strings.h"
 #include "patterns/report.h"
+#include "service/checkpoint.h"
+#include "service/executor.h"
+#include "service/sink.h"
 
 namespace {
 
@@ -38,67 +63,234 @@ WorkloadSpec WorkloadByName(const std::string& name) {
   throw std::invalid_argument("unknown workload '" + name + "'");
 }
 
-OperandFill FillByName(const std::string& name) {
-  if (name == "ones") return OperandFill::kOnes;
-  if (name == "random") return OperandFill::kRandom;
-  if (name == "nearzero") return OperandFill::kNearZero;
-  throw std::invalid_argument("unknown fill '" + name + "'");
+// Flags that take a value, and flags that stand alone.
+const std::set<std::string>& ValueFlags() {
+  static const std::set<std::string> kFlags = {
+      "workload", "dataflow", "signal", "polarity", "bit",   "kind",
+      "fill",     "sites",    "seed",   "rows",     "cols",  "engine",
+      "threads",  "shards",   "shard",  "resume",   "spec",  "csv",
+      "jsonl"};
+  return kFlags;
+}
+
+const std::set<std::string>& BoolFlags() {
+  static const std::set<std::string> kFlags = {"print-spec", "progress",
+                                               "help"};
+  return kFlags;
+}
+
+SweepSpec SpecFromFlags(const std::map<std::string, std::string>& flags) {
+  const auto flag = [&](const std::string& key, const std::string& fallback) {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  };
+  SweepSpec spec;
+  spec.accel.array.rows =
+      static_cast<std::int32_t>(ParseInt(flag("rows", "16")));
+  spec.accel.array.cols =
+      static_cast<std::int32_t>(ParseInt(flag("cols", "16")));
+
+  const OperandFill fill = OperandFillFromString(flag("fill", "ones"));
+  spec.workloads.clear();
+  for (const std::string& name : Split(flag("workload", "gemm16"), ',')) {
+    WorkloadSpec workload = WorkloadByName(Trim(name));
+    workload.input_fill = fill;
+    workload.weight_fill = fill;
+    spec.workloads.push_back(std::move(workload));
+  }
+  spec.dataflows.clear();
+  for (const std::string& name : Split(flag("dataflow", "ws"), ',')) {
+    spec.dataflows.push_back(DataflowFromString(Trim(name)));
+  }
+  spec.signals.clear();
+  for (const std::string& name : Split(flag("signal", "adder_out"), ',')) {
+    spec.signals.push_back(MacSignalFromString(Trim(name)));
+  }
+  spec.polarities.clear();
+  for (const std::string& name : Split(flag("polarity", "sa1"), ',')) {
+    spec.polarities.push_back(StuckPolarityFromString(Trim(name)));
+  }
+  spec.bits.clear();
+  for (const std::string& text : Split(flag("bit", "8"), ',')) {
+    spec.bits.push_back(static_cast<int>(ParseInt(Trim(text))));
+  }
+  spec.kind = FaultKindFromString(flag("kind", "stuck"));
+  spec.max_sites = ParseInt(flag("sites", "0"));
+  spec.seed = static_cast<std::uint64_t>(ParseInt(flag("seed", "1")));
+  spec.engine = CampaignEngineFromString(flag("engine", "differential"));
+  spec.shards = static_cast<int>(ParseInt(flag("shards", "1")));
+  return spec;
+}
+
+std::string CampaignTitle(const CampaignConfig& config) {
+  std::string title = config.workload.name;
+  title += "/";
+  title += ToString(config.dataflow);
+  title += " ";
+  title += ToString(config.signal);
+  title += " bit ";
+  title += std::to_string(config.bit);
+  title += " ";
+  title += config.kind == FaultKind::kTransientFlip
+               ? std::string("transient")
+               : ToString(config.polarity);
+  return title;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::map<std::string, std::string> flags;
-  for (int i = 1; i + 1 < argc; i += 2) {
+  for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
     if (!StartsWith(key, "--")) {
       std::cerr << "expected a --flag, got '" << key << "'\n";
       return 1;
     }
-    flags[key.substr(2)] = argv[i + 1];
+    const std::string name = key.substr(2);
+    if (BoolFlags().count(name) != 0) {
+      flags[name] = std::string("1");
+      continue;
+    }
+    if (ValueFlags().count(name) == 0) {
+      std::cerr << "unknown flag '" << key << "'\n";
+      return 1;
+    }
+    if (i + 1 >= argc) {
+      std::cerr << "flag '" << key << "' expects a value\n";
+      return 1;
+    }
+    flags[name] = argv[++i];
   }
   const auto flag = [&](const std::string& key, const std::string& fallback) {
     const auto it = flags.find(key);
     return it == flags.end() ? fallback : it->second;
   };
+  if (flags.count("help") != 0) {
+    std::cout << "see the header comment of examples/campaign_cli.cpp for "
+                 "the flag reference\n";
+    return 0;
+  }
 
   try {
-    CampaignConfig config;
-    config.accel.array.rows =
-        static_cast<std::int32_t>(ParseInt(flag("rows", "16")));
-    config.accel.array.cols =
-        static_cast<std::int32_t>(ParseInt(flag("cols", "16")));
-    config.workload = WorkloadByName(flag("workload", "gemm16"));
-    config.workload.input_fill = FillByName(flag("fill", "ones"));
-    config.workload.weight_fill = config.workload.input_fill;
-    config.dataflow = flag("dataflow", "ws") == "os"
-                          ? Dataflow::kOutputStationary
-                          : Dataflow::kWeightStationary;
-    config.bit = static_cast<int>(ParseInt(flag("bit", "8")));
-    config.polarity = flag("polarity", "sa1") == "sa0"
-                          ? StuckPolarity::kStuckAt0
-                          : StuckPolarity::kStuckAt1;
-    config.max_sites = ParseInt(flag("sites", "0"));
-    config.signal = MacSignalFromString(flag("signal", "adder_out"));
-    config.kind = flag("kind", "stuck") == "transient"
-                      ? FaultKind::kTransientFlip
-                      : FaultKind::kStuckAt;
-    const int threads = static_cast<int>(ParseInt(flag("threads", "1")));
+    SweepSpec spec;
+    if (flags.count("spec") != 0) {
+      for (const char* axis :
+           {"workload", "dataflow", "signal", "polarity", "bit", "kind",
+            "fill", "sites", "seed", "rows", "cols", "engine", "shards"}) {
+        if (flags.count(axis) != 0) {
+          std::cerr << "--spec already defines the sweep; drop '--" << axis
+                    << "'\n";
+          return 1;
+        }
+      }
+      std::ifstream in(flags.at("spec"));
+      if (!in) {
+        std::cerr << "cannot open spec '" << flags.at("spec") << "'\n";
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      spec = ParseSweepSpec(text.str());
+    } else {
+      spec = SpecFromFlags(flags);
+    }
+    if (flags.count("print-spec") != 0) {
+      std::cout << spec.ToJson() << "\n";
+      return 0;
+    }
 
-    const CampaignResult result = RunCampaignParallel(config, threads);
-    std::cout << RenderCampaignSummary(result);
+    const CampaignPlan plan = BuildCampaignPlan(spec);
 
+    // Read the checkpoint fully before opening any output stream, so
+    // resuming from the file a sink is about to truncate is safe.
+    SweepCheckpoint checkpoint;
+    const bool resuming = flags.count("resume") != 0;
+    if (resuming) {
+      std::ifstream in(flags.at("resume"));
+      if (!in) {
+        std::cerr << "cannot open checkpoint '" << flags.at("resume")
+                  << "'\n";
+        return 1;
+      }
+      checkpoint = LoadSweepCheckpoint(in);
+      ValidateCheckpoint(checkpoint, plan);
+    }
+
+    CollectorSink collector;
+    std::vector<RecordSink*> sinks{&collector};
+    std::ofstream csv_out;
     const std::string csv_path = flag("csv", "");
+    std::unique_ptr<CsvRecordSink> csv_sink;
     if (!csv_path.empty()) {
-      std::ofstream out(csv_path);
-      if (!out) {
+      csv_out.open(csv_path);
+      if (!csv_out) {
         std::cerr << "cannot open '" << csv_path << "'\n";
         return 1;
       }
-      WriteCampaignCsv(result, out);
-      std::cout << "wrote " << result.records.size() << " rows to "
-                << csv_path << "\n";
+      csv_sink = std::make_unique<CsvRecordSink>(csv_out);
+      sinks.push_back(csv_sink.get());
     }
+    std::ofstream jsonl_out;
+    const std::string jsonl_path = flag("jsonl", "");
+    std::unique_ptr<JsonlRecordSink> jsonl_sink;
+    if (!jsonl_path.empty()) {
+      jsonl_out.open(jsonl_path);
+      if (!jsonl_out) {
+        std::cerr << "cannot open '" << jsonl_path << "'\n";
+        return 1;
+      }
+      jsonl_sink = std::make_unique<JsonlRecordSink>(jsonl_out);
+      sinks.push_back(jsonl_sink.get());
+    }
+    std::unique_ptr<ProgressSink> progress_sink;
+    if (flags.count("progress") != 0) {
+      progress_sink = std::make_unique<ProgressSink>(std::cerr);
+      sinks.push_back(progress_sink.get());
+    }
+    TeeSink tee(sinks);
+
+    RunOptions options;
+    options.max_parallelism = static_cast<int>(ParseInt(
+        flag("threads", std::to_string(DefaultCampaignThreads()))));
+    if (options.max_parallelism < 1) {
+      std::cerr << "error: --threads must be >= 1\n";
+      return 1;
+    }
+    options.only_shard = static_cast<int>(ParseInt(flag("shard", "-1")));
+    if (resuming) options.checkpoint = &checkpoint;
+
+    CampaignExecutor& executor = CampaignExecutor::Shared();
+    const ExecutorStats before = executor.stats();
+    executor.Run(plan, tee, options);
+    const std::vector<CampaignResult> results = collector.TakeResults();
+
+    std::int64_t rows = 0;
+    for (std::size_t c = 0; c < results.size(); ++c) {
+      if (results.size() > 1) {
+        std::cout << "=== campaign " << c << ": "
+                  << CampaignTitle(plan.campaigns[c]) << " ===\n";
+      }
+      std::cout << RenderCampaignSummary(results[c]);
+      if (results.size() > 1) std::cout << "\n";
+      rows += static_cast<std::int64_t>(results[c].records.size());
+    }
+    if (!csv_path.empty()) {
+      std::cout << "wrote " << rows << " rows to " << csv_path << "\n";
+    }
+    if (!jsonl_path.empty()) {
+      std::cout << "wrote " << rows << " records to " << jsonl_path << "\n";
+    }
+    const ExecutorStats after = executor.stats();
+    std::cout << "[executor] threads=" << after.pool_threads
+              << " experiments run="
+              << after.experiments_run - before.experiments_run
+              << " replayed="
+              << after.experiments_replayed - before.experiments_replayed
+              << " simulators constructed="
+              << after.simulators_constructed - before.simulators_constructed
+              << " reused="
+              << after.simulators_reused - before.simulators_reused << "\n";
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

@@ -10,6 +10,12 @@ std::string ToString(ConvLowering lowering) {
   return lowering == ConvLowering::kIm2Col ? "im2col" : "shift-gemm";
 }
 
+ConvLowering ConvLoweringFromString(const std::string& name) {
+  if (name == "im2col") return ConvLowering::kIm2Col;
+  if (name == "shift-gemm") return ConvLowering::kShiftGemm;
+  SAFFIRE_CHECK_MSG(false, "unknown conv lowering '" << name << "'");
+}
+
 TileGrid Driver::PlanTiles(std::int64_t m, std::int64_t n, std::int64_t k,
                            const AccelConfig& config, Dataflow dataflow) {
   config.Validate();

@@ -23,6 +23,10 @@ enum class ConvLowering : std::uint8_t { kIm2Col = 0, kShiftGemm = 1 };
 
 std::string ToString(ConvLowering lowering);
 
+// Parses "im2col"/"shift-gemm"; throws std::invalid_argument on unknown
+// names.
+ConvLowering ConvLoweringFromString(const std::string& name);
+
 struct ExecOptions {
   Dataflow dataflow = Dataflow::kWeightStationary;
   Activation activation = Activation::kNone;

@@ -101,7 +101,13 @@ void AccumulatorMem::WriteBlock(std::int32_t row0, const Int32Tensor& block,
           data_[static_cast<std::size_t>(row0 + r) *
                     static_cast<std::size_t>(cols_) +
                 static_cast<std::size_t>(c)];
-      cell = accumulate ? cell + block(r, c) : block(r, c);
+      // Hardware-accurate 32-bit wrap-around: faulty partial sums can sit
+      // near INT32_MIN (e.g. an SA1 on bit 31), so add in unsigned space.
+      cell = accumulate
+                 ? static_cast<std::int32_t>(
+                       static_cast<std::uint32_t>(cell) +
+                       static_cast<std::uint32_t>(block(r, c)))
+                 : block(r, c);
     }
   }
 }

@@ -8,6 +8,12 @@ std::string ToString(StuckPolarity polarity) {
   return polarity == StuckPolarity::kStuckAt0 ? "SA0" : "SA1";
 }
 
+StuckPolarity StuckPolarityFromString(const std::string& name) {
+  if (name == "SA0" || name == "sa0") return StuckPolarity::kStuckAt0;
+  if (name == "SA1" || name == "sa1") return StuckPolarity::kStuckAt1;
+  SAFFIRE_CHECK_MSG(false, "unknown stuck-at polarity '" << name << "'");
+}
+
 std::int64_t SignExtend(std::int64_t value, int width) {
   SAFFIRE_CHECK_MSG(width >= 1 && width <= 64, "width=" << width);
   if (width == 64) return value;

@@ -19,6 +19,10 @@ enum class StuckPolarity : std::uint8_t { kStuckAt0 = 0, kStuckAt1 = 1 };
 // Returns "SA0" / "SA1".
 std::string ToString(StuckPolarity polarity);
 
+// Parses "SA0"/"SA1" (or lowercase "sa0"/"sa1", the CLI spelling); throws
+// std::invalid_argument on unknown names.
+StuckPolarity StuckPolarityFromString(const std::string& name);
+
 // Returns `value` truncated to the low `width` bits and sign-extended back
 // to 64 bits (two's complement), i.e. what a `width`-bit register would hold.
 std::int64_t SignExtend(std::int64_t value, int width);

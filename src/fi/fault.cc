@@ -10,6 +10,14 @@ std::string ToString(FaultKind kind) {
   return kind == FaultKind::kStuckAt ? "stuck-at" : "transient-flip";
 }
 
+FaultKind FaultKindFromString(const std::string& name) {
+  if (name == "stuck-at" || name == "stuck") return FaultKind::kStuckAt;
+  if (name == "transient-flip" || name == "transient") {
+    return FaultKind::kTransientFlip;
+  }
+  SAFFIRE_CHECK_MSG(false, "unknown fault kind '" << name << "'");
+}
+
 void FaultSpec::Validate(const ArrayConfig& config) const {
   config.Validate();
   SAFFIRE_CHECK_MSG(pe.row >= 0 && pe.row < config.rows && pe.col >= 0 &&

@@ -25,6 +25,10 @@ enum class FaultKind : std::uint8_t {
 
 std::string ToString(FaultKind kind);
 
+// Parses "stuck-at"/"transient-flip" (plus the CLI shorthands
+// "stuck"/"transient"); throws std::invalid_argument on unknown names.
+FaultKind FaultKindFromString(const std::string& name);
+
 struct FaultSpec {
   FaultKind kind = FaultKind::kStuckAt;
   PeCoord pe;

@@ -11,6 +11,12 @@ std::string ToString(OpType op) {
   return op == OpType::kGemm ? "GEMM" : "Conv";
 }
 
+OpType OpTypeFromString(const std::string& name) {
+  if (name == "GEMM" || name == "gemm") return OpType::kGemm;
+  if (name == "Conv" || name == "conv") return OpType::kConv;
+  SAFFIRE_CHECK_MSG(false, "unknown op type '" << name << "'");
+}
+
 std::string ToString(OperandFill fill) {
   switch (fill) {
     case OperandFill::kOnes:
@@ -21,6 +27,13 @@ std::string ToString(OperandFill fill) {
       return "near-zero";
   }
   return "unknown";
+}
+
+OperandFill OperandFillFromString(const std::string& name) {
+  if (name == "ones") return OperandFill::kOnes;
+  if (name == "random") return OperandFill::kRandom;
+  if (name == "near-zero" || name == "nearzero") return OperandFill::kNearZero;
+  SAFFIRE_CHECK_MSG(false, "unknown operand fill '" << name << "'");
 }
 
 void WorkloadSpec::Validate() const {

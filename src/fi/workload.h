@@ -17,6 +17,10 @@ enum class OpType : std::uint8_t { kGemm = 0, kConv = 1 };
 
 std::string ToString(OpType op);
 
+// Parses "GEMM"/"Conv" (or lowercase); throws std::invalid_argument on
+// unknown names.
+OpType OpTypeFromString(const std::string& name);
+
 // Operand contents.
 //   kOnes:     the paper's pattern-extraction workload — uniform all-ones
 //              matrices so no fault is masked by zero products.
@@ -29,6 +33,10 @@ enum class OperandFill : std::uint8_t {
 };
 
 std::string ToString(OperandFill fill);
+
+// Parses "ones"/"random"/"near-zero" (plus the CLI shorthand "nearzero");
+// throws std::invalid_argument on unknown names.
+OperandFill OperandFillFromString(const std::string& name);
 
 struct WorkloadSpec {
   std::string name;

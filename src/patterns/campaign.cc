@@ -1,13 +1,11 @@
 #include "patterns/campaign.h"
 
 #include <algorithm>
-#include <memory>
 #include <sstream>
 #include <thread>
 
 #include "common/log.h"
 #include "common/rng.h"
-#include "fi/golden_cache.h"
 
 namespace saffire {
 
@@ -21,6 +19,13 @@ std::string ToString(CampaignEngine engine) {
       return "reference";
   }
   return "unknown";
+}
+
+CampaignEngine CampaignEngineFromString(const std::string& name) {
+  if (name == "differential") return CampaignEngine::kDifferential;
+  if (name == "full") return CampaignEngine::kFull;
+  if (name == "reference") return CampaignEngine::kReference;
+  SAFFIRE_CHECK_MSG(false, "unknown campaign engine '" << name << "'");
 }
 
 int DefaultCampaignThreads() {
@@ -92,32 +97,80 @@ bool PredictorCoversSignal(MacSignal signal) {
          signal == MacSignal::kWeightOperand;
 }
 
-// Applies the engine choice to a freshly constructed per-worker simulator.
+// Applies the engine choice to the simulator about to execute a run.
 void ConfigureEngine(FiRunner& runner, CampaignEngine engine) {
   runner.accel().array().set_force_reference_step(engine ==
                                                   CampaignEngine::kReference);
 }
 
-// `trace` is non-null iff the engine runs differentially.
-ExperimentRecord RunOneExperiment(const CampaignConfig& config,
-                                  const Int32Tensor& golden_output,
-                                  const ClassifyContext& context,
-                                  FiRunner& runner, FaultSpec fault,
-                                  const GoldenTrace* trace) {
-  if (fault.kind == FaultKind::kTransientFlip) {
-    // Rebase the relative strike offset onto this simulator's clock.
-    fault.at_cycle += runner.accel().cycles();
+}  // namespace
+
+PreparedCampaign PrepareCampaign(const CampaignConfig& config,
+                                 FiRunner* golden_runner) {
+  config.accel.Validate();
+  config.workload.Validate();
+
+  PreparedCampaign prepared;
+  prepared.config = config;
+
+  // The golden run: recomputed through the instrumented loop under
+  // kReference (the pre-optimization baseline), served from the process-wide
+  // cache otherwise.
+  if (config.engine == CampaignEngine::kReference) {
+    if (golden_runner != nullptr) {
+      ConfigureEngine(*golden_runner, config.engine);
+      prepared.reference_golden =
+          golden_runner->RunGolden(config.workload, config.dataflow);
+    } else {
+      FiRunner local_runner(config.accel);
+      ConfigureEngine(local_runner, config.engine);
+      prepared.reference_golden =
+          local_runner.RunGolden(config.workload, config.dataflow);
+    }
+  } else {
+    bool hit = false;
+    prepared.cached = GoldenRunCache::Instance().GetOrCompute(
+        config.accel, config.workload, config.dataflow, &hit);
+    prepared.golden_cache_hit = hit;
   }
+
+  prepared.context =
+      MakeClassifyContext(config.workload, config.accel, config.dataflow);
+  prepared.sites = CampaignSites(config);
+  prepared.faults = PlanFaults(config, prepared.sites,
+                               prepared.golden().cycles);
+  return prepared;
+}
+
+ExperimentRecord RunPreparedExperiment(const PreparedCampaign& prepared,
+                                       FiRunner& runner, std::size_t index) {
+  SAFFIRE_ASSERT_MSG(index < prepared.faults.size(),
+                     "experiment " << index << " of "
+                                   << prepared.faults.size());
+  const CampaignConfig& config = prepared.config;
+  ConfigureEngine(runner, config.engine);
+  const FaultSpec& fault = prepared.faults[index];
+  FaultSpec injected = fault;
+  if (injected.kind == FaultKind::kTransientFlip) {
+    // Rebase the relative strike offset onto this simulator's clock. Only
+    // the injected copy is rebased: the record keeps the relative offset,
+    // which is what makes records identical no matter which simulator (with
+    // whatever accumulated cycle count) ran the experiment.
+    injected.at_cycle += runner.accel().cycles();
+  }
+  const GoldenTrace* trace = prepared.trace();
   const RunResult faulty =
       trace != nullptr
           ? runner.RunFaultyDifferential(config.workload, config.dataflow,
-                                         {&fault, 1}, *trace)
-          : runner.RunFaulty(config.workload, config.dataflow, {&fault, 1});
-  const CorruptionMap map = ExtractCorruption(golden_output, faulty.output);
+                                         {&injected, 1}, *trace)
+          : runner.RunFaulty(config.workload, config.dataflow,
+                             {&injected, 1});
+  const CorruptionMap map =
+      ExtractCorruption(prepared.golden().output, faulty.output);
 
   ExperimentRecord record;
   record.fault = fault;
-  record.observed = Classify(map, context);
+  record.observed = Classify(map, prepared.context);
   record.corrupted_count = map.count();
   record.max_abs_delta = map.max_abs_delta;
   record.fault_activations = faulty.fault_activations;
@@ -142,99 +195,22 @@ ExperimentRecord RunOneExperiment(const CampaignConfig& config,
   return record;
 }
 
-}  // namespace
-
-CampaignResult RunCampaign(const CampaignConfig& config) {
-  return RunCampaignParallel(config, 1);
-}
-
-CampaignResult RunCampaignParallel(const CampaignConfig& config,
-                                   int threads) {
-  config.accel.Validate();
-  config.workload.Validate();
-  SAFFIRE_CHECK_MSG(threads >= 1 && threads <= 256, "threads=" << threads);
+CampaignResult RunCampaignSerial(const CampaignConfig& config) {
+  const PreparedCampaign prepared = PrepareCampaign(config);
+  SAFFIRE_LOG_INFO << "campaign (serial): " << config.ToString() << " — "
+                   << prepared.sites.size() << " fault sites, "
+                   << ToString(config.engine) << " engine";
 
   CampaignResult result;
   result.config = config;
+  result.golden_cache_hit = prepared.golden_cache_hit;
+  result.golden_cycles = prepared.golden().cycles;
+  result.golden_pe_steps = prepared.golden().pe_steps;
 
-  // The golden run: recomputed through the instrumented loop under
-  // kReference (the pre-optimization baseline), served from the process-wide
-  // cache otherwise. `cached` keeps the shared entry (and its trace) alive
-  // for the workers.
-  std::shared_ptr<const GoldenRunCache::Entry> cached;
-  RunResult reference_golden;
-  const RunResult* golden = nullptr;
-  const GoldenTrace* trace = nullptr;
-  if (config.engine == CampaignEngine::kReference) {
-    FiRunner golden_runner(config.accel);
-    ConfigureEngine(golden_runner, config.engine);
-    reference_golden =
-        golden_runner.RunGolden(config.workload, config.dataflow);
-    golden = &reference_golden;
-  } else {
-    bool hit = false;
-    cached = GoldenRunCache::Instance().GetOrCompute(
-        config.accel, config.workload, config.dataflow, &hit);
-    golden = &cached->result;
-    result.golden_cache_hit = hit;
-    if (config.engine == CampaignEngine::kDifferential) {
-      trace = &cached->trace;
-    }
-  }
-  result.golden_cycles = golden->cycles;
-  result.golden_pe_steps = golden->pe_steps;
-
-  const ClassifyContext context =
-      MakeClassifyContext(config.workload, config.accel, config.dataflow);
-  const std::vector<PeCoord> sites = CampaignSites(config);
-  const std::vector<FaultSpec> faults =
-      PlanFaults(config, sites, golden->cycles);
-  SAFFIRE_LOG_INFO << "campaign: " << config.ToString() << " — "
-                   << sites.size() << " fault sites, " << threads
-                   << " thread(s), " << ToString(config.engine) << " engine";
-
-  if (threads == 1 || faults.size() < 2) {
-    FiRunner runner(config.accel);
-    ConfigureEngine(runner, config.engine);
-    result.records.reserve(faults.size());
-    for (const FaultSpec& fault : faults) {
-      result.records.push_back(RunOneExperiment(config, golden->output,
-                                                context, runner, fault,
-                                                trace));
-    }
-    return result;
-  }
-
-  // Chunked ranges with per-worker record buffers: workers never write to
-  // shared cache lines (the former atomic-counter loop interleaved adjacent
-  // result.records[i] slots across workers), and the in-order merge at join
-  // preserves the serial record order bit-for-bit.
-  const std::size_t n = faults.size();
-  const std::size_t worker_count =
-      std::min<std::size_t>(static_cast<std::size_t>(threads), n);
-  std::vector<std::vector<ExperimentRecord>> chunks(worker_count);
-  std::vector<std::thread> workers;
-  workers.reserve(worker_count);
-  for (std::size_t w = 0; w < worker_count; ++w) {
-    workers.emplace_back([&, w]() {
-      const std::size_t begin = n * w / worker_count;
-      const std::size_t end = n * (w + 1) / worker_count;
-      FiRunner runner(config.accel);
-      ConfigureEngine(runner, config.engine);
-      std::vector<ExperimentRecord>& local = chunks[w];
-      local.reserve(end - begin);
-      for (std::size_t i = begin; i < end; ++i) {
-        local.push_back(RunOneExperiment(config, golden->output, context,
-                                         runner, faults[i], trace));
-      }
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-  result.records.reserve(n);
-  for (std::vector<ExperimentRecord>& chunk : chunks) {
-    result.records.insert(result.records.end(),
-                          std::make_move_iterator(chunk.begin()),
-                          std::make_move_iterator(chunk.end()));
+  FiRunner runner(config.accel);
+  result.records.reserve(prepared.faults.size());
+  for (std::size_t i = 0; i < prepared.faults.size(); ++i) {
+    result.records.push_back(RunPreparedExperiment(prepared, runner, i));
   }
   return result;
 }

@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "fi/golden_cache.h"
 #include "fi/runner.h"
 #include "patterns/classify.h"
 #include "patterns/predictor.h"
@@ -33,6 +35,10 @@ enum class CampaignEngine : std::uint8_t {
 };
 
 std::string ToString(CampaignEngine engine);
+
+// Parses "differential"/"full"/"reference"; throws std::invalid_argument on
+// unknown names.
+CampaignEngine CampaignEngineFromString(const std::string& name);
 
 // std::thread::hardware_concurrency(), clamped to the [1, 256] range
 // RunCampaignParallel accepts — the default worker count for benches/CLIs.
@@ -62,6 +68,10 @@ struct CampaignConfig {
 };
 
 struct ExperimentRecord {
+  // The injected fault. For transient campaigns, at_cycle holds the strike
+  // offset relative to the faulty run's start (not the simulator's global
+  // clock), so records are identical regardless of which simulator ran the
+  // experiment — the property checkpoint merging relies on.
   FaultSpec fault;
   PatternClass observed = PatternClass::kMasked;
   PatternClass predicted = PatternClass::kMasked;
@@ -79,6 +89,8 @@ struct ExperimentRecord {
   // recomputing (0 under kFull/kReference). Their sum is engine-invariant.
   std::uint64_t pe_steps = 0;
   std::uint64_t pe_steps_skipped = 0;
+
+  bool operator==(const ExperimentRecord&) const = default;
 };
 
 struct CampaignResult {
@@ -111,17 +123,75 @@ struct CampaignResult {
 };
 
 // Runs the campaign. Per-experiment work: one faulty run, one diff, one
-// classification, one prediction; the golden run happens once.
+// classification, one prediction; the golden run happens once. Defined in
+// the service layer (service/service.cc) as a thin wrapper over the shared
+// CampaignExecutor — link saffire_service to use it.
 CampaignResult RunCampaign(const CampaignConfig& config);
 
-// Same result, computed across `threads` workers, each owning a private
-// simulator instance (experiments are independent: a permanent fault only
-// lives for its own run). Record order and content match RunCampaign
-// bit-for-bit; `threads <= 1` falls back to the serial path.
+// Same result, computed across up to `threads` pool workers (experiments
+// are independent: a permanent fault only lives for its own run). Record
+// order and content match RunCampaign bit-for-bit regardless of the thread
+// count. Also defined in service/service.cc.
 CampaignResult RunCampaignParallel(const CampaignConfig& config, int threads);
+
+// The self-contained single-threaded implementation: one locally
+// constructed simulator, experiments executed in site order on the calling
+// thread. This is the ground-truth baseline the service layer is validated
+// against (tests/service/executor_test.cc) — it must never depend on the
+// executor.
+CampaignResult RunCampaignSerial(const CampaignConfig& config);
 
 // Enumerates the fault sites the campaign will use (exhaustive or sampled),
 // in execution order.
 std::vector<PeCoord> CampaignSites(const CampaignConfig& config);
+
+// --- Execution primitives ---------------------------------------------------
+// Everything below is shared by RunCampaignSerial and the campaign service
+// (service/executor.h): both paths run the exact same per-experiment code,
+// which is what makes their results bit-identical by construction.
+
+// The per-campaign state that is computed once and then shared (read-only)
+// by every experiment: the golden run, the classification context, the site
+// list, and the pre-sampled fault of each experiment.
+struct PreparedCampaign {
+  CampaignConfig config;
+  // Non-null except under kReference; keeps the cached golden entry (and
+  // its trace) alive for the experiments.
+  std::shared_ptr<const GoldenRunCache::Entry> cached;
+  // The recomputed golden run under kReference (unused otherwise).
+  RunResult reference_golden;
+  bool golden_cache_hit = false;
+  ClassifyContext context;
+  std::vector<PeCoord> sites;
+  // faults[i] is experiment i; for transient campaigns at_cycle holds the
+  // strike offset relative to the faulty run's start (pre-sampled so any
+  // execution order yields identical experiments).
+  std::vector<FaultSpec> faults;
+
+  const RunResult& golden() const {
+    return cached != nullptr ? cached->result : reference_golden;
+  }
+  // Non-null iff the campaign runs on the differential engine.
+  const GoldenTrace* trace() const {
+    return cached != nullptr && config.engine == CampaignEngine::kDifferential
+               ? &cached->trace
+               : nullptr;
+  }
+};
+
+// Validates the configuration, performs (or fetches from the process-wide
+// GoldenRunCache) the golden run, enumerates sites, and pre-samples faults.
+// Under kReference the golden run needs a simulator: `golden_runner`
+// supplies one (the service passes its worker-cached instance); pass
+// nullptr to construct a transient one.
+PreparedCampaign PrepareCampaign(const CampaignConfig& config,
+                                 FiRunner* golden_runner = nullptr);
+
+// Runs experiment `index` of a prepared campaign on `runner`, which must
+// have been constructed with prepared.config.accel. Configures the engine
+// tier on the runner, so simulators may be freely reused across campaigns
+// with different engines.
+ExperimentRecord RunPreparedExperiment(const PreparedCampaign& prepared,
+                                       FiRunner& runner, std::size_t index);
 
 }  // namespace saffire

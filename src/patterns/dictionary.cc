@@ -152,13 +152,6 @@ std::vector<Element> ParsePairArray(JsonCursor& cursor, auto make) {
   return out;
 }
 
-Dataflow DataflowFromString(const std::string& name) {
-  if (name == "WS") return Dataflow::kWeightStationary;
-  if (name == "OS") return Dataflow::kOutputStationary;
-  if (name == "IS") return Dataflow::kInputStationary;
-  SAFFIRE_CHECK_MSG(false, "unknown dataflow '" << name << "'");
-}
-
 PatternClass PatternClassFromString(const std::string& name) {
   for (int i = 0; i < kNumPatternClasses; ++i) {
     const auto pattern = static_cast<PatternClass>(i);

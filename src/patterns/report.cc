@@ -141,31 +141,42 @@ std::string RenderCampaignSummary(const CampaignResult& result) {
   return os.str();
 }
 
+const std::vector<std::string>& CampaignCsvHeader() {
+  static const std::vector<std::string> kHeader = {
+      "workload",        "dataflow",          "pe_row",
+      "pe_col",          "signal",            "bit",
+      "polarity",        "observed_class",    "predicted_class",
+      "prediction_exact", "observed_within_predicted",
+      "corrupted_count", "max_abs_delta",     "fault_activations",
+      "cycles"};
+  return kHeader;
+}
+
+std::vector<std::string> CampaignCsvRow(const CampaignConfig& config,
+                                        const ExperimentRecord& record) {
+  return {
+      config.workload.name,
+      ToString(config.dataflow),
+      std::to_string(record.fault.pe.row),
+      std::to_string(record.fault.pe.col),
+      ToString(record.fault.signal),
+      std::to_string(record.fault.bit),
+      ToString(record.fault.polarity),
+      ToString(record.observed),
+      ToString(record.predicted),
+      record.prediction_exact ? "1" : "0",
+      record.observed_within_predicted ? "1" : "0",
+      std::to_string(record.corrupted_count),
+      std::to_string(record.max_abs_delta),
+      std::to_string(record.fault_activations),
+      std::to_string(record.cycles),
+  };
+}
+
 void WriteCampaignCsv(const CampaignResult& result, std::ostream& out) {
-  CsvWriter writer(
-      out, {"workload", "dataflow", "pe_row", "pe_col", "signal", "bit",
-            "polarity", "observed_class", "predicted_class",
-            "prediction_exact", "observed_within_predicted",
-            "corrupted_count", "max_abs_delta", "fault_activations",
-            "cycles"});
+  CsvWriter writer(out, CampaignCsvHeader());
   for (const ExperimentRecord& record : result.records) {
-    writer.WriteRow({
-        result.config.workload.name,
-        ToString(result.config.dataflow),
-        std::to_string(record.fault.pe.row),
-        std::to_string(record.fault.pe.col),
-        ToString(record.fault.signal),
-        std::to_string(record.fault.bit),
-        ToString(record.fault.polarity),
-        ToString(record.observed),
-        ToString(record.predicted),
-        record.prediction_exact ? "1" : "0",
-        record.observed_within_predicted ? "1" : "0",
-        std::to_string(record.corrupted_count),
-        std::to_string(record.max_abs_delta),
-        std::to_string(record.fault_activations),
-        std::to_string(record.cycles),
-    });
+    writer.WriteRow(CampaignCsvRow(result.config, record));
   }
 }
 

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "patterns/campaign.h"
 
@@ -40,6 +41,12 @@ std::string RenderHistogram(const CampaignResult& result);
 // Multi-line summary: configuration, sites, histogram, prediction
 // agreement, determinism property, cost.
 std::string RenderCampaignSummary(const CampaignResult& result);
+
+// The campaign CSV schema, shared by WriteCampaignCsv and the streaming
+// CsvRecordSink (service/sink.h) so their outputs are byte-identical.
+const std::vector<std::string>& CampaignCsvHeader();
+std::vector<std::string> CampaignCsvRow(const CampaignConfig& config,
+                                        const ExperimentRecord& record);
 
 // One CSV row per experiment (fault site, class, prediction agreement,
 // corruption statistics, cycles).

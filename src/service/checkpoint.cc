@@ -1,0 +1,190 @@
+#include "service/checkpoint.h"
+
+#include <string>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace saffire {
+
+namespace {
+
+// Rehydrates one "record" line. Enum payloads are integers in the JSONL
+// (stable across renames); each is range-checked so a corrupted file cannot
+// smuggle out-of-range values into downstream switch statements.
+ExperimentRecord ParseRecordLine(const JsonValue& json) {
+  ExperimentRecord record;
+  record.fault.pe.row = static_cast<std::int32_t>(json.At("pe_row").AsInt());
+  record.fault.pe.col = static_cast<std::int32_t>(json.At("pe_col").AsInt());
+
+  const std::int64_t signal = json.At("signal").AsInt();
+  SAFFIRE_CHECK_MSG(signal >= 0 && signal < kNumMacSignals,
+                    "signal " << signal << " out of range");
+  record.fault.signal = static_cast<MacSignal>(signal);
+
+  record.fault.bit = static_cast<int>(json.At("bit").AsInt());
+
+  const std::int64_t polarity = json.At("polarity").AsInt();
+  SAFFIRE_CHECK_MSG(polarity == 0 || polarity == 1,
+                    "polarity " << polarity << " out of range");
+  record.fault.polarity = static_cast<StuckPolarity>(polarity);
+
+  const std::int64_t kind = json.At("kind").AsInt();
+  SAFFIRE_CHECK_MSG(kind == 0 || kind == 1, "kind " << kind << " out of range");
+  record.fault.kind = static_cast<FaultKind>(kind);
+
+  record.fault.at_cycle = json.At("at_cycle").AsInt();
+
+  const std::int64_t observed = json.At("observed").AsInt();
+  SAFFIRE_CHECK_MSG(observed >= 0 && observed < kNumPatternClasses,
+                    "observed class " << observed << " out of range");
+  record.observed = static_cast<PatternClass>(observed);
+
+  const std::int64_t predicted = json.At("predicted").AsInt();
+  SAFFIRE_CHECK_MSG(predicted >= 0 && predicted < kNumPatternClasses,
+                    "predicted class " << predicted << " out of range");
+  record.predicted = static_cast<PatternClass>(predicted);
+
+  record.prediction_exact = json.At("prediction_exact").AsBool();
+  record.observed_within_predicted =
+      json.At("observed_within_predicted").AsBool();
+  record.corrupted_count = json.At("corrupted_count").AsInt();
+  record.max_abs_delta = json.At("max_abs_delta").AsInt();
+  record.fault_activations = json.At("fault_activations").AsUint();
+  record.cycles = json.At("cycles").AsInt();
+  record.pe_steps = json.At("pe_steps").AsUint();
+  record.pe_steps_skipped = json.At("pe_steps_skipped").AsUint();
+  return record;
+}
+
+void ApplyLine(SweepCheckpoint& checkpoint, const JsonValue& json) {
+  const std::string& type = json.At("type").AsString();
+  if (type == "campaign") {
+    const auto index = static_cast<std::size_t>(json.At("campaign").AsUint());
+    CheckpointCampaign& campaign = checkpoint.campaigns[index];
+    const std::string& key = json.At("key").AsString();
+    SAFFIRE_CHECK_MSG(campaign.key.empty() || campaign.key == key,
+                      "campaign " << index
+                                  << " appears twice with different keys");
+    campaign.key = key;
+    campaign.total_experiments = json.At("experiments").AsInt();
+    campaign.golden_cycles = json.At("golden_cycles").AsInt();
+    campaign.golden_pe_steps = json.At("golden_pe_steps").AsUint();
+    campaign.golden_cache_hit = json.At("golden_cache_hit").AsBool();
+    return;
+  }
+  if (type == "record") {
+    const auto index = static_cast<std::size_t>(json.At("campaign").AsUint());
+    const auto it = checkpoint.campaigns.find(index);
+    SAFFIRE_CHECK_MSG(it != checkpoint.campaigns.end(),
+                      "record for campaign " << index
+                                             << " before its campaign line");
+    const std::int64_t experiment = json.At("experiment").AsInt();
+    const ExperimentRecord record = ParseRecordLine(json);
+    const auto [slot, inserted] =
+        it->second.records.emplace(experiment, record);
+    SAFFIRE_CHECK_MSG(inserted || slot->second == record,
+                      "conflicting duplicates of campaign "
+                          << index << " experiment " << experiment);
+    return;
+  }
+  // Forward compatibility: "sweep"/"sweep_end" markers and any future line
+  // types carry no resumable state.
+}
+
+}  // namespace
+
+void SweepCheckpoint::MergeFrom(const SweepCheckpoint& other) {
+  for (const auto& [index, theirs] : other.campaigns) {
+    const auto it = campaigns.find(index);
+    if (it == campaigns.end()) {
+      campaigns.emplace(index, theirs);
+      continue;
+    }
+    CheckpointCampaign& ours = it->second;
+    SAFFIRE_CHECK_MSG(ours.key == theirs.key,
+                      "checkpoints disagree on campaign " << index
+                                                          << "'s key");
+    SAFFIRE_CHECK_MSG(
+        ours.total_experiments == theirs.total_experiments,
+        "checkpoints disagree on campaign " << index << "'s size");
+    for (const auto& [experiment, record] : theirs.records) {
+      const auto [slot, inserted] = ours.records.emplace(experiment, record);
+      SAFFIRE_CHECK_MSG(inserted || slot->second == record,
+                        "checkpoints conflict on campaign "
+                            << index << " experiment " << experiment);
+    }
+  }
+}
+
+const ExperimentRecord* SweepCheckpoint::Find(
+    std::size_t campaign_index, std::int64_t experiment_index) const {
+  const auto campaign = campaigns.find(campaign_index);
+  if (campaign == campaigns.end()) return nullptr;
+  const auto record = campaign->second.records.find(experiment_index);
+  return record == campaign->second.records.end() ? nullptr : &record->second;
+}
+
+std::int64_t SweepCheckpoint::TotalRecords() const {
+  std::int64_t total = 0;
+  for (const auto& [index, campaign] : campaigns) {
+    total += static_cast<std::int64_t>(campaign.records.size());
+  }
+  return total;
+}
+
+SweepCheckpoint LoadSweepCheckpoint(std::istream& in) {
+  SweepCheckpoint checkpoint;
+  std::string line;
+  std::int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    JsonValue json;
+    try {
+      json = JsonValue::Parse(line);
+      ApplyLine(checkpoint, json);
+    } catch (const std::invalid_argument& error) {
+      // A broken final line is the signature of a run killed mid-write;
+      // everything before it is still good. Broken interior lines mean the
+      // file itself is damaged — refuse it.
+      if (in.peek() == std::istream::traits_type::eof()) {
+        SAFFIRE_LOG_WARN << "checkpoint line " << line_number
+                         << " truncated, dropping it: " << error.what();
+        break;
+      }
+      SAFFIRE_CHECK_MSG(false, "checkpoint line " << line_number << ": "
+                                                  << error.what());
+    }
+  }
+  return checkpoint;
+}
+
+void ValidateCheckpoint(const SweepCheckpoint& checkpoint,
+                        const CampaignPlan& plan) {
+  for (const auto& [index, campaign] : checkpoint.campaigns) {
+    SAFFIRE_CHECK_MSG(index < plan.campaigns.size(),
+                      "checkpoint has campaign " << index << " but the plan"
+                      << " has only " << plan.campaigns.size());
+    SAFFIRE_CHECK_MSG(
+        campaign.key == CampaignKey(plan.campaigns[index]),
+        "checkpoint campaign " << index
+                               << " was produced by a different config "
+                                  "than the plan's (key mismatch)");
+    SAFFIRE_CHECK_MSG(campaign.total_experiments == plan.site_counts[index],
+                      "checkpoint campaign "
+                          << index << " has " << campaign.total_experiments
+                          << " experiments, plan expects "
+                          << plan.site_counts[index]);
+    for (const auto& [experiment, record] : campaign.records) {
+      SAFFIRE_CHECK_MSG(experiment >= 0 &&
+                            experiment < campaign.total_experiments,
+                        "checkpoint campaign " << index << " experiment "
+                                               << experiment
+                                               << " out of range");
+      (void)record;
+    }
+  }
+}
+
+}  // namespace saffire

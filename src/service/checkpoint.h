@@ -1,0 +1,67 @@
+// Checkpoint/resume for partial sweeps. The JSONL stream a JsonlRecordSink
+// writes (service/sink.h) is loadable as a SweepCheckpoint: every record
+// already on disk is replayed into the sinks instead of re-simulated, so an
+// interrupted multi-hour sweep (the paper reports 49 h of FPGA fault
+// injection, Sec. III-B) resumes from its last flushed line, and per-shard
+// JSONL files from split runs merge back into the full sweep.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <string>
+
+#include "patterns/campaign.h"
+#include "service/sweep.h"
+
+namespace saffire {
+
+// Checkpointed state of one campaign.
+struct CheckpointCampaign {
+  // CampaignKey of the config the records came from — the identity guard
+  // ValidateCheckpoint matches against the plan being resumed.
+  std::string key;
+  std::int64_t total_experiments = 0;
+  std::int64_t golden_cycles = 0;
+  std::uint64_t golden_pe_steps = 0;
+  bool golden_cache_hit = false;
+  // experiment index -> record; sparse (a shard checkpoints only its range).
+  std::map<std::int64_t, ExperimentRecord> records;
+
+  bool Complete() const {
+    return static_cast<std::int64_t>(records.size()) == total_experiments;
+  }
+};
+
+struct SweepCheckpoint {
+  // plan campaign index -> checkpointed state.
+  std::map<std::size_t, CheckpointCampaign> campaigns;
+
+  // Merges another checkpoint (e.g. a different shard's JSONL) into this
+  // one. Duplicate (campaign, experiment) entries must agree bit-for-bit;
+  // conflicting duplicates or mismatched campaign keys throw.
+  void MergeFrom(const SweepCheckpoint& other);
+
+  // The checkpointed record, or nullptr when not covered.
+  const ExperimentRecord* Find(std::size_t campaign_index,
+                               std::int64_t experiment_index) const;
+
+  std::int64_t TotalRecords() const;
+};
+
+// Parses a JSONL stream produced by JsonlRecordSink. Unknown line types
+// ("sweep", "sweep_end") are ignored. A malformed or truncated *final* line
+// is dropped with a warning — the expected shape of a run killed mid-write;
+// malformed earlier lines throw std::invalid_argument, since they mean the
+// file is not what it claims to be.
+SweepCheckpoint LoadSweepCheckpoint(std::istream& in);
+
+// Verifies the checkpoint matches `plan`: every checkpointed campaign index
+// exists in the plan, its key equals CampaignKey(plan.campaigns[i]), its
+// experiment count equals the plan's site count, and record indices are in
+// range. Throws std::invalid_argument on any mismatch — resuming records
+// into the wrong sweep must fail loudly, never merge silently.
+void ValidateCheckpoint(const SweepCheckpoint& checkpoint,
+                        const CampaignPlan& plan);
+
+}  // namespace saffire

@@ -1,0 +1,509 @@
+#include "service/executor.h"
+
+#include <algorithm>
+#include <exception>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace saffire {
+
+namespace {
+
+// Set while a thread is executing inside a pool worker; a nested Run() from
+// such a thread executes inline instead of queueing work its own pool can
+// never pick up.
+thread_local bool t_is_pool_worker = false;
+
+// Serializes an AccelConfig into the per-worker simulator cache key.
+std::string SimulatorKey(const AccelConfig& accel) {
+  std::ostringstream key;
+  key << accel.array.rows << ',' << accel.array.cols << ','
+      << accel.array.input_bits << ',' << accel.array.acc_bits << ','
+      << accel.spad_rows << ',' << accel.acc_rows << ','
+      << accel.max_compute_rows << ',' << accel.double_buffered_weights
+      << ',' << accel.dram_bytes;
+  return key.str();
+}
+
+}  // namespace
+
+// A worker's cached simulator. Capacity one: each FiRunner owns a
+// dram_bytes-sized memory image, so caching more than the last-used
+// configuration per worker trades too much memory for too little reuse
+// (within a sweep, consecutive campaigns almost always share the accel).
+struct CampaignExecutor::WorkerCache {
+  std::string key;
+  std::optional<FiRunner> runner;
+
+  // Returns a simulator for `accel`, setting *constructed to whether a new
+  // one had to be built (vs a cache hit).
+  FiRunner& Get(const AccelConfig& accel, bool* constructed) {
+    std::string want = SimulatorKey(accel);
+    if (!runner.has_value() || key != want) {
+      runner.emplace(accel);
+      key = std::move(want);
+      *constructed = true;
+    } else {
+      *constructed = false;
+    }
+    return *runner;
+  }
+};
+
+namespace {
+
+// Per-campaign execution state inside a run. Guarded by the executor mutex
+// except where noted.
+struct CampaignState {
+  enum class Stage : std::uint8_t {
+    kPending = 0,   // not yet prepared
+    kPreparing,     // a worker is running PrepareCampaign
+    kReady,         // prepared; chunks claimable
+    kReplayOnly,    // fully covered by the checkpoint; nothing to simulate
+  };
+
+  Stage stage = Stage::kPending;
+  std::int64_t total = 0;  // plan site count
+
+  // Indices this run delivers (in-shard ∪ checkpointed), ascending, and the
+  // subset to simulate (deliverable minus checkpointed).
+  std::vector<std::int64_t> deliverable;
+  std::vector<std::int64_t> to_simulate;
+  std::int64_t replayed_records = 0;
+
+  // Chunks partition to_simulate by position: chunk i covers positions
+  // [chunk_bounds[i], chunk_bounds[i+1]).
+  std::vector<std::int64_t> chunk_bounds;
+  std::size_t next_chunk = 0;
+  std::size_t chunks_finished = 0;
+
+  // Read-only after the stage becomes kReady (workers access it without
+  // the lock while running experiments).
+  PreparedCampaign prepared;
+  // One slot per experiment index, filled from checkpoint replay (in Run)
+  // or chunk publication (under the lock).
+  std::vector<std::optional<ExperimentRecord>> records;
+
+  CampaignBeginInfo info;
+  bool begun = false;
+  bool ended = false;
+  std::size_t deliver_cursor = 0;  // position in `deliverable`
+
+  bool HasClaimableChunk() const {
+    return next_chunk + 1 < chunk_bounds.size();
+  }
+  bool AllChunksDone() const {
+    return chunk_bounds.size() < 2 ||
+           chunks_finished == chunk_bounds.size() - 1;
+  }
+};
+
+}  // namespace
+
+// One Run() invocation's shared state, living on the calling thread's
+// stack; workers hold pointers only while it is registered in `active_`.
+struct CampaignExecutor::RunState {
+  const CampaignPlan* plan = nullptr;
+  RecordSink* sink = nullptr;
+  int cap = 0;               // max workers serving this run
+  int active_workers = 0;    // workers currently executing its tasks
+  std::size_t next_prepare = 0;
+  std::vector<CampaignState> campaigns;
+  std::size_t deliver_campaign = 0;  // canonical delivery frontier
+  bool delivering = false;  // a thread is inside sink callbacks
+  std::exception_ptr error;
+  std::condition_variable done_cv;
+
+  bool Finished() const { return deliver_campaign == campaigns.size(); }
+};
+
+CampaignExecutor::CampaignExecutor(int threads) {
+  SAFFIRE_CHECK_MSG(threads >= 1 && threads <= 256, "threads=" << threads);
+  workers_.reserve(static_cast<std::size_t>(threads));
+  stats_.pool_threads = threads;
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<std::size_t>(i)); });
+  }
+}
+
+CampaignExecutor::~CampaignExecutor() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+CampaignExecutor& CampaignExecutor::Shared() {
+  // Meyers static: joined at process exit, so leak checkers stay quiet and
+  // in-flight work drains before static destruction proceeds.
+  static CampaignExecutor executor;
+  return executor;
+}
+
+ExecutorStats CampaignExecutor::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void CampaignExecutor::Run(const CampaignPlan& plan, RecordSink& sink,
+                           const RunOptions& options) {
+  SAFFIRE_CHECK_MSG(!plan.campaigns.empty(), "empty campaign plan");
+  SAFFIRE_CHECK_MSG(plan.campaigns.size() == plan.site_counts.size(),
+                    "malformed plan: " << plan.campaigns.size()
+                                       << " campaigns, "
+                                       << plan.site_counts.size()
+                                       << " site counts");
+  SAFFIRE_CHECK_MSG(
+      options.max_parallelism >= 0 && options.max_parallelism <= 256,
+      "max_parallelism=" << options.max_parallelism);
+  for (const CampaignConfig& config : plan.campaigns) {
+    config.accel.Validate();
+    config.workload.Validate();
+  }
+  if (options.checkpoint != nullptr) {
+    ValidateCheckpoint(*options.checkpoint, plan);
+  }
+
+  RunState run;
+  run.plan = &plan;
+  run.sink = &sink;
+  run.cap = options.max_parallelism == 0
+                ? static_cast<int>(workers_.size())
+                : std::min(options.max_parallelism,
+                           static_cast<int>(workers_.size()));
+
+  // Expand per-campaign delivery/replay/simulation sets.
+  std::int64_t replay_only_campaigns = 0;
+  std::int64_t replayed_experiments = 0;
+  run.campaigns.resize(plan.campaigns.size());
+  for (std::size_t c = 0; c < plan.campaigns.size(); ++c) {
+    CampaignState& campaign = run.campaigns[c];
+    campaign.total = plan.site_counts[c];
+    campaign.records.resize(static_cast<std::size_t>(campaign.total));
+
+    std::vector<bool> deliver(static_cast<std::size_t>(campaign.total),
+                              options.only_shard < 0);
+    if (options.only_shard >= 0) {
+      for (const PlannedShard& shard : plan.shards) {
+        if (shard.campaign_index != c ||
+            shard.shard_index != options.only_shard) {
+          continue;
+        }
+        for (std::int64_t i = shard.begin; i < shard.end; ++i) {
+          deliver[static_cast<std::size_t>(i)] = true;
+        }
+      }
+    }
+    const CheckpointCampaign* from = nullptr;
+    if (options.checkpoint != nullptr) {
+      const auto it = options.checkpoint->campaigns.find(c);
+      if (it != options.checkpoint->campaigns.end()) from = &it->second;
+    }
+    if (from != nullptr) {
+      for (const auto& [index, record] : from->records) {
+        deliver[static_cast<std::size_t>(index)] = true;
+        campaign.records[static_cast<std::size_t>(index)] = record;
+      }
+    }
+    for (std::int64_t i = 0; i < campaign.total; ++i) {
+      const auto s = static_cast<std::size_t>(i);
+      if (!deliver[s]) continue;
+      campaign.deliverable.push_back(i);
+      if (!campaign.records[s].has_value()) campaign.to_simulate.push_back(i);
+    }
+    campaign.replayed_records =
+        static_cast<std::int64_t>(campaign.deliverable.size()) -
+        static_cast<std::int64_t>(campaign.to_simulate.size());
+    replayed_experiments += campaign.replayed_records;
+
+    campaign.info.campaign_index = c;
+    campaign.info.config = &plan.campaigns[c];
+    campaign.info.total_experiments = campaign.total;
+    campaign.info.scheduled_experiments =
+        static_cast<std::int64_t>(campaign.deliverable.size());
+
+    if (campaign.to_simulate.empty() && from != nullptr) {
+      // Fully covered: golden metadata comes from the checkpoint too, so
+      // no simulator or golden run is needed at all.
+      campaign.stage = CampaignState::Stage::kReplayOnly;
+      campaign.info.golden_cycles = from->golden_cycles;
+      campaign.info.golden_pe_steps = from->golden_pe_steps;
+      campaign.info.golden_cache_hit = from->golden_cache_hit;
+      campaign.info.replayed = true;
+      ++replay_only_campaigns;
+    }
+  }
+
+  sink.OnSweepBegin(plan);
+
+  if (t_is_pool_worker) {
+    // Nested Run() from inside a pool worker: execute inline, serially —
+    // queueing onto a pool we are currently occupying risks deadlock.
+    WorkerCache cache;
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++stats_.runs;
+    stats_.campaigns_replayed += replay_only_campaigns;
+    stats_.experiments_replayed += replayed_experiments;
+    for (std::size_t c = 0; c < run.campaigns.size(); ++c) {
+      CampaignState& campaign = run.campaigns[c];
+      if (campaign.stage == CampaignState::Stage::kReplayOnly) continue;
+      campaign.stage = CampaignState::Stage::kPreparing;
+      lock.unlock();
+      PrepareOne(run, c, cache);
+      lock.lock();
+      while (campaign.HasClaimableChunk()) {
+        const std::size_t chunk = campaign.next_chunk++;
+        lock.unlock();
+        RunChunk(run, c, cache, campaign.chunk_bounds[chunk],
+                 campaign.chunk_bounds[chunk + 1]);
+        lock.lock();
+        ++campaign.chunks_finished;
+      }
+    }
+    Deliver(run, lock);
+    SAFFIRE_ASSERT_MSG(run.Finished(), "inline run left campaigns behind");
+    lock.unlock();
+    sink.OnSweepEnd();
+    return;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++stats_.runs;
+    stats_.campaigns_replayed += replay_only_campaigns;
+    stats_.experiments_replayed += replayed_experiments;
+    active_.push_back(&run);
+    // A replay-only prefix has no tasks to trigger its delivery; push the
+    // frontier from here before handing off to the workers.
+    Deliver(run, lock);
+    work_ready_.notify_all();
+    run.done_cv.wait(lock, [&run] {
+      return run.Finished() && run.active_workers == 0 && !run.delivering;
+    });
+    active_.erase(std::find(active_.begin(), active_.end(), &run));
+  }
+  if (run.error != nullptr) std::rethrow_exception(run.error);
+  sink.OnSweepEnd();
+}
+
+void CampaignExecutor::WorkerLoop(std::size_t /*worker_index*/) {
+  t_is_pool_worker = true;
+  WorkerCache cache;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (shutdown_) return;
+    if (!RunOneTask(cache, lock)) work_ready_.wait(lock);
+  }
+}
+
+bool CampaignExecutor::RunOneTask(WorkerCache& cache,
+                                  std::unique_lock<std::mutex>& lock) {
+  // Scan active runs for work, respecting each run's worker cap — this scan
+  // is the work-stealing: a worker serves whichever run (and whichever
+  // campaign within it) has a claimable task. Chunks of already-prepared
+  // campaigns take priority over preparing new ones so a run's in-flight
+  // memory (golden traces + record buffers) stays bounded.
+  for (RunState* run : active_) {
+    if (run->active_workers >= run->cap || run->error != nullptr) continue;
+
+    // Pass 1: a claimable chunk from any ready campaign.
+    for (std::size_t c = 0; c < run->campaigns.size(); ++c) {
+      CampaignState& campaign = run->campaigns[c];
+      if (campaign.stage != CampaignState::Stage::kReady ||
+          !campaign.HasClaimableChunk()) {
+        continue;
+      }
+      const std::size_t chunk = campaign.next_chunk++;
+      ++run->active_workers;
+      lock.unlock();
+      try {
+        RunChunk(*run, c, cache, campaign.chunk_bounds[chunk],
+                 campaign.chunk_bounds[chunk + 1]);
+        lock.lock();
+      } catch (...) {
+        lock.lock();
+        if (run->error == nullptr) run->error = std::current_exception();
+      }
+      ++campaign.chunks_finished;
+      --run->active_workers;
+      Deliver(*run, lock);
+      work_ready_.notify_all();
+      return true;
+    }
+
+    // Pass 2: prepare the next campaign, with bounded lookahead so at most
+    // cap+1 campaigns hold prepared state at once.
+    if (run->next_prepare >= run->campaigns.size()) continue;
+    int in_flight = 0;
+    for (const CampaignState& campaign : run->campaigns) {
+      if (campaign.stage == CampaignState::Stage::kPreparing ||
+          (campaign.stage == CampaignState::Stage::kReady &&
+           !campaign.AllChunksDone())) {
+        ++in_flight;
+      }
+    }
+    if (in_flight > run->cap) continue;
+    // Replay-only campaigns never need preparing; skip past them.
+    while (run->next_prepare < run->campaigns.size() &&
+           run->campaigns[run->next_prepare].stage !=
+               CampaignState::Stage::kPending) {
+      ++run->next_prepare;
+    }
+    if (run->next_prepare >= run->campaigns.size()) continue;
+    const std::size_t c = run->next_prepare++;
+    run->campaigns[c].stage = CampaignState::Stage::kPreparing;
+    ++run->active_workers;
+    lock.unlock();
+    try {
+      PrepareOne(*run, c, cache);
+      lock.lock();
+    } catch (...) {
+      lock.lock();
+      if (run->error == nullptr) run->error = std::current_exception();
+      // Mark ready with no chunks so the delivery frontier can pass it.
+      run->campaigns[c].stage = CampaignState::Stage::kReady;
+      run->campaigns[c].chunk_bounds.clear();
+    }
+    --run->active_workers;
+    Deliver(*run, lock);
+    work_ready_.notify_all();
+    return true;
+  }
+  return false;
+}
+
+void CampaignExecutor::PrepareOne(RunState& run, std::size_t campaign_index,
+                                  WorkerCache& cache) {
+  CampaignState& campaign = run.campaigns[campaign_index];
+  const CampaignConfig& config = run.plan->campaigns[campaign_index];
+
+  bool constructed = false;
+  FiRunner* golden_runner = nullptr;
+  if (config.engine == CampaignEngine::kReference) {
+    // Only the reference engine runs its golden on a local simulator; the
+    // others go through the process-wide GoldenRunCache.
+    golden_runner = &cache.Get(config.accel, &constructed);
+  }
+  PreparedCampaign prepared = PrepareCampaign(config, golden_runner);
+  SAFFIRE_ASSERT_MSG(
+      static_cast<std::int64_t>(prepared.faults.size()) == campaign.total,
+      "campaign " << campaign_index << ": plan expects " << campaign.total
+                  << " sites, prepare produced " << prepared.faults.size());
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (golden_runner != nullptr) {
+    ++(constructed ? stats_.simulators_constructed
+                   : stats_.simulators_reused);
+  }
+  if (prepared.golden_cache_hit) ++stats_.golden_cache_hits;
+  ++stats_.campaigns_executed;
+
+  campaign.info.golden_cycles = prepared.golden().cycles;
+  campaign.info.golden_pe_steps = prepared.golden().pe_steps;
+  campaign.info.golden_cache_hit = prepared.golden_cache_hit;
+  campaign.prepared = std::move(prepared);
+
+  // Chunk the simulation list: small enough for stealing to balance load
+  // across workers, large enough that claiming is not the bottleneck.
+  const auto n = static_cast<std::int64_t>(campaign.to_simulate.size());
+  const std::int64_t chunk_size = std::clamp<std::int64_t>(
+      n / (static_cast<std::int64_t>(run.cap) * 4), 1, 64);
+  campaign.chunk_bounds.clear();
+  for (std::int64_t p = 0; p < n; p += chunk_size) {
+    campaign.chunk_bounds.push_back(p);
+  }
+  campaign.chunk_bounds.push_back(n);
+  campaign.stage = CampaignState::Stage::kReady;
+}
+
+void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
+                                WorkerCache& cache, std::int64_t begin,
+                                std::int64_t end) {
+  CampaignState& campaign = run.campaigns[campaign_index];
+  const CampaignConfig& config = run.plan->campaigns[campaign_index];
+
+  bool constructed = false;
+  FiRunner& runner = cache.Get(config.accel, &constructed);
+  // Buffer locally, publish under the lock: record slots are read by the
+  // delivery frontier, which must never observe a half-written record.
+  std::vector<ExperimentRecord> chunk;
+  chunk.reserve(static_cast<std::size_t>(end - begin));
+  for (std::int64_t p = begin; p < end; ++p) {
+    const std::int64_t index =
+        campaign.to_simulate[static_cast<std::size_t>(p)];
+    chunk.push_back(RunPreparedExperiment(campaign.prepared, runner,
+                                          static_cast<std::size_t>(index)));
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (std::int64_t p = begin; p < end; ++p) {
+    const std::int64_t index =
+        campaign.to_simulate[static_cast<std::size_t>(p)];
+    campaign.records[static_cast<std::size_t>(index)] =
+        std::move(chunk[static_cast<std::size_t>(p - begin)]);
+  }
+  ++(constructed ? stats_.simulators_constructed : stats_.simulators_reused);
+  ++stats_.chunks_executed;
+  stats_.experiments_run += end - begin;
+}
+
+void CampaignExecutor::Deliver(RunState& run,
+                               std::unique_lock<std::mutex>& lock) {
+  if (run.delivering) return;  // the current owner will pick our records up
+  run.delivering = true;
+  while (run.deliver_campaign < run.campaigns.size()) {
+    if (run.error != nullptr) {
+      // Fail fast: abandon the frontier so waiters see a finished run once
+      // in-flight workers drain; Run() rethrows the stored error.
+      run.deliver_campaign = run.campaigns.size();
+      break;
+    }
+    CampaignState& campaign = run.campaigns[run.deliver_campaign];
+    if (campaign.stage != CampaignState::Stage::kReady &&
+        campaign.stage != CampaignState::Stage::kReplayOnly) {
+      break;  // golden metadata not known yet
+    }
+    if (!campaign.begun) {
+      campaign.begun = true;
+      lock.unlock();
+      run.sink->OnCampaignBegin(campaign.info);
+      lock.lock();
+    }
+    while (campaign.deliver_cursor < campaign.deliverable.size()) {
+      const std::int64_t index =
+          campaign.deliverable[campaign.deliver_cursor];
+      const std::optional<ExperimentRecord>& slot =
+          campaign.records[static_cast<std::size_t>(index)];
+      if (!slot.has_value()) break;
+      const ExperimentRecord record = *slot;
+      ++campaign.deliver_cursor;
+      lock.unlock();
+      run.sink->OnRecord(campaign.info, index, record);
+      lock.lock();
+    }
+    if (campaign.deliver_cursor < campaign.deliverable.size()) break;
+    if (!campaign.ended) {
+      campaign.ended = true;
+      lock.unlock();
+      run.sink->OnCampaignEnd(campaign.info);
+      lock.lock();
+      // Release the campaign's bulk (golden trace reference, fault list,
+      // record buffer) as soon as it is fully delivered.
+      campaign.prepared = PreparedCampaign();
+      campaign.records.clear();
+      campaign.records.shrink_to_fit();
+    }
+    ++run.deliver_campaign;
+  }
+  run.delivering = false;
+  if (run.Finished()) run.done_cv.notify_all();
+}
+
+}  // namespace saffire

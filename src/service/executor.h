@@ -1,0 +1,115 @@
+// The campaign execution service: one persistent worker pool that runs
+// whole CampaignPlans, work-stealing across every campaign in a batch, and
+// streams records to RecordSinks in a deterministic canonical order.
+//
+// Why a service instead of RunCampaignParallel's old spawn-per-call model:
+// a paper-scale sweep is hundreds of campaigns (Sec. III-B), and per-call
+// orchestration pays thread spawn/join and simulator construction (each
+// FiRunner owns a dram_bytes-sized memory image) once per campaign. The
+// executor pays them once per *process*: workers live across Run() calls,
+// each worker caches its simulator keyed by the accelerator configuration,
+// and the tail of one campaign overlaps the head of the next instead of
+// serializing at a join barrier. ExecutorStats counts exactly these savings.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "patterns/campaign.h"
+#include "service/checkpoint.h"
+#include "service/sink.h"
+#include "service/sweep.h"
+
+namespace saffire {
+
+// Cumulative counters since construction. Snapshot via
+// CampaignExecutor::stats(); deltas across a Run() are the per-batch cost.
+struct ExecutorStats {
+  int pool_threads = 0;
+  std::int64_t runs = 0;
+  // Campaigns simulated vs satisfied entirely from a checkpoint.
+  std::int64_t campaigns_executed = 0;
+  std::int64_t campaigns_replayed = 0;
+  // Experiments simulated vs replayed from checkpointed records.
+  std::int64_t experiments_run = 0;
+  std::int64_t experiments_replayed = 0;
+  std::int64_t chunks_executed = 0;
+  // Simulator (FiRunner) construction vs per-worker cache hits — the
+  // acceptance criterion: across a batch, constructed must stay below
+  // campaigns × workers while reused grows.
+  std::int64_t simulators_constructed = 0;
+  std::int64_t simulators_reused = 0;
+  // Golden runs served from the process-wide GoldenRunCache.
+  std::int64_t golden_cache_hits = 0;
+};
+
+struct RunOptions {
+  // Cap on workers serving this run; 0 means the whole pool. Kept as a cap
+  // (not an exact count) so a 1-thread run on a busy pool still means
+  // "at most one experiment in flight", which is what determinism tests
+  // exercise.
+  int max_parallelism = 0;
+  // Restrict execution to one plan shard index per campaign (-1 = all).
+  // Records outside the shard are delivered only if the checkpoint covers
+  // them — the multi-process split workflow.
+  int only_shard = -1;
+  // Previously completed records to replay instead of re-simulating.
+  // Validated against the plan (ValidateCheckpoint) before anything runs.
+  const SweepCheckpoint* checkpoint = nullptr;
+};
+
+// The persistent executor. Thread-safe: concurrent Run() calls interleave
+// their campaigns on the shared pool. A Run() issued from inside a pool
+// worker (a sink or experiment that recursively runs campaigns) executes
+// inline on the calling thread instead of deadlocking on its own pool.
+class CampaignExecutor {
+ public:
+  explicit CampaignExecutor(int threads = DefaultCampaignThreads());
+  ~CampaignExecutor();
+
+  CampaignExecutor(const CampaignExecutor&) = delete;
+  CampaignExecutor& operator=(const CampaignExecutor&) = delete;
+
+  // Executes the plan, streaming every record to `sink` in canonical order
+  // (campaign-major, site order within a campaign) no matter how the work
+  // was scheduled. Blocks until the sink has seen OnSweepEnd. Sink
+  // callbacks are serialized by the executor (RecordSink needs no locks)
+  // but may run on any worker thread.
+  void Run(const CampaignPlan& plan, RecordSink& sink,
+           const RunOptions& options = {});
+
+  // The process-wide shared executor (sized DefaultCampaignThreads()),
+  // constructed on first use and joined at exit.
+  static CampaignExecutor& Shared();
+
+  ExecutorStats stats() const;
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct RunState;
+  struct WorkerCache;
+
+  void WorkerLoop(std::size_t worker_index);
+  // Claims the next task of any active run; returns false when idle.
+  bool RunOneTask(WorkerCache& cache, std::unique_lock<std::mutex>& lock);
+  // Executes experiments [begin, end) of a prepared campaign.
+  void RunChunk(RunState& run, std::size_t campaign_index, WorkerCache& cache,
+                std::int64_t begin, std::int64_t end);
+  void PrepareOne(RunState& run, std::size_t campaign_index,
+                  WorkerCache& cache);
+  // Delivers every ready record at the canonical frontier. Caller holds
+  // `mutex_`; delivery drops it around sink callbacks.
+  void Deliver(RunState& run, std::unique_lock<std::mutex>& lock);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::vector<RunState*> active_;  // runs with undelivered work
+  bool shutdown_ = false;
+  ExecutorStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace saffire

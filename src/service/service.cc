@@ -1,0 +1,43 @@
+// The batch campaign API (declared in patterns/campaign.h), implemented as
+// thin wrappers over the shared CampaignExecutor: a single-campaign plan,
+// a collector sink, and the process-wide worker pool. Living here keeps
+// saffire_patterns free of any threading/orchestration code while callers
+// of RunCampaign* transparently benefit from pool and simulator reuse.
+#include "common/log.h"
+#include "patterns/campaign.h"
+#include "service/executor.h"
+#include "service/sink.h"
+#include "service/sweep.h"
+
+namespace saffire {
+
+CampaignResult RunCampaign(const CampaignConfig& config) {
+  return RunCampaignParallel(config, 1);
+}
+
+CampaignResult RunCampaignParallel(const CampaignConfig& config,
+                                   int threads) {
+  config.accel.Validate();
+  config.workload.Validate();
+  SAFFIRE_CHECK_MSG(threads >= 1 && threads <= 256,
+                    "threads=" << threads);
+
+  const CampaignPlan plan = SingleCampaignPlan(config);
+  SAFFIRE_LOG_INFO << "campaign: " << config.ToString() << " — "
+                   << plan.total_experiments() << " fault sites, "
+                   << ToString(config.engine) << " engine, up to " << threads
+                   << " thread(s)";
+
+  CollectorSink collector;
+  RunOptions options;
+  options.max_parallelism = threads;
+  CampaignExecutor::Shared().Run(plan, collector, options);
+
+  std::vector<CampaignResult> results = collector.TakeResults();
+  SAFFIRE_ASSERT_MSG(results.size() == 1,
+                     "single-campaign plan produced " << results.size()
+                                                      << " results");
+  return std::move(results.front());
+}
+
+}  // namespace saffire

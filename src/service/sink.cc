@@ -1,0 +1,196 @@
+#include "service/sink.h"
+
+#include "common/check.h"
+#include "common/json.h"
+#include "common/strings.h"
+#include "patterns/report.h"
+
+namespace saffire {
+
+// --- CollectorSink ----------------------------------------------------------
+
+void CollectorSink::OnCampaignBegin(const CampaignBeginInfo& info) {
+  SAFFIRE_ASSERT_MSG(info.campaign_index == results_.size(),
+                     "campaign " << info.campaign_index
+                                 << " delivered out of order");
+  CampaignResult result;
+  result.config = *info.config;
+  result.golden_cycles = info.golden_cycles;
+  result.golden_pe_steps = info.golden_pe_steps;
+  result.golden_cache_hit = info.golden_cache_hit;
+  result.records.reserve(static_cast<std::size_t>(info.total_experiments));
+  results_.push_back(std::move(result));
+}
+
+void CollectorSink::OnRecord(const CampaignBeginInfo& info,
+                             std::int64_t experiment_index,
+                             const ExperimentRecord& record) {
+  CampaignResult& result = results_.at(info.campaign_index);
+  // In-order delivery means indices arrive strictly increasing; a sharded
+  // run may skip ranges, which leaves holes the CampaignResult API cannot
+  // represent — the collector just concatenates what it sees.
+  SAFFIRE_ASSERT_MSG(
+      experiment_index >= static_cast<std::int64_t>(result.records.size()),
+      "experiment " << experiment_index << " delivered out of order");
+  result.records.push_back(record);
+}
+
+// --- HistogramSink ----------------------------------------------------------
+
+void HistogramSink::OnRecord(const CampaignBeginInfo& /*info*/,
+                             std::int64_t /*experiment_index*/,
+                             const ExperimentRecord& record) {
+  ++histogram_[record.observed];
+  ++total_;
+}
+
+// --- CsvRecordSink ----------------------------------------------------------
+
+CsvRecordSink::CsvRecordSink(std::ostream& out)
+    : writer_(out, CampaignCsvHeader()) {}
+
+void CsvRecordSink::OnRecord(const CampaignBeginInfo& info,
+                             std::int64_t /*experiment_index*/,
+                             const ExperimentRecord& record) {
+  writer_.WriteRow(CampaignCsvRow(*info.config, record));
+}
+
+// --- JsonlRecordSink --------------------------------------------------------
+
+void JsonlRecordSink::OnSweepBegin(const CampaignPlan& plan) {
+  JsonWriter w(out_);
+  w.BeginObject()
+      .Key("type").String("sweep")
+      .Key("campaigns").Uint(plan.campaigns.size())
+      .Key("experiments").Int(plan.total_experiments())
+      .EndObject();
+  out_ << '\n';
+}
+
+void JsonlRecordSink::OnCampaignBegin(const CampaignBeginInfo& info) {
+  JsonWriter w(out_);
+  w.BeginObject()
+      .Key("type").String("campaign")
+      .Key("campaign").Uint(info.campaign_index)
+      .Key("key").String(CampaignKey(*info.config))
+      .Key("experiments").Int(info.total_experiments)
+      .Key("golden_cycles").Int(info.golden_cycles)
+      .Key("golden_pe_steps").Uint(info.golden_pe_steps)
+      .Key("golden_cache_hit").Bool(info.golden_cache_hit)
+      .Key("config").String(info.config->ToString())
+      .EndObject();
+  out_ << '\n';
+}
+
+void JsonlRecordSink::OnRecord(const CampaignBeginInfo& info,
+                               std::int64_t experiment_index,
+                               const ExperimentRecord& record) {
+  JsonWriter w(out_);
+  w.BeginObject()
+      .Key("type").String("record")
+      .Key("campaign").Uint(info.campaign_index)
+      .Key("experiment").Int(experiment_index)
+      .Key("pe_row").Int(record.fault.pe.row)
+      .Key("pe_col").Int(record.fault.pe.col)
+      .Key("signal").Int(static_cast<int>(record.fault.signal))
+      .Key("bit").Int(record.fault.bit)
+      .Key("polarity").Int(static_cast<int>(record.fault.polarity))
+      .Key("kind").Int(static_cast<int>(record.fault.kind))
+      .Key("at_cycle").Int(record.fault.at_cycle)
+      .Key("observed").Int(static_cast<int>(record.observed))
+      .Key("observed_class").String(ToString(record.observed))
+      .Key("predicted").Int(static_cast<int>(record.predicted))
+      .Key("prediction_exact").Bool(record.prediction_exact)
+      .Key("observed_within_predicted").Bool(record.observed_within_predicted)
+      .Key("corrupted_count").Int(record.corrupted_count)
+      .Key("max_abs_delta").Int(record.max_abs_delta)
+      .Key("fault_activations").Uint(record.fault_activations)
+      .Key("cycles").Int(record.cycles)
+      .Key("pe_steps").Uint(record.pe_steps)
+      .Key("pe_steps_skipped").Uint(record.pe_steps_skipped)
+      .EndObject();
+  // Flush per line: the file is a checkpoint, and a resumable line is only
+  // worth anything if it reaches the disk before a crash.
+  out_ << '\n' << std::flush;
+}
+
+void JsonlRecordSink::OnSweepEnd() {
+  JsonWriter w(out_);
+  w.BeginObject().Key("type").String("sweep_end").EndObject();
+  out_ << '\n' << std::flush;
+}
+
+// --- ProgressSink -----------------------------------------------------------
+
+void ProgressSink::OnSweepBegin(const CampaignPlan& plan) {
+  total_ = plan.total_experiments();
+  done_ = 0;
+  start_ = std::chrono::steady_clock::now();
+  last_render_ = start_ - min_interval_;
+}
+
+void ProgressSink::OnRecord(const CampaignBeginInfo& /*info*/,
+                            std::int64_t /*experiment_index*/,
+                            const ExperimentRecord& /*record*/) {
+  ++done_;
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_render_ < min_interval_) return;
+  last_render_ = now;
+  Render(/*final=*/false);
+}
+
+void ProgressSink::OnSweepEnd() { Render(/*final=*/true); }
+
+void ProgressSink::Render(bool final) {
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start_);
+  const double seconds = static_cast<double>(elapsed.count()) / 1000.0;
+  const double percent =
+      total_ == 0 ? 100.0
+                  : 100.0 * static_cast<double>(done_) /
+                        static_cast<double>(total_);
+  out_ << '\r' << done_ << '/' << total_ << " experiments ("
+       << FormatDouble(percent, 1) << "%), " << FormatDouble(seconds, 1)
+       << "s elapsed";
+  if (!final && done_ > 0 && total_ > done_) {
+    const double eta = seconds * static_cast<double>(total_ - done_) /
+                       static_cast<double>(done_);
+    out_ << ", ETA " << FormatDouble(eta, 1) << "s";
+  }
+  if (final) out_ << '\n';
+  out_ << std::flush;
+}
+
+// --- TeeSink ----------------------------------------------------------------
+
+TeeSink::TeeSink(std::vector<RecordSink*> sinks) : sinks_(std::move(sinks)) {
+  for (RecordSink* sink : sinks_) {
+    SAFFIRE_CHECK_MSG(sink != nullptr, "null sink in tee");
+  }
+}
+
+void TeeSink::OnSweepBegin(const CampaignPlan& plan) {
+  for (RecordSink* sink : sinks_) sink->OnSweepBegin(plan);
+}
+
+void TeeSink::OnCampaignBegin(const CampaignBeginInfo& info) {
+  for (RecordSink* sink : sinks_) sink->OnCampaignBegin(info);
+}
+
+void TeeSink::OnRecord(const CampaignBeginInfo& info,
+                       std::int64_t experiment_index,
+                       const ExperimentRecord& record) {
+  for (RecordSink* sink : sinks_) {
+    sink->OnRecord(info, experiment_index, record);
+  }
+}
+
+void TeeSink::OnCampaignEnd(const CampaignBeginInfo& info) {
+  for (RecordSink* sink : sinks_) sink->OnCampaignEnd(info);
+}
+
+void TeeSink::OnSweepEnd() {
+  for (RecordSink* sink : sinks_) sink->OnSweepEnd();
+}
+
+}  // namespace saffire

@@ -1,0 +1,168 @@
+// Streaming consumption of campaign records. The executor pushes each
+// record to a RecordSink as soon as its campaign's canonical turn comes up,
+// so consumers (CSV files, JSONL checkpoints, live progress, histograms)
+// see results incrementally instead of waiting for a CampaignResult to
+// materialize — on the paper's scale (hours-long sweeps, Sec. III-B) the
+// difference is whether a killed run leaves anything behind.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "patterns/campaign.h"
+#include "service/sweep.h"
+
+namespace saffire {
+
+// Per-campaign header handed to every campaign-scoped callback.
+struct CampaignBeginInfo {
+  std::size_t campaign_index = 0;
+  const CampaignConfig* config = nullptr;
+  // Experiments in the campaign; records are delivered with indices in
+  // [0, total_experiments) but a sharded/resumed run may deliver a subset.
+  std::int64_t total_experiments = 0;
+  // Experiments this run will actually deliver (in-shard + replayed).
+  std::int64_t scheduled_experiments = 0;
+  std::int64_t golden_cycles = 0;
+  std::uint64_t golden_pe_steps = 0;
+  bool golden_cache_hit = false;
+  // True when the campaign was satisfied entirely from a checkpoint (no
+  // simulation happened; golden_* come from the checkpoint too).
+  bool replayed = false;
+};
+
+// Consumer interface. Delivery contract (service/executor.h): callbacks
+// arrive in canonical order — OnSweepBegin, then for each campaign in plan
+// order OnCampaignBegin / OnRecord (experiment indices strictly
+// increasing) / OnCampaignEnd, then OnSweepEnd — and are serialized by the
+// executor, so implementations need no locking. All methods default to
+// no-ops so sinks override only what they consume.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+
+  virtual void OnSweepBegin(const CampaignPlan& /*plan*/) {}
+  virtual void OnCampaignBegin(const CampaignBeginInfo& /*info*/) {}
+  virtual void OnRecord(const CampaignBeginInfo& /*info*/,
+                        std::int64_t /*experiment_index*/,
+                        const ExperimentRecord& /*record*/) {}
+  virtual void OnCampaignEnd(const CampaignBeginInfo& /*info*/) {}
+  virtual void OnSweepEnd() {}
+};
+
+// Accumulates full CampaignResult values — the bridge from the streaming
+// service to the batch API (RunCampaignParallel returns its single result).
+class CollectorSink : public RecordSink {
+ public:
+  void OnCampaignBegin(const CampaignBeginInfo& info) override;
+  void OnRecord(const CampaignBeginInfo& info, std::int64_t experiment_index,
+                const ExperimentRecord& record) override;
+
+  // One result per campaign, in plan order. Valid after the run returns.
+  std::vector<CampaignResult> TakeResults() { return std::move(results_); }
+  const std::vector<CampaignResult>& results() const { return results_; }
+
+ private:
+  std::vector<CampaignResult> results_;
+};
+
+// Aggregates observed-class counts across all campaigns without retaining
+// records — the sweep-wide version of CampaignResult::Histogram().
+class HistogramSink : public RecordSink {
+ public:
+  void OnRecord(const CampaignBeginInfo& info, std::int64_t experiment_index,
+                const ExperimentRecord& record) override;
+
+  const std::map<PatternClass, std::int64_t>& histogram() const {
+    return histogram_;
+  }
+  std::int64_t total() const { return total_; }
+
+ private:
+  std::map<PatternClass, std::int64_t> histogram_;
+  std::int64_t total_ = 0;
+};
+
+// Streams the WriteCampaignCsv schema: one header, then one row per record
+// across every campaign in the sweep. For a single campaign the output is
+// byte-identical to WriteCampaignCsv (tests/service/sink_test.cc).
+class CsvRecordSink : public RecordSink {
+ public:
+  explicit CsvRecordSink(std::ostream& out);
+
+  void OnRecord(const CampaignBeginInfo& info, std::int64_t experiment_index,
+                const ExperimentRecord& record) override;
+
+ private:
+  CsvWriter writer_;
+};
+
+// Streams the checkpoint format (service/checkpoint.h): one JSON object per
+// line — a "campaign" line per OnCampaignBegin carrying the CampaignKey
+// identity guard, then a "record" line per experiment. The file doubles as
+// a resumable checkpoint and a machine-readable result log.
+class JsonlRecordSink : public RecordSink {
+ public:
+  explicit JsonlRecordSink(std::ostream& out) : out_(out) {}
+
+  void OnSweepBegin(const CampaignPlan& plan) override;
+  void OnCampaignBegin(const CampaignBeginInfo& info) override;
+  void OnRecord(const CampaignBeginInfo& info, std::int64_t experiment_index,
+                const ExperimentRecord& record) override;
+  void OnSweepEnd() override;
+
+ private:
+  std::ostream& out_;
+};
+
+// Live progress / ETA on an interactive stream, throttled so hot loops do
+// not spend their time formatting ("\r"-refreshed single line).
+class ProgressSink : public RecordSink {
+ public:
+  explicit ProgressSink(std::ostream& out,
+                        std::chrono::milliseconds min_interval =
+                            std::chrono::milliseconds(500))
+      : out_(out), min_interval_(min_interval) {}
+
+  void OnSweepBegin(const CampaignPlan& plan) override;
+  void OnRecord(const CampaignBeginInfo& info, std::int64_t experiment_index,
+                const ExperimentRecord& record) override;
+  void OnSweepEnd() override;
+
+ private:
+  void Render(bool final);
+
+  std::ostream& out_;
+  std::chrono::milliseconds min_interval_;
+  std::chrono::steady_clock::time_point start_{};
+  std::chrono::steady_clock::time_point last_render_{};
+  std::int64_t total_ = 0;
+  std::int64_t done_ = 0;
+};
+
+// Fans every callback out to several sinks (non-owning), in order.
+class TeeSink : public RecordSink {
+ public:
+  explicit TeeSink(std::vector<RecordSink*> sinks);
+
+  void OnSweepBegin(const CampaignPlan& plan) override;
+  void OnCampaignBegin(const CampaignBeginInfo& info) override;
+  void OnRecord(const CampaignBeginInfo& info, std::int64_t experiment_index,
+                const ExperimentRecord& record) override;
+  void OnCampaignEnd(const CampaignBeginInfo& info) override;
+  void OnSweepEnd() override;
+
+ private:
+  std::vector<RecordSink*> sinks_;
+};
+
+// Discards everything — for timing runs where consumption cost must be 0.
+class NullSink : public RecordSink {};
+
+}  // namespace saffire

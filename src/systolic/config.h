@@ -33,6 +33,10 @@ enum class Dataflow : std::uint8_t {
 // Returns "OS" / "WS" / "IS" (the paper's abbreviations).
 std::string ToString(Dataflow dataflow);
 
+// Parses "OS"/"WS"/"IS" (or lowercase, the CLI spelling); throws
+// std::invalid_argument on unknown names.
+Dataflow DataflowFromString(const std::string& name);
+
 struct ArrayConfig {
   std::int32_t rows = 16;
   std::int32_t cols = 16;

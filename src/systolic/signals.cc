@@ -69,4 +69,11 @@ std::string ToString(Dataflow dataflow) {
   return "unknown";
 }
 
+Dataflow DataflowFromString(const std::string& name) {
+  if (name == "OS" || name == "os") return Dataflow::kOutputStationary;
+  if (name == "WS" || name == "ws") return Dataflow::kWeightStationary;
+  if (name == "IS" || name == "is") return Dataflow::kInputStationary;
+  SAFFIRE_CHECK_MSG(false, "unknown dataflow '" << name << "'");
+}
+
 }  // namespace saffire

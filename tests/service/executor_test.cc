@@ -1,0 +1,213 @@
+// The executor must be invisible in the results: a batch through the
+// shared pool produces records bit-identical to the self-contained serial
+// baseline, for every engine, dataflow, shard split, and thread count —
+// while constructing strictly fewer simulators than campaigns × workers.
+#include "service/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "service/sink.h"
+
+namespace saffire {
+namespace {
+
+AccelConfig SmallAccel() {
+  AccelConfig config;
+  config.array.rows = 8;
+  config.array.cols = 8;
+  config.max_compute_rows = 64;
+  config.spad_rows = 128;
+  config.acc_rows = 64;
+  config.dram_bytes = 1 << 20;
+  return config;
+}
+
+SweepSpec BaseSpec() {
+  SweepSpec spec;
+  spec.accel = SmallAccel();
+  WorkloadSpec workload;
+  workload.name = "gemm-20";
+  workload.m = workload.k = workload.n = 20;
+  spec.workloads = {workload};
+  return spec;
+}
+
+// Compares everything except golden_cache_hit, which depends on process
+// history (what earlier tests already warmed), not on the campaign.
+void ExpectIdentical(const CampaignResult& expected,
+                     const CampaignResult& actual) {
+  EXPECT_EQ(expected.golden_cycles, actual.golden_cycles);
+  EXPECT_EQ(expected.golden_pe_steps, actual.golden_pe_steps);
+  ASSERT_EQ(expected.records.size(), actual.records.size());
+  for (std::size_t i = 0; i < expected.records.size(); ++i) {
+    EXPECT_EQ(expected.records[i], actual.records[i]) << "record " << i;
+  }
+}
+
+std::vector<CampaignResult> RunPlan(const CampaignPlan& plan,
+                                    const RunOptions& options = {}) {
+  CollectorSink collector;
+  CampaignExecutor::Shared().Run(plan, collector, options);
+  return collector.TakeResults();
+}
+
+TEST(ExecutorTest, BatchMatchesSerialBaseline) {
+  SweepSpec spec = BaseSpec();
+  spec.polarities = {StuckPolarity::kStuckAt1, StuckPolarity::kStuckAt0};
+  spec.bits = {8, 31};
+  const CampaignPlan plan = BuildCampaignPlan(spec);
+  const std::vector<CampaignResult> results = RunPlan(plan);
+  ASSERT_EQ(results.size(), plan.campaigns.size());
+  for (std::size_t c = 0; c < plan.campaigns.size(); ++c) {
+    ExpectIdentical(RunCampaignSerial(plan.campaigns[c]), results[c]);
+  }
+}
+
+TEST(ExecutorTest, EnginesAgreeThroughTheExecutor) {
+  SweepSpec spec = BaseSpec();
+  spec.max_sites = 10;
+  std::vector<std::vector<CampaignResult>> per_engine;
+  for (const CampaignEngine engine :
+       {CampaignEngine::kDifferential, CampaignEngine::kFull,
+        CampaignEngine::kReference}) {
+    spec.engine = engine;
+    per_engine.push_back(RunPlan(BuildCampaignPlan(spec)));
+  }
+  for (std::size_t e = 1; e < per_engine.size(); ++e) {
+    ASSERT_EQ(per_engine[e].size(), per_engine[0].size());
+    for (std::size_t c = 0; c < per_engine[0].size(); ++c) {
+      const CampaignResult& a = per_engine[0][c];
+      const CampaignResult& b = per_engine[e][c];
+      ASSERT_EQ(a.records.size(), b.records.size());
+      for (std::size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].observed, b.records[i].observed);
+        EXPECT_EQ(a.records[i].corrupted_count, b.records[i].corrupted_count);
+        EXPECT_EQ(a.records[i].max_abs_delta, b.records[i].max_abs_delta);
+      }
+    }
+  }
+}
+
+TEST(ExecutorTest, ResultsInvariantAcrossThreadCounts) {
+  SweepSpec spec = BaseSpec();
+  spec.bits = {8, 31};
+  const CampaignPlan plan = BuildCampaignPlan(spec);
+  RunOptions serial_options;
+  serial_options.max_parallelism = 1;
+  const std::vector<CampaignResult> serial = RunPlan(plan, serial_options);
+  for (const int threads : {2, 4, 0}) {  // 0 = whole pool
+    RunOptions options;
+    options.max_parallelism = threads;
+    const std::vector<CampaignResult> parallel = RunPlan(plan, options);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t c = 0; c < serial.size(); ++c) {
+      ExpectIdentical(serial[c], parallel[c]);
+    }
+  }
+}
+
+TEST(ExecutorTest, ShardUnionEqualsWholeCampaign) {
+  SweepSpec spec = BaseSpec();
+  spec.shards = 3;
+  const CampaignPlan plan = BuildCampaignPlan(spec);
+  const CampaignResult whole = RunCampaignSerial(plan.campaigns[0]);
+
+  std::vector<ExperimentRecord> merged;
+  for (int shard = 0; shard < 3; ++shard) {
+    RunOptions options;
+    options.only_shard = shard;
+    const std::vector<CampaignResult> results = RunPlan(plan, options);
+    ASSERT_EQ(results.size(), 1u);
+    // Deterministic merge: shards are contiguous site ranges, so
+    // concatenation in shard order reproduces the campaign.
+    merged.insert(merged.end(), results[0].records.begin(),
+                  results[0].records.end());
+  }
+  ASSERT_EQ(merged.size(), whole.records.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i], whole.records[i]) << "record " << i;
+  }
+}
+
+TEST(ExecutorTest, ReusesSimulatorsAcrossBatch) {
+  SweepSpec spec = BaseSpec();
+  spec.signals = {MacSignal::kAdderOut, MacSignal::kMulOut};
+  spec.polarities = {StuckPolarity::kStuckAt1, StuckPolarity::kStuckAt0};
+  spec.bits = {4, 8};  // 8 campaigns, one shared accel config
+  const CampaignPlan plan = BuildCampaignPlan(spec);
+
+  CampaignExecutor& executor = CampaignExecutor::Shared();
+  const ExecutorStats before = executor.stats();
+  CollectorSink collector;
+  executor.Run(plan, collector);
+  const ExecutorStats after = executor.stats();
+
+  const std::int64_t constructed =
+      after.simulators_constructed - before.simulators_constructed;
+  const std::int64_t reused = after.simulators_reused - before.simulators_reused;
+  const auto campaigns = static_cast<std::int64_t>(plan.campaigns.size());
+  // The acceptance bound: strictly fewer fresh simulators than the naive
+  // per-campaign spawn model (campaigns × pool workers), with real reuse.
+  EXPECT_LT(constructed, campaigns * executor.threads());
+  EXPECT_LE(constructed, executor.threads());
+  EXPECT_GT(reused, 0);
+  EXPECT_EQ(after.campaigns_executed - before.campaigns_executed, campaigns);
+  EXPECT_EQ(after.experiments_run - before.experiments_run,
+            plan.total_experiments());
+}
+
+TEST(ExecutorTest, NestedRunFromSinkExecutesInline) {
+  // A sink that launches a nested Run() from inside a pool-worker callback:
+  // this must execute inline instead of deadlocking on the pool.
+  class NestedSink : public RecordSink {
+   public:
+    explicit NestedSink(CampaignPlan inner) : inner_(std::move(inner)) {}
+    void OnCampaignEnd(const CampaignBeginInfo& /*info*/) override {
+      CollectorSink collector;
+      CampaignExecutor::Shared().Run(inner_, collector);
+      nested_records_ = collector.results().at(0).records.size();
+    }
+    std::size_t nested_records() const { return nested_records_; }
+
+   private:
+    CampaignPlan inner_;
+    std::size_t nested_records_ = 0;
+  };
+
+  SweepSpec outer = BaseSpec();
+  outer.max_sites = 2;
+  SweepSpec inner = BaseSpec();
+  inner.max_sites = 3;
+  NestedSink sink(BuildCampaignPlan(inner));
+  CampaignExecutor::Shared().Run(BuildCampaignPlan(outer), sink);
+  EXPECT_EQ(sink.nested_records(), 3u);
+}
+
+TEST(ExecutorTest, RejectsInvalidOptionsAndPlans) {
+  const CampaignPlan plan = BuildCampaignPlan(BaseSpec());
+  NullSink sink;
+  RunOptions options;
+  options.max_parallelism = -1;
+  EXPECT_THROW(CampaignExecutor::Shared().Run(plan, sink, options),
+               std::invalid_argument);
+  options.max_parallelism = 1000;
+  EXPECT_THROW(CampaignExecutor::Shared().Run(plan, sink, options),
+               std::invalid_argument);
+  EXPECT_THROW(CampaignExecutor::Shared().Run(CampaignPlan{}, sink),
+               std::invalid_argument);
+  EXPECT_THROW(CampaignExecutor(0), std::invalid_argument);
+}
+
+TEST(ExecutorTest, PropagatesExperimentErrors) {
+  SweepSpec spec = BaseSpec();
+  spec.bits = {200};  // out of range for every signal width
+  const CampaignPlan plan = BuildCampaignPlan(spec);
+  NullSink sink;
+  EXPECT_THROW(CampaignExecutor::Shared().Run(plan, sink),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saffire
