@@ -11,35 +11,72 @@
 //
 // The matrix runs as one CampaignPlan batch through the shared executor.
 // The trailing engine-comparison section re-runs the 16×16 WS GEMM campaign
-// under all three execution engines (reference / full / differential) and
-// checks their results are bit-identical, recording the PE-step saving;
-// those three run as separate plans so each engine gets its own wall clock.
+// under all four execution engines (reference / full / differential /
+// batch) and checks their results are bit-identical, recording the PE-step
+// saving and the batch engine's speedup over differential; those run as
+// separate plans so each engine gets its own wall clock.
+//
+// Flags (bench_util.h ParseBenchArgs):
+//   --engine NAME             run the matrix under this engine (default
+//                             differential) and skip the engine comparison
+//   --records-csv PATH        stream every matrix record to a CSV — CI
+//                             diffs this file across engines
+//   --benchmark_out PATH      google-benchmark-compatible JSON timings
+//   --benchmark_out_format F  only "json"
+//   --benchmark_min_time T    repeat each measurement until T seconds have
+//                             elapsed; any non-zero value also selects the
+//                             smoke matrix (the 16×16 rows only) so CI runs
+//                             stay fast
 #include <chrono>
 #include <iostream>
+#include <memory>
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace saffire;
   using namespace saffire::bench;
+
+  BenchOptions options;
+  try {
+    options = ParseBenchArgs(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  const CampaignEngine matrix_engine =
+      options.engine.empty() ? CampaignEngine::kDifferential
+                             : ParseCampaignEngine(options.engine);
+  const bool smoke = options.min_time > 0;
+  BenchJsonReport report;
+  const auto seconds_since = [](std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
 
   struct Row {
     const char* rq;
     WorkloadSpec workload;
     Dataflow dataflow;
   };
-  const Row rows[] = {
+  std::vector<Row> rows = {
       {"RQ1", Gemm16x16(), Dataflow::kWeightStationary},
       {"RQ1", Gemm16x16(), Dataflow::kOutputStationary},
       {"RQ2", Conv16Kernel3x3x3x3(), Dataflow::kWeightStationary},
       {"RQ2", Conv16Kernel3x3x3x8(), Dataflow::kWeightStationary},
-      {"RQ3", Gemm112x112(), Dataflow::kWeightStationary},
-      {"RQ3", Gemm112x112(), Dataflow::kOutputStationary},
-      {"RQ3", Conv112Kernel3x3x3x8(), Dataflow::kWeightStationary},
   };
+  if (!smoke) {
+    rows.push_back({"RQ3", Gemm112x112(), Dataflow::kWeightStationary});
+    rows.push_back({"RQ3", Gemm112x112(), Dataflow::kOutputStationary});
+    rows.push_back({"RQ3", Conv112Kernel3x3x3x8(),
+                    Dataflow::kWeightStationary});
+  }
 
   std::cout << "=== Table I campaign matrix: exhaustive 256-site stuck-at "
-               "campaigns (SA1, adder_out bit 8) ===\n\n";
+               "campaigns (SA1, adder_out bit 8, "
+            << ToString(matrix_engine) << " engine"
+            << (smoke ? ", smoke" : "") << ") ===\n\n";
   const std::vector<std::size_t> widths = {4, 22, 3, 26, 7, 13, 10, 10};
   PrintRow({"RQ", "workload", "DF", "dominant class", "masked",
             "single-class", "cls-agree", "exact"},
@@ -52,12 +89,36 @@ int main() {
     spec.accel = PaperAccel();
     spec.workloads = {row.workload};
     spec.dataflows = {row.dataflow};
+    spec.engine = matrix_engine;
     specs.push_back(std::move(spec));
   }
   const ExecutorStats before = CampaignExecutor::Shared().stats();
-  const std::vector<CampaignResult> results = RunSweep(specs);
 
-  for (std::size_t r = 0; r < std::size(rows); ++r) {
+  // First iteration streams the record CSV; timing repetitions (to reach
+  // --benchmark_min_time) rerun the sweep without re-writing it.
+  std::ofstream csv_out;
+  std::unique_ptr<CsvRecordSink> csv_sink;
+  std::vector<RecordSink*> extra_sinks;
+  if (!options.records_csv.empty()) {
+    csv_out.open(options.records_csv);
+    if (!csv_out) {
+      std::cerr << "cannot open '" << options.records_csv << "'\n";
+      return 1;
+    }
+    csv_sink = std::make_unique<CsvRecordSink>(csv_out);
+    extra_sinks.push_back(csv_sink.get());
+  }
+  const auto matrix_start = std::chrono::steady_clock::now();
+  const std::vector<CampaignResult> results = RunSweep(specs, extra_sinks);
+  std::int64_t matrix_iterations = 1;
+  while (seconds_since(matrix_start) < options.min_time) {
+    RunSweep(specs);
+    ++matrix_iterations;
+  }
+  report.Add("table1_matrix/" + ToString(matrix_engine),
+             seconds_since(matrix_start), matrix_iterations);
+
+  for (std::size_t r = 0; r < rows.size(); ++r) {
     const Row& row = rows[r];
     const CampaignResult& result = results[r];
     PrintRow({row.rq, row.workload.name, ToString(row.dataflow),
@@ -69,70 +130,106 @@ int main() {
              widths);
   }
 
-  std::cout
-      << "\nPaper expectations: WS GEMM -> single-column (Fig. 3a), OS GEMM "
-         "-> single-element\n(Fig. 3b); 112x112 adds the multi-tile variants "
-         "(Fig. 3c/3d); conv 3x3x3x3 ->\nsingle-channel (Fig. 3e), conv "
-         "3x3x3x8 -> multi-channel (Fig. 3f/3g).\n"
-         "Deviation note: under the shift-GEMM conv mapping the 3x3x3x8 "
-         "kernel yields\nmulti-channel for fault columns reused across "
-         "column-tiles (c < 8) and\nsingle-channel for the rest — the paper "
-         "reports one class per configuration\nfrom representative sites; "
-         "masked sites for 3x3x3x3 sit in array columns the\n9-column "
-         "operand never reaches.\n";
+  if (!smoke) {
+    std::cout
+        << "\nPaper expectations: WS GEMM -> single-column (Fig. 3a), OS "
+           "GEMM -> single-element\n(Fig. 3b); 112x112 adds the multi-tile "
+           "variants (Fig. 3c/3d); conv 3x3x3x3 ->\nsingle-channel (Fig. "
+           "3e), conv 3x3x3x8 -> multi-channel (Fig. 3f/3g).\n"
+           "Deviation note: under the shift-GEMM conv mapping the 3x3x3x8 "
+           "kernel yields\nmulti-channel for fault columns reused across "
+           "column-tiles (c < 8) and\nsingle-channel for the rest — the "
+           "paper reports one class per configuration\nfrom representative "
+           "sites; masked sites for 3x3x3x3 sit in array columns the\n"
+           "9-column operand never reaches.\n";
+  }
   std::cout << "\n" << ExecutorStatsLine(before) << "\n";
+  if (!options.records_csv.empty()) {
+    std::cout << "wrote record CSV to " << options.records_csv << "\n";
+  }
 
-  std::cout << "\n=== Execution-engine comparison: GEMM 16x16 WS, exhaustive "
-               "256 sites ===\n\n";
-  const std::vector<std::size_t> engine_widths = {14, 10, 14, 14, 9};
-  PrintRow({"engine", "wall [s]", "faulty PE-steps", "skipped", "identical"},
-           engine_widths);
-  PrintRule(engine_widths);
+  // Under an explicit --engine the bench is being used as one arm of a
+  // cross-engine comparison driven from outside (CI runs it once per engine
+  // and diffs the CSVs), so the built-in comparison is skipped.
+  if (options.engine.empty()) {
+    std::cout << "\n=== Execution-engine comparison: GEMM 16x16 WS, "
+                 "exhaustive 256 sites ===\n\n";
+    const std::vector<std::size_t> engine_widths = {14, 10, 14, 14, 9};
+    PrintRow(
+        {"engine", "wall [s]", "faulty PE-steps", "skipped", "identical"},
+        engine_widths);
+    PrintRule(engine_widths);
 
-  CampaignResult baseline;
-  for (const CampaignEngine engine :
-       {CampaignEngine::kReference, CampaignEngine::kFull,
-        CampaignEngine::kDifferential}) {
-    CampaignConfig config;
-    config.accel = PaperAccel();
-    config.workload = Gemm16x16();
-    config.dataflow = Dataflow::kWeightStationary;
-    config.bit = 8;
-    config.polarity = StuckPolarity::kStuckAt1;
-    config.engine = engine;
-    CollectorSink collector;
-    const auto start = std::chrono::steady_clock::now();
-    CampaignExecutor::Shared().Run(SingleCampaignPlan(config), collector);
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    const CampaignResult result = collector.TakeResults().front();
-    bool identical = true;
-    if (engine == CampaignEngine::kReference) {
-      baseline = result;
-    } else {
-      identical = result.Histogram() == baseline.Histogram() &&
-                  result.ClassAgreement() == baseline.ClassAgreement() &&
-                  result.ContainmentRate() == baseline.ContainmentRate();
-      for (std::size_t i = 0; i < result.records.size(); ++i) {
-        identical = identical &&
-                    result.records[i].observed ==
-                        baseline.records[i].observed &&
-                    result.records[i].corrupted_count ==
-                        baseline.records[i].corrupted_count &&
-                    result.records[i].cycles == baseline.records[i].cycles;
+    CampaignResult baseline;
+    double differential_seconds = 0;
+    double batch_seconds = 0;
+    for (const CampaignEngine engine :
+         {CampaignEngine::kReference, CampaignEngine::kFull,
+          CampaignEngine::kDifferential, CampaignEngine::kBatch}) {
+      CampaignConfig config;
+      config.accel = PaperAccel();
+      config.workload = Gemm16x16();
+      config.dataflow = Dataflow::kWeightStationary;
+      config.bit = 8;
+      config.polarity = StuckPolarity::kStuckAt1;
+      config.engine = engine;
+      const auto start = std::chrono::steady_clock::now();
+      CampaignResult result;
+      std::int64_t iterations = 0;
+      do {
+        CollectorSink collector;
+        CampaignExecutor::Shared().Run(SingleCampaignPlan(config), collector);
+        result = collector.TakeResults().front();
+        ++iterations;
+      } while (seconds_since(start) < options.min_time);
+      const double seconds =
+          seconds_since(start) / static_cast<double>(iterations);
+      report.Add("engine_comparison/" + ToString(engine),
+                 seconds_since(start), iterations);
+      if (engine == CampaignEngine::kDifferential) {
+        differential_seconds = seconds;
+      }
+      if (engine == CampaignEngine::kBatch) batch_seconds = seconds;
+
+      bool identical = true;
+      if (engine == CampaignEngine::kReference) {
+        baseline = result;
+      } else {
+        identical = result.Histogram() == baseline.Histogram() &&
+                    result.ClassAgreement() == baseline.ClassAgreement() &&
+                    result.ContainmentRate() == baseline.ContainmentRate();
+        for (std::size_t i = 0; i < result.records.size(); ++i) {
+          identical = identical &&
+                      result.records[i].observed ==
+                          baseline.records[i].observed &&
+                      result.records[i].corrupted_count ==
+                          baseline.records[i].corrupted_count &&
+                      result.records[i].cycles == baseline.records[i].cycles;
+        }
+      }
+      std::string label = ToString(engine);
+      if (engine == CampaignEngine::kBatch && result.batches_run > 0) {
+        label += " (x" + std::to_string(result.lanes_filled /
+                                        result.batches_run) +
+                 ")";
+      }
+      PrintRow({label, FormatDouble(seconds, 2),
+                std::to_string(result.FaultyPeSteps()),
+                std::to_string(result.FaultyPeStepsSkipped()),
+                identical ? "yes" : "NO"},
+               engine_widths);
+      if (!identical) {
+        std::cout << "\nERROR: " << ToString(engine)
+                  << " engine diverged from the reference results\n";
+        return 1;
       }
     }
-    PrintRow({ToString(engine), FormatDouble(seconds, 2),
-              std::to_string(result.FaultyPeSteps()),
-              std::to_string(result.FaultyPeStepsSkipped()),
-              identical ? "yes" : "NO"},
-             engine_widths);
-    if (!identical) {
-      std::cout << "\nERROR: " << ToString(engine)
-                << " engine diverged from the reference results\n";
-      return 1;
+    if (batch_seconds > 0) {
+      std::cout << "\nbatch speedup over differential: "
+                << FormatDouble(differential_seconds / batch_seconds, 2)
+                << "x\n";
     }
   }
-  return 0;
+
+  return report.Write(options, "bench_table1_campaigns") ? 0 : 1;
 }

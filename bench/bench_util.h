@@ -1,17 +1,171 @@
 // Shared helpers for the benchmark/reproduction binaries: the paper's
-// accelerator configuration and simple fixed-width table printing.
+// accelerator configuration, simple fixed-width table printing, and the
+// common bench flags (--engine / --records-csv / --benchmark_out /
+// --benchmark_out_format / --benchmark_min_time) with a
+// google-benchmark-compatible JSON reporter behind them, so plain-main
+// benches emit the same BENCH_*.json artifacts as the benchmark::benchmark
+// binaries.
 #pragma once
 
+#include <chrono>
+#include <ctime>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/strings.h"
 #include "patterns/campaign.h"
 #include "service/executor.h"
 #include "service/sink.h"
 
 namespace saffire::bench {
+
+// Flags shared by the reproduction benches. Both "--flag=value" and
+// "--flag value" spellings are accepted; unknown flags throw
+// std::invalid_argument so CI typos fail loudly instead of silently
+// benchmarking the wrong thing.
+struct BenchOptions {
+  // Campaign engine override ("" keeps the bench's default). Parsed by the
+  // bench via ParseCampaignEngine so the CLI and benches share one table.
+  std::string engine;
+  // Stream every campaign record to this CSV (WriteCampaignCsv schema) —
+  // what CI diffs across engines.
+  std::string records_csv;
+  // google-benchmark-compatible JSON timing output ("" = none).
+  std::string benchmark_out;
+  std::string benchmark_out_format = "json";
+  // Minimum wall time per measurement in seconds; "0.05s" and "0.05" both
+  // parse. 0 means one iteration. Benches may also use a non-zero value to
+  // select their smoke-sized matrix (documented per bench).
+  double min_time = 0.0;
+};
+
+inline BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions options;
+  const auto assign = [&options](const std::string& name,
+                                 const std::string& value) {
+    if (name == "engine") {
+      options.engine = value;
+    } else if (name == "records-csv") {
+      options.records_csv = value;
+    } else if (name == "benchmark_out") {
+      options.benchmark_out = value;
+    } else if (name == "benchmark_out_format") {
+      options.benchmark_out_format = value;
+    } else if (name == "benchmark_min_time") {
+      std::string text = value;
+      if (!text.empty() && text.back() == 's') text.pop_back();
+      try {
+        options.min_time = std::stod(text);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("bad --benchmark_min_time '" + value +
+                                    "'");
+      }
+      if (options.min_time < 0) {
+        throw std::invalid_argument("bad --benchmark_min_time '" + value +
+                                    "'");
+      }
+    } else {
+      throw std::invalid_argument("unknown bench flag '--" + name + "'");
+    }
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      throw std::invalid_argument("expected a --flag, got '" + arg + "'");
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      assign(body.substr(0, eq), body.substr(eq + 1));
+    } else {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("flag '" + arg + "' expects a value");
+      }
+      assign(body, argv[++i]);
+    }
+  }
+  if (options.benchmark_out_format != "json") {
+    throw std::invalid_argument("unsupported --benchmark_out_format '" +
+                                options.benchmark_out_format +
+                                "' (only json)");
+  }
+  return options;
+}
+
+// Collects per-measurement timings and writes them in the subset of the
+// google-benchmark JSON schema that report tooling consumes: a context
+// header plus one {name, iterations, real_time, time_unit} entry per
+// measurement (real_time is the per-iteration mean).
+class BenchJsonReport {
+ public:
+  void Add(const std::string& name, double total_seconds,
+           std::int64_t iterations) {
+    entries_.push_back({name, total_seconds, iterations});
+  }
+
+  // Writes options.benchmark_out if set; returns false (after printing to
+  // stderr) when the file cannot be opened, so benches can fail their exit
+  // code without throwing out of main.
+  bool Write(const BenchOptions& options, const std::string& executable) {
+    if (options.benchmark_out.empty()) return true;
+    std::ofstream out(options.benchmark_out);
+    if (!out) {
+      std::cerr << "cannot open '" << options.benchmark_out << "'\n";
+      return false;
+    }
+    const std::time_t now =
+        std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+    char date[32] = {0};
+    std::tm tm_buf{};
+#if defined(_WIN32)
+    localtime_s(&tm_buf, &now);
+#else
+    localtime_r(&now, &tm_buf);
+#endif
+    std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &tm_buf);
+    JsonWriter w(out);
+    w.BeginObject();
+    w.Key("context").BeginObject()
+        .Key("date").String(date)
+        .Key("executable").String(executable)
+        .Key("num_cpus").Int(DefaultCampaignThreads())
+        .Key("library_build_type").String("release")
+        .EndObject();
+    w.Key("benchmarks").BeginArray();
+    for (const Entry& entry : entries_) {
+      const double mean_ms = entry.iterations > 0
+                                 ? 1e3 * entry.total_seconds /
+                                       static_cast<double>(entry.iterations)
+                                 : 0.0;
+      w.BeginObject()
+          .Key("name").String(entry.name)
+          .Key("run_name").String(entry.name)
+          .Key("run_type").String("iteration")
+          .Key("repetitions").Int(1)
+          .Key("iterations").Int(entry.iterations)
+          .Key("real_time").Double(mean_ms)
+          .Key("cpu_time").Double(mean_ms)
+          .Key("time_unit").String("ms")
+          .EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    out << '\n';
+    return static_cast<bool>(out);
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double total_seconds = 0;
+    std::int64_t iterations = 0;
+  };
+  std::vector<Entry> entries_;
+};
 
 // Worker count for campaign benches: all hardware threads.
 inline int BenchThreads() { return DefaultCampaignThreads(); }
@@ -20,9 +174,13 @@ inline int BenchThreads() { return DefaultCampaignThreads(); }
 // batch (so workers keep their simulators across campaigns) and returns
 // the per-campaign results in canonical plan order.
 inline std::vector<CampaignResult> RunSweep(
-    const std::vector<SweepSpec>& specs) {
+    const std::vector<SweepSpec>& specs,
+    std::vector<RecordSink*> extra_sinks = {}) {
   CollectorSink collector;
-  CampaignExecutor::Shared().Run(BuildCampaignPlan(specs), collector);
+  std::vector<RecordSink*> sinks{&collector};
+  sinks.insert(sinks.end(), extra_sinks.begin(), extra_sinks.end());
+  TeeSink tee(sinks);
+  CampaignExecutor::Shared().Run(BuildCampaignPlan(specs), tee);
   return collector.TakeResults();
 }
 
@@ -47,6 +205,13 @@ inline std::string ExecutorStatsLine(const ExecutorStats& before) {
   line += std::to_string(after.simulators_reused - before.simulators_reused);
   line += " golden-cache-hits=";
   line += std::to_string(after.golden_cache_hits - before.golden_cache_hits);
+  const std::int64_t batches = after.batches_run - before.batches_run;
+  if (batches > 0) {
+    line += " batches=";
+    line += std::to_string(batches);
+    line += " lanes-filled=";
+    line += std::to_string(after.lanes_filled - before.lanes_filled);
+  }
   return line;
 }
 

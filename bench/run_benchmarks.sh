@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the benchmark binaries that emit machine-readable timings and drops
+# their BENCH_*.json artifacts (google-benchmark JSON schema) at the
+# repository root. Knobs:
+#   BUILD_DIR        build tree holding bench/ binaries (default: ./build)
+#   BENCH_MIN_TIME   --benchmark_min_time per measurement (default: 0.05s;
+#                    bench_table1_campaigns also switches to its smoke
+#                    matrix whenever this is non-zero)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+MIN_TIME="${BENCH_MIN_TIME:-0.05s}"
+
+"$BUILD/bench/bench_table1_campaigns" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out="$ROOT/BENCH_table1.json" \
+  --benchmark_out_format=json
+
+# Older google-benchmark releases only accept a bare double for
+# --benchmark_min_time, so strip any trailing unit suffix here.
+"$BUILD/bench/bench_fi_cost" \
+  --benchmark_min_time="${MIN_TIME%s}" \
+  --benchmark_out="$ROOT/BENCH_fi_cost.json" \
+  --benchmark_out_format=json
+
+echo "wrote $ROOT/BENCH_table1.json and $ROOT/BENCH_fi_cost.json"

@@ -23,7 +23,8 @@
 //   --seed N         sampling seed         (1)
 //   --rows N --cols N  array dimensions    (16x16)
 // Execution:
-//   --engine {differential|full|reference}  execution engine (differential)
+//   --engine {differential|full|reference|batch}  execution engine
+//                    (differential); also accepted in --spec JSON
 //   --threads N      parallel workers      (all hardware threads)
 //   --shards N       split each campaign into N site ranges (1)
 //   --shard K        run only shard K of every campaign (for process splits)

@@ -1,0 +1,211 @@
+// FiRunner::RunFaultyBatch: lane-parallel batched faulty execution.
+//
+// One recorded golden run (fi/runner.h RunGoldenRecorded) is replayed once
+// for W faults at a time: the driver's tile schedule is re-derived from the
+// workload (Driver::PlanTiles — cross-checked against the trace's
+// checkpoint structure), each tile's stimulus is computed once, and the
+// lane-parallel grid (systolic/lane_grid.h) steps all W faulty machines
+// through it. Everything the accelerator contributes around the array —
+// DMA timing, scratchpad staging, accumulator read-modify-write, DRAM
+// round-trips — is data-independent, so the replay reproduces it
+// analytically: cycles are the golden run's, and the per-tile accumulation
+// across reduction steps mirrors AccumulatorMem::WriteBlock's uint32
+// wrap-add bit-for-bit.
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "fi/cone.h"
+#include "fi/runner.h"
+#include "systolic/lane_grid.h"
+#include "systolic/timing.h"
+#include "tensor/tiling.h"
+#include "tensor/transpose.h"
+
+namespace saffire {
+namespace {
+
+// The physical array dataflow a run executes (see runner.cc): the driver
+// lowers IS onto the WS datapath with transposed operands.
+Dataflow LoweredDataflow(Dataflow dataflow) {
+  return dataflow == Dataflow::kOutputStationary
+             ? Dataflow::kOutputStationary
+             : Dataflow::kWeightStationary;
+}
+
+}  // namespace
+
+std::vector<RunResult> FiRunner::RunFaultyBatch(
+    const WorkloadSpec& workload, Dataflow dataflow,
+    std::span<const FaultSpec> faults, const GoldenTrace& trace,
+    const RunResult& golden) {
+  SAFFIRE_CHECK_MSG(!faults.empty(), "at least one fault required");
+  const AccelConfig& config = accel_.config();
+  const ArrayConfig& array = config.array;
+  SAFFIRE_CHECK_MSG(trace.rows() == array.rows && trace.cols() == array.cols,
+                    "trace recorded on " << trace.rows() << "x"
+                                         << trace.cols());
+
+  const Dataflow lowered = LoweredDataflow(dataflow);
+  const bool ws = lowered == Dataflow::kWeightStationary;
+  const bool transposed = dataflow == Dataflow::kInputStationary;
+
+  // The physical GEMM the accelerator executed (driver.cc).
+  const MaterializedWorkload operands = Materialize(workload);
+  const Int8Tensor a = transposed ? Transpose(operands.b) : operands.a;
+  const Int8Tensor b = transposed ? Transpose(operands.a) : operands.b;
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  const TileGrid grid = Driver::PlanTiles(m, n, k, config, lowered);
+  SAFFIRE_CHECK_MSG(
+      trace.checkpoints() == grid.total_tiles() + 1,
+      "trace has " << trace.checkpoints() << " checkpoints for "
+                   << grid.total_tiles()
+                   << " tiles — workload/dataflow mismatch");
+  SAFFIRE_CHECK_MSG(golden.output.rank() == 2 &&
+                        golden.output.dim(0) == (transposed ? n : m) &&
+                        golden.output.dim(1) == (transposed ? m : n),
+                    "golden output " << golden.output.ShapeString());
+
+  // Lower each fault into the lane representation the kernel consumes.
+  std::vector<LaneFaultParams> lanes;
+  lanes.reserve(faults.size());
+  std::vector<std::size_t> acc_base(faults.size(), 0);
+  std::size_t total_width = 0;
+  for (const FaultSpec& fault : faults) {
+    fault.Validate(array);
+    LaneFaultParams lane;
+    lane.pe = fault.pe;
+    lane.signal = fault.signal;
+    lane.cone =
+        FaultCone(std::span<const FaultSpec>(&fault, 1), lowered, array);
+    const std::int64_t bit = std::int64_t{1} << fault.bit;
+    if (fault.kind == FaultKind::kStuckAt) {
+      if (fault.polarity == StuckPolarity::kStuckAt0) {
+        lane.and_mask = ~bit;
+      } else {
+        lane.or_mask = bit;
+      }
+    } else {
+      SAFFIRE_CHECK_MSG(
+          fault.at_cycle >= 0,
+          "batched transient needs a relative strike offset, got "
+              << fault.at_cycle);
+      lane.xor_mask = bit;
+      lane.strike_cycle = fault.at_cycle;
+    }
+    acc_base[lanes.size()] = total_width;
+    total_width += static_cast<std::size_t>(lane.cone.width());
+    lanes.push_back(lane);
+  }
+  LaneGrid lane_grid(array, lanes);
+
+  // Per-lane outputs start as the golden result: everything outside a
+  // lane's cone provably matches the fault-free run.
+  std::vector<RunResult> results(faults.size());
+  for (RunResult& result : results) {
+    result.output = golden.output;
+    result.cycles = golden.cycles;
+  }
+
+  std::int64_t step0 = 0;
+  std::int64_t tile_index = 0;
+  std::vector<std::int64_t> rel_cycles;
+  // Per-(mi, ni) accumulator planes over each lane's cone columns,
+  // total_width × me, mirroring AccumulatorMem::WriteBlock across ki.
+  std::vector<std::int32_t> acc;
+  for (std::int64_t mi = 0; mi < grid.m_tiles(); ++mi) {
+    const std::int64_t m0 = grid.RowStart(mi);
+    const std::int64_t me = grid.TileRows(mi);
+    for (std::int64_t ni = 0; ni < grid.n_tiles(); ++ni) {
+      const std::int64_t n0 = grid.ColStart(ni);
+      const std::int64_t ne = grid.TileCols(ni);
+      acc.assign(total_width * static_cast<std::size_t>(me), 0);
+      for (std::int64_t ki = 0; ki < grid.k_tiles(); ++ki) {
+        const std::int64_t k0 = grid.DepthStart(ki);
+        const std::int64_t ke = grid.TileDepth(ki);
+        SAFFIRE_CHECK_MSG(trace.StepsAtCheckpoint(tile_index) == step0,
+                          "tile " << tile_index << " starts at step "
+                                  << trace.StepsAtCheckpoint(tile_index)
+                                  << ", replay expected " << step0);
+        const std::int64_t steps =
+            ws ? WeightStationaryStreamCycles(me, array)
+               : OutputStationaryStreamCycles(ke, array);
+        SAFFIRE_CHECK_MSG(step0 + steps <= trace.steps(),
+                          "replay overruns the recorded run");
+        rel_cycles.resize(static_cast<std::size_t>(steps));
+        for (std::int64_t t = 0; t < steps; ++t) {
+          rel_cycles[static_cast<std::size_t>(t)] =
+              trace.StepRelCycle(step0 + t);
+        }
+        const Int8Tensor a_blk = ExtractTilePadded(a, m0, k0, me, ke, me, ke);
+        const Int8Tensor b_blk = ExtractTilePadded(b, k0, n0, ke, ne, ke, ne);
+        if (ws) {
+          lane_grid.RunTileWs(a_blk, b_blk, rel_cycles);
+        } else {
+          lane_grid.RunTileOs(a_blk, b_blk, rel_cycles);
+        }
+        for (std::size_t l = 0; l < lanes.size(); ++l) {
+          const std::int64_t lo = lanes[l].cone.lo;
+          const std::int64_t hi =
+              std::min<std::int64_t>(lanes[l].cone.hi, ne - 1);
+          for (std::int64_t c = lo; c <= hi; ++c) {
+            const std::size_t col_base =
+                (acc_base[l] + static_cast<std::size_t>(c - lo)) *
+                static_cast<std::size_t>(me);
+            for (std::int64_t i = 0; i < me; ++i) {
+              const auto value = static_cast<std::int32_t>(
+                  lane_grid.OutputAt(l, i, static_cast<std::int32_t>(c)));
+              std::int32_t& cell = acc[col_base + static_cast<std::size_t>(i)];
+              cell = ki > 0 ? static_cast<std::int32_t>(
+                                  static_cast<std::uint32_t>(cell) +
+                                  static_cast<std::uint32_t>(value))
+                            : value;
+            }
+          }
+        }
+        step0 += steps;
+        ++tile_index;
+      }
+      for (std::size_t l = 0; l < lanes.size(); ++l) {
+        const std::int64_t lo = lanes[l].cone.lo;
+        const std::int64_t hi =
+            std::min<std::int64_t>(lanes[l].cone.hi, ne - 1);
+        for (std::int64_t c = lo; c <= hi; ++c) {
+          const std::size_t col_base =
+              (acc_base[l] + static_cast<std::size_t>(c - lo)) *
+              static_cast<std::size_t>(me);
+          for (std::int64_t i = 0; i < me; ++i) {
+            const std::int32_t value =
+                acc[col_base + static_cast<std::size_t>(i)];
+            if (transposed) {
+              results[l].output(n0 + c, m0 + i) = value;
+            } else {
+              results[l].output(m0 + i, n0 + c) = value;
+            }
+          }
+        }
+      }
+    }
+  }
+  SAFFIRE_CHECK_MSG(step0 == trace.steps() &&
+                        trace.StepsAtCheckpoint(grid.total_tiles()) == step0,
+                    "replay covered " << step0 << " of " << trace.steps()
+                                      << " recorded steps");
+
+  // The differential engine's counter split, reproduced exactly: every
+  // recorded Step evaluates rows × cone-width PEs and skips the rest.
+  const auto num_pes = static_cast<std::uint64_t>(array.num_pes());
+  const auto total_steps = static_cast<std::uint64_t>(trace.steps());
+  for (std::size_t l = 0; l < results.size(); ++l) {
+    const auto active = static_cast<std::uint64_t>(array.rows) *
+                        static_cast<std::uint64_t>(lanes[l].cone.width());
+    results[l].pe_steps = total_steps * active;
+    results[l].pe_steps_skipped = total_steps * (num_pes - active);
+    results[l].fault_activations = lane_grid.activations(l);
+  }
+  return results;
+}
+
+}  // namespace saffire

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "accel/driver.h"
 #include "fi/fault.h"
@@ -60,6 +61,26 @@ class FiRunner {
                                   Dataflow dataflow,
                                   std::span<const FaultSpec> faults,
                                   const GoldenTrace& trace);
+
+  // Lane-parallel batched faulty execution: simulates one independent
+  // single-fault experiment per entry of `faults` by replaying `trace`
+  // through a shared control-flow sweep (systolic/lane_grid.h) instead of
+  // re-running the accelerator once per fault. `trace` and `golden` must
+  // come from RunGoldenRecorded on the same workload/dataflow/configuration.
+  //
+  // Unlike the per-experiment entry points, transient `at_cycle` values are
+  // *relative* strike offsets into the recorded run (the convention
+  // PlanFaults samples in), not absolute simulator cycles.
+  //
+  // A pure replay: accelerator state and counters are untouched. Each
+  // result is bit-identical to RunFaultyDifferential on the same fault —
+  // including the pe_steps / pe_steps_skipped split, cycles (= golden), and
+  // fault_activations (tests/fi/batch_test.cc).
+  std::vector<RunResult> RunFaultyBatch(const WorkloadSpec& workload,
+                                        Dataflow dataflow,
+                                        std::span<const FaultSpec> faults,
+                                        const GoldenTrace& trace,
+                                        const RunResult& golden);
 
   Accelerator& accel() { return accel_; }
   Driver& driver() { return driver_; }

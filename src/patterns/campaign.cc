@@ -1,6 +1,8 @@
 #include "patterns/campaign.h"
 
 #include <algorithm>
+#include <iterator>
+#include <span>
 #include <sstream>
 #include <thread>
 
@@ -8,24 +10,34 @@
 #include "common/rng.h"
 
 namespace saffire {
+namespace {
+
+// The one engine-name table: ToString and ParseCampaignEngine round-trip
+// through it exactly, indexed by the enum value.
+constexpr const char* kEngineNames[] = {"differential", "full", "reference",
+                                        "batch"};
+
+}  // namespace
 
 std::string ToString(CampaignEngine engine) {
-  switch (engine) {
-    case CampaignEngine::kDifferential:
-      return "differential";
-    case CampaignEngine::kFull:
-      return "full";
-    case CampaignEngine::kReference:
-      return "reference";
+  const auto index = static_cast<std::size_t>(engine);
+  SAFFIRE_ASSERT_MSG(index < std::size(kEngineNames),
+                     "engine " << static_cast<int>(index));
+  return kEngineNames[index];
+}
+
+CampaignEngine ParseCampaignEngine(const std::string& name) {
+  for (std::size_t i = 0; i < std::size(kEngineNames); ++i) {
+    if (name == kEngineNames[i]) return static_cast<CampaignEngine>(i);
   }
-  return "unknown";
+  SAFFIRE_CHECK_MSG(false, "unknown campaign engine '"
+                               << name
+                               << "' (expected differential|full|reference|"
+                                  "batch)");
 }
 
 CampaignEngine CampaignEngineFromString(const std::string& name) {
-  if (name == "differential") return CampaignEngine::kDifferential;
-  if (name == "full") return CampaignEngine::kFull;
-  if (name == "reference") return CampaignEngine::kReference;
-  SAFFIRE_CHECK_MSG(false, "unknown campaign engine '" << name << "'");
+  return ParseCampaignEngine(name);
 }
 
 int DefaultCampaignThreads() {
@@ -103,12 +115,52 @@ void ConfigureEngine(FiRunner& runner, CampaignEngine engine) {
                                                   CampaignEngine::kReference);
 }
 
+// Turns one faulty run into its record — the engine-independent half of an
+// experiment, shared by the per-experiment and batched paths. `fault` is
+// the campaign's pre-sampled spec (relative strike offset for transients).
+ExperimentRecord BuildRecord(const PreparedCampaign& prepared,
+                             const FaultSpec& fault, const RunResult& faulty) {
+  const CampaignConfig& config = prepared.config;
+  const CorruptionMap map =
+      ExtractCorruption(prepared.golden().output, faulty.output);
+
+  ExperimentRecord record;
+  record.fault = fault;
+  record.observed = Classify(map, prepared.context);
+  record.corrupted_count = map.count();
+  record.max_abs_delta = map.max_abs_delta;
+  record.fault_activations = faulty.fault_activations;
+  record.cycles = faulty.cycles;
+  record.pe_steps = faulty.pe_steps;
+  record.pe_steps_skipped = faulty.pe_steps_skipped;
+
+  if (PredictorCoversSignal(config.signal)) {
+    const PredictedPattern prediction = PredictPattern(
+        config.workload, config.accel, config.dataflow, fault);
+    record.predicted = prediction.pattern;
+    record.prediction_exact = map.corrupted == prediction.coords;
+    record.observed_within_predicted =
+        std::includes(prediction.coords.begin(), prediction.coords.end(),
+                      map.corrupted.begin(), map.corrupted.end());
+  } else {
+    // No analytical model for this signal; record the observation only.
+    record.predicted = PatternClass::kOther;
+    record.prediction_exact = false;
+    record.observed_within_predicted = false;
+  }
+  return record;
+}
+
 }  // namespace
 
 PreparedCampaign PrepareCampaign(const CampaignConfig& config,
                                  FiRunner* golden_runner) {
   config.accel.Validate();
   config.workload.Validate();
+  if (config.engine == CampaignEngine::kBatch) {
+    SAFFIRE_CHECK_MSG(config.batch_lanes >= 1 && config.batch_lanes <= 4096,
+                      "batch_lanes=" << config.batch_lanes);
+  }
 
   PreparedCampaign prepared;
   prepared.config = config;
@@ -148,6 +200,10 @@ ExperimentRecord RunPreparedExperiment(const PreparedCampaign& prepared,
                      "experiment " << index << " of "
                                    << prepared.faults.size());
   const CampaignConfig& config = prepared.config;
+  if (config.engine == CampaignEngine::kBatch) {
+    // A one-lane batch — same code path, same record.
+    return RunPreparedBatch(prepared, runner, index, index + 1).front();
+  }
   ConfigureEngine(runner, config.engine);
   const FaultSpec& fault = prepared.faults[index];
   FaultSpec injected = fault;
@@ -165,34 +221,35 @@ ExperimentRecord RunPreparedExperiment(const PreparedCampaign& prepared,
                                          {&injected, 1}, *trace)
           : runner.RunFaulty(config.workload, config.dataflow,
                              {&injected, 1});
-  const CorruptionMap map =
-      ExtractCorruption(prepared.golden().output, faulty.output);
+  return BuildRecord(prepared, fault, faulty);
+}
 
-  ExperimentRecord record;
-  record.fault = fault;
-  record.observed = Classify(map, prepared.context);
-  record.corrupted_count = map.count();
-  record.max_abs_delta = map.max_abs_delta;
-  record.fault_activations = faulty.fault_activations;
-  record.cycles = faulty.cycles;
-  record.pe_steps = faulty.pe_steps;
-  record.pe_steps_skipped = faulty.pe_steps_skipped;
-
-  if (PredictorCoversSignal(config.signal)) {
-    const PredictedPattern prediction = PredictPattern(
-        config.workload, config.accel, config.dataflow, fault);
-    record.predicted = prediction.pattern;
-    record.prediction_exact = map.corrupted == prediction.coords;
-    record.observed_within_predicted =
-        std::includes(prediction.coords.begin(), prediction.coords.end(),
-                      map.corrupted.begin(), map.corrupted.end());
-  } else {
-    // No analytical model for this signal; record the observation only.
-    record.predicted = PatternClass::kOther;
-    record.prediction_exact = false;
-    record.observed_within_predicted = false;
+std::vector<ExperimentRecord> RunPreparedBatch(
+    const PreparedCampaign& prepared, FiRunner& runner, std::size_t begin,
+    std::size_t end) {
+  SAFFIRE_ASSERT_MSG(begin < end && end <= prepared.faults.size(),
+                     "batch [" << begin << ", " << end << ") of "
+                               << prepared.faults.size());
+  const CampaignConfig& config = prepared.config;
+  SAFFIRE_CHECK_MSG(config.engine == CampaignEngine::kBatch,
+                    "RunPreparedBatch requires the batch engine, got "
+                        << ToString(config.engine));
+  const GoldenTrace* trace = prepared.trace();
+  SAFFIRE_CHECK_MSG(trace != nullptr,
+                    "batch engine requires a cached golden trace");
+  ConfigureEngine(runner, config.engine);
+  // The batch runner consumes the relative strike offsets directly (against
+  // the trace's recorded per-step clocks), so no rebasing happens here.
+  const std::span<const FaultSpec> faults(prepared.faults.data() + begin,
+                                          end - begin);
+  const std::vector<RunResult> faulty = runner.RunFaultyBatch(
+      config.workload, config.dataflow, faults, *trace, prepared.golden());
+  std::vector<ExperimentRecord> records;
+  records.reserve(faulty.size());
+  for (std::size_t i = 0; i < faulty.size(); ++i) {
+    records.push_back(BuildRecord(prepared, faults[i], faulty[i]));
   }
-  return record;
+  return records;
 }
 
 CampaignResult RunCampaignSerial(const CampaignConfig& config) {
@@ -209,8 +266,23 @@ CampaignResult RunCampaignSerial(const CampaignConfig& config) {
 
   FiRunner runner(config.accel);
   result.records.reserve(prepared.faults.size());
-  for (std::size_t i = 0; i < prepared.faults.size(); ++i) {
-    result.records.push_back(RunPreparedExperiment(prepared, runner, i));
+  if (config.engine == CampaignEngine::kBatch) {
+    // Canonical batch boundaries: consecutive batch_lanes-sized groups of
+    // the site order, the final one possibly partial.
+    const auto lanes = static_cast<std::size_t>(config.batch_lanes);
+    for (std::size_t i = 0; i < prepared.faults.size(); i += lanes) {
+      const std::size_t end = std::min(prepared.faults.size(), i + lanes);
+      std::vector<ExperimentRecord> records =
+          RunPreparedBatch(prepared, runner, i, end);
+      result.lanes_filled += static_cast<std::uint64_t>(records.size());
+      ++result.batches_run;
+      std::move(records.begin(), records.end(),
+                std::back_inserter(result.records));
+    }
+  } else {
+    for (std::size_t i = 0; i < prepared.faults.size(); ++i) {
+      result.records.push_back(RunPreparedExperiment(prepared, runner, i));
+    }
   }
   return result;
 }

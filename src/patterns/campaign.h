@@ -32,12 +32,20 @@ enum class CampaignEngine : std::uint8_t {
   // recomputed per campaign — the pre-optimization behavior, kept as the
   // baseline the other engines are validated against.
   kReference = 2,
+  // Lane-parallel batched replay (systolic/lane_grid.h): up to
+  // CampaignConfig::batch_lanes experiments per array pass, each lane
+  // restricted to its fault cone, diffed against the cached golden trace.
+  kBatch = 3,
 };
 
 std::string ToString(CampaignEngine engine);
 
-// Parses "differential"/"full"/"reference"; throws std::invalid_argument on
-// unknown names.
+// Parses the names produced by ToString ("differential"/"full"/"reference"/
+// "batch" — one shared table, exact round-trip); throws
+// std::invalid_argument on unknown names.
+CampaignEngine ParseCampaignEngine(const std::string& name);
+
+// Alias of ParseCampaignEngine, kept for existing callers.
 CampaignEngine CampaignEngineFromString(const std::string& name);
 
 // std::thread::hardware_concurrency(), clamped to the [1, 256] range
@@ -63,6 +71,12 @@ struct CampaignConfig {
   std::uint64_t seed = 1;
 
   CampaignEngine engine = CampaignEngine::kDifferential;
+
+  // Experiments packed per array pass under kBatch (ignored by the other
+  // engines). Affects cost only, never results: record streams are
+  // bit-identical for any lane count, including partial final batches.
+  // Excluded from the golden-cache key and the sweep JSON campaign key.
+  std::int64_t batch_lanes = 64;
 
   std::string ToString() const;
 };
@@ -100,6 +114,12 @@ struct CampaignResult {
   // Whether the golden run was served from the process-wide GoldenRunCache
   // (always false under CampaignEngine::kReference).
   bool golden_cache_hit = false;
+  // Batch-engine occupancy (0 under the per-experiment engines):
+  // lanes_filled counts occupied lanes across all batches and batches_run
+  // the array passes, so lanes_filled / (batches_run · batch_lanes) is the
+  // lane-occupancy ratio.
+  std::uint64_t lanes_filled = 0;
+  std::uint64_t batches_run = 0;
   std::vector<ExperimentRecord> records;
 
   // Aggregate faulty-run cost across all experiments.
@@ -171,9 +191,12 @@ struct PreparedCampaign {
   const RunResult& golden() const {
     return cached != nullptr ? cached->result : reference_golden;
   }
-  // Non-null iff the campaign runs on the differential engine.
+  // Non-null iff the campaign runs on a trace-replaying engine
+  // (differential or batch).
   const GoldenTrace* trace() const {
-    return cached != nullptr && config.engine == CampaignEngine::kDifferential
+    return cached != nullptr &&
+                   (config.engine == CampaignEngine::kDifferential ||
+                    config.engine == CampaignEngine::kBatch)
                ? &cached->trace
                : nullptr;
   }
@@ -193,5 +216,15 @@ PreparedCampaign PrepareCampaign(const CampaignConfig& config,
 // with different engines.
 ExperimentRecord RunPreparedExperiment(const PreparedCampaign& prepared,
                                        FiRunner& runner, std::size_t index);
+
+// Runs experiments [begin, end) of a prepared kBatch campaign as one
+// lane-parallel batch (FiRunner::RunFaultyBatch) and returns their records
+// in site order, bit-identical to running each index through
+// RunPreparedExperiment. The campaign's canonical batch boundaries are the
+// consecutive batch_lanes-sized groups of the site order; callers that want
+// engine-invariant lanes_filled/batches_run stats must split on them.
+std::vector<ExperimentRecord> RunPreparedBatch(
+    const PreparedCampaign& prepared, FiRunner& runner, std::size_t begin,
+    std::size_t end);
 
 }  // namespace saffire

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <iterator>
 #include <optional>
 #include <sstream>
 #include <utility>
@@ -87,6 +88,12 @@ struct CampaignState {
   // One slot per experiment index, filled from checkpoint replay (in Run)
   // or chunk publication (under the lock).
   std::vector<std::optional<ExperimentRecord>> records;
+
+  // Batch-engine occupancy, accumulated under the lock as chunks publish;
+  // copied into `info` before OnCampaignEnd (by which point every chunk has
+  // published, so the values are final).
+  std::uint64_t lanes_filled = 0;
+  std::uint64_t batches_run = 0;
 
   CampaignBeginInfo info;
   bool begun = false;
@@ -413,8 +420,15 @@ void CampaignExecutor::PrepareOne(RunState& run, std::size_t campaign_index,
   // Chunk the simulation list: small enough for stealing to balance load
   // across workers, large enough that claiming is not the bottleneck.
   const auto n = static_cast<std::int64_t>(campaign.to_simulate.size());
-  const std::int64_t chunk_size = std::clamp<std::int64_t>(
+  std::int64_t chunk_size = std::clamp<std::int64_t>(
       n / (static_cast<std::int64_t>(run.cap) * 4), 1, 64);
+  if (config.engine == CampaignEngine::kBatch) {
+    // Align chunks to whole batches so a chunk never splits a canonical
+    // batch_lanes-sized group across workers (RunChunk batches within its
+    // chunk only).
+    chunk_size = ((chunk_size + config.batch_lanes - 1) / config.batch_lanes) *
+                 config.batch_lanes;
+  }
   campaign.chunk_bounds.clear();
   for (std::int64_t p = 0; p < n; p += chunk_size) {
     campaign.chunk_bounds.push_back(p);
@@ -435,14 +449,50 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
   // delivery frontier, which must never observe a half-written record.
   std::vector<ExperimentRecord> chunk;
   chunk.reserve(static_cast<std::size_t>(end - begin));
-  for (std::int64_t p = begin; p < end; ++p) {
-    const std::int64_t index =
-        campaign.to_simulate[static_cast<std::size_t>(p)];
-    chunk.push_back(RunPreparedExperiment(campaign.prepared, runner,
-                                          static_cast<std::size_t>(index)));
+  std::uint64_t lanes_filled = 0;
+  std::uint64_t batches_run = 0;
+  if (config.engine == CampaignEngine::kBatch) {
+    // Pack this chunk's experiments into lane batches. Groups follow the
+    // campaign's canonical batch boundaries (consecutive batch_lanes-sized
+    // blocks of the site order) and additionally break wherever the
+    // simulation list is non-contiguous (checkpoint holes, shard edges) —
+    // RunPreparedBatch takes a contiguous index range. Records are
+    // independent across lanes, so the grouping affects occupancy stats
+    // only, never record content.
+    const std::int64_t lanes = config.batch_lanes;
+    std::int64_t p = begin;
+    while (p < end) {
+      const std::int64_t first =
+          campaign.to_simulate[static_cast<std::size_t>(p)];
+      std::int64_t q = p + 1;
+      while (q < end && q - p < lanes &&
+             campaign.to_simulate[static_cast<std::size_t>(q)] ==
+                 first + (q - p) &&
+             (first + (q - p)) % lanes != 0) {
+        ++q;
+      }
+      std::vector<ExperimentRecord> records = RunPreparedBatch(
+          campaign.prepared, runner, static_cast<std::size_t>(first),
+          static_cast<std::size_t>(first + (q - p)));
+      lanes_filled += static_cast<std::uint64_t>(records.size());
+      ++batches_run;
+      std::move(records.begin(), records.end(), std::back_inserter(chunk));
+      p = q;
+    }
+  } else {
+    for (std::int64_t p = begin; p < end; ++p) {
+      const std::int64_t index =
+          campaign.to_simulate[static_cast<std::size_t>(p)];
+      chunk.push_back(RunPreparedExperiment(campaign.prepared, runner,
+                                            static_cast<std::size_t>(index)));
+    }
   }
 
   std::unique_lock<std::mutex> lock(mutex_);
+  campaign.lanes_filled += lanes_filled;
+  campaign.batches_run += batches_run;
+  stats_.lanes_filled += static_cast<std::int64_t>(lanes_filled);
+  stats_.batches_run += static_cast<std::int64_t>(batches_run);
   for (std::int64_t p = begin; p < end; ++p) {
     const std::int64_t index =
         campaign.to_simulate[static_cast<std::size_t>(p)];
@@ -491,6 +541,11 @@ void CampaignExecutor::Deliver(RunState& run,
     if (campaign.deliver_cursor < campaign.deliverable.size()) break;
     if (!campaign.ended) {
       campaign.ended = true;
+      // Every deliverable record has been published (the cursor reached the
+      // end), so the batch counters are final — safe to copy without racing
+      // RunChunk.
+      campaign.info.lanes_filled = campaign.lanes_filled;
+      campaign.info.batches_run = campaign.batches_run;
       lock.unlock();
       run.sink->OnCampaignEnd(campaign.info);
       lock.lock();

@@ -37,6 +37,11 @@ struct ExecutorStats {
   std::int64_t experiments_run = 0;
   std::int64_t experiments_replayed = 0;
   std::int64_t chunks_executed = 0;
+  // Batch-engine occupancy across all kBatch campaigns (0 otherwise):
+  // occupied lanes and array passes, the pool-wide sum of the per-campaign
+  // CampaignResult counters.
+  std::int64_t lanes_filled = 0;
+  std::int64_t batches_run = 0;
   // Simulator (FiRunner) construction vs per-worker cache hits — the
   // acceptance criterion: across a batch, constructed must stay below
   // campaigns × workers while reused grows.

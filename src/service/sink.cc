@@ -35,6 +35,13 @@ void CollectorSink::OnRecord(const CampaignBeginInfo& info,
   result.records.push_back(record);
 }
 
+void CollectorSink::OnCampaignEnd(const CampaignBeginInfo& info) {
+  // Batch occupancy is only known once every record has been published.
+  CampaignResult& result = results_.at(info.campaign_index);
+  result.lanes_filled = info.lanes_filled;
+  result.batches_run = info.batches_run;
+}
+
 // --- HistogramSink ----------------------------------------------------------
 
 void HistogramSink::OnRecord(const CampaignBeginInfo& /*info*/,

@@ -35,6 +35,11 @@ struct CampaignBeginInfo {
   // True when the campaign was satisfied entirely from a checkpoint (no
   // simulation happened; golden_* come from the checkpoint too).
   bool replayed = false;
+  // Batch-engine occupancy (patterns/campaign.h CampaignResult): populated
+  // only once every record has been published, so these are zero in every
+  // callback before OnCampaignEnd.
+  std::uint64_t lanes_filled = 0;
+  std::uint64_t batches_run = 0;
 };
 
 // Consumer interface. Delivery contract (service/executor.h): callbacks
@@ -63,6 +68,7 @@ class CollectorSink : public RecordSink {
   void OnCampaignBegin(const CampaignBeginInfo& info) override;
   void OnRecord(const CampaignBeginInfo& info, std::int64_t experiment_index,
                 const ExperimentRecord& record) override;
+  void OnCampaignEnd(const CampaignBeginInfo& info) override;
 
   // One result per campaign, in plan order. Valid after the run returns.
   std::vector<CampaignResult> TakeResults() { return std::move(results_); }

@@ -153,7 +153,7 @@ void SystolicArray::BeginGoldenRecording(GoldenTrace* trace) {
   SAFFIRE_CHECK_MSG(recording_ == nullptr, "recording already active");
   SAFFIRE_CHECK_MSG(replay_ == nullptr,
                     "cannot record during differential execution");
-  trace->Begin(rows_, cols_);
+  trace->Begin(rows_, cols_, cycle_);
   recording_ = trace;
 }
 
@@ -495,6 +495,9 @@ void SystolicArray::Step(Dataflow dataflow) {
       static_cast<std::uint64_t>(config_.num_pes()) - active;
 
   if (recording_ != nullptr) {
+    // cycle_ was just incremented; the hook-visible clock of this Step (the
+    // value transient strikes compare against) is the pre-increment value.
+    const std::int64_t hook_cycle = cycle_ - 1;
     const std::size_t bottom = Index(rows_ - 1, 0);
     if (narrow_) {
       // Widen through a scratch row to keep the trace int64-only.
@@ -503,9 +506,9 @@ void SystolicArray::Step(Dataflow dataflow) {
         wide_row[static_cast<std::size_t>(c)] =
             south32_[bottom + static_cast<std::size_t>(c)];
       }
-      recording_->AppendSouthRow(wide_row.data());
+      recording_->AppendSouthRow(wide_row.data(), hook_cycle);
     } else {
-      recording_->AppendSouthRow(south_wire_.data() + bottom);
+      recording_->AppendSouthRow(south_wire_.data() + bottom, hook_cycle);
     }
   }
 }

@@ -4,17 +4,22 @@
 
 namespace saffire {
 
-void GoldenTrace::Begin(std::int32_t rows, std::int32_t cols) {
+void GoldenTrace::Begin(std::int32_t rows, std::int32_t cols,
+                        std::int64_t base_cycle) {
   SAFFIRE_CHECK_MSG(rows > 0 && cols > 0, rows << "x" << cols);
   rows_ = rows;
   cols_ = cols;
   steps_ = 0;
+  base_cycle_ = base_cycle;
   south_rows_.clear();
+  step_cycles_.clear();
+  checkpoint_steps_.clear();
   acc_checkpoints_.clear();
 }
 
-void GoldenTrace::AppendSouthRow(const std::int64_t* row) {
+void GoldenTrace::AppendSouthRow(const std::int64_t* row, std::int64_t cycle) {
   south_rows_.insert(south_rows_.end(), row, row + cols_);
+  step_cycles_.push_back(cycle);
   ++steps_;
 }
 
@@ -24,6 +29,7 @@ void GoldenTrace::AppendAccumulatorCheckpoint(std::vector<std::int64_t> grid) {
           grid.size() == static_cast<std::size_t>(rows_) *
                              static_cast<std::size_t>(cols_),
       "checkpoint size " << grid.size());
+  checkpoint_steps_.push_back(steps_);
   acc_checkpoints_.push_back(std::move(grid));
 }
 
@@ -51,8 +57,22 @@ std::int64_t GoldenTrace::AccumulatorAt(std::int64_t index, std::int32_t row,
               static_cast<std::size_t>(col)];
 }
 
+std::int64_t GoldenTrace::StepRelCycle(std::int64_t step) const {
+  SAFFIRE_ASSERT_MSG(step >= 0 && step < steps_,
+                     "step " << step << " of " << steps_);
+  return step_cycles_[static_cast<std::size_t>(step)] - base_cycle_;
+}
+
+std::int64_t GoldenTrace::StepsAtCheckpoint(std::int64_t index) const {
+  SAFFIRE_ASSERT_MSG(index >= 0 && index < checkpoints(),
+                     "checkpoint " << index << " of " << checkpoints());
+  return checkpoint_steps_[static_cast<std::size_t>(index)];
+}
+
 std::size_t GoldenTrace::MemoryBytes() const {
   std::size_t bytes = south_rows_.capacity() * sizeof(std::int64_t);
+  bytes += step_cycles_.capacity() * sizeof(std::int64_t);
+  bytes += checkpoint_steps_.capacity() * sizeof(std::int64_t);
   for (const auto& grid : acc_checkpoints_) {
     bytes += grid.capacity() * sizeof(std::int64_t);
   }

@@ -45,10 +45,16 @@ class GoldenTrace {
   GoldenTrace() = default;
 
   // Re-arms the trace for a new recording on a rows×cols array.
-  void Begin(std::int32_t rows, std::int32_t cols);
+  // `base_cycle` is the simulator clock at the start of the recorded run;
+  // per-step cycles are exposed relative to it so the trace stays valid for
+  // replay on simulators with different accumulated cycle counts.
+  void Begin(std::int32_t rows, std::int32_t cols,
+             std::int64_t base_cycle = 0);
 
-  // Appends the registered bottom-row south outputs of one Step.
-  void AppendSouthRow(const std::int64_t* row);
+  // Appends the registered bottom-row south outputs of one Step. `cycle` is
+  // the hook-visible clock of that Step (the value fault hooks compare
+  // transient strike cycles against).
+  void AppendSouthRow(const std::int64_t* row, std::int64_t cycle);
 
   // Appends one accumulator checkpoint (row-major rows×cols, captured on
   // Reset and at end of recording). An all-zero grid is stored as an empty
@@ -71,6 +77,17 @@ class GoldenTrace {
   std::int64_t AccumulatorAt(std::int64_t index, std::int32_t row,
                              std::int32_t col) const;
 
+  // Hook-visible clock of the (step+1)-th recorded Step, relative to the
+  // run start — the offset a pre-sampled transient strike cycle is compared
+  // against when the run is replayed lane-parallel (fi/batch.cc).
+  std::int64_t StepRelCycle(std::int64_t step) const;
+
+  // Total Steps recorded before checkpoint `index` was captured — the tile
+  // boundary structure (checkpoints are captured on each Reset plus once at
+  // end of recording), used to cross-check a batched replay's re-derived
+  // tile schedule against the recorded run.
+  std::int64_t StepsAtCheckpoint(std::int64_t index) const;
+
   // Approximate heap footprint, for cache accounting.
   std::size_t MemoryBytes() const;
 
@@ -78,7 +95,10 @@ class GoldenTrace {
   std::int32_t rows_ = 0;
   std::int32_t cols_ = 0;
   std::int64_t steps_ = 0;
+  std::int64_t base_cycle_ = 0;
   std::vector<std::int64_t> south_rows_;  // steps_ × cols_, row-major
+  std::vector<std::int64_t> step_cycles_;  // steps_, hook clock per Step
+  std::vector<std::int64_t> checkpoint_steps_;  // steps_ at each checkpoint
   std::vector<std::vector<std::int64_t>> acc_checkpoints_;
 };
 

@@ -1,0 +1,315 @@
+#include "systolic/lane_grid.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "systolic/timing.h"
+
+namespace saffire {
+namespace {
+
+// SignExtend without the width checks of common/bits.h (see array.cc):
+// `shift` is 64 - width for a validated ArrayConfig width.
+inline std::int64_t SxWide(std::int64_t value, int shift) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(value)
+                                   << shift) >>
+         shift;
+}
+
+// Branch-free fault application at one MAC stage. `select` is all-ones iff
+// this PE position carries the lane's fault AND the fault sits on this
+// stage; `xor_strike` is the lane's transient flip mask pre-ANDed with the
+// strike-cycle selector. Mirrors FaultInjector::Apply exactly: force/flip
+// the bit, re-interpret at the signal's architectural width, count an
+// activation iff the value changed.
+inline std::int64_t MaskSignal(std::int64_t v, std::int64_t select,
+                               std::int64_t and_mask, std::int64_t or_mask,
+                               std::int64_t xor_strike, int sx_shift,
+                               std::uint64_t& activations) {
+  std::int64_t masked = ((v & and_mask) | or_mask) ^ xor_strike;
+  masked = SxWide(masked, sx_shift);
+  const std::int64_t out = (masked & select) | (v & ~select);
+  activations += static_cast<std::uint64_t>(out != v);
+  return out;
+}
+
+}  // namespace
+
+LaneGrid::LaneGrid(const ArrayConfig& config,
+                   std::span<const LaneFaultParams> lanes)
+    : config_(config), rows_(config.rows), cols_(config.cols) {
+  config_.Validate();
+  SAFFIRE_CHECK_MSG(!lanes.empty(), "at least one lane required");
+  states_.reserve(lanes.size());
+  std::size_t width_sum = 0;
+  for (const LaneFaultParams& lane : lanes) {
+    SAFFIRE_CHECK_MSG(
+        lane.cone.lo >= 0 && lane.cone.lo <= lane.cone.hi &&
+            lane.cone.hi < cols_,
+        "cone [" << lane.cone.lo << ", " << lane.cone.hi << "] on "
+                 << config_.ToString());
+    SAFFIRE_CHECK_MSG(lane.pe.row >= 0 && lane.pe.row < rows_ &&
+                          lane.cone.contains(lane.pe.col),
+                      "PE (" << lane.pe.row << ", " << lane.pe.col
+                             << ") outside cone [" << lane.cone.lo << ", "
+                             << lane.cone.hi << "]");
+    LaneState state;
+    state.fault = lane;
+    state.lo = lane.cone.lo;
+    state.width = lane.cone.width();
+    state.sx_shift = 64 - SignalWidth(lane.signal, config_);
+    state.sel_wop =
+        -static_cast<std::int64_t>(lane.signal == MacSignal::kWeightOperand);
+    state.sel_mul =
+        -static_cast<std::int64_t>(lane.signal == MacSignal::kMulOut);
+    state.sel_add =
+        -static_cast<std::int64_t>(lane.signal == MacSignal::kAdderOut);
+    state.sel_south =
+        -static_cast<std::int64_t>(lane.signal == MacSignal::kSouthForward);
+    state.sel_act =
+        -static_cast<std::int64_t>(lane.signal == MacSignal::kActForward);
+    state.state_base = static_cast<std::size_t>(rows_) * width_sum;
+    state.out_base = width_sum;
+    width_sum += static_cast<std::size_t>(state.width);
+    states_.push_back(state);
+  }
+  total_width_ = width_sum;
+  const std::size_t plane = static_cast<std::size_t>(rows_) * total_width_;
+  act_.assign(plane, 0);
+  south_.assign(plane, 0);
+  acc_.assign(plane, 0);
+  weights_.assign(static_cast<std::size_t>(config_.num_pes()), 0);
+}
+
+void LaneGrid::RunTileWs(const Int8Tensor& a, const Int8Tensor& b,
+                         std::span<const std::int64_t> rel_cycles) {
+  RunTile<true>(a, b, rel_cycles);
+}
+
+void LaneGrid::RunTileOs(const Int8Tensor& a, const Int8Tensor& b,
+                         std::span<const std::int64_t> rel_cycles) {
+  RunTile<false>(a, b, rel_cycles);
+}
+
+template <bool kWs>
+void LaneGrid::RunTile(const Int8Tensor& a, const Int8Tensor& b,
+                       std::span<const std::int64_t> rel_cycles) {
+  SAFFIRE_CHECK_MSG(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(0),
+                    "A " << a.ShapeString() << " B " << b.ShapeString());
+  const std::int64_t me = a.dim(0);
+  const std::int64_t ke = a.dim(1);
+  const std::int64_t ne = b.dim(1);
+  const auto rows = static_cast<std::int64_t>(rows_);
+  const auto cols = static_cast<std::int64_t>(cols_);
+  if constexpr (kWs) {
+    SAFFIRE_CHECK_MSG(ke <= rows && ne <= cols,
+                      "WS tile " << ke << "x" << ne << " exceeds array");
+  } else {
+    SAFFIRE_CHECK_MSG(me <= rows && ne <= cols,
+                      "OS tile " << me << "x" << ne << " exceeds array");
+  }
+  const std::int64_t steps = kWs
+                                 ? WeightStationaryStreamCycles(me, config_)
+                                 : OutputStationaryStreamCycles(ke, config_);
+  SAFFIRE_CHECK_MSG(static_cast<std::int64_t>(rel_cycles.size()) == steps,
+                    rel_cycles.size() << " rel cycles for " << steps
+                                      << " steps");
+
+  // Reset semantics: every tile invocation starts from cleared array state.
+  std::fill(act_.begin(), act_.end(), 0);
+  std::fill(south_.begin(), south_.end(), 0);
+  std::fill(acc_.begin(), acc_.end(), 0);
+
+  // Shared stimulus, computed once for all lanes, with exactly the
+  // valid-gating and sign-extension of the schedulers (dataflow.cc):
+  // SetWestInput/SetWeight store at input_bits, SetNorthInput at acc_bits.
+  const int input_bits = config_.input_bits;
+  west_stim_.assign(static_cast<std::size_t>(steps * rows), 0);
+  for (std::int64_t t = 0; t < steps; ++t) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      std::int64_t value = 0;
+      if constexpr (kWs) {
+        const std::int64_t i = t - r;
+        if (r < ke && i >= 0 && i < me) value = a(i, r);
+      } else {
+        const std::int64_t kk = t - r;
+        if (r < me && kk >= 0 && kk < ke) value = a(r, kk);
+      }
+      west_stim_[static_cast<std::size_t>(t * rows + r)] =
+          SignExtend(value, input_bits);
+    }
+  }
+  if constexpr (kWs) {
+    std::fill(weights_.begin(), weights_.end(), 0);
+    for (std::int64_t r = 0; r < ke; ++r) {
+      for (std::int64_t c = 0; c < ne; ++c) {
+        weights_[static_cast<std::size_t>(r * cols + c)] =
+            SignExtend(b(r, c), input_bits);
+      }
+    }
+  } else {
+    north_stim_.assign(static_cast<std::size_t>(steps * cols), 0);
+    for (std::int64_t t = 0; t < steps; ++t) {
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const std::int64_t kk = t - j;
+        if (j < ne && kk >= 0 && kk < ke) {
+          north_stim_[static_cast<std::size_t>(t * cols + j)] =
+              SignExtend(b(kk, j), config_.acc_bits);
+        }
+      }
+    }
+  }
+
+  tile_m_ = me;
+  out_.assign(total_width_ * static_cast<std::size_t>(me), 0);
+
+  for (std::int64_t t = 0; t < steps; ++t) {
+    StepLanes<kWs>(t, rel_cycles[static_cast<std::size_t>(t)]);
+    if constexpr (kWs) {
+      // Collect the registered bottom-row outputs, as the WS scheduler does
+      // after each Step: C[i][c] leaves column c after step i + (rows−1) + c.
+      for (const LaneState& state : states_) {
+        const std::int64_t hi = std::min<std::int64_t>(
+            state.lo + state.width - 1, ne - 1);
+        for (std::int64_t c = state.lo; c <= hi; ++c) {
+          const std::int64_t i = t - (rows - 1) - c;
+          if (i >= 0 && i < me) {
+            const std::size_t k = static_cast<std::size_t>(c - state.lo);
+            out_[(state.out_base + k) * static_cast<std::size_t>(me) +
+                 static_cast<std::size_t>(i)] =
+                south_[state.state_base +
+                       static_cast<std::size_t>(rows_ - 1) *
+                           static_cast<std::size_t>(state.width) +
+                       k];
+          }
+        }
+      }
+    }
+  }
+
+  if constexpr (!kWs) {
+    // Drain the in-place accumulators, as the OS scheduler does.
+    for (const LaneState& state : states_) {
+      const std::int64_t hi =
+          std::min<std::int64_t>(state.lo + state.width - 1, ne - 1);
+      for (std::int64_t c = state.lo; c <= hi; ++c) {
+        const std::size_t k = static_cast<std::size_t>(c - state.lo);
+        for (std::int64_t i = 0; i < me; ++i) {
+          out_[(state.out_base + k) * static_cast<std::size_t>(me) +
+               static_cast<std::size_t>(i)] =
+              acc_[state.state_base +
+                   static_cast<std::size_t>(i) *
+                       static_cast<std::size_t>(state.width) +
+                   k];
+        }
+      }
+    }
+  }
+}
+
+template <bool kWs>
+void LaneGrid::StepLanes(std::int64_t t, std::int64_t rel_cycle) {
+  const int sx_in = 64 - config_.input_bits;
+  const int sx_prod = 64 - config_.product_bits();
+  const int sx_acc = 64 - config_.acc_bits;
+  const std::int64_t* const north_row =
+      kWs ? nullptr : north_stim_.data() + t * cols_;
+
+  for (LaneState& state : states_) {
+    const LaneFaultParams& f = state.fault;
+    const std::int64_t xor_strike =
+        f.xor_mask &
+        -static_cast<std::int64_t>(rel_cycle == f.strike_cycle);
+    const std::int32_t w = state.width;
+    std::int64_t* const act = act_.data() + state.state_base;
+    std::int64_t* const south = south_.data() + state.state_base;
+    std::int64_t* const acc = acc_.data() + state.state_base;
+    // Columns west of the cone are a fault-free delay line: the activation
+    // entering column `lo` at step t is the west stimulus of step t − lo
+    // (zero before the stream reaches the cone — the array was Reset).
+    const std::int64_t entry_t = t - state.lo;
+    const std::int64_t* const entry =
+        entry_t >= 0 ? west_stim_.data() + entry_t * rows_ : nullptr;
+    std::uint64_t activations = 0;
+
+    // In-place update: descending rows/columns so every read of a west or
+    // north neighbour still sees the previous Step's registered value. Rows
+    // other than the fault row can never carry the fault (the cone already
+    // restricted the columns), so they take the unmasked fast body; the
+    // fault row keeps the branch-free stage-selected masking.
+    for (std::int32_t r = rows_ - 1; r >= 0; --r) {
+      const bool fault_row = r == f.pe.row;
+      const std::size_t row_base =
+          static_cast<std::size_t>(r) * static_cast<std::size_t>(w);
+      for (std::int32_t k = w - 1; k >= 0; --k) {
+        const std::size_t idx = row_base + static_cast<std::size_t>(k);
+        const std::int64_t act_in =
+            (k == 0) ? (entry != nullptr ? entry[r] : 0) : act[idx - 1];
+        const std::int64_t north_in =
+            (r == 0) ? (kWs ? 0 : north_row[state.lo + k])
+                     : south[idx - static_cast<std::size_t>(w)];
+
+        // Exactly StepReference's per-PE stage order and truncations, with
+        // the hook call replaced by branch-free stage-selected masking.
+        std::int64_t weight_operand =
+            kWs ? weights_[static_cast<std::size_t>(r) *
+                               static_cast<std::size_t>(cols_) +
+                           static_cast<std::size_t>(state.lo + k)]
+                : SxWide(north_in, sx_in);
+        if (!fault_row) {
+          const std::int64_t mul_out =
+              SxWide(act_in * weight_operand, sx_prod);
+          const std::int64_t addend = kWs ? north_in : acc[idx];
+          const std::int64_t adder_out = SxWide(addend + mul_out, sx_acc);
+          if constexpr (kWs) {
+            south[idx] = adder_out;
+          } else {
+            acc[idx] = adder_out;
+            south[idx] = SxWide(north_in, sx_in);  // raw, pre-hook
+          }
+          act[idx] = act_in;
+          continue;
+        }
+
+        const std::int64_t pos =
+            -static_cast<std::int64_t>(state.lo + k == f.pe.col);
+        weight_operand =
+            MaskSignal(weight_operand, pos & state.sel_wop, f.and_mask,
+                       f.or_mask, xor_strike, state.sx_shift, activations);
+
+        std::int64_t mul_out = SxWide(act_in * weight_operand, sx_prod);
+        mul_out = MaskSignal(mul_out, pos & state.sel_mul, f.and_mask,
+                             f.or_mask, xor_strike, state.sx_shift,
+                             activations);
+
+        const std::int64_t addend = kWs ? north_in : acc[idx];
+        std::int64_t adder_out = SxWide(addend + mul_out, sx_acc);
+        adder_out = MaskSignal(adder_out, pos & state.sel_add, f.and_mask,
+                               f.or_mask, xor_strike, state.sx_shift,
+                               activations);
+
+        std::int64_t south_out;
+        if constexpr (kWs) {
+          south_out = adder_out;
+        } else {
+          acc[idx] = adder_out;
+          south_out = SxWide(north_in, sx_in);  // raw north_in, pre-hook
+        }
+        south_out = MaskSignal(south_out, pos & state.sel_south, f.and_mask,
+                               f.or_mask, xor_strike, state.sx_shift,
+                               activations);
+
+        const std::int64_t act_out =
+            MaskSignal(act_in, pos & state.sel_act, f.and_mask, f.or_mask,
+                       xor_strike, state.sx_shift, activations);
+
+        act[idx] = act_out;
+        south[idx] = south_out;
+      }
+    }
+    state.activations += activations;
+  }
+}
+
+}  // namespace saffire

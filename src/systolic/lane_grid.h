@@ -1,0 +1,139 @@
+// Lane-parallel PE grid: steps W independent faulty copies of the array
+// ("lanes") through one shared control-flow sweep per cycle — the classic
+// lane-parallel fault-simulation layout applied to the systolic datapath.
+//
+// All lanes of a batch execute the same instruction stream on the same
+// operands (fault injection corrupts datapath values only, never
+// sequencing), so the schedule — tile loop, stream timing, idle cycles — is
+// computed once and only the per-lane state planes differ. Each lane is
+// further restricted to its fault's static column cone (fi/cone.h): columns
+// outside the cone provably carry golden values, so the lane keeps
+// per-column state only for its cone and the replay layer (fi/batch.cc)
+// broadcasts golden output everywhere else.
+//
+// Faults are pre-lowered by the caller into branch-free mask triples
+// (and/or for stuck-at, xor gated on the strike cycle for transients); the
+// per-PE kernel applies `(v & and) | or` unconditionally through an
+// all-ones/all-zeros position selector, so the inner loop carries no
+// data-dependent branches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "systolic/config.h"
+#include "systolic/golden_trace.h"
+#include "systolic/signals.h"
+#include "tensor/tensor.h"
+
+namespace saffire {
+
+// One lane's fault, lowered to the representation the kernel consumes. The
+// grid lives in systolic/ and must not depend on fi/, so the FI layer
+// (fi/batch.cc) translates its FaultSpec into this neutral form.
+struct LaneFaultParams {
+  PeCoord pe;
+  MacSignal signal = MacSignal::kAdderOut;
+  // The lane's static column cone on the physical (lowered) dataflow.
+  ColumnCone cone{0, 0};
+  // Stuck-at masking at the faulted signal: v' = (v & and_mask) | or_mask,
+  // re-interpreted at the signal's architectural width. Identity
+  // (and_mask = -1, or_mask = 0) for transient faults.
+  std::int64_t and_mask = -1;
+  std::int64_t or_mask = 0;
+  // Transient strike: v' = v ^ xor_mask on the Step whose hook-visible
+  // clock (relative to the run start) equals strike_cycle; xor_mask = 0
+  // for stuck-at faults, strike_cycle = -1 when no transient is armed.
+  std::int64_t xor_mask = 0;
+  std::int64_t strike_cycle = -1;
+};
+
+class LaneGrid {
+ public:
+  // Every lane must carry a cone within [0, cols) and a PE inside its cone.
+  LaneGrid(const ArrayConfig& config, std::span<const LaneFaultParams> lanes);
+
+  // Runs one weight-stationary tile for every lane: the ke×ne weight block
+  // `b` preloaded, the me×ke activation block `a` streamed west, outputs
+  // collected from the bottom row exactly as WeightStationaryScheduler does
+  // (partial-sum seeds are zero — the controller path never seeds).
+  // rel_cycles[t] is the hook-visible clock of tile Step t relative to the
+  // run start (GoldenTrace::StepRelCycle) and must cover all
+  // WeightStationaryStreamCycles(me) steps.
+  void RunTileWs(const Int8Tensor& a, const Int8Tensor& b,
+                 std::span<const std::int64_t> rel_cycles);
+
+  // Runs one output-stationary tile: `a` (me×ke) streamed west, `b` (ke×ne)
+  // streamed north, results drained from the in-place accumulators after
+  // OutputStationaryStreamCycles(ke) steps.
+  void RunTileOs(const Int8Tensor& a, const Int8Tensor& b,
+                 std::span<const std::int64_t> rel_cycles);
+
+  // Tile output of `lane` at tile-local row i, array column c — valid after
+  // the matching RunTile* for c inside the lane's cone and c < the tile's
+  // ne (outside, the value is golden and not tracked here).
+  std::int64_t OutputAt(std::size_t lane, std::int64_t i,
+                        std::int32_t c) const {
+    const LaneState& state = states_[lane];
+    return out_[(state.out_base +
+                 static_cast<std::size_t>(c - state.lo)) *
+                    static_cast<std::size_t>(tile_m_) +
+                static_cast<std::size_t>(i)];
+  }
+
+  // Times lane `lane`'s fault changed a signal value, accumulated across
+  // every tile run since construction — the fault_activations counter.
+  std::uint64_t activations(std::size_t lane) const {
+    return states_[lane].activations;
+  }
+
+  std::size_t num_lanes() const { return states_.size(); }
+
+ private:
+  struct LaneState {
+    LaneFaultParams fault;
+    std::int32_t lo = 0;     // cone.lo
+    std::int32_t width = 1;  // cone width
+    int sx_shift = 0;        // 64 - SignalWidth(signal) for the mask re-wrap
+    // All-ones where the lane's fault sits on the given MAC stage, all-zeros
+    // elsewhere — ANDed with the PE-position selector so the kernel applies
+    // every stage's masking unconditionally.
+    std::int64_t sel_wop = 0;
+    std::int64_t sel_mul = 0;
+    std::int64_t sel_add = 0;
+    std::int64_t sel_south = 0;
+    std::int64_t sel_act = 0;
+    std::size_t state_base = 0;  // offset into act_/south_/acc_ planes
+    std::size_t out_base = 0;    // cone-column offset into out_
+    std::uint64_t activations = 0;
+  };
+
+  template <bool kWs>
+  void RunTile(const Int8Tensor& a, const Int8Tensor& b,
+               std::span<const std::int64_t> rel_cycles);
+  template <bool kWs>
+  void StepLanes(std::int64_t t, std::int64_t rel_cycle);
+
+  ArrayConfig config_;
+  std::int32_t rows_ = 0;
+  std::int32_t cols_ = 0;
+  std::vector<LaneState> states_;
+  std::size_t total_width_ = 0;  // sum of lane cone widths
+
+  // Per-lane state planes, lane-major: lane `l` owns rows_ × width rows of
+  // each plane starting at state_base, indexed [r * width + k] with k the
+  // cone-local column.
+  std::vector<std::int64_t> act_;
+  std::vector<std::int64_t> south_;
+  std::vector<std::int64_t> acc_;
+
+  // Shared per-tile schedule, computed once for all lanes.
+  std::int64_t tile_m_ = 0;                // current tile's me
+  std::vector<std::int64_t> weights_;      // rows_ × cols_ preload (WS)
+  std::vector<std::int64_t> west_stim_;    // steps × rows_ west inputs
+  std::vector<std::int64_t> north_stim_;   // steps × cols_ north inputs (OS)
+  std::vector<std::int64_t> out_;          // total_width_ × me tile outputs
+};
+
+}  // namespace saffire
