@@ -180,7 +180,7 @@ void BM_CampaignBatch(benchmark::State& state) {
   std::int64_t experiments = 0;
   for (auto _ : state) {
     CollectorSink collector;
-    executor.Run(plan, collector);
+    saffire::RunSweep(plan, RunOptions{}, collector);
     for (const CampaignResult& result : collector.results()) {
       experiments += static_cast<std::int64_t>(result.records.size());
     }

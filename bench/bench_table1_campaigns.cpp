@@ -27,6 +27,12 @@
 //                             elapsed; any non-zero value also selects the
 //                             smoke matrix (the 16×16 rows only) so CI runs
 //                             stay fast
+//   --trace-out PATH          Chrome trace_event JSON of the measured work
+//   --metrics-out PATH        metrics exposition after the run ('-'=stdout);
+//                             also adds phase_*_ms keys to --benchmark_out
+//   --metrics-format F        prom (default) or json
+// Enabling --trace-out/--metrics-out perturbs the measured times; the CI
+// regression gate runs without them and a second run records the artifacts.
 #include <chrono>
 #include <iostream>
 #include <memory>
@@ -48,6 +54,7 @@ int main(int argc, char** argv) {
       options.engine.empty() ? CampaignEngine::kDifferential
                              : ParseCampaignEngine(options.engine);
   const bool smoke = options.min_time > 0;
+  EnableBenchObservability(options);
   BenchJsonReport report;
   const auto seconds_since = [](std::chrono::steady_clock::time_point start) {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -115,8 +122,11 @@ int main(int argc, char** argv) {
     RunSweep(specs);
     ++matrix_iterations;
   }
+  // Phase keys cover every iteration of the matrix sweep (cumulative span
+  // time), alongside the per-iteration real_time mean.
   report.Add("table1_matrix/" + ToString(matrix_engine),
-             seconds_since(matrix_start), matrix_iterations);
+             seconds_since(matrix_start), matrix_iterations,
+             PhaseBreakdownMs());
 
   for (std::size_t r = 0; r < rows.size(); ++r) {
     const Row& row = rows[r];
@@ -178,7 +188,7 @@ int main(int argc, char** argv) {
       std::int64_t iterations = 0;
       do {
         CollectorSink collector;
-        CampaignExecutor::Shared().Run(SingleCampaignPlan(config), collector);
+        saffire::RunSweep(SingleCampaignPlan(config), RunOptions{}, collector);
         result = collector.TakeResults().front();
         ++iterations;
       } while (seconds_since(start) < options.min_time);
@@ -231,5 +241,6 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!ExportBenchObservability(options)) return 1;
   return report.Write(options, "bench_table1_campaigns") ? 0 : 1;
 }

@@ -13,12 +13,15 @@
 #include <iostream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "patterns/campaign.h"
-#include "service/executor.h"
+#include "service/run.h"
 #include "service/sink.h"
 
 namespace saffire::bench {
@@ -41,6 +44,12 @@ struct BenchOptions {
   // parse. 0 means one iteration. Benches may also use a non-zero value to
   // select their smoke-sized matrix (documented per bench).
   double min_time = 0.0;
+  // Observability outputs (src/obs/), "" = disabled. Enabling tracing or
+  // metrics perturbs the timings being measured — CI records them in a
+  // separate run from the regression-checked one.
+  std::string trace_out;    // Chrome trace_event JSON of the measured work
+  std::string metrics_out;  // registry exposition after the run ('-'=stdout)
+  std::string metrics_format = "prom";  // prom | json
 };
 
 inline BenchOptions ParseBenchArgs(int argc, char** argv) {
@@ -55,6 +64,12 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
       options.benchmark_out = value;
     } else if (name == "benchmark_out_format") {
       options.benchmark_out_format = value;
+    } else if (name == "trace-out") {
+      options.trace_out = value;
+    } else if (name == "metrics-out") {
+      options.metrics_out = value;
+    } else if (name == "metrics-format") {
+      options.metrics_format = value;
     } else if (name == "benchmark_min_time") {
       std::string text = value;
       if (!text.empty() && text.back() == 's') text.pop_back();
@@ -93,7 +108,68 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
                                 options.benchmark_out_format +
                                 "' (only json)");
   }
+  if (options.metrics_format != "prom" && options.metrics_format != "json") {
+    throw std::invalid_argument("unknown --metrics-format '" +
+                                options.metrics_format +
+                                "' (expected prom|json)");
+  }
   return options;
+}
+
+// Raises the span gates implied by the bench's observability flags. Call
+// before the measured work; a bench with neither flag pays only the
+// disabled-span fast path (what the regression job measures).
+inline void EnableBenchObservability(const BenchOptions& options) {
+  if (!options.trace_out.empty()) obs::TraceSession::Instance().Start();
+  if (!options.metrics_out.empty()) obs::SetPhaseMetricsEnabled(true);
+}
+
+// Writes the trace / metrics artifacts requested by the flags. Returns
+// false (after printing to stderr) if an output file cannot be opened.
+inline bool ExportBenchObservability(const BenchOptions& options) {
+  if (!options.trace_out.empty()) {
+    obs::TraceSession::Instance().Stop();
+    std::ofstream out(options.trace_out);
+    if (!out) {
+      std::cerr << "cannot open '" << options.trace_out << "'\n";
+      return false;
+    }
+    obs::TraceSession::Instance().WriteChromeTrace(out);
+  }
+  if (!options.metrics_out.empty()) {
+    const auto write = [&options](std::ostream& out) {
+      if (options.metrics_format == "json") {
+        obs::MetricsRegistry::Default().WriteJson(out);
+        out << "\n";
+      } else {
+        obs::MetricsRegistry::Default().WritePrometheus(out);
+      }
+    };
+    if (options.metrics_out == "-") {
+      write(std::cout);
+    } else {
+      std::ofstream out(options.metrics_out);
+      if (!out) {
+        std::cerr << "cannot open '" << options.metrics_out << "'\n";
+        return false;
+      }
+      write(out);
+    }
+  }
+  return true;
+}
+
+// The per-phase wall-clock breakdown ("saffire.phase.seconds" spans) as
+// extra numeric keys for BenchJsonReport::Add, in milliseconds. Empty
+// unless phase metrics were enabled (EnableBenchObservability with
+// --metrics-out) around the measured work.
+inline std::vector<std::pair<std::string, double>> PhaseBreakdownMs() {
+  std::vector<std::pair<std::string, double>> extra;
+  for (const auto& [phase, seconds] :
+       obs::MetricsRegistry::Default().Snapshot().PhaseSeconds()) {
+    extra.emplace_back("phase_" + phase + "_ms", 1e3 * seconds);
+  }
+  return extra;
 }
 
 // Collects per-measurement timings and writes them in the subset of the
@@ -104,7 +180,15 @@ class BenchJsonReport {
  public:
   void Add(const std::string& name, double total_seconds,
            std::int64_t iterations) {
-    entries_.push_back({name, total_seconds, iterations});
+    entries_.push_back({name, total_seconds, iterations, {}});
+  }
+
+  // Entry with extra numeric keys (google-benchmark user-counter style) —
+  // phase breakdowns (PhaseBreakdownMs), occupancy ratios, etc.
+  void Add(const std::string& name, double total_seconds,
+           std::int64_t iterations,
+           std::vector<std::pair<std::string, double>> extra) {
+    entries_.push_back({name, total_seconds, iterations, std::move(extra)});
   }
 
   // Writes options.benchmark_out if set; returns false (after printing to
@@ -149,8 +233,11 @@ class BenchJsonReport {
           .Key("iterations").Int(entry.iterations)
           .Key("real_time").Double(mean_ms)
           .Key("cpu_time").Double(mean_ms)
-          .Key("time_unit").String("ms")
-          .EndObject();
+          .Key("time_unit").String("ms");
+      for (const auto& [key, value] : entry.extra) {
+        w.Key(key).Double(value);
+      }
+      w.EndObject();
     }
     w.EndArray();
     w.EndObject();
@@ -163,6 +250,7 @@ class BenchJsonReport {
     std::string name;
     double total_seconds = 0;
     std::int64_t iterations = 0;
+    std::vector<std::pair<std::string, double>> extra;
   };
   std::vector<Entry> entries_;
 };
@@ -170,9 +258,9 @@ class BenchJsonReport {
 // Worker count for campaign benches: all hardware threads.
 inline int BenchThreads() { return DefaultCampaignThreads(); }
 
-// Runs every campaign of `specs` through the shared executor pool as one
-// batch (so workers keep their simulators across campaigns) and returns
-// the per-campaign results in canonical plan order.
+// Runs every campaign of `specs` through the RunSweep facade (shared
+// executor pool, one batch — workers keep their simulators across
+// campaigns) and returns the per-campaign results in canonical plan order.
 inline std::vector<CampaignResult> RunSweep(
     const std::vector<SweepSpec>& specs,
     std::vector<RecordSink*> extra_sinks = {}) {
@@ -180,7 +268,7 @@ inline std::vector<CampaignResult> RunSweep(
   std::vector<RecordSink*> sinks{&collector};
   sinks.insert(sinks.end(), extra_sinks.begin(), extra_sinks.end());
   TeeSink tee(sinks);
-  CampaignExecutor::Shared().Run(BuildCampaignPlan(specs), tee);
+  saffire::RunSweep(specs, RunOptions{}, tee);
   return collector.TakeResults();
 }
 

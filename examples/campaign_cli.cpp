@@ -37,6 +37,12 @@
 //   --csv PATH       write per-experiment CSV
 //   --jsonl PATH     stream records as JSONL (doubles as a checkpoint)
 //   --progress       live progress/ETA line on stderr
+// Observability (src/obs/):
+//   --trace-out PATH     record spans and write Chrome trace_event JSON
+//                        (load in chrome://tracing or Perfetto)
+//   --metrics-out PATH   export the metrics registry after the run;
+//                        '-' writes to stdout
+//   --metrics-format {prom|json}  exposition format for --metrics-out (prom)
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -46,9 +52,11 @@
 #include <string>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "patterns/report.h"
 #include "service/checkpoint.h"
-#include "service/executor.h"
+#include "service/run.h"
 #include "service/sink.h"
 
 namespace {
@@ -67,10 +75,11 @@ WorkloadSpec WorkloadByName(const std::string& name) {
 // Flags that take a value, and flags that stand alone.
 const std::set<std::string>& ValueFlags() {
   static const std::set<std::string> kFlags = {
-      "workload", "dataflow", "signal", "polarity", "bit",   "kind",
-      "fill",     "sites",    "seed",   "rows",     "cols",  "engine",
-      "threads",  "shards",   "shard",  "resume",   "spec",  "csv",
-      "jsonl"};
+      "workload", "dataflow", "signal",    "polarity",  "bit",
+      "kind",     "fill",     "sites",     "seed",      "rows",
+      "cols",     "engine",   "threads",   "shards",    "shard",
+      "resume",   "spec",     "csv",       "jsonl",     "trace-out",
+      "metrics-out", "metrics-format"};
   return kFlags;
 }
 
@@ -261,10 +270,56 @@ int main(int argc, char** argv) {
     options.only_shard = static_cast<int>(ParseInt(flag("shard", "-1")));
     if (resuming) options.checkpoint = &checkpoint;
 
+    // Observability: validate the format before running anything, raise the
+    // span gates only for the outputs actually requested.
+    const std::string metrics_format = flag("metrics-format", "prom");
+    if (metrics_format != "prom" && metrics_format != "json") {
+      throw std::invalid_argument("unknown --metrics-format '" +
+                                  metrics_format + "' (expected prom|json)");
+    }
+    const std::string trace_path = flag("trace-out", "");
+    const std::string metrics_path = flag("metrics-out", "");
+    if (!trace_path.empty()) obs::TraceSession::Instance().Start();
+    if (!metrics_path.empty()) obs::SetPhaseMetricsEnabled(true);
+
     CampaignExecutor& executor = CampaignExecutor::Shared();
     const ExecutorStats before = executor.stats();
-    executor.Run(plan, tee, options);
+    RunSweep(plan, options, tee);
     const std::vector<CampaignResult> results = collector.TakeResults();
+
+    if (!trace_path.empty()) {
+      obs::TraceSession::Instance().Stop();
+      std::ofstream trace_out(trace_path);
+      if (!trace_out) {
+        std::cerr << "cannot open '" << trace_path << "'\n";
+        return 1;
+      }
+      obs::TraceSession::Instance().WriteChromeTrace(trace_out);
+      std::cout << "wrote " << obs::TraceSession::Instance().event_count()
+                << " trace events to " << trace_path << "\n";
+    }
+    if (!metrics_path.empty()) {
+      const auto write = [&](std::ostream& out) {
+        if (metrics_format == "json") {
+          obs::MetricsRegistry::Default().WriteJson(out);
+          out << "\n";
+        } else {
+          obs::MetricsRegistry::Default().WritePrometheus(out);
+        }
+      };
+      if (metrics_path == "-") {
+        write(std::cout);
+      } else {
+        std::ofstream metrics_out(metrics_path);
+        if (!metrics_out) {
+          std::cerr << "cannot open '" << metrics_path << "'\n";
+          return 1;
+        }
+        write(metrics_out);
+        std::cout << "wrote metrics (" << metrics_format << ") to "
+                  << metrics_path << "\n";
+      }
+    }
 
     std::int64_t rows = 0;
     for (std::size_t c = 0; c < results.size(); ++c) {

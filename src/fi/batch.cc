@@ -12,11 +12,13 @@
 // across reduction steps mirrors AccumulatorMem::WriteBlock's uint32
 // wrap-add bit-for-bit.
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "common/check.h"
 #include "fi/cone.h"
 #include "fi/runner.h"
+#include "obs/trace.h"
 #include "systolic/lane_grid.h"
 #include "systolic/timing.h"
 #include "tensor/tiling.h"
@@ -73,33 +75,37 @@ std::vector<RunResult> FiRunner::RunFaultyBatch(
   lanes.reserve(faults.size());
   std::vector<std::size_t> acc_base(faults.size(), 0);
   std::size_t total_width = 0;
-  for (const FaultSpec& fault : faults) {
-    fault.Validate(array);
-    LaneFaultParams lane;
-    lane.pe = fault.pe;
-    lane.signal = fault.signal;
-    lane.cone =
-        FaultCone(std::span<const FaultSpec>(&fault, 1), lowered, array);
-    const std::int64_t bit = std::int64_t{1} << fault.bit;
-    if (fault.kind == FaultKind::kStuckAt) {
-      if (fault.polarity == StuckPolarity::kStuckAt0) {
-        lane.and_mask = ~bit;
+  std::optional<LaneGrid> lane_grid;
+  {
+    SAFFIRE_SPAN("fi.batch.pack");
+    for (const FaultSpec& fault : faults) {
+      fault.Validate(array);
+      LaneFaultParams lane;
+      lane.pe = fault.pe;
+      lane.signal = fault.signal;
+      lane.cone =
+          FaultCone(std::span<const FaultSpec>(&fault, 1), lowered, array);
+      const std::int64_t bit = std::int64_t{1} << fault.bit;
+      if (fault.kind == FaultKind::kStuckAt) {
+        if (fault.polarity == StuckPolarity::kStuckAt0) {
+          lane.and_mask = ~bit;
+        } else {
+          lane.or_mask = bit;
+        }
       } else {
-        lane.or_mask = bit;
+        SAFFIRE_CHECK_MSG(
+            fault.at_cycle >= 0,
+            "batched transient needs a relative strike offset, got "
+                << fault.at_cycle);
+        lane.xor_mask = bit;
+        lane.strike_cycle = fault.at_cycle;
       }
-    } else {
-      SAFFIRE_CHECK_MSG(
-          fault.at_cycle >= 0,
-          "batched transient needs a relative strike offset, got "
-              << fault.at_cycle);
-      lane.xor_mask = bit;
-      lane.strike_cycle = fault.at_cycle;
+      acc_base[lanes.size()] = total_width;
+      total_width += static_cast<std::size_t>(lane.cone.width());
+      lanes.push_back(lane);
     }
-    acc_base[lanes.size()] = total_width;
-    total_width += static_cast<std::size_t>(lane.cone.width());
-    lanes.push_back(lane);
+    lane_grid.emplace(array, lanes);
   }
-  LaneGrid lane_grid(array, lanes);
 
   // Per-lane outputs start as the golden result: everything outside a
   // lane's cone provably matches the fault-free run.
@@ -109,6 +115,7 @@ std::vector<RunResult> FiRunner::RunFaultyBatch(
     result.cycles = golden.cycles;
   }
 
+  SAFFIRE_SPAN("fi.batch.replay");
   std::int64_t step0 = 0;
   std::int64_t tile_index = 0;
   std::vector<std::int64_t> rel_cycles;
@@ -142,9 +149,9 @@ std::vector<RunResult> FiRunner::RunFaultyBatch(
         const Int8Tensor a_blk = ExtractTilePadded(a, m0, k0, me, ke, me, ke);
         const Int8Tensor b_blk = ExtractTilePadded(b, k0, n0, ke, ne, ke, ne);
         if (ws) {
-          lane_grid.RunTileWs(a_blk, b_blk, rel_cycles);
+          lane_grid->RunTileWs(a_blk, b_blk, rel_cycles);
         } else {
-          lane_grid.RunTileOs(a_blk, b_blk, rel_cycles);
+          lane_grid->RunTileOs(a_blk, b_blk, rel_cycles);
         }
         for (std::size_t l = 0; l < lanes.size(); ++l) {
           const std::int64_t lo = lanes[l].cone.lo;
@@ -156,7 +163,7 @@ std::vector<RunResult> FiRunner::RunFaultyBatch(
                 static_cast<std::size_t>(me);
             for (std::int64_t i = 0; i < me; ++i) {
               const auto value = static_cast<std::int32_t>(
-                  lane_grid.OutputAt(l, i, static_cast<std::int32_t>(c)));
+                  lane_grid->OutputAt(l, i, static_cast<std::int32_t>(c)));
               std::int32_t& cell = acc[col_base + static_cast<std::size_t>(i)];
               cell = ki > 0 ? static_cast<std::int32_t>(
                                   static_cast<std::uint32_t>(cell) +
@@ -203,7 +210,7 @@ std::vector<RunResult> FiRunner::RunFaultyBatch(
                         static_cast<std::uint64_t>(lanes[l].cone.width());
     results[l].pe_steps = total_steps * active;
     results[l].pe_steps_skipped = total_steps * (num_pes - active);
-    results[l].fault_activations = lane_grid.activations(l);
+    results[l].fault_activations = lane_grid->activations(l);
   }
   return results;
 }

@@ -1,6 +1,8 @@
 #include "fi/runner.h"
 
 #include "fi/cone.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace saffire {
 namespace {
@@ -22,6 +24,7 @@ RunResult FiRunner::RunGolden(const WorkloadSpec& workload,
 
 RunResult FiRunner::RunFaulty(const WorkloadSpec& workload, Dataflow dataflow,
                               std::span<const FaultSpec> faults) {
+  SAFFIRE_SPAN("fi.faulty_run");
   FaultInjector injector(std::vector<FaultSpec>(faults.begin(), faults.end()),
                          accel_.config().array);
   return Run(workload, dataflow, &injector);
@@ -29,6 +32,7 @@ RunResult FiRunner::RunFaulty(const WorkloadSpec& workload, Dataflow dataflow,
 
 RunResult FiRunner::RunGoldenRecorded(const WorkloadSpec& workload,
                                       Dataflow dataflow, GoldenTrace* trace) {
+  SAFFIRE_SPAN("fi.golden_record");
   SystolicArray& array = accel_.array();
   array.BeginGoldenRecording(trace);
   RunResult result;
@@ -46,10 +50,14 @@ RunResult FiRunner::RunFaultyDifferential(const WorkloadSpec& workload,
                                           Dataflow dataflow,
                                           std::span<const FaultSpec> faults,
                                           const GoldenTrace& trace) {
+  SAFFIRE_SPAN("fi.differential_run");
   FaultInjector injector(std::vector<FaultSpec>(faults.begin(), faults.end()),
                          accel_.config().array);
-  const ColumnCone cone =
-      FaultCone(faults, LoweredDataflow(dataflow), accel_.config().array);
+  ColumnCone cone;
+  {
+    SAFFIRE_SPAN("fi.cone_derive");
+    cone = FaultCone(faults, LoweredDataflow(dataflow), accel_.config().array);
+  }
   SystolicArray& array = accel_.array();
   array.BeginDifferential(cone, &trace);
   RunResult result;
@@ -90,6 +98,23 @@ RunResult FiRunner::Run(const WorkloadSpec& workload, Dataflow dataflow,
   result.pe_steps_skipped = array.pe_steps_skipped() - skipped_before;
   result.fault_activations =
       injector == nullptr ? 0 : injector->activations();
+
+  // Aggregate per-run PE activity into the default registry at the run
+  // boundary — the inner per-PE loops stay uninstrumented (see obs/trace.h
+  // cost model). Handles resolve once per process.
+  static obs::Counter& fi_runs = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.fi.runs", "simulator runs (golden + faulty)");
+  static obs::Counter& fi_pe_steps =
+      obs::MetricsRegistry::Default().GetCounter(
+          "saffire.fi.pe_steps", "PE step evaluations across runs");
+  static obs::Counter& fi_pe_steps_skipped =
+      obs::MetricsRegistry::Default().GetCounter(
+          "saffire.fi.pe_steps_skipped",
+          "PE steps elided by the fault-cone differential engine");
+  fi_runs.Increment();
+  fi_pe_steps.Increment(static_cast<std::int64_t>(result.pe_steps));
+  fi_pe_steps_skipped.Increment(
+      static_cast<std::int64_t>(result.pe_steps_skipped));
   return result;
 }
 

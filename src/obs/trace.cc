@@ -1,0 +1,178 @@
+#include "obs/trace.h"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/json.h"
+
+namespace saffire::obs {
+
+namespace internal {
+std::atomic<unsigned> g_span_gates{0};
+}  // namespace internal
+
+namespace {
+
+struct Event {
+  const char* static_name;  // non-null for ScopedSpan events
+  std::string owned_name;   // used when static_name is null (RecordComplete)
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+
+  std::string_view name() const {
+    return static_name != nullptr ? std::string_view(static_name)
+                                  : std::string_view(owned_name);
+  }
+};
+
+}  // namespace
+
+// Per-thread event buffer. Each append takes the buffer's own mutex, which
+// is uncontended in steady state (only the exporting thread ever competes),
+// so the hot path stays one uncontended lock + vector push.
+struct TraceSession::ThreadBuffer {
+  std::mutex mutex;
+  int tid = 0;
+  std::vector<Event> events;
+};
+
+namespace {
+
+// Registry of all thread buffers. Buffers are never destroyed (threads are
+// pool workers living for the process), so exporting can hold raw pointers.
+std::mutex g_buffers_mutex;
+std::vector<std::unique_ptr<TraceSession::ThreadBuffer>>& Buffers() {
+  static std::vector<std::unique_ptr<TraceSession::ThreadBuffer>> buffers;
+  return buffers;
+}
+
+}  // namespace
+
+TraceSession& TraceSession::Instance() {
+  static TraceSession session;
+  return session;
+}
+
+TraceSession::ThreadBuffer& TraceSession::LocalBuffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto owned = std::make_unique<ThreadBuffer>();
+    ThreadBuffer* raw = owned.get();
+    std::unique_lock<std::mutex> lock(g_buffers_mutex);
+    raw->tid = static_cast<int>(Buffers().size() + 1);
+    Buffers().push_back(std::move(owned));
+    return raw;
+  }();
+  return *buffer;
+}
+
+void TraceSession::Start() {
+  Clear();
+  epoch_ = std::chrono::steady_clock::now();
+  internal::g_span_gates.fetch_or(internal::kTraceBit,
+                                  std::memory_order_relaxed);
+}
+
+void TraceSession::Stop() {
+  internal::g_span_gates.fetch_and(~internal::kTraceBit,
+                                   std::memory_order_relaxed);
+}
+
+void SetPhaseMetricsEnabled(bool enabled) {
+  if (enabled) {
+    internal::g_span_gates.fetch_or(internal::kPhaseBit,
+                                    std::memory_order_relaxed);
+  } else {
+    internal::g_span_gates.fetch_and(~internal::kPhaseBit,
+                                     std::memory_order_relaxed);
+  }
+}
+
+std::int64_t TraceSession::NowMicros() const {
+  if (epoch_ == std::chrono::steady_clock::time_point{}) return 0;
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceSession::RecordComplete(std::string_view name, std::int64_t ts_us,
+                                  std::int64_t dur_us) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::unique_lock<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(
+      Event{nullptr, std::string(name), ts_us, dur_us});
+}
+
+void TraceSession::Clear() {
+  std::unique_lock<std::mutex> lock(g_buffers_mutex);
+  for (const auto& buffer : Buffers()) {
+    std::unique_lock<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::size_t TraceSession::event_count() const {
+  std::unique_lock<std::mutex> lock(g_buffers_mutex);
+  std::size_t count = 0;
+  for (const auto& buffer : Buffers()) {
+    std::unique_lock<std::mutex> buffer_lock(buffer->mutex);
+    count += buffer->events.size();
+  }
+  return count;
+}
+
+void TraceSession::WriteChromeTrace(std::ostream& out) const {
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  {
+    std::unique_lock<std::mutex> lock(g_buffers_mutex);
+    for (const auto& buffer : Buffers()) {
+      std::unique_lock<std::mutex> buffer_lock(buffer->mutex);
+      for (const Event& event : buffer->events) {
+        w.BeginObject()
+            .Key("name").String(event.name())
+            .Key("cat").String("saffire")
+            .Key("ph").String("X")
+            .Key("ts").Int(event.ts_us)
+            .Key("dur").Int(event.dur_us)
+            .Key("pid").Int(1)
+            .Key("tid").Int(buffer->tid)
+            .EndObject();
+      }
+    }
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
+  w.EndObject();
+  out << '\n';
+}
+
+void ScopedSpan::Finish() {
+  const auto end = std::chrono::steady_clock::now();
+  const std::int64_t dur_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
+          .count();
+  const unsigned gates =
+      internal::g_span_gates.load(std::memory_order_relaxed);
+  if ((gates & internal::kTraceBit) != 0) {
+    TraceSession& session = TraceSession::Instance();
+    const std::int64_t end_us = session.NowMicros();
+    TraceSession::ThreadBuffer& buffer = session.LocalBuffer();
+    std::unique_lock<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(
+        Event{site_->name, std::string(), end_us - dur_us, dur_us});
+  }
+  if ((gates & internal::kPhaseBit) != 0) {
+    Histogram* histogram = site_->histogram.load(std::memory_order_acquire);
+    if (histogram == nullptr) {
+      histogram = &MetricsRegistry::Default().GetHistogram(
+          "saffire.phase.seconds", "elapsed seconds per instrumented phase",
+          std::string("phase=\"") + site_->name + "\"");
+      site_->histogram.store(histogram, std::memory_order_release);
+    }
+    histogram->Observe(static_cast<double>(dur_us) * 1e-6);
+  }
+}
+
+}  // namespace saffire::obs

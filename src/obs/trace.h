@@ -1,0 +1,141 @@
+// Scoped tracing spans: the timeline half of the observability layer.
+// Instrumented phases (golden recording, cone derivation, batch pack/diff,
+// executor chunks, sink flushes) open a span on entry and close it on exit;
+// with tracing enabled each span becomes one Chrome trace_event "complete"
+// event (load the exported JSON in chrome://tracing or Perfetto), and with
+// phase metrics enabled it also lands in the "saffire.phase.seconds"
+// histogram family of the default registry — the per-phase cost breakdown.
+//
+// Cost model: spans are compiled in unconditionally but gated on one
+// process-wide atomic. Disabled (the default), a span is a single relaxed
+// load and a predictable branch — cheap enough for the campaign hot layers
+// (though not for the per-PE inner loops, which stay uninstrumented and
+// aggregate into counters at run boundaries instead). Enabled, each span
+// costs two steady_clock reads plus an append to a thread-local buffer;
+// buffers are only walked at export time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace saffire::obs {
+
+// Process-wide span gates, combined into one word so the disabled fast path
+// is a single load. Bit 0: trace events; bit 1: phase histograms.
+namespace internal {
+inline constexpr unsigned kTraceBit = 1u;
+inline constexpr unsigned kPhaseBit = 2u;
+extern std::atomic<unsigned> g_span_gates;
+}  // namespace internal
+
+inline bool SpanTimingEnabled() {
+  return internal::g_span_gates.load(std::memory_order_relaxed) != 0;
+}
+inline bool PhaseMetricsEnabled() {
+  return (internal::g_span_gates.load(std::memory_order_relaxed) &
+          internal::kPhaseBit) != 0;
+}
+// Routes span durations into MetricsRegistry::Default()'s
+// "saffire.phase.seconds" histograms, independent of tracing.
+void SetPhaseMetricsEnabled(bool enabled);
+
+// Collects trace events process-wide. Threads register a thread-local
+// buffer on first use (their span stack's landing zone); Start() stamps the
+// session epoch and raises the gate, WriteChromeTrace() merges every
+// buffer into one Chrome trace_event JSON document.
+class TraceSession {
+ public:
+  static TraceSession& Instance();
+
+  // Clears previously collected events and enables collection. Timestamps
+  // are microseconds since this call.
+  void Start();
+  // Stops collection; collected events stay available for export.
+  void Stop();
+  bool enabled() const {
+    return (internal::g_span_gates.load(std::memory_order_relaxed) &
+            internal::kTraceBit) != 0;
+  }
+
+  // Appends one complete-span event ("ph":"X") for the calling thread.
+  // ts_us/dur_us are in microseconds relative to the session start. Public
+  // so tests can synthesize deterministic timelines; instrumented code goes
+  // through ScopedSpan.
+  void RecordComplete(std::string_view name, std::int64_t ts_us,
+                      std::int64_t dur_us);
+
+  // Microseconds since Start() (0 before the first Start()).
+  std::int64_t NowMicros() const;
+
+  // The Chrome trace_event JSON object format:
+  //   {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,
+  //     "pid":1,"tid":...,"cat":"saffire"}],"displayTimeUnit":"ms"}
+  // Loadable in chrome://tracing and Perfetto. Safe to call while spans are
+  // still being recorded (a consistent prefix is exported).
+  void WriteChromeTrace(std::ostream& out) const;
+
+  // Drops every collected event (buffers stay registered).
+  void Clear();
+
+  // Collected events across all threads (for tests and sanity checks).
+  std::size_t event_count() const;
+
+  // Internal: the calling thread's event buffer (created and registered on
+  // first use). Exposed for ScopedSpan; not part of the public surface.
+  struct ThreadBuffer;
+  ThreadBuffer& LocalBuffer();
+
+ private:
+  TraceSession() = default;
+
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+// One instrumentation point, declared static at the call site so the
+// phase-histogram handle is resolved once and cached (see SAFFIRE_SPAN).
+struct SpanSite {
+  const char* name;
+  std::atomic<Histogram*> histogram{nullptr};
+};
+
+// RAII span. Does nothing unless tracing or phase metrics are enabled at
+// construction time.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanSite& site) {
+    if (SpanTimingEnabled()) {
+      site_ = &site;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedSpan() {
+    if (site_ != nullptr) Finish();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Finish();
+
+  SpanSite* site_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+#define SAFFIRE_SPAN_CONCAT2(a, b) a##b
+#define SAFFIRE_SPAN_CONCAT(a, b) SAFFIRE_SPAN_CONCAT2(a, b)
+
+// Opens a span covering the rest of the enclosing scope:
+//   SAFFIRE_SPAN("fi.golden_record");
+#define SAFFIRE_SPAN(name_literal)                                       \
+  static ::saffire::obs::SpanSite SAFFIRE_SPAN_CONCAT(saffire_span_site_, \
+                                                      __LINE__){name_literal}; \
+  ::saffire::obs::ScopedSpan SAFFIRE_SPAN_CONCAT(saffire_span_, __LINE__)( \
+      SAFFIRE_SPAN_CONCAT(saffire_span_site_, __LINE__))
+
+}  // namespace saffire::obs

@@ -8,6 +8,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace saffire {
 namespace {
@@ -155,6 +156,7 @@ ExperimentRecord BuildRecord(const PreparedCampaign& prepared,
 
 PreparedCampaign PrepareCampaign(const CampaignConfig& config,
                                  FiRunner* golden_runner) {
+  SAFFIRE_SPAN("campaign.prepare");
   config.accel.Validate();
   config.workload.Validate();
   if (config.engine == CampaignEngine::kBatch) {
@@ -204,6 +206,7 @@ ExperimentRecord RunPreparedExperiment(const PreparedCampaign& prepared,
     // A one-lane batch — same code path, same record.
     return RunPreparedBatch(prepared, runner, index, index + 1).front();
   }
+  SAFFIRE_SPAN("campaign.experiment");
   ConfigureEngine(runner, config.engine);
   const FaultSpec& fault = prepared.faults[index];
   FaultSpec injected = fault;
@@ -246,8 +249,13 @@ std::vector<ExperimentRecord> RunPreparedBatch(
       config.workload, config.dataflow, faults, *trace, prepared.golden());
   std::vector<ExperimentRecord> records;
   records.reserve(faulty.size());
-  for (std::size_t i = 0; i < faulty.size(); ++i) {
-    records.push_back(BuildRecord(prepared, faults[i], faulty[i]));
+  {
+    // Classification + prediction over the lane outputs — the post-replay
+    // diff work, separated from the replay itself in phase breakdowns.
+    SAFFIRE_SPAN("fi.batch.diff");
+    for (std::size_t i = 0; i < faulty.size(); ++i) {
+      records.push_back(BuildRecord(prepared, faults[i], faulty[i]));
+    }
   }
   return records;
 }

@@ -144,14 +144,17 @@ struct CampaignResult {
 
 // Runs the campaign. Per-experiment work: one faulty run, one diff, one
 // classification, one prediction; the golden run happens once. Defined in
-// the service layer (service/service.cc) as a thin wrapper over the shared
-// CampaignExecutor — link saffire_service to use it.
+// the service layer (service/service.cc) as a thin wrapper over the
+// RunSweep facade (service/run.h) — link saffire_service to use it.
+// Deprecated: new code should build a plan (SingleCampaignPlan) and call
+// RunSweep with the sink it actually wants.
 CampaignResult RunCampaign(const CampaignConfig& config);
 
 // Same result, computed across up to `threads` pool workers (experiments
 // are independent: a permanent fault only lives for its own run). Record
 // order and content match RunCampaign bit-for-bit regardless of the thread
-// count. Also defined in service/service.cc.
+// count. Also defined in service/service.cc. Deprecated alongside
+// RunCampaign — RunSweep with RunOptions::max_parallelism replaces it.
 CampaignResult RunCampaignParallel(const CampaignConfig& config, int threads);
 
 // The self-contained single-threaded implementation: one locally

@@ -1,6 +1,8 @@
 #include "service/executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <exception>
 #include <iterator>
 #include <optional>
@@ -9,6 +11,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace saffire {
 
@@ -18,6 +21,16 @@ namespace {
 // such a thread executes inline instead of queueing work its own pool can
 // never pick up.
 thread_local bool t_is_pool_worker = false;
+
+// Sentinel worker index for threads outside the pool (inline nested runs).
+constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+
+// Microseconds between two steady_clock points, for busy-time counters.
+std::int64_t MicrosBetween(std::chrono::steady_clock::time_point begin,
+                           std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(end - begin)
+      .count();
+}
 
 // Serializes an AccelConfig into the per-worker simulator cache key.
 std::string SimulatorKey(const AccelConfig& accel) {
@@ -39,6 +52,9 @@ std::string SimulatorKey(const AccelConfig& accel) {
 struct CampaignExecutor::WorkerCache {
   std::string key;
   std::optional<FiRunner> runner;
+  // Pool worker index owning this cache, kNoWorker for inline nested runs —
+  // the identity behind the steal counter and per-worker busy time.
+  std::size_t worker_index = kNoWorker;
 
   // Returns a simulator for `accel`, setting *constructed to whether a new
   // one had to be built (vs a cache hit).
@@ -69,6 +85,9 @@ struct CampaignState {
 
   Stage stage = Stage::kPending;
   std::int64_t total = 0;  // plan site count
+  // Worker that ran PrepareOne (kNoWorker before preparation / inline);
+  // chunks claimed by any other worker count as steals.
+  std::size_t prepared_by = static_cast<std::size_t>(-1);
 
   // Indices this run delivers (in-shard ∪ checkpointed), ascending, and the
   // subset to simulate (deliverable minus checkpointed).
@@ -128,15 +147,81 @@ struct CampaignExecutor::RunState {
   bool Finished() const { return deliver_campaign == campaigns.size(); }
 };
 
-CampaignExecutor::CampaignExecutor(int threads) {
-  SAFFIRE_CHECK_MSG(threads >= 1 && threads <= 256, "threads=" << threads);
-  workers_.reserve(static_cast<std::size_t>(threads));
-  stats_.pool_threads = threads;
-  for (int i = 0; i < threads; ++i) {
+CampaignExecutor::CampaignExecutor(const ExecutorOptions& options)
+    : options_(options) {
+  SAFFIRE_CHECK_MSG(options.threads >= 1 && options.threads <= 256,
+                    "threads=" << options.threads);
+  SAFFIRE_CHECK_MSG(options.lookahead >= 1,
+                    "lookahead=" << options.lookahead);
+  SAFFIRE_CHECK_MSG(options.batch_lanes >= 0,
+                    "batch_lanes=" << options.batch_lanes);
+  if (options_.metrics == nullptr) {
+    options_.metrics = &obs::MetricsRegistry::Default();
+  }
+
+  // Register this pool's instrument series, labelled by instance so
+  // concurrent executors sharing a registry stay distinguishable.
+  static std::atomic<int> pool_ids{0};
+  const std::string pool_label =
+      "pool=\"" + std::to_string(pool_ids.fetch_add(1)) + "\"";
+  obs::MetricsRegistry& registry = *options_.metrics;
+  const auto counter = [&](const char* name, const char* help) {
+    return &registry.GetCounter(name, help, pool_label);
+  };
+  metrics_.runs = counter("saffire.executor.runs", "Run() invocations");
+  metrics_.campaigns_executed = counter("saffire.executor.campaigns_executed",
+                                        "campaigns simulated");
+  metrics_.campaigns_replayed = counter(
+      "saffire.executor.campaigns_replayed",
+      "campaigns satisfied entirely from a checkpoint");
+  metrics_.experiments_run =
+      counter("saffire.executor.experiments_run", "experiments simulated");
+  metrics_.experiments_replayed =
+      counter("saffire.executor.experiments_replayed",
+              "experiments replayed from checkpointed records");
+  metrics_.chunks_executed =
+      counter("saffire.executor.chunks_executed", "work chunks executed");
+  metrics_.chunks_stolen =
+      counter("saffire.executor.chunks_stolen",
+              "chunks executed by a worker that did not prepare the campaign");
+  metrics_.lanes_filled = counter("saffire.executor.lanes_filled",
+                                  "occupied batch-engine lanes");
+  metrics_.batches_run =
+      counter("saffire.executor.batches_run", "batch-engine array passes");
+  metrics_.simulators_constructed =
+      counter("saffire.executor.simulators_constructed",
+              "FiRunner constructions");
+  metrics_.simulators_reused = counter("saffire.executor.simulators_reused",
+                                       "per-worker simulator cache hits");
+  metrics_.golden_cache_hits =
+      counter("saffire.executor.golden_cache_hits",
+              "golden runs served from the process-wide cache");
+  metrics_.queue_depth =
+      &registry.GetGauge("saffire.executor.queue_depth",
+                         "claimable chunks across active runs", pool_label);
+  metrics_.busy_workers =
+      &registry.GetGauge("saffire.executor.busy_workers",
+                         "workers currently executing a task", pool_label);
+  metrics_.chunk_seconds = &registry.GetHistogram(
+      "saffire.executor.chunk_seconds", "wall time per executed chunk",
+      pool_label);
+  metrics_.worker_busy_us.reserve(static_cast<std::size_t>(options.threads));
+  for (int i = 0; i < options.threads; ++i) {
+    metrics_.worker_busy_us.push_back(&registry.GetCounter(
+        "saffire.executor.worker_busy_us",
+        "microseconds each worker spent executing tasks",
+        pool_label + ",worker=\"" + std::to_string(i) + "\""));
+  }
+
+  workers_.reserve(static_cast<std::size_t>(options.threads));
+  for (int i = 0; i < options.threads; ++i) {
     workers_.emplace_back(
         [this, i] { WorkerLoop(static_cast<std::size_t>(i)); });
   }
 }
+
+CampaignExecutor::CampaignExecutor(int threads)
+    : CampaignExecutor(ExecutorOptions{.threads = threads}) {}
 
 CampaignExecutor::~CampaignExecutor() {
   {
@@ -155,8 +240,30 @@ CampaignExecutor& CampaignExecutor::Shared() {
 }
 
 ExecutorStats CampaignExecutor::stats() const {
-  std::unique_lock<std::mutex> lock(mutex_);
-  return stats_;
+  // Thin accessor over the registry-backed counters; individual fields are
+  // each exact, though a racing snapshot may observe them at slightly
+  // different instants (same contract a Prometheus scrape gets).
+  ExecutorStats stats;
+  stats.pool_threads = static_cast<int>(workers_.size());
+  stats.runs = metrics_.runs->value();
+  stats.campaigns_executed = metrics_.campaigns_executed->value();
+  stats.campaigns_replayed = metrics_.campaigns_replayed->value();
+  stats.experiments_run = metrics_.experiments_run->value();
+  stats.experiments_replayed = metrics_.experiments_replayed->value();
+  stats.chunks_executed = metrics_.chunks_executed->value();
+  stats.chunks_stolen = metrics_.chunks_stolen->value();
+  stats.lanes_filled = metrics_.lanes_filled->value();
+  stats.batches_run = metrics_.batches_run->value();
+  stats.simulators_constructed = metrics_.simulators_constructed->value();
+  stats.simulators_reused = metrics_.simulators_reused->value();
+  stats.golden_cache_hits = metrics_.golden_cache_hits->value();
+  return stats;
+}
+
+std::int64_t CampaignExecutor::EffectiveBatchLanes(
+    const CampaignConfig& config) const {
+  if (options_.batch_lanes <= 0) return config.batch_lanes;
+  return std::min(config.batch_lanes, options_.batch_lanes);
 }
 
 void CampaignExecutor::Run(const CampaignPlan& plan, RecordSink& sink,
@@ -255,9 +362,9 @@ void CampaignExecutor::Run(const CampaignPlan& plan, RecordSink& sink,
     // queueing onto a pool we are currently occupying risks deadlock.
     WorkerCache cache;
     std::unique_lock<std::mutex> lock(mutex_);
-    ++stats_.runs;
-    stats_.campaigns_replayed += replay_only_campaigns;
-    stats_.experiments_replayed += replayed_experiments;
+    metrics_.runs->Increment();
+    metrics_.campaigns_replayed->Increment(replay_only_campaigns);
+    metrics_.experiments_replayed->Increment(replayed_experiments);
     for (std::size_t c = 0; c < run.campaigns.size(); ++c) {
       CampaignState& campaign = run.campaigns[c];
       if (campaign.stage == CampaignState::Stage::kReplayOnly) continue;
@@ -267,6 +374,7 @@ void CampaignExecutor::Run(const CampaignPlan& plan, RecordSink& sink,
       lock.lock();
       while (campaign.HasClaimableChunk()) {
         const std::size_t chunk = campaign.next_chunk++;
+        metrics_.queue_depth->Add(-1);
         lock.unlock();
         RunChunk(run, c, cache, campaign.chunk_bounds[chunk],
                  campaign.chunk_bounds[chunk + 1]);
@@ -283,9 +391,9 @@ void CampaignExecutor::Run(const CampaignPlan& plan, RecordSink& sink,
 
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    ++stats_.runs;
-    stats_.campaigns_replayed += replay_only_campaigns;
-    stats_.experiments_replayed += replayed_experiments;
+    metrics_.runs->Increment();
+    metrics_.campaigns_replayed->Increment(replay_only_campaigns);
+    metrics_.experiments_replayed->Increment(replayed_experiments);
     active_.push_back(&run);
     // A replay-only prefix has no tasks to trigger its delivery; push the
     // frontier from here before handing off to the workers.
@@ -300,9 +408,10 @@ void CampaignExecutor::Run(const CampaignPlan& plan, RecordSink& sink,
   sink.OnSweepEnd();
 }
 
-void CampaignExecutor::WorkerLoop(std::size_t /*worker_index*/) {
+void CampaignExecutor::WorkerLoop(std::size_t worker_index) {
   t_is_pool_worker = true;
   WorkerCache cache;
+  cache.worker_index = worker_index;
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     if (shutdown_) return;
@@ -329,6 +438,11 @@ bool CampaignExecutor::RunOneTask(WorkerCache& cache,
       }
       const std::size_t chunk = campaign.next_chunk++;
       ++run->active_workers;
+      metrics_.busy_workers->Add(1);
+      metrics_.queue_depth->Add(-1);
+      if (campaign.prepared_by != cache.worker_index) {
+        metrics_.chunks_stolen->Increment();
+      }
       lock.unlock();
       try {
         RunChunk(*run, c, cache, campaign.chunk_bounds[chunk],
@@ -340,13 +454,14 @@ bool CampaignExecutor::RunOneTask(WorkerCache& cache,
       }
       ++campaign.chunks_finished;
       --run->active_workers;
+      metrics_.busy_workers->Add(-1);
       Deliver(*run, lock);
       work_ready_.notify_all();
       return true;
     }
 
     // Pass 2: prepare the next campaign, with bounded lookahead so at most
-    // cap+1 campaigns hold prepared state at once.
+    // cap + lookahead campaigns hold prepared state at once.
     if (run->next_prepare >= run->campaigns.size()) continue;
     int in_flight = 0;
     for (const CampaignState& campaign : run->campaigns) {
@@ -356,7 +471,7 @@ bool CampaignExecutor::RunOneTask(WorkerCache& cache,
         ++in_flight;
       }
     }
-    if (in_flight > run->cap) continue;
+    if (in_flight > run->cap + (options_.lookahead - 1)) continue;
     // Replay-only campaigns never need preparing; skip past them.
     while (run->next_prepare < run->campaigns.size() &&
            run->campaigns[run->next_prepare].stage !=
@@ -366,7 +481,9 @@ bool CampaignExecutor::RunOneTask(WorkerCache& cache,
     if (run->next_prepare >= run->campaigns.size()) continue;
     const std::size_t c = run->next_prepare++;
     run->campaigns[c].stage = CampaignState::Stage::kPreparing;
+    run->campaigns[c].prepared_by = cache.worker_index;
     ++run->active_workers;
+    metrics_.busy_workers->Add(1);
     lock.unlock();
     try {
       PrepareOne(*run, c, cache);
@@ -379,6 +496,7 @@ bool CampaignExecutor::RunOneTask(WorkerCache& cache,
       run->campaigns[c].chunk_bounds.clear();
     }
     --run->active_workers;
+    metrics_.busy_workers->Add(-1);
     Deliver(*run, lock);
     work_ready_.notify_all();
     return true;
@@ -388,6 +506,8 @@ bool CampaignExecutor::RunOneTask(WorkerCache& cache,
 
 void CampaignExecutor::PrepareOne(RunState& run, std::size_t campaign_index,
                                   WorkerCache& cache) {
+  SAFFIRE_SPAN("executor.prepare");
+  const auto busy_start = std::chrono::steady_clock::now();
   CampaignState& campaign = run.campaigns[campaign_index];
   const CampaignConfig& config = run.plan->campaigns[campaign_index];
 
@@ -406,11 +526,12 @@ void CampaignExecutor::PrepareOne(RunState& run, std::size_t campaign_index,
 
   std::unique_lock<std::mutex> lock(mutex_);
   if (golden_runner != nullptr) {
-    ++(constructed ? stats_.simulators_constructed
-                   : stats_.simulators_reused);
+    (constructed ? metrics_.simulators_constructed
+                 : metrics_.simulators_reused)
+        ->Increment();
   }
-  if (prepared.golden_cache_hit) ++stats_.golden_cache_hits;
-  ++stats_.campaigns_executed;
+  if (prepared.golden_cache_hit) metrics_.golden_cache_hits->Increment();
+  metrics_.campaigns_executed->Increment();
 
   campaign.info.golden_cycles = prepared.golden().cycles;
   campaign.info.golden_pe_steps = prepared.golden().pe_steps;
@@ -426,8 +547,8 @@ void CampaignExecutor::PrepareOne(RunState& run, std::size_t campaign_index,
     // Align chunks to whole batches so a chunk never splits a canonical
     // batch_lanes-sized group across workers (RunChunk batches within its
     // chunk only).
-    chunk_size = ((chunk_size + config.batch_lanes - 1) / config.batch_lanes) *
-                 config.batch_lanes;
+    const std::int64_t lanes = EffectiveBatchLanes(config);
+    chunk_size = ((chunk_size + lanes - 1) / lanes) * lanes;
   }
   campaign.chunk_bounds.clear();
   for (std::int64_t p = 0; p < n; p += chunk_size) {
@@ -435,11 +556,25 @@ void CampaignExecutor::PrepareOne(RunState& run, std::size_t campaign_index,
   }
   campaign.chunk_bounds.push_back(n);
   campaign.stage = CampaignState::Stage::kReady;
+  if (run.error == nullptr) {
+    // Publish the new chunks to the queue-depth gauge. An errored run's
+    // chunks are never claimed (workers skip it), so they stay off the
+    // gauge entirely — Deliver retires any published before the error.
+    metrics_.queue_depth->Add(
+        static_cast<std::int64_t>(campaign.chunk_bounds.size()) - 1);
+  }
+  lock.unlock();
+  if (cache.worker_index != kNoWorker) {
+    metrics_.worker_busy_us[cache.worker_index]->Increment(
+        MicrosBetween(busy_start, std::chrono::steady_clock::now()));
+  }
 }
 
 void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
                                 WorkerCache& cache, std::int64_t begin,
                                 std::int64_t end) {
+  SAFFIRE_SPAN("executor.chunk");
+  const auto busy_start = std::chrono::steady_clock::now();
   CampaignState& campaign = run.campaigns[campaign_index];
   const CampaignConfig& config = run.plan->campaigns[campaign_index];
 
@@ -459,7 +594,7 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
     // RunPreparedBatch takes a contiguous index range. Records are
     // independent across lanes, so the grouping affects occupancy stats
     // only, never record content.
-    const std::int64_t lanes = config.batch_lanes;
+    const std::int64_t lanes = EffectiveBatchLanes(config);
     std::int64_t p = begin;
     while (p < end) {
       const std::int64_t first =
@@ -488,20 +623,29 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
     }
   }
 
+  const std::int64_t busy_us =
+      MicrosBetween(busy_start, std::chrono::steady_clock::now());
+
   std::unique_lock<std::mutex> lock(mutex_);
   campaign.lanes_filled += lanes_filled;
   campaign.batches_run += batches_run;
-  stats_.lanes_filled += static_cast<std::int64_t>(lanes_filled);
-  stats_.batches_run += static_cast<std::int64_t>(batches_run);
+  metrics_.lanes_filled->Increment(static_cast<std::int64_t>(lanes_filled));
+  metrics_.batches_run->Increment(static_cast<std::int64_t>(batches_run));
   for (std::int64_t p = begin; p < end; ++p) {
     const std::int64_t index =
         campaign.to_simulate[static_cast<std::size_t>(p)];
     campaign.records[static_cast<std::size_t>(index)] =
         std::move(chunk[static_cast<std::size_t>(p - begin)]);
   }
-  ++(constructed ? stats_.simulators_constructed : stats_.simulators_reused);
-  ++stats_.chunks_executed;
-  stats_.experiments_run += end - begin;
+  (constructed ? metrics_.simulators_constructed : metrics_.simulators_reused)
+      ->Increment();
+  metrics_.chunks_executed->Increment();
+  metrics_.experiments_run->Increment(end - begin);
+  lock.unlock();
+  metrics_.chunk_seconds->Observe(static_cast<double>(busy_us) * 1e-6);
+  if (cache.worker_index != kNoWorker) {
+    metrics_.worker_busy_us[cache.worker_index]->Increment(busy_us);
+  }
 }
 
 void CampaignExecutor::Deliver(RunState& run,
@@ -511,7 +655,20 @@ void CampaignExecutor::Deliver(RunState& run,
   while (run.deliver_campaign < run.campaigns.size()) {
     if (run.error != nullptr) {
       // Fail fast: abandon the frontier so waiters see a finished run once
-      // in-flight workers drain; Run() rethrows the stored error.
+      // in-flight workers drain; Run() rethrows the stored error. Unclaimed
+      // chunks will never be picked up (workers skip errored runs), so
+      // retire them from the queue-depth gauge here.
+      std::int64_t abandoned = 0;
+      for (CampaignState& campaign : run.campaigns) {
+        if (campaign.stage != CampaignState::Stage::kReady ||
+            campaign.chunk_bounds.size() < 2) {
+          continue;
+        }
+        abandoned += static_cast<std::int64_t>(campaign.chunk_bounds.size() -
+                                               1 - campaign.next_chunk);
+        campaign.next_chunk = campaign.chunk_bounds.size() - 1;
+      }
+      if (abandoned > 0) metrics_.queue_depth->Add(-abandoned);
       run.deliver_campaign = run.campaigns.size();
       break;
     }

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "patterns/campaign.h"
 #include "service/checkpoint.h"
 #include "service/sink.h"
@@ -25,8 +26,12 @@
 
 namespace saffire {
 
-// Cumulative counters since construction. Snapshot via
-// CampaignExecutor::stats(); deltas across a Run() are the per-batch cost.
+// Cumulative counters since construction, assembled by stats() from the
+// executor's registry-backed instruments (obs/metrics.h) — the struct is a
+// point-in-time view kept for API compatibility; the live values are the
+// "saffire.executor.*" series (one label set per pool) that --metrics-out
+// and Prometheus scrapes read. Deltas across a Run() are the per-batch
+// cost.
 struct ExecutorStats {
   int pool_threads = 0;
   std::int64_t runs = 0;
@@ -49,7 +54,33 @@ struct ExecutorStats {
   std::int64_t simulators_reused = 0;
   // Golden runs served from the process-wide GoldenRunCache.
   std::int64_t golden_cache_hits = 0;
+  // Chunks executed by a worker other than the one that prepared the
+  // campaign — the work-stealing traffic.
+  std::int64_t chunks_stolen = 0;
 };
+
+// Construction-time configuration of a CampaignExecutor. One struct instead
+// of positional arguments so new knobs (and the observability flags that
+// feed them) thread through a single place.
+struct ExecutorOptions {
+  // Worker pool size, [1, 256].
+  int threads = DefaultCampaignThreads();
+  // Campaigns a run may hold prepared beyond its worker cap, >= 1. Each
+  // prepared campaign pins its golden trace and record buffer, so this
+  // bounds in-flight memory; 1 reproduces the pre-options behavior (at most
+  // cap + 1 campaigns in flight).
+  int lookahead = 1;
+  // Cap on lanes per batch-engine array pass; 0 keeps each campaign's
+  // configured CampaignConfig::batch_lanes. A smaller cap changes occupancy
+  // counters and cost only — record streams are lane-count invariant.
+  std::int64_t batch_lanes = 0;
+  // Registry receiving the executor's instruments; nullptr means
+  // obs::MetricsRegistry::Default(). Each executor labels its series
+  // pool="<instance>" so concurrent pools stay distinguishable.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class CampaignExecutor;
 
 struct RunOptions {
   // Cap on workers serving this run; 0 means the whole pool. Kept as a cap
@@ -64,6 +95,10 @@ struct RunOptions {
   // Previously completed records to replay instead of re-simulating.
   // Validated against the plan (ValidateCheckpoint) before anything runs.
   const SweepCheckpoint* checkpoint = nullptr;
+  // Executor serving the run when going through the RunSweep facade
+  // (service/run.h); nullptr means CampaignExecutor::Shared(). Ignored by
+  // CampaignExecutor::Run itself (the callee is already chosen).
+  CampaignExecutor* executor = nullptr;
 };
 
 // The persistent executor. Thread-safe: concurrent Run() calls interleave
@@ -72,7 +107,10 @@ struct RunOptions {
 // inline on the calling thread instead of deadlocking on its own pool.
 class CampaignExecutor {
  public:
-  explicit CampaignExecutor(int threads = DefaultCampaignThreads());
+  explicit CampaignExecutor(const ExecutorOptions& options = {});
+  // Deprecated positional form, equivalent to ExecutorOptions{.threads =
+  // threads}; prefer the options constructor.
+  explicit CampaignExecutor(int threads);
   ~CampaignExecutor();
 
   CampaignExecutor(const CampaignExecutor&) = delete;
@@ -90,12 +128,41 @@ class CampaignExecutor {
   // constructed on first use and joined at exit.
   static CampaignExecutor& Shared();
 
+  // Point-in-time view of the registry-backed counters (thin accessor; the
+  // same numbers are scrapeable as the pool-labelled "saffire.executor.*"
+  // series).
   ExecutorStats stats() const;
   int threads() const { return static_cast<int>(workers_.size()); }
+  const ExecutorOptions& options() const { return options_; }
 
  private:
   struct RunState;
   struct WorkerCache;
+
+  // The executor's registered instruments; handles are resolved once at
+  // construction, updates are lock-free.
+  struct Metrics {
+    obs::Counter* runs = nullptr;
+    obs::Counter* campaigns_executed = nullptr;
+    obs::Counter* campaigns_replayed = nullptr;
+    obs::Counter* experiments_run = nullptr;
+    obs::Counter* experiments_replayed = nullptr;
+    obs::Counter* chunks_executed = nullptr;
+    obs::Counter* chunks_stolen = nullptr;
+    obs::Counter* lanes_filled = nullptr;
+    obs::Counter* batches_run = nullptr;
+    obs::Counter* simulators_constructed = nullptr;
+    obs::Counter* simulators_reused = nullptr;
+    obs::Counter* golden_cache_hits = nullptr;
+    // Claimable-but-unclaimed chunks across active runs.
+    obs::Gauge* queue_depth = nullptr;
+    // Workers currently executing a task (vs parked on the condvar).
+    obs::Gauge* busy_workers = nullptr;
+    // Wall time of each executed chunk — the load-balance distribution.
+    obs::Histogram* chunk_seconds = nullptr;
+    // Per-worker busy microseconds (utilization = delta / wall time).
+    std::vector<obs::Counter*> worker_busy_us;
+  };
 
   void WorkerLoop(std::size_t worker_index);
   // Claims the next task of any active run; returns false when idle.
@@ -108,12 +175,16 @@ class CampaignExecutor {
   // Delivers every ready record at the canonical frontier. Caller holds
   // `mutex_`; delivery drops it around sink callbacks.
   void Deliver(RunState& run, std::unique_lock<std::mutex>& lock);
+  // The batch-lane width RunChunk/PrepareOne use for `config`, after the
+  // executor-level cap.
+  std::int64_t EffectiveBatchLanes(const CampaignConfig& config) const;
 
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;
   std::vector<RunState*> active_;  // runs with undelivered work
   bool shutdown_ = false;
-  ExecutorStats stats_;
+  ExecutorOptions options_;
+  Metrics metrics_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,34 @@
+// The one sweep entry point. Every way of running campaigns — the
+// single-campaign conveniences in patterns/campaign.h, spec-driven sweeps,
+// pre-built plans — funnels through RunSweep: expand to a CampaignPlan,
+// pick the executor (RunOptions::executor or the process-wide shared pool),
+// and stream records to the sink in canonical order. Callers choose *what*
+// to run (spec/plan) and *where records go* (sink) independently of *how*
+// it executes (RunOptions); the legacy RunCampaign/RunCampaignParallel
+// signatures survive as thin deprecated wrappers.
+#pragma once
+
+#include <vector>
+
+#include "service/executor.h"
+#include "service/sink.h"
+#include "service/sweep.h"
+
+namespace saffire {
+
+// Expands the spec (BuildCampaignPlan) and runs it. Throws
+// std::invalid_argument on an invalid spec, and rethrows any simulation
+// error after in-flight work drains.
+void RunSweep(const SweepSpec& spec, const RunOptions& options,
+              RecordSink& sink);
+
+// Heterogeneous sweep: the concatenated plan of every spec, in order.
+void RunSweep(const std::vector<SweepSpec>& specs, const RunOptions& options,
+              RecordSink& sink);
+
+// Runs an already-built plan — the overload the others lower to, and the
+// one to use with SingleCampaignPlan or hand-assembled plans.
+void RunSweep(const CampaignPlan& plan, const RunOptions& options,
+              RecordSink& sink);
+
+}  // namespace saffire

@@ -1,11 +1,12 @@
-// The batch campaign API (declared in patterns/campaign.h), implemented as
-// thin wrappers over the shared CampaignExecutor: a single-campaign plan,
-// a collector sink, and the process-wide worker pool. Living here keeps
-// saffire_patterns free of any threading/orchestration code while callers
-// of RunCampaign* transparently benefit from pool and simulator reuse.
+// The batch campaign API (declared in patterns/campaign.h), kept as thin
+// deprecated wrappers over the RunSweep facade (service/run.h): a
+// single-campaign plan, a collector sink, and the process-wide worker pool.
+// Living here keeps saffire_patterns free of any threading/orchestration
+// code while callers of RunCampaign* transparently benefit from pool and
+// simulator reuse. New code should call RunSweep directly.
 #include "common/log.h"
 #include "patterns/campaign.h"
-#include "service/executor.h"
+#include "service/run.h"
 #include "service/sink.h"
 #include "service/sweep.h"
 
@@ -31,7 +32,7 @@ CampaignResult RunCampaignParallel(const CampaignConfig& config,
   CollectorSink collector;
   RunOptions options;
   options.max_parallelism = threads;
-  CampaignExecutor::Shared().Run(plan, collector, options);
+  RunSweep(plan, options, collector);
 
   std::vector<CampaignResult> results = collector.TakeResults();
   SAFFIRE_ASSERT_MSG(results.size() == 1,

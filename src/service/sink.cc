@@ -3,9 +3,36 @@
 #include "common/check.h"
 #include "common/json.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 #include "patterns/report.h"
 
 namespace saffire {
+
+namespace {
+
+// Sink throughput counters in the default registry ("records/sec" is the
+// rate query over these). Handles resolve once per process; sink callbacks
+// are already serialized by the executor, so relaxed increments suffice.
+obs::Counter& CsvRowsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.sink.csv_rows", "record rows written by CSV sinks");
+  return counter;
+}
+
+obs::Counter& JsonlRecordsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.sink.jsonl_records", "record lines written by JSONL sinks");
+  return counter;
+}
+
+obs::Counter& JsonlFlushesCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.sink.jsonl_flushes",
+      "explicit stream flushes issued by JSONL sinks (checkpoint durability)");
+  return counter;
+}
+
+}  // namespace
 
 // --- CollectorSink ----------------------------------------------------------
 
@@ -60,6 +87,7 @@ void CsvRecordSink::OnRecord(const CampaignBeginInfo& info,
                              std::int64_t /*experiment_index*/,
                              const ExperimentRecord& record) {
   writer_.WriteRow(CampaignCsvRow(*info.config, record));
+  CsvRowsCounter().Increment();
 }
 
 // --- JsonlRecordSink --------------------------------------------------------
@@ -119,6 +147,8 @@ void JsonlRecordSink::OnRecord(const CampaignBeginInfo& info,
   // Flush per line: the file is a checkpoint, and a resumable line is only
   // worth anything if it reaches the disk before a crash.
   out_ << '\n' << std::flush;
+  JsonlRecordsCounter().Increment();
+  JsonlFlushesCounter().Increment();
 }
 
 void JsonlRecordSink::OnSweepEnd() {

@@ -4,6 +4,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "obs/trace.h"
 #include "systolic/timing.h"
 
 namespace saffire {
@@ -84,11 +85,13 @@ LaneGrid::LaneGrid(const ArrayConfig& config,
 
 void LaneGrid::RunTileWs(const Int8Tensor& a, const Int8Tensor& b,
                          std::span<const std::int64_t> rel_cycles) {
+  SAFFIRE_SPAN("systolic.tile_ws");
   RunTile<true>(a, b, rel_cycles);
 }
 
 void LaneGrid::RunTileOs(const Int8Tensor& a, const Int8Tensor& b,
                          std::span<const std::int64_t> rel_cycles) {
+  SAFFIRE_SPAN("systolic.tile_os");
   RunTile<false>(a, b, rel_cycles);
 }
 

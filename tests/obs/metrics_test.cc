@@ -1,0 +1,207 @@
+// MetricsRegistry: instrument semantics, concurrent-update consistency,
+// and the Prometheus / JSON expositions (golden fixtures for the text
+// formats — the exact bytes are the contract scrape tooling depends on).
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+
+namespace saffire::obs {
+namespace {
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("saffire.test.count", "help one");
+  Counter& b = registry.GetCounter("saffire.test.count", "help two");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  EXPECT_EQ(b.value(), 3);
+
+  // Distinct labels are distinct series of one family.
+  Counter& labelled =
+      registry.GetCounter("saffire.test.count", "", "pool=\"1\"");
+  EXPECT_NE(&a, &labelled);
+  EXPECT_EQ(labelled.value(), 0);
+}
+
+TEST(MetricsRegistryTest, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.GetCounter("saffire.test.value");
+  EXPECT_THROW(registry.GetGauge("saffire.test.value"),
+               std::invalid_argument);
+  EXPECT_THROW(registry.GetHistogram("saffire.test.value"),
+               std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.GetGauge("saffire.test.depth");
+  gauge.Set(5);
+  gauge.Add(-2);
+  EXPECT_EQ(gauge.value(), 3);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAndDerivedCount) {
+  MetricsRegistry registry;
+  Histogram& h =
+      registry.GetHistogram("saffire.test.seconds", "", "", {0.1, 1.0, 10.0});
+  h.Observe(0.05);   // bucket 0 (<= 0.1)
+  h.Observe(0.1);    // bucket 0 (inclusive upper bound)
+  h.Observe(0.5);    // bucket 1
+  h.Observe(100.0);  // overflow (+Inf)
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 100.65);
+  const std::vector<std::int64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2);
+  EXPECT_EQ(buckets[1], 1);
+  EXPECT_EQ(buckets[2], 0);
+  EXPECT_EQ(buckets[3], 1);
+}
+
+// N threads hammer a shared counter, gauge, and histogram while another
+// thread snapshots continuously. Every snapshot must be structurally
+// consistent (histogram count == sum of its buckets) and the settled totals
+// exact.
+TEST(MetricsRegistryTest, ConcurrentUpdatesAndSnapshots) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("saffire.test.count");
+  Gauge& gauge = registry.GetGauge("saffire.test.depth");
+  Histogram& histogram =
+      registry.GetHistogram("saffire.test.seconds", "", "", {1.0, 2.0});
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20000;
+  std::atomic<bool> stop{false};
+  std::atomic<int> consistent_snapshots{0};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snapshot = registry.Snapshot();
+      ASSERT_EQ(snapshot.histograms.size(), 1u);
+      const HistogramSnapshot& h = snapshot.histograms.front();
+      std::int64_t bucket_sum = 0;
+      for (const std::int64_t b : h.buckets) bucket_sum += b;
+      ASSERT_EQ(h.count, bucket_sum);
+      consistent_snapshots.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        counter.Increment();
+        gauge.Add(i % 2 == 0 ? 1 : -1);
+        histogram.Observe(static_cast<double>((t + i) % 3));
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  EXPECT_GT(consistent_snapshots.load(), 0);
+  EXPECT_EQ(counter.value(), kThreads * kIterations);
+  EXPECT_EQ(gauge.value(), 0);  // each thread adds and removes equally
+  EXPECT_EQ(histogram.count(), kThreads * kIterations);
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("saffire.demo.events", "things that happened")
+      .Increment(7);
+  registry.GetCounter("saffire.demo.events", "", "pool=\"1\"").Increment(2);
+  registry.GetGauge("saffire.demo.depth", "queued work").Set(3);
+  Histogram& h = registry.GetHistogram("saffire.demo.seconds",
+                                       "elapsed seconds", "", {0.5, 2.0});
+  h.Observe(0.25);
+  h.Observe(1.0);
+  h.Observe(4.0);
+
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  const std::string expected =
+      "# HELP saffire_demo_events things that happened\n"
+      "# TYPE saffire_demo_events counter\n"
+      "saffire_demo_events 7\n"
+      "saffire_demo_events{pool=\"1\"} 2\n"
+      "# HELP saffire_demo_depth queued work\n"
+      "# TYPE saffire_demo_depth gauge\n"
+      "saffire_demo_depth 3\n"
+      "# HELP saffire_demo_seconds elapsed seconds\n"
+      "# TYPE saffire_demo_seconds histogram\n"
+      "saffire_demo_seconds_bucket{le=\"0.5\"} 1\n"
+      "saffire_demo_seconds_bucket{le=\"2\"} 2\n"
+      "saffire_demo_seconds_bucket{le=\"+Inf\"} 3\n"
+      "saffire_demo_seconds_sum 5.25\n"
+      "saffire_demo_seconds_count 3\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(MetricsRegistryTest, JsonExpositionParsesAndMatches) {
+  MetricsRegistry registry;
+  registry.GetCounter("saffire.demo.events", "help", "pool=\"0\"")
+      .Increment(11);
+  registry.GetGauge("saffire.demo.depth").Set(-2);
+  registry.GetHistogram("saffire.demo.seconds", "", "", {1.0}).Observe(0.5);
+
+  std::ostringstream out;
+  registry.WriteJson(out);
+  const JsonValue doc = JsonValue::Parse(out.str());
+  const auto& counters = doc.At("counters").AsArray();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].At("name").AsString(), "saffire.demo.events");
+  EXPECT_EQ(counters[0].At("labels").AsString(), "pool=\"0\"");
+  EXPECT_EQ(counters[0].At("value").AsInt(), 11);
+  const auto& gauges = doc.At("gauges").AsArray();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].At("value").AsInt(), -2);
+  const auto& histograms = doc.At("histograms").AsArray();
+  ASSERT_EQ(histograms.size(), 1u);
+  EXPECT_EQ(histograms[0].At("count").AsInt(), 1);
+  EXPECT_DOUBLE_EQ(histograms[0].At("sum").AsDouble(), 0.5);
+  ASSERT_EQ(histograms[0].At("buckets").AsArray().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesInstrumentsKeepsHandles) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("saffire.test.count");
+  Histogram& histogram = registry.GetHistogram("saffire.test.seconds");
+  counter.Increment(5);
+  histogram.Observe(1.0);
+  registry.Reset();
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+  counter.Increment();
+  EXPECT_EQ(counter.value(), 1);
+}
+
+TEST(MetricsSnapshotTest, PhaseSecondsSumsPhaseHistograms) {
+  MetricsRegistry registry;
+  registry
+      .GetHistogram("saffire.phase.seconds", "", "phase=\"fi.golden\"")
+      .Observe(0.5);
+  registry
+      .GetHistogram("saffire.phase.seconds", "", "phase=\"fi.golden\"")
+      .Observe(0.25);
+  registry
+      .GetHistogram("saffire.phase.seconds", "", "phase=\"executor.chunk\"")
+      .Observe(2.0);
+  registry.GetHistogram("saffire.other.seconds", "", "").Observe(9.0);
+
+  const std::map<std::string, double> phases =
+      registry.Snapshot().PhaseSeconds();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(phases.at("fi.golden"), 0.75);
+  EXPECT_DOUBLE_EQ(phases.at("executor.chunk"), 2.0);
+}
+
+}  // namespace
+}  // namespace saffire::obs

@@ -1,0 +1,142 @@
+// TraceSession + ScopedSpan: the Chrome trace_event exposition (golden
+// fixture — the exact bytes chrome://tracing consumes), span gating, and
+// the phase-metrics routing into the default registry.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace saffire::obs {
+namespace {
+
+// Global gates and buffers persist across tests in one process, so every
+// test restores the disabled default and drops collected events.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetTracing(); }
+  void TearDown() override { ResetTracing(); }
+
+  static void ResetTracing() {
+    TraceSession::Instance().Stop();
+    SetPhaseMetricsEnabled(false);
+    TraceSession::Instance().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansAreNoOps) {
+  ASSERT_FALSE(TraceSession::Instance().enabled());
+  ASSERT_FALSE(SpanTimingEnabled());
+  {
+    SAFFIRE_SPAN("test.disabled");
+  }
+  EXPECT_EQ(TraceSession::Instance().event_count(), 0u);
+}
+
+TEST_F(TraceTest, ChromeTraceGoldenFixture) {
+  TraceSession& session = TraceSession::Instance();
+  session.Start();
+  session.RecordComplete("fi.golden_record", 10, 5);
+  session.RecordComplete("executor.chunk", 20, 7);
+  session.Stop();
+
+  std::ostringstream out;
+  session.WriteChromeTrace(out);
+  const std::string expected =
+      "{\"traceEvents\":["
+      "{\"name\":\"fi.golden_record\",\"cat\":\"saffire\",\"ph\":\"X\","
+      "\"ts\":10,\"dur\":5,\"pid\":1,\"tid\":1},"
+      "{\"name\":\"executor.chunk\",\"cat\":\"saffire\",\"ph\":\"X\","
+      "\"ts\":20,\"dur\":7,\"pid\":1,\"tid\":1}"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST_F(TraceTest, ScopedSpansProduceLoadableTrace) {
+  TraceSession& session = TraceSession::Instance();
+  session.Start();
+  {
+    SAFFIRE_SPAN("test.outer");
+    {
+      SAFFIRE_SPAN("test.inner");
+    }
+  }
+  session.Stop();
+  EXPECT_EQ(session.event_count(), 2u);
+
+  std::ostringstream out;
+  session.WriteChromeTrace(out);
+  const JsonValue doc = JsonValue::Parse(out.str());
+  EXPECT_EQ(doc.At("displayTimeUnit").AsString(), "ms");
+  const auto& events = doc.At("traceEvents").AsArray();
+  ASSERT_EQ(events.size(), 2u);
+  bool saw_outer = false;
+  bool saw_inner = false;
+  for (const JsonValue& event : events) {
+    const std::string name = event.At("name").AsString();
+    saw_outer = saw_outer || name == "test.outer";
+    saw_inner = saw_inner || name == "test.inner";
+    EXPECT_EQ(event.At("cat").AsString(), "saffire");
+    EXPECT_EQ(event.At("ph").AsString(), "X");
+    EXPECT_EQ(event.At("pid").AsInt(), 1);
+    EXPECT_GE(event.At("tid").AsInt(), 1);
+    EXPECT_GE(event.At("ts").AsInt(), 0);
+    EXPECT_GE(event.At("dur").AsInt(), 0);
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+}
+
+TEST_F(TraceTest, StopGatesFurtherRecording) {
+  TraceSession& session = TraceSession::Instance();
+  session.Start();
+  {
+    SAFFIRE_SPAN("test.before_stop");
+  }
+  session.Stop();
+  {
+    SAFFIRE_SPAN("test.after_stop");
+  }
+  EXPECT_EQ(session.event_count(), 1u);
+}
+
+TEST_F(TraceTest, StartClearsPreviousEvents) {
+  TraceSession& session = TraceSession::Instance();
+  session.Start();
+  session.RecordComplete("test.stale", 0, 1);
+  ASSERT_EQ(session.event_count(), 1u);
+  session.Start();
+  EXPECT_EQ(session.event_count(), 0u);
+  session.Stop();
+}
+
+TEST_F(TraceTest, PhaseMetricsRouteIntoDefaultRegistry) {
+  Histogram& phase = MetricsRegistry::Default().GetHistogram(
+      "saffire.phase.seconds", "", "phase=\"test.phase_demo\"");
+  const std::int64_t before = phase.count();
+
+  SetPhaseMetricsEnabled(true);
+  {
+    SAFFIRE_SPAN("test.phase_demo");
+  }
+  {
+    SAFFIRE_SPAN("test.phase_demo");
+  }
+  SetPhaseMetricsEnabled(false);
+
+  EXPECT_EQ(phase.count(), before + 2);
+  // And the snapshot rollup surfaces it under the bare phase name.
+  const auto phases = MetricsRegistry::Default().Snapshot().PhaseSeconds();
+  EXPECT_EQ(phases.count("test.phase_demo"), 1u);
+
+  // Tracing stayed off throughout: phase metrics are independent of the
+  // trace gate.
+  EXPECT_EQ(TraceSession::Instance().event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace saffire::obs
