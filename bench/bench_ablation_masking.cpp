@@ -34,7 +34,7 @@ int main() {
         config.dataflow = Dataflow::kWeightStationary;
         config.bit = bit;
         config.polarity = polarity;
-        const CampaignResult result = RunCampaignParallel(config, bench::BenchThreads());
+        const CampaignResult result = bench::RunCampaignForBench(config);
 
         std::int64_t masked = 0;
         std::int64_t clean = 0;

@@ -44,7 +44,7 @@ int main() {
     config.workload = row.workload;
     config.dataflow = row.dataflow;
     config.bit = 8;
-    const CampaignResult rtl = RunCampaignParallel(config, bench::BenchThreads());
+    const CampaignResult rtl = bench::RunCampaignForBench(config);
 
     double rtl_mean = 0.0;
     std::int64_t active = 0;

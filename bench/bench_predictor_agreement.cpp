@@ -48,7 +48,7 @@ int main() {
     config.dataflow = bench_case.dataflow;
     config.bit = 8;
     config.max_sites = bench_case.sites;
-    const CampaignResult result = RunCampaign(config);
+    const CampaignResult result = bench::RunCampaignForBench(config, 1);
 
     // Bit-exact value agreement via the app-level emulator on a site
     // subsample (the campaign already covers coordinates exhaustively).

@@ -20,7 +20,7 @@ int main() {
   config.dataflow = Dataflow::kWeightStationary;
   config.bit = 8;
 
-  const CampaignResult exhaustive = RunCampaignParallel(config, bench::BenchThreads());
+  const CampaignResult exhaustive = bench::RunCampaignForBench(config);
   std::map<PatternClass, double> truth;
   for (const auto& [pattern, count] : exhaustive.Histogram()) {
     truth[pattern] = static_cast<double>(count) /
@@ -45,7 +45,7 @@ int main() {
       CampaignConfig sampled_config = config;
       sampled_config.max_sites = sites;
       sampled_config.seed = static_cast<std::uint64_t>(seed);
-      const CampaignResult sampled = RunCampaignParallel(sampled_config, bench::BenchThreads());
+      const CampaignResult sampled = bench::RunCampaignForBench(sampled_config);
       std::map<PatternClass, double> estimate;
       for (const auto& [pattern, count] : sampled.Histogram()) {
         estimate[pattern] = static_cast<double>(count) /

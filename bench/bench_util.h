@@ -276,6 +276,17 @@ inline std::vector<CampaignResult> RunSweep(const SweepSpec& spec) {
   return RunSweep(std::vector<SweepSpec>{spec});
 }
 
+// Single-campaign run through the RunSweep facade — the replacement for the
+// deprecated RunCampaign/RunCampaignParallel wrappers in bench code.
+inline CampaignResult RunCampaignForBench(const CampaignConfig& config,
+                                          int threads = BenchThreads()) {
+  CollectorSink collector;
+  RunOptions options;
+  options.max_parallelism = threads;
+  saffire::RunSweep(SingleCampaignPlan(config), options, collector);
+  return std::move(collector.TakeResults().front());
+}
+
 // One-line executor summary for the work done since `before` was sampled:
 // how many simulators the pool built vs reused, and golden-run cache hits.
 inline std::string ExecutorStatsLine(const ExecutorStats& before) {

@@ -43,6 +43,29 @@
 //   --metrics-out PATH   export the metrics registry after the run;
 //                        '-' writes to stdout
 //   --metrics-format {prom|json}  exposition format for --metrics-out (prom)
+// Resilience (src/service/resilience.h):
+//   --max-retries N      extra attempts per failing experiment, per engine
+//                        rung (2)
+//   --experiment-timeout-ms N  per-attempt deadline; attempts observed past
+//                        it count as failures (0 = off)
+//   --selfcheck-rate F   fraction of batch-engine records cross-validated
+//                        against the differential engine; a mismatch demotes
+//                        the campaign down the engine ladder (0 = off)
+//   --on-failure {quarantine|abort}  policy once retries and the fallback
+//                        ladder are exhausted (quarantine): quarantine
+//                        streams "failed" JSONL lines and keeps sweeping,
+//                        abort fails the whole run
+// Shutdown and exit codes: SIGINT/SIGTERM start a cooperative drain —
+// in-flight experiments finish, every sink is flushed (the JSONL checkpoint
+// stays resumable), and the process exits 128+signo. Otherwise the exit
+// code is 0 for a fully healthy sweep, 3 when the sweep completed but
+// quarantined experiments or observed a self-check mismatch (see the
+// [resilience] summary line), and 1 for errors.
+//
+// --csv and --metrics-out are written atomically (tmp + rename): a killed
+// run leaves the previous complete file, never a half-written one. The
+// --jsonl stream intentionally writes its final path live, because a
+// mid-run kill must leave the checkpointed prefix behind.
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -51,12 +74,15 @@
 #include <sstream>
 #include <string>
 
+#include "common/atomic_file.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "patterns/report.h"
+#include "service/chaos.h"
 #include "service/checkpoint.h"
 #include "service/run.h"
+#include "service/signal.h"
 #include "service/sink.h"
 
 namespace {
@@ -79,7 +105,9 @@ const std::set<std::string>& ValueFlags() {
       "kind",     "fill",     "sites",     "seed",      "rows",
       "cols",     "engine",   "threads",   "shards",    "shard",
       "resume",   "spec",     "csv",       "jsonl",     "trace-out",
-      "metrics-out", "metrics-format"};
+      "metrics-out", "metrics-format",
+      "max-retries", "experiment-timeout-ms", "selfcheck-rate",
+      "on-failure"};
   return kFlags;
 }
 
@@ -183,6 +211,10 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Chaos-under-test wiring (CI drives the real binary through injected
+    // failures): SAFFIRE_CHAOS installs the schedule before anything runs.
+    chaos::InstallFromEnv();
+
     SweepSpec spec;
     if (flags.count("spec") != 0) {
       for (const char* axis :
@@ -215,30 +247,37 @@ int main(int argc, char** argv) {
     // Read the checkpoint fully before opening any output stream, so
     // resuming from the file a sink is about to truncate is safe.
     SweepCheckpoint checkpoint;
+    CheckpointLoadStats load_stats;
     const bool resuming = flags.count("resume") != 0;
     if (resuming) {
       std::ifstream in(flags.at("resume"));
       if (!in) {
-        std::cerr << "cannot open checkpoint '" << flags.at("resume")
+        std::cerr << "error: cannot open checkpoint '" << flags.at("resume")
                   << "'\n";
         return 1;
       }
-      checkpoint = LoadSweepCheckpoint(in);
+      checkpoint = LoadSweepCheckpoint(in, &load_stats);
       ValidateCheckpoint(checkpoint, plan);
+      std::cout << "resuming " << load_stats.records << " records from '"
+                << flags.at("resume") << "'";
+      if (load_stats.dropped > 0) {
+        std::cout << " (dropped " << load_stats.dropped
+                  << " corrupt lines; their experiments will be "
+                     "re-simulated)";
+      }
+      std::cout << "\n";
     }
 
     CollectorSink collector;
     std::vector<RecordSink*> sinks{&collector};
-    std::ofstream csv_out;
     const std::string csv_path = flag("csv", "");
+    std::unique_ptr<AtomicFileWriter> csv_writer;
     std::unique_ptr<CsvRecordSink> csv_sink;
     if (!csv_path.empty()) {
-      csv_out.open(csv_path);
-      if (!csv_out) {
-        std::cerr << "cannot open '" << csv_path << "'\n";
-        return 1;
-      }
-      csv_sink = std::make_unique<CsvRecordSink>(csv_out);
+      // Atomic: the CSV materializes only on success (or a drained stop) —
+      // a crash leaves the previous complete file.
+      csv_writer = std::make_unique<AtomicFileWriter>(csv_path);
+      csv_sink = std::make_unique<CsvRecordSink>(csv_writer->stream());
       sinks.push_back(csv_sink.get());
     }
     std::ofstream jsonl_out;
@@ -270,6 +309,18 @@ int main(int argc, char** argv) {
     options.only_shard = static_cast<int>(ParseInt(flag("shard", "-1")));
     if (resuming) options.checkpoint = &checkpoint;
 
+    // Resilience policy. Unlike the library default (abort, which keeps
+    // RunCampaign semantics), the CLI quarantines: a 49-hour sweep should
+    // not lose its night to one bad experiment.
+    options.resilience.max_retries =
+        static_cast<int>(ParseInt(flag("max-retries", "2")));
+    options.resilience.experiment_timeout_ms =
+        ParseInt(flag("experiment-timeout-ms", "0"));
+    options.resilience.selfcheck_rate =
+        ParseDouble(flag("selfcheck-rate", "0"));
+    options.resilience.on_failure =
+        ParseOnFailure(flag("on-failure", "quarantine"));
+
     // Observability: validate the format before running anything, raise the
     // span gates only for the outputs actually requested.
     const std::string metrics_format = flag("metrics-format", "prom");
@@ -282,10 +333,32 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) obs::TraceSession::Instance().Start();
     if (!metrics_path.empty()) obs::SetPhaseMetricsEnabled(true);
 
+    // Chaos sink-failure wiring: wrap the tee so every Nth record delivery
+    // throws, exercising the executor's sink-error path end to end.
+    RecordSink* sink = &tee;
+    std::unique_ptr<chaos::FlakySink> flaky;
+    if (chaos::ActiveSpec().sink_throw_every > 0) {
+      flaky = std::make_unique<chaos::FlakySink>(
+          &tee, chaos::ActiveSpec().sink_throw_every);
+      sink = flaky.get();
+    }
+
+    // Cooperative SIGINT/SIGTERM drain: the handler flips the stop token,
+    // the executor finishes in-flight work and flushes every sink, and we
+    // exit 128+signo below with the checkpoint resumable.
+    ScopedSignalDrain drain;
+    options.stop = drain.token();
+
     CampaignExecutor& executor = CampaignExecutor::Shared();
     const ExecutorStats before = executor.stats();
-    RunSweep(plan, options, tee);
+    SweepOutcome outcome = RunSweep(plan, options, *sink);
+    outcome.checkpoint_lines_dropped = load_stats.dropped;
     const std::vector<CampaignResult> results = collector.TakeResults();
+    if (csv_writer != nullptr) {
+      // Commit even on a drained stop: resume rewrites the full CSV, so a
+      // partial-but-complete file beats no file.
+      csv_writer->Commit();
+    }
 
     if (!trace_path.empty()) {
       obs::TraceSession::Instance().Stop();
@@ -310,12 +383,9 @@ int main(int argc, char** argv) {
       if (metrics_path == "-") {
         write(std::cout);
       } else {
-        std::ofstream metrics_out(metrics_path);
-        if (!metrics_out) {
-          std::cerr << "cannot open '" << metrics_path << "'\n";
-          return 1;
-        }
-        write(metrics_out);
+        AtomicFileWriter metrics_writer(metrics_path);
+        write(metrics_writer.stream());
+        metrics_writer.Commit();
         std::cout << "wrote metrics (" << metrics_format << ") to "
                   << metrics_path << "\n";
       }
@@ -347,6 +417,34 @@ int main(int argc, char** argv) {
               << after.simulators_constructed - before.simulators_constructed
               << " reused="
               << after.simulators_reused - before.simulators_reused << "\n";
+
+    if (outcome.retries != 0 || outcome.fallbacks != 0 ||
+        outcome.quarantined != 0 || outcome.selfchecks != 0 ||
+        outcome.timeouts != 0 || outcome.checkpoint_lines_dropped != 0 ||
+        !outcome.ok()) {
+      std::cout << "[resilience] retries=" << outcome.retries
+                << " timeouts=" << outcome.timeouts
+                << " fallbacks=" << outcome.fallbacks
+                << " selfchecks=" << outcome.selfchecks
+                << " mismatches=" << outcome.selfcheck_mismatches
+                << " quarantined=" << outcome.quarantined
+                << " checkpoint_lines_dropped="
+                << outcome.checkpoint_lines_dropped << "\n";
+    }
+    if (drain.triggered()) {
+      std::cerr << "stopped by signal " << drain.signal_number()
+                << " after a clean drain";
+      if (!jsonl_path.empty()) {
+        std::cerr << "; resume with --resume " << jsonl_path;
+      }
+      std::cerr << "\n";
+      return 128 + drain.signal_number();
+    }
+    if (!outcome.ok()) {
+      std::cerr << "sweep completed with quarantined experiments or "
+                   "self-check mismatches (see [resilience] above)\n";
+      return 3;
+    }
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

@@ -1,0 +1,34 @@
+#include "common/atomic_file.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace saffire {
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), temp_path_(path_ + ".tmp") {
+  out_.open(temp_path_, std::ios::binary | std::ios::trunc);
+  SAFFIRE_CHECK_MSG(out_.is_open(),
+                    "cannot open temporary '" << temp_path_ << "'");
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (committed_) return;
+  out_.close();
+  std::remove(temp_path_.c_str());
+}
+
+void AtomicFileWriter::Commit() {
+  SAFFIRE_CHECK_MSG(!committed_, "'" << path_ << "' already committed");
+  out_.flush();
+  SAFFIRE_CHECK_MSG(out_.good(), "write to '" << temp_path_ << "' failed");
+  out_.close();
+  SAFFIRE_CHECK_MSG(std::rename(temp_path_.c_str(), path_.c_str()) == 0,
+                    "cannot rename '" << temp_path_ << "' to '" << path_
+                                      << "'");
+  committed_ = true;
+}
+
+}  // namespace saffire

@@ -1,0 +1,47 @@
+// Atomic file replacement: write to `<path>.tmp`, fsync-free flush, then
+// rename over the destination. Readers (and a crashed writer's next run)
+// either see the complete previous file or the complete new one — never a
+// half-written result that looks finished. Used for derived outputs whose
+// partial forms are misleading (merged CSVs, compacted checkpoints, metrics
+// expositions); live JSONL checkpoints intentionally append to their final
+// path instead, because a mid-run kill must leave the prefix behind.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+namespace saffire {
+
+class AtomicFileWriter {
+ public:
+  // Opens `<path>.tmp` for writing; throws std::invalid_argument when the
+  // temporary cannot be created.
+  explicit AtomicFileWriter(std::string path);
+
+  // Removes the temporary if Commit() was never reached (error paths leave
+  // the destination untouched).
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  // The stream to write through before Commit().
+  std::ostream& stream() { return out_; }
+
+  // Flushes, closes, and renames the temporary over `path`. Throws
+  // std::invalid_argument if the stream failed or the rename does; the
+  // writer is unusable afterwards.
+  void Commit();
+
+  bool committed() const { return committed_; }
+  const std::string& path() const { return path_; }
+  const std::string& temp_path() const { return temp_path_; }
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+}  // namespace saffire

@@ -1,0 +1,45 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace saffire {
+
+namespace {
+
+// The 256-entry table for the reflected IEEE polynomial, generated once at
+// compile time.
+constexpr std::array<std::uint32_t, 256> MakeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace
+
+std::uint32_t ExtendCrc32(std::uint32_t crc, const void* data,
+                          std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ kCrc32Table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  return ExtendCrc32(0, data, size);
+}
+
+std::uint32_t Crc32(std::string_view data) {
+  return Crc32(data.data(), data.size());
+}
+
+}  // namespace saffire

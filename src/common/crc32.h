@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-line
+// integrity check of checkpoint format v2 (service/checkpoint.h). A JSONL
+// checkpoint line that passes JSON parsing can still carry a flipped digit
+// after disk or transfer corruption; the CRC turns "parses" into "is the
+// line the sink wrote", so LoadSweepCheckpoint can drop damaged lines
+// instead of resuming from poisoned records.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace saffire {
+
+// One-shot CRC-32 of `data` (initial value 0, standard final XOR).
+std::uint32_t Crc32(std::string_view data);
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+// Streaming form: feed ExtendCrc32 the running value (start from 0).
+std::uint32_t ExtendCrc32(std::uint32_t crc, const void* data,
+                          std::size_t size);
+
+}  // namespace saffire

@@ -76,6 +76,17 @@ std::int64_t ParseInt(std::string_view text) {
   return value;
 }
 
+double ParseDouble(std::string_view text) {
+  const std::string trimmed = Trim(text);
+  double value = 0.0;
+  const auto* begin = trimmed.data();
+  const auto* end = trimmed.data() + trimmed.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  SAFFIRE_CHECK_MSG(ec == std::errc() && ptr == end,
+                    "not a number: '" << trimmed << "'");
+  return value;
+}
+
 bool StartsWith(std::string_view text, std::string_view prefix) {
   return text.substr(0, prefix.size()) == prefix;
 }

@@ -30,6 +30,10 @@ std::string PadRight(std::string_view text, std::size_t width);
 // Parses a signed integer; throws std::invalid_argument on trailing junk.
 std::int64_t ParseInt(std::string_view text);
 
+// Parses a decimal floating-point value ("0.25"); throws
+// std::invalid_argument on trailing junk.
+double ParseDouble(std::string_view text);
+
 // True if `text` starts with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);
 

@@ -198,16 +198,23 @@ PreparedCampaign PrepareCampaign(const CampaignConfig& config,
 
 ExperimentRecord RunPreparedExperiment(const PreparedCampaign& prepared,
                                        FiRunner& runner, std::size_t index) {
+  return RunPreparedExperimentWithEngine(prepared, runner, index,
+                                         prepared.config.engine);
+}
+
+ExperimentRecord RunPreparedExperimentWithEngine(
+    const PreparedCampaign& prepared, FiRunner& runner, std::size_t index,
+    CampaignEngine engine) {
   SAFFIRE_ASSERT_MSG(index < prepared.faults.size(),
                      "experiment " << index << " of "
                                    << prepared.faults.size());
   const CampaignConfig& config = prepared.config;
-  if (config.engine == CampaignEngine::kBatch) {
+  if (engine == CampaignEngine::kBatch) {
     // A one-lane batch — same code path, same record.
     return RunPreparedBatch(prepared, runner, index, index + 1).front();
   }
   SAFFIRE_SPAN("campaign.experiment");
-  ConfigureEngine(runner, config.engine);
+  ConfigureEngine(runner, engine);
   const FaultSpec& fault = prepared.faults[index];
   FaultSpec injected = fault;
   if (injected.kind == FaultKind::kTransientFlip) {
@@ -217,7 +224,13 @@ ExperimentRecord RunPreparedExperiment(const PreparedCampaign& prepared,
     // whatever accumulated cycle count) ran the experiment.
     injected.at_cycle += runner.accel().cycles();
   }
-  const GoldenTrace* trace = prepared.trace();
+  // The trace is consulted for the *effective* engine, not the configured
+  // one: a batch campaign demoted to differential replays the same cached
+  // trace, while a demotion to full ignores it.
+  const GoldenTrace* trace =
+      prepared.cached != nullptr && engine == CampaignEngine::kDifferential
+          ? &prepared.cached->trace
+          : nullptr;
   const RunResult faulty =
       trace != nullptr
           ? runner.RunFaultyDifferential(config.workload, config.dataflow,

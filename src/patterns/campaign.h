@@ -148,6 +148,9 @@ struct CampaignResult {
 // RunSweep facade (service/run.h) — link saffire_service to use it.
 // Deprecated: new code should build a plan (SingleCampaignPlan) and call
 // RunSweep with the sink it actually wants.
+[[deprecated(
+    "build a plan with SingleCampaignPlan and call RunSweep "
+    "(service/run.h)")]]
 CampaignResult RunCampaign(const CampaignConfig& config);
 
 // Same result, computed across up to `threads` pool workers (experiments
@@ -155,6 +158,8 @@ CampaignResult RunCampaign(const CampaignConfig& config);
 // order and content match RunCampaign bit-for-bit regardless of the thread
 // count. Also defined in service/service.cc. Deprecated alongside
 // RunCampaign — RunSweep with RunOptions::max_parallelism replaces it.
+[[deprecated(
+    "call RunSweep (service/run.h) with RunOptions::max_parallelism")]]
 CampaignResult RunCampaignParallel(const CampaignConfig& config, int threads);
 
 // The self-contained single-threaded implementation: one locally
@@ -219,6 +224,17 @@ PreparedCampaign PrepareCampaign(const CampaignConfig& config,
 // with different engines.
 ExperimentRecord RunPreparedExperiment(const PreparedCampaign& prepared,
                                        FiRunner& runner, std::size_t index);
+
+// Same, but on an explicit engine instead of prepared.config.engine — the
+// graceful-degradation path (service/resilience.h): a campaign demoted down
+// the batch→differential→full ladder re-runs experiments on the fallback
+// engine without re-preparing. `engine` must be reachable from the
+// configured one: kDifferential needs the cached golden trace (absent under
+// kReference preparation), kBatch requires config.engine == kBatch. All
+// reachable engines produce bit-identical records.
+ExperimentRecord RunPreparedExperimentWithEngine(
+    const PreparedCampaign& prepared, FiRunner& runner, std::size_t index,
+    CampaignEngine engine);
 
 // Runs experiments [begin, end) of a prepared kBatch campaign as one
 // lane-parallel batch (FiRunner::RunFaultyBatch) and returns their records

@@ -1,7 +1,10 @@
 #include "service/checkpoint.h"
 
+#include <cctype>
+#include <cstdlib>
 #include <string>
 
+#include "common/crc32.h"
 #include "common/json.h"
 #include "common/log.h"
 
@@ -57,21 +60,54 @@ ExperimentRecord ParseRecordLine(const JsonValue& json) {
   return record;
 }
 
-void ApplyLine(SweepCheckpoint& checkpoint, const JsonValue& json) {
+// Verifies the trailing "crc" seal when present (format v2); returns false
+// only on a failed or malformed seal. Unsealed lines pass — format v1 files
+// predate the seal. The raw byte sequence ,"crc":" cannot occur inside a
+// JSON string literal (its quotes would be escaped), so the last occurrence
+// is always the seal itself.
+bool LineCrcOk(const std::string& line) {
+  const std::size_t pos = line.rfind(",\"crc\":\"");
+  if (pos == std::string::npos) return true;
+  // The seal is the line's final member: ,"crc":"xxxxxxxx"}
+  const std::size_t hex = pos + 8;
+  if (line.size() != hex + 10 || line.compare(hex + 8, 2, "\"}") != 0) {
+    return false;
+  }
+  std::uint32_t stored = 0;
+  for (std::size_t i = hex; i < hex + 8; ++i) {
+    const char c = line[i];
+    if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+    stored = stored * 16 +
+             static_cast<std::uint32_t>(
+                 c <= '9' ? c - '0'
+                          : (c | 0x20) - 'a' + 10);
+  }
+  return stored == Crc32(std::string_view(line).substr(0, pos));
+}
+
+// Returns true when the line contributed a record (for CheckpointLoadStats).
+bool ApplyLine(SweepCheckpoint& checkpoint, const JsonValue& json) {
   const std::string& type = json.At("type").AsString();
   if (type == "campaign") {
+    // Parse every field before touching the checkpoint: a line that throws
+    // halfway must leave no partial campaign behind (the loader drops such
+    // lines, and a half-applied one would fail validation later).
     const auto index = static_cast<std::size_t>(json.At("campaign").AsUint());
-    CheckpointCampaign& campaign = checkpoint.campaigns[index];
     const std::string& key = json.At("key").AsString();
+    const std::int64_t total_experiments = json.At("experiments").AsInt();
+    const std::int64_t golden_cycles = json.At("golden_cycles").AsInt();
+    const std::uint64_t golden_pe_steps = json.At("golden_pe_steps").AsUint();
+    const bool golden_cache_hit = json.At("golden_cache_hit").AsBool();
+    CheckpointCampaign& campaign = checkpoint.campaigns[index];
     SAFFIRE_CHECK_MSG(campaign.key.empty() || campaign.key == key,
                       "campaign " << index
                                   << " appears twice with different keys");
     campaign.key = key;
-    campaign.total_experiments = json.At("experiments").AsInt();
-    campaign.golden_cycles = json.At("golden_cycles").AsInt();
-    campaign.golden_pe_steps = json.At("golden_pe_steps").AsUint();
-    campaign.golden_cache_hit = json.At("golden_cache_hit").AsBool();
-    return;
+    campaign.total_experiments = total_experiments;
+    campaign.golden_cycles = golden_cycles;
+    campaign.golden_pe_steps = golden_pe_steps;
+    campaign.golden_cache_hit = golden_cache_hit;
+    return false;
   }
   if (type == "record") {
     const auto index = static_cast<std::size_t>(json.At("campaign").AsUint());
@@ -86,10 +122,12 @@ void ApplyLine(SweepCheckpoint& checkpoint, const JsonValue& json) {
     SAFFIRE_CHECK_MSG(inserted || slot->second == record,
                       "conflicting duplicates of campaign "
                           << index << " experiment " << experiment);
-    return;
+    return true;
   }
-  // Forward compatibility: "sweep"/"sweep_end" markers and any future line
-  // types carry no resumable state.
+  // Forward compatibility: "sweep"/"sweep_end"/"failed" markers and any
+  // future line types carry no resumable state. Skipping "failed" is what
+  // makes a resume retry quarantined sites.
+  return false;
 }
 
 }  // namespace
@@ -133,29 +171,42 @@ std::int64_t SweepCheckpoint::TotalRecords() const {
   return total;
 }
 
-SweepCheckpoint LoadSweepCheckpoint(std::istream& in) {
+SweepCheckpoint LoadSweepCheckpoint(std::istream& in,
+                                    CheckpointLoadStats* stats) {
   SweepCheckpoint checkpoint;
+  CheckpointLoadStats local;
+  CheckpointLoadStats& counts = stats != nullptr ? *stats : local;
+  counts = CheckpointLoadStats{};
   std::string line;
   std::int64_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty()) continue;
-    JsonValue json;
-    try {
-      json = JsonValue::Parse(line);
-      ApplyLine(checkpoint, json);
-    } catch (const std::invalid_argument& error) {
-      // A broken final line is the signature of a run killed mid-write;
-      // everything before it is still good. Broken interior lines mean the
-      // file itself is damaged — refuse it.
-      if (in.peek() == std::istream::traits_type::eof()) {
-        SAFFIRE_LOG_WARN << "checkpoint line " << line_number
-                         << " truncated, dropping it: " << error.what();
-        break;
-      }
-      SAFFIRE_CHECK_MSG(false, "checkpoint line " << line_number << ": "
-                                                  << error.what());
+    ++counts.lines;
+    if (!LineCrcOk(line)) {
+      ++counts.dropped;
+      SAFFIRE_LOG_WARN << "checkpoint line " << line_number
+                       << " failed its CRC seal, dropping it";
+      continue;
     }
+    try {
+      const JsonValue json = JsonValue::Parse(line);
+      if (ApplyLine(checkpoint, json)) ++counts.records;
+    } catch (const std::invalid_argument& error) {
+      // Truncated tail (a run killed mid-write), bit-rotted interior line
+      // that happened to keep or predate its seal, or content inconsistent
+      // with preceding lines — either way the line cannot be trusted, and
+      // re-simulating it is always safe.
+      ++counts.dropped;
+      SAFFIRE_LOG_WARN << "checkpoint line " << line_number
+                       << " dropped: " << error.what();
+    }
+  }
+  if (counts.dropped > 0) {
+    SAFFIRE_LOG_WARN << "checkpoint: dropped " << counts.dropped << " of "
+                     << counts.lines
+                     << " lines; the affected experiments will be "
+                        "re-simulated";
   }
   return checkpoint;
 }

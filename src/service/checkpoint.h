@@ -49,12 +49,29 @@ struct SweepCheckpoint {
   std::int64_t TotalRecords() const;
 };
 
+// What LoadSweepCheckpoint saw while scanning a stream — surfaced by
+// --resume so dropped corruption is visible, not silent.
+struct CheckpointLoadStats {
+  // Non-empty lines scanned.
+  std::int64_t lines = 0;
+  // "record" lines successfully rehydrated.
+  std::int64_t records = 0;
+  // Lines dropped: failed CRC, malformed JSON, or inconsistent content
+  // (e.g. a record whose campaign line was itself dropped).
+  std::int64_t dropped = 0;
+};
+
 // Parses a JSONL stream produced by JsonlRecordSink. Unknown line types
-// ("sweep", "sweep_end") are ignored. A malformed or truncated *final* line
-// is dropped with a warning — the expected shape of a run killed mid-write;
-// malformed earlier lines throw std::invalid_argument, since they mean the
-// file is not what it claims to be.
-SweepCheckpoint LoadSweepCheckpoint(std::istream& in);
+// ("sweep", "sweep_end", "failed") are ignored — quarantined experiments
+// deliberately reload as "not yet simulated" so a resumed sweep retries
+// them. Lines sealed with a "crc" member are verified against it; unsealed
+// lines (format v1) load unchecked. Damaged lines — failed CRC, malformed
+// or truncated JSON, content inconsistent with the lines before it — are
+// dropped and counted in `stats` (never thrown): a checkpoint is a cache of
+// work already done, and the worst case of dropping a line is re-simulating
+// it, while trusting a damaged one poisons the merged output.
+SweepCheckpoint LoadSweepCheckpoint(std::istream& in,
+                                    CheckpointLoadStats* stats = nullptr);
 
 // Verifies the checkpoint matches `plan`: every checkpointed campaign index
 // exists in the plan, its key equals CampaignKey(plan.campaigns[i]), its

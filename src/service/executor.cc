@@ -7,11 +7,14 @@
 #include <iterator>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
 #include "common/log.h"
 #include "obs/trace.h"
+#include "service/chaos.h"
 
 namespace saffire {
 
@@ -30,6 +33,18 @@ std::int64_t MicrosBetween(std::chrono::steady_clock::time_point begin,
                            std::chrono::steady_clock::time_point end) {
   return std::chrono::duration_cast<std::chrono::microseconds>(end - begin)
       .count();
+}
+
+// Sleeps the deterministic backoff delay before retry `attempt` (no-op
+// when the policy disables backoff).
+void SleepBackoff(const ResilienceOptions& res, std::uint64_t seed,
+                  std::size_t campaign_index, std::int64_t experiment_index,
+                  int attempt) {
+  const std::int64_t delay_ms =
+      BackoffDelayMs(res, seed, campaign_index, experiment_index, attempt);
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
 }
 
 // Serializes an AccelConfig into the per-worker simulator cache key.
@@ -85,6 +100,12 @@ struct CampaignState {
 
   Stage stage = Stage::kPending;
   std::int64_t total = 0;  // plan site count
+  // Effective engine, starting at the configured one; graceful degradation
+  // demotes it down the ladder (FallbackEngine) for the whole campaign.
+  // Read at chunk-claim time and passed into RunChunk, so a chunk claimed
+  // before a demotion may still finish on the old engine — harmless, since
+  // every rung produces identical records.
+  CampaignEngine engine = CampaignEngine::kDifferential;
   // Worker that ran PrepareOne (kNoWorker before preparation / inline);
   // chunks claimed by any other worker count as steals.
   std::size_t prepared_by = static_cast<std::size_t>(-1);
@@ -107,6 +128,10 @@ struct CampaignState {
   // One slot per experiment index, filled from checkpoint replay (in Run)
   // or chunk publication (under the lock).
   std::vector<std::optional<ExperimentRecord>> records;
+  // Quarantined experiments by index: an empty record slot whose index is
+  // here is delivered as OnExperimentFailed instead of blocking the
+  // frontier.
+  std::map<std::int64_t, FailedRecord> failed;
 
   // Batch-engine occupancy, accumulated under the lock as chunks publish;
   // copied into `info` before OnCampaignEnd (by which point every chunk has
@@ -143,8 +168,16 @@ struct CampaignExecutor::RunState {
   bool delivering = false;  // a thread is inside sink callbacks
   std::exception_ptr error;
   std::condition_variable done_cv;
+  // Resilience policy and the cooperative stop token for this run.
+  ResilienceOptions resilience;
+  const std::atomic<bool>* stop = nullptr;
+  // This run's tallies (guarded by the executor mutex), returned from Run().
+  SweepOutcome outcome;
 
   bool Finished() const { return deliver_campaign == campaigns.size(); }
+  bool StopRequested() const {
+    return stop != nullptr && stop->load(std::memory_order_relaxed);
+  }
 };
 
 CampaignExecutor::CampaignExecutor(const ExecutorOptions& options)
@@ -196,6 +229,23 @@ CampaignExecutor::CampaignExecutor(const ExecutorOptions& options)
   metrics_.golden_cache_hits =
       counter("saffire.executor.golden_cache_hits",
               "golden runs served from the process-wide cache");
+  metrics_.retries = counter("saffire.resilience.retries",
+                             "failed experiment/batch attempts retried");
+  metrics_.fallbacks =
+      counter("saffire.resilience.fallbacks",
+              "campaign engine demotions down the fallback ladder");
+  metrics_.quarantined =
+      counter("saffire.resilience.quarantined",
+              "experiments quarantined after exhausting every retry");
+  metrics_.selfchecks =
+      counter("saffire.resilience.selfchecks",
+              "batch records cross-validated against the differential engine");
+  metrics_.selfcheck_mismatches =
+      counter("saffire.resilience.selfcheck_mismatches",
+              "cross-validated batch records that disagreed");
+  metrics_.timeouts =
+      counter("saffire.resilience.timeouts",
+              "experiment attempts that exceeded the deadline");
   metrics_.queue_depth =
       &registry.GetGauge("saffire.executor.queue_depth",
                          "claimable chunks across active runs", pool_label);
@@ -257,6 +307,12 @@ ExecutorStats CampaignExecutor::stats() const {
   stats.simulators_constructed = metrics_.simulators_constructed->value();
   stats.simulators_reused = metrics_.simulators_reused->value();
   stats.golden_cache_hits = metrics_.golden_cache_hits->value();
+  stats.retries = metrics_.retries->value();
+  stats.fallbacks = metrics_.fallbacks->value();
+  stats.quarantined = metrics_.quarantined->value();
+  stats.selfchecks = metrics_.selfchecks->value();
+  stats.selfcheck_mismatches = metrics_.selfcheck_mismatches->value();
+  stats.timeouts = metrics_.timeouts->value();
   return stats;
 }
 
@@ -266,8 +322,8 @@ std::int64_t CampaignExecutor::EffectiveBatchLanes(
   return std::min(config.batch_lanes, options_.batch_lanes);
 }
 
-void CampaignExecutor::Run(const CampaignPlan& plan, RecordSink& sink,
-                           const RunOptions& options) {
+SweepOutcome CampaignExecutor::Run(const CampaignPlan& plan, RecordSink& sink,
+                                   const RunOptions& options) {
   SAFFIRE_CHECK_MSG(!plan.campaigns.empty(), "empty campaign plan");
   SAFFIRE_CHECK_MSG(plan.campaigns.size() == plan.site_counts.size(),
                     "malformed plan: " << plan.campaigns.size()
@@ -277,6 +333,19 @@ void CampaignExecutor::Run(const CampaignPlan& plan, RecordSink& sink,
   SAFFIRE_CHECK_MSG(
       options.max_parallelism >= 0 && options.max_parallelism <= 256,
       "max_parallelism=" << options.max_parallelism);
+  SAFFIRE_CHECK_MSG(options.resilience.max_retries >= 0,
+                    "max_retries=" << options.resilience.max_retries);
+  SAFFIRE_CHECK_MSG(options.resilience.experiment_timeout_ms >= 0,
+                    "experiment_timeout_ms="
+                        << options.resilience.experiment_timeout_ms);
+  SAFFIRE_CHECK_MSG(options.resilience.selfcheck_rate >= 0.0 &&
+                        options.resilience.selfcheck_rate <= 1.0,
+                    "selfcheck_rate=" << options.resilience.selfcheck_rate);
+  SAFFIRE_CHECK_MSG(options.resilience.backoff_base_ms >= 0 &&
+                        options.resilience.backoff_cap_ms >= 0,
+                    "backoff base=" << options.resilience.backoff_base_ms
+                                    << " cap="
+                                    << options.resilience.backoff_cap_ms);
   for (const CampaignConfig& config : plan.campaigns) {
     config.accel.Validate();
     config.workload.Validate();
@@ -288,6 +357,8 @@ void CampaignExecutor::Run(const CampaignPlan& plan, RecordSink& sink,
   RunState run;
   run.plan = &plan;
   run.sink = &sink;
+  run.resilience = options.resilience;
+  run.stop = options.stop;
   run.cap = options.max_parallelism == 0
                 ? static_cast<int>(workers_.size())
                 : std::min(options.max_parallelism,
@@ -300,6 +371,7 @@ void CampaignExecutor::Run(const CampaignPlan& plan, RecordSink& sink,
   for (std::size_t c = 0; c < plan.campaigns.size(); ++c) {
     CampaignState& campaign = run.campaigns[c];
     campaign.total = plan.site_counts[c];
+    campaign.engine = plan.campaigns[c].engine;
     campaign.records.resize(static_cast<std::size_t>(campaign.total));
 
     std::vector<bool> deliver(static_cast<std::size_t>(campaign.total),
@@ -365,28 +437,38 @@ void CampaignExecutor::Run(const CampaignPlan& plan, RecordSink& sink,
     metrics_.runs->Increment();
     metrics_.campaigns_replayed->Increment(replay_only_campaigns);
     metrics_.experiments_replayed->Increment(replayed_experiments);
-    for (std::size_t c = 0; c < run.campaigns.size(); ++c) {
+    for (std::size_t c = 0;
+         c < run.campaigns.size() && !run.StopRequested(); ++c) {
       CampaignState& campaign = run.campaigns[c];
       if (campaign.stage == CampaignState::Stage::kReplayOnly) continue;
       campaign.stage = CampaignState::Stage::kPreparing;
-      lock.unlock();
-      PrepareOne(run, c, cache);
-      lock.lock();
-      while (campaign.HasClaimableChunk()) {
+      PrepareWithPolicy(run, c, cache, lock);
+      if (run.error != nullptr) break;
+      while (campaign.HasClaimableChunk() && !run.StopRequested() &&
+             run.error == nullptr) {
         const std::size_t chunk = campaign.next_chunk++;
+        const CampaignEngine engine = campaign.engine;
         metrics_.queue_depth->Add(-1);
         lock.unlock();
-        RunChunk(run, c, cache, campaign.chunk_bounds[chunk],
-                 campaign.chunk_bounds[chunk + 1]);
-        lock.lock();
+        try {
+          RunChunk(run, c, cache, campaign.chunk_bounds[chunk],
+                   campaign.chunk_bounds[chunk + 1], engine);
+          lock.lock();
+        } catch (...) {
+          lock.lock();
+          if (run.error == nullptr) run.error = std::current_exception();
+        }
         ++campaign.chunks_finished;
       }
     }
     Deliver(run, lock);
     SAFFIRE_ASSERT_MSG(run.Finished(), "inline run left campaigns behind");
+    const SweepOutcome outcome = run.outcome;
+    const std::exception_ptr error = run.error;
     lock.unlock();
+    if (error != nullptr) std::rethrow_exception(error);
     sink.OnSweepEnd();
-    return;
+    return outcome;
   }
 
   {
@@ -399,13 +481,22 @@ void CampaignExecutor::Run(const CampaignPlan& plan, RecordSink& sink,
     // frontier from here before handing off to the workers.
     Deliver(run, lock);
     work_ready_.notify_all();
-    run.done_cv.wait(lock, [&run] {
+    const auto finished = [&run] {
       return run.Finished() && run.active_workers == 0 && !run.delivering;
-    });
+    };
+    // wait_for instead of wait: a stop request can arrive while no worker
+    // holds a task of this run (all parked, or serving other runs), in
+    // which case nobody else will push the frontier to its drained state —
+    // the waiter itself does, on the next poll tick.
+    while (!finished()) {
+      run.done_cv.wait_for(lock, std::chrono::milliseconds(50), finished);
+      if (!finished() && run.StopRequested()) Deliver(run, lock);
+    }
     active_.erase(std::find(active_.begin(), active_.end(), &run));
   }
   if (run.error != nullptr) std::rethrow_exception(run.error);
   sink.OnSweepEnd();
+  return run.outcome;
 }
 
 void CampaignExecutor::WorkerLoop(std::size_t worker_index) {
@@ -427,7 +518,10 @@ bool CampaignExecutor::RunOneTask(WorkerCache& cache,
   // campaigns take priority over preparing new ones so a run's in-flight
   // memory (golden traces + record buffers) stays bounded.
   for (RunState* run : active_) {
-    if (run->active_workers >= run->cap || run->error != nullptr) continue;
+    if (run->active_workers >= run->cap || run->error != nullptr ||
+        run->StopRequested()) {
+      continue;
+    }
 
     // Pass 1: a claimable chunk from any ready campaign.
     for (std::size_t c = 0; c < run->campaigns.size(); ++c) {
@@ -437,6 +531,7 @@ bool CampaignExecutor::RunOneTask(WorkerCache& cache,
         continue;
       }
       const std::size_t chunk = campaign.next_chunk++;
+      const CampaignEngine engine = campaign.engine;
       ++run->active_workers;
       metrics_.busy_workers->Add(1);
       metrics_.queue_depth->Add(-1);
@@ -446,7 +541,7 @@ bool CampaignExecutor::RunOneTask(WorkerCache& cache,
       lock.unlock();
       try {
         RunChunk(*run, c, cache, campaign.chunk_bounds[chunk],
-                 campaign.chunk_bounds[chunk + 1]);
+                 campaign.chunk_bounds[chunk + 1], engine);
         lock.lock();
       } catch (...) {
         lock.lock();
@@ -484,17 +579,7 @@ bool CampaignExecutor::RunOneTask(WorkerCache& cache,
     run->campaigns[c].prepared_by = cache.worker_index;
     ++run->active_workers;
     metrics_.busy_workers->Add(1);
-    lock.unlock();
-    try {
-      PrepareOne(*run, c, cache);
-      lock.lock();
-    } catch (...) {
-      lock.lock();
-      if (run->error == nullptr) run->error = std::current_exception();
-      // Mark ready with no chunks so the delivery frontier can pass it.
-      run->campaigns[c].stage = CampaignState::Stage::kReady;
-      run->campaigns[c].chunk_bounds.clear();
-    }
+    PrepareWithPolicy(*run, c, cache, lock);
     --run->active_workers;
     metrics_.busy_workers->Add(-1);
     Deliver(*run, lock);
@@ -502,6 +587,56 @@ bool CampaignExecutor::RunOneTask(WorkerCache& cache,
     return true;
   }
   return false;
+}
+
+void CampaignExecutor::PrepareWithPolicy(RunState& run,
+                                         std::size_t campaign_index,
+                                         WorkerCache& cache,
+                                         std::unique_lock<std::mutex>& lock) {
+  lock.unlock();
+  try {
+    PrepareOne(run, campaign_index, cache);
+    lock.lock();
+    return;
+  } catch (const std::exception& error) {
+    const std::exception_ptr raised = std::current_exception();
+    lock.lock();
+    CampaignState& campaign = run.campaigns[campaign_index];
+    // Mark ready with no chunks either way, so the delivery frontier can
+    // pass the campaign.
+    campaign.stage = CampaignState::Stage::kReady;
+    campaign.chunk_bounds.clear();
+    if (run.resilience.on_failure == OnFailure::kQuarantine) {
+      // Quarantine the whole campaign: every experiment it would have
+      // simulated becomes a FailedRecord (checkpointed records still
+      // deliver normally). Preparation is all-or-nothing — there is no
+      // per-experiment rung to fall down.
+      SAFFIRE_LOG_WARN << "campaign " << campaign_index
+                       << ": preparation failed, quarantining "
+                       << campaign.to_simulate.size()
+                       << " experiments: " << error.what();
+      for (const std::int64_t index : campaign.to_simulate) {
+        FailedRecord failure;
+        failure.campaign_index = campaign_index;
+        failure.experiment_index = index;
+        failure.engine = campaign.engine;
+        failure.attempts = 1;
+        failure.error = error.what();
+        campaign.failed.emplace(index, std::move(failure));
+      }
+      const auto n = static_cast<std::int64_t>(campaign.to_simulate.size());
+      run.outcome.quarantined += n;
+      metrics_.quarantined->Increment(n);
+      return;
+    }
+    if (run.error == nullptr) run.error = raised;
+  } catch (...) {
+    lock.lock();
+    CampaignState& campaign = run.campaigns[campaign_index];
+    campaign.stage = CampaignState::Stage::kReady;
+    campaign.chunk_bounds.clear();
+    if (run.error == nullptr) run.error = std::current_exception();
+  }
 }
 
 void CampaignExecutor::PrepareOne(RunState& run, std::size_t campaign_index,
@@ -572,21 +707,40 @@ void CampaignExecutor::PrepareOne(RunState& run, std::size_t campaign_index,
 
 void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
                                 WorkerCache& cache, std::int64_t begin,
-                                std::int64_t end) {
+                                std::int64_t end, CampaignEngine engine) {
   SAFFIRE_SPAN("executor.chunk");
   const auto busy_start = std::chrono::steady_clock::now();
   CampaignState& campaign = run.campaigns[campaign_index];
   const CampaignConfig& config = run.plan->campaigns[campaign_index];
+  const ResilienceOptions& res = run.resilience;
 
   bool constructed = false;
   FiRunner& runner = cache.Get(config.accel, &constructed);
   // Buffer locally, publish under the lock: record slots are read by the
   // delivery frontier, which must never observe a half-written record.
-  std::vector<ExperimentRecord> chunk;
-  chunk.reserve(static_cast<std::size_t>(end - begin));
+  // Slots left empty correspond to entries in `failures`.
+  std::vector<std::optional<ExperimentRecord>> chunk(
+      static_cast<std::size_t>(end - begin));
+  std::vector<FailedRecord> failures;
   std::uint64_t lanes_filled = 0;
   std::uint64_t batches_run = 0;
-  if (config.engine == CampaignEngine::kBatch) {
+
+  // Runs the experiment at simulation-list position `p` through the
+  // retry/fallback ladder starting at `rung`.
+  const auto run_one = [&](std::int64_t p, CampaignEngine rung) {
+    const std::int64_t index =
+        campaign.to_simulate[static_cast<std::size_t>(p)];
+    ExperimentRecord record;
+    FailedRecord failure;
+    if (RunExperimentResilient(run, campaign_index, runner, index, rung,
+                               &record, &failure)) {
+      chunk[static_cast<std::size_t>(p - begin)] = std::move(record);
+    } else {
+      failures.push_back(std::move(failure));
+    }
+  };
+
+  if (engine == CampaignEngine::kBatch) {
     // Pack this chunk's experiments into lane batches. Groups follow the
     // campaign's canonical batch boundaries (consecutive batch_lanes-sized
     // blocks of the site order) and additionally break wherever the
@@ -606,21 +760,75 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
              (first + (q - p)) % lanes != 0) {
         ++q;
       }
-      std::vector<ExperimentRecord> records = RunPreparedBatch(
-          campaign.prepared, runner, static_cast<std::size_t>(first),
-          static_cast<std::size_t>(first + (q - p)));
-      lanes_filled += static_cast<std::uint64_t>(records.size());
-      ++batches_run;
-      std::move(records.begin(), records.end(), std::back_inserter(chunk));
+      if (engine != CampaignEngine::kBatch) {
+        // An earlier group in this chunk demoted the campaign; finish the
+        // remaining groups on the fallback engine, one experiment at a
+        // time.
+        for (std::int64_t i = p; i < q; ++i) run_one(i, engine);
+        p = q;
+        continue;
+      }
+      std::vector<ExperimentRecord> records;
+      bool ok = false;
+      for (int attempt = 0; attempt <= res.max_retries; ++attempt) {
+        if (attempt > 0) {
+          NoteRetry(run);
+          SleepBackoff(res, config.seed, campaign_index, first, attempt - 1);
+        }
+        try {
+          chaos::OnBatchAttempt(campaign_index, attempt);
+          records = RunPreparedBatch(
+              campaign.prepared, runner, static_cast<std::size_t>(first),
+              static_cast<std::size_t>(first + (q - p)));
+          ok = true;
+          break;
+        } catch (const std::invalid_argument&) {
+          break;  // permanent: retrying the identical config cannot help
+        } catch (const std::exception&) {
+          // Transient batch failure: retry, then fall down the ladder.
+        }
+      }
+      if (ok && res.selfcheck_rate > 0.0) {
+        // Cross-validate sampled lanes against the differential engine.
+        for (std::int64_t i = 0; ok && i < q - p; ++i) {
+          if (!SelfCheckSampled(res.selfcheck_rate, config.seed,
+                                campaign_index, first + i)) {
+            continue;
+          }
+          NoteSelfCheck(run);
+          try {
+            const ExperimentRecord check = RunPreparedExperimentWithEngine(
+                campaign.prepared, runner,
+                static_cast<std::size_t>(first + i),
+                CampaignEngine::kDifferential);
+            if (!(check == records[static_cast<std::size_t>(i)])) {
+              NoteMismatch(run, campaign_index, first + i);
+              ok = false;
+            }
+          } catch (const std::exception&) {
+            // The cross-check itself failing is indistinguishable from a
+            // batch-engine defect — degrade the same way.
+            ok = false;
+          }
+        }
+      }
+      if (!ok) {
+        // The group never produced (trusted) records; recompute it on the
+        // fallback engine. The demotion is campaign-wide and sticky.
+        engine = DemoteEngine(run, campaign_index, CampaignEngine::kBatch);
+        for (std::int64_t i = p; i < q; ++i) run_one(i, engine);
+      } else {
+        lanes_filled += static_cast<std::uint64_t>(records.size());
+        ++batches_run;
+        for (std::int64_t i = 0; i < q - p; ++i) {
+          chunk[static_cast<std::size_t>(p - begin + i)] =
+              std::move(records[static_cast<std::size_t>(i)]);
+        }
+      }
       p = q;
     }
   } else {
-    for (std::int64_t p = begin; p < end; ++p) {
-      const std::int64_t index =
-          campaign.to_simulate[static_cast<std::size_t>(p)];
-      chunk.push_back(RunPreparedExperiment(campaign.prepared, runner,
-                                            static_cast<std::size_t>(index)));
-    }
+    for (std::int64_t p = begin; p < end; ++p) run_one(p, engine);
   }
 
   const std::int64_t busy_us =
@@ -632,15 +840,22 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
   metrics_.lanes_filled->Increment(static_cast<std::int64_t>(lanes_filled));
   metrics_.batches_run->Increment(static_cast<std::int64_t>(batches_run));
   for (std::int64_t p = begin; p < end; ++p) {
+    std::optional<ExperimentRecord>& slot =
+        chunk[static_cast<std::size_t>(p - begin)];
+    if (!slot.has_value()) continue;
     const std::int64_t index =
         campaign.to_simulate[static_cast<std::size_t>(p)];
-    campaign.records[static_cast<std::size_t>(index)] =
-        std::move(chunk[static_cast<std::size_t>(p - begin)]);
+    campaign.records[static_cast<std::size_t>(index)] = std::move(*slot);
+  }
+  for (FailedRecord& failure : failures) {
+    const std::int64_t index = failure.experiment_index;
+    campaign.failed.emplace(index, std::move(failure));
   }
   (constructed ? metrics_.simulators_constructed : metrics_.simulators_reused)
       ->Increment();
   metrics_.chunks_executed->Increment();
-  metrics_.experiments_run->Increment(end - begin);
+  metrics_.experiments_run->Increment(
+      end - begin - static_cast<std::int64_t>(failures.size()));
   lock.unlock();
   metrics_.chunk_seconds->Observe(static_cast<double>(busy_us) * 1e-6);
   if (cache.worker_index != kNoWorker) {
@@ -648,54 +863,246 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
   }
 }
 
+bool CampaignExecutor::RunExperimentResilient(
+    RunState& run, std::size_t campaign_index, FiRunner& runner,
+    std::int64_t index, CampaignEngine engine, ExperimentRecord* record,
+    FailedRecord* failure) {
+  CampaignState& campaign = run.campaigns[campaign_index];
+  const ResilienceOptions& res = run.resilience;
+  const std::uint64_t seed = campaign.prepared.config.seed;
+  int total_attempts = 0;
+  bool timed_out = false;
+  bool permanent = false;
+  std::exception_ptr last_error;
+  std::string last_what;
+  while (true) {
+    for (int attempt = 0; attempt <= res.max_retries; ++attempt) {
+      if (total_attempts > 0) {
+        NoteRetry(run);
+        SleepBackoff(res, seed, campaign_index, index, total_attempts - 1);
+      }
+      ++total_attempts;
+      try {
+        // Clock before the chaos hook so an injected stall lands inside the
+        // measured window, exactly like a real wedged attempt.
+        std::chrono::steady_clock::time_point start;
+        if (res.experiment_timeout_ms > 0) {
+          start = std::chrono::steady_clock::now();
+        }
+        chaos::OnExperimentAttempt(campaign_index, index, attempt);
+        ExperimentRecord result = RunPreparedExperimentWithEngine(
+            campaign.prepared, runner, static_cast<std::size_t>(index),
+            engine);
+        if (res.experiment_timeout_ms > 0) {
+          const std::int64_t elapsed_ms =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+          if (elapsed_ms > res.experiment_timeout_ms) {
+            // The deadline guard is cooperative: the attempt already
+            // returned, but trusting one that stalled past its budget would
+            // let a single wedged site consume the sweep — classify it
+            // failed and retry.
+            NoteTimeout(run);
+            timed_out = true;
+            last_error = nullptr;
+            std::ostringstream os;
+            os << "experiment " << index << " exceeded the "
+               << res.experiment_timeout_ms << " ms deadline (took "
+               << elapsed_ms << " ms)";
+            last_what = os.str();
+            continue;
+          }
+        }
+        *record = std::move(result);
+        return true;
+      } catch (const std::invalid_argument& error) {
+        last_error = std::current_exception();
+        last_what = error.what();
+        timed_out = false;
+        permanent = true;  // the same config fails identically on any rung
+        break;
+      } catch (const std::exception& error) {
+        last_error = std::current_exception();
+        last_what = error.what();
+        timed_out = false;
+      }
+    }
+    if (permanent) break;
+    const CampaignEngine demoted = DemoteEngine(run, campaign_index, engine);
+    if (demoted == engine) break;  // bottom of the ladder
+    engine = demoted;
+  }
+  if (res.on_failure == OnFailure::kAbort) {
+    if (last_error != nullptr) std::rethrow_exception(last_error);
+    throw std::runtime_error(last_what);
+  }
+  failure->campaign_index = campaign_index;
+  failure->experiment_index = index;
+  failure->engine = engine;
+  failure->attempts = total_attempts;
+  failure->timed_out = timed_out;
+  failure->error = last_what;
+  NoteQuarantine(run);
+  SAFFIRE_LOG_WARN << "campaign " << campaign_index << " experiment " << index
+                   << ": quarantined after " << total_attempts
+                   << " attempts: " << last_what;
+  return false;
+}
+
+CampaignEngine CampaignExecutor::DemoteEngine(RunState& run,
+                                              std::size_t campaign_index,
+                                              CampaignEngine from) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CampaignState& campaign = run.campaigns[campaign_index];
+  if (campaign.engine != from) return campaign.engine;  // already demoted
+  const std::optional<CampaignEngine> next = FallbackEngine(from);
+  if (!next.has_value()) return from;
+  campaign.engine = *next;
+  ++run.outcome.fallbacks;
+  metrics_.fallbacks->Increment();
+  SAFFIRE_LOG_WARN << "campaign " << campaign_index << ": falling back from "
+                   << ToString(from) << " to the " << ToString(*next)
+                   << " engine";
+  return *next;
+}
+
+void CampaignExecutor::NoteRetry(RunState& run) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++run.outcome.retries;
+  metrics_.retries->Increment();
+}
+
+void CampaignExecutor::NoteTimeout(RunState& run) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++run.outcome.timeouts;
+  metrics_.timeouts->Increment();
+}
+
+void CampaignExecutor::NoteSelfCheck(RunState& run) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++run.outcome.selfchecks;
+  metrics_.selfchecks->Increment();
+}
+
+void CampaignExecutor::NoteMismatch(RunState& run, std::size_t campaign_index,
+                                    std::int64_t experiment_index) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++run.outcome.selfcheck_mismatches;
+    metrics_.selfcheck_mismatches->Increment();
+  }
+  SAFFIRE_LOG_WARN << "campaign " << campaign_index << " experiment "
+                   << experiment_index
+                   << ": batch self-check mismatch against the differential "
+                      "engine";
+}
+
+void CampaignExecutor::NoteQuarantine(RunState& run) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++run.outcome.quarantined;
+  metrics_.quarantined->Increment();
+}
+
+void CampaignExecutor::AbandonUnclaimed(RunState& run) {
+  // Unclaimed chunks will never be picked up (workers skip errored and
+  // stopped runs), so retire them from the queue-depth gauge and collapse
+  // the frontier; waiters then see a finished run once in-flight workers
+  // drain.
+  std::int64_t abandoned = 0;
+  for (CampaignState& campaign : run.campaigns) {
+    if (campaign.stage != CampaignState::Stage::kReady ||
+        campaign.chunk_bounds.size() < 2) {
+      continue;
+    }
+    abandoned += static_cast<std::int64_t>(campaign.chunk_bounds.size() - 1 -
+                                           campaign.next_chunk);
+    campaign.next_chunk = campaign.chunk_bounds.size() - 1;
+  }
+  if (abandoned > 0) metrics_.queue_depth->Add(-abandoned);
+  run.deliver_campaign = run.campaigns.size();
+}
+
 void CampaignExecutor::Deliver(RunState& run,
                                std::unique_lock<std::mutex>& lock) {
   if (run.delivering) return;  // the current owner will pick our records up
   run.delivering = true;
+  // Invokes one sink callback outside the lock. A throwing sink aborts the
+  // run (stored error, rethrown by Run) instead of unwinding through the
+  // executor with the delivery frontier half-advanced.
+  const auto call_sink = [&](auto&& invoke) {
+    lock.unlock();
+    try {
+      invoke();
+      lock.lock();
+      return true;
+    } catch (...) {
+      lock.lock();
+      if (run.error == nullptr) run.error = std::current_exception();
+      return false;
+    }
+  };
   while (run.deliver_campaign < run.campaigns.size()) {
     if (run.error != nullptr) {
-      // Fail fast: abandon the frontier so waiters see a finished run once
-      // in-flight workers drain; Run() rethrows the stored error. Unclaimed
-      // chunks will never be picked up (workers skip errored runs), so
-      // retire them from the queue-depth gauge here.
-      std::int64_t abandoned = 0;
-      for (CampaignState& campaign : run.campaigns) {
-        if (campaign.stage != CampaignState::Stage::kReady ||
-            campaign.chunk_bounds.size() < 2) {
-          continue;
-        }
-        abandoned += static_cast<std::int64_t>(campaign.chunk_bounds.size() -
-                                               1 - campaign.next_chunk);
-        campaign.next_chunk = campaign.chunk_bounds.size() - 1;
-      }
-      if (abandoned > 0) metrics_.queue_depth->Add(-abandoned);
-      run.deliver_campaign = run.campaigns.size();
+      // Fail fast: Run() rethrows the stored error once workers drain.
+      AbandonUnclaimed(run);
       break;
     }
+    // A cooperative stop finalizes only after the last in-flight worker has
+    // published: records a worker was holding at the stop are delivered
+    // (and checkpointed) before the run is declared stopped, which is what
+    // makes --resume continue exactly where the drain ended.
+    const bool stop_drained = run.StopRequested() && run.active_workers == 0;
     CampaignState& campaign = run.campaigns[run.deliver_campaign];
     if (campaign.stage != CampaignState::Stage::kReady &&
         campaign.stage != CampaignState::Stage::kReplayOnly) {
+      if (stop_drained) {
+        run.outcome.stopped = true;
+        AbandonUnclaimed(run);
+      }
       break;  // golden metadata not known yet
     }
     if (!campaign.begun) {
       campaign.begun = true;
-      lock.unlock();
-      run.sink->OnCampaignBegin(campaign.info);
-      lock.lock();
+      if (!call_sink([&] { run.sink->OnCampaignBegin(campaign.info); })) {
+        continue;
+      }
     }
     while (campaign.deliver_cursor < campaign.deliverable.size()) {
       const std::int64_t index =
           campaign.deliverable[campaign.deliver_cursor];
       const std::optional<ExperimentRecord>& slot =
           campaign.records[static_cast<std::size_t>(index)];
-      if (!slot.has_value()) break;
-      const ExperimentRecord record = *slot;
+      if (slot.has_value()) {
+        const ExperimentRecord record = *slot;
+        ++campaign.deliver_cursor;
+        ++run.outcome.records;
+        if (!call_sink(
+                [&] { run.sink->OnRecord(campaign.info, index, record); })) {
+          break;
+        }
+        continue;
+      }
+      // An empty slot is either still simulating (frontier waits) or
+      // quarantined (delivered as a failure so the frontier can pass it).
+      const auto failed = campaign.failed.find(index);
+      if (failed == campaign.failed.end()) break;
+      const FailedRecord failure = failed->second;
       ++campaign.deliver_cursor;
-      lock.unlock();
-      run.sink->OnRecord(campaign.info, index, record);
-      lock.lock();
+      if (!call_sink([&] {
+            run.sink->OnExperimentFailed(campaign.info, failure);
+          })) {
+        break;
+      }
     }
-    if (campaign.deliver_cursor < campaign.deliverable.size()) break;
+    if (run.error != nullptr) continue;  // settle via the error branch
+    if (campaign.deliver_cursor < campaign.deliverable.size()) {
+      if (stop_drained) {
+        run.outcome.stopped = true;
+        AbandonUnclaimed(run);
+      }
+      break;
+    }
     if (!campaign.ended) {
       campaign.ended = true;
       // Every deliverable record has been published (the cursor reached the
@@ -703,9 +1110,9 @@ void CampaignExecutor::Deliver(RunState& run,
       // RunChunk.
       campaign.info.lanes_filled = campaign.lanes_filled;
       campaign.info.batches_run = campaign.batches_run;
-      lock.unlock();
-      run.sink->OnCampaignEnd(campaign.info);
-      lock.lock();
+      if (!call_sink([&] { run.sink->OnCampaignEnd(campaign.info); })) {
+        continue;
+      }
       // Release the campaign's bulk (golden trace reference, fault list,
       // record buffer) as soon as it is fully delivered.
       campaign.prepared = PreparedCampaign();

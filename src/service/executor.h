@@ -12,6 +12,7 @@
 // serializing at a join barrier. ExecutorStats counts exactly these savings.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -21,6 +22,7 @@
 #include "obs/metrics.h"
 #include "patterns/campaign.h"
 #include "service/checkpoint.h"
+#include "service/resilience.h"
 #include "service/sink.h"
 #include "service/sweep.h"
 
@@ -57,6 +59,16 @@ struct ExecutorStats {
   // Chunks executed by a worker other than the one that prepared the
   // campaign — the work-stealing traffic.
   std::int64_t chunks_stolen = 0;
+  // Resilience-layer traffic (the "saffire.resilience.*" series): failed
+  // attempts retried, campaign engine demotions, experiments quarantined
+  // after exhausting retries, batch records cross-validated (and the
+  // mismatches among them), and attempts that exceeded the deadline.
+  std::int64_t retries = 0;
+  std::int64_t fallbacks = 0;
+  std::int64_t quarantined = 0;
+  std::int64_t selfchecks = 0;
+  std::int64_t selfcheck_mismatches = 0;
+  std::int64_t timeouts = 0;
 };
 
 // Construction-time configuration of a CampaignExecutor. One struct instead
@@ -99,6 +111,16 @@ struct RunOptions {
   // (service/run.h); nullptr means CampaignExecutor::Shared(). Ignored by
   // CampaignExecutor::Run itself (the callee is already chosen).
   CampaignExecutor* executor = nullptr;
+  // Retry/fallback/quarantine policy (service/resilience.h). The default
+  // retries transient failures but aborts once they are exhausted,
+  // preserving the historical "an experiment error fails the sweep"
+  // contract.
+  ResilienceOptions resilience;
+  // Cooperative stop token (graceful shutdown): when it becomes true,
+  // workers stop claiming this run's work, in-flight experiments finish and
+  // their records are delivered, and Run returns with outcome.stopped set.
+  // Typically ScopedSignalDrain::token() (service/signal.h).
+  const std::atomic<bool>* stop = nullptr;
 };
 
 // The persistent executor. Thread-safe: concurrent Run() calls interleave
@@ -121,8 +143,18 @@ class CampaignExecutor {
   // was scheduled. Blocks until the sink has seen OnSweepEnd. Sink
   // callbacks are serialized by the executor (RecordSink needs no locks)
   // but may run on any worker thread.
-  void Run(const CampaignPlan& plan, RecordSink& sink,
-           const RunOptions& options = {});
+  //
+  // Failure semantics (service/resilience.h): a throwing experiment is
+  // retried with deterministic backoff, then its campaign falls down the
+  // engine ladder (batch→differential→full), and only exhaustion applies
+  // ResilienceOptions::on_failure — abort (rethrow after in-flight work
+  // drains, preserving the original exception) or quarantine (deliver a
+  // FailedRecord via RecordSink::OnExperimentFailed and keep going). A
+  // throwing sink aborts the run the same way. The returned SweepOutcome
+  // carries this run's record/retry/fallback/quarantine tallies;
+  // outcome.ok() is the health check callers should gate on.
+  SweepOutcome Run(const CampaignPlan& plan, RecordSink& sink,
+                   const RunOptions& options = {});
 
   // The process-wide shared executor (sized DefaultCampaignThreads()),
   // constructed on first use and joined at exit.
@@ -154,6 +186,13 @@ class CampaignExecutor {
     obs::Counter* simulators_constructed = nullptr;
     obs::Counter* simulators_reused = nullptr;
     obs::Counter* golden_cache_hits = nullptr;
+    // The resilience layer ("saffire.resilience.*" series).
+    obs::Counter* retries = nullptr;
+    obs::Counter* fallbacks = nullptr;
+    obs::Counter* quarantined = nullptr;
+    obs::Counter* selfchecks = nullptr;
+    obs::Counter* selfcheck_mismatches = nullptr;
+    obs::Counter* timeouts = nullptr;
     // Claimable-but-unclaimed chunks across active runs.
     obs::Gauge* queue_depth = nullptr;
     // Workers currently executing a task (vs parked on the condvar).
@@ -167,11 +206,43 @@ class CampaignExecutor {
   void WorkerLoop(std::size_t worker_index);
   // Claims the next task of any active run; returns false when idle.
   bool RunOneTask(WorkerCache& cache, std::unique_lock<std::mutex>& lock);
-  // Executes experiments [begin, end) of a prepared campaign.
+  // Executes experiments [begin, end) of a prepared campaign on `engine`
+  // (the campaign's effective engine at claim time — demotion may move it
+  // below the configured one).
   void RunChunk(RunState& run, std::size_t campaign_index, WorkerCache& cache,
-                std::int64_t begin, std::int64_t end);
+                std::int64_t begin, std::int64_t end, CampaignEngine engine);
   void PrepareOne(RunState& run, std::size_t campaign_index,
                   WorkerCache& cache);
+  // PrepareOne plus failure policy: on a throw, either quarantines the
+  // whole campaign (kQuarantine) or records the run error (kAbort), leaving
+  // the campaign ready-with-no-chunks so the frontier can pass it. Caller
+  // holds `mutex_`; it is dropped around the preparation itself.
+  void PrepareWithPolicy(RunState& run, std::size_t campaign_index,
+                         WorkerCache& cache,
+                         std::unique_lock<std::mutex>& lock);
+  // Runs one experiment through the retry/fallback ladder. Returns true
+  // with *record on success; on exhaustion applies the run's on_failure
+  // policy — kQuarantine fills *failure and returns false, kAbort rethrows
+  // the final error.
+  bool RunExperimentResilient(RunState& run, std::size_t campaign_index,
+                              FiRunner& runner, std::int64_t index,
+                              CampaignEngine engine, ExperimentRecord* record,
+                              FailedRecord* failure);
+  // Demotes the campaign's effective engine one ladder rung if it still sits
+  // at `from`; returns the (possibly unchanged) engine to continue on.
+  CampaignEngine DemoteEngine(RunState& run, std::size_t campaign_index,
+                              CampaignEngine from);
+  // Tally helpers: bump the run's outcome (under `mutex_`) and the matching
+  // resilience counter.
+  void NoteRetry(RunState& run);
+  void NoteTimeout(RunState& run);
+  void NoteSelfCheck(RunState& run);
+  void NoteMismatch(RunState& run, std::size_t campaign_index,
+                    std::int64_t experiment_index);
+  void NoteQuarantine(RunState& run);
+  // Retires every unclaimed chunk (queue-depth gauge included) and marks the
+  // run finished — the error/stop abandonment path. Caller holds `mutex_`.
+  void AbandonUnclaimed(RunState& run);
   // Delivers every ready record at the canonical frontier. Caller holds
   // `mutex_`; delivery drops it around sink callbacks.
   void Deliver(RunState& run, std::unique_lock<std::mutex>& lock);

@@ -1,0 +1,88 @@
+#include "service/resilience.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace saffire {
+
+namespace {
+
+// SplitMix64 — the same mixer common/rng.h seeds with; good enough to turn
+// (seed, campaign, experiment, attempt) into an unbiased jitter stream.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashExperiment(std::uint64_t seed, std::size_t campaign_index,
+                             std::int64_t experiment_index) {
+  std::uint64_t h = Mix64(seed ^ 0x7265736955ULL);
+  h = Mix64(h ^ static_cast<std::uint64_t>(campaign_index));
+  h = Mix64(h ^ static_cast<std::uint64_t>(experiment_index));
+  return h;
+}
+
+}  // namespace
+
+std::string ToString(OnFailure policy) {
+  switch (policy) {
+    case OnFailure::kQuarantine:
+      return "quarantine";
+    case OnFailure::kAbort:
+      return "abort";
+  }
+  SAFFIRE_ASSERT_MSG(false, "policy " << static_cast<int>(policy));
+}
+
+OnFailure ParseOnFailure(const std::string& name) {
+  if (name == "quarantine") return OnFailure::kQuarantine;
+  if (name == "abort") return OnFailure::kAbort;
+  SAFFIRE_CHECK_MSG(false, "unknown failure policy '"
+                               << name << "' (expected quarantine|abort)");
+}
+
+std::optional<CampaignEngine> FallbackEngine(CampaignEngine engine) {
+  switch (engine) {
+    case CampaignEngine::kBatch:
+      return CampaignEngine::kDifferential;
+    case CampaignEngine::kDifferential:
+      return CampaignEngine::kFull;
+    case CampaignEngine::kFull:
+    case CampaignEngine::kReference:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::int64_t BackoffDelayMs(const ResilienceOptions& options,
+                            std::uint64_t seed, std::size_t campaign_index,
+                            std::int64_t experiment_index, int attempt) {
+  if (options.backoff_base_ms <= 0) return 0;
+  const int shift = std::min(attempt, 20);
+  const std::int64_t exponential =
+      std::min(options.backoff_cap_ms, options.backoff_base_ms << shift);
+  const std::uint64_t h =
+      Mix64(HashExperiment(seed, campaign_index, experiment_index) ^
+            static_cast<std::uint64_t>(attempt));
+  const std::int64_t jitter = static_cast<std::int64_t>(
+      h % static_cast<std::uint64_t>(options.backoff_base_ms + 1));
+  return exponential + jitter;
+}
+
+bool SelfCheckSampled(double rate, std::uint64_t seed,
+                      std::size_t campaign_index,
+                      std::int64_t experiment_index) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  const std::uint64_t h =
+      HashExperiment(seed ^ 0x73656C66ULL, campaign_index, experiment_index);
+  // Top 53 bits → uniform double in [0, 1).
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return u < rate;
+}
+
+}  // namespace saffire

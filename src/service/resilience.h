@@ -1,0 +1,125 @@
+// Resilience policy for sweep execution. The paper's 49-hour FPGA campaign
+// (Sec. III-B) only produced trustworthy Table I data because every
+// experiment either completed or was visibly rerun; this header defines the
+// native equivalent: what the executor does when an experiment throws,
+// stalls past its deadline, or an engine disagrees with its baseline —
+// retry with deterministic backoff, fall down the engine ladder, and
+// finally quarantine into a FailedRecord stream instead of silently losing
+// or poisoning records.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "patterns/campaign.h"
+
+namespace saffire {
+
+// What happens to an experiment whose retries (across the whole fallback
+// ladder) are exhausted.
+enum class OnFailure : std::uint8_t {
+  // Emit a FailedRecord through RecordSink::OnExperimentFailed (and the
+  // JSONL "failed" line) and keep sweeping. The library default for
+  // long-running campaigns: one poisoned site must not cost the other
+  // thousands of records.
+  kQuarantine = 0,
+  // Rethrow the final error from Run(), draining in-flight work first —
+  // the pre-resilience fail-fast behavior.
+  kAbort = 1,
+};
+
+std::string ToString(OnFailure policy);
+// Parses "quarantine"/"abort"; throws std::invalid_argument otherwise.
+OnFailure ParseOnFailure(const std::string& name);
+
+// Per-run resilience knobs, carried by RunOptions. Defaults retry transient
+// errors but abort on exhaustion, which preserves the historical "an
+// experiment error fails the sweep" contract; services and the CLI opt into
+// quarantine explicitly.
+struct ResilienceOptions {
+  // Extra attempts after the first failure, per ladder rung. 0 disables
+  // retries entirely.
+  int max_retries = 2;
+  // Deadline per experiment attempt; an attempt observed to exceed it is
+  // treated as failed (and counted as a timeout) even if it eventually
+  // produced a record. 0 disables the guard. Detection is cooperative: a
+  // stalled attempt is only classified once it returns.
+  std::int64_t experiment_timeout_ms = 0;
+  // Fraction of batch-engine records cross-validated against the
+  // differential engine, sampled deterministically from the campaign seed.
+  // A mismatch demotes the campaign down the ladder and recomputes the
+  // affected batch from the trusted engine. 0 disables self-checking.
+  double selfcheck_rate = 0.0;
+  OnFailure on_failure = OnFailure::kAbort;
+  // Backoff before retry k is min(cap, base << k) plus a deterministic
+  // seed-derived jitter in [0, base] — no wall-clock or global randomness,
+  // so reruns schedule identically. base 0 disables sleeping (tests).
+  std::int64_t backoff_base_ms = 1;
+  std::int64_t backoff_cap_ms = 100;
+};
+
+// One quarantined experiment: everything needed to audit the failure and to
+// re-run the site later (a resumed sweep re-simulates quarantined indices).
+struct FailedRecord {
+  std::size_t campaign_index = 0;
+  std::int64_t experiment_index = -1;
+  // Engine of the final attempt (the bottom of the ladder reached).
+  CampaignEngine engine = CampaignEngine::kDifferential;
+  // Total attempts spent across every rung.
+  int attempts = 0;
+  bool timed_out = false;
+  // what() of the final failure.
+  std::string error;
+};
+
+// Summary of one Run()/RunSweep() invocation. `ok()` gating is the
+// service-level health check: the CLI exits non-zero when it fails even
+// though the sweep "completed".
+struct SweepOutcome {
+  // Records delivered to the sink (simulated + replayed).
+  std::int64_t records = 0;
+  // Experiments that exhausted every retry and rung.
+  std::int64_t quarantined = 0;
+  // Failed attempts that were retried (any rung).
+  std::int64_t retries = 0;
+  // Campaign engine demotions (batch→differential→full).
+  std::int64_t fallbacks = 0;
+  // Batch records cross-validated, and how many disagreed.
+  std::int64_t selfchecks = 0;
+  std::int64_t selfcheck_mismatches = 0;
+  // Attempts that exceeded experiment_timeout_ms.
+  std::int64_t timeouts = 0;
+  // Corrupt/truncated checkpoint lines dropped while loading the resume
+  // stream (filled by callers that loaded one; the executor leaves it 0).
+  std::int64_t checkpoint_lines_dropped = 0;
+  // True when a cooperative stop (RunOptions::stop) drained the run before
+  // every record was delivered.
+  bool stopped = false;
+
+  bool ok() const {
+    return quarantined == 0 && selfcheck_mismatches == 0 && !stopped;
+  }
+};
+
+// The graceful-degradation ladder: batch → differential → full; the
+// per-experiment engines have no cheaper-but-equivalent sibling to fall
+// back to (reference IS the baseline), so they return nullopt. Every rung
+// produces bit-identical records by construction, which is what makes
+// demotion invisible in the output.
+std::optional<CampaignEngine> FallbackEngine(CampaignEngine engine);
+
+// Backoff before retry `attempt` (0-based) of the given experiment:
+// min(cap, base << attempt) + jitter(seed, campaign, experiment, attempt)
+// with jitter in [0, base]. Pure function of its arguments.
+std::int64_t BackoffDelayMs(const ResilienceOptions& options,
+                            std::uint64_t seed, std::size_t campaign_index,
+                            std::int64_t experiment_index, int attempt);
+
+// True when the deterministic self-check sample includes this experiment:
+// a seed-derived hash of (campaign, experiment) falls below `rate`.
+bool SelfCheckSampled(double rate, std::uint64_t seed,
+                      std::size_t campaign_index,
+                      std::int64_t experiment_index);
+
+}  // namespace saffire

@@ -2,24 +2,24 @@
 
 namespace saffire {
 
-void RunSweep(const CampaignPlan& plan, const RunOptions& options,
-              RecordSink& sink) {
+SweepOutcome RunSweep(const CampaignPlan& plan, const RunOptions& options,
+                      RecordSink& sink) {
   CampaignExecutor& executor =
       options.executor != nullptr ? *options.executor
                                   : CampaignExecutor::Shared();
-  executor.Run(plan, sink, options);
+  return executor.Run(plan, sink, options);
 }
 
-void RunSweep(const SweepSpec& spec, const RunOptions& options,
-              RecordSink& sink) {
+SweepOutcome RunSweep(const SweepSpec& spec, const RunOptions& options,
+                      RecordSink& sink) {
   spec.Validate();
-  RunSweep(BuildCampaignPlan(spec), options, sink);
+  return RunSweep(BuildCampaignPlan(spec), options, sink);
 }
 
-void RunSweep(const std::vector<SweepSpec>& specs, const RunOptions& options,
-              RecordSink& sink) {
+SweepOutcome RunSweep(const std::vector<SweepSpec>& specs,
+                      const RunOptions& options, RecordSink& sink) {
   for (const SweepSpec& spec : specs) spec.Validate();
-  RunSweep(BuildCampaignPlan(specs), options, sink);
+  return RunSweep(BuildCampaignPlan(specs), options, sink);
 }
 
 }  // namespace saffire

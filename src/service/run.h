@@ -18,17 +18,20 @@ namespace saffire {
 
 // Expands the spec (BuildCampaignPlan) and runs it. Throws
 // std::invalid_argument on an invalid spec, and rethrows any simulation
-// error after in-flight work drains.
-void RunSweep(const SweepSpec& spec, const RunOptions& options,
-              RecordSink& sink);
+// error after in-flight work drains (under the default abort policy; see
+// RunOptions::resilience for retry/quarantine behavior). The returned
+// SweepOutcome summarizes the run — callers that tolerate quarantine must
+// gate on outcome.ok() themselves.
+SweepOutcome RunSweep(const SweepSpec& spec, const RunOptions& options,
+                      RecordSink& sink);
 
 // Heterogeneous sweep: the concatenated plan of every spec, in order.
-void RunSweep(const std::vector<SweepSpec>& specs, const RunOptions& options,
-              RecordSink& sink);
+SweepOutcome RunSweep(const std::vector<SweepSpec>& specs,
+                      const RunOptions& options, RecordSink& sink);
 
 // Runs an already-built plan — the overload the others lower to, and the
 // one to use with SingleCampaignPlan or hand-assembled plans.
-void RunSweep(const CampaignPlan& plan, const RunOptions& options,
-              RecordSink& sink);
+SweepOutcome RunSweep(const CampaignPlan& plan, const RunOptions& options,
+                      RecordSink& sink);
 
 }  // namespace saffire

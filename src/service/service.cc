@@ -4,6 +4,9 @@
 // Living here keeps saffire_patterns free of any threading/orchestration
 // code while callers of RunCampaign* transparently benefit from pool and
 // simulator reuse. New code should call RunSweep directly.
+// This file deliberately exercises the deprecated RunCampaign*
+// wrappers (their contract is what is being tested/provided).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include "common/log.h"
 #include "patterns/campaign.h"
 #include "service/run.h"
@@ -12,12 +15,11 @@
 
 namespace saffire {
 
-CampaignResult RunCampaign(const CampaignConfig& config) {
-  return RunCampaignParallel(config, 1);
-}
+namespace {
 
-CampaignResult RunCampaignParallel(const CampaignConfig& config,
-                                   int threads) {
+// The shared implementation behind both deprecated wrappers (so neither
+// calls the other and trips its own deprecation warning).
+CampaignResult RunSingleCampaign(const CampaignConfig& config, int threads) {
   config.accel.Validate();
   config.workload.Validate();
   SAFFIRE_CHECK_MSG(threads >= 1 && threads <= 256,
@@ -39,6 +41,17 @@ CampaignResult RunCampaignParallel(const CampaignConfig& config,
                      "single-campaign plan produced " << results.size()
                                                       << " results");
   return std::move(results.front());
+}
+
+}  // namespace
+
+CampaignResult RunCampaign(const CampaignConfig& config) {
+  return RunSingleCampaign(config, 1);
+}
+
+CampaignResult RunCampaignParallel(const CampaignConfig& config,
+                                   int threads) {
+  return RunSingleCampaign(config, threads);
 }
 
 }  // namespace saffire

@@ -1,0 +1,58 @@
+#include "service/signal.h"
+
+#include <csignal>
+
+#include "common/check.h"
+
+namespace saffire {
+
+namespace {
+
+// Process-wide because signal handlers cannot carry state. Written only
+// from the handler (flags) and from ScopedSignalDrain's ctor/dtor.
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_signal{0};
+std::atomic<int> g_instances{0};
+
+// Async-signal-safe: lock-free atomic stores only.
+extern "C" void SaffireDrainHandler(int signo) {
+  g_signal.store(signo, std::memory_order_relaxed);
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+void (*g_prev_int)(int) = nullptr;
+void (*g_prev_term)(int) = nullptr;
+
+}  // namespace
+
+ScopedSignalDrain::ScopedSignalDrain() {
+  if (g_instances.fetch_add(1) != 0) {
+    // Roll back before throwing: a failed construction never runs the
+    // destructor, and a leaked count would block every later instance.
+    g_instances.fetch_sub(1);
+    SAFFIRE_CHECK_MSG(false,
+                      "only one ScopedSignalDrain may be live at a time");
+  }
+  g_stop.store(false, std::memory_order_relaxed);
+  g_signal.store(0, std::memory_order_relaxed);
+  g_prev_int = std::signal(SIGINT, SaffireDrainHandler);
+  g_prev_term = std::signal(SIGTERM, SaffireDrainHandler);
+}
+
+ScopedSignalDrain::~ScopedSignalDrain() {
+  std::signal(SIGINT, g_prev_int == SIG_ERR ? SIG_DFL : g_prev_int);
+  std::signal(SIGTERM, g_prev_term == SIG_ERR ? SIG_DFL : g_prev_term);
+  g_instances.fetch_sub(1);
+}
+
+const std::atomic<bool>* ScopedSignalDrain::token() const { return &g_stop; }
+
+bool ScopedSignalDrain::triggered() const {
+  return g_stop.load(std::memory_order_relaxed);
+}
+
+int ScopedSignalDrain::signal_number() const {
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+}  // namespace saffire

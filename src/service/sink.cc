@@ -1,6 +1,10 @@
 #include "service/sink.h"
 
+#include <cstdio>
+#include <sstream>
+
 #include "common/check.h"
+#include "common/crc32.h"
 #include "common/json.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
@@ -92,18 +96,40 @@ void CsvRecordSink::OnRecord(const CampaignBeginInfo& info,
 
 // --- JsonlRecordSink --------------------------------------------------------
 
+void JsonlRecordSink::WriteSealedLine(const std::string& body, bool flush) {
+  // The seal lives inside the object: strip the closing brace and append a
+  // final "crc" member computed over everything before it. Each line stays
+  // a standalone JSON object (downstream json.loads keeps working); the
+  // loader re-derives the covered prefix by splitting at the last ,"crc":"
+  // occurrence.
+  SAFFIRE_ASSERT_MSG(!body.empty() && body.back() == '}',
+                     "sealing a non-object checkpoint line");
+  const std::string prefix = body.substr(0, body.size() - 1);
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x", Crc32(prefix));
+  out_ << prefix << ",\"crc\":\"" << crc << "\"}\n";
+  // Flush per line: the file is a checkpoint, and a resumable line is only
+  // worth anything if it reaches the disk before a crash.
+  if (flush) {
+    out_ << std::flush;
+    JsonlFlushesCounter().Increment();
+  }
+}
+
 void JsonlRecordSink::OnSweepBegin(const CampaignPlan& plan) {
-  JsonWriter w(out_);
+  std::ostringstream line;
+  JsonWriter w(line);
   w.BeginObject()
       .Key("type").String("sweep")
       .Key("campaigns").Uint(plan.campaigns.size())
       .Key("experiments").Int(plan.total_experiments())
       .EndObject();
-  out_ << '\n';
+  WriteSealedLine(line.str(), /*flush=*/false);
 }
 
 void JsonlRecordSink::OnCampaignBegin(const CampaignBeginInfo& info) {
-  JsonWriter w(out_);
+  std::ostringstream line;
+  JsonWriter w(line);
   w.BeginObject()
       .Key("type").String("campaign")
       .Key("campaign").Uint(info.campaign_index)
@@ -114,13 +140,14 @@ void JsonlRecordSink::OnCampaignBegin(const CampaignBeginInfo& info) {
       .Key("golden_cache_hit").Bool(info.golden_cache_hit)
       .Key("config").String(info.config->ToString())
       .EndObject();
-  out_ << '\n';
+  WriteSealedLine(line.str(), /*flush=*/false);
 }
 
 void JsonlRecordSink::OnRecord(const CampaignBeginInfo& info,
                                std::int64_t experiment_index,
                                const ExperimentRecord& record) {
-  JsonWriter w(out_);
+  std::ostringstream line;
+  JsonWriter w(line);
   w.BeginObject()
       .Key("type").String("record")
       .Key("campaign").Uint(info.campaign_index)
@@ -144,17 +171,34 @@ void JsonlRecordSink::OnRecord(const CampaignBeginInfo& info,
       .Key("pe_steps").Uint(record.pe_steps)
       .Key("pe_steps_skipped").Uint(record.pe_steps_skipped)
       .EndObject();
-  // Flush per line: the file is a checkpoint, and a resumable line is only
-  // worth anything if it reaches the disk before a crash.
-  out_ << '\n' << std::flush;
+  WriteSealedLine(line.str(), /*flush=*/true);
   JsonlRecordsCounter().Increment();
-  JsonlFlushesCounter().Increment();
+}
+
+void JsonlRecordSink::OnExperimentFailed(const CampaignBeginInfo& info,
+                                         const FailedRecord& failure) {
+  // The quarantine stream rides in the same file. The loader ignores
+  // "failed" lines when rebuilding records, so a resumed sweep re-simulates
+  // quarantined sites — exactly the semantics a transient failure wants.
+  std::ostringstream line;
+  JsonWriter w(line);
+  w.BeginObject()
+      .Key("type").String("failed")
+      .Key("campaign").Uint(info.campaign_index)
+      .Key("experiment").Int(failure.experiment_index)
+      .Key("engine").String(ToString(failure.engine))
+      .Key("attempts").Int(failure.attempts)
+      .Key("timed_out").Bool(failure.timed_out)
+      .Key("error").String(failure.error)
+      .EndObject();
+  WriteSealedLine(line.str(), /*flush=*/true);
 }
 
 void JsonlRecordSink::OnSweepEnd() {
-  JsonWriter w(out_);
+  std::ostringstream line;
+  JsonWriter w(line);
   w.BeginObject().Key("type").String("sweep_end").EndObject();
-  out_ << '\n' << std::flush;
+  WriteSealedLine(line.str(), /*flush=*/true);
 }
 
 // --- ProgressSink -----------------------------------------------------------
@@ -220,6 +264,11 @@ void TeeSink::OnRecord(const CampaignBeginInfo& info,
   for (RecordSink* sink : sinks_) {
     sink->OnRecord(info, experiment_index, record);
   }
+}
+
+void TeeSink::OnExperimentFailed(const CampaignBeginInfo& info,
+                                 const FailedRecord& failure) {
+  for (RecordSink* sink : sinks_) sink->OnExperimentFailed(info, failure);
 }
 
 void TeeSink::OnCampaignEnd(const CampaignBeginInfo& info) {

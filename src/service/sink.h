@@ -16,6 +16,7 @@
 
 #include "common/csv.h"
 #include "patterns/campaign.h"
+#include "service/resilience.h"
 #include "service/sweep.h"
 
 namespace saffire {
@@ -57,6 +58,11 @@ class RecordSink {
   virtual void OnRecord(const CampaignBeginInfo& /*info*/,
                         std::int64_t /*experiment_index*/,
                         const ExperimentRecord& /*record*/) {}
+  // A quarantined experiment (service/resilience.h), delivered at the
+  // position its record would have occupied — the frontier stays canonical
+  // even when sites fail. Only emitted under OnFailure::kQuarantine.
+  virtual void OnExperimentFailed(const CampaignBeginInfo& /*info*/,
+                                  const FailedRecord& /*failure*/) {}
   virtual void OnCampaignEnd(const CampaignBeginInfo& /*info*/) {}
   virtual void OnSweepEnd() {}
 };
@@ -111,8 +117,12 @@ class CsvRecordSink : public RecordSink {
 
 // Streams the checkpoint format (service/checkpoint.h): one JSON object per
 // line — a "campaign" line per OnCampaignBegin carrying the CampaignKey
-// identity guard, then a "record" line per experiment. The file doubles as
-// a resumable checkpoint and a machine-readable result log.
+// identity guard, then a "record" line per experiment and a "failed" line
+// per quarantined one. Every line is sealed with a trailing "crc" member
+// (CRC-32 of everything before it), so the loader can drop lines corrupted
+// on disk instead of resuming from poisoned data; each line stays a valid
+// standalone JSON object. The file doubles as a resumable checkpoint and a
+// machine-readable result log.
 class JsonlRecordSink : public RecordSink {
  public:
   explicit JsonlRecordSink(std::ostream& out) : out_(out) {}
@@ -121,9 +131,15 @@ class JsonlRecordSink : public RecordSink {
   void OnCampaignBegin(const CampaignBeginInfo& info) override;
   void OnRecord(const CampaignBeginInfo& info, std::int64_t experiment_index,
                 const ExperimentRecord& record) override;
+  void OnExperimentFailed(const CampaignBeginInfo& info,
+                          const FailedRecord& failure) override;
   void OnSweepEnd() override;
 
  private:
+  // Seals `body` (a complete JSON object) with the "crc" member and writes
+  // it as one line.
+  void WriteSealedLine(const std::string& body, bool flush);
+
   std::ostream& out_;
 };
 
@@ -161,6 +177,8 @@ class TeeSink : public RecordSink {
   void OnCampaignBegin(const CampaignBeginInfo& info) override;
   void OnRecord(const CampaignBeginInfo& info, std::int64_t experiment_index,
                 const ExperimentRecord& record) override;
+  void OnExperimentFailed(const CampaignBeginInfo& info,
+                          const FailedRecord& failure) override;
   void OnCampaignEnd(const CampaignBeginInfo& info) override;
   void OnSweepEnd() override;
 

@@ -1,0 +1,87 @@
+// AtomicFileWriter backs every derived output whose partial form is
+// misleading (merged CSVs, metrics expositions): the destination must only
+// ever hold a complete file — the previous one until Commit(), the new one
+// after — and abandoned writers must clean up their temporaries.
+#include "common/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace saffire {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::string TempPath(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+TEST(AtomicFileTest, CommitMaterializesTheFileAndRemovesTheTemp) {
+  const std::string path = TempPath("atomic_commit.txt");
+  fs::remove(path);
+  {
+    AtomicFileWriter writer(path);
+    EXPECT_FALSE(writer.committed());
+    EXPECT_FALSE(fs::exists(path)) << "destination appeared before Commit";
+    EXPECT_TRUE(fs::exists(writer.temp_path()));
+    writer.stream() << "row1\nrow2\n";
+    writer.Commit();
+    EXPECT_TRUE(writer.committed());
+    EXPECT_FALSE(fs::exists(writer.temp_path()));
+  }
+  EXPECT_EQ(ReadFile(path), "row1\nrow2\n");
+  fs::remove(path);
+}
+
+TEST(AtomicFileTest, AbandonedWriterLeavesThePreviousFileIntact) {
+  const std::string path = TempPath("atomic_abandon.txt");
+  {
+    std::ofstream out(path);
+    out << "previous complete run\n";
+  }
+  std::string temp;
+  {
+    AtomicFileWriter writer(path);
+    temp = writer.temp_path();
+    writer.stream() << "half-writ";
+    // No Commit(): simulates an error path unwinding past the writer.
+  }
+  EXPECT_EQ(ReadFile(path), "previous complete run\n");
+  EXPECT_FALSE(fs::exists(temp)) << "abandoned temporary not cleaned up";
+  fs::remove(path);
+}
+
+TEST(AtomicFileTest, CommitReplacesThePreviousFileAtomically) {
+  const std::string path = TempPath("atomic_replace.txt");
+  {
+    std::ofstream out(path);
+    out << "old\n";
+  }
+  AtomicFileWriter writer(path);
+  EXPECT_EQ(ReadFile(path), "old\n") << "destination clobbered before Commit";
+  writer.stream() << "new\n";
+  writer.Commit();
+  EXPECT_EQ(ReadFile(path), "new\n");
+  fs::remove(path);
+}
+
+TEST(AtomicFileTest, UnwritableDestinationThrows) {
+  const std::string path =
+      TempPath("no-such-directory") + "/deep/output.csv";
+  EXPECT_THROW(AtomicFileWriter writer(path), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saffire

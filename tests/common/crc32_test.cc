@@ -1,0 +1,52 @@
+// CRC-32 is the integrity seal of checkpoint format v2: these tests pin
+// the polynomial to the standard check value (so sealed checkpoints stay
+// loadable across builds), and the properties the loader depends on —
+// streaming equals one-shot, and any single corrupted byte changes the sum.
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace saffire {
+namespace {
+
+TEST(Crc32Test, MatchesTheStandardCheckValue) {
+  // CRC-32/ISO-HDLC check value: every conforming implementation maps
+  // "123456789" to 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("a"), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, PointerAndViewOverloadsAgree) {
+  const std::string data = "{\"type\":\"record\",\"cycles\":110}";
+  EXPECT_EQ(Crc32(data), Crc32(data.data(), data.size()));
+}
+
+TEST(Crc32Test, StreamingExtendEqualsOneShot) {
+  const std::string whole = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t cut = 0; cut <= whole.size(); ++cut) {
+    const std::uint32_t prefix = Crc32(whole.data(), cut);
+    const std::uint32_t streamed =
+        ExtendCrc32(prefix, whole.data() + cut, whole.size() - cut);
+    EXPECT_EQ(streamed, Crc32(whole)) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32Test, EverySingleByteCorruptionChangesTheSum) {
+  // The property the checkpoint loader relies on: a bit-flipped digit in a
+  // sealed line cannot collide back to the recorded CRC.
+  std::string line = "{\"campaign\":0,\"experiment\":7,\"cycles\":110}";
+  const std::uint32_t sealed = Crc32(line);
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    for (const char flip : {char(0x01), char(0x04), char(0x80)}) {
+      std::string corrupt = line;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ flip);
+      EXPECT_NE(Crc32(corrupt), sealed) << "byte " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saffire

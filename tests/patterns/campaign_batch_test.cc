@@ -3,6 +3,9 @@
 // matrix the ISSUE's acceptance criteria call for — while its occupancy
 // counters (lanes_filled / batches_run) reflect the canonical
 // batch_lanes-sized grouping, including partial final batches and W=1.
+// This file deliberately exercises the deprecated RunCampaign*
+// wrappers (their contract is what is being tested/provided).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include <gtest/gtest.h>
 
 #include <stdexcept>

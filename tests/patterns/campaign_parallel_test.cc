@@ -1,4 +1,7 @@
 // The parallel campaign runner must reproduce the serial result exactly.
+// This file deliberately exercises the deprecated RunCampaign*
+// wrappers (their contract is what is being tested/provided).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include <gtest/gtest.h>
 
 #include "patterns/campaign.h"

@@ -1,3 +1,6 @@
+// This file deliberately exercises the deprecated RunCampaign*
+// wrappers (their contract is what is being tested/provided).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include "patterns/report.h"
 
 #include <gtest/gtest.h>

@@ -168,16 +168,59 @@ TEST(CheckpointTest, RejectsCheckpointFromDifferentPlan) {
                std::invalid_argument);
 }
 
-TEST(CheckpointTest, RejectsMalformedInteriorLine) {
+TEST(CheckpointTest, DropsMalformedInteriorLineAndCounts) {
   SweepSpec spec = BaseSpec();
   spec.max_sites = 3;
   const CampaignPlan plan = BuildCampaignPlan(spec);
   std::string jsonl = RunToJsonl(plan);
-  // Corrupt the first line; with valid lines after it, loading must fail
-  // (this is file damage, not a mid-write kill).
+  // Corrupt the first line (the "sweep" header, which carries no resumable
+  // state). The loader must drop exactly that line, count it, and keep
+  // every record — a damaged line costs its own content, never the file.
   jsonl.front() = '#';
   std::istringstream in(jsonl);
-  EXPECT_THROW(LoadSweepCheckpoint(in), std::invalid_argument);
+  CheckpointLoadStats stats;
+  const SweepCheckpoint checkpoint = LoadSweepCheckpoint(in, &stats);
+  EXPECT_EQ(stats.dropped, 1);
+  EXPECT_EQ(stats.records, plan.total_experiments());
+  ValidateCheckpoint(checkpoint, plan);
+  EXPECT_EQ(checkpoint.TotalRecords(), plan.total_experiments());
+}
+
+TEST(CheckpointTest, CrcSealCatchesBitFlippedRecordLine) {
+  SweepSpec spec = BaseSpec();
+  spec.max_sites = 4;
+  const CampaignPlan plan = BuildCampaignPlan(spec);
+  std::string jsonl = RunToJsonl(plan);
+
+  // Tamper with a digit inside a record line. The line stays valid JSON —
+  // without the CRC seal this would resume from a poisoned record.
+  const std::size_t rec = jsonl.find("\"type\":\"record\"");
+  ASSERT_NE(rec, std::string::npos);
+  std::size_t digit = jsonl.find("\"cycles\":", rec);
+  ASSERT_NE(digit, std::string::npos);
+  digit += 9;  // first digit of the value
+  ASSERT_TRUE(jsonl[digit] >= '0' && jsonl[digit] <= '9');
+  jsonl[digit] = jsonl[digit] == '1' ? '2' : '1';
+
+  std::istringstream in(jsonl);
+  CheckpointLoadStats stats;
+  const SweepCheckpoint checkpoint = LoadSweepCheckpoint(in, &stats);
+  EXPECT_EQ(stats.dropped, 1);
+  EXPECT_EQ(checkpoint.TotalRecords(), plan.total_experiments() - 1);
+  ValidateCheckpoint(checkpoint, plan);
+
+  // Resuming re-simulates only the dropped record and reproduces the
+  // uninterrupted sweep exactly.
+  CollectorSink resumed;
+  RunOptions options;
+  options.checkpoint = &checkpoint;
+  CampaignExecutor::Shared().Run(plan, resumed, options);
+  CollectorSink fresh;
+  CampaignExecutor::Shared().Run(plan, fresh);
+  ASSERT_EQ(resumed.results().size(), fresh.results().size());
+  for (std::size_t c = 0; c < fresh.results().size(); ++c) {
+    ExpectIdentical(fresh.results()[c], resumed.results()[c]);
+  }
 }
 
 TEST(CheckpointTest, MergeRejectsConflictingRecords) {

@@ -1,0 +1,320 @@
+// The resilience layer must keep a sweep's record stream canonical and
+// bit-identical while experiments fail around it: transient faults are
+// retried with deterministic backoff, campaigns fall down the engine
+// ladder, exhausted experiments quarantine into FailedRecords at their
+// canonical positions, and every path is visible in the SweepOutcome.
+#include "service/resilience.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "service/chaos.h"
+#include "service/executor.h"
+#include "service/sink.h"
+
+namespace saffire {
+namespace {
+
+AccelConfig SmallAccel() {
+  AccelConfig config;
+  config.array.rows = 8;
+  config.array.cols = 8;
+  config.max_compute_rows = 64;
+  config.spad_rows = 128;
+  config.acc_rows = 64;
+  config.dram_bytes = 1 << 20;
+  return config;
+}
+
+SweepSpec BaseSpec() {
+  SweepSpec spec;
+  spec.accel = SmallAccel();
+  WorkloadSpec workload;
+  workload.name = "gemm-20";
+  workload.m = workload.k = workload.n = 20;
+  spec.workloads = {workload};
+  return spec;
+}
+
+void ExpectIdentical(const CampaignResult& expected,
+                     const CampaignResult& actual) {
+  EXPECT_EQ(expected.golden_cycles, actual.golden_cycles);
+  ASSERT_EQ(expected.records.size(), actual.records.size());
+  for (std::size_t i = 0; i < expected.records.size(); ++i) {
+    EXPECT_EQ(expected.records[i], actual.records[i]) << "record " << i;
+  }
+}
+
+// Captures the canonical delivery order of records and failures.
+class RecordingSink : public RecordSink {
+ public:
+  struct Event {
+    std::int64_t index;
+    bool failed;
+  };
+
+  void OnRecord(const CampaignBeginInfo& /*info*/,
+                std::int64_t experiment_index,
+                const ExperimentRecord& /*record*/) override {
+    events_.push_back({experiment_index, false});
+  }
+  void OnExperimentFailed(const CampaignBeginInfo& /*info*/,
+                          const FailedRecord& failure) override {
+    events_.push_back({failure.experiment_index, true});
+    failures_.push_back(failure);
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  const std::vector<FailedRecord>& failures() const { return failures_; }
+
+ private:
+  std::vector<Event> events_;
+  std::vector<FailedRecord> failures_;
+};
+
+// Every chaos test clears the process-wide schedule, pass or fail.
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { chaos::Clear(); }
+
+  // No backoff sleeps in tests.
+  static ResilienceOptions FastRetries() {
+    ResilienceOptions res;
+    res.backoff_base_ms = 0;
+    return res;
+  }
+};
+
+TEST(ResiliencePureTest, FallbackLadderEndsAtFull) {
+  EXPECT_EQ(FallbackEngine(CampaignEngine::kBatch),
+            CampaignEngine::kDifferential);
+  EXPECT_EQ(FallbackEngine(CampaignEngine::kDifferential),
+            CampaignEngine::kFull);
+  EXPECT_EQ(FallbackEngine(CampaignEngine::kFull), std::nullopt);
+  EXPECT_EQ(FallbackEngine(CampaignEngine::kReference), std::nullopt);
+}
+
+TEST(ResiliencePureTest, OnFailureParsesAndRoundTrips) {
+  EXPECT_EQ(ParseOnFailure("quarantine"), OnFailure::kQuarantine);
+  EXPECT_EQ(ParseOnFailure("abort"), OnFailure::kAbort);
+  EXPECT_EQ(ToString(OnFailure::kQuarantine), "quarantine");
+  EXPECT_EQ(ToString(OnFailure::kAbort), "abort");
+  EXPECT_THROW(ParseOnFailure("retry-forever"), std::invalid_argument);
+}
+
+TEST(ResiliencePureTest, BackoffIsDeterministicBoundedAndDisableable) {
+  ResilienceOptions res;
+  res.backoff_base_ms = 2;
+  res.backoff_cap_ms = 50;
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    const std::int64_t delay = BackoffDelayMs(res, 7, 3, 11, attempt);
+    EXPECT_EQ(delay, BackoffDelayMs(res, 7, 3, 11, attempt)) << "attempt "
+                                                             << attempt;
+    EXPECT_GE(delay, 0);
+    EXPECT_LE(delay, res.backoff_cap_ms + res.backoff_base_ms);
+  }
+  // Exponential up to the cap: a late attempt saturates.
+  EXPECT_GE(BackoffDelayMs(res, 7, 3, 11, 10), res.backoff_cap_ms);
+  res.backoff_base_ms = 0;
+  EXPECT_EQ(BackoffDelayMs(res, 7, 3, 11, 5), 0);
+}
+
+TEST(ResiliencePureTest, SelfCheckSamplingIsDeterministicAndUnbiased) {
+  EXPECT_FALSE(SelfCheckSampled(0.0, 1, 0, 0));
+  EXPECT_TRUE(SelfCheckSampled(1.0, 1, 0, 0));
+  const double rate = 0.3;
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const bool sampled = SelfCheckSampled(rate, 42, 1, i);
+    EXPECT_EQ(sampled, SelfCheckSampled(rate, 42, 1, i));
+    hits += sampled ? 1 : 0;
+  }
+  const double observed = static_cast<double>(hits) / n;
+  EXPECT_NEAR(observed, rate, 0.02);
+}
+
+TEST_F(ResilienceTest, RetriesRecoverTransientFaults) {
+  SweepSpec spec = BaseSpec();
+  spec.max_sites = 10;
+  const CampaignPlan plan = BuildCampaignPlan(spec);
+
+  CollectorSink baseline;
+  CampaignExecutor::Shared().Run(plan, baseline);
+
+  chaos::ChaosSpec chaos_spec;
+  chaos_spec.experiment_throw_every = 5;  // indices 0 and 5
+  chaos_spec.experiment_throw_attempts = 2;
+  chaos::Install(chaos_spec);
+
+  CollectorSink collector;
+  RunOptions options;
+  options.resilience = FastRetries();
+  options.resilience.max_retries = 3;
+  const SweepOutcome outcome =
+      CampaignExecutor::Shared().Run(plan, collector, options);
+
+  EXPECT_EQ(outcome.retries, 4);  // two failed attempts per hit index
+  EXPECT_EQ(outcome.quarantined, 0);
+  EXPECT_EQ(outcome.fallbacks, 0);
+  EXPECT_EQ(outcome.records, plan.total_experiments());
+  EXPECT_TRUE(outcome.ok());
+  ExpectIdentical(baseline.results().at(0), collector.results().at(0));
+}
+
+TEST_F(ResilienceTest, ExhaustedFaultsQuarantineAtTheLadderBottom) {
+  SweepSpec spec = BaseSpec();
+  spec.max_sites = 6;
+  const CampaignPlan plan = BuildCampaignPlan(spec);
+
+  chaos::ChaosSpec chaos_spec;
+  chaos_spec.experiment_throw_every = 3;  // indices 0 and 3
+  chaos_spec.experiment_throw_attempts = 99;  // never recovers
+  chaos::Install(chaos_spec);
+
+  RecordingSink sink;
+  RunOptions options;
+  options.max_parallelism = 1;
+  options.resilience = FastRetries();
+  options.resilience.max_retries = 1;
+  options.resilience.on_failure = OnFailure::kQuarantine;
+  const SweepOutcome outcome =
+      CampaignExecutor::Shared().Run(plan, sink, options);
+
+  EXPECT_EQ(outcome.quarantined, 2);
+  EXPECT_EQ(outcome.records, 4);
+  EXPECT_GE(outcome.fallbacks, 1);  // differential -> full, once
+  EXPECT_FALSE(outcome.ok());
+
+  // The frontier stays canonical: failures occupy their record's slot.
+  ASSERT_EQ(sink.events().size(), 6u);
+  for (std::size_t i = 0; i < sink.events().size(); ++i) {
+    EXPECT_EQ(sink.events()[i].index, static_cast<std::int64_t>(i));
+    EXPECT_EQ(sink.events()[i].failed, i == 0 || i == 3) << "index " << i;
+  }
+  for (const FailedRecord& failure : sink.failures()) {
+    EXPECT_EQ(failure.engine, CampaignEngine::kFull);
+    EXPECT_GE(failure.attempts, 2);
+    EXPECT_FALSE(failure.error.empty());
+  }
+
+  // The same exhaustion under kAbort rethrows the final error instead.
+  NullSink null;
+  options.resilience.on_failure = OnFailure::kAbort;
+  EXPECT_THROW(CampaignExecutor::Shared().Run(plan, null, options),
+               std::runtime_error);
+}
+
+TEST_F(ResilienceTest, PermanentErrorsQuarantineWithoutRetrying) {
+  SweepSpec spec = BaseSpec();
+  spec.bits = {200};  // out of range for every signal width
+  const CampaignPlan plan = BuildCampaignPlan(spec);
+
+  RecordingSink sink;
+  RunOptions options;
+  options.resilience = FastRetries();
+  options.resilience.on_failure = OnFailure::kQuarantine;
+  const SweepOutcome outcome =
+      CampaignExecutor::Shared().Run(plan, sink, options);
+
+  EXPECT_EQ(outcome.quarantined, plan.total_experiments());
+  EXPECT_EQ(outcome.records, 0);
+  EXPECT_EQ(outcome.retries, 0);  // std::invalid_argument is permanent
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(static_cast<std::int64_t>(sink.failures().size()),
+            plan.total_experiments());
+}
+
+TEST_F(ResilienceTest, BatchEngineFallsBackToDifferential) {
+  SweepSpec spec = BaseSpec();
+  spec.engine = CampaignEngine::kBatch;
+  spec.max_sites = 16;
+  const CampaignPlan plan = BuildCampaignPlan(spec);
+
+  CollectorSink baseline;
+  CampaignExecutor::Shared().Run(plan, baseline);
+
+  chaos::ChaosSpec chaos_spec;
+  chaos_spec.batch_fail_every = 1;  // every batch attempt in campaign 0
+  chaos::Install(chaos_spec);
+
+  CollectorSink collector;
+  RunOptions options;
+  options.resilience = FastRetries();
+  const SweepOutcome outcome =
+      CampaignExecutor::Shared().Run(plan, collector, options);
+
+  // The ladder made the failure invisible: differential reproduced every
+  // batch record bit-identically.
+  EXPECT_GE(outcome.fallbacks, 1);
+  EXPECT_EQ(outcome.quarantined, 0);
+  EXPECT_EQ(outcome.records, plan.total_experiments());
+  EXPECT_TRUE(outcome.ok());
+  ExpectIdentical(baseline.results().at(0), collector.results().at(0));
+}
+
+TEST_F(ResilienceTest, SelfCheckCrossValidatesBatchRecords) {
+  SweepSpec spec = BaseSpec();
+  spec.engine = CampaignEngine::kBatch;
+  spec.max_sites = 12;
+  const CampaignPlan plan = BuildCampaignPlan(spec);
+
+  CollectorSink baseline;
+  CampaignExecutor::Shared().Run(plan, baseline);
+
+  CollectorSink collector;
+  RunOptions options;
+  options.resilience = FastRetries();
+  options.resilience.selfcheck_rate = 1.0;
+  const SweepOutcome outcome =
+      CampaignExecutor::Shared().Run(plan, collector, options);
+
+  EXPECT_EQ(outcome.selfchecks, plan.total_experiments());
+  EXPECT_EQ(outcome.selfcheck_mismatches, 0);
+  EXPECT_EQ(outcome.fallbacks, 0);
+  EXPECT_TRUE(outcome.ok());
+  ExpectIdentical(baseline.results().at(0), collector.results().at(0));
+}
+
+TEST_F(ResilienceTest, TimeoutsCountAndRetrySucceeds) {
+  SweepSpec spec = BaseSpec();
+  spec.max_sites = 8;
+  const CampaignPlan plan = BuildCampaignPlan(spec);
+
+  chaos::ChaosSpec chaos_spec;
+  chaos_spec.stall_every = 4;  // indices 0 and 4 stall their first attempt
+  chaos_spec.stall_ms = 40;
+  chaos::Install(chaos_spec);
+
+  CollectorSink collector;
+  RunOptions options;
+  options.max_parallelism = 1;
+  options.resilience = FastRetries();
+  options.resilience.experiment_timeout_ms = 5;
+  const SweepOutcome outcome =
+      CampaignExecutor::Shared().Run(plan, collector, options);
+
+  EXPECT_EQ(outcome.timeouts, 2);
+  EXPECT_EQ(outcome.retries, 2);
+  EXPECT_EQ(outcome.quarantined, 0);
+  EXPECT_EQ(outcome.records, plan.total_experiments());
+  EXPECT_TRUE(outcome.ok());
+}
+
+TEST_F(ResilienceTest, RejectsInvalidResilienceOptions) {
+  const CampaignPlan plan = BuildCampaignPlan(BaseSpec());
+  NullSink sink;
+  RunOptions options;
+  options.resilience.max_retries = -1;
+  EXPECT_THROW(CampaignExecutor::Shared().Run(plan, sink, options),
+               std::invalid_argument);
+  options = {};
+  options.resilience.selfcheck_rate = 1.5;
+  EXPECT_THROW(CampaignExecutor::Shared().Run(plan, sink, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saffire

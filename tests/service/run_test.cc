@@ -3,6 +3,9 @@
 // (RunCampaignParallel, direct CampaignExecutor::Run) for every engine, and
 // the RunOptions knobs (executor override, validation) behave as
 // documented.
+// This file deliberately exercises the deprecated RunCampaign*
+// wrappers (their contract is what is being tested/provided).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include "service/run.h"
 
 #include <gtest/gtest.h>
