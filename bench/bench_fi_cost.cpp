@@ -204,6 +204,87 @@ void BM_CampaignBatch(benchmark::State& state) {
       iterations);
 }
 
+// SIMD-kernel isolation: the lane-parallel batch replay alone (no
+// classification, no campaign plumbing) on a 64-fault batch, so the scalar
+// and AVX2 datapaths can be compared directly. range(0) selects the
+// dataflow, range(1) the dispatched backend (0 = scalar, 1 = avx2; the
+// avx2 rows are skipped on CPUs without it), and range(2) the fault cone:
+// 0 = stuck-at adder faults (width-1 cones, the narrow int32 lane path),
+// 1 = act-forward faults (wide cones, always on the generic path — the
+// SIMD-invariant control).
+void BM_BatchLaneKernel(benchmark::State& state) {
+  const Dataflow dataflow = DataflowByIndex(static_cast<int>(state.range(0)));
+  const SimdMode mode =
+      state.range(1) != 0 ? SimdMode::kAvx2 : SimdMode::kScalar;
+  if (mode == SimdMode::kAvx2 && !CpuSupportsAvx2()) {
+    state.SkipWithError("CPU lacks AVX2");
+    return;
+  }
+  const bool wide = state.range(2) != 0;
+  SetSimdMode(mode);
+
+  const WorkloadSpec workload = Gemm16x16();
+  const AccelConfig config = PaperAccel();
+  FiRunner runner(config);
+  GoldenTrace trace;
+  const RunResult golden =
+      runner.RunGoldenRecorded(workload, dataflow, &trace);
+  std::vector<FaultSpec> faults;
+  for (std::int32_t r = 0; r < 16; ++r) {
+    for (std::int32_t c = 0; c < 4; ++c) {
+      FaultSpec fault = StuckAtAdder(PeCoord{r, c}, 8, StuckPolarity::kStuckAt1);
+      if (wide) {
+        fault.signal = MacSignal::kActForward;
+        fault.bit = 3;
+      }
+      faults.push_back(fault);
+    }
+  }
+
+  std::uint64_t pe_steps = 0;
+  for (auto _ : state) {
+    const std::vector<RunResult> results =
+        runner.RunFaultyBatch(workload, dataflow, faults, trace, golden);
+    benchmark::DoNotOptimize(results.data());
+    for (const RunResult& result : results) pe_steps += result.pe_steps;
+  }
+  SetSimdMode(SimdMode::kAuto);
+  state.SetLabel(ToString(dataflow) + "/" + ToString(mode) +
+                 (wide ? "/wide-cone" : "/narrow-cone"));
+  state.counters["lanes_per_batch"] =
+      benchmark::Counter(static_cast<double>(faults.size()));
+  state.counters["pe_steps_per_batch"] = benchmark::Counter(
+      static_cast<double>(pe_steps) /
+      static_cast<double>(state.iterations()));
+}
+
+// The closed-form predicted engine on the same 64-fault batch: what the
+// campaign layer's kPredicted rung pays when the predictor is exact.
+void BM_PredictedKernel(benchmark::State& state) {
+  const Dataflow dataflow = DataflowByIndex(static_cast<int>(state.range(0)));
+  const WorkloadSpec workload = Gemm16x16();
+  const AccelConfig config = PaperAccel();
+  FiRunner runner(config);
+  GoldenTrace trace;
+  const RunResult golden =
+      runner.RunGoldenRecorded(workload, dataflow, &trace);
+  std::vector<FaultSpec> faults;
+  for (std::int32_t r = 0; r < 16; ++r) {
+    for (std::int32_t c = 0; c < 4; ++c) {
+      faults.push_back(
+          StuckAtAdder(PeCoord{r, c}, 8, StuckPolarity::kStuckAt1));
+    }
+  }
+  for (auto _ : state) {
+    const std::vector<RunResult> results =
+        runner.RunFaultyPredicted(workload, dataflow, faults, trace, golden);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetLabel(ToString(dataflow) + "/closed-form");
+  state.counters["lanes_per_batch"] =
+      benchmark::Counter(static_cast<double>(faults.size()));
+}
+
 // Same, with a fault hook installed on one PE (the campaign configuration).
 void BM_ArrayStepWithHook(benchmark::State& state) {
   ArrayConfig config;
@@ -253,6 +334,18 @@ BENCHMARK(BM_ArrayStepThroughput)
     ->Args({0, 1})
     ->Args({1, 0})
     ->Args({1, 1});
+BENCHMARK(BM_BatchLaneKernel)
+    ->Args({0, 0, 0})
+    ->Args({0, 1, 0})
+    ->Args({1, 0, 0})
+    ->Args({1, 1, 0})
+    ->Args({0, 0, 1})
+    ->Args({0, 1, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PredictedKernel)
+    ->Args({0})
+    ->Args({1})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ArrayStepWithHook);
 BENCHMARK(BM_CampaignBatch)->Unit(benchmark::kMillisecond);
 

@@ -80,6 +80,44 @@ int main() {
              widths);
   }
 
+  // The predicted rung's coverage: which share of a full-signal stuck-at
+  // sweep the closed form serves (saffire.predict.hits) vs routes to the
+  // batch residue (saffire.predict.residue), per dataflow. The rates are
+  // structural — they depend only on the signal mix, so they hold for the
+  // paper-scale campaigns too.
+  std::cout << "\n=== Predicted-engine coverage: GEMM 16x16, stuck-at, "
+               "all signals ===\n\n";
+  const std::vector<std::size_t> cover_widths = {3, 12, 12, 10};
+  PrintRow({"DF", "closed-form", "residue", "hit rate"}, cover_widths);
+  PrintRule(cover_widths);
+  obs::Counter& hits =
+      obs::MetricsRegistry::Default().GetCounter("saffire.predict.hits");
+  obs::Counter& residue =
+      obs::MetricsRegistry::Default().GetCounter("saffire.predict.residue");
+  for (const Dataflow dataflow :
+       {Dataflow::kWeightStationary, Dataflow::kOutputStationary}) {
+    const std::int64_t hits_before = hits.value();
+    const std::int64_t residue_before = residue.value();
+    SweepSpec spec;
+    spec.accel = PaperAccel();
+    spec.workloads = {Gemm16x16()};
+    spec.dataflows = {dataflow};
+    spec.signals = {MacSignal::kWeightOperand, MacSignal::kMulOut,
+                    MacSignal::kAdderOut, MacSignal::kActForward,
+                    MacSignal::kSouthForward};
+    spec.bits = {4};  // in-width for every signal (weight_operand is 8-bit)
+    spec.max_sites = 16;
+    spec.engine = CampaignEngine::kPredicted;
+    bench::RunSweep(spec);
+    const std::int64_t closed_form = hits.value() - hits_before;
+    const std::int64_t routed = residue.value() - residue_before;
+    PrintRow({ToString(dataflow), std::to_string(closed_form),
+              std::to_string(routed),
+              Percent(static_cast<double>(closed_form) /
+                      static_cast<double>(closed_form + routed))},
+             cover_widths);
+  }
+
   std::cout << "\n"
             << (all_exact
                     ? "Every prediction matched the simulation exactly — the "

@@ -11,14 +11,16 @@
 //
 // The matrix runs as one CampaignPlan batch through the shared executor.
 // The trailing engine-comparison section re-runs the 16×16 WS GEMM campaign
-// under all four execution engines (reference / full / differential /
-// batch) and checks their results are bit-identical, recording the PE-step
-// saving and the batch engine's speedup over differential; those run as
-// separate plans so each engine gets its own wall clock.
+// under all five execution engines (reference / full / differential /
+// batch / predicted) and checks their results are bit-identical, recording
+// the PE-step saving and the batch and predicted engines' speedups over
+// differential; those run as separate plans so each engine gets its own
+// wall clock.
 //
 // Flags (bench_util.h ParseBenchArgs):
 //   --engine NAME             run the matrix under this engine (default
 //                             differential) and skip the engine comparison
+//   --simd {auto|avx2|scalar} SIMD backend for the batch datapath (auto)
 //   --records-csv PATH        stream every matrix record to a CSV — CI
 //                             diffs this file across engines
 //   --benchmark_out PATH      google-benchmark-compatible JSON timings
@@ -173,9 +175,11 @@ int main(int argc, char** argv) {
     CampaignResult baseline;
     double differential_seconds = 0;
     double batch_seconds = 0;
+    double predicted_seconds = 0;
     for (const CampaignEngine engine :
          {CampaignEngine::kReference, CampaignEngine::kFull,
-          CampaignEngine::kDifferential, CampaignEngine::kBatch}) {
+          CampaignEngine::kDifferential, CampaignEngine::kBatch,
+          CampaignEngine::kPredicted}) {
       CampaignConfig config;
       config.accel = PaperAccel();
       config.workload = Gemm16x16();
@@ -200,6 +204,7 @@ int main(int argc, char** argv) {
         differential_seconds = seconds;
       }
       if (engine == CampaignEngine::kBatch) batch_seconds = seconds;
+      if (engine == CampaignEngine::kPredicted) predicted_seconds = seconds;
 
       bool identical = true;
       if (engine == CampaignEngine::kReference) {
@@ -237,6 +242,11 @@ int main(int argc, char** argv) {
     if (batch_seconds > 0) {
       std::cout << "\nbatch speedup over differential: "
                 << FormatDouble(differential_seconds / batch_seconds, 2)
+                << "x\n";
+    }
+    if (predicted_seconds > 0) {
+      std::cout << "predicted speedup over differential: "
+                << FormatDouble(differential_seconds / predicted_seconds, 2)
                 << "x\n";
     }
   }

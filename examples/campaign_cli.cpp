@@ -23,8 +23,11 @@
 //   --seed N         sampling seed         (1)
 //   --rows N --cols N  array dimensions    (16x16)
 // Execution:
-//   --engine {differential|full|reference|batch}  execution engine
-//                    (differential); also accepted in --spec JSON
+//   --engine {differential|full|reference|batch|predicted}  execution
+//                    engine (differential); also accepted in --spec JSON
+//   --simd {auto|avx2|scalar}  SIMD backend for the batch datapath (auto);
+//                    the SAFFIRE_SIMD environment variable takes the same
+//                    values and applies when the flag is absent
 //   --threads N      parallel workers      (all hardware threads)
 //   --shards N       split each campaign into N site ranges (1)
 //   --shard K        run only shard K of every campaign (for process splits)
@@ -84,6 +87,7 @@
 #include "service/run.h"
 #include "service/signal.h"
 #include "service/sink.h"
+#include "systolic/simd_ops.h"
 
 namespace {
 
@@ -105,7 +109,7 @@ const std::set<std::string>& ValueFlags() {
       "kind",     "fill",     "sites",     "seed",      "rows",
       "cols",     "engine",   "threads",   "shards",    "shard",
       "resume",   "spec",     "csv",       "jsonl",     "trace-out",
-      "metrics-out", "metrics-format",
+      "metrics-out", "metrics-format", "simd",
       "max-retries", "experiment-timeout-ms", "selfcheck-rate",
       "on-failure"};
   return kFlags;
@@ -214,6 +218,15 @@ int main(int argc, char** argv) {
     // Chaos-under-test wiring (CI drives the real binary through injected
     // failures): SAFFIRE_CHAOS installs the schedule before anything runs.
     chaos::InstallFromEnv();
+
+    // SIMD backend selection, resolved before any kernel runs. The flag
+    // wins; otherwise force the lazy SAFFIRE_SIMD read now so a bad value
+    // fails here instead of mid-sweep.
+    if (flags.count("simd") != 0) {
+      ConfigureSimdFromString(flags.at("simd"), "--simd");
+    } else {
+      RequestedSimdMode();
+    }
 
     SweepSpec spec;
     if (flags.count("spec") != 0) {

@@ -1,0 +1,377 @@
+// FiRunner::RunFaultyPredicted: the algebraic short circuit under the
+// campaign layer's kPredicted rung — per-fault results bit-identical to
+// RunFaultyBatch, computed in closed form instead of stepping the array.
+//
+// Why this is exact (the FLARE observation, PAPERS.md): a permanent
+// stuck-at on one of the PE-local signals (weight operand, multiplier
+// output, adder output) perturbs the datapath only at its own MAC stage,
+// and every value between that stage and a tile output flows through
+// nothing but width-wrapped additions. A wrapped addition propagates an
+// additive delta unchanged modulo 2^acc_bits, so the faulty tile output is
+// the golden output plus a delta that depends only on the fault, the
+// operands, and the schedule — no cycle-accurate stepping required.
+//
+// Weight-stationary (including IS, which the driver lowers onto the WS
+// datapath with transposed operands): output wave i of fault column c is
+// the partial-sum chain g_r(i) = wrap(g_{r−1}(i) + m_r(i)) down the column,
+// with m_r(i) the product-wrapped a(i,r)·w(r,c). A fault at row R turns the
+// collected value g_{rows−1}(i) into wrap(g_{rows−1}(i) + d(i)) with
+//   d(i) = force(g_R(i)) − g_R(i)        (adder output),
+//   d(i) = force(m_R(i)) − m_R(i)        (multiplier output),
+//   d(i) = wrap_p(a·force(w)) − m_R(i)   (weight operand).
+// The golden chain is computed once per (tile, column) and shared by every
+// fault in that column. Activations count every step the masked value
+// differs from the clean one: each row sees exactly its tile's me data
+// waves plus (steps − me) idle steps whose chain and product values are 0.
+//
+// Output-stationary: the fault corrupts only the in-place accumulator of
+// PE (R, c), whose per-step inputs are known analytically (the west value
+// a(R, kk) and the north weight b(kk, c) meet at step t = kk + R + c), so
+// one O(steps) scalar recurrence per (fault, tile) reproduces the drained
+// value and the per-step activation count exactly — including the idle
+// steps, where a stuck adder keeps re-forcing the accumulator.
+//
+// Per-(mi, ni) outputs accumulate across reduction tiles with the same
+// uint32 wrap-add as AccumulatorMem::WriteBlock, mirroring fi/batch.cc.
+#include <algorithm>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "fi/cone.h"
+#include "fi/runner.h"
+#include "obs/trace.h"
+#include "systolic/timing.h"
+#include "tensor/tiling.h"
+#include "tensor/transpose.h"
+
+namespace saffire {
+namespace {
+
+// SignExtend without the width checks (see lane_grid.cc): `shift` is
+// 64 − width for a validated ArrayConfig width.
+inline std::int64_t SxWide(std::int64_t value, int shift) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(value)
+                                   << shift) >>
+         shift;
+}
+
+Dataflow LoweredDataflow(Dataflow dataflow) {
+  return dataflow == Dataflow::kOutputStationary
+             ? Dataflow::kOutputStationary
+             : Dataflow::kWeightStationary;
+}
+
+// One fault's stuck-at masking, pre-lowered exactly like the lane kernel's
+// LaneFaultParams: force(v) = SxWide((v & and) | or, 64 − signal width).
+struct ForceSpec {
+  std::int64_t and_mask = -1;
+  std::int64_t or_mask = 0;
+  int sx_shift = 0;
+
+  std::int64_t operator()(std::int64_t v) const {
+    return SxWide((v & and_mask) | or_mask, sx_shift);
+  }
+};
+
+// Folds one tile's faulty collected value (golden chain output + delta,
+// re-wrapped at acc width) into the per-(mi, ni) accumulation cell with the
+// same uint32 wrap-add as AccumulatorMem::WriteBlock / fi/batch.cc.
+inline std::int32_t Accumulate(std::int32_t cell, std::int64_t faulty_wide,
+                               std::int64_t ki, int sx_acc) {
+  const auto value = static_cast<std::int32_t>(SxWide(faulty_wide, sx_acc));
+  return ki > 0 ? static_cast<std::int32_t>(static_cast<std::uint32_t>(cell) +
+                                            static_cast<std::uint32_t>(value))
+                : value;
+}
+
+}  // namespace
+
+std::vector<RunResult> FiRunner::RunFaultyPredicted(
+    const WorkloadSpec& workload, Dataflow dataflow,
+    std::span<const FaultSpec> faults, const GoldenTrace& trace,
+    const RunResult& golden) {
+  SAFFIRE_CHECK_MSG(!faults.empty(), "at least one fault required");
+  const AccelConfig& config = accel_.config();
+  const ArrayConfig& array = config.array;
+  SAFFIRE_CHECK_MSG(trace.rows() == array.rows && trace.cols() == array.cols,
+                    "trace recorded on " << trace.rows() << "x"
+                                         << trace.cols());
+
+  const Dataflow lowered = LoweredDataflow(dataflow);
+  const bool ws = lowered == Dataflow::kWeightStationary;
+  const bool transposed = dataflow == Dataflow::kInputStationary;
+
+  const MaterializedWorkload operands = Materialize(workload);
+  const Int8Tensor a = transposed ? Transpose(operands.b) : operands.a;
+  const Int8Tensor b = transposed ? Transpose(operands.a) : operands.b;
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  const std::int64_t n = b.dim(1);
+  const TileGrid grid = Driver::PlanTiles(m, n, k, config, lowered);
+  SAFFIRE_CHECK_MSG(
+      trace.checkpoints() == grid.total_tiles() + 1,
+      "trace has " << trace.checkpoints() << " checkpoints for "
+                   << grid.total_tiles()
+                   << " tiles — workload/dataflow mismatch");
+  SAFFIRE_CHECK_MSG(golden.output.rank() == 2 &&
+                        golden.output.dim(0) == (transposed ? n : m) &&
+                        golden.output.dim(1) == (transposed ? m : n),
+                    "golden output " << golden.output.ShapeString());
+
+  // Lower each fault, rejecting anything outside the provably-exact set.
+  std::vector<ForceSpec> forces(faults.size());
+  std::vector<std::uint64_t> activations(faults.size(), 0);
+  for (std::size_t l = 0; l < faults.size(); ++l) {
+    const FaultSpec& fault = faults[l];
+    fault.Validate(array);
+    SAFFIRE_CHECK_MSG(fault.kind == FaultKind::kStuckAt,
+                      "predicted engine covers permanent stuck-at faults "
+                      "only; transient faults are batch residue");
+    SAFFIRE_CHECK_MSG(fault.signal == MacSignal::kWeightOperand ||
+                          fault.signal == MacSignal::kMulOut ||
+                          fault.signal == MacSignal::kAdderOut,
+                      "predicted engine covers PE-local signals only, got "
+                          << ToString(fault.signal));
+    const ColumnCone cone =
+        FaultCone(std::span<const FaultSpec>(&fault, 1), lowered, array);
+    SAFFIRE_CHECK_MSG(cone.width() == 1 && cone.lo == fault.pe.col,
+                      "PE-local fault must cone to its own column");
+    const std::int64_t bit = std::int64_t{1} << fault.bit;
+    if (fault.polarity == StuckPolarity::kStuckAt0) {
+      forces[l].and_mask = ~bit;
+    } else {
+      forces[l].or_mask = bit;
+    }
+    forces[l].sx_shift = 64 - SignalWidth(fault.signal, array);
+  }
+
+  std::vector<RunResult> results(faults.size());
+  for (RunResult& result : results) {
+    result.output = golden.output;
+    result.cycles = golden.cycles;
+  }
+
+  SAFFIRE_SPAN("fi.predict.closed_form");
+  const int input_bits = array.input_bits;
+  const int sx_prod = 64 - array.product_bits();
+  const int sx_acc = 64 - array.acc_bits;
+  const auto rows = static_cast<std::int64_t>(array.rows);
+
+  std::int64_t step0 = 0;
+  std::int64_t tile_index = 0;
+  // Per-(mi, ni) accumulation across ki: WS tracks the fault column's me
+  // values per fault, OS the single owned cell.
+  std::vector<std::int32_t> acc_ws;
+  std::vector<std::int32_t> acc_os;
+  // Per-tile golden partial-sum chains, one per fault column, shared by
+  // every fault in that column (g[r * me + i]); rebuilt lazily per tile.
+  std::vector<std::vector<std::int64_t>> col_chain(
+      static_cast<std::size_t>(array.cols));
+
+  for (std::int64_t mi = 0; mi < grid.m_tiles(); ++mi) {
+    const std::int64_t m0 = grid.RowStart(mi);
+    const std::int64_t me = grid.TileRows(mi);
+    for (std::int64_t ni = 0; ni < grid.n_tiles(); ++ni) {
+      const std::int64_t n0 = grid.ColStart(ni);
+      const std::int64_t ne = grid.TileCols(ni);
+      acc_ws.assign(ws ? faults.size() * static_cast<std::size_t>(me) : 0, 0);
+      acc_os.assign(ws ? 0 : faults.size(), 0);
+      for (std::int64_t ki = 0; ki < grid.k_tiles(); ++ki) {
+        const std::int64_t k0 = grid.DepthStart(ki);
+        const std::int64_t ke = grid.TileDepth(ki);
+        SAFFIRE_CHECK_MSG(trace.StepsAtCheckpoint(tile_index) == step0,
+                          "tile " << tile_index << " starts at step "
+                                  << trace.StepsAtCheckpoint(tile_index)
+                                  << ", replay expected " << step0);
+        const std::int64_t steps =
+            ws ? WeightStationaryStreamCycles(me, array)
+               : OutputStationaryStreamCycles(ke, array);
+        SAFFIRE_CHECK_MSG(step0 + steps <= trace.steps(),
+                          "replay overruns the recorded run");
+        const Int8Tensor a_blk = ExtractTilePadded(a, m0, k0, me, ke, me, ke);
+        const Int8Tensor b_blk = ExtractTilePadded(b, k0, n0, ke, ne, ke, ne);
+
+        if (ws) {
+          for (auto& chain : col_chain) chain.clear();
+          for (std::size_t l = 0; l < faults.size(); ++l) {
+            const FaultSpec& fault = faults[l];
+            const ForceSpec& force = forces[l];
+            const std::int64_t c = fault.pe.col;
+            const std::int64_t rf = fault.pe.row;
+            // Preloaded weight of the fault PE (0 outside the ke×ne block,
+            // exactly like the scheduler's cleared preload).
+            const std::int64_t w_val =
+                (rf < ke && c < ne)
+                    ? SignExtend(b_blk(rf, c), input_bits)
+                    : 0;
+            // The golden chain for this fault column, shared per tile.
+            std::vector<std::int64_t>& chain =
+                col_chain[static_cast<std::size_t>(c)];
+            if (chain.empty()) {
+              chain.assign(static_cast<std::size_t>(rows * me), 0);
+              for (std::int64_t i = 0; i < me; ++i) {
+                std::int64_t g = 0;
+                for (std::int64_t r = 0; r < rows; ++r) {
+                  if (r < ke) {
+                    const std::int64_t w_rc =
+                        (c < ne) ? SignExtend(b_blk(r, c), input_bits) : 0;
+                    const std::int64_t mul = SxWide(
+                        SignExtend(a_blk(i, r), input_bits) * w_rc, sx_prod);
+                    g = SxWide(g + mul, sx_acc);
+                  }
+                  chain[static_cast<std::size_t>(r * me + i)] = g;
+                }
+              }
+            }
+            const std::int64_t* g_fault =
+                chain.data() + static_cast<std::size_t>(rf * me);
+            const std::int64_t* g_out =
+                chain.data() + static_cast<std::size_t>((rows - 1) * me);
+
+            std::int32_t* cell = acc_ws.data() + l * static_cast<std::size_t>(me);
+            std::uint64_t activ = 0;
+            switch (fault.signal) {
+              case MacSignal::kWeightOperand: {
+                const std::int64_t w_forced = force(w_val);
+                // The weight operand is consumed every step, data or idle.
+                activ += static_cast<std::uint64_t>(steps) *
+                         static_cast<std::uint64_t>(w_forced != w_val);
+                for (std::int64_t i = 0; i < me; ++i) {
+                  const std::int64_t a_in =
+                      rf < ke ? SignExtend(a_blk(i, rf), input_bits) : 0;
+                  const std::int64_t d =
+                      SxWide(a_in * w_forced, sx_prod) -
+                      SxWide(a_in * w_val, sx_prod);
+                  cell[i] = Accumulate(cell[i], g_out[i] + d, ki, sx_acc);
+                }
+                break;
+              }
+              case MacSignal::kMulOut: {
+                const std::int64_t idle_forced = force(0);
+                activ += static_cast<std::uint64_t>(steps - me) *
+                         static_cast<std::uint64_t>(idle_forced != 0);
+                for (std::int64_t i = 0; i < me; ++i) {
+                  const std::int64_t a_in =
+                      rf < ke ? SignExtend(a_blk(i, rf), input_bits) : 0;
+                  const std::int64_t mul = SxWide(a_in * w_val, sx_prod);
+                  const std::int64_t forced = force(mul);
+                  activ += static_cast<std::uint64_t>(forced != mul);
+                  cell[i] =
+                      Accumulate(cell[i], g_out[i] + (forced - mul), ki,
+                                 sx_acc);
+                }
+                break;
+              }
+              default: {  // kAdderOut (the constructor rejected the rest)
+                const std::int64_t idle_forced = force(0);
+                activ += static_cast<std::uint64_t>(steps - me) *
+                         static_cast<std::uint64_t>(idle_forced != 0);
+                for (std::int64_t i = 0; i < me; ++i) {
+                  const std::int64_t g = g_fault[i];
+                  const std::int64_t forced = force(g);
+                  activ += static_cast<std::uint64_t>(forced != g);
+                  cell[i] =
+                      Accumulate(cell[i], g_out[i] + (forced - g), ki,
+                                 sx_acc);
+                }
+                break;
+              }
+            }
+            activations[l] += activ;
+          }
+        } else {
+          for (std::size_t l = 0; l < faults.size(); ++l) {
+            const FaultSpec& fault = faults[l];
+            const ForceSpec& force = forces[l];
+            const std::int64_t c = fault.pe.col;
+            const std::int64_t rf = fault.pe.row;
+            const bool in_col = c < ne;
+            std::uint64_t activ = 0;
+            std::int64_t acc = 0;
+            for (std::int64_t t = 0; t < steps; ++t) {
+              const std::int64_t kk = t - rf - c;
+              const bool valid = kk >= 0 && kk < ke;
+              const std::int64_t a_in =
+                  (rf < me && valid)
+                      ? SignExtend(a_blk(rf, kk), input_bits)
+                      : 0;
+              std::int64_t wop =
+                  (in_col && valid) ? SignExtend(b_blk(kk, c), input_bits)
+                                    : 0;
+              if (fault.signal == MacSignal::kWeightOperand) {
+                const std::int64_t forced = force(wop);
+                activ += static_cast<std::uint64_t>(forced != wop);
+                wop = forced;
+              }
+              std::int64_t mul = SxWide(a_in * wop, sx_prod);
+              if (fault.signal == MacSignal::kMulOut) {
+                const std::int64_t forced = force(mul);
+                activ += static_cast<std::uint64_t>(forced != mul);
+                mul = forced;
+              }
+              std::int64_t adder = SxWide(acc + mul, sx_acc);
+              if (fault.signal == MacSignal::kAdderOut) {
+                const std::int64_t forced = force(adder);
+                activ += static_cast<std::uint64_t>(forced != adder);
+                adder = forced;
+              }
+              acc = adder;
+            }
+            activations[l] += activ;
+            if (rf < me && in_col) {
+              std::int32_t& cell = acc_os[l];
+              const auto value = static_cast<std::int32_t>(acc);
+              cell = ki > 0 ? static_cast<std::int32_t>(
+                                  static_cast<std::uint32_t>(cell) +
+                                  static_cast<std::uint32_t>(value))
+                            : value;
+            }
+          }
+        }
+
+        step0 += steps;
+        ++tile_index;
+      }
+
+      // Write the accumulated faulty values back, as fi/batch.cc does.
+      for (std::size_t l = 0; l < faults.size(); ++l) {
+        const std::int64_t c = faults[l].pe.col;
+        const std::int64_t rf = faults[l].pe.row;
+        if (c >= ne) continue;
+        if (ws) {
+          for (std::int64_t i = 0; i < me; ++i) {
+            const std::int32_t value =
+                acc_ws[l * static_cast<std::size_t>(me) +
+                       static_cast<std::size_t>(i)];
+            if (transposed) {
+              results[l].output(n0 + c, m0 + i) = value;
+            } else {
+              results[l].output(m0 + i, n0 + c) = value;
+            }
+          }
+        } else if (rf < me) {
+          results[l].output(m0 + rf, n0 + c) = acc_os[l];
+        }
+      }
+    }
+  }
+  SAFFIRE_CHECK_MSG(step0 == trace.steps() &&
+                        trace.StepsAtCheckpoint(grid.total_tiles()) == step0,
+                    "closed form covered " << step0 << " of "
+                                           << trace.steps()
+                                           << " recorded steps");
+
+  // The batch engine's counter split, reproduced exactly (cone width 1).
+  const auto num_pes = static_cast<std::uint64_t>(array.num_pes());
+  const auto total_steps = static_cast<std::uint64_t>(trace.steps());
+  const auto active = static_cast<std::uint64_t>(array.rows);
+  for (std::size_t l = 0; l < results.size(); ++l) {
+    results[l].pe_steps = total_steps * active;
+    results[l].pe_steps_skipped = total_steps * (num_pes - active);
+    results[l].fault_activations = activations[l];
+  }
+  return results;
+}
+
+}  // namespace saffire

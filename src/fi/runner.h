@@ -82,6 +82,25 @@ class FiRunner {
                                         const GoldenTrace& trace,
                                         const RunResult& golden);
 
+  // Closed-form faulty execution: emits the same per-fault results as
+  // RunFaultyBatch without stepping the array at all, by propagating each
+  // fault's algebraic corruption delta through the tile schedule (the
+  // FLARE-style short circuit; see fi/predicted.cc for the derivation).
+  // Only provably-exact combinations are accepted: permanent stuck-at
+  // faults on the three PE-local signals (kWeightOperand / kMulOut /
+  // kAdderOut) — the signals whose effect never crosses a forwarding chain.
+  // Everything else must go through RunFaultyBatch (the campaign layer's
+  // kPredicted rung routes the residue there automatically).
+  //
+  // Bit-identical to RunFaultyBatch in every RunResult field, including the
+  // pe_steps / pe_steps_skipped split and fault_activations
+  // (tests/patterns/campaign_predicted_test.cc).
+  std::vector<RunResult> RunFaultyPredicted(const WorkloadSpec& workload,
+                                            Dataflow dataflow,
+                                            std::span<const FaultSpec> faults,
+                                            const GoldenTrace& trace,
+                                            const RunResult& golden);
+
   Accelerator& accel() { return accel_; }
   Driver& driver() { return driver_; }
 

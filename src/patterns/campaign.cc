@@ -8,6 +8,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace saffire {
@@ -16,7 +17,7 @@ namespace {
 // The one engine-name table: ToString and ParseCampaignEngine round-trip
 // through it exactly, indexed by the enum value.
 constexpr const char* kEngineNames[] = {"differential", "full", "reference",
-                                        "batch"};
+                                        "batch", "predicted"};
 
 }  // namespace
 
@@ -34,7 +35,7 @@ CampaignEngine ParseCampaignEngine(const std::string& name) {
   SAFFIRE_CHECK_MSG(false, "unknown campaign engine '"
                                << name
                                << "' (expected differential|full|reference|"
-                                  "batch)");
+                                  "batch|predicted)");
 }
 
 CampaignEngine CampaignEngineFromString(const std::string& name) {
@@ -110,6 +111,21 @@ bool PredictorCoversSignal(MacSignal signal) {
          signal == MacSignal::kWeightOperand;
 }
 
+obs::Counter& PredictHitsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.predict.hits",
+      "experiments served by the closed-form predicted engine");
+  return counter;
+}
+
+obs::Counter& PredictResidueCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.predict.residue",
+      "experiments requested as predicted but outside the closed form, "
+      "routed through the batch replay");
+  return counter;
+}
+
 // Applies the engine choice to the simulator about to execute a run.
 void ConfigureEngine(FiRunner& runner, CampaignEngine engine) {
   runner.accel().array().set_force_reference_step(engine ==
@@ -121,7 +137,6 @@ void ConfigureEngine(FiRunner& runner, CampaignEngine engine) {
 // the campaign's pre-sampled spec (relative strike offset for transients).
 ExperimentRecord BuildRecord(const PreparedCampaign& prepared,
                              const FaultSpec& fault, const RunResult& faulty) {
-  const CampaignConfig& config = prepared.config;
   const CorruptionMap map =
       ExtractCorruption(prepared.golden().output, faulty.output);
 
@@ -135,9 +150,8 @@ ExperimentRecord BuildRecord(const PreparedCampaign& prepared,
   record.pe_steps = faulty.pe_steps;
   record.pe_steps_skipped = faulty.pe_steps_skipped;
 
-  if (PredictorCoversSignal(config.signal)) {
-    const PredictedPattern prediction = PredictPattern(
-        config.workload, config.accel, config.dataflow, fault);
+  if (prepared.predictions != nullptr) {
+    const PredictedPattern& prediction = prepared.predictions->Lookup(fault);
     record.predicted = prediction.pattern;
     record.prediction_exact = map.corrupted == prediction.coords;
     record.observed_within_predicted =
@@ -154,12 +168,22 @@ ExperimentRecord BuildRecord(const PreparedCampaign& prepared,
 
 }  // namespace
 
+bool GroupedCampaignEngine(CampaignEngine engine) {
+  return engine == CampaignEngine::kBatch ||
+         engine == CampaignEngine::kPredicted;
+}
+
+bool PredictedEngineExact(const CampaignConfig& config) {
+  return config.kind == FaultKind::kStuckAt &&
+         PredictorCoversSignal(config.signal);
+}
+
 PreparedCampaign PrepareCampaign(const CampaignConfig& config,
                                  FiRunner* golden_runner) {
   SAFFIRE_SPAN("campaign.prepare");
   config.accel.Validate();
   config.workload.Validate();
-  if (config.engine == CampaignEngine::kBatch) {
+  if (GroupedCampaignEngine(config.engine)) {
     SAFFIRE_CHECK_MSG(config.batch_lanes >= 1 && config.batch_lanes <= 4096,
                       "batch_lanes=" << config.batch_lanes);
   }
@@ -190,6 +214,10 @@ PreparedCampaign PrepareCampaign(const CampaignConfig& config,
 
   prepared.context =
       MakeClassifyContext(config.workload, config.accel, config.dataflow);
+  if (PredictorCoversSignal(config.signal)) {
+    prepared.predictions = std::make_shared<PredictionCache>(
+        config.workload, config.accel, config.dataflow);
+  }
   prepared.sites = CampaignSites(config);
   prepared.faults = PlanFaults(config, prepared.sites,
                                prepared.golden().cycles);
@@ -209,9 +237,10 @@ ExperimentRecord RunPreparedExperimentWithEngine(
                      "experiment " << index << " of "
                                    << prepared.faults.size());
   const CampaignConfig& config = prepared.config;
-  if (engine == CampaignEngine::kBatch) {
-    // A one-lane batch — same code path, same record.
-    return RunPreparedBatch(prepared, runner, index, index + 1).front();
+  if (GroupedCampaignEngine(engine)) {
+    // A one-lane group — same code path, same record.
+    return RunPreparedBatch(prepared, runner, index, index + 1, engine)
+        .front();
   }
   SAFFIRE_SPAN("campaign.experiment");
   ConfigureEngine(runner, engine);
@@ -243,23 +272,44 @@ ExperimentRecord RunPreparedExperimentWithEngine(
 std::vector<ExperimentRecord> RunPreparedBatch(
     const PreparedCampaign& prepared, FiRunner& runner, std::size_t begin,
     std::size_t end) {
+  return RunPreparedBatch(prepared, runner, begin, end,
+                          prepared.config.engine);
+}
+
+std::vector<ExperimentRecord> RunPreparedBatch(
+    const PreparedCampaign& prepared, FiRunner& runner, std::size_t begin,
+    std::size_t end, CampaignEngine engine) {
   SAFFIRE_ASSERT_MSG(begin < end && end <= prepared.faults.size(),
                      "batch [" << begin << ", " << end << ") of "
                                << prepared.faults.size());
   const CampaignConfig& config = prepared.config;
-  SAFFIRE_CHECK_MSG(config.engine == CampaignEngine::kBatch,
-                    "RunPreparedBatch requires the batch engine, got "
+  SAFFIRE_CHECK_MSG(GroupedCampaignEngine(engine),
+                    "RunPreparedBatch requires a grouped engine, got "
+                        << ToString(engine));
+  SAFFIRE_CHECK_MSG(GroupedCampaignEngine(config.engine),
+                    "RunPreparedBatch requires a grouped campaign, got "
                         << ToString(config.engine));
   const GoldenTrace* trace = prepared.trace();
   SAFFIRE_CHECK_MSG(trace != nullptr,
-                    "batch engine requires a cached golden trace");
-  ConfigureEngine(runner, config.engine);
+                    "grouped engines require a cached golden trace");
+  ConfigureEngine(runner, engine);
   // The batch runner consumes the relative strike offsets directly (against
   // the trace's recorded per-step clocks), so no rebasing happens here.
+  // Same convention under the closed form, which never strikes at all.
   const std::span<const FaultSpec> faults(prepared.faults.data() + begin,
                                           end - begin);
-  const std::vector<RunResult> faulty = runner.RunFaultyBatch(
-      config.workload, config.dataflow, faults, *trace, prepared.golden());
+  const bool closed_form =
+      engine == CampaignEngine::kPredicted && PredictedEngineExact(config);
+  if (engine == CampaignEngine::kPredicted) {
+    (closed_form ? PredictHitsCounter() : PredictResidueCounter())
+        .Increment(static_cast<std::int64_t>(end - begin));
+  }
+  const std::vector<RunResult> faulty =
+      closed_form
+          ? runner.RunFaultyPredicted(config.workload, config.dataflow,
+                                      faults, *trace, prepared.golden())
+          : runner.RunFaultyBatch(config.workload, config.dataflow, faults,
+                                  *trace, prepared.golden());
   std::vector<ExperimentRecord> records;
   records.reserve(faulty.size());
   {
@@ -287,16 +337,22 @@ CampaignResult RunCampaignSerial(const CampaignConfig& config) {
 
   FiRunner runner(config.accel);
   result.records.reserve(prepared.faults.size());
-  if (config.engine == CampaignEngine::kBatch) {
+  if (GroupedCampaignEngine(config.engine)) {
     // Canonical batch boundaries: consecutive batch_lanes-sized groups of
-    // the site order, the final one possibly partial.
+    // the site order, the final one possibly partial. A closed-form
+    // predicted campaign never fills a lane, so its occupancy stats stay 0;
+    // the predicted residue replays through the lanes and counts normally.
+    const bool closed_form = config.engine == CampaignEngine::kPredicted &&
+                             PredictedEngineExact(config);
     const auto lanes = static_cast<std::size_t>(config.batch_lanes);
     for (std::size_t i = 0; i < prepared.faults.size(); i += lanes) {
       const std::size_t end = std::min(prepared.faults.size(), i + lanes);
       std::vector<ExperimentRecord> records =
           RunPreparedBatch(prepared, runner, i, end);
-      result.lanes_filled += static_cast<std::uint64_t>(records.size());
-      ++result.batches_run;
+      if (!closed_form) {
+        result.lanes_filled += static_cast<std::uint64_t>(records.size());
+        ++result.batches_run;
+      }
       std::move(records.begin(), records.end(),
                 std::back_inserter(result.records));
     }

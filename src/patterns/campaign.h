@@ -36,12 +36,20 @@ enum class CampaignEngine : std::uint8_t {
   // CampaignConfig::batch_lanes experiments per array pass, each lane
   // restricted to its fault cone, diffed against the cached golden trace.
   kBatch = 3,
+  // Algebraic short circuit (fi/predicted.cc): when the campaign's
+  // (kind, signal) combination is provably exact — permanent stuck-at
+  // faults on the PE-local kWeightOperand / kMulOut / kAdderOut signals,
+  // see PredictedEngineExact — records are emitted from the closed-form
+  // corruption delta without stepping the array at all. Everything else
+  // (transients, forwarding signals) is residue and silently runs through
+  // the kBatch replay, so the engine is safe to request unconditionally.
+  kPredicted = 4,
 };
 
 std::string ToString(CampaignEngine engine);
 
 // Parses the names produced by ToString ("differential"/"full"/"reference"/
-// "batch" — one shared table, exact round-trip); throws
+// "batch"/"predicted" — one shared table, exact round-trip); throws
 // std::invalid_argument on unknown names.
 CampaignEngine ParseCampaignEngine(const std::string& name);
 
@@ -72,14 +80,27 @@ struct CampaignConfig {
 
   CampaignEngine engine = CampaignEngine::kDifferential;
 
-  // Experiments packed per array pass under kBatch (ignored by the other
-  // engines). Affects cost only, never results: record streams are
-  // bit-identical for any lane count, including partial final batches.
-  // Excluded from the golden-cache key and the sweep JSON campaign key.
-  std::int64_t batch_lanes = 64;
+  // Experiments packed per array pass under kBatch and for the kPredicted
+  // residue (ignored by the other engines). Affects cost only, never
+  // results: record streams are bit-identical for any lane count, including
+  // partial final batches. Excluded from the golden-cache key and the sweep
+  // JSON campaign key.
+  std::int64_t batch_lanes = 256;
 
   std::string ToString() const;
 };
+
+// True for the grouped engines — kBatch and kPredicted — whose experiments
+// run through RunPreparedBatch in batch_lanes-sized groups (and which the
+// executor chunk-aligns accordingly).
+bool GroupedCampaignEngine(CampaignEngine engine);
+
+// True when CampaignEngine::kPredicted can serve `config` in closed form:
+// permanent stuck-at campaigns on the PE-local kWeightOperand / kMulOut /
+// kAdderOut signals. False means the whole campaign is residue (a campaign's
+// kind/signal are uniform across its experiments) and kPredicted runs it
+// through the kBatch replay instead.
+bool PredictedEngineExact(const CampaignConfig& config);
 
 struct ExperimentRecord {
   // The injected fault. For transient campaigns, at_cycle holds the strike
@@ -190,6 +211,11 @@ struct PreparedCampaign {
   RunResult reference_golden;
   bool golden_cache_hit = false;
   ClassifyContext context;
+  // Non-null when the campaign's signal is covered by the analytical
+  // predictor: the shared prediction memo (a covered fault's reach depends
+  // only on its PE coordinate, so the campaign's records share a handful of
+  // distinct patterns instead of re-deriving one per experiment).
+  std::shared_ptr<PredictionCache> predictions;
   std::vector<PeCoord> sites;
   // faults[i] is experiment i; for transient campaigns at_cycle holds the
   // strike offset relative to the faulty run's start (pre-sampled so any
@@ -200,11 +226,13 @@ struct PreparedCampaign {
     return cached != nullptr ? cached->result : reference_golden;
   }
   // Non-null iff the campaign runs on a trace-replaying engine
-  // (differential or batch).
+  // (differential, batch, or predicted — whose closed form is validated
+  // against the trace's checkpoint structure and whose residue replays it).
   const GoldenTrace* trace() const {
     return cached != nullptr &&
                    (config.engine == CampaignEngine::kDifferential ||
-                    config.engine == CampaignEngine::kBatch)
+                    config.engine == CampaignEngine::kBatch ||
+                    config.engine == CampaignEngine::kPredicted)
                ? &cached->trace
                : nullptr;
   }
@@ -227,23 +255,33 @@ ExperimentRecord RunPreparedExperiment(const PreparedCampaign& prepared,
 
 // Same, but on an explicit engine instead of prepared.config.engine — the
 // graceful-degradation path (service/resilience.h): a campaign demoted down
-// the batch→differential→full ladder re-runs experiments on the fallback
-// engine without re-preparing. `engine` must be reachable from the
+// the predicted→batch→differential→full ladder re-runs experiments on the
+// fallback engine without re-preparing. `engine` must be reachable from the
 // configured one: kDifferential needs the cached golden trace (absent under
-// kReference preparation), kBatch requires config.engine == kBatch. All
-// reachable engines produce bit-identical records.
+// kReference preparation), kBatch and kPredicted require config.engine to
+// be one of the two grouped engines. All reachable engines produce
+// bit-identical records.
 ExperimentRecord RunPreparedExperimentWithEngine(
     const PreparedCampaign& prepared, FiRunner& runner, std::size_t index,
     CampaignEngine engine);
 
-// Runs experiments [begin, end) of a prepared kBatch campaign as one
-// lane-parallel batch (FiRunner::RunFaultyBatch) and returns their records
-// in site order, bit-identical to running each index through
-// RunPreparedExperiment. The campaign's canonical batch boundaries are the
-// consecutive batch_lanes-sized groups of the site order; callers that want
+// Runs experiments [begin, end) of a prepared kBatch/kPredicted campaign as
+// one group — the closed form (FiRunner::RunFaultyPredicted) under
+// kPredicted when PredictedEngineExact holds, the lane-parallel replay
+// (FiRunner::RunFaultyBatch) otherwise — and returns their records in site
+// order, bit-identical to running each index through RunPreparedExperiment.
+// The campaign's canonical batch boundaries are the consecutive
+// batch_lanes-sized groups of the site order; callers that want
 // engine-invariant lanes_filled/batches_run stats must split on them.
 std::vector<ExperimentRecord> RunPreparedBatch(
     const PreparedCampaign& prepared, FiRunner& runner, std::size_t begin,
     std::size_t end);
+
+// Same, but on an explicit engine (kBatch or kPredicted) instead of
+// prepared.config.engine — the demotion path: a kPredicted campaign demoted
+// to kBatch re-runs its groups on the replay without re-preparing.
+std::vector<ExperimentRecord> RunPreparedBatch(
+    const PreparedCampaign& prepared, FiRunner& runner, std::size_t begin,
+    std::size_t end, CampaignEngine engine);
 
 }  // namespace saffire

@@ -1,6 +1,6 @@
 #include "patterns/classify.h"
 
-#include <set>
+#include <algorithm>
 
 #include "common/check.h"
 #include "tensor/shift_gemm.h"
@@ -63,72 +63,111 @@ std::int64_t ColumnToChannel(std::int64_t col,
 
 namespace {
 
+// Sorted vector -> number of distinct values, in place. Classification runs
+// once per experiment record, so these paths avoid node-based containers:
+// sort + adjacent-unique over small vectors is several times cheaper than
+// building a std::set per call.
+template <typename T>
+std::int64_t CountDistinct(std::vector<T>& values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return static_cast<std::int64_t>(values.size());
+}
+
+// Per-value run lengths of a sorted vector: (value, hits) pairs.
+struct Run {
+  std::int64_t value = 0;
+  std::int64_t hits = 0;
+};
+
+std::vector<Run> RunLengths(std::vector<std::int64_t>& values) {
+  std::sort(values.begin(), values.end());
+  std::vector<Run> runs;
+  for (std::size_t i = 0; i < values.size();) {
+    std::size_t j = i;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    runs.push_back(Run{values[i], static_cast<std::int64_t>(j - i)});
+    i = j;
+  }
+  return runs;
+}
+
 // GEMM-space classification shared by both operation types.
 PatternClass ClassifyGemm(const CorruptionMap& map,
                           const ClassifyContext& context) {
-  const auto tile_of = [&](const MatrixCoord& coord) {
-    return MatrixCoord{coord.row / context.tile_rows,
-                       coord.col / context.tile_cols};
-  };
-  const auto offset_of = [&](const MatrixCoord& coord) {
-    return MatrixCoord{coord.row % context.tile_rows,
-                       coord.col % context.tile_cols};
-  };
-
-  std::set<MatrixCoord> tiles;
-  std::set<MatrixCoord> offsets;
+  std::vector<MatrixCoord> tiles;
+  std::vector<MatrixCoord> offsets;
+  tiles.reserve(map.corrupted.size());
+  offsets.reserve(map.corrupted.size());
+  std::vector<std::int64_t> cols;
+  std::vector<std::int64_t> rows_hit;
+  cols.reserve(map.corrupted.size());
+  rows_hit.reserve(map.corrupted.size());
   for (const MatrixCoord& coord : map.corrupted) {
-    tiles.insert(tile_of(coord));
-    offsets.insert(offset_of(coord));
+    tiles.push_back(MatrixCoord{coord.row / context.tile_rows,
+                                coord.col / context.tile_cols});
+    offsets.push_back(MatrixCoord{coord.row % context.tile_rows,
+                                  coord.col % context.tile_cols});
+    cols.push_back(coord.col);
+    rows_hit.push_back(coord.row);
   }
+  const std::int64_t distinct_tiles = CountDistinct(tiles);
+  const std::int64_t distinct_offsets = CountDistinct(offsets);
 
   // Single element, possibly replicated once per tile at the same offset.
-  if (offsets.size() == 1 &&
-      map.count() == static_cast<std::int64_t>(tiles.size())) {
-    return tiles.size() == 1 ? PatternClass::kSingleElement
-                             : PatternClass::kSingleElementMultiTile;
+  if (distinct_offsets == 1 && map.count() == distinct_tiles) {
+    return distinct_tiles == 1 ? PatternClass::kSingleElement
+                               : PatternClass::kSingleElementMultiTile;
   }
 
   // Fully corrupted columns sharing one within-tile column offset.
-  const auto distinct_cols = map.DistinctCols();
+  const std::vector<Run> col_runs = RunLengths(cols);
   bool all_columns_full = true;
-  std::set<std::int64_t> col_offsets;
-  for (const std::int64_t col : distinct_cols) {
-    if (!map.ColumnFullyCorrupted(col)) {
+  bool one_col_offset = true;
+  std::int64_t col_offset = -1;
+  for (const Run& run : col_runs) {
+    if (run.hits != map.rows) {
       all_columns_full = false;
       break;
     }
-    col_offsets.insert(col % context.tile_cols);
+    const std::int64_t offset = run.value % context.tile_cols;
+    if (col_offset < 0) {
+      col_offset = offset;
+    } else if (offset != col_offset) {
+      one_col_offset = false;
+    }
   }
   if (all_columns_full &&
-      map.count() == map.rows * static_cast<std::int64_t>(
-                                    distinct_cols.size()) &&
-      col_offsets.size() == 1) {
-    return tiles.size() == 1 ? PatternClass::kSingleColumn
-                             : PatternClass::kSingleColumnMultiTile;
+      map.count() ==
+          map.rows * static_cast<std::int64_t>(col_runs.size()) &&
+      one_col_offset) {
+    return distinct_tiles == 1 ? PatternClass::kSingleColumn
+                               : PatternClass::kSingleColumnMultiTile;
   }
 
   // Fully corrupted rows sharing one within-tile row offset.
-  const auto distinct_rows = map.DistinctRows();
+  const std::vector<Run> row_runs = RunLengths(rows_hit);
   bool all_rows_full = true;
-  std::set<std::int64_t> row_offsets;
-  for (const std::int64_t row : distinct_rows) {
-    std::int64_t hits = 0;
-    for (const MatrixCoord& coord : map.corrupted) {
-      if (coord.row == row) ++hits;
-    }
-    if (hits != map.cols) {
+  bool one_row_offset = true;
+  std::int64_t row_offset = -1;
+  for (const Run& run : row_runs) {
+    if (run.hits != map.cols) {
       all_rows_full = false;
       break;
     }
-    row_offsets.insert(row % context.tile_rows);
+    const std::int64_t offset = run.value % context.tile_rows;
+    if (row_offset < 0) {
+      row_offset = offset;
+    } else if (offset != row_offset) {
+      one_row_offset = false;
+    }
   }
   if (all_rows_full &&
       map.count() ==
-          map.cols * static_cast<std::int64_t>(distinct_rows.size()) &&
-      row_offsets.size() == 1) {
-    return tiles.size() == 1 ? PatternClass::kSingleRow
-                             : PatternClass::kSingleRowMultiTile;
+          map.cols * static_cast<std::int64_t>(row_runs.size()) &&
+      one_row_offset) {
+    return distinct_tiles == 1 ? PatternClass::kSingleRow
+                               : PatternClass::kSingleRowMultiTile;
   }
 
   return PatternClass::kOther;
@@ -150,18 +189,21 @@ PatternClass Classify(const CorruptionMap& map,
     // Channel classification: every corrupted column fully corrupted →
     // whole output channels are affected (a partially corrupted column
     // cannot be a channel pattern and falls through to the generic rules).
+    std::vector<std::int64_t> cols;
+    cols.reserve(map.corrupted.size());
+    for (const MatrixCoord& coord : map.corrupted) cols.push_back(coord.col);
     bool all_full = true;
-    std::set<std::int64_t> channels;
-    for (const std::int64_t col : map.DistinctCols()) {
-      if (!map.ColumnFullyCorrupted(col)) {
+    std::vector<std::int64_t> channels;
+    for (const Run& run : RunLengths(cols)) {
+      if (run.hits != map.rows) {
         all_full = false;
         break;
       }
-      channels.insert(ColumnToChannel(col, context));
+      channels.push_back(ColumnToChannel(run.value, context));
     }
     if (all_full) {
-      return channels.size() == 1 ? PatternClass::kSingleChannel
-                                  : PatternClass::kMultiChannel;
+      return CountDistinct(channels) == 1 ? PatternClass::kSingleChannel
+                                          : PatternClass::kMultiChannel;
     }
   }
 

@@ -2,21 +2,30 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <span>
 
 #include "common/check.h"
 
 namespace saffire {
 
 std::vector<std::int64_t> CorruptionMap::DistinctCols() const {
-  std::set<std::int64_t> cols_set;
-  for (const MatrixCoord& coord : corrupted) cols_set.insert(coord.col);
-  return {cols_set.begin(), cols_set.end()};
+  std::vector<std::int64_t> cols_out;
+  cols_out.reserve(corrupted.size());
+  for (const MatrixCoord& coord : corrupted) cols_out.push_back(coord.col);
+  std::sort(cols_out.begin(), cols_out.end());
+  cols_out.erase(std::unique(cols_out.begin(), cols_out.end()),
+                 cols_out.end());
+  return cols_out;
 }
 
 std::vector<std::int64_t> CorruptionMap::DistinctRows() const {
-  std::set<std::int64_t> rows_set;
-  for (const MatrixCoord& coord : corrupted) rows_set.insert(coord.row);
-  return {rows_set.begin(), rows_set.end()};
+  std::vector<std::int64_t> rows_out;
+  rows_out.reserve(corrupted.size());
+  for (const MatrixCoord& coord : corrupted) rows_out.push_back(coord.row);
+  std::sort(rows_out.begin(), rows_out.end());
+  rows_out.erase(std::unique(rows_out.begin(), rows_out.end()),
+                 rows_out.end());
+  return rows_out;
 }
 
 bool CorruptionMap::ColumnFullyCorrupted(std::int64_t col) const {
@@ -35,17 +44,23 @@ CorruptionMap ExtractCorruption(const Int32Tensor& golden,
   CorruptionMap map;
   map.rows = golden.dim(0);
   map.cols = golden.dim(1);
-  for (std::int64_t r = 0; r < map.rows; ++r) {
-    for (std::int64_t c = 0; c < map.cols; ++c) {
-      if (golden(r, c) == faulty(r, c)) continue;
-      map.corrupted.push_back(MatrixCoord{r, c});
-      const std::int64_t delta =
-          std::llabs(static_cast<std::int64_t>(faulty(r, c)) -
-                     static_cast<std::int64_t>(golden(r, c)));
-      map.max_abs_delta = std::max(map.max_abs_delta, delta);
-      map.min_abs_delta =
-          map.min_abs_delta == 0 ? delta : std::min(map.min_abs_delta, delta);
-    }
+  // Flat scan over the contiguous storage: the checked (r, c) accessor pays
+  // two bounds checks per element, which dominates campaign-scale
+  // extraction. Coordinates are reconstructed only on a mismatch, so the
+  // common mostly-equal case is a straight linear compare. The flat index
+  // is row-major, which keeps `corrupted` in its documented order.
+  const std::span<const std::int32_t> golden_data = golden.data();
+  const std::span<const std::int32_t> faulty_data = faulty.data();
+  for (std::size_t i = 0; i < golden_data.size(); ++i) {
+    if (golden_data[i] == faulty_data[i]) continue;
+    const auto index = static_cast<std::int64_t>(i);
+    map.corrupted.push_back(MatrixCoord{index / map.cols, index % map.cols});
+    const std::int64_t delta =
+        std::llabs(static_cast<std::int64_t>(faulty_data[i]) -
+                   static_cast<std::int64_t>(golden_data[i]));
+    map.max_abs_delta = std::max(map.max_abs_delta, delta);
+    map.min_abs_delta =
+        map.min_abs_delta == 0 ? delta : std::min(map.min_abs_delta, delta);
   }
   return map;
 }

@@ -3,7 +3,6 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <vector>
 
 #include "tensor/tensor.h"

@@ -1,14 +1,13 @@
 #include "patterns/predictor.h"
 
+#include <utility>
+
 #include "common/check.h"
 
 namespace saffire {
+namespace {
 
-PredictedPattern PredictPattern(const WorkloadSpec& workload,
-                                const AccelConfig& accel, Dataflow dataflow,
-                                const FaultSpec& fault) {
-  workload.Validate();
-  fault.Validate(accel.array);
+void CheckPredictableSignal(const FaultSpec& fault) {
   // The reach model covers every signal whose corruption stays inside the
   // PE's own MAC contribution: the adder output (the paper's site), the
   // multiplier output, and the weight operand all feed exactly the same
@@ -20,11 +19,38 @@ PredictedPattern PredictPattern(const WorkloadSpec& workload,
                     "analytical prediction covers adder_out/mul_out/"
                     "weight_operand faults; got "
                         << ToString(fault.signal));
+}
 
+// The classify context derived from an already-computed tile plan — the
+// same fields MakeClassifyContext fills, without re-planning the tiles.
+ClassifyContext ContextFromGrid(const WorkloadSpec& workload,
+                                const TileGrid& grid) {
+  ClassifyContext context;
+  context.op = workload.op;
+  context.rows = workload.GemmM();
+  context.cols = workload.GemmN();
+  context.tile_rows = grid.tile_m();
+  context.tile_cols = grid.tile_n();
+  context.conv = workload.conv;
+  context.lowering = workload.lowering;
+  return context;
+}
+
+TileGrid PlanValidated(const WorkloadSpec& workload, const AccelConfig& accel,
+                       Dataflow dataflow) {
+  workload.Validate();
+  return Driver::PlanTiles(workload.GemmM(), workload.GemmN(),
+                           workload.GemmK(), accel, dataflow);
+}
+
+// The prediction itself, against a pre-computed tile plan and classify
+// context. Inputs are assumed validated.
+PredictedPattern MakePrediction(const WorkloadSpec& workload,
+                                Dataflow dataflow, const FaultSpec& fault,
+                                const TileGrid& grid,
+                                const ClassifyContext& context) {
   const std::int64_t m = workload.GemmM();
   const std::int64_t n = workload.GemmN();
-  const std::int64_t k = workload.GemmK();
-  const TileGrid grid = Driver::PlanTiles(m, n, k, accel, dataflow);
 
   PredictedPattern prediction;
   switch (dataflow) {
@@ -81,9 +107,49 @@ PredictedPattern PredictPattern(const WorkloadSpec& workload,
   reach.rows = m;
   reach.cols = n;
   reach.corrupted = prediction.coords;
-  prediction.pattern =
-      Classify(reach, MakeClassifyContext(workload, accel, dataflow));
+  prediction.pattern = Classify(reach, context);
   return prediction;
+}
+
+}  // namespace
+
+PredictedPattern PredictPattern(const WorkloadSpec& workload,
+                                const AccelConfig& accel, Dataflow dataflow,
+                                const FaultSpec& fault) {
+  fault.Validate(accel.array);
+  CheckPredictableSignal(fault);
+  const TileGrid grid = PlanValidated(workload, accel, dataflow);
+  return MakePrediction(workload, dataflow, fault, grid,
+                        ContextFromGrid(workload, grid));
+}
+
+PredictionCache::PredictionCache(const WorkloadSpec& workload,
+                                 const AccelConfig& accel, Dataflow dataflow)
+    : workload_(workload),
+      accel_(accel),
+      dataflow_(dataflow),
+      grid_(PlanValidated(workload_, accel_, dataflow_)),
+      context_(ContextFromGrid(workload_, grid_)) {}
+
+const PredictedPattern& PredictionCache::Lookup(const FaultSpec& fault) {
+  CheckPredictableSignal(fault);
+  // Canonical key: under WS/IS the reach depends only on the array column,
+  // so the row is collapsed — a full-array campaign shares one entry per
+  // column instead of one per PE.
+  PeCoord key = fault.pe;
+  if (dataflow_ != Dataflow::kOutputStationary) key.row = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = memo_.find(key);
+  if (it == memo_.end()) {
+    FaultSpec canonical = fault;
+    canonical.pe = key;
+    canonical.Validate(accel_.array);
+    it = memo_
+             .emplace(key, MakePrediction(workload_, dataflow_, canonical,
+                                          grid_, context_))
+             .first;
+  }
+  return it->second;
 }
 
 }  // namespace saffire

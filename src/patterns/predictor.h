@@ -24,11 +24,14 @@
 // needs to re-create the pattern without RTL simulation.
 #pragma once
 
+#include <map>
+#include <mutex>
 #include <vector>
 
 #include "fi/fault.h"
 #include "fi/workload.h"
 #include "patterns/classify.h"
+#include "tensor/tiling.h"
 
 namespace saffire {
 
@@ -51,5 +54,34 @@ struct PredictedPattern {
 PredictedPattern PredictPattern(const WorkloadSpec& workload,
                                 const AccelConfig& accel, Dataflow dataflow,
                                 const FaultSpec& fault);
+
+// Per-campaign prediction reuse. A covered fault's reach depends only on
+// its PE coordinate — and under WS/IS only on the array *column* — so a
+// campaign over hundreds of sites revisits a handful of distinct patterns.
+// The cache hoists the validation, the tile plan, and the classify context
+// out of the per-record path (PredictPattern re-derives all three per call)
+// and memoizes predictions under the canonical coordinate.
+//
+// Thread-safe: executor workers running chunks of one campaign share the
+// cache through PreparedCampaign. Returned references stay valid for the
+// cache's lifetime (node-based storage).
+class PredictionCache {
+ public:
+  PredictionCache(const WorkloadSpec& workload, const AccelConfig& accel,
+                  Dataflow dataflow);
+
+  // The prediction for `fault` (same contract as PredictPattern), computed
+  // on first use of its canonical coordinate.
+  const PredictedPattern& Lookup(const FaultSpec& fault);
+
+ private:
+  WorkloadSpec workload_;
+  AccelConfig accel_;
+  Dataflow dataflow_;
+  TileGrid grid_;
+  ClassifyContext context_;
+  std::mutex mutex_;
+  std::map<PeCoord, PredictedPattern> memo_;
+};
 
 }  // namespace saffire

@@ -246,6 +246,10 @@ CampaignExecutor::CampaignExecutor(const ExecutorOptions& options)
   metrics_.timeouts =
       counter("saffire.resilience.timeouts",
               "experiment attempts that exceeded the deadline");
+  metrics_.predict_selfchecks =
+      counter("saffire.predict.selfchecks",
+              "predicted-engine records cross-validated against the "
+              "differential engine");
   metrics_.queue_depth =
       &registry.GetGauge("saffire.executor.queue_depth",
                          "claimable chunks across active runs", pool_label);
@@ -313,6 +317,7 @@ ExecutorStats CampaignExecutor::stats() const {
   stats.selfchecks = metrics_.selfchecks->value();
   stats.selfcheck_mismatches = metrics_.selfcheck_mismatches->value();
   stats.timeouts = metrics_.timeouts->value();
+  stats.predict_selfchecks = metrics_.predict_selfchecks->value();
   return stats;
 }
 
@@ -678,7 +683,7 @@ void CampaignExecutor::PrepareOne(RunState& run, std::size_t campaign_index,
   const auto n = static_cast<std::int64_t>(campaign.to_simulate.size());
   std::int64_t chunk_size = std::clamp<std::int64_t>(
       n / (static_cast<std::int64_t>(run.cap) * 4), 1, 64);
-  if (config.engine == CampaignEngine::kBatch) {
+  if (GroupedCampaignEngine(config.engine)) {
     // Align chunks to whole batches so a chunk never splits a canonical
     // batch_lanes-sized group across workers (RunChunk batches within its
     // chunk only).
@@ -740,14 +745,16 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
     }
   };
 
-  if (engine == CampaignEngine::kBatch) {
+  if (GroupedCampaignEngine(engine)) {
     // Pack this chunk's experiments into lane batches. Groups follow the
     // campaign's canonical batch boundaries (consecutive batch_lanes-sized
     // blocks of the site order) and additionally break wherever the
     // simulation list is non-contiguous (checkpoint holes, shard edges) —
     // RunPreparedBatch takes a contiguous index range. Records are
     // independent across lanes, so the grouping affects occupancy stats
-    // only, never record content.
+    // only, never record content. The predicted engine follows the same
+    // grouping; its closed-form groups never touch a lane, so they stay out
+    // of the occupancy counters (matching RunCampaignSerial).
     const std::int64_t lanes = EffectiveBatchLanes(config);
     std::int64_t p = begin;
     while (p < end) {
@@ -760,14 +767,15 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
              (first + (q - p)) % lanes != 0) {
         ++q;
       }
-      if (engine != CampaignEngine::kBatch) {
-        // An earlier group in this chunk demoted the campaign; finish the
-        // remaining groups on the fallback engine, one experiment at a
-        // time.
+      if (!GroupedCampaignEngine(engine)) {
+        // An earlier group in this chunk demoted the campaign below the
+        // grouped rungs; finish the remaining groups on the fallback
+        // engine, one experiment at a time.
         for (std::int64_t i = p; i < q; ++i) run_one(i, engine);
         p = q;
         continue;
       }
+      const CampaignEngine group_engine = engine;
       std::vector<ExperimentRecord> records;
       bool ok = false;
       for (int attempt = 0; attempt <= res.max_retries; ++attempt) {
@@ -779,7 +787,7 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
           chaos::OnBatchAttempt(campaign_index, attempt);
           records = RunPreparedBatch(
               campaign.prepared, runner, static_cast<std::size_t>(first),
-              static_cast<std::size_t>(first + (q - p)));
+              static_cast<std::size_t>(first + (q - p)), group_engine);
           ok = true;
           break;
         } catch (const std::invalid_argument&) {
@@ -795,7 +803,7 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
                                 campaign_index, first + i)) {
             continue;
           }
-          NoteSelfCheck(run);
+          NoteSelfCheck(run, group_engine);
           try {
             const ExperimentRecord check = RunPreparedExperimentWithEngine(
                 campaign.prepared, runner,
@@ -814,12 +822,17 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
       }
       if (!ok) {
         // The group never produced (trusted) records; recompute it on the
-        // fallback engine. The demotion is campaign-wide and sticky.
-        engine = DemoteEngine(run, campaign_index, CampaignEngine::kBatch);
+        // fallback engine. The demotion is campaign-wide and sticky — and
+        // may land on a still-grouped rung (predicted→batch), in which case
+        // later groups keep batching.
+        engine = DemoteEngine(run, campaign_index, group_engine);
         for (std::int64_t i = p; i < q; ++i) run_one(i, engine);
       } else {
-        lanes_filled += static_cast<std::uint64_t>(records.size());
-        ++batches_run;
+        if (!(group_engine == CampaignEngine::kPredicted &&
+              PredictedEngineExact(config))) {
+          lanes_filled += static_cast<std::uint64_t>(records.size());
+          ++batches_run;
+        }
         for (std::int64_t i = 0; i < q - p; ++i) {
           chunk[static_cast<std::size_t>(p - begin + i)] =
               std::move(records[static_cast<std::size_t>(i)]);
@@ -979,10 +992,13 @@ void CampaignExecutor::NoteTimeout(RunState& run) {
   metrics_.timeouts->Increment();
 }
 
-void CampaignExecutor::NoteSelfCheck(RunState& run) {
+void CampaignExecutor::NoteSelfCheck(RunState& run, CampaignEngine engine) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++run.outcome.selfchecks;
   metrics_.selfchecks->Increment();
+  if (engine == CampaignEngine::kPredicted) {
+    metrics_.predict_selfchecks->Increment();
+  }
 }
 
 void CampaignExecutor::NoteMismatch(RunState& run, std::size_t campaign_index,

@@ -69,6 +69,9 @@ struct ExecutorStats {
   std::int64_t selfchecks = 0;
   std::int64_t selfcheck_mismatches = 0;
   std::int64_t timeouts = 0;
+  // Self-checked records whose group ran on the predicted engine (the
+  // "saffire.predict.selfchecks" series) — a subset of `selfchecks`.
+  std::int64_t predict_selfchecks = 0;
 };
 
 // Construction-time configuration of a CampaignExecutor. One struct instead
@@ -146,8 +149,8 @@ class CampaignExecutor {
   //
   // Failure semantics (service/resilience.h): a throwing experiment is
   // retried with deterministic backoff, then its campaign falls down the
-  // engine ladder (batch→differential→full), and only exhaustion applies
-  // ResilienceOptions::on_failure — abort (rethrow after in-flight work
+  // engine ladder (predicted→batch→differential→full), and only exhaustion
+  // applies ResilienceOptions::on_failure — abort (rethrow after in-flight work
   // drains, preserving the original exception) or quarantine (deliver a
   // FailedRecord via RecordSink::OnExperimentFailed and keep going). A
   // throwing sink aborts the run the same way. The returned SweepOutcome
@@ -193,6 +196,7 @@ class CampaignExecutor {
     obs::Counter* selfchecks = nullptr;
     obs::Counter* selfcheck_mismatches = nullptr;
     obs::Counter* timeouts = nullptr;
+    obs::Counter* predict_selfchecks = nullptr;
     // Claimable-but-unclaimed chunks across active runs.
     obs::Gauge* queue_depth = nullptr;
     // Workers currently executing a task (vs parked on the condvar).
@@ -236,7 +240,9 @@ class CampaignExecutor {
   // resilience counter.
   void NoteRetry(RunState& run);
   void NoteTimeout(RunState& run);
-  void NoteSelfCheck(RunState& run);
+  // `engine` is the rung whose record is being cross-validated; predicted
+  // checks additionally feed the "saffire.predict.selfchecks" series.
+  void NoteSelfCheck(RunState& run, CampaignEngine engine);
   void NoteMismatch(RunState& run, std::size_t campaign_index,
                     std::int64_t experiment_index);
   void NoteQuarantine(RunState& run);

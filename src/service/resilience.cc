@@ -46,6 +46,8 @@ OnFailure ParseOnFailure(const std::string& name) {
 
 std::optional<CampaignEngine> FallbackEngine(CampaignEngine engine) {
   switch (engine) {
+    case CampaignEngine::kPredicted:
+      return CampaignEngine::kBatch;
     case CampaignEngine::kBatch:
       return CampaignEngine::kDifferential;
     case CampaignEngine::kDifferential:

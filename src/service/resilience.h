@@ -46,8 +46,9 @@ struct ResilienceOptions {
   // produced a record. 0 disables the guard. Detection is cooperative: a
   // stalled attempt is only classified once it returns.
   std::int64_t experiment_timeout_ms = 0;
-  // Fraction of batch-engine records cross-validated against the
-  // differential engine, sampled deterministically from the campaign seed.
+  // Fraction of batch- and predicted-engine records cross-validated against
+  // the differential engine, sampled deterministically from the campaign
+  // seed.
   // A mismatch demotes the campaign down the ladder and recomputes the
   // affected batch from the trusted engine. 0 disables self-checking.
   double selfcheck_rate = 0.0;
@@ -83,9 +84,9 @@ struct SweepOutcome {
   std::int64_t quarantined = 0;
   // Failed attempts that were retried (any rung).
   std::int64_t retries = 0;
-  // Campaign engine demotions (batch→differential→full).
+  // Campaign engine demotions (predicted→batch→differential→full).
   std::int64_t fallbacks = 0;
-  // Batch records cross-validated, and how many disagreed.
+  // Batch/predicted records cross-validated, and how many disagreed.
   std::int64_t selfchecks = 0;
   std::int64_t selfcheck_mismatches = 0;
   // Attempts that exceeded experiment_timeout_ms.
@@ -102,8 +103,8 @@ struct SweepOutcome {
   }
 };
 
-// The graceful-degradation ladder: batch → differential → full; the
-// per-experiment engines have no cheaper-but-equivalent sibling to fall
+// The graceful-degradation ladder: predicted → batch → differential → full;
+// the per-experiment engines have no cheaper-but-equivalent sibling to fall
 // back to (reference IS the baseline), so they return nullopt. Every rung
 // produces bit-identical records by construction, which is what makes
 // demotion invisible in the output.

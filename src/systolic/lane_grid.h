@@ -16,6 +16,16 @@
 // per-PE kernel applies `(v & and) | or` unconditionally through an
 // all-ones/all-zeros position selector, so the inner loop carries no
 // data-dependent branches.
+//
+// SIMD fast path (systolic/simd_ops.h): width-1 cones on an INT8/ACC32
+// array — the dominant shape: every signal except the activation-forward
+// chain cones to a single column — are stepped 8 rows per AVX2 instruction.
+// Their state lives in packed int32 planes with a one-slot north pad so the
+// register-shift between rows is a plain unaligned reload, the stimulus and
+// weight columns are re-packed 4-per-32-bit-word (int8) and widened in
+// registers, and only the single fault PE is replayed through the exact
+// scalar masking pipeline afterwards. The scalar path remains for wide
+// cones, non-AVX2 hosts, and `--simd scalar`.
 #pragma once
 
 #include <cstdint>
@@ -107,6 +117,12 @@ class LaneGrid {
     std::size_t state_base = 0;  // offset into act_/south_/acc_ planes
     std::size_t out_base = 0;    // cone-column offset into out_
     std::uint64_t activations = 0;
+    // Width-1 lane served by the AVX2 kernel: state lives in the packed
+    // int32 planes at n32_base (stride rows + 1, slot 0 = virtual row −1)
+    // and, under WS, the weight column re-packed at w8_base.
+    bool narrow = false;
+    std::size_t n32_base = 0;
+    std::size_t w8_base = 0;
   };
 
   template <bool kWs>
@@ -114,6 +130,9 @@ class LaneGrid {
                std::span<const std::int64_t> rel_cycles);
   template <bool kWs>
   void StepLanes(std::int64_t t, std::int64_t rel_cycle);
+  template <bool kWs>
+  void StepNarrowLane(LaneState& state, std::int64_t t,
+                      std::int64_t rel_cycle);
 
   ArrayConfig config_;
   std::int32_t rows_ = 0;
@@ -127,6 +146,19 @@ class LaneGrid {
   std::vector<std::int64_t> act_;
   std::vector<std::int64_t> south_;
   std::vector<std::int64_t> acc_;
+
+  // Packed state for the AVX2 narrow (width-1, INT8/ACC32) lanes: int32
+  // planes with stride rows_ + 1 per lane — slot 0 holds the virtual
+  // row −1 south value (0 under WS, the step's north stimulus under OS) so
+  // the vector kernel reads the north neighbour as an off-by-one unaligned
+  // load — plus int8 re-packs of the shared stimulus (west8_) and each
+  // lane's weight column (wcol8_, WS only).
+  std::size_t narrow_lanes_ = 0;
+  std::vector<std::int32_t> south32_;
+  std::vector<std::int32_t> acc32_;
+  std::vector<std::int8_t> west8_;
+  std::vector<std::int8_t> wcol8_;
+  std::vector<std::int8_t> zeros8_;  // rows_ zero bytes (pre-stream entry)
 
   // Shared per-tile schedule, computed once for all lanes.
   std::int64_t tile_m_ = 0;                // current tile's me

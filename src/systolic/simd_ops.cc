@@ -1,0 +1,97 @@
+#include "systolic/simd_ops.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+namespace saffire {
+namespace {
+
+constexpr const char* kSimdModeNames[] = {"auto", "avx2", "scalar"};
+constexpr const char* kAcceptedValues = "auto|avx2|scalar";
+
+// The requested mode, shared process-wide. SAFFIRE_SIMD is folded in once,
+// lazily, so library users who never touch the env still get kAuto.
+std::atomic<SimdMode> g_mode{SimdMode::kAuto};
+std::atomic<bool> g_explicit{false};
+std::once_flag g_env_once;
+
+void ApplyEnvOnce() {
+  std::call_once(g_env_once, [] {
+    if (g_explicit.load(std::memory_order_acquire)) return;
+    const char* env = std::getenv("SAFFIRE_SIMD");
+    if (env == nullptr || *env == '\0') return;
+    SimdMode mode;
+    try {
+      mode = ParseSimdMode(env);
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument(std::string("unknown SAFFIRE_SIMD '") +
+                                  env + "' (expected " + kAcceptedValues +
+                                  ")");
+    }
+    SetSimdMode(mode);
+  });
+}
+
+}  // namespace
+
+std::string ToString(SimdMode mode) {
+  return kSimdModeNames[static_cast<std::size_t>(mode)];
+}
+
+SimdMode ParseSimdMode(const std::string& name) {
+  for (std::size_t i = 0; i < std::size(kSimdModeNames); ++i) {
+    if (name == kSimdModeNames[i]) return static_cast<SimdMode>(i);
+  }
+  throw std::invalid_argument("unknown SIMD mode '" + name + "' (expected " +
+                              kAcceptedValues + ")");
+}
+
+SimdMode SimdModeFromString(const std::string& name) {
+  return ParseSimdMode(name);
+}
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+void SetSimdMode(SimdMode mode) {
+  if (mode == SimdMode::kAvx2 && !CpuSupportsAvx2()) {
+    throw std::invalid_argument(
+        "SIMD mode 'avx2' requested but the CPU does not support AVX2 "
+        "(use 'auto' or 'scalar')");
+  }
+  g_explicit.store(true, std::memory_order_release);
+  g_mode.store(mode, std::memory_order_release);
+}
+
+SimdMode RequestedSimdMode() {
+  ApplyEnvOnce();
+  return g_mode.load(std::memory_order_acquire);
+}
+
+void ConfigureSimdFromString(const std::string& value,
+                             const std::string& source) {
+  SimdMode mode;
+  try {
+    mode = ParseSimdMode(value);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("unknown " + source + " '" + value +
+                                "' (expected " + kAcceptedValues + ")");
+  }
+  SetSimdMode(mode);
+}
+
+bool UseAvx2() {
+  const SimdMode mode = RequestedSimdMode();
+  if (mode == SimdMode::kScalar) return false;
+  if (mode == SimdMode::kAvx2) return true;
+  return CpuSupportsAvx2();
+}
+
+}  // namespace saffire

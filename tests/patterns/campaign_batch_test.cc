@@ -8,9 +8,12 @@
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <stdexcept>
 
 #include "patterns/campaign.h"
+#include "patterns/report.h"
+#include "systolic/simd_ops.h"
 
 namespace saffire {
 namespace {
@@ -186,6 +189,53 @@ TEST(BatchCampaignTest, TransientInputStationaryMatches) {
   const CampaignResult batch = RunCampaignSerial(config);
   ExpectSameRecords(reference, batch, /*normalize_cost=*/true);
   ExpectSameRecords(differential, batch);
+}
+
+// Restores the process-wide SIMD mode so the dispatch choice cannot leak
+// into other fixtures.
+class SimdModeMatrixTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetSimdMode(SimdMode::kAuto); }
+
+  static std::string Csv(const CampaignResult& result) {
+    std::ostringstream out;
+    WriteCampaignCsv(result, out);
+    return out.str();
+  }
+};
+
+// The SIMD dispatch axis of the equivalence matrix: every grouped rung ×
+// {scalar, avx2} must produce the byte-identical CSV the differential
+// engine produces. batch_lanes = 13 forces partial final batches AND a
+// partial final 8-wide SIMD group inside every batch (13 = 8 + 5), so the
+// masked tail path of the vector kernel is on the hook too.
+TEST_F(SimdModeMatrixTest, EnginesAgreeAcrossSimdModes) {
+  for (const Dataflow dataflow :
+       {Dataflow::kOutputStationary, Dataflow::kWeightStationary}) {
+    for (const FaultKind kind :
+         {FaultKind::kStuckAt, FaultKind::kTransientFlip}) {
+      auto config = BaseConfig();
+      config.dataflow = dataflow;
+      config.kind = kind;
+      config.batch_lanes = 13;
+      SCOPED_TRACE(config.ToString());
+
+      SetSimdMode(SimdMode::kScalar);
+      config.engine = CampaignEngine::kDifferential;
+      const std::string want = Csv(RunCampaignSerial(config));
+
+      for (const SimdMode mode : {SimdMode::kScalar, SimdMode::kAvx2}) {
+        if (mode == SimdMode::kAvx2 && !CpuSupportsAvx2()) continue;
+        SetSimdMode(mode);
+        for (const CampaignEngine engine :
+             {CampaignEngine::kBatch, CampaignEngine::kPredicted}) {
+          config.engine = engine;
+          EXPECT_EQ(want, Csv(RunCampaignSerial(config)))
+              << ToString(engine) << " under --simd " << ToString(mode);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -88,6 +88,8 @@ class ResilienceTest : public ::testing::Test {
 };
 
 TEST(ResiliencePureTest, FallbackLadderEndsAtFull) {
+  EXPECT_EQ(FallbackEngine(CampaignEngine::kPredicted),
+            CampaignEngine::kBatch);
   EXPECT_EQ(FallbackEngine(CampaignEngine::kBatch),
             CampaignEngine::kDifferential);
   EXPECT_EQ(FallbackEngine(CampaignEngine::kDifferential),

@@ -1,0 +1,94 @@
+// Runtime SIMD dispatch (systolic/simd_ops.h): mode parsing round-trips,
+// rejection messages name the offending flag and the accepted values (the
+// CLI convention), and the explicit override wins over the environment.
+#include "systolic/simd_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace saffire {
+namespace {
+
+// Every test leaves the process-wide mode as it found it (auto), so test
+// order cannot leak into the lane-grid dispatch of other fixtures.
+class SimdOpsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetSimdMode(SimdMode::kAuto); }
+};
+
+TEST_F(SimdOpsTest, ToStringRoundTripsEveryMode) {
+  for (const SimdMode mode :
+       {SimdMode::kAuto, SimdMode::kAvx2, SimdMode::kScalar}) {
+    EXPECT_EQ(ParseSimdMode(ToString(mode)), mode) << ToString(mode);
+    EXPECT_EQ(SimdModeFromString(ToString(mode)), mode);
+  }
+  EXPECT_EQ(ToString(SimdMode::kAuto), "auto");
+  EXPECT_EQ(ToString(SimdMode::kAvx2), "avx2");
+  EXPECT_EQ(ToString(SimdMode::kScalar), "scalar");
+}
+
+TEST_F(SimdOpsTest, ParseRejectsUnknownNamesListingAcceptedValues) {
+  for (const char* name : {"", "AVX2", "sse", "avx512", "Auto", "none"}) {
+    try {
+      ParseSimdMode(name);
+      FAIL() << "ParseSimdMode accepted '" << name << "'";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("auto|avx2|scalar"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+}
+
+TEST_F(SimdOpsTest, ConfigureNamesTheSourceInItsError) {
+  try {
+    ConfigureSimdFromString("sse", "--simd");
+    FAIL() << "ConfigureSimdFromString accepted 'sse'";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--simd"), std::string::npos) << what;
+    EXPECT_NE(what.find("'sse'"), std::string::npos) << what;
+    EXPECT_NE(what.find("auto|avx2|scalar"), std::string::npos) << what;
+  }
+  try {
+    ConfigureSimdFromString("fast", "SAFFIRE_SIMD");
+    FAIL() << "ConfigureSimdFromString accepted 'fast'";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("SAFFIRE_SIMD"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(SimdOpsTest, ScalarModeDisablesTheVectorPath) {
+  SetSimdMode(SimdMode::kScalar);
+  EXPECT_EQ(RequestedSimdMode(), SimdMode::kScalar);
+  EXPECT_FALSE(UseAvx2());
+}
+
+TEST_F(SimdOpsTest, AutoFollowsCpuSupport) {
+  SetSimdMode(SimdMode::kAuto);
+  EXPECT_EQ(UseAvx2(), CpuSupportsAvx2());
+}
+
+TEST_F(SimdOpsTest, Avx2ModeRequiresCpuSupport) {
+  if (CpuSupportsAvx2()) {
+    SetSimdMode(SimdMode::kAvx2);
+    EXPECT_EQ(RequestedSimdMode(), SimdMode::kAvx2);
+    EXPECT_TRUE(UseAvx2());
+  } else {
+    EXPECT_THROW(SetSimdMode(SimdMode::kAvx2), std::invalid_argument);
+  }
+}
+
+TEST_F(SimdOpsTest, ConfigureAppliesValidModes) {
+  ConfigureSimdFromString("scalar", "--simd");
+  EXPECT_FALSE(UseAvx2());
+  ConfigureSimdFromString("auto", "--simd");
+  EXPECT_EQ(UseAvx2(), CpuSupportsAvx2());
+}
+
+}  // namespace
+}  // namespace saffire
