@@ -39,7 +39,7 @@ Dataflow DataflowByIndex(int index) {
 }
 
 // One complete FI experiment: faulty run + diff + classification (the
-// golden run is amortized across a campaign, as in RunCampaign).
+// golden run is amortized across a campaign, as in a campaign sweep).
 void BM_FiExperiment(benchmark::State& state) {
   const WorkloadSpec workload =
       WorkloadByIndex(static_cast<int>(state.range(0)));

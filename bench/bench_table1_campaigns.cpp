@@ -249,6 +249,50 @@ int main(int argc, char** argv) {
                 << FormatDouble(differential_seconds / predicted_seconds, 2)
                 << "x\n";
     }
+
+    // Symmetry-aware dedup on the same campaign: one representative per
+    // site-equivalence class simulated, member records synthesized. Must
+    // stay record-identical to the exhaustive differential run.
+    {
+      CampaignConfig config;
+      config.accel = PaperAccel();
+      config.workload = Gemm16x16();
+      config.dataflow = Dataflow::kWeightStationary;
+      config.bit = 8;
+      config.polarity = StuckPolarity::kStuckAt1;
+      config.symmetry = true;
+      const auto start = std::chrono::steady_clock::now();
+      CampaignResult result;
+      std::int64_t iterations = 0;
+      do {
+        CollectorSink collector;
+        saffire::RunSweep(SingleCampaignPlan(config), RunOptions{}, collector);
+        result = collector.TakeResults().front();
+        ++iterations;
+      } while (seconds_since(start) < options.min_time);
+      const double seconds =
+          seconds_since(start) / static_cast<double>(iterations);
+      report.Add("symmetry/differential", seconds_since(start), iterations);
+
+      bool identical = result.records.size() == baseline.records.size();
+      for (std::size_t i = 0; identical && i < result.records.size(); ++i) {
+        identical = result.records[i].observed == baseline.records[i].observed &&
+                    result.records[i].corrupted_count ==
+                        baseline.records[i].corrupted_count &&
+                    result.records[i].cycles == baseline.records[i].cycles;
+      }
+      const PreparedCampaign prepared = PrepareCampaign(config);
+      std::cout << "symmetry speedup over differential: "
+                << FormatDouble(differential_seconds / seconds, 2) << "x ("
+                << prepared.symmetry_classes << " classes / "
+                << result.records.size() << " sites, records "
+                << (identical ? "identical" : "DIVERGED") << ")\n";
+      if (!identical) {
+        std::cout << "\nERROR: symmetry run diverged from the reference "
+                     "results\n";
+        return 1;
+      }
+    }
   }
 
   if (!ExportBenchObservability(options)) return 1;

@@ -286,8 +286,7 @@ inline std::vector<CampaignResult> RunSweep(const SweepSpec& spec) {
   return RunSweep(std::vector<SweepSpec>{spec});
 }
 
-// Single-campaign run through the RunSweep facade — the replacement for the
-// deprecated RunCampaign/RunCampaignParallel wrappers in bench code.
+// Single-campaign run through the RunSweep facade.
 inline CampaignResult RunCampaignForBench(const CampaignConfig& config,
                                           int threads = BenchThreads()) {
   CollectorSink collector;

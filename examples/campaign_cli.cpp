@@ -33,6 +33,16 @@
 //   --shard K        run only shard K of every campaign (for process splits)
 //   --resume PATH    replay records from a previous --jsonl stream instead
 //                    of re-simulating them
+//   --symmetry       symmetry-aware dedup: simulate one representative per
+//                    equivalence class of fault sites and replicate its
+//                    record to the rest (stuck-at faults on predictor-
+//                    covered signals only; other campaigns run unchanged)
+// Result cache:
+//   --result-cache DIR   content-addressed on-disk cache of completed
+//                    campaigns; a repeated sweep replays from DIR without
+//                    simulating anything (no effect under --shard, which
+//                    never completes whole campaigns)
+//   --no-result-cache    ignore --result-cache for this run
 // Spec files and output:
 //   --spec PATH      load the sweep from a JSON spec (exclusive with the
 //                    axis/fault-model flags above)
@@ -70,6 +80,7 @@
 // --jsonl stream intentionally writes its final path live, because a
 // mid-run kill must leave the checkpointed prefix behind.
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -84,6 +95,7 @@
 #include "patterns/report.h"
 #include "service/chaos.h"
 #include "service/checkpoint.h"
+#include "service/result_cache.h"
 #include "service/run.h"
 #include "service/signal.h"
 #include "service/sink.h"
@@ -109,15 +121,15 @@ const std::set<std::string>& ValueFlags() {
       "kind",     "fill",     "sites",     "seed",      "rows",
       "cols",     "engine",   "threads",   "shards",    "shard",
       "resume",   "spec",     "csv",       "jsonl",     "trace-out",
-      "metrics-out", "metrics-format", "simd",
+      "metrics-out", "metrics-format", "simd", "result-cache",
       "max-retries", "experiment-timeout-ms", "selfcheck-rate",
       "on-failure"};
   return kFlags;
 }
 
 const std::set<std::string>& BoolFlags() {
-  static const std::set<std::string> kFlags = {"print-spec", "progress",
-                                               "help"};
+  static const std::set<std::string> kFlags = {
+      "print-spec", "progress", "help", "symmetry", "no-result-cache"};
   return kFlags;
 }
 
@@ -161,8 +173,27 @@ SweepSpec SpecFromFlags(const std::map<std::string, std::string>& flags) {
   spec.seed = static_cast<std::uint64_t>(ParseInt(flag("seed", "1")));
   spec.engine = CampaignEngineFromString(flag("engine", "differential"));
   spec.shards = static_cast<int>(ParseInt(flag("shards", "1")));
+  spec.symmetry = flags.count("symmetry") != 0;
   return spec;
 }
+
+// Accumulates the symmetry plan sizes that OnCampaignBegin announces, for
+// the [symmetry] summary line. Campaigns without an active plan (including
+// replayed ones) report classes == experiments, i.e. no reduction.
+class SymmetryStatsSink : public RecordSink {
+ public:
+  void OnCampaignBegin(const CampaignBeginInfo& info) override {
+    classes_ += info.symmetry_classes;
+    sites_ += info.total_experiments;
+  }
+
+  std::int64_t classes() const { return classes_; }
+  std::int64_t sites() const { return sites_; }
+
+ private:
+  std::int64_t classes_ = 0;
+  std::int64_t sites_ = 0;
+};
 
 std::string CampaignTitle(const CampaignConfig& config) {
   std::string title = config.workload.name;
@@ -232,7 +263,8 @@ int main(int argc, char** argv) {
     if (flags.count("spec") != 0) {
       for (const char* axis :
            {"workload", "dataflow", "signal", "polarity", "bit", "kind",
-            "fill", "sites", "seed", "rows", "cols", "engine", "shards"}) {
+            "fill", "sites", "seed", "rows", "cols", "engine", "shards",
+            "symmetry"}) {
         if (flags.count(axis) != 0) {
           std::cerr << "--spec already defines the sweep; drop '--" << axis
                     << "'\n";
@@ -310,6 +342,8 @@ int main(int argc, char** argv) {
       progress_sink = std::make_unique<ProgressSink>(std::cerr);
       sinks.push_back(progress_sink.get());
     }
+    SymmetryStatsSink symmetry_stats;
+    sinks.push_back(&symmetry_stats);
     TeeSink tee(sinks);
 
     RunOptions options;
@@ -322,9 +356,18 @@ int main(int argc, char** argv) {
     options.only_shard = static_cast<int>(ParseInt(flag("shard", "-1")));
     if (resuming) options.checkpoint = &checkpoint;
 
-    // Resilience policy. Unlike the library default (abort, which keeps
-    // RunCampaign semantics), the CLI quarantines: a 49-hour sweep should
-    // not lose its night to one bad experiment.
+    // Result cache: constructed eagerly so a bad directory fails before any
+    // simulation. RunSweep itself skips the cache under --shard.
+    std::unique_ptr<ResultCache> result_cache;
+    const std::string cache_dir = flag("result-cache", "");
+    if (!cache_dir.empty() && flags.count("no-result-cache") == 0) {
+      result_cache = std::make_unique<ResultCache>(cache_dir);
+      options.result_cache = result_cache.get();
+    }
+
+    // Resilience policy. Unlike the library default (abort), the CLI
+    // quarantines: a 49-hour sweep should not lose its night to one bad
+    // experiment.
     options.resilience.max_retries =
         static_cast<int>(ParseInt(flag("max-retries", "2")));
     options.resilience.experiment_timeout_ms =
@@ -430,6 +473,25 @@ int main(int argc, char** argv) {
               << after.simulators_constructed - before.simulators_constructed
               << " reused="
               << after.simulators_reused - before.simulators_reused << "\n";
+
+    if (result_cache != nullptr) {
+      std::cout << "[cache] dir=" << result_cache->dir()
+                << " hits=" << outcome.cache_hits
+                << " misses=" << outcome.cache_misses
+                << " stores=" << outcome.cache_stores << "\n";
+    }
+    if (spec.symmetry) {
+      std::cout << "[symmetry] classes=" << symmetry_stats.classes()
+                << " sites=" << symmetry_stats.sites();
+      if (symmetry_stats.classes() > 0) {
+        const double factor =
+            static_cast<double>(symmetry_stats.sites()) /
+            static_cast<double>(symmetry_stats.classes());
+        std::cout << " reduction=" << std::fixed << std::setprecision(2)
+                  << factor << "x" << std::defaultfloat;
+      }
+      std::cout << "\n";
+    }
 
     if (outcome.retries != 0 || outcome.fallbacks != 0 ||
         outcome.quarantined != 0 || outcome.selfchecks != 0 ||

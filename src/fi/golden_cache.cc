@@ -39,7 +39,7 @@ std::shared_ptr<const GoldenRunCache::Entry> GoldenRunCache::GetOrCompute(
     Dataflow dataflow, bool* cache_hit) {
   const std::string key = Key(config, workload, dataflow);
   // Computed under the lock: concurrent workers asking for the same key
-  // (the RunCampaignParallel startup pattern) block until the first one has
+  // (the parallel-sweep startup pattern) block until the first one has
   // published the entry instead of duplicating the golden run.
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);

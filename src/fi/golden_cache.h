@@ -7,7 +7,7 @@
 // replays identical golden GEMMs hundreds of times. With the cache, each
 // (workload, dataflow, config) triple is simulated fault-free exactly once
 // per process and every subsequent campaign — including all workers of
-// RunCampaignParallel — shares the recorded result and trace.
+// a parallel sweep — shares the recorded result and trace.
 //
 // Entries are immutable once published (shared_ptr<const Entry>), so workers
 // replay from the trace concurrently without synchronization.

@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "patterns/symmetry.h"
 
 namespace saffire {
 namespace {
@@ -126,6 +127,21 @@ obs::Counter& PredictResidueCounter() {
   return counter;
 }
 
+obs::Counter& ReplicatedRecordsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.cache.replicated_records",
+      "member records synthesized from a symmetry-class representative "
+      "instead of simulated");
+  return counter;
+}
+
+obs::Counter& SymmetryClassesCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.cache.symmetry_classes",
+      "site-equivalence classes found across symmetry-planned campaigns");
+  return counter;
+}
+
 // Applies the engine choice to the simulator about to execute a run.
 void ConfigureEngine(FiRunner& runner, CampaignEngine engine) {
   runner.accel().array().set_force_reference_step(engine ==
@@ -166,7 +182,67 @@ ExperimentRecord BuildRecord(const PreparedCampaign& prepared,
   return record;
 }
 
+// The replay/closed-form core of a grouped run: simulates `faults` as one
+// group on `engine` and builds their records. Shared by the plain grouped
+// path (a whole [begin, end) slice) and the symmetry path (the deduped
+// representative set of a slice) — lane-partition invariance guarantees
+// both produce bit-identical records for the faults they do simulate.
+std::vector<ExperimentRecord> RunFaultGroup(const PreparedCampaign& prepared,
+                                            FiRunner& runner,
+                                            std::span<const FaultSpec> faults,
+                                            CampaignEngine engine) {
+  const CampaignConfig& config = prepared.config;
+  const GoldenTrace* trace = prepared.trace();
+  SAFFIRE_CHECK_MSG(trace != nullptr,
+                    "grouped engines require a cached golden trace");
+  ConfigureEngine(runner, engine);
+  const bool closed_form =
+      engine == CampaignEngine::kPredicted && PredictedEngineExact(config);
+  if (engine == CampaignEngine::kPredicted) {
+    (closed_form ? PredictHitsCounter() : PredictResidueCounter())
+        .Increment(static_cast<std::int64_t>(faults.size()));
+  }
+  // The batch runner consumes the relative strike offsets directly (against
+  // the trace's recorded per-step clocks), so no rebasing happens here.
+  // Same convention under the closed form, which never strikes at all.
+  const std::vector<RunResult> faulty =
+      closed_form
+          ? runner.RunFaultyPredicted(config.workload, config.dataflow,
+                                      faults, *trace, prepared.golden())
+          : runner.RunFaultyBatch(config.workload, config.dataflow, faults,
+                                  *trace, prepared.golden());
+  std::vector<ExperimentRecord> records;
+  records.reserve(faulty.size());
+  {
+    // Classification + prediction over the lane outputs — the post-replay
+    // diff work, separated from the replay itself in phase breakdowns.
+    SAFFIRE_SPAN("fi.batch.diff");
+    for (std::size_t i = 0; i < faulty.size(); ++i) {
+      records.push_back(BuildRecord(prepared, faults[i], faulty[i]));
+    }
+  }
+  return records;
+}
+
 }  // namespace
+
+bool SymmetryMemo::Lookup(std::size_t representative,
+                          ExperimentRecord* record) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(representative);
+  if (it == records_.end()) return false;
+  *record = it->second;
+  return true;
+}
+
+void SymmetryMemo::Store(std::size_t representative,
+                         ExperimentRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // emplace keeps the first copy if two workers raced on the same
+  // representative; both copies are identical (deterministic simulation),
+  // so either outcome is correct.
+  records_.emplace(representative, std::move(record));
+}
 
 bool GroupedCampaignEngine(CampaignEngine engine) {
   return engine == CampaignEngine::kBatch ||
@@ -174,6 +250,14 @@ bool GroupedCampaignEngine(CampaignEngine engine) {
 }
 
 bool PredictedEngineExact(const CampaignConfig& config) {
+  return config.kind == FaultKind::kStuckAt &&
+         PredictorCoversSignal(config.signal);
+}
+
+bool SymmetryEligibleCampaign(const CampaignConfig& config) {
+  // Same condition as PredictedEngineExact today, but semantically its own
+  // contract: the partition is defined by the predicted reach, which exists
+  // exactly for permanent stuck-at faults on predictor-covered signals.
   return config.kind == FaultKind::kStuckAt &&
          PredictorCoversSignal(config.signal);
 }
@@ -221,6 +305,39 @@ PreparedCampaign PrepareCampaign(const CampaignConfig& config,
   prepared.sites = CampaignSites(config);
   prepared.faults = PlanFaults(config, prepared.sites,
                                prepared.golden().cycles);
+
+  // Symmetry plan: partition the campaign's sites (in campaign order, over
+  // the campaign's actual fault axis) into classes of identical predicted
+  // reach, and record each experiment's representative. A memo is only
+  // allocated when the partition actually collapses something — otherwise
+  // execution takes exactly the non-symmetry path.
+  prepared.symmetry_classes = prepared.sites.size();
+  if (config.symmetry && SymmetryEligibleCampaign(config) &&
+      !prepared.sites.empty()) {
+    SAFFIRE_SPAN("campaign.symmetry_plan");
+    const std::vector<SiteEquivalenceClass> classes = PartitionFaultSites(
+        prepared.sites, prepared.faults.front(), config.workload,
+        config.accel, config.dataflow, prepared.predictions.get());
+    prepared.symmetry_classes = classes.size();
+    SymmetryClassesCounter().Increment(
+        static_cast<std::int64_t>(classes.size()));
+    if (classes.size() < prepared.sites.size()) {
+      std::map<PeCoord, std::size_t> experiment_of;
+      for (std::size_t i = 0; i < prepared.sites.size(); ++i) {
+        experiment_of.emplace(prepared.sites[i], i);
+      }
+      prepared.symmetry_rep_of.assign(prepared.sites.size(), 0);
+      for (const SiteEquivalenceClass& equivalence : classes) {
+        // The representative is the class's first member in campaign order,
+        // so rep_of[i] <= i for every experiment.
+        const std::size_t rep = experiment_of.at(equivalence.representative);
+        for (const PeCoord member : equivalence.members) {
+          prepared.symmetry_rep_of[experiment_of.at(member)] = rep;
+        }
+      }
+      prepared.symmetry_memo = std::make_shared<SymmetryMemo>();
+    }
+  }
   return prepared;
 }
 
@@ -236,10 +353,39 @@ ExperimentRecord RunPreparedExperimentWithEngine(
   SAFFIRE_ASSERT_MSG(index < prepared.faults.size(),
                      "experiment " << index << " of "
                                    << prepared.faults.size());
+  if (prepared.SymmetryActive()) {
+    const std::size_t rep = prepared.symmetry_rep_of[index];
+    ExperimentRecord record;
+    if (!prepared.symmetry_memo->Lookup(rep, &record)) {
+      record = RunPreparedExperimentDirect(prepared, runner, rep, engine);
+      prepared.symmetry_memo->Store(rep, record);
+    }
+    if (rep != index) {
+      // Synthesize the member record: identical to the representative's in
+      // every field except the injected fault's coordinate.
+      record.fault = prepared.faults[index];
+      ReplicatedRecordsCounter().Increment();
+    }
+    return record;
+  }
+  return RunPreparedExperimentDirect(prepared, runner, index, engine);
+}
+
+ExperimentRecord RunPreparedExperimentDirect(const PreparedCampaign& prepared,
+                                             FiRunner& runner,
+                                             std::size_t index,
+                                             CampaignEngine engine) {
+  SAFFIRE_ASSERT_MSG(index < prepared.faults.size(),
+                     "experiment " << index << " of "
+                                   << prepared.faults.size());
   const CampaignConfig& config = prepared.config;
   if (GroupedCampaignEngine(engine)) {
+    SAFFIRE_CHECK_MSG(GroupedCampaignEngine(config.engine),
+                      "grouped engine on a non-grouped campaign: "
+                          << ToString(config.engine));
     // A one-lane group — same code path, same record.
-    return RunPreparedBatch(prepared, runner, index, index + 1, engine)
+    return RunFaultGroup(prepared, runner, {&prepared.faults[index], 1},
+                         engine)
         .front();
   }
   SAFFIRE_SPAN("campaign.experiment");
@@ -278,7 +424,8 @@ std::vector<ExperimentRecord> RunPreparedBatch(
 
 std::vector<ExperimentRecord> RunPreparedBatch(
     const PreparedCampaign& prepared, FiRunner& runner, std::size_t begin,
-    std::size_t end, CampaignEngine engine) {
+    std::size_t end, CampaignEngine engine,
+    std::uint64_t* lanes_simulated) {
   SAFFIRE_ASSERT_MSG(begin < end && end <= prepared.faults.size(),
                      "batch [" << begin << ", " << end << ") of "
                                << prepared.faults.size());
@@ -289,38 +436,61 @@ std::vector<ExperimentRecord> RunPreparedBatch(
   SAFFIRE_CHECK_MSG(GroupedCampaignEngine(config.engine),
                     "RunPreparedBatch requires a grouped campaign, got "
                         << ToString(config.engine));
-  const GoldenTrace* trace = prepared.trace();
-  SAFFIRE_CHECK_MSG(trace != nullptr,
-                    "grouped engines require a cached golden trace");
-  ConfigureEngine(runner, engine);
-  // The batch runner consumes the relative strike offsets directly (against
-  // the trace's recorded per-step clocks), so no rebasing happens here.
-  // Same convention under the closed form, which never strikes at all.
+  if (lanes_simulated != nullptr) {
+    *lanes_simulated = static_cast<std::uint64_t>(end - begin);
+  }
+  if (prepared.SymmetryActive()) {
+    // Gather the distinct representatives of [begin, end) the memo does not
+    // hold yet. A representative may lie outside the slice (an earlier
+    // batch, or a batch this process never runs under shard filtering /
+    // checkpoint resume) — its fault is still addressable globally, so it
+    // simply joins this group.
+    SymmetryMemo& memo = *prepared.symmetry_memo;
+    std::map<std::size_t, ExperimentRecord> group;
+    std::vector<std::size_t> need;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t rep = prepared.symmetry_rep_of[i];
+      if (group.count(rep) != 0) continue;
+      ExperimentRecord record;
+      if (memo.Lookup(rep, &record)) {
+        group.emplace(rep, std::move(record));
+      } else {
+        group.emplace(rep, ExperimentRecord{});
+        need.push_back(rep);
+      }
+    }
+    if (!need.empty()) {
+      std::vector<FaultSpec> rep_faults;
+      rep_faults.reserve(need.size());
+      for (const std::size_t rep : need) {
+        rep_faults.push_back(prepared.faults[rep]);
+      }
+      const std::vector<ExperimentRecord> simulated =
+          RunFaultGroup(prepared, runner, rep_faults, engine);
+      for (std::size_t i = 0; i < need.size(); ++i) {
+        memo.Store(need[i], simulated[i]);
+        group[need[i]] = simulated[i];
+      }
+    }
+    if (lanes_simulated != nullptr) {
+      *lanes_simulated = static_cast<std::uint64_t>(need.size());
+    }
+    std::vector<ExperimentRecord> records;
+    records.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t rep = prepared.symmetry_rep_of[i];
+      ExperimentRecord record = group.at(rep);
+      if (rep != i) {
+        record.fault = prepared.faults[i];
+        ReplicatedRecordsCounter().Increment();
+      }
+      records.push_back(std::move(record));
+    }
+    return records;
+  }
   const std::span<const FaultSpec> faults(prepared.faults.data() + begin,
                                           end - begin);
-  const bool closed_form =
-      engine == CampaignEngine::kPredicted && PredictedEngineExact(config);
-  if (engine == CampaignEngine::kPredicted) {
-    (closed_form ? PredictHitsCounter() : PredictResidueCounter())
-        .Increment(static_cast<std::int64_t>(end - begin));
-  }
-  const std::vector<RunResult> faulty =
-      closed_form
-          ? runner.RunFaultyPredicted(config.workload, config.dataflow,
-                                      faults, *trace, prepared.golden())
-          : runner.RunFaultyBatch(config.workload, config.dataflow, faults,
-                                  *trace, prepared.golden());
-  std::vector<ExperimentRecord> records;
-  records.reserve(faulty.size());
-  {
-    // Classification + prediction over the lane outputs — the post-replay
-    // diff work, separated from the replay itself in phase breakdowns.
-    SAFFIRE_SPAN("fi.batch.diff");
-    for (std::size_t i = 0; i < faulty.size(); ++i) {
-      records.push_back(BuildRecord(prepared, faults[i], faulty[i]));
-    }
-  }
-  return records;
+  return RunFaultGroup(prepared, runner, faults, engine);
 }
 
 CampaignResult RunCampaignSerial(const CampaignConfig& config) {
@@ -347,10 +517,14 @@ CampaignResult RunCampaignSerial(const CampaignConfig& config) {
     const auto lanes = static_cast<std::size_t>(config.batch_lanes);
     for (std::size_t i = 0; i < prepared.faults.size(); i += lanes) {
       const std::size_t end = std::min(prepared.faults.size(), i + lanes);
-      std::vector<ExperimentRecord> records =
-          RunPreparedBatch(prepared, runner, i, end);
-      if (!closed_form) {
-        result.lanes_filled += static_cast<std::uint64_t>(records.size());
+      std::uint64_t simulated = 0;
+      std::vector<ExperimentRecord> records = RunPreparedBatch(
+          prepared, runner, i, end, config.engine, &simulated);
+      // Occupancy counts lanes actually simulated: under a symmetry plan a
+      // group shrinks to its unseen representatives and can vanish
+      // entirely, in which case no array pass happened.
+      if (!closed_form && simulated > 0) {
+        result.lanes_filled += simulated;
         ++result.batches_run;
       }
       std::move(records.begin(), records.end(),

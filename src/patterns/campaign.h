@@ -5,9 +5,11 @@
 // corruption, and cross-validate against the analytical predictor.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -56,8 +58,8 @@ CampaignEngine ParseCampaignEngine(const std::string& name);
 // Alias of ParseCampaignEngine, kept for existing callers.
 CampaignEngine CampaignEngineFromString(const std::string& name);
 
-// std::thread::hardware_concurrency(), clamped to the [1, 256] range
-// RunCampaignParallel accepts — the default worker count for benches/CLIs.
+// std::thread::hardware_concurrency(), clamped to the [1, 256] range the
+// campaign executor accepts — the default worker count for benches/CLIs.
 int DefaultCampaignThreads();
 
 struct CampaignConfig {
@@ -87,6 +89,21 @@ struct CampaignConfig {
   // JSON campaign key.
   std::int64_t batch_lanes = 256;
 
+  // Symmetry-aware deduplication (patterns/symmetry.h): when true and the
+  // campaign is eligible (SymmetryEligibleCampaign — permanent stuck-at
+  // faults on a predictor-covered signal), only one representative per
+  // site-equivalence class is simulated; member records are synthesized
+  // from the representative's with the fault coordinate rewritten. Under
+  // WS/IS this shrinks the paper's 256-site campaign to ≤ 16 simulations;
+  // under OS every site is its own class, so the flag is a no-op. The
+  // synthesis is exact for the paper's all-ones extraction workloads (the
+  // engine-equivalence test matrix gates it); data-dependent fields
+  // (fault_activations, max_abs_delta) can differ between class members
+  // under random fills, which is what ResilienceOptions::selfcheck_rate
+  // cross-validates before a class is trusted. Excluded from the campaign
+  // key: a symmetry run's records match a full run's by contract.
+  bool symmetry = false;
+
   std::string ToString() const;
 };
 
@@ -101,6 +118,13 @@ bool GroupedCampaignEngine(CampaignEngine engine);
 // kind/signal are uniform across its experiments) and kPredicted runs it
 // through the kBatch replay instead.
 bool PredictedEngineExact(const CampaignConfig& config);
+
+// True when CampaignConfig::symmetry can apply to `config`: permanent
+// stuck-at campaigns on a predictor-covered signal (kAdderOut / kMulOut /
+// kWeightOperand), where the site-equivalence partition is defined by the
+// predicted reach. Transients (per-site strike cycles) and forwarding
+// signals (no closed-form reach) always simulate every site.
+bool SymmetryEligibleCampaign(const CampaignConfig& config);
 
 struct ExperimentRecord {
   // The injected fault. For transient campaigns, at_cycle holds the strike
@@ -163,26 +187,6 @@ struct CampaignResult {
   bool SingleClassProperty() const;
 };
 
-// Runs the campaign. Per-experiment work: one faulty run, one diff, one
-// classification, one prediction; the golden run happens once. Defined in
-// the service layer (service/service.cc) as a thin wrapper over the
-// RunSweep facade (service/run.h) — link saffire_service to use it.
-// Deprecated: new code should build a plan (SingleCampaignPlan) and call
-// RunSweep with the sink it actually wants.
-[[deprecated(
-    "build a plan with SingleCampaignPlan and call RunSweep "
-    "(service/run.h)")]]
-CampaignResult RunCampaign(const CampaignConfig& config);
-
-// Same result, computed across up to `threads` pool workers (experiments
-// are independent: a permanent fault only lives for its own run). Record
-// order and content match RunCampaign bit-for-bit regardless of the thread
-// count. Also defined in service/service.cc. Deprecated alongside
-// RunCampaign — RunSweep with RunOptions::max_parallelism replaces it.
-[[deprecated(
-    "call RunSweep (service/run.h) with RunOptions::max_parallelism")]]
-CampaignResult RunCampaignParallel(const CampaignConfig& config, int threads);
-
 // The self-contained single-threaded implementation: one locally
 // constructed simulator, experiments executed in site order on the calling
 // thread. This is the ground-truth baseline the service layer is validated
@@ -198,6 +202,34 @@ std::vector<PeCoord> CampaignSites(const CampaignConfig& config);
 // Everything below is shared by RunCampaignSerial and the campaign service
 // (service/executor.h): both paths run the exact same per-experiment code,
 // which is what makes their results bit-identical by construction.
+
+// Shared per-campaign store of simulated representative records under
+// CampaignConfig::symmetry. Workers fill it on demand; the fill is
+// deterministic (two racing computes of the same representative produce
+// identical records), so last-write-wins needs no coordination beyond the
+// mutex. A self-check mismatch Disable()s the memo, after which every
+// experiment simulates directly — the symmetry analogue of engine demotion,
+// and equally sticky for the campaign's remainder.
+class SymmetryMemo {
+ public:
+  // Copies the representative's record into *record; false when it has not
+  // been simulated yet.
+  bool Lookup(std::size_t representative, ExperimentRecord* record) const;
+  void Store(std::size_t representative, ExperimentRecord record);
+
+  // Permanently stops synthesis for this campaign (selfcheck mismatch —
+  // the class cannot be trusted). Records already synthesized stand, like
+  // records produced before an engine demotion.
+  void Disable() { disabled_.store(true, std::memory_order_relaxed); }
+  bool disabled() const {
+    return disabled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::size_t, ExperimentRecord> records_;
+  std::atomic<bool> disabled_{false};
+};
 
 // The per-campaign state that is computed once and then shared (read-only)
 // by every experiment: the golden run, the classification context, the site
@@ -221,6 +253,24 @@ struct PreparedCampaign {
   // strike offset relative to the faulty run's start (pre-sampled so any
   // execution order yields identical experiments).
   std::vector<FaultSpec> faults;
+
+  // Symmetry plan (CampaignConfig::symmetry): symmetry_rep_of[i] is the
+  // experiment index of experiment i's class representative (the earliest
+  // equivalent site in campaign order; i itself when i is a
+  // representative). Empty, with symmetry_memo null, when symmetry is off,
+  // the campaign is ineligible, or the partition found no duplicate sites
+  // (e.g. OS dataflow) — in which case execution is exactly the
+  // non-symmetry path. symmetry_classes always holds the number of distinct
+  // classes (== sites.size() when no plan is active) for reporting.
+  std::vector<std::size_t> symmetry_rep_of;
+  std::shared_ptr<SymmetryMemo> symmetry_memo;
+  std::size_t symmetry_classes = 0;
+
+  // Whether member records are currently being synthesized from
+  // representatives (a selfcheck mismatch Disable()s the memo mid-flight).
+  bool SymmetryActive() const {
+    return symmetry_memo != nullptr && !symmetry_memo->disabled();
+  }
 
   const RunResult& golden() const {
     return cached != nullptr ? cached->result : reference_golden;
@@ -265,6 +315,15 @@ ExperimentRecord RunPreparedExperimentWithEngine(
     const PreparedCampaign& prepared, FiRunner& runner, std::size_t index,
     CampaignEngine engine);
 
+// Like RunPreparedExperimentWithEngine but always simulates `index` itself,
+// bypassing the symmetry memo entirely (no lookup, no store). This is the
+// ground truth the self-check machinery compares synthesized records
+// against — it must not be able to return a synthesized record.
+ExperimentRecord RunPreparedExperimentDirect(const PreparedCampaign& prepared,
+                                             FiRunner& runner,
+                                             std::size_t index,
+                                             CampaignEngine engine);
+
 // Runs experiments [begin, end) of a prepared kBatch/kPredicted campaign as
 // one group — the closed form (FiRunner::RunFaultyPredicted) under
 // kPredicted when PredictedEngineExact holds, the lane-parallel replay
@@ -280,8 +339,13 @@ std::vector<ExperimentRecord> RunPreparedBatch(
 // Same, but on an explicit engine (kBatch or kPredicted) instead of
 // prepared.config.engine — the demotion path: a kPredicted campaign demoted
 // to kBatch re-runs its groups on the replay without re-preparing.
+// `lanes_simulated`, when non-null, receives the number of experiments the
+// group actually simulated: end − begin normally, but under an active
+// symmetry plan only the distinct representatives the memo was missing —
+// the occupancy figure lanes_filled/batches_run should count.
 std::vector<ExperimentRecord> RunPreparedBatch(
     const PreparedCampaign& prepared, FiRunner& runner, std::size_t begin,
-    std::size_t end, CampaignEngine engine);
+    std::size_t end, CampaignEngine engine,
+    std::uint64_t* lanes_simulated = nullptr);
 
 }  // namespace saffire

@@ -1,8 +1,79 @@
 #include "patterns/symmetry.h"
 
+#include <algorithm>
 #include <map>
+#include <utility>
 
 namespace saffire {
+
+namespace {
+
+// The reach translated to its bounding-box origin: congruent reaches (same
+// shape, anywhere in the output matrix) normalize to the same vector.
+// PredictPattern emits coords in a deterministic order, which translation
+// preserves, so equal shapes compare equal element-wise.
+std::vector<MatrixCoord> NormalizedReach(
+    const std::vector<MatrixCoord>& coords) {
+  if (coords.empty()) return {};
+  std::int64_t min_row = coords.front().row;
+  std::int64_t min_col = coords.front().col;
+  for (const MatrixCoord coord : coords) {
+    min_row = std::min(min_row, coord.row);
+    min_col = std::min(min_col, coord.col);
+  }
+  std::vector<MatrixCoord> shape;
+  shape.reserve(coords.size());
+  for (const MatrixCoord coord : coords) {
+    shape.push_back({coord.row - min_row, coord.col - min_col});
+  }
+  return shape;
+}
+
+}  // namespace
+
+std::vector<SiteEquivalenceClass> PartitionFaultSites(
+    const std::vector<PeCoord>& sites, const FaultSpec& prototype,
+    const WorkloadSpec& workload, const AccelConfig& accel, Dataflow dataflow,
+    PredictionCache* cache) {
+  workload.Validate();
+  accel.Validate();
+
+  std::vector<SiteEquivalenceClass> classes;
+  // Key: the site's array row plus the origin-normalized reach — the
+  // record-identity partition, deliberately finer than the reach-identity
+  // one below. Two same-row sites with congruent reaches are related by a
+  // column translation, and under column-invariant operand fills a column
+  // translation maps the whole faulted computation onto itself: the fault
+  // site sees the same golden value sequence, so activations, deltas, and
+  // pattern classes coincide field for field. Same-COLUMN sites (identical
+  // raw reach) are NOT record-equivalent in general even though the paper's
+  // class label matches: e.g. a WS adder_out fault sees the running partial
+  // sum, whose value depends on the array row, so whether a given stuck bit
+  // ever fires differs row to row.
+  std::map<std::pair<std::int32_t, std::vector<MatrixCoord>>, std::size_t>
+      index_by_key;
+
+  for (const PeCoord site : sites) {
+    FaultSpec fault = prototype;
+    fault.pe = site;
+    PredictedPattern prediction =
+        cache != nullptr ? cache->Lookup(fault)
+                         : PredictPattern(workload, accel, dataflow, fault);
+    const auto key = std::pair(site.row, NormalizedReach(prediction.coords));
+    const auto it = index_by_key.find(key);
+    if (it == index_by_key.end()) {
+      index_by_key.emplace(key, classes.size());
+      SiteEquivalenceClass equivalence;
+      equivalence.representative = site;
+      equivalence.members = {site};
+      equivalence.prediction = std::move(prediction);
+      classes.push_back(std::move(equivalence));
+    } else {
+      classes[it->second].members.push_back(site);
+    }
+  }
+  return classes;
+}
 
 std::vector<SiteEquivalenceClass> PartitionFaultSites(
     const WorkloadSpec& workload, const AccelConfig& accel,
@@ -10,14 +81,17 @@ std::vector<SiteEquivalenceClass> PartitionFaultSites(
   workload.Validate();
   accel.Validate();
 
+  // The paper-level partition: identical raw reach, the "fault pattern
+  // class remains the same irrespective of the position of the faulty MAC
+  // unit" observation made precise. Under WS/IS each column collapses; OS
+  // keeps every site distinct because each owns different output coords.
   std::vector<SiteEquivalenceClass> classes;
-  // Key: the predicted coordinate set. A map keyed by the coords vector
-  // keeps lookup simple; class count is small (≤ num_pes).
   std::map<std::vector<MatrixCoord>, std::size_t> index_by_reach;
-
+  const FaultSpec prototype =
+      StuckAtAdder(/*pe=*/{0, 0}, /*bit=*/8, StuckPolarity::kStuckAt1);
   for (const PeCoord site : AllPeCoords(accel.array)) {
-    const FaultSpec fault =
-        StuckAtAdder(site, /*bit=*/8, StuckPolarity::kStuckAt1);
+    FaultSpec fault = prototype;
+    fault.pe = site;
     PredictedPattern prediction =
         PredictPattern(workload, accel, dataflow, fault);
     const auto it = index_by_reach.find(prediction.coords);

@@ -35,6 +35,33 @@ std::vector<SiteEquivalenceClass> PartitionFaultSites(
     const WorkloadSpec& workload, const AccelConfig& accel,
     Dataflow dataflow);
 
+// The record-identity partition over an explicit site list (e.g. a sampled
+// campaign's sites, in campaign order) and an explicit fault axis: the
+// kind, signal, bit, and polarity come from `prototype` (its pe is
+// rewritten per site), so the partition matches exactly the faults the
+// campaign will inject. The signal must be predictor-covered (kAdderOut /
+// kMulOut / kWeightOperand — PredictPattern's contract).
+//
+// Unlike the whole-array overload above, the key here is (array row,
+// reach normalized to its bounding-box origin), not the raw reach: two
+// same-row sites with congruent reaches are column translates of each
+// other, and with column-invariant operand fills the translated experiment
+// produces a record identical in every field — which is what lets the
+// campaign layer synthesize a member's record from its representative's.
+// Same-column sites share the paper's pattern CLASS but not the full
+// record (the fault sees row-dependent values), so they stay separate.
+//
+// Each class's representative is its first member in `sites` order and
+// members keep that order, which is what lets a campaign map every
+// experiment onto the earliest equivalent one. `cache`, when non-null,
+// supplies (and memoizes) the predictions — pass the campaign's
+// PredictionCache so the partition shares the per-column memo with record
+// building instead of re-deriving it.
+std::vector<SiteEquivalenceClass> PartitionFaultSites(
+    const std::vector<PeCoord>& sites, const FaultSpec& prototype,
+    const WorkloadSpec& workload, const AccelConfig& accel, Dataflow dataflow,
+    PredictionCache* cache = nullptr);
+
 // Experiments saved by running one representative per class instead of
 // every site: (num_pes − num_classes) / num_pes.
 double SymmetryReductionFactor(const WorkloadSpec& workload,

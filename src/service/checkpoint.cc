@@ -7,6 +7,7 @@
 #include "common/crc32.h"
 #include "common/json.h"
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace saffire {
 
@@ -203,6 +204,13 @@ SweepCheckpoint LoadSweepCheckpoint(std::istream& in,
     }
   }
   if (counts.dropped > 0) {
+    // Surfaced as a metric too, so monitored fleets see on-disk corruption
+    // without scraping logs or the CLI's resume line.
+    static obs::Counter& dropped_lines =
+        obs::MetricsRegistry::Default().GetCounter(
+            "saffire.checkpoint.dropped_lines",
+            "corrupt or torn checkpoint lines dropped while loading");
+    dropped_lines.Increment(counts.dropped);
     SAFFIRE_LOG_WARN << "checkpoint: dropped " << counts.dropped << " of "
                      << counts.lines
                      << " lines; the affected experiments will be "

@@ -419,6 +419,9 @@ SweepOutcome CampaignExecutor::Run(const CampaignPlan& plan, RecordSink& sink,
     campaign.info.total_experiments = campaign.total;
     campaign.info.scheduled_experiments =
         static_cast<std::int64_t>(campaign.deliverable.size());
+    // "No reduction" until PrepareOne installs the real partition; stays
+    // this way for replay-only campaigns (nothing simulated either way).
+    campaign.info.symmetry_classes = campaign.total;
 
     if (campaign.to_simulate.empty() && from != nullptr) {
       // Fully covered: golden metadata comes from the checkpoint too, so
@@ -676,6 +679,9 @@ void CampaignExecutor::PrepareOne(RunState& run, std::size_t campaign_index,
   campaign.info.golden_cycles = prepared.golden().cycles;
   campaign.info.golden_pe_steps = prepared.golden().pe_steps;
   campaign.info.golden_cache_hit = prepared.golden_cache_hit;
+  campaign.info.symmetry_classes =
+      static_cast<std::int64_t>(prepared.symmetry_classes);
+  campaign.info.symmetry_active = prepared.SymmetryActive();
   campaign.prepared = std::move(prepared);
 
   // Chunk the simulation list: small enough for stealing to balance load
@@ -739,6 +745,35 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
     FailedRecord failure;
     if (RunExperimentResilient(run, campaign_index, runner, index, rung,
                                &record, &failure)) {
+      // Replicated-record self-check: grouped runs cross-validate in their
+      // batch loop below; here a record synthesized from a symmetry
+      // representative is sampled against a direct run of the same rung
+      // engine, which bypasses the memo by construction. Same rung, not
+      // kDifferential: this check validates the symmetry class, and
+      // engines legitimately differ in occupancy fields (a full-engine
+      // record never skips PE steps, a differential one does).
+      if (res.selfcheck_rate > 0.0 && campaign.prepared.SymmetryActive() &&
+          campaign.prepared.symmetry_rep_of[static_cast<std::size_t>(
+              index)] != static_cast<std::size_t>(index) &&
+          SelfCheckSampled(res.selfcheck_rate, config.seed, campaign_index,
+                           index)) {
+        NoteSelfCheck(run, rung);
+        try {
+          const ExperimentRecord check = RunPreparedExperimentDirect(
+              campaign.prepared, runner, static_cast<std::size_t>(index),
+              rung);
+          if (!(check == record)) {
+            NoteMismatch(run, campaign_index, index);
+            // The class lied for this site: stop synthesizing for the
+            // campaign's remainder and keep the directly simulated record.
+            campaign.prepared.symmetry_memo->Disable();
+            record = check;
+          }
+        } catch (const std::exception&) {
+          // The cross-check failing says nothing about the record; the
+          // resilient path already vouched for it.
+        }
+      }
       chunk[static_cast<std::size_t>(p - begin)] = std::move(record);
     } else {
       failures.push_back(std::move(failure));
@@ -777,6 +812,7 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
       }
       const CampaignEngine group_engine = engine;
       std::vector<ExperimentRecord> records;
+      std::uint64_t group_simulated = 0;
       bool ok = false;
       for (int attempt = 0; attempt <= res.max_retries; ++attempt) {
         if (attempt > 0) {
@@ -787,7 +823,8 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
           chaos::OnBatchAttempt(campaign_index, attempt);
           records = RunPreparedBatch(
               campaign.prepared, runner, static_cast<std::size_t>(first),
-              static_cast<std::size_t>(first + (q - p)), group_engine);
+              static_cast<std::size_t>(first + (q - p)), group_engine,
+              &group_simulated);
           ok = true;
           break;
         } catch (const std::invalid_argument&) {
@@ -805,12 +842,20 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
           }
           NoteSelfCheck(run, group_engine);
           try {
-            const ExperimentRecord check = RunPreparedExperimentWithEngine(
+            // Direct: the ground truth must bypass the symmetry memo, or a
+            // synthesized record would be "validated" against itself.
+            const ExperimentRecord check = RunPreparedExperimentDirect(
                 campaign.prepared, runner,
                 static_cast<std::size_t>(first + i),
                 CampaignEngine::kDifferential);
             if (!(check == records[static_cast<std::size_t>(i)])) {
               NoteMismatch(run, campaign_index, first + i);
+              // Indistinguishable between an engine defect and a bad
+              // symmetry class — degrade both: stop synthesizing and let
+              // the rerun below demote the engine.
+              if (campaign.prepared.symmetry_memo != nullptr) {
+                campaign.prepared.symmetry_memo->Disable();
+              }
               ok = false;
             }
           } catch (const std::exception&) {
@@ -828,9 +873,13 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
         engine = DemoteEngine(run, campaign_index, group_engine);
         for (std::int64_t i = p; i < q; ++i) run_one(i, engine);
       } else {
+        // Occupancy counts lanes actually simulated: under a symmetry plan
+        // a group shrinks to its unseen representatives and may vanish
+        // entirely (no array pass at all).
         if (!(group_engine == CampaignEngine::kPredicted &&
-              PredictedEngineExact(config))) {
-          lanes_filled += static_cast<std::uint64_t>(records.size());
+              PredictedEngineExact(config)) &&
+            group_simulated > 0) {
+          lanes_filled += group_simulated;
           ++batches_run;
         }
         for (std::int64_t i = 0; i < q - p; ++i) {

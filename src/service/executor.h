@@ -2,7 +2,7 @@
 // whole CampaignPlans, work-stealing across every campaign in a batch, and
 // streams records to RecordSinks in a deterministic canonical order.
 //
-// Why a service instead of RunCampaignParallel's old spawn-per-call model:
+// Why a service instead of a spawn-per-call model:
 // a paper-scale sweep is hundreds of campaigns (Sec. III-B), and per-call
 // orchestration pays thread spawn/join and simulator construction (each
 // FiRunner owns a dram_bytes-sized memory image) once per campaign. The
@@ -96,6 +96,7 @@ struct ExecutorOptions {
 };
 
 class CampaignExecutor;
+class ResultCache;
 
 struct RunOptions {
   // Cap on workers serving this run; 0 means the whole pool. Kept as a cap
@@ -110,6 +111,14 @@ struct RunOptions {
   // Previously completed records to replay instead of re-simulating.
   // Validated against the plan (ValidateCheckpoint) before anything runs.
   const SweepCheckpoint* checkpoint = nullptr;
+  // Content-addressed cross-sweep result store (service/result_cache.h),
+  // consumed by the RunSweep facade: campaigns found in the cache merge
+  // into the replay checkpoint before execution, and freshly completed
+  // campaigns are written back. Ignored by CampaignExecutor::Run itself
+  // (like `executor`) — pass through RunSweep to get cache semantics.
+  // nullptr disables caching. Not combined with only_shard (a shard run
+  // never completes a whole campaign).
+  ResultCache* result_cache = nullptr;
   // Executor serving the run when going through the RunSweep facade
   // (service/run.h); nullptr means CampaignExecutor::Shared(). Ignored by
   // CampaignExecutor::Run itself (the callee is already chosen).

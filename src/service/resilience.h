@@ -94,6 +94,14 @@ struct SweepOutcome {
   // Corrupt/truncated checkpoint lines dropped while loading the resume
   // stream (filled by callers that loaded one; the executor leaves it 0).
   std::int64_t checkpoint_lines_dropped = 0;
+  // Result-cache traffic (filled by the RunSweep facade when
+  // RunOptions::result_cache is set; the executor leaves them 0): campaigns
+  // fully served from the cache, campaigns that had to simulate, and
+  // freshly completed campaigns written back. Not part of ok() — a cold
+  // cache is healthy.
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t cache_stores = 0;
   // True when a cooperative stop (RunOptions::stop) drained the run before
   // every record was delivered.
   bool stopped = false;

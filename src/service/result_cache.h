@@ -1,0 +1,61 @@
+// Content-addressed on-disk store of completed campaign results — the
+// cross-sweep counterpart of checkpoint/resume. A checkpoint resumes *one*
+// interrupted sweep; the result cache recognizes a campaign it has ever
+// completed, in any sweep, by the content hash of its CampaignKey
+// (service/sweep.h) and serves the records without simulating. On the
+// paper's scale (49 h of FPGA fault injection for one table, Sec. III-B)
+// repeated and overlapping sub-sweeps are the norm — per-dataflow reruns,
+// added bit positions, reproduced figures — and every overlap drops to a
+// file read.
+//
+// Layout: one file per campaign, `<dir>/<CampaignContentHash>.jsonl`, in
+// the CRC-sealed checkpoint JSONL format (service/checkpoint.h) with the
+// campaign stored at index 0. Writes are atomic (tmp + rename, so a
+// crashed writer never leaves a half entry under the final name) and loads
+// are corruption-tolerant: a damaged, truncated, incomplete, or
+// key-mismatched entry is a cache miss, never a wrong record.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "patterns/campaign.h"
+#include "service/checkpoint.h"
+
+namespace saffire {
+
+class ResultCache {
+ public:
+  // Creates `dir` (and parents) if missing; throws std::invalid_argument
+  // when that fails.
+  explicit ResultCache(std::string dir);
+
+  // Loads the cached records of `config`, or nullopt on any kind of miss:
+  // no entry, unreadable/corrupt file, an embedded key that does not match
+  // CampaignKey(config) (hash collision or tampering), or an entry whose
+  // record count differs from `expected_experiments` (the plan's site
+  // count). Counts saffire.cache.{hits,misses}.
+  std::optional<CheckpointCampaign> Load(
+      const CampaignConfig& config, std::int64_t expected_experiments) const;
+
+  // Atomically writes a completed campaign as `config`'s entry, replacing
+  // any previous one. `entry.records` must cover [0, total_experiments)
+  // densely — partial campaigns are not cacheable — and the stored key is
+  // derived from `config` (entry.key is ignored). Best-effort: an I/O
+  // failure is logged and swallowed (a sweep must not fail because its
+  // cache directory did), and false is returned. Counts
+  // saffire.cache.stores.
+  bool Store(const CampaignConfig& config,
+             const CheckpointCampaign& entry) const;
+
+  // The entry path Load/Store use for `config` (tests and tooling).
+  std::string EntryPath(const CampaignConfig& config) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace saffire

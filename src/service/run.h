@@ -1,11 +1,13 @@
-// The one sweep entry point. Every way of running campaigns — the
-// single-campaign conveniences in patterns/campaign.h, spec-driven sweeps,
-// pre-built plans — funnels through RunSweep: expand to a CampaignPlan,
-// pick the executor (RunOptions::executor or the process-wide shared pool),
-// and stream records to the sink in canonical order. Callers choose *what*
-// to run (spec/plan) and *where records go* (sink) independently of *how*
-// it executes (RunOptions); the legacy RunCampaign/RunCampaignParallel
-// signatures survive as thin deprecated wrappers.
+// The one sweep entry point. Every way of running campaigns — spec-driven
+// sweeps, pre-built plans, single-campaign plans — funnels through
+// RunSweep: expand to a CampaignPlan, pick the executor
+// (RunOptions::executor or the process-wide shared pool), and stream
+// records to the sink in canonical order. Callers choose *what* to run
+// (spec/plan) and *where records go* (sink) independently of *how* it
+// executes (RunOptions). When RunOptions::result_cache is set, the facade
+// additionally consults the content-addressed result cache before
+// executing (cached campaigns replay without simulating) and writes every
+// freshly completed campaign back.
 #pragma once
 
 #include <vector>

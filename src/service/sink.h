@@ -41,6 +41,13 @@ struct CampaignBeginInfo {
   // callback before OnCampaignEnd.
   std::uint64_t lanes_filled = 0;
   std::uint64_t batches_run = 0;
+  // Symmetry plan (CampaignConfig::symmetry): the number of site-equivalence
+  // classes among total_experiments sites (== total_experiments when no plan
+  // is active), and whether member records are synthesized from
+  // representatives this run. Campaigns replayed from a checkpoint report
+  // classes == total_experiments — nothing was simulated either way.
+  std::int64_t symmetry_classes = 0;
+  bool symmetry_active = false;
 };
 
 // Consumer interface. Delivery contract (service/executor.h): callbacks
@@ -67,8 +74,8 @@ class RecordSink {
   virtual void OnSweepEnd() {}
 };
 
-// Accumulates full CampaignResult values — the bridge from the streaming
-// service to the batch API (RunCampaignParallel returns its single result).
+// Accumulates full CampaignResult values — for callers that want the batch
+// CampaignResult analysis API after a streaming run.
 class CollectorSink : public RecordSink {
  public:
   void OnCampaignBegin(const CampaignBeginInfo& info) override;

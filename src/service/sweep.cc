@@ -150,6 +150,7 @@ std::string SweepSpec::ToJson() const {
       .Key("seed").Uint(seed)
       .Key("engine").String(ToString(engine))
       .Key("shards").Int(shards)
+      .Key("symmetry").Bool(symmetry)
       .EndObject();
   return os.str();
 }
@@ -160,7 +161,7 @@ SweepSpec ParseSweepSpec(const std::string& json) {
   // instead of silently sweeping the default axis.
   static const std::set<std::string> kKnown = {
       "accel", "workloads", "dataflows", "signals", "polarities", "bits",
-      "kind",  "max_sites", "seed",      "engine",  "shards"};
+      "kind",  "max_sites", "seed",      "engine",  "shards", "symmetry"};
   for (const auto& [key, value] : root.AsObject()) {
     (void)value;
     SAFFIRE_CHECK_MSG(kKnown.count(key) != 0,
@@ -194,6 +195,10 @@ SweepSpec ParseSweepSpec(const std::string& json) {
   spec.seed = root.At("seed").AsUint();
   spec.engine = CampaignEngineFromString(root.At("engine").AsString());
   spec.shards = static_cast<int>(root.At("shards").AsInt());
+  // Optional for back-compat: spec files written before the symmetry flag
+  // existed parse with it off.
+  const JsonValue* symmetry = root.Find("symmetry");
+  spec.symmetry = symmetry != nullptr && symmetry->AsBool();
   spec.Validate();
   return spec;
 }
@@ -244,6 +249,7 @@ void AppendSpec(CampaignPlan& plan, const SweepSpec& spec) {
             config.max_sites = spec.max_sites;
             config.seed = spec.seed;
             config.engine = spec.engine;
+            config.symmetry = spec.symmetry;
             AppendCampaign(plan, config, spec.shards);
           }
         }
@@ -300,6 +306,25 @@ std::string CampaignKey(const CampaignConfig& config) {
       << static_cast<int>(config.polarity) << ';' << config.max_sites << ','
       << config.seed;
   return key.str();
+}
+
+std::string CampaignContentHash(const CampaignConfig& config) {
+  // FNV-1a 64-bit over a versioned domain prefix + the full key. The
+  // version tag means a future key-format change moves every address
+  // instead of aliasing old cache entries.
+  const std::string key = "saffire-campaign-v1;" + CampaignKey(config);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  std::string hex(16, '0');
+  static const char* kDigits = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    hex[static_cast<std::size_t>(i)] = kDigits[hash & 0xF];
+    hash >>= 4;
+  }
+  return hex;
 }
 
 }  // namespace saffire

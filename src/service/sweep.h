@@ -37,6 +37,9 @@ struct SweepSpec {
   // Shard ranges per campaign (for multi-process splits and partial runs);
   // executors subdivide further for load balance, so 1 is fine locally.
   int shards = 1;
+  // Propagated to CampaignConfig::symmetry on every expanded campaign.
+  // Optional in spec JSON (absent = false) so pre-existing spec files parse.
+  bool symmetry = false;
 
   // Campaigns this spec expands to (the axis product).
   std::size_t CampaignCount() const;
@@ -78,12 +81,20 @@ struct CampaignPlan {
 CampaignPlan BuildCampaignPlan(const SweepSpec& spec);
 CampaignPlan BuildCampaignPlan(const std::vector<SweepSpec>& specs);
 
-// The single-campaign plan RunCampaign/RunCampaignParallel wrap.
+// The one-campaign degenerate plan (tests and single-campaign tools).
 CampaignPlan SingleCampaignPlan(const CampaignConfig& config);
 
 // Serializes every field that determines a campaign's records — the
 // identity guard checkpoints store so a resume against a different plan is
 // rejected instead of silently merged (service/checkpoint.h).
 std::string CampaignKey(const CampaignConfig& config);
+
+// FNV-1a 64-bit hash of CampaignKey (16 lowercase hex chars) — the
+// content address of a campaign's record set, invariant across engines,
+// thread counts, symmetry, and workload names (none affect the records).
+// Used as the result cache's filename (service/result_cache.h); the cache
+// re-verifies the full key on load, so a hash collision degrades to a miss,
+// never to wrong records.
+std::string CampaignContentHash(const CampaignConfig& config);
 
 }  // namespace saffire

@@ -1,10 +1,13 @@
-// The parallel campaign runner must reproduce the serial result exactly.
-// This file deliberately exercises the deprecated RunCampaign*
-// wrappers (their contract is what is being tested/provided).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// A parallel sweep must reproduce the serial result exactly, whatever
+// thread count the RunOptions ask for.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <utility>
+
 #include "patterns/campaign.h"
+#include "service/run.h"
+#include "service/sink.h"
 
 namespace saffire {
 namespace {
@@ -29,6 +32,16 @@ CampaignConfig BaseConfig() {
   return config;
 }
 
+CampaignResult RunParallel(const CampaignConfig& config, int threads) {
+  RunOptions options;
+  options.max_parallelism = threads;
+  CollectorSink collector;
+  RunSweep(SingleCampaignPlan(config), options, collector);
+  std::vector<CampaignResult> results = collector.TakeResults();
+  EXPECT_EQ(results.size(), 1u);
+  return std::move(results.front());
+}
+
 void ExpectIdentical(const CampaignResult& serial,
                      const CampaignResult& parallel) {
   ASSERT_EQ(serial.records.size(), parallel.records.size());
@@ -49,13 +62,13 @@ void ExpectIdentical(const CampaignResult& serial,
 
 TEST(ParallelCampaignTest, MatchesSerialStuckAt) {
   const auto config = BaseConfig();
-  ExpectIdentical(RunCampaign(config), RunCampaignParallel(config, 4));
+  ExpectIdentical(RunCampaignSerial(config), RunParallel(config, 4));
 }
 
 TEST(ParallelCampaignTest, MatchesSerialTransient) {
   auto config = BaseConfig();
   config.kind = FaultKind::kTransientFlip;
-  ExpectIdentical(RunCampaign(config), RunCampaignParallel(config, 4));
+  ExpectIdentical(RunCampaignSerial(config), RunParallel(config, 4));
 }
 
 TEST(ParallelCampaignTest, MatchesSerialAcrossDataflows) {
@@ -63,20 +76,26 @@ TEST(ParallelCampaignTest, MatchesSerialAcrossDataflows) {
        {Dataflow::kOutputStationary, Dataflow::kInputStationary}) {
     auto config = BaseConfig();
     config.dataflow = dataflow;
-    ExpectIdentical(RunCampaign(config), RunCampaignParallel(config, 3));
+    ExpectIdentical(RunCampaignSerial(config), RunParallel(config, 3));
   }
 }
 
 TEST(ParallelCampaignTest, MoreThreadsThanSitesWorks) {
   auto config = BaseConfig();
   config.max_sites = 3;
-  const auto result = RunCampaignParallel(config, 16);
+  const auto result = RunParallel(config, 16);
   EXPECT_EQ(result.records.size(), 3u);
 }
 
 TEST(ParallelCampaignTest, RejectsBadThreadCounts) {
-  EXPECT_THROW(RunCampaignParallel(BaseConfig(), 0), std::invalid_argument);
-  EXPECT_THROW(RunCampaignParallel(BaseConfig(), 1000),
+  CollectorSink collector;
+  RunOptions negative;
+  negative.max_parallelism = -1;
+  EXPECT_THROW(RunSweep(SingleCampaignPlan(BaseConfig()), negative, collector),
+               std::invalid_argument);
+  RunOptions huge;
+  huge.max_parallelism = 1000;
+  EXPECT_THROW(RunSweep(SingleCampaignPlan(BaseConfig()), huge, collector),
                std::invalid_argument);
 }
 

@@ -4,15 +4,14 @@
 // full equivalence matrix, with the closed form serving exactly the
 // provably-exact (kind, signal) combinations and everything else flowing
 // through the batch residue path.
-// This file deliberately exercises the deprecated RunCampaign* wrappers
-// (their contract is what is being tested/provided).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include <gtest/gtest.h>
 
 #include <sstream>
 #include <stdexcept>
 
 #include "patterns/campaign.h"
+#include "service/run.h"
+#include "service/sink.h"
 #include "patterns/report.h"
 
 namespace saffire {
@@ -36,6 +35,16 @@ CampaignConfig BaseConfig() {
   config.workload.m = config.workload.k = config.workload.n = 12;
   config.bit = 8;
   return config;
+}
+
+CampaignResult RunParallel(const CampaignConfig& config, int threads) {
+  RunOptions options;
+  options.max_parallelism = threads;
+  CollectorSink collector;
+  RunSweep(SingleCampaignPlan(config), options, collector);
+  std::vector<CampaignResult> results = collector.TakeResults();
+  EXPECT_EQ(results.size(), 1u);
+  return std::move(results.front());
 }
 
 // Renders both engines' record streams through the shared CSV schema and
@@ -221,7 +230,7 @@ TEST(PredictedCampaignTest, ParallelMatchesSerial) {
   config.engine = CampaignEngine::kPredicted;
   const CampaignResult serial = RunCampaignSerial(config);
   for (const int threads : {1, 4}) {
-    const CampaignResult parallel = RunCampaignParallel(config, threads);
+    const CampaignResult parallel = RunParallel(config, threads);
     ExpectSameRecords(serial, parallel);
     EXPECT_EQ(parallel.lanes_filled, serial.lanes_filled) << threads;
     EXPECT_EQ(parallel.batches_run, serial.batches_run) << threads;

@@ -1,0 +1,157 @@
+// Symmetry-aware campaign dedup: a campaign that simulates one
+// representative per equivalence class and synthesizes the member records
+// must be indistinguishable — record for record, every field — from the
+// exhaustive run, across dataflows, polarities, and engines, and the
+// replicated-record self-check must stay silent while doing it.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "patterns/campaign.h"
+#include "service/run.h"
+#include "service/sink.h"
+
+namespace saffire {
+namespace {
+
+AccelConfig SmallAccel() {
+  AccelConfig config;
+  config.array.rows = 8;
+  config.array.cols = 8;
+  config.max_compute_rows = 64;
+  config.spad_rows = 128;
+  config.acc_rows = 64;
+  config.dram_bytes = 1 << 20;
+  return config;
+}
+
+CampaignConfig BaseConfig() {
+  CampaignConfig config;
+  config.accel = SmallAccel();
+  config.workload.name = "gemm-8";
+  config.workload.m = config.workload.k = config.workload.n = 8;
+  config.bit = 8;
+  return config;
+}
+
+void ExpectSameRecords(const CampaignResult& a, const CampaignResult& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.records.size(), b.records.size()) << label;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i], b.records[i]) << label << " record " << i;
+  }
+}
+
+TEST(CampaignSymmetryTest, PlanShrinksEligibleCampaigns) {
+  CampaignConfig config = BaseConfig();
+  config.symmetry = true;
+  const PreparedCampaign prepared = PrepareCampaign(config);
+  EXPECT_TRUE(prepared.SymmetryActive());
+  EXPECT_EQ(prepared.symmetry_classes, 8u);  // one class per array row
+  ASSERT_EQ(prepared.symmetry_rep_of.size(), 64u);
+  for (std::size_t i = 0; i < prepared.symmetry_rep_of.size(); ++i) {
+    EXPECT_LE(prepared.symmetry_rep_of[i], i);  // reps come first
+  }
+}
+
+TEST(CampaignSymmetryTest, IneligibleCampaignsKeepFullPlan) {
+  // Transient faults and uncovered signals never get a symmetry plan, even
+  // when asked; neither does a campaign that opted out.
+  CampaignConfig transient = BaseConfig();
+  transient.symmetry = true;
+  transient.kind = FaultKind::kTransientFlip;
+  EXPECT_FALSE(PrepareCampaign(transient).SymmetryActive());
+
+  CampaignConfig uncovered = BaseConfig();
+  uncovered.symmetry = true;
+  uncovered.signal = MacSignal::kActForward;
+  EXPECT_FALSE(PrepareCampaign(uncovered).SymmetryActive());
+
+  EXPECT_FALSE(PrepareCampaign(BaseConfig()).SymmetryActive());
+}
+
+TEST(CampaignSymmetryTest, SerialMatchesExhaustiveAcrossMatrix) {
+  for (const Dataflow dataflow :
+       {Dataflow::kWeightStationary, Dataflow::kOutputStationary,
+        Dataflow::kInputStationary}) {
+    for (const StuckPolarity polarity :
+         {StuckPolarity::kStuckAt0, StuckPolarity::kStuckAt1}) {
+      for (const CampaignEngine engine :
+           {CampaignEngine::kDifferential, CampaignEngine::kBatch,
+            CampaignEngine::kPredicted, CampaignEngine::kFull}) {
+        CampaignConfig config = BaseConfig();
+        config.dataflow = dataflow;
+        config.polarity = polarity;
+        config.engine = engine;
+        // bit 3 straddles the activation boundary with ones fill (the last
+        // row's running sum reaches 8), the hardest case for synthesis.
+        config.bit = 3;
+        SCOPED_TRACE(config.ToString());
+        const CampaignResult exhaustive = RunCampaignSerial(config);
+        config.symmetry = true;
+        const CampaignResult reduced = RunCampaignSerial(config);
+        ExpectSameRecords(exhaustive, reduced, ToString(engine));
+      }
+    }
+  }
+}
+
+TEST(CampaignSymmetryTest, ExecutorSelfCheckPassesOnReplicatedRecords) {
+  // Every replicated record cross-validated against a direct run of the
+  // same engine: zero mismatches, and the parallel record stream equals
+  // the exhaustive one.
+  for (const CampaignEngine engine :
+       {CampaignEngine::kDifferential, CampaignEngine::kBatch,
+        CampaignEngine::kPredicted}) {
+    CampaignConfig config = BaseConfig();
+    config.engine = engine;
+    config.bit = 3;
+    const CampaignResult exhaustive = RunCampaignSerial(config);
+
+    config.symmetry = true;
+    RunOptions options;
+    options.max_parallelism = 4;
+    options.resilience.selfcheck_rate = 1.0;
+    CollectorSink collector;
+    const SweepOutcome outcome =
+        RunSweep(SingleCampaignPlan(config), options, collector);
+    EXPECT_GT(outcome.selfchecks, 0) << ToString(engine);
+    EXPECT_EQ(outcome.selfcheck_mismatches, 0) << ToString(engine);
+    EXPECT_EQ(outcome.quarantined, 0) << ToString(engine);
+
+    std::vector<CampaignResult> results = collector.TakeResults();
+    ASSERT_EQ(results.size(), 1u) << ToString(engine);
+    ExpectSameRecords(exhaustive, results.front(), ToString(engine));
+  }
+}
+
+TEST(CampaignSymmetryTest, SampledSitesReplicateFromEarliestMember) {
+  // A sampled campaign's sites arrive in shuffled order; representatives
+  // follow that order, not the array order, and the reduced run still
+  // matches the exhaustive one.
+  CampaignConfig config = BaseConfig();
+  config.max_sites = 23;
+  const CampaignResult exhaustive = RunCampaignSerial(config);
+  config.symmetry = true;
+  const CampaignResult reduced = RunCampaignSerial(config);
+  ExpectSameRecords(exhaustive, reduced, "sampled");
+}
+
+TEST(CampaignSymmetryTest, DisabledMemoFallsBackToDirectSimulation) {
+  CampaignConfig config = BaseConfig();
+  config.symmetry = true;
+  const PreparedCampaign prepared = PrepareCampaign(config);
+  ASSERT_TRUE(prepared.SymmetryActive());
+  prepared.symmetry_memo->Disable();
+  EXPECT_FALSE(prepared.SymmetryActive());
+  // Runs still work (and simulate directly) after a class is distrusted.
+  FiRunner runner(config.accel);
+  const ExperimentRecord direct =
+      RunPreparedExperiment(prepared, runner, /*index=*/9);
+  EXPECT_EQ(direct.fault.pe, prepared.sites[9]);
+}
+
+}  // namespace
+}  // namespace saffire

@@ -1,6 +1,3 @@
-// This file deliberately exercises the deprecated RunCampaign*
-// wrappers (their contract is what is being tested/provided).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include "patterns/campaign.h"
 
 #include <gtest/gtest.h>
@@ -69,7 +66,7 @@ TEST(CampaignTest, WsGemmAllSitesSingleColumn) {
   // single-column class and the predictor agrees exactly.
   CampaignConfig config = BaseConfig();
   config.dataflow = Dataflow::kWeightStationary;
-  const auto result = RunCampaign(config);
+  const auto result = RunCampaignSerial(config);
   ASSERT_EQ(result.records.size(), 64u);
   EXPECT_EQ(result.DominantClass(), PatternClass::kSingleColumn);
   EXPECT_TRUE(result.SingleClassProperty());
@@ -84,7 +81,7 @@ TEST(CampaignTest, WsGemmAllSitesSingleColumn) {
 TEST(CampaignTest, OsGemmAllSitesSingleElement) {
   CampaignConfig config = BaseConfig();
   config.dataflow = Dataflow::kOutputStationary;
-  const auto result = RunCampaign(config);
+  const auto result = RunCampaignSerial(config);
   EXPECT_EQ(result.DominantClass(), PatternClass::kSingleElement);
   EXPECT_TRUE(result.SingleClassProperty());
   EXPECT_DOUBLE_EQ(result.ExactAgreement(), 1.0);
@@ -94,11 +91,11 @@ TEST(CampaignTest, TiledGemmYieldsMultiTileClasses) {
   CampaignConfig config = BaseConfig();
   config.workload = SmallGemm(20);  // 3×3 output tiles on the 8×8 array
   config.dataflow = Dataflow::kWeightStationary;
-  const auto ws = RunCampaign(config);
+  const auto ws = RunCampaignSerial(config);
   EXPECT_EQ(ws.DominantClass(), PatternClass::kSingleColumnMultiTile);
   EXPECT_TRUE(ws.SingleClassProperty());
   config.dataflow = Dataflow::kOutputStationary;
-  const auto os = RunCampaign(config);
+  const auto os = RunCampaignSerial(config);
   EXPECT_EQ(os.DominantClass(), PatternClass::kSingleElementMultiTile);
   EXPECT_TRUE(os.SingleClassProperty());
 }
@@ -108,12 +105,12 @@ TEST(CampaignTest, OsCorruptsOneElementWsCorruptsWholeColumn) {
   // one element while WS corrupts a full column.
   CampaignConfig config = BaseConfig();
   config.dataflow = Dataflow::kOutputStationary;
-  const auto os = RunCampaign(config);
+  const auto os = RunCampaignSerial(config);
   for (const ExperimentRecord& record : os.records) {
     EXPECT_EQ(record.corrupted_count, 1);
   }
   config.dataflow = Dataflow::kWeightStationary;
-  const auto ws = RunCampaign(config);
+  const auto ws = RunCampaignSerial(config);
   for (const ExperimentRecord& record : ws.records) {
     EXPECT_EQ(record.corrupted_count, 8);
   }
@@ -127,7 +124,7 @@ TEST(CampaignTest, NearZeroWeightsMaskStuckAt0) {
   config.workload.weight_fill = OperandFill::kNearZero;
   config.bit = 4;
   config.polarity = StuckPolarity::kStuckAt0;
-  const auto result = RunCampaign(config);
+  const auto result = RunCampaignSerial(config);
   // Mostly-zero partial sums leave bit 4 clear almost everywhere, so a
   // large fraction of sites are fully masked (negative sums, whose high
   // bits are set, keep it from being all of them).
@@ -136,12 +133,12 @@ TEST(CampaignTest, NearZeroWeightsMaskStuckAt0) {
   // Whereas the paper's all-ones workload never masks (on a clear bit).
   CampaignConfig ones = BaseConfig();
   ones.polarity = StuckPolarity::kStuckAt1;
-  EXPECT_EQ(RunCampaign(ones).MaskedCount(), 0);
+  EXPECT_EQ(RunCampaignSerial(ones).MaskedCount(), 0);
 }
 
 TEST(CampaignTest, RecordsCarryCostAndActivationData) {
   CampaignConfig config = BaseConfig();
-  const auto result = RunCampaign(config);
+  const auto result = RunCampaignSerial(config);
   EXPECT_GT(result.golden_cycles, 0);
   EXPECT_GT(result.golden_pe_steps, 0u);
   for (const ExperimentRecord& record : result.records) {
@@ -154,7 +151,7 @@ TEST(CampaignTest, RecordsCarryCostAndActivationData) {
 TEST(CampaignTest, SampledCampaignRunsRequestedSites) {
   CampaignConfig config = BaseConfig();
   config.max_sites = 7;
-  const auto result = RunCampaign(config);
+  const auto result = RunCampaignSerial(config);
   EXPECT_EQ(result.records.size(), 7u);
 }
 

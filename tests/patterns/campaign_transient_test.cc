@@ -1,8 +1,5 @@
 // Transient-flip campaigns: the Rech et al. fault model run through the
 // same exhaustive methodology, contrasting with permanent stuck-at faults.
-// This file deliberately exercises the deprecated RunCampaign*
-// wrappers (their contract is what is being tested/provided).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include <gtest/gtest.h>
 
 #include "patterns/campaign.h"
@@ -32,7 +29,7 @@ CampaignConfig TransientConfig() {
 }
 
 TEST(TransientCampaignTest, RunsAndBoundsCorruption) {
-  const auto result = RunCampaign(TransientConfig());
+  const auto result = RunCampaignSerial(TransientConfig());
   ASSERT_EQ(result.records.size(), 64u);
   for (const ExperimentRecord& record : result.records) {
     // One flipped cycle can corrupt at most one output element under WS
@@ -53,8 +50,8 @@ TEST(TransientCampaignTest, RunsAndBoundsCorruption) {
 }
 
 TEST(TransientCampaignTest, DeterministicInSeed) {
-  const auto first = RunCampaign(TransientConfig());
-  const auto second = RunCampaign(TransientConfig());
+  const auto first = RunCampaignSerial(TransientConfig());
+  const auto second = RunCampaignSerial(TransientConfig());
   ASSERT_EQ(first.records.size(), second.records.size());
   for (std::size_t i = 0; i < first.records.size(); ++i) {
     EXPECT_EQ(first.records[i].fault.at_cycle,
@@ -63,7 +60,7 @@ TEST(TransientCampaignTest, DeterministicInSeed) {
   }
   auto reseeded_config = TransientConfig();
   reseeded_config.seed = 99;
-  const auto reseeded = RunCampaign(reseeded_config);
+  const auto reseeded = RunCampaignSerial(reseeded_config);
   bool any_difference = false;
   for (std::size_t i = 0; i < reseeded.records.size(); ++i) {
     if (reseeded.records[i].fault.at_cycle !=
@@ -77,8 +74,8 @@ TEST(TransientCampaignTest, DeterministicInSeed) {
 TEST(TransientCampaignTest, PermanentCorruptsStrictlyMore) {
   auto permanent_config = TransientConfig();
   permanent_config.kind = FaultKind::kStuckAt;
-  const auto permanent = RunCampaign(permanent_config);
-  const auto transient = RunCampaign(TransientConfig());
+  const auto permanent = RunCampaignSerial(permanent_config);
+  const auto transient = RunCampaignSerial(TransientConfig());
   std::int64_t permanent_total = 0;
   std::int64_t transient_total = 0;
   for (const auto& record : permanent.records) {

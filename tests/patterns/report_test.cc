@@ -1,6 +1,3 @@
-// This file deliberately exercises the deprecated RunCampaign*
-// wrappers (their contract is what is being tested/provided).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include "patterns/report.h"
 
 #include <gtest/gtest.h>
@@ -63,7 +60,7 @@ TEST(RenderCorruptionMapTest, TruncatesTallMaps) {
 }
 
 TEST(RenderHistogramTest, ShowsCountsAndPercentages) {
-  const auto result = RunCampaign(SmallCampaign());
+  const auto result = RunCampaignSerial(SmallCampaign());
   const std::string histogram = RenderHistogram(result);
   EXPECT_NE(histogram.find("single-column"), std::string::npos);
   EXPECT_NE(histogram.find("16"), std::string::npos);
@@ -71,7 +68,7 @@ TEST(RenderHistogramTest, ShowsCountsAndPercentages) {
 }
 
 TEST(RenderCampaignSummaryTest, CoversKeyFields) {
-  const auto result = RunCampaign(SmallCampaign());
+  const auto result = RunCampaignSerial(SmallCampaign());
   const std::string summary = RenderCampaignSummary(result);
   EXPECT_NE(summary.find("experiments: 16"), std::string::npos);
   EXPECT_NE(summary.find("dominant class: single-column"),
@@ -83,7 +80,7 @@ TEST(RenderCampaignSummaryTest, CoversKeyFields) {
 }
 
 TEST(WriteCampaignCsvTest, OneRowPerExperiment) {
-  const auto result = RunCampaign(SmallCampaign());
+  const auto result = RunCampaignSerial(SmallCampaign());
   std::ostringstream out;
   WriteCampaignCsv(result, out);
   const std::string csv = out.str();

@@ -130,5 +130,110 @@ TEST(SymmetryTest, ClassesPartitionAllSites) {
   }
 }
 
+TEST(SymmetryTest, ReductionFactorAcrossDataflows) {
+  EXPECT_DOUBLE_EQ(SymmetryReductionFactor(Gemm16x16(), TestConfig(),
+                                           Dataflow::kInputStationary),
+                   (256.0 - 16.0) / 256.0);
+  EXPECT_GE(SymmetryReductionFactor(Conv16Kernel3x3x3x3(), TestConfig(),
+                                    Dataflow::kWeightStationary),
+            (256.0 - 16.0) / 256.0);
+}
+
+// --- the record-identity overload (campaign dedup) ---------------------
+
+FaultSpec Prototype() {
+  return StuckAtAdder(/*pe=*/{0, 0}, /*bit=*/8, StuckPolarity::kStuckAt1);
+}
+
+TEST(SitePartitionTest, GroupsSameRowSitesAcrossDataflows) {
+  // The dedup key is (row, normalized reach): members always share their
+  // representative's row, and on the uniform GEMM each row collapses to
+  // one class — for every dataflow, OS included (the raw reaches differ
+  // per column, but they are congruent).
+  for (const Dataflow dataflow :
+       {Dataflow::kWeightStationary, Dataflow::kOutputStationary,
+        Dataflow::kInputStationary}) {
+    const auto sites = AllPeCoords(TestConfig().array);
+    const auto classes = PartitionFaultSites(sites, Prototype(), Gemm16x16(),
+                                             TestConfig(), dataflow);
+    ASSERT_EQ(classes.size(), 16u) << ToString(dataflow);
+    EXPECT_EQ(TotalMembers(classes), 256) << ToString(dataflow);
+    for (const auto& equivalence : classes) {
+      EXPECT_EQ(equivalence.members.size(), 16u) << ToString(dataflow);
+      for (const PeCoord member : equivalence.members) {
+        EXPECT_EQ(member.row, equivalence.representative.row)
+            << ToString(dataflow);
+      }
+    }
+  }
+}
+
+TEST(SitePartitionTest, NonSquareArrayGroupsByRow) {
+  AccelConfig config = TestConfig();
+  config.array.rows = 4;
+  config.array.cols = 8;
+  const auto sites = AllPeCoords(config.array);
+  const auto classes = PartitionFaultSites(sites, Prototype(), Gemm16x16(),
+                                           config, Dataflow::kWeightStationary);
+  EXPECT_EQ(TotalMembers(classes), 32);
+  std::set<std::int32_t> rows;
+  for (const auto& equivalence : classes) {
+    rows.insert(equivalence.representative.row);
+    for (const PeCoord member : equivalence.members) {
+      EXPECT_EQ(member.row, equivalence.representative.row);
+    }
+  }
+  // Every array row contributes at least one class; classes never span rows.
+  EXPECT_EQ(rows.size(), 4u);
+  EXPECT_GE(classes.size(), 4u);
+}
+
+TEST(SitePartitionTest, SingleColumnArrayHasNoReduction) {
+  // W=1: one site per row, so every class is a singleton — symmetry
+  // degenerates gracefully instead of merging rows.
+  AccelConfig config = TestConfig();
+  config.array.rows = 8;
+  config.array.cols = 1;
+  const auto sites = AllPeCoords(config.array);
+  const auto classes = PartitionFaultSites(sites, Prototype(), Gemm16x16(),
+                                           config, Dataflow::kWeightStationary);
+  ASSERT_EQ(classes.size(), 8u);
+  for (const auto& equivalence : classes) {
+    EXPECT_EQ(equivalence.members.size(), 1u);
+  }
+}
+
+TEST(SitePartitionTest, RepresentativeIsFirstInSiteOrder) {
+  // A sampled campaign hands the partition its sites in campaign order;
+  // each class's representative must be the earliest member in that order
+  // (the campaign maps members onto already-finished experiments).
+  const std::vector<PeCoord> sites = {
+      {3, 5}, {7, 1}, {3, 2}, {0, 0}, {7, 9}, {3, 5}};
+  const auto classes =
+      PartitionFaultSites(sites, Prototype(), Gemm16x16(), TestConfig(),
+                          Dataflow::kWeightStationary);
+  ASSERT_GE(classes.size(), 3u);
+  EXPECT_EQ(classes[0].representative, (PeCoord{3, 5}));
+  EXPECT_EQ(classes[1].representative, (PeCoord{7, 1}));
+  // Members keep list order; the duplicate site lands in its class twice
+  // (the partition mirrors the experiment list, index for index).
+  EXPECT_EQ(TotalMembers(classes), 6);
+  EXPECT_EQ(classes[0].members.front(), (PeCoord{3, 5}));
+  EXPECT_EQ(classes[0].members.back(), (PeCoord{3, 5}));
+}
+
+TEST(SitePartitionTest, PredictionCacheParity) {
+  PredictionCache cache(Gemm16x16(), TestConfig(),
+                        Dataflow::kInputStationary);
+  const auto sites = AllPeCoords(TestConfig().array);
+  const auto cached =
+      PartitionFaultSites(sites, Prototype(), Gemm16x16(), TestConfig(),
+                          Dataflow::kInputStationary, &cache);
+  const auto uncached = PartitionFaultSites(
+      sites, Prototype(), Gemm16x16(), TestConfig(),
+      Dataflow::kInputStationary);
+  EXPECT_EQ(cached, uncached);
+}
+
 }  // namespace
 }  // namespace saffire

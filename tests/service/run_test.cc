@@ -1,11 +1,7 @@
 // RunSweep facade: the unified entry point must be a pure re-routing — the
-// record stream it produces is byte-identical to the legacy entry points
-// (RunCampaignParallel, direct CampaignExecutor::Run) for every engine, and
-// the RunOptions knobs (executor override, validation) behave as
-// documented.
-// This file deliberately exercises the deprecated RunCampaign*
-// wrappers (their contract is what is being tested/provided).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// record stream it produces is byte-identical to a direct
+// CampaignExecutor::Run and to the serial runner for every engine, and the
+// RunOptions knobs (executor override, validation) behave as documented.
 #include "service/run.h"
 
 #include <gtest/gtest.h>
@@ -89,10 +85,11 @@ TEST(RunSweepTest, MultiSpecOverloadConcatenatesPlans) {
   EXPECT_EQ(multi_out.str(), sequential_out.str());
 }
 
-TEST(RunSweepTest, MatchesLegacyRunCampaignParallelForEveryEngine) {
+TEST(RunSweepTest, MatchesSerialRunnerForEveryEngine) {
   for (const CampaignEngine engine :
        {CampaignEngine::kReference, CampaignEngine::kFull,
-        CampaignEngine::kDifferential, CampaignEngine::kBatch}) {
+        CampaignEngine::kDifferential, CampaignEngine::kBatch,
+        CampaignEngine::kPredicted}) {
     CampaignConfig config;
     config.accel = SmallAccel();
     config.workload.name = "gemm-20";
@@ -100,16 +97,18 @@ TEST(RunSweepTest, MatchesLegacyRunCampaignParallelForEveryEngine) {
     config.max_sites = 12;
     config.engine = engine;
 
+    RunOptions options;
+    options.max_parallelism = 2;
     CollectorSink collector;
-    RunSweep(SingleCampaignPlan(config), RunOptions{}, collector);
+    RunSweep(SingleCampaignPlan(config), options, collector);
     const std::vector<CampaignResult> results = collector.TakeResults();
     ASSERT_EQ(results.size(), 1u) << ToString(engine);
 
-    const CampaignResult legacy = RunCampaignParallel(config, 2);
-    ASSERT_EQ(results[0].records.size(), legacy.records.size())
+    const CampaignResult serial = RunCampaignSerial(config);
+    ASSERT_EQ(results[0].records.size(), serial.records.size())
         << ToString(engine);
-    for (std::size_t i = 0; i < legacy.records.size(); ++i) {
-      EXPECT_EQ(results[0].records[i], legacy.records[i])
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+      EXPECT_EQ(results[0].records[i], serial.records[i])
           << ToString(engine) << " record " << i;
     }
   }

@@ -204,6 +204,61 @@ TEST(CampaignKeyTest, DistinguishesConfigs) {
   b = a;
   b.engine = CampaignEngine::kReference;  // engines are bit-identical
   EXPECT_EQ(CampaignKey(a), CampaignKey(b));
+  b = a;
+  b.symmetry = true;  // a symmetry run's records match a full run's
+  EXPECT_EQ(CampaignKey(a), CampaignKey(b));
+}
+
+TEST(SweepSpecTest, SymmetryRoundTripsAndDefaultsOff) {
+  SweepSpec spec = BaseSpec();
+  EXPECT_FALSE(spec.symmetry);
+  spec.symmetry = true;
+  const SweepSpec parsed = ParseSweepSpec(spec.ToJson());
+  EXPECT_TRUE(parsed.symmetry);
+  EXPECT_EQ(parsed.ToJson(), spec.ToJson());
+  for (const CampaignConfig& config : BuildCampaignPlan(parsed).campaigns) {
+    EXPECT_TRUE(config.symmetry);
+  }
+
+  // A pre-symmetry spec (no "symmetry" key) still parses, flag off.
+  EXPECT_FALSE(ParseSweepSpec(BaseSpec().ToJson()).symmetry);
+}
+
+TEST(CampaignContentHashTest, IsAStableRecordIdentity) {
+  CampaignConfig a;
+  a.accel = SmallAccel();
+  a.workload.name = "gemm-20";
+  a.workload.m = a.workload.k = a.workload.n = 20;
+
+  // Shape: 16 lowercase hex chars (the cache's entry file stem).
+  const std::string hash = CampaignContentHash(a);
+  EXPECT_EQ(hash.size(), 16u);
+  EXPECT_EQ(hash.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(CampaignContentHash(a), hash);
+
+  // Invariant across everything CampaignKey ignores...
+  CampaignConfig b = a;
+  b.engine = CampaignEngine::kPredicted;
+  b.symmetry = true;
+  b.batch_lanes = 7;
+  b.workload.name = "renamed";
+  EXPECT_EQ(CampaignContentHash(b), hash);
+
+  // ...and sensitive to every record-relevant axis.
+  for (const auto& mutate : std::vector<void (*)(CampaignConfig&)>{
+           [](CampaignConfig& c) { c.bit = 9; },
+           [](CampaignConfig& c) { c.seed = 2; },
+           [](CampaignConfig& c) { c.polarity = StuckPolarity::kStuckAt0; },
+           [](CampaignConfig& c) { c.signal = MacSignal::kMulOut; },
+           [](CampaignConfig& c) { c.dataflow = Dataflow::kOutputStationary; },
+           [](CampaignConfig& c) { c.kind = FaultKind::kTransientFlip; },
+           [](CampaignConfig& c) { c.max_sites = 5; },
+           [](CampaignConfig& c) { c.accel.array.rows = 4; },
+           [](CampaignConfig& c) { c.workload.m = 19; }}) {
+    CampaignConfig mutated = a;
+    mutate(mutated);
+    EXPECT_NE(CampaignContentHash(mutated), hash);
+  }
 }
 
 }  // namespace
