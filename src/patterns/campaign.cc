@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iterator>
+#include <set>
 #include <span>
 #include <sstream>
 #include <thread>
@@ -226,22 +227,54 @@ std::vector<ExperimentRecord> RunFaultGroup(const PreparedCampaign& prepared,
 
 }  // namespace
 
-bool SymmetryMemo::Lookup(std::size_t representative,
-                          ExperimentRecord* record) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = records_.find(representative);
-  if (it == records_.end()) return false;
-  *record = it->second;
-  return true;
+bool SymmetryMemo::AcquireOrOwn(std::size_t representative,
+                                ExperimentRecord* record) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto [it, inserted] = records_.try_emplace(representative);
+    if (inserted) return false;  // the caller owns the computation
+    if (it->second.has_value()) {
+      *record = *it->second;
+      return true;
+    }
+    if (disabled()) {
+      // Stop waiting on a distrusted memo: the caller simulates directly.
+      // The in-flight owner's eventual Fulfill (or an Abandon from this
+      // caller's failure path erasing the owner's marker) is harmless —
+      // post-disable nobody consults the memo, and racing records are
+      // identical anyway.
+      return false;
+    }
+    ready_.wait(lock);
+  }
 }
 
-void SymmetryMemo::Store(std::size_t representative,
-                         ExperimentRecord record) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  // emplace keeps the first copy if two workers raced on the same
-  // representative; both copies are identical (deterministic simulation),
-  // so either outcome is correct.
-  records_.emplace(representative, std::move(record));
+void SymmetryMemo::Fulfill(std::size_t representative,
+                           ExperimentRecord record) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_[representative] = std::move(record);
+  }
+  ready_.notify_all();
+}
+
+void SymmetryMemo::Abandon(std::size_t representative) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = records_.find(representative);
+    if (it != records_.end() && !it->second.has_value()) records_.erase(it);
+  }
+  ready_.notify_all();
+}
+
+void SymmetryMemo::Disable() {
+  {
+    // The store happens under the mutex so a waiter between its disabled
+    // check and the wait cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(mutex_);
+    disabled_.store(true, std::memory_order_relaxed);
+  }
+  ready_.notify_all();
 }
 
 bool GroupedCampaignEngine(CampaignEngine engine) {
@@ -255,11 +288,21 @@ bool PredictedEngineExact(const CampaignConfig& config) {
 }
 
 bool SymmetryEligibleCampaign(const CampaignConfig& config) {
-  // Same condition as PredictedEngineExact today, but semantically its own
-  // contract: the partition is defined by the predicted reach, which exists
-  // exactly for permanent stuck-at faults on predictor-covered signals.
+  // Two conditions with distinct roles. The stuck-at/predictor-covered
+  // half makes the partition *exist* (it is keyed on the predicted reach,
+  // defined exactly for permanent faults on covered signals). The all-ones
+  // fills make member synthesis *exact*: the record-identity partition
+  // merges same-row sites whose reaches are column translates, and only a
+  // column-invariant operand fill guarantees the translated fault site sees
+  // the same golden value sequence — under kRandom / kNearZero fills,
+  // data-dependent fields (fault_activations, max_abs_delta, possibly the
+  // observed class) can silently differ between class members, and
+  // selfcheck_rate defaults to 0, so such campaigns must simulate every
+  // site rather than synthesize.
   return config.kind == FaultKind::kStuckAt &&
-         PredictorCoversSignal(config.signal);
+         PredictorCoversSignal(config.signal) &&
+         config.workload.input_fill == OperandFill::kOnes &&
+         config.workload.weight_fill == OperandFill::kOnes;
 }
 
 PreparedCampaign PrepareCampaign(const CampaignConfig& config,
@@ -356,9 +399,16 @@ ExperimentRecord RunPreparedExperimentWithEngine(
   if (prepared.SymmetryActive()) {
     const std::size_t rep = prepared.symmetry_rep_of[index];
     ExperimentRecord record;
-    if (!prepared.symmetry_memo->Lookup(rep, &record)) {
-      record = RunPreparedExperimentDirect(prepared, runner, rep, engine);
-      prepared.symmetry_memo->Store(rep, record);
+    if (!prepared.symmetry_memo->AcquireOrOwn(rep, &record)) {
+      // This thread owns the representative's simulation; other workers
+      // needing it wait on the memo instead of duplicating the array pass.
+      try {
+        record = RunPreparedExperimentDirect(prepared, runner, rep, engine);
+      } catch (...) {
+        prepared.symmetry_memo->Abandon(rep);
+        throw;
+      }
+      prepared.symmetry_memo->Fulfill(rep, record);
     }
     if (rep != index) {
       // Synthesize the member record: identical to the representative's in
@@ -440,22 +490,26 @@ std::vector<ExperimentRecord> RunPreparedBatch(
     *lanes_simulated = static_cast<std::uint64_t>(end - begin);
   }
   if (prepared.SymmetryActive()) {
-    // Gather the distinct representatives of [begin, end) the memo does not
-    // hold yet. A representative may lie outside the slice (an earlier
+    // Gather the slice's distinct representatives — in ascending order, the
+    // deadlock-freedom contract of SymmetryMemo::AcquireOrOwn — and acquire
+    // each: hits come from the memo (waiting out another worker's in-flight
+    // simulation), the rest are owned by this call and simulated as one
+    // group below. A representative may lie outside the slice (an earlier
     // batch, or a batch this process never runs under shard filtering /
     // checkpoint resume) — its fault is still addressable globally, so it
     // simply joins this group.
     SymmetryMemo& memo = *prepared.symmetry_memo;
+    std::set<std::size_t> reps;
+    for (std::size_t i = begin; i < end; ++i) {
+      reps.insert(prepared.symmetry_rep_of[i]);
+    }
     std::map<std::size_t, ExperimentRecord> group;
     std::vector<std::size_t> need;
-    for (std::size_t i = begin; i < end; ++i) {
-      const std::size_t rep = prepared.symmetry_rep_of[i];
-      if (group.count(rep) != 0) continue;
+    for (const std::size_t rep : reps) {
       ExperimentRecord record;
-      if (memo.Lookup(rep, &record)) {
+      if (memo.AcquireOrOwn(rep, &record)) {
         group.emplace(rep, std::move(record));
       } else {
-        group.emplace(rep, ExperimentRecord{});
         need.push_back(rep);
       }
     }
@@ -465,11 +519,18 @@ std::vector<ExperimentRecord> RunPreparedBatch(
       for (const std::size_t rep : need) {
         rep_faults.push_back(prepared.faults[rep]);
       }
-      const std::vector<ExperimentRecord> simulated =
-          RunFaultGroup(prepared, runner, rep_faults, engine);
+      std::vector<ExperimentRecord> simulated;
+      try {
+        simulated = RunFaultGroup(prepared, runner, rep_faults, engine);
+      } catch (...) {
+        // Release ownership so a waiter retries instead of hanging; the
+        // retry/demotion machinery above re-runs this group.
+        for (const std::size_t rep : need) memo.Abandon(rep);
+        throw;
+      }
       for (std::size_t i = 0; i < need.size(); ++i) {
-        memo.Store(need[i], simulated[i]);
-        group[need[i]] = simulated[i];
+        memo.Fulfill(need[i], simulated[i]);
+        group.emplace(need[i], std::move(simulated[i]));
       }
     }
     if (lanes_simulated != nullptr) {

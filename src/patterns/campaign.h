@@ -6,10 +6,12 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -91,17 +93,20 @@ struct CampaignConfig {
 
   // Symmetry-aware deduplication (patterns/symmetry.h): when true and the
   // campaign is eligible (SymmetryEligibleCampaign — permanent stuck-at
-  // faults on a predictor-covered signal), only one representative per
-  // site-equivalence class is simulated; member records are synthesized
-  // from the representative's with the fault coordinate rewritten. Under
-  // WS/IS this shrinks the paper's 256-site campaign to ≤ 16 simulations;
-  // under OS every site is its own class, so the flag is a no-op. The
-  // synthesis is exact for the paper's all-ones extraction workloads (the
-  // engine-equivalence test matrix gates it); data-dependent fields
-  // (fault_activations, max_abs_delta) can differ between class members
-  // under random fills, which is what ResilienceOptions::selfcheck_rate
-  // cross-validates before a class is trusted. Excluded from the campaign
-  // key: a symmetry run's records match a full run's by contract.
+  // faults on a predictor-covered signal, all-ones operand fills), only one
+  // representative per site-equivalence class is simulated; member records
+  // are synthesized from the representative's with the fault coordinate
+  // rewritten. Under WS/IS this shrinks the paper's 256-site campaign to
+  // ≤ 16 simulations; under OS every site is its own class, so the flag is
+  // a no-op, as it is for ineligible campaigns (random / near-zero fills
+  // make data-dependent fields like fault_activations and max_abs_delta
+  // row-AND-column-dependent, so member synthesis would not be exact —
+  // those campaigns simulate every site). For eligible campaigns the
+  // synthesis is provably byte-identical to a full run (the
+  // engine-equivalence test matrix gates it), with
+  // ResilienceOptions::selfcheck_rate sampling replicated records as
+  // defense-in-depth. Excluded from the campaign key: a symmetry run's
+  // records match a full run's by contract.
   bool symmetry = false;
 
   std::string ToString() const;
@@ -122,8 +127,12 @@ bool PredictedEngineExact(const CampaignConfig& config);
 // True when CampaignConfig::symmetry can apply to `config`: permanent
 // stuck-at campaigns on a predictor-covered signal (kAdderOut / kMulOut /
 // kWeightOperand), where the site-equivalence partition is defined by the
-// predicted reach. Transients (per-site strike cycles) and forwarding
-// signals (no closed-form reach) always simulate every site.
+// predicted reach, AND all-ones operand fills, where a column translation
+// maps the faulted computation onto itself so member synthesis is exact
+// field-for-field. Transients (per-site strike cycles), forwarding signals
+// (no closed-form reach), and random / near-zero fills (column-variant
+// data, so fault_activations / max_abs_delta / even the observed class can
+// differ between class members) always simulate every site.
 bool SymmetryEligibleCampaign(const CampaignConfig& config);
 
 struct ExperimentRecord {
@@ -204,30 +213,43 @@ std::vector<PeCoord> CampaignSites(const CampaignConfig& config);
 // which is what makes their results bit-identical by construction.
 
 // Shared per-campaign store of simulated representative records under
-// CampaignConfig::symmetry. Workers fill it on demand; the fill is
-// deterministic (two racing computes of the same representative produce
-// identical records), so last-write-wins needs no coordination beyond the
-// mutex. A self-check mismatch Disable()s the memo, after which every
-// experiment simulates directly — the symmetry analogue of engine demotion,
-// and equally sticky for the campaign's remainder.
+// CampaignConfig::symmetry, with compute-once semantics: the first worker
+// to ask for a representative owns its simulation, and every other worker
+// waits for that result instead of duplicating the run — which keeps each
+// representative's array pass unique and the lanes_filled occupancy total
+// schedule-independent. A self-check mismatch Disable()s the memo, after
+// which every experiment simulates directly — the symmetry analogue of
+// engine demotion, and equally sticky for the campaign's remainder.
 class SymmetryMemo {
  public:
-  // Copies the representative's record into *record; false when it has not
-  // been simulated yet.
-  bool Lookup(std::size_t representative, ExperimentRecord* record) const;
-  void Store(std::size_t representative, ExperimentRecord record);
+  // Looks the representative up, waiting out another worker's in-flight
+  // simulation if there is one. True: *record holds the (possibly just
+  // published) record. False: the caller now owns the computation and must
+  // follow up with exactly one Fulfill() (success) or Abandon() (the
+  // simulation threw — a waiter then retries and takes over ownership).
+  // Callers acquiring several representatives must acquire them in
+  // ascending order; that single global order is what makes concurrent
+  // owners deadlock-free (every wait edge points to a larger index).
+  bool AcquireOrOwn(std::size_t representative, ExperimentRecord* record);
+  // Publishes an owned representative's record and wakes waiters.
+  void Fulfill(std::size_t representative, ExperimentRecord record);
+  // Releases an owned representative without a record.
+  void Abandon(std::size_t representative);
 
   // Permanently stops synthesis for this campaign (selfcheck mismatch —
   // the class cannot be trusted). Records already synthesized stand, like
-  // records produced before an engine demotion.
-  void Disable() { disabled_.store(true, std::memory_order_relaxed); }
+  // records produced before an engine demotion. Waiters inside
+  // AcquireOrOwn wake and simulate directly.
+  void Disable();
   bool disabled() const {
     return disabled_.load(std::memory_order_relaxed);
   }
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::size_t, ExperimentRecord> records_;
+  std::condition_variable ready_;
+  // nullopt marks an in-flight computation some worker owns.
+  std::map<std::size_t, std::optional<ExperimentRecord>> records_;
   std::atomic<bool> disabled_{false};
 };
 
@@ -341,8 +363,14 @@ std::vector<ExperimentRecord> RunPreparedBatch(
 // to kBatch re-runs its groups on the replay without re-preparing.
 // `lanes_simulated`, when non-null, receives the number of experiments the
 // group actually simulated: end − begin normally, but under an active
-// symmetry plan only the distinct representatives the memo was missing —
-// the occupancy figure lanes_filled/batches_run should count.
+// symmetry plan only the distinct representatives this call claimed from
+// the memo — the occupancy figure lanes_filled/batches_run should count.
+// The memo's compute-once latch keeps each representative's simulation
+// unique, so the lanes_filled total over a campaign is schedule-invariant
+// (= classes touched); which batch a representative is *attributed* to —
+// and therefore batches_run — can still differ between serial and parallel
+// symmetry runs, since out-of-order chunks claim representatives in
+// whatever order they execute. Records are unaffected either way.
 std::vector<ExperimentRecord> RunPreparedBatch(
     const PreparedCampaign& prepared, FiRunner& runner, std::size_t begin,
     std::size_t end, CampaignEngine engine,

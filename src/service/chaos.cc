@@ -59,6 +59,8 @@ ChaosSpec ParseChaosSpec(const std::string& text) {
       spec.stall_every = static_cast<int>(value);
     } else if (key == "stall_ms") {
       spec.stall_ms = value;
+    } else if (key == "selfcheck_lie_every") {
+      spec.selfcheck_lie_every = static_cast<int>(value);
     } else if (key == "sink_throw_every") {
       spec.sink_throw_every = static_cast<int>(value);
     } else {
@@ -103,6 +105,12 @@ void OnBatchAttempt(std::size_t campaign_index, int attempt) {
        << ", attempt " << attempt << ")";
     throw ChaosError(os.str());
   }
+}
+
+bool ForceSelfCheckMismatch(std::size_t campaign_index) {
+  if (!Enabled()) return false;
+  return Hits(g_spec.selfcheck_lie_every,
+              static_cast<std::int64_t>(campaign_index));
 }
 
 void FlipByteInFile(const std::string& path, std::int64_t offset) {

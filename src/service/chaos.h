@@ -42,6 +42,12 @@ struct ChaosSpec {
   // experiment_timeout_ms guard without failing the attempt.
   int stall_every = 0;
   std::int64_t stall_ms = 0;
+  // Every Nth campaign's sampled self-checks report a mismatch even though
+  // the records agree, driving the mismatch path end to end — engine
+  // demotion, symmetry-synthesis disable, unhealthy SweepOutcome, cache
+  // exclusion — without corrupting any delivered record (the "mismatched"
+  // group recomputes on the fallback rung, whose records are identical).
+  int selfcheck_lie_every = 0;
   // Every Nth record through FlakySink throws. Consumed by FlakySink and
   // the CLI's chaos wiring, not by the executor hooks.
   int sink_throw_every = 0;
@@ -66,6 +72,9 @@ bool InstallFromEnv();
 void OnExperimentAttempt(std::size_t campaign_index,
                          std::int64_t experiment_index, int attempt);
 void OnBatchAttempt(std::size_t campaign_index, int attempt);
+// True when selfcheck_lie_every forces this campaign's self-check
+// comparisons to report a mismatch (false when nothing is installed).
+bool ForceSelfCheckMismatch(std::size_t campaign_index);
 
 // Checkpoint-corruption helpers for robustness tests: XOR one byte in
 // place / truncate to `size` bytes. Both throw on I/O failure.

@@ -28,8 +28,18 @@ struct CheckpointCampaign {
   // experiment index -> record; sparse (a shard checkpoints only its range).
   std::map<std::int64_t, ExperimentRecord> records;
 
+  // True when the records are exactly {0, …, total_experiments − 1}. The
+  // map is sorted, so size plus both endpoints proves density — a sparse
+  // map of the right size but stray indices (e.g. 1…N) must not pass as
+  // "complete", or a malformed entry could round-trip through the result
+  // cache as a full campaign.
   bool Complete() const {
-    return static_cast<std::int64_t>(records.size()) == total_experiments;
+    if (static_cast<std::int64_t>(records.size()) != total_experiments) {
+      return false;
+    }
+    return records.empty() ||
+           (records.begin()->first == 0 &&
+            records.rbegin()->first == total_experiments - 1);
   }
 };
 

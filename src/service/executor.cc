@@ -133,11 +133,12 @@ struct CampaignState {
   // frontier.
   std::map<std::int64_t, FailedRecord> failed;
 
-  // Batch-engine occupancy, accumulated under the lock as chunks publish;
-  // copied into `info` before OnCampaignEnd (by which point every chunk has
-  // published, so the values are final).
+  // Batch-engine occupancy and self-check mismatches, accumulated under
+  // the lock as chunks publish; copied into `info` before OnCampaignEnd
+  // (by which point every chunk has published, so the values are final).
   std::uint64_t lanes_filled = 0;
   std::uint64_t batches_run = 0;
+  std::int64_t selfcheck_mismatches = 0;
 
   CampaignBeginInfo info;
   bool begun = false;
@@ -762,7 +763,8 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
           const ExperimentRecord check = RunPreparedExperimentDirect(
               campaign.prepared, runner, static_cast<std::size_t>(index),
               rung);
-          if (!(check == record)) {
+          if (!(check == record) ||
+              chaos::ForceSelfCheckMismatch(campaign_index)) {
             NoteMismatch(run, campaign_index, index);
             // The class lied for this site: stop synthesizing for the
             // campaign's remainder and keep the directly simulated record.
@@ -848,7 +850,8 @@ void CampaignExecutor::RunChunk(RunState& run, std::size_t campaign_index,
                 campaign.prepared, runner,
                 static_cast<std::size_t>(first + i),
                 CampaignEngine::kDifferential);
-            if (!(check == records[static_cast<std::size_t>(i)])) {
+            if (!(check == records[static_cast<std::size_t>(i)]) ||
+                chaos::ForceSelfCheckMismatch(campaign_index)) {
               NoteMismatch(run, campaign_index, first + i);
               // Indistinguishable between an engine defect and a bad
               // symmetry class — degrade both: stop synthesizing and let
@@ -1055,6 +1058,7 @@ void CampaignExecutor::NoteMismatch(RunState& run, std::size_t campaign_index,
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++run.outcome.selfcheck_mismatches;
+    ++run.campaigns[campaign_index].selfcheck_mismatches;
     metrics_.selfcheck_mismatches->Increment();
   }
   SAFFIRE_LOG_WARN << "campaign " << campaign_index << " experiment "
@@ -1171,10 +1175,11 @@ void CampaignExecutor::Deliver(RunState& run,
     if (!campaign.ended) {
       campaign.ended = true;
       // Every deliverable record has been published (the cursor reached the
-      // end), so the batch counters are final — safe to copy without racing
-      // RunChunk.
+      // end), so the batch and mismatch counters are final — safe to copy
+      // without racing RunChunk.
       campaign.info.lanes_filled = campaign.lanes_filled;
       campaign.info.batches_run = campaign.batches_run;
+      campaign.info.selfcheck_mismatches = campaign.selfcheck_mismatches;
       if (!call_sink([&] { run.sink->OnCampaignEnd(campaign.info); })) {
         continue;
       }

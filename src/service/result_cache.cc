@@ -76,8 +76,14 @@ std::optional<CheckpointCampaign> ResultCache::Load(
 bool ResultCache::Store(const CampaignConfig& config,
                         const CheckpointCampaign& entry) const {
   const std::int64_t total = entry.total_experiments;
+  // Density precondition: exactly indices 0…total−1. Size alone would let
+  // a same-sized map with stray indices (1…N) through, and such an entry
+  // would also pass Load's Complete() gate on the way back out.
   SAFFIRE_CHECK_MSG(
-      static_cast<std::int64_t>(entry.records.size()) == total,
+      static_cast<std::int64_t>(entry.records.size()) == total &&
+          (entry.records.empty() ||
+           (entry.records.begin()->first == 0 &&
+            entry.records.rbegin()->first == total - 1)),
       "caching a partial campaign: " << entry.records.size() << " of "
                                      << total << " records");
   try {

@@ -15,9 +15,15 @@ namespace {
 // Forwards every callback to the inner sink while accumulating each
 // campaign's records, and writes a campaign back to the result cache the
 // moment OnCampaignEnd shows it complete (every experiment has a record —
-// quarantined or sharded campaigns are not cacheable). Campaigns that were
-// themselves served from the cache are skipped; checkpoint-replayed ones
-// are stored, which lets a resumed sweep warm the cache for free.
+// quarantined or sharded campaigns are not cacheable). A campaign that
+// tripped a self-check mismatch is not cacheable either: it still
+// completes (the mismatched group recomputes on a trusted rung), but
+// records emitted before the demotion / synthesis-disable were never
+// re-verified, and caching them would launder an unhealthy (exit-3) run
+// into permanent silent hits for later healthy-looking runs. Campaigns
+// that were themselves served from the cache are skipped;
+// checkpoint-replayed ones are stored, which lets a resumed sweep warm the
+// cache for free.
 class CacheStoreSink : public RecordSink {
  public:
   CacheStoreSink(RecordSink& inner, const ResultCache& cache,
@@ -48,8 +54,9 @@ class CacheStoreSink : public RecordSink {
   }
   void OnCampaignEnd(const CampaignBeginInfo& info) override {
     inner_.OnCampaignEnd(info);
-    if (collect_ && static_cast<std::int64_t>(entry_.records.size()) ==
-                        info.total_experiments) {
+    if (collect_ && info.selfcheck_mismatches == 0 &&
+        static_cast<std::int64_t>(entry_.records.size()) ==
+            info.total_experiments) {
       if (cache_.Store(*info.config, entry_)) ++stores_;
     }
     entry_ = CheckpointCampaign();

@@ -41,6 +41,13 @@ struct CampaignBeginInfo {
   // callback before OnCampaignEnd.
   std::uint64_t lanes_filled = 0;
   std::uint64_t batches_run = 0;
+  // Self-check mismatches charged to this campaign (service/resilience.h).
+  // Populated like the occupancy counters — final only in OnCampaignEnd,
+  // zero in earlier callbacks. A nonzero count means some records were
+  // emitted before the demotion / synthesis-disable and never re-verified;
+  // consumers that persist completed campaigns (the result cache) must
+  // gate on it.
+  std::int64_t selfcheck_mismatches = 0;
   // Symmetry plan (CampaignConfig::symmetry): the number of site-equivalence
   // classes among total_experiments sites (== total_experiments when no plan
   // is active), and whether member records are synthesized from

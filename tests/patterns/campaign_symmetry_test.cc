@@ -69,6 +69,21 @@ TEST(CampaignSymmetryTest, IneligibleCampaignsKeepFullPlan) {
   uncovered.signal = MacSignal::kActForward;
   EXPECT_FALSE(PrepareCampaign(uncovered).SymmetryActive());
 
+  // Non-ones operand fills break the column-translation argument member
+  // synthesis rests on (fault_activations / max_abs_delta become
+  // data-dependent per site), so such campaigns simulate every site.
+  CampaignConfig random_inputs = BaseConfig();
+  random_inputs.symmetry = true;
+  random_inputs.workload.input_fill = OperandFill::kRandom;
+  EXPECT_FALSE(SymmetryEligibleCampaign(random_inputs));
+  EXPECT_FALSE(PrepareCampaign(random_inputs).SymmetryActive());
+
+  CampaignConfig near_zero_weights = BaseConfig();
+  near_zero_weights.symmetry = true;
+  near_zero_weights.workload.weight_fill = OperandFill::kNearZero;
+  EXPECT_FALSE(SymmetryEligibleCampaign(near_zero_weights));
+  EXPECT_FALSE(PrepareCampaign(near_zero_weights).SymmetryActive());
+
   EXPECT_FALSE(PrepareCampaign(BaseConfig()).SymmetryActive());
 }
 
@@ -137,6 +152,25 @@ TEST(CampaignSymmetryTest, SampledSitesReplicateFromEarliestMember) {
   config.symmetry = true;
   const CampaignResult reduced = RunCampaignSerial(config);
   ExpectSameRecords(exhaustive, reduced, "sampled");
+}
+
+TEST(CampaignSymmetryTest, MemoComputeOnceProtocol) {
+  // First acquirer owns the computation; a Fulfill publishes to later
+  // acquirers; an Abandon hands ownership back to the next acquirer.
+  SymmetryMemo memo;
+  ExperimentRecord record;
+  EXPECT_FALSE(memo.AcquireOrOwn(7, &record));  // we own it
+  memo.Abandon(7);
+  EXPECT_FALSE(memo.AcquireOrOwn(7, &record));  // ownership re-claimable
+  ExperimentRecord published;
+  published.corrupted_count = 42;
+  memo.Fulfill(7, published);
+  EXPECT_TRUE(memo.AcquireOrOwn(7, &record));
+  EXPECT_EQ(record.corrupted_count, 42);
+  // An unrelated representative is independent.
+  EXPECT_FALSE(memo.AcquireOrOwn(3, &record));
+  memo.Fulfill(3, ExperimentRecord{});
+  EXPECT_TRUE(memo.AcquireOrOwn(3, &record));
 }
 
 TEST(CampaignSymmetryTest, DisabledMemoFallsBackToDirectSimulation) {

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "service/chaos.h"
 #include "service/run.h"
 #include "service/sink.h"
 
@@ -158,6 +159,22 @@ TEST_F(ResultCacheTest, RefusesToStoreIncompleteCampaigns) {
   EXPECT_FALSE(std::filesystem::exists(cache.EntryPath(config)));
 }
 
+TEST_F(ResultCacheTest, RefusesToStoreSparseRecordIndices) {
+  // Same size as a complete campaign but indices 1…N instead of 0…N−1: a
+  // size-only check would store it, and it would load back as "complete".
+  const ResultCache cache(dir());
+  const CampaignConfig config = BaseConfig();
+  CheckpointCampaign entry = EntryFor(config);
+  const ExperimentRecord shifted = entry.records.begin()->second;
+  entry.records.erase(entry.records.begin());
+  entry.records.emplace(entry.total_experiments, shifted);
+  ASSERT_EQ(static_cast<std::int64_t>(entry.records.size()),
+            entry.total_experiments);
+  EXPECT_FALSE(entry.Complete());
+  EXPECT_THROW(cache.Store(config, entry), std::invalid_argument);
+  EXPECT_FALSE(std::filesystem::exists(cache.EntryPath(config)));
+}
+
 // The facade contract: the second identical sweep is 100% cache hits,
 // simulates nothing, and streams byte-identical CSV.
 TEST_F(ResultCacheTest, RepeatedSweepReplaysWithoutSimulating) {
@@ -225,6 +242,44 @@ TEST_F(ResultCacheTest, SymmetryRunsShareEntriesWithPlainRuns) {
   EXPECT_EQ(warm.cache_hits, 1);
   EXPECT_EQ(executor.stats().experiments_run, 0);
   EXPECT_EQ(plain_out.str(), symmetry_out.str());
+}
+
+// A self-check mismatch marks the whole run untrusted (exit 3); its
+// records — correct or not — must never become permanent cache hits.
+TEST_F(ResultCacheTest, MismatchedRunsAreNeverCached) {
+  ResultCache cache(dir());
+  CampaignConfig config = BaseConfig();
+  config.engine = CampaignEngine::kBatch;
+
+  chaos::ChaosSpec chaos_spec;
+  chaos_spec.selfcheck_lie_every = 1;  // every self-check reports mismatch
+  chaos::Install(chaos_spec);
+
+  CampaignExecutor executor(ExecutorOptions{.threads = 2});
+  RunOptions options;
+  options.executor = &executor;
+  options.result_cache = &cache;
+  options.resilience.selfcheck_rate = 1.0;
+  CollectorSink collector;
+  const SweepOutcome outcome =
+      RunSweep(SingleCampaignPlan(config), options, collector);
+  chaos::Clear();
+
+  // The campaign still completed (the "mismatched" group recomputed on the
+  // fallback rung), but the run is unhealthy and nothing was stored.
+  EXPECT_EQ(outcome.records, config.max_sites);
+  EXPECT_GT(outcome.selfcheck_mismatches, 0);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.cache_stores, 0);
+  EXPECT_TRUE(std::filesystem::is_empty(dir_));
+
+  // A later healthy run gets no hit — it simulates and stores as normal.
+  CollectorSink clean;
+  const SweepOutcome rerun =
+      RunSweep(SingleCampaignPlan(config), options, clean);
+  EXPECT_EQ(rerun.cache_hits, 0);
+  EXPECT_EQ(rerun.cache_misses, 1);
+  EXPECT_EQ(rerun.cache_stores, 1);
 }
 
 TEST_F(ResultCacheTest, ShardedRunsBypassTheCache) {
