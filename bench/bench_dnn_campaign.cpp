@@ -1,0 +1,164 @@
+// Network-campaign cost model (google-benchmark): the two execution rungs
+// of RunNetworkSweep on the same sweep, so the BENCH_dnn_campaign.json
+// artifact records the application-level speedup directly — the network
+// version of the paper's scalability argument (45 s per FPGA experiment vs
+// an analytical perturbation).
+//
+// Before the timed benchmarks, a warm-up sweep prints the per-pattern-class
+// SDC and ABFT-coverage tables plus an explicit appfi-vs-cycle-accurate
+// speedup line (the ≥10x gate the fast rung is contracted to clear).
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+
+#include "service/network_run.h"
+
+namespace {
+
+using namespace saffire;
+
+AccelConfig PaperScaleAccel() {
+  AccelConfig config;  // 16×16 array, the paper's configuration
+  config.max_compute_rows = 1024;
+  config.spad_rows = 2048;
+  config.acc_rows = 1024;
+  config.dram_bytes = 8 << 20;
+  return config;
+}
+
+// Multi-tile extraction workload: big enough that the cycle-accurate rung
+// pays real simulation, small enough for a bench iteration.
+NetworkSweepSpec ExtractionSpec() {
+  NetworkSweepSpec spec;
+  spec.accel = PaperScaleAccel();
+  spec.network.kind = NetworkKind::kExtraction;
+  spec.network.batch = 32;
+  spec.network.extraction_k = 32;
+  spec.network.extraction_n = 32;
+  spec.max_sites = 8;
+  return spec;
+}
+
+// Tiny trained MLP: the accuracy-degradation shape (training dominates the
+// prepare step and is paid identically on both rungs).
+NetworkSweepSpec MlpSpec() {
+  NetworkSweepSpec spec;
+  spec.accel = PaperScaleAccel();
+  spec.network.kind = NetworkKind::kMlp;
+  spec.network.batch = 16;
+  spec.network.hidden = 16;
+  spec.network.train_samples = 120;
+  spec.network.train_epochs = 10;
+  spec.network.train_target = 0.8;
+  spec.max_sites = 4;
+  return spec;
+}
+
+NetworkSweepSpec SpecByIndex(int index) {
+  return index == 0 ? ExtractionSpec() : MlpSpec();
+}
+
+void BM_NetworkSweep(benchmark::State& state) {
+  NetworkSweepSpec spec = SpecByIndex(static_cast<int>(state.range(0)));
+  spec.rung = state.range(1) != 0 ? NetworkRung::kCycleAccurate
+                                  : NetworkRung::kAppFi;
+  spec.abft = state.range(2) != 0;
+  std::int64_t records = 0;
+  std::int64_t sdc = 0;
+  for (auto _ : state) {
+    NetworkCollectorSink sink;
+    const SweepOutcome outcome = RunNetworkSweep(spec, sink);
+    benchmark::DoNotOptimize(sink.records.data());
+    records += outcome.records;
+    for (const NetworkRecord& record : sink.records) {
+      if (record.sdc) ++sdc;
+    }
+  }
+  state.SetLabel(ToString(spec.network.kind) + "/" + ToString(spec.rung) +
+                 (spec.abft ? "/abft" : ""));
+  const auto iterations = static_cast<double>(state.iterations());
+  state.counters["experiments_per_sweep"] =
+      benchmark::Counter(static_cast<double>(records) / iterations);
+  state.counters["sdc_per_sweep"] =
+      benchmark::Counter(static_cast<double>(sdc) / iterations);
+}
+
+// One sweep per rung, timed with a wall clock, for the explicit speedup
+// line and the per-class tables — runs once before the measured benchmarks.
+void PrintSummaryTables() {
+  NetworkSweepSpec spec = ExtractionSpec();
+  spec.abft = true;
+
+  std::array<std::int64_t, kNumPatternClasses> experiments{};
+  std::array<std::int64_t, kNumPatternClasses> sdc{};
+  std::array<std::int64_t, kNumPatternClasses> detected{};
+  std::array<std::int64_t, kNumPatternClasses> corrected{};
+
+  const auto sweep = [&](NetworkRung rung, bool tally) {
+    spec.rung = rung;
+    NetworkCollectorSink sink;
+    const auto start = std::chrono::steady_clock::now();
+    RunNetworkSweep(spec, sink);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    if (tally) {
+      for (const NetworkRecord& record : sink.records) {
+        const auto cls = static_cast<std::size_t>(record.pattern);
+        ++experiments[cls];
+        if (record.sdc) ++sdc[cls];
+        if (record.abft_diagnosis != AbftDiagnosis::kClean) ++detected[cls];
+        if (record.abft_corrected) ++corrected[cls];
+      }
+    }
+    return std::chrono::duration<double, std::micro>(elapsed).count();
+  };
+
+  // Warm both paths once (model prep, metric registration), then time.
+  sweep(NetworkRung::kAppFi, /*tally=*/true);
+  const double appfi_us = sweep(NetworkRung::kAppFi, /*tally=*/false);
+  const double cycle_us = sweep(NetworkRung::kCycleAccurate, false);
+
+  std::cout << "=== Network campaign: " << ToString(spec.network.kind)
+            << ", stuck-at adder sweep, ABFT on ===\n\n";
+  std::cout << std::left << std::setw(26) << "pattern class" << std::right
+            << std::setw(8) << "expts" << std::setw(8) << "SDC"
+            << std::setw(10) << "detected" << std::setw(11) << "corrected"
+            << "\n";
+  for (std::size_t i = 0; i < experiments.size(); ++i) {
+    if (experiments[i] == 0) continue;
+    std::cout << std::left << std::setw(26)
+              << ToString(static_cast<PatternClass>(i)) << std::right
+              << std::setw(8) << experiments[i] << std::setw(8) << sdc[i]
+              << std::setw(10) << detected[i] << std::setw(11)
+              << corrected[i] << "\n";
+  }
+  std::cout << "\nappfi rung:          " << std::fixed
+            << std::setprecision(0) << appfi_us << " us/sweep\n"
+            << "cycle-accurate rung: " << cycle_us << " us/sweep\n"
+            << "speedup:             " << std::setprecision(1)
+            << cycle_us / appfi_us << "x (gate: >= 10x)\n\n";
+}
+
+}  // namespace
+
+// Rungs: {spec, rung, abft}. Convolutional networks and the forwarding
+// signals stay on the cycle-accurate rung (predictor coverage).
+BENCHMARK(BM_NetworkSweep)
+    ->Args({0, 0, 0})
+    ->Args({0, 1, 0})
+    ->Args({0, 0, 1})
+    ->Args({0, 1, 1})
+    ->Args({1, 0, 0})
+    ->Args({1, 1, 0})
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  PrintSummaryTables();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

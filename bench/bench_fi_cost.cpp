@@ -132,10 +132,14 @@ void BM_AppFiExperiment(benchmark::State& state) {
   const RunResult golden = runner.RunGolden(workload, dataflow);
   const FaultSpec fault =
       StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1);
+  AppFiSpec fi_spec;
+  fi_spec.accel = config;
+  fi_spec.dataflow = dataflow;
+  const NetworkFi injector(fi_spec);
 
   for (auto _ : state) {
-    benchmark::DoNotOptimize(EmulateExtractionFault(
-        golden.output, workload, config, dataflow, fault));
+    benchmark::DoNotOptimize(
+        injector.EmulateExtraction(golden.output, workload, fault));
   }
   state.SetLabel(workload.name + "/" + ToString(dataflow));
 }

@@ -55,13 +55,17 @@ int main() {
     std::int64_t value_matches = 0;
     std::int64_t value_checks = 0;
     std::uint64_t pe_steps = 0;
+    AppFiSpec fi_spec;
+    fi_spec.accel = config.accel;
+    fi_spec.dataflow = bench_case.dataflow;
+    const NetworkFi injector(fi_spec);
     const auto sites = CampaignSites(config);
     for (std::size_t i = 0; i < sites.size();
          i += std::max<std::size_t>(1, sites.size() / 8)) {
       const FaultSpec fault =
           StuckAtAdder(sites[i], 8, StuckPolarity::kStuckAt1);
-      const CrossValidation validation = CrossValidate(
-          bench_case.workload, config.accel, bench_case.dataflow, fault);
+      const CrossValidation validation =
+          injector.CrossValidate(bench_case.workload, fault);
       ++value_checks;
       if (validation.values_match) ++value_matches;
       pe_steps = validation.simulated_pe_steps;

@@ -24,4 +24,10 @@ MIN_TIME="${BENCH_MIN_TIME:-0.05s}"
   --benchmark_out="$ROOT/BENCH_fi_cost.json" \
   --benchmark_out_format=json
 
-echo "wrote $ROOT/BENCH_table1.json and $ROOT/BENCH_fi_cost.json"
+"$BUILD/bench/bench_dnn_campaign" \
+  --benchmark_min_time="${MIN_TIME%s}" \
+  --benchmark_out="$ROOT/BENCH_dnn_campaign.json" \
+  --benchmark_out_format=json
+
+echo "wrote $ROOT/BENCH_table1.json, $ROOT/BENCH_fi_cost.json, and" \
+     "$ROOT/BENCH_dnn_campaign.json"

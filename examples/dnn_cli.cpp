@@ -1,0 +1,405 @@
+// Network-campaign CLI: sweep stuck-at faults over a whole quantized
+// network and get per-pattern-class SDC / top-1 / ABFT coverage tables,
+// plus optional per-experiment CSV / JSONL streams.
+//
+//   $ ./dnn_cli --network mlp --sites 16
+//   $ ./dnn_cli --network extraction --rung cycle-accurate --csv out.csv
+//   $ ./dnn_cli --network mlp --abft --bit 20,24 --layer -1,0,1
+//         --jsonl net.jsonl
+//   $ ./dnn_cli --spec net.json --resume net.jsonl --csv full.csv
+//
+// Network (dnn/network.h):
+//   --network {extraction|mlp|cnn}  topology      (mlp)
+//   --batch N          evaluation batch           (32)
+//   --hidden N         MLP hidden width           (32)
+//   --train-samples N  MLP training set size      (600)
+//   --train-epochs N   MLP training epoch cap     (80)
+//   --conv-channels N  CNN conv output channels   (4)
+//   --extraction-k N --extraction-n N  extraction GEMM shape (16x16)
+//   --net-seed N       weights/data seed          (7)
+// Sweep axes (comma-separated lists expand to the cartesian product):
+//   --dataflow LIST  {ws|os|is}                   (ws)
+//   --signal LIST    {adder_out|mul_out|weight_operand|act_forward|
+//                     south_forward}              (adder_out)
+//   --polarity LIST  {sa0|sa1}                    (sa1)
+//   --bit LIST       stuck bit                    (8)
+//   --layer LIST     0-based injection scope, -1 = whole network (-1)
+// Sampling and hardware:
+//   --sites N        sample N fault sites (0 = exhaustive)
+//   --seed N         site-sampling / selfcheck seed (1)
+//   --rows N --cols N  array dimensions           (16x16)
+// Execution:
+//   --rung {appfi|cycle-accurate}  execution rung (appfi). The appfi rung
+//                    serves predictor-covered signals only; forwarding
+//                    signals need cycle-accurate.
+//   --abft           run every in-scope layer through ABFT
+//                    verify-and-correct and record coverage
+//   --perturb-mode {auto|set-bit|clear-bit|flip-bit|add-delta}  appfi
+//                    perturbation; auto derives set/clear from each fault's
+//                    polarity (auto)
+//   --perturb-bit N --perturb-delta N  explicit perturbation parameters
+//   --selfcheck-rate F  fraction of appfi experiments re-run on the
+//                    cycle-accurate rung; a mismatch demotes the campaign
+//                    (0 = off)
+//   --resume PATH    replay records from a previous --jsonl stream
+// Spec files and output:
+//   --spec PATH      load the sweep from a JSON spec (exclusive with the
+//                    network/axis flags above)
+//   --print-spec     print the spec as JSON and exit without running
+//   --csv PATH       per-experiment CSV (atomic: tmp + rename)
+//   --jsonl PATH     CRC-sealed JSONL stream (doubles as a checkpoint)
+//   --metrics-out PATH   export the metrics registry (saffire.dnn.*);
+//                    '-' writes to stdout
+//   --metrics-format {prom|json}  exposition format (prom)
+// Shutdown and exit codes mirror campaign_cli: SIGINT/SIGTERM drain
+// cooperatively and exit 128+signo with the JSONL checkpoint resumable;
+// otherwise 0 for a healthy sweep, 3 when it completed with self-check
+// mismatches, 1 for errors.
+#include <array>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/atomic_file.h"
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "service/network_run.h"
+#include "service/signal.h"
+
+namespace {
+
+using namespace saffire;
+
+const std::set<std::string>& ValueFlags() {
+  static const std::set<std::string> kFlags = {
+      "network",      "batch",        "hidden",      "train-samples",
+      "train-epochs", "conv-channels", "extraction-k", "extraction-n",
+      "net-seed",     "dataflow",     "signal",      "polarity",
+      "bit",          "layer",        "sites",       "seed",
+      "rows",         "cols",         "rung",        "perturb-mode",
+      "perturb-bit",  "perturb-delta", "selfcheck-rate", "resume",
+      "spec",         "csv",          "jsonl",       "metrics-out",
+      "metrics-format"};
+  return kFlags;
+}
+
+const std::set<std::string>& BoolFlags() {
+  static const std::set<std::string> kFlags = {"abft", "print-spec", "help"};
+  return kFlags;
+}
+
+NetworkSweepSpec SpecFromFlags(
+    const std::map<std::string, std::string>& flags) {
+  const auto flag = [&](const std::string& key, const std::string& fallback) {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  };
+  NetworkSweepSpec spec;
+  spec.accel.array.rows =
+      static_cast<std::int32_t>(ParseInt(flag("rows", "16")));
+  spec.accel.array.cols =
+      static_cast<std::int32_t>(ParseInt(flag("cols", "16")));
+
+  spec.network.kind = ParseNetworkKind(flag("network", "mlp"));
+  spec.network.batch = ParseInt(flag("batch", "32"));
+  spec.network.hidden = ParseInt(flag("hidden", "32"));
+  spec.network.train_samples = ParseInt(flag("train-samples", "600"));
+  spec.network.train_epochs = ParseInt(flag("train-epochs", "80"));
+  spec.network.conv_channels = ParseInt(flag("conv-channels", "4"));
+  spec.network.extraction_k = ParseInt(flag("extraction-k", "16"));
+  spec.network.extraction_n = ParseInt(flag("extraction-n", "16"));
+  spec.network.seed =
+      static_cast<std::uint64_t>(ParseInt(flag("net-seed", "7")));
+
+  spec.dataflows.clear();
+  for (const std::string& name : Split(flag("dataflow", "ws"), ',')) {
+    spec.dataflows.push_back(DataflowFromString(Trim(name)));
+  }
+  spec.signals.clear();
+  for (const std::string& name : Split(flag("signal", "adder_out"), ',')) {
+    spec.signals.push_back(MacSignalFromString(Trim(name)));
+  }
+  spec.polarities.clear();
+  for (const std::string& name : Split(flag("polarity", "sa1"), ',')) {
+    spec.polarities.push_back(StuckPolarityFromString(Trim(name)));
+  }
+  spec.bits.clear();
+  for (const std::string& text : Split(flag("bit", "8"), ',')) {
+    spec.bits.push_back(static_cast<int>(ParseInt(Trim(text))));
+  }
+  spec.layers.clear();
+  for (const std::string& text : Split(flag("layer", "-1"), ',')) {
+    spec.layers.push_back(static_cast<int>(ParseInt(Trim(text))));
+  }
+
+  spec.max_sites = ParseInt(flag("sites", "0"));
+  spec.seed = static_cast<std::uint64_t>(ParseInt(flag("seed", "1")));
+  spec.rung = ParseNetworkRung(flag("rung", "appfi"));
+  spec.abft = flags.count("abft") != 0;
+
+  // --perturb-mode goes through ParsePerturbMode, with "auto" layered on
+  // top (the polarity-derived default).
+  const std::string mode = flag("perturb-mode", "auto");
+  spec.perturb_auto = mode == "auto";
+  if (!spec.perturb_auto) spec.perturb.mode = ParsePerturbMode(mode);
+  spec.perturb.bit = static_cast<int>(ParseInt(flag("perturb-bit", "8")));
+  spec.perturb.delta =
+      static_cast<std::int32_t>(ParseInt(flag("perturb-delta", "0")));
+  return spec;
+}
+
+// Per-pattern-class aggregation of the record stream: the SDC table the
+// paper's reliability assessment builds, plus ABFT coverage per class.
+struct ClassStats {
+  std::int64_t experiments = 0;
+  std::int64_t sdc = 0;
+  std::int64_t top1_flips = 0;
+  std::int64_t abft_detected = 0;
+  std::int64_t abft_corrected = 0;
+};
+
+class SummarySink : public NetworkRecordSink {
+ public:
+  void OnRecord(const NetworkRecord& record) override {
+    ClassStats& stats = per_class_[static_cast<std::size_t>(record.pattern)];
+    ++stats.experiments;
+    if (record.sdc) ++stats.sdc;
+    stats.top1_flips += record.top1_flips;
+    if (record.abft_on && record.abft_diagnosis != AbftDiagnosis::kClean) {
+      ++stats.abft_detected;
+      if (record.abft_corrected) ++stats.abft_corrected;
+    }
+    abft_on_ = abft_on_ || record.abft_on;
+  }
+
+  void Print(std::ostream& out) const {
+    out << std::left << std::setw(26) << "pattern class" << std::right
+        << std::setw(8) << "expts" << std::setw(8) << "SDC" << std::setw(10)
+        << "SDC rate" << std::setw(12) << "top1 flips";
+    if (abft_on_) {
+      out << std::setw(10) << "detected" << std::setw(11) << "corrected";
+    }
+    out << "\n";
+    for (std::size_t i = 0; i < per_class_.size(); ++i) {
+      const ClassStats& stats = per_class_[i];
+      if (stats.experiments == 0) continue;
+      out << std::left << std::setw(26)
+          << ToString(static_cast<PatternClass>(i)) << std::right
+          << std::setw(8) << stats.experiments << std::setw(8) << stats.sdc
+          << std::setw(9) << std::fixed << std::setprecision(1)
+          << (100.0 * static_cast<double>(stats.sdc) /
+              static_cast<double>(stats.experiments))
+          << "%" << std::defaultfloat << std::setw(12) << stats.top1_flips;
+      if (abft_on_) {
+        out << std::setw(10) << stats.abft_detected << std::setw(11)
+            << stats.abft_corrected;
+      }
+      out << "\n";
+    }
+  }
+
+ private:
+  std::array<ClassStats, kNumPatternClasses> per_class_{};
+  bool abft_on_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (!StartsWith(key, "--")) {
+      std::cerr << "expected a --flag, got '" << key << "'\n";
+      return 1;
+    }
+    const std::string name = key.substr(2);
+    if (BoolFlags().count(name) != 0) {
+      flags[name] = std::string("1");
+      continue;
+    }
+    if (ValueFlags().count(name) == 0) {
+      std::cerr << "unknown flag '" << key << "'\n";
+      return 1;
+    }
+    if (i + 1 >= argc) {
+      std::cerr << "flag '" << key << "' expects a value\n";
+      return 1;
+    }
+    flags[name] = argv[++i];
+  }
+  const auto flag = [&](const std::string& key, const std::string& fallback) {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  };
+  if (flags.count("help") != 0) {
+    std::cout << "see the header comment of examples/dnn_cli.cpp for the "
+                 "flag reference\n";
+    return 0;
+  }
+
+  try {
+    NetworkSweepSpec spec;
+    if (flags.count("spec") != 0) {
+      for (const char* axis :
+           {"network", "batch", "hidden", "dataflow", "signal", "polarity",
+            "bit", "layer", "sites", "seed", "rows", "cols", "rung", "abft",
+            "perturb-mode"}) {
+        if (flags.count(axis) != 0) {
+          std::cerr << "--spec already defines the sweep; drop '--" << axis
+                    << "'\n";
+          return 1;
+        }
+      }
+      std::ifstream in(flags.at("spec"));
+      if (!in) {
+        std::cerr << "cannot open spec '" << flags.at("spec") << "'\n";
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      spec = ParseNetworkSweepSpec(text.str());
+    } else {
+      spec = SpecFromFlags(flags);
+    }
+    if (flags.count("print-spec") != 0) {
+      std::cout << spec.ToJson() << "\n";
+      return 0;
+    }
+    spec.Validate();
+
+    // Read the checkpoint fully before opening any output stream, so
+    // resuming from the file a sink is about to truncate is safe.
+    NetworkCheckpoint checkpoint;
+    const bool resuming = flags.count("resume") != 0;
+    if (resuming) {
+      std::ifstream in(flags.at("resume"));
+      if (!in) {
+        std::cerr << "error: cannot open checkpoint '" << flags.at("resume")
+                  << "'\n";
+        return 1;
+      }
+      checkpoint = LoadNetworkCheckpoint(in);
+      std::cout << "resuming " << checkpoint.records.size()
+                << " records from '" << flags.at("resume") << "'";
+      if (checkpoint.lines_dropped > 0) {
+        std::cout << " (dropped " << checkpoint.lines_dropped
+                  << " corrupt lines; their experiments will be re-run)";
+      }
+      std::cout << "\n";
+    }
+
+    SummarySink summary;
+    std::vector<NetworkRecordSink*> sinks{&summary};
+    const std::string csv_path = flag("csv", "");
+    std::unique_ptr<AtomicFileWriter> csv_writer;
+    std::unique_ptr<NetworkCsvSink> csv_sink;
+    if (!csv_path.empty()) {
+      csv_writer = std::make_unique<AtomicFileWriter>(csv_path);
+      csv_sink = std::make_unique<NetworkCsvSink>(csv_writer->stream());
+      sinks.push_back(csv_sink.get());
+    }
+    std::ofstream jsonl_out;
+    const std::string jsonl_path = flag("jsonl", "");
+    std::unique_ptr<NetworkJsonlSink> jsonl_sink;
+    if (!jsonl_path.empty()) {
+      jsonl_out.open(jsonl_path);
+      if (!jsonl_out) {
+        std::cerr << "cannot open '" << jsonl_path << "'\n";
+        return 1;
+      }
+      jsonl_sink = std::make_unique<NetworkJsonlSink>(
+          jsonl_out, /*flush_every_line=*/true);
+      sinks.push_back(jsonl_sink.get());
+    }
+    NetworkTeeSink tee(sinks);
+
+    NetworkRunOptions options;
+    options.resilience.selfcheck_rate =
+        ParseDouble(flag("selfcheck-rate", "0"));
+    if (resuming) options.resume = &checkpoint;
+
+    const std::string metrics_format = flag("metrics-format", "prom");
+    if (metrics_format != "prom" && metrics_format != "json") {
+      throw std::invalid_argument("unknown --metrics-format '" +
+                                  metrics_format + "' (expected prom|json)");
+    }
+    const std::string metrics_path = flag("metrics-out", "");
+
+    // Cooperative SIGINT/SIGTERM drain, exactly like campaign_cli: finish
+    // the in-flight experiment, flush sinks, exit 128+signo resumable.
+    ScopedSignalDrain drain;
+    options.stop = drain.token();
+
+    SweepOutcome outcome = RunNetworkSweep(spec, options, tee);
+    outcome.checkpoint_lines_dropped += checkpoint.lines_dropped;
+    if (csv_writer != nullptr) csv_writer->Commit();
+
+    std::cout << "network=" << ToString(spec.network.kind)
+              << " rung=" << ToString(spec.rung)
+              << " abft=" << (spec.abft ? "on" : "off")
+              << " records=" << outcome.records << "\n\n";
+    summary.Print(std::cout);
+
+    if (!csv_path.empty()) {
+      std::cout << "\nwrote " << outcome.records << " rows to " << csv_path
+                << "\n";
+    }
+    if (!jsonl_path.empty()) {
+      std::cout << "\nwrote " << outcome.records << " records to "
+                << jsonl_path << "\n";
+    }
+
+    if (!metrics_path.empty()) {
+      const auto write = [&](std::ostream& out) {
+        if (metrics_format == "json") {
+          obs::MetricsRegistry::Default().WriteJson(out);
+          out << "\n";
+        } else {
+          obs::MetricsRegistry::Default().WritePrometheus(out);
+        }
+      };
+      if (metrics_path == "-") {
+        write(std::cout);
+      } else {
+        AtomicFileWriter metrics_writer(metrics_path);
+        write(metrics_writer.stream());
+        metrics_writer.Commit();
+        std::cout << "wrote metrics (" << metrics_format << ") to "
+                  << metrics_path << "\n";
+      }
+    }
+
+    if (outcome.fallbacks != 0 || outcome.selfchecks != 0 ||
+        outcome.checkpoint_lines_dropped != 0 || !outcome.ok()) {
+      std::cout << "[resilience] selfchecks=" << outcome.selfchecks
+                << " mismatches=" << outcome.selfcheck_mismatches
+                << " fallbacks=" << outcome.fallbacks
+                << " checkpoint_lines_dropped="
+                << outcome.checkpoint_lines_dropped << "\n";
+    }
+    if (drain.triggered()) {
+      std::cerr << "stopped by signal " << drain.signal_number()
+                << " after a clean drain";
+      if (!jsonl_path.empty()) {
+        std::cerr << "; resume with --resume " << jsonl_path;
+      }
+      std::cerr << "\n";
+      return 128 + drain.signal_number();
+    }
+    if (!outcome.ok()) {
+      std::cerr << "sweep completed with self-check mismatches (see "
+                   "[resilience] above)\n";
+      return 3;
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// JSON (de)serialization of AccelConfig, shared by every spec type that
+// embeds an accelerator configuration (service/sweep.h, appfi/appfi.h,
+// service/network_sweep.h) so they agree on one schema.
+#pragma once
+
+#include "accel/controller.h"
+#include "common/json.h"
+
+namespace saffire {
+
+// Writes the config as one JSON object (keys: rows, cols, input_bits,
+// acc_bits, spad_rows, acc_rows, max_compute_rows, double_buffered_weights,
+// dram_bytes).
+void WriteAccelJson(JsonWriter& w, const AccelConfig& accel);
+
+// Parses exactly what WriteAccelJson emits; throws std::invalid_argument on
+// missing members.
+AccelConfig ParseAccelJson(const JsonValue& json);
+
+}  // namespace saffire

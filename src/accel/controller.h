@@ -33,6 +33,8 @@ struct AccelConfig {
 
   void Validate() const;
   std::string ToString() const;
+
+  bool operator==(const AccelConfig&) const = default;
 };
 
 struct AccelStats {

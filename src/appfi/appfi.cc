@@ -1,23 +1,50 @@
 #include "appfi/appfi.h"
 
+#include <sstream>
+
+#include "accel/config_json.h"
 #include "common/check.h"
+#include "common/json.h"
 #include "fi/runner.h"
 #include "patterns/corruption.h"
 
 namespace saffire {
 
+namespace {
+
+constexpr const char* kPerturbModeNames[] = {"set-bit", "clear-bit",
+                                             "flip-bit", "add-delta"};
+
+}  // namespace
+
 std::string ToString(PerturbMode mode) {
-  switch (mode) {
-    case PerturbMode::kSetBit:
-      return "set-bit";
-    case PerturbMode::kClearBit:
-      return "clear-bit";
-    case PerturbMode::kFlipBit:
-      return "flip-bit";
-    case PerturbMode::kAddDelta:
-      return "add-delta";
+  const auto index = static_cast<std::size_t>(mode);
+  SAFFIRE_ASSERT_MSG(index < std::size(kPerturbModeNames),
+                     "perturb mode " << static_cast<int>(index));
+  return kPerturbModeNames[index];
+}
+
+PerturbMode ParsePerturbMode(const std::string& name) {
+  for (std::size_t i = 0; i < std::size(kPerturbModeNames); ++i) {
+    if (name == kPerturbModeNames[i]) return static_cast<PerturbMode>(i);
   }
-  return "unknown";
+  SAFFIRE_CHECK_MSG(false, "unknown perturb mode '"
+                               << name
+                               << "' (expected set-bit|clear-bit|flip-bit|"
+                                  "add-delta)");
+}
+
+PerturbSpec PerturbForFault(const FaultSpec& fault) {
+  PerturbSpec perturb;
+  perturb.bit = fault.bit;
+  if (fault.kind == FaultKind::kTransientFlip) {
+    perturb.mode = PerturbMode::kFlipBit;
+  } else {
+    perturb.mode = fault.polarity == StuckPolarity::kStuckAt1
+                       ? PerturbMode::kSetBit
+                       : PerturbMode::kClearBit;
+  }
+  return perturb;
 }
 
 namespace {
@@ -44,17 +71,76 @@ std::int32_t Perturb(std::int32_t value, const PerturbSpec& spec) {
 
 }  // namespace
 
-Int32Tensor InjectPattern(const Int32Tensor& golden,
-                          const WorkloadSpec& workload,
-                          const AccelConfig& accel, Dataflow dataflow,
-                          const FaultSpec& fault,
-                          const PerturbSpec& perturb) {
+void AppFiSpec::Validate() const {
+  accel.Validate();
+  if (perturb.mode != PerturbMode::kAddDelta) {
+    SAFFIRE_CHECK_MSG(perturb.bit >= 0 && perturb.bit < 32,
+                      "perturb bit=" << perturb.bit);
+  }
+}
+
+std::string AppFiSpec::ToJson() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("accel");
+  WriteAccelJson(w, accel);
+  w.Key("dataflow").String(ToString(dataflow));
+  w.Key("perturb").BeginObject()
+      .Key("mode").String(ToString(perturb.mode))
+      .Key("bit").Int(perturb.bit)
+      .Key("delta").Int(perturb.delta)
+      .EndObject();
+  w.EndObject();
+  return os.str();
+}
+
+AppFiSpec ParseAppFiSpec(const std::string& json) {
+  const JsonValue root = JsonValue::Parse(json);
+  // Reject unknown keys so a typo ("perturb_mode" for "perturb") fails
+  // loudly instead of silently injecting with the default.
+  for (const auto& [key, value] : root.AsObject()) {
+    (void)value;
+    SAFFIRE_CHECK_MSG(key == "accel" || key == "dataflow" || key == "perturb",
+                      "unknown appfi spec key '" << key << "'");
+  }
+  AppFiSpec spec;
+  spec.accel = ParseAccelJson(root.At("accel"));
+  spec.dataflow = DataflowFromString(root.At("dataflow").AsString());
+  const JsonValue& perturb = root.At("perturb");
+  for (const auto& [key, value] : perturb.AsObject()) {
+    (void)value;
+    SAFFIRE_CHECK_MSG(key == "mode" || key == "bit" || key == "delta",
+                      "unknown appfi perturb key '" << key << "'");
+  }
+  spec.perturb.mode = ParsePerturbMode(perturb.At("mode").AsString());
+  spec.perturb.bit = static_cast<int>(perturb.At("bit").AsInt());
+  spec.perturb.delta =
+      static_cast<std::int32_t>(perturb.At("delta").AsInt());
+  spec.Validate();
+  return spec;
+}
+
+NetworkFi::NetworkFi(const AppFiSpec& spec) : spec_(spec) {
+  spec_.Validate();
+}
+
+Int32Tensor NetworkFi::Inject(const Int32Tensor& golden,
+                              const WorkloadSpec& workload,
+                              const FaultSpec& fault) const {
+  return Inject(golden, workload, fault, spec_.perturb);
+}
+
+Int32Tensor NetworkFi::Inject(const Int32Tensor& golden,
+                              const WorkloadSpec& workload,
+                              const FaultSpec& fault,
+                              const PerturbSpec& perturb) const {
   SAFFIRE_CHECK_MSG(golden.rank() == 2 && golden.dim(0) == workload.GemmM() &&
                         golden.dim(1) == workload.GemmN(),
                     "golden " << golden.ShapeString() << " vs workload "
                               << workload.ToString());
   const PredictedPattern prediction =
-      PredictPattern(workload, accel, dataflow, fault);
+      PredictPattern(workload, spec_.accel, spec_.dataflow, fault);
   Int32Tensor faulty = golden;
   for (const MatrixCoord& coord : prediction.coords) {
     faulty(coord.row, coord.col) =
@@ -63,10 +149,32 @@ Int32Tensor InjectPattern(const Int32Tensor& golden,
   return faulty;
 }
 
-Int32Tensor EmulateExtractionFault(const Int32Tensor& golden,
-                                   const WorkloadSpec& workload,
-                                   const AccelConfig& accel, Dataflow dataflow,
-                                   const FaultSpec& fault) {
+Int32Tensor NetworkFi::InjectForFault(const Int32Tensor& golden,
+                                      const WorkloadSpec& workload,
+                                      const FaultSpec& fault) const {
+  return Inject(golden, workload, fault, PerturbForFault(fault));
+}
+
+bool NetworkFi::ExtractionExact(const WorkloadSpec& workload,
+                                const FaultSpec& fault) const {
+  if (workload.input_fill != OperandFill::kOnes ||
+      workload.weight_fill != OperandFill::kOnes) {
+    return false;
+  }
+  if (fault.kind != FaultKind::kStuckAt ||
+      fault.polarity != StuckPolarity::kStuckAt1 ||
+      fault.signal != MacSignal::kAdderOut) {
+    return false;
+  }
+  const TileGrid grid =
+      Driver::PlanTiles(workload.GemmM(), workload.GemmN(), workload.GemmK(),
+                        spec_.accel, spec_.dataflow);
+  return (std::int64_t{1} << fault.bit) > grid.tile_k();
+}
+
+Int32Tensor NetworkFi::EmulateExtraction(const Int32Tensor& golden,
+                                         const WorkloadSpec& workload,
+                                         const FaultSpec& fault) const {
   SAFFIRE_CHECK_MSG(workload.input_fill == OperandFill::kOnes &&
                         workload.weight_fill == OperandFill::kOnes,
                     "exact emulation requires the all-ones extraction "
@@ -82,7 +190,7 @@ Int32Tensor EmulateExtractionFault(const Int32Tensor& golden,
   // every pass contributes exactly 2^bit.
   const TileGrid grid =
       Driver::PlanTiles(workload.GemmM(), workload.GemmN(), workload.GemmK(),
-                        accel, dataflow);
+                        spec_.accel, spec_.dataflow);
   const std::int64_t max_partial = grid.tile_k();
   SAFFIRE_CHECK_MSG((std::int64_t{1} << fault.bit) > max_partial,
                     "bit " << fault.bit << " collides with partial sums up to "
@@ -92,7 +200,29 @@ Int32Tensor EmulateExtractionFault(const Int32Tensor& golden,
   perturb.mode = PerturbMode::kAddDelta;
   perturb.delta = static_cast<std::int32_t>(
       grid.k_tiles() * (std::int64_t{1} << fault.bit));
-  return InjectPattern(golden, workload, accel, dataflow, fault, perturb);
+  return Inject(golden, workload, fault, perturb);
+}
+
+CrossValidation NetworkFi::CrossValidate(const WorkloadSpec& workload,
+                                         const FaultSpec& fault) const {
+  FiRunner runner(spec_.accel);
+  const RunResult golden = runner.RunGolden(workload, spec_.dataflow);
+  const RunResult simulated =
+      runner.RunFaulty(workload, spec_.dataflow, {&fault, 1});
+  const CorruptionMap observed =
+      ExtractCorruption(golden.output, simulated.output);
+
+  const Int32Tensor emulated =
+      EmulateExtraction(golden.output, workload, fault);
+  const CorruptionMap predicted = ExtractCorruption(golden.output, emulated);
+
+  CrossValidation validation;
+  validation.coords_match = observed.corrupted == predicted.corrupted;
+  validation.values_match = emulated == simulated.output;
+  validation.predicted_count = predicted.count();
+  validation.observed_count = observed.count();
+  validation.simulated_pe_steps = simulated.pe_steps;
+  return validation;
 }
 
 FaultSpec SampleAdderFault(const ArrayConfig& config, Rng& rng, int bit_lo,
@@ -124,26 +254,38 @@ Int32Tensor InjectNaiveBaseline(const Int32Tensor& golden, Rng& rng,
   return faulty;
 }
 
+namespace {
+
+NetworkFi MakeInjector(const AccelConfig& accel, Dataflow dataflow) {
+  AppFiSpec spec;
+  spec.accel = accel;
+  spec.dataflow = dataflow;
+  return NetworkFi(spec);
+}
+
+}  // namespace
+
+Int32Tensor InjectPattern(const Int32Tensor& golden,
+                          const WorkloadSpec& workload,
+                          const AccelConfig& accel, Dataflow dataflow,
+                          const FaultSpec& fault,
+                          const PerturbSpec& perturb) {
+  return MakeInjector(accel, dataflow).Inject(golden, workload, fault,
+                                              perturb);
+}
+
+Int32Tensor EmulateExtractionFault(const Int32Tensor& golden,
+                                   const WorkloadSpec& workload,
+                                   const AccelConfig& accel, Dataflow dataflow,
+                                   const FaultSpec& fault) {
+  return MakeInjector(accel, dataflow)
+      .EmulateExtraction(golden, workload, fault);
+}
+
 CrossValidation CrossValidate(const WorkloadSpec& workload,
                               const AccelConfig& accel, Dataflow dataflow,
                               const FaultSpec& fault) {
-  FiRunner runner(accel);
-  const RunResult golden = runner.RunGolden(workload, dataflow);
-  const RunResult simulated = runner.RunFaulty(workload, dataflow, {&fault, 1});
-  const CorruptionMap observed =
-      ExtractCorruption(golden.output, simulated.output);
-
-  const Int32Tensor emulated =
-      EmulateExtractionFault(golden.output, workload, accel, dataflow, fault);
-  const CorruptionMap predicted = ExtractCorruption(golden.output, emulated);
-
-  CrossValidation validation;
-  validation.coords_match = observed.corrupted == predicted.corrupted;
-  validation.values_match = emulated == simulated.output;
-  validation.predicted_count = predicted.count();
-  validation.observed_count = observed.count();
-  validation.simulated_pe_steps = simulated.pe_steps;
-  return validation;
+  return MakeInjector(accel, dataflow).CrossValidate(workload, fault);
 }
 
 }  // namespace saffire

@@ -11,9 +11,15 @@
 // fault site (patterns/predictor.h). This is orders of magnitude faster
 // than RTL-level FI (the paper's scalability argument) and, on the
 // pattern-extraction workload, bit-exact.
+//
+// Entry point: configure an AppFiSpec (accelerator + dataflow + default
+// perturbation; JSON round-trip like service/sweep.h's SweepSpec) and drive
+// a NetworkFi injector with it. The loose free-function overloads that
+// predate the spec survive one more release as deprecated wrappers.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/rng.h"
 #include "fi/fault.h"
@@ -32,30 +38,106 @@ enum class PerturbMode : std::uint8_t {
 
 std::string ToString(PerturbMode mode);
 
+// Parses exactly the ToString names; throws std::invalid_argument naming
+// the accepted values ("set-bit|clear-bit|flip-bit|add-delta") otherwise.
+PerturbMode ParsePerturbMode(const std::string& name);
+
 struct PerturbSpec {
   PerturbMode mode = PerturbMode::kSetBit;
   int bit = 8;                // kSetBit / kClearBit / kFlipBit
   std::int32_t delta = 0;     // kAddDelta
+
+  bool operator==(const PerturbSpec&) const = default;
 };
 
-// Returns a copy of `golden` (the GEMM-view output of `workload`) with the
-// predicted reach of `fault` perturbed per `perturb`. A structurally masked
-// fault returns `golden` unchanged.
-Int32Tensor InjectPattern(const Int32Tensor& golden,
-                          const WorkloadSpec& workload,
-                          const AccelConfig& accel, Dataflow dataflow,
-                          const FaultSpec& fault, const PerturbSpec& perturb);
+// The perturbation that approximates a stuck-at fault at the tensor level:
+// set the fault's bit for stuck-at-1, clear it for stuck-at-0, flip it for
+// a transient. The polarity-aware default NetworkFi::InjectForFault and the
+// DNN inference paths use.
+PerturbSpec PerturbForFault(const FaultSpec& fault);
 
-// Bit-exact emulation of a stuck-at-1 adder fault on the all-ones
-// extraction workload: every reached element gains k_tiles·2^bit (each pass
-// of the operand through the faulty PE contributes one set bit, and every
-// intermediate magnitude stays below 2^bit). Throws std::invalid_argument
-// if the preconditions don't hold (non-ones fills, stuck-at-0, or a bit
-// small enough to collide with true partial-sum values).
-Int32Tensor EmulateExtractionFault(const Int32Tensor& golden,
-                                   const WorkloadSpec& workload,
-                                   const AccelConfig& accel, Dataflow dataflow,
-                                   const FaultSpec& fault);
+// Configuration of one application-level injector: the hardware model the
+// patterns are predicted against plus the default perturbation. Follows the
+// SweepSpec idiom — Validate() for cheap upfront rejection, JSON round-trip
+// with unknown-key rejection for version-controlled configs.
+struct AppFiSpec {
+  AccelConfig accel;
+  Dataflow dataflow = Dataflow::kWeightStationary;
+  PerturbSpec perturb;
+
+  // Throws std::invalid_argument on an invalid accelerator or an
+  // out-of-range perturbation bit.
+  void Validate() const;
+
+  // JSON round-trip. Enums serialize as their ToString names;
+  // ParseAppFiSpec accepts exactly what ToJson emits and rejects unknown
+  // keys to catch typos early.
+  std::string ToJson() const;
+
+  bool operator==(const AppFiSpec&) const = default;
+};
+
+AppFiSpec ParseAppFiSpec(const std::string& json);
+
+// Cross-validation of the application-level injector against the
+// cycle-accurate simulator for one fault.
+struct CrossValidation {
+  bool coords_match = false;   // corrupted coordinate sets identical
+  bool values_match = false;   // faulty tensors bit-identical
+  std::int64_t predicted_count = 0;
+  std::int64_t observed_count = 0;
+  // Speedup proxy: simulated PE evaluations avoided by the analytical path.
+  std::uint64_t simulated_pe_steps = 0;
+};
+
+// The application-level injector. Bound to one AppFiSpec (validated at
+// construction); stateless afterwards, so one instance serves a whole
+// campaign and const methods are safe to call concurrently.
+class NetworkFi {
+ public:
+  explicit NetworkFi(const AppFiSpec& spec);
+
+  const AppFiSpec& spec() const { return spec_; }
+
+  // Returns a copy of `golden` (the GEMM-view output of `workload`) with
+  // the predicted reach of `fault` perturbed per the spec's perturbation.
+  // A structurally masked fault returns `golden` unchanged.
+  Int32Tensor Inject(const Int32Tensor& golden, const WorkloadSpec& workload,
+                     const FaultSpec& fault) const;
+
+  // Same, overriding the spec's perturbation for this call.
+  Int32Tensor Inject(const Int32Tensor& golden, const WorkloadSpec& workload,
+                     const FaultSpec& fault, const PerturbSpec& perturb) const;
+
+  // Inject with PerturbForFault(fault) — the polarity-aware perturbation.
+  Int32Tensor InjectForFault(const Int32Tensor& golden,
+                             const WorkloadSpec& workload,
+                             const FaultSpec& fault) const;
+
+  // Bit-exact emulation of a stuck-at-1 adder fault on the all-ones
+  // extraction workload: every reached element gains k_tiles·2^bit (each
+  // pass of the operand through the faulty PE contributes one set bit, and
+  // every intermediate magnitude stays below 2^bit). Throws
+  // std::invalid_argument if the preconditions don't hold (non-ones fills,
+  // stuck-at-0, or a bit small enough to collide with true partial-sum
+  // values).
+  Int32Tensor EmulateExtraction(const Int32Tensor& golden,
+                                const WorkloadSpec& workload,
+                                const FaultSpec& fault) const;
+
+  // True when EmulateExtraction's preconditions hold for this fault and
+  // workload, i.e. the analytical path is provably bit-exact.
+  bool ExtractionExact(const WorkloadSpec& workload,
+                       const FaultSpec& fault) const;
+
+  // Runs the cycle-accurate simulator on `workload` with `fault` installed
+  // and compares it against EmulateExtraction.
+  CrossValidation CrossValidate(const WorkloadSpec& workload,
+                                const FaultSpec& fault) const;
+
+ private:
+  AppFiSpec spec_;
+};
 
 // Uniform random hardware faults for statistical campaigns (the DNN
 // accuracy-degradation study): site uniform over the array, bit uniform in
@@ -73,16 +155,25 @@ FaultSpec SampleAdderFault(const ArrayConfig& config, Rng& rng,
 Int32Tensor InjectNaiveBaseline(const Int32Tensor& golden, Rng& rng,
                                 int bit);
 
-// Cross-validation of the application-level injector against the
-// cycle-accurate simulator for one fault.
-struct CrossValidation {
-  bool coords_match = false;   // corrupted coordinate sets identical
-  bool values_match = false;   // faulty tensors bit-identical
-  std::int64_t predicted_count = 0;
-  std::int64_t observed_count = 0;
-  // Speedup proxy: simulated PE evaluations avoided by the analytical path.
-  std::uint64_t simulated_pe_steps = 0;
-};
+// --- Deprecated loose-parameter API ----------------------------------------
+// Thin wrappers over NetworkFi, kept for one release so downstream callers
+// can migrate; every in-tree caller already has.
+
+[[deprecated("construct a NetworkFi from an AppFiSpec and call Inject()")]]
+Int32Tensor InjectPattern(const Int32Tensor& golden,
+                          const WorkloadSpec& workload,
+                          const AccelConfig& accel, Dataflow dataflow,
+                          const FaultSpec& fault, const PerturbSpec& perturb);
+
+[[deprecated(
+    "construct a NetworkFi from an AppFiSpec and call EmulateExtraction()")]]
+Int32Tensor EmulateExtractionFault(const Int32Tensor& golden,
+                                   const WorkloadSpec& workload,
+                                   const AccelConfig& accel, Dataflow dataflow,
+                                   const FaultSpec& fault);
+
+[[deprecated(
+    "construct a NetworkFi from an AppFiSpec and call CrossValidate()")]]
 CrossValidation CrossValidate(const WorkloadSpec& workload,
                               const AccelConfig& accel, Dataflow dataflow,
                               const FaultSpec& fault);

@@ -5,6 +5,7 @@
 #include "accel/scratchpad.h"
 #include "dnn/quantize.h"
 #include "tensor/gemm.h"
+#include "tensor/im2col.h"
 
 namespace saffire {
 
@@ -55,6 +56,35 @@ Int8Tensor MaxPool2x2(const Int8Tensor& input) {
     }
   }
   return out;
+}
+
+SmallCnn::LayerTaps SmallCnn::ForwardWith(const Int8Tensor& input,
+                                          const LayerGemm& gemm) const {
+  SAFFIRE_CHECK_MSG(input.rank() == 4 && input.dim(1) == conv_.in_channels &&
+                        input.dim(2) == conv_.height &&
+                        input.dim(3) == conv_.width,
+                    "input " << input.ShapeString() << " vs "
+                             << conv_.ToString());
+  ConvParams batch_params = conv_;
+  batch_params.batch = input.dim(0);
+
+  LayerTaps taps;
+  const Int8Tensor patches = Im2Col(input, batch_params);
+  const Int8Tensor weights = FlattenKernel(kernel_, batch_params);
+  taps.conv_raw = FoldGemmOutput(gemm(0, patches, weights), batch_params);
+
+  taps.conv_act = Int8Tensor(taps.conv_raw.shape());
+  for (std::int64_t i = 0; i < taps.conv_raw.size(); ++i) {
+    taps.conv_act.flat(i) =
+        Requantize(taps.conv_raw.flat(i), Activation::kRelu, conv_shift_);
+  }
+
+  taps.pooled = MaxPool2x2(taps.conv_act);
+
+  const Int8Tensor flat =
+      taps.pooled.Reshape({input.dim(0), dense_.dim(0)});
+  taps.logits = gemm(1, flat, dense_);
+  return taps;
 }
 
 SmallCnn::LayerTaps SmallCnn::Forward(const Int8Tensor& input, Driver* driver,

@@ -21,6 +21,7 @@
 
 #include "accel/driver.h"
 #include "common/rng.h"
+#include "dnn/quantize.h"
 #include "tensor/conv.h"
 #include "tensor/tensor.h"
 
@@ -49,6 +50,14 @@ class SmallCnn {
   // fault hook applies); with nullptr the bit-identical CPU reference runs.
   LayerTaps Forward(const Int8Tensor& input, Driver* driver,
                     const ExecOptions& options) const;
+
+  // Forward pass parameterized over the per-layer GEMM executor
+  // (dnn/quantize.h): layer 0 is the im2col-lowered convolution GEMM
+  // (A[NPQ×CRS]·W[CRS×K], folded back to N×K×P×Q on the host), layer 1 the
+  // dense head. Bit-identical to Forward for every executor that computes
+  // the exact product (convolution is exact integer math, so the lowering
+  // choice cannot change values).
+  LayerTaps ForwardWith(const Int8Tensor& input, const LayerGemm& gemm) const;
 
   // Fraction of elements in `faulty` differing from `golden` (same shape).
   template <typename T>

@@ -1,0 +1,223 @@
+#include "dnn/network.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "tensor/conv.h"
+
+namespace saffire {
+
+namespace {
+
+constexpr const char* kNetworkKindNames[] = {"extraction", "mlp", "cnn"};
+
+ConvParams DigitConv(std::int64_t batch, std::int64_t channels) {
+  ConvParams conv;
+  conv.batch = batch;
+  conv.in_channels = 1;
+  conv.height = 8;
+  conv.width = 8;
+  conv.out_channels = channels;
+  conv.kernel_h = 3;
+  conv.kernel_w = 3;
+  conv.stride = 1;
+  conv.pad = 1;
+  return conv;
+}
+
+}  // namespace
+
+std::string ToString(NetworkKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  SAFFIRE_ASSERT_MSG(index < std::size(kNetworkKindNames),
+                     "network kind " << static_cast<int>(index));
+  return kNetworkKindNames[index];
+}
+
+NetworkKind ParseNetworkKind(const std::string& name) {
+  for (std::size_t i = 0; i < std::size(kNetworkKindNames); ++i) {
+    if (name == kNetworkKindNames[i]) return static_cast<NetworkKind>(i);
+  }
+  SAFFIRE_CHECK_MSG(
+      false, "unknown network kind '" << name
+                                      << "' (expected extraction|mlp|cnn)");
+}
+
+std::int64_t NetworkLayerCount(NetworkKind kind) {
+  return kind == NetworkKind::kExtraction ? 1 : 2;
+}
+
+void NetworkSpec::Validate() const {
+  SAFFIRE_CHECK_MSG(batch >= 1 && batch <= 4096, "batch=" << batch);
+  SAFFIRE_CHECK_MSG(noise >= 0.0 && noise <= 1.0, "noise=" << noise);
+  switch (kind) {
+    case NetworkKind::kExtraction:
+      SAFFIRE_CHECK_MSG(extraction_k >= 1 && extraction_n >= 1,
+                        "extraction " << extraction_k << "x" << extraction_n);
+      break;
+    case NetworkKind::kMlp:
+      SAFFIRE_CHECK_MSG(hidden >= 2, "hidden=" << hidden);
+      SAFFIRE_CHECK_MSG(train_samples >= 10,
+                        "train_samples=" << train_samples);
+      SAFFIRE_CHECK_MSG(train_epochs >= 1, "train_epochs=" << train_epochs);
+      SAFFIRE_CHECK_MSG(train_target > 0.0 && train_target <= 1.0,
+                        "train_target=" << train_target);
+      break;
+    case NetworkKind::kCnn:
+      SAFFIRE_CHECK_MSG(conv_channels >= 1 && conv_channels <= 64,
+                        "conv_channels=" << conv_channels);
+      break;
+  }
+}
+
+PreparedNetwork::PreparedNetwork(const NetworkSpec& spec) : spec_(spec) {
+  spec_.Validate();
+  switch (spec_.kind) {
+    case NetworkKind::kExtraction: {
+      ones_a_ = Int8Tensor({spec_.batch, spec_.extraction_k});
+      ones_b_ = Int8Tensor({spec_.extraction_k, spec_.extraction_n});
+      for (std::int64_t i = 0; i < ones_a_.size(); ++i) ones_a_.flat(i) = 1;
+      for (std::int64_t i = 0; i < ones_b_.size(); ++i) ones_b_.flat(i) = 1;
+      WorkloadSpec layer;
+      layer.name = "extract";
+      layer.op = OpType::kGemm;
+      layer.m = spec_.batch;
+      layer.k = spec_.extraction_k;
+      layer.n = spec_.extraction_n;
+      layer.input_fill = OperandFill::kOnes;
+      layer.weight_fill = OperandFill::kOnes;
+      layer.data_seed = spec_.seed;
+      workloads_.push_back(layer);
+      break;
+    }
+    case NetworkKind::kMlp: {
+      const Dataset train =
+          MakeSyntheticDigits(spec_.train_samples, spec_.noise, spec_.seed);
+      const Dataset eval =
+          MakeSyntheticDigits(spec_.batch, spec_.noise, spec_.seed + 1);
+      Mlp mlp(kDigitPixels, spec_.hidden, kDigitClasses, spec_.seed);
+      Rng rng(spec_.seed + 2);
+      mlp.TrainUntil(train, spec_.train_target, spec_.train_epochs, 0.1, rng);
+      mlp_.emplace(mlp, train);
+      eval_inputs_ = eval.inputs;
+      labels_ = eval.labels;
+
+      WorkloadSpec fc1;
+      fc1.name = "fc1";
+      fc1.op = OpType::kGemm;
+      fc1.m = spec_.batch;
+      fc1.k = kDigitPixels;
+      fc1.n = spec_.hidden;
+      fc1.input_fill = OperandFill::kRandom;
+      fc1.weight_fill = OperandFill::kRandom;
+      fc1.data_seed = spec_.seed;
+      workloads_.push_back(fc1);
+
+      WorkloadSpec fc2 = fc1;
+      fc2.name = "fc2";
+      fc2.k = spec_.hidden;
+      fc2.n = kDigitClasses;
+      workloads_.push_back(fc2);
+      break;
+    }
+    case NetworkKind::kCnn: {
+      const Dataset eval =
+          MakeSyntheticDigits(spec_.batch, spec_.noise, spec_.seed + 1);
+      const ConvParams conv = DigitConv(spec_.batch, spec_.conv_channels);
+      cnn_.emplace(conv, kDigitClasses, spec_.seed);
+      float scale = 1.0f;
+      cnn_inputs_ = QuantizeSymmetric(eval.inputs, scale)
+                        .Reshape({spec_.batch, 1, std::int64_t{8},
+                                  std::int64_t{8}});
+      labels_ = eval.labels;
+
+      WorkloadSpec conv_layer;
+      conv_layer.name = "conv";
+      conv_layer.op = OpType::kConv;
+      conv_layer.conv = conv;
+      conv_layer.lowering = ConvLowering::kIm2Col;
+      conv_layer.input_fill = OperandFill::kRandom;
+      conv_layer.weight_fill = OperandFill::kRandom;
+      conv_layer.data_seed = spec_.seed;
+      workloads_.push_back(conv_layer);
+
+      const std::int64_t pooled =
+          conv.out_channels * (conv.out_height() / 2) * (conv.out_width() / 2);
+      WorkloadSpec dense;
+      dense.name = "dense";
+      dense.op = OpType::kGemm;
+      dense.m = spec_.batch;
+      dense.k = pooled;
+      dense.n = kDigitClasses;
+      dense.input_fill = OperandFill::kRandom;
+      dense.weight_fill = OperandFill::kRandom;
+      dense.data_seed = spec_.seed;
+      workloads_.push_back(dense);
+      break;
+    }
+  }
+  for (const WorkloadSpec& workload : workloads_) workload.Validate();
+}
+
+const WorkloadSpec& PreparedNetwork::layer_workload(
+    std::int64_t layer) const {
+  SAFFIRE_CHECK_MSG(layer >= 0 && layer < layer_count(),
+                    "layer " << layer << " of " << layer_count());
+  return workloads_[static_cast<std::size_t>(layer)];
+}
+
+PreparedNetwork::Inference PreparedNetwork::Run(const LayerGemm& gemm) const {
+  Inference inference;
+  inference.layer_outputs.assign(workloads_.size(), Int32Tensor({1, 1}));
+  const LayerGemm capture = [&](int layer, const Int8Tensor& a,
+                                const Int8Tensor& b) {
+    Int32Tensor out = gemm(layer, a, b);
+    SAFFIRE_CHECK_MSG(
+        layer >= 0 && layer < layer_count() &&
+            out.rank() == 2 &&
+            out.dim(0) == workloads_[static_cast<std::size_t>(layer)].GemmM() &&
+            out.dim(1) == workloads_[static_cast<std::size_t>(layer)].GemmN(),
+        "layer " << layer << " output " << out.ShapeString());
+    inference.layer_outputs[static_cast<std::size_t>(layer)] = out;
+    return out;
+  };
+
+  switch (spec_.kind) {
+    case NetworkKind::kExtraction:
+      inference.logits = capture(0, ones_a_, ones_b_);
+      break;
+    case NetworkKind::kMlp:
+      inference.logits = mlp_->LogitsWith(eval_inputs_, capture);
+      break;
+    case NetworkKind::kCnn:
+      inference.logits = cnn_->ForwardWith(cnn_inputs_, capture).logits;
+      break;
+  }
+  inference.top1 = ArgmaxRows(inference.logits);
+  return inference;
+}
+
+double LabelAccuracy(const std::vector<int>& predictions,
+                     const std::vector<int>& labels) {
+  SAFFIRE_CHECK_MSG(predictions.size() == labels.size() && !labels.empty(),
+                    predictions.size() << " predictions vs " << labels.size()
+                                       << " labels");
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(predictions.size());
+}
+
+std::int64_t Top1Flips(const std::vector<int>& golden,
+                       const std::vector<int>& faulty) {
+  SAFFIRE_CHECK_MSG(golden.size() == faulty.size(),
+                    golden.size() << " vs " << faulty.size());
+  std::int64_t flips = 0;
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    if (golden[i] != faulty[i]) ++flips;
+  }
+  return flips;
+}
+
+}  // namespace saffire

@@ -101,11 +101,23 @@ Int8Tensor QuantizedMlp::RequantizeHidden(const Int32Tensor& accum) const {
   return out;
 }
 
-std::vector<int> QuantizedMlp::PredictCpu(const FloatTensor& batch) const {
+Int32Tensor QuantizedMlp::LogitsWith(const FloatTensor& batch,
+                                     const LayerGemm& gemm) const {
   const Int8Tensor xq = QuantizeInputs(batch);
   const Int8Tensor hq =
-      RequantizeHidden(AddBias(GemmRef(xq, w1q_), b1q_));
-  return ArgmaxRows(AddBias(GemmRef(hq, w2q_), b2q_));
+      RequantizeHidden(AddBias(gemm(0, xq, w1q_), b1q_));
+  return AddBias(gemm(1, hq, w2q_), b2q_);
+}
+
+std::vector<int> QuantizedMlp::PredictWith(const FloatTensor& batch,
+                                           const LayerGemm& gemm) const {
+  return ArgmaxRows(LogitsWith(batch, gemm));
+}
+
+std::vector<int> QuantizedMlp::PredictCpu(const FloatTensor& batch) const {
+  return PredictWith(batch, [](int, const Int8Tensor& a, const Int8Tensor& b) {
+    return GemmRef(a, b);
+  });
 }
 
 std::vector<int> QuantizedMlp::PredictAccel(const FloatTensor& batch,
@@ -113,41 +125,33 @@ std::vector<int> QuantizedMlp::PredictAccel(const FloatTensor& batch,
                                             Dataflow dataflow) const {
   ExecOptions options;
   options.dataflow = dataflow;
-  const Int8Tensor xq = QuantizeInputs(batch);
-  const Int8Tensor hq =
-      RequantizeHidden(AddBias(driver.Gemm(xq, w1q_, options), b1q_));
-  return ArgmaxRows(AddBias(driver.Gemm(hq, w2q_, options), b2q_));
+  return PredictWith(
+      batch, [&](int, const Int8Tensor& a, const Int8Tensor& b) {
+        return driver.Gemm(a, b, options);
+      });
 }
 
 std::vector<int> QuantizedMlp::PredictAppFi(
     const FloatTensor& batch, const AccelConfig& accel, Dataflow dataflow,
     std::span<const FaultSpec> faults) const {
-  const auto perturb_for = [](const FaultSpec& fault) {
-    PerturbSpec perturb;
-    perturb.bit = fault.bit;
-    perturb.mode = fault.polarity == StuckPolarity::kStuckAt1
-                       ? PerturbMode::kSetBit
-                       : PerturbMode::kClearBit;
-    return perturb;
-  };
-  const auto inject_layer = [&](Int32Tensor gemm_out, std::int64_t k_dim) {
-    WorkloadSpec layer;
-    layer.op = OpType::kGemm;
-    layer.m = gemm_out.dim(0);
-    layer.k = k_dim;
-    layer.n = gemm_out.dim(1);
-    for (const FaultSpec& fault : faults) {
-      gemm_out = InjectPattern(gemm_out, layer, accel, dataflow, fault,
-                               perturb_for(fault));
-    }
-    return gemm_out;
-  };
-
-  const Int8Tensor xq = QuantizeInputs(batch);
-  const Int32Tensor a1 = inject_layer(GemmRef(xq, w1q_), inputs_);
-  const Int8Tensor hq = RequantizeHidden(AddBias(a1, b1q_));
-  const Int32Tensor a2 = inject_layer(GemmRef(hq, w2q_), hidden_);
-  return ArgmaxRows(AddBias(a2, b2q_));
+  AppFiSpec spec;
+  spec.accel = accel;
+  spec.dataflow = dataflow;
+  const NetworkFi injector(spec);
+  return PredictWith(
+      batch, [&](int layer, const Int8Tensor& a, const Int8Tensor& b) {
+        WorkloadSpec workload;
+        workload.op = OpType::kGemm;
+        workload.m = a.dim(0);
+        workload.k = a.dim(1);
+        workload.n = b.dim(1);
+        (void)layer;
+        Int32Tensor out = GemmRef(a, b);
+        for (const FaultSpec& fault : faults) {
+          out = injector.InjectForFault(out, workload, fault);
+        }
+        return out;
+      });
 }
 
 namespace {

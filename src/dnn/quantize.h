@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -23,6 +24,15 @@
 #include "fi/fault.h"
 
 namespace saffire {
+
+// Per-layer GEMM executor — the seam through which a network's inference is
+// bound to an execution rung (CPU reference, simulated accelerator, or
+// application-level FI on either): returns the INT32 GEMM-view product a·b
+// of layer `layer` (0-based in network order). Host epilogue stages (bias,
+// activation, requantization, pooling) stay with the network; only the
+// accelerated operator is swappable.
+using LayerGemm = std::function<Int32Tensor(
+    int layer, const Int8Tensor& a, const Int8Tensor& b)>;
 
 // Quantizes to INT8 with the symmetric per-tensor scale max|x|/127.
 // Returns the quantized tensor; `scale` receives the dequantization factor
@@ -40,6 +50,14 @@ class QuantizedMlp {
 
   // Quantizes an input batch with the input scale fixed at construction.
   Int8Tensor QuantizeInputs(const FloatTensor& batch) const;
+
+  // Inference parameterized over the per-layer GEMM executor (layer 0 =
+  // input·w1, layer 1 = hidden·w2); every Predict* path below is this with
+  // a specific rung bound. LogitsWith returns the INT32 output logits.
+  Int32Tensor LogitsWith(const FloatTensor& batch,
+                         const LayerGemm& gemm) const;
+  std::vector<int> PredictWith(const FloatTensor& batch,
+                               const LayerGemm& gemm) const;
 
   // CPU reference inference (INT8 GEMM + bias + ReLU + shift, INT32
   // logits); returns per-sample predicted classes.

@@ -1,23 +1,52 @@
 #include "mitigation/abft.h"
 
+#include <sstream>
+
 #include "common/check.h"
+#include "common/json.h"
 
 namespace saffire {
 
+namespace {
+
+constexpr const char* kDiagnosisNames[] = {"clean", "single-element",
+                                           "single-column", "single-row",
+                                           "complex"};
+
+}  // namespace
+
 std::string ToString(AbftDiagnosis diagnosis) {
-  switch (diagnosis) {
-    case AbftDiagnosis::kClean:
-      return "clean";
-    case AbftDiagnosis::kSingleElement:
-      return "single-element(corrected)";
-    case AbftDiagnosis::kSingleColumn:
-      return "single-column(corrected)";
-    case AbftDiagnosis::kSingleRow:
-      return "single-row(corrected)";
-    case AbftDiagnosis::kComplex:
-      return "complex(detected)";
+  const auto index = static_cast<std::size_t>(diagnosis);
+  SAFFIRE_ASSERT_MSG(index < std::size(kDiagnosisNames),
+                     "diagnosis " << static_cast<int>(index));
+  return kDiagnosisNames[index];
+}
+
+AbftDiagnosis ParseAbftDiagnosis(const std::string& name) {
+  for (std::size_t i = 0; i < std::size(kDiagnosisNames); ++i) {
+    if (name == kDiagnosisNames[i]) return static_cast<AbftDiagnosis>(i);
   }
-  return "unknown";
+  SAFFIRE_CHECK_MSG(false, "unknown abft diagnosis '"
+                               << name
+                               << "' (expected clean|single-element|"
+                                  "single-column|single-row|complex)");
+}
+
+std::string AbftReport::ToJson() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("diagnosis").String(ToString(diagnosis));
+  w.Key("flagged_rows").BeginArray();
+  for (const std::int64_t row : flagged_rows) w.Int(row);
+  w.EndArray();
+  w.Key("flagged_cols").BeginArray();
+  for (const std::int64_t col : flagged_cols) w.Int(col);
+  w.EndArray();
+  w.Key("corrections").Int(corrections)
+      .Key("verified_after_correction").Bool(verified_after_correction)
+      .EndObject();
+  return os.str();
 }
 
 namespace {

@@ -40,12 +40,29 @@ enum class AbftDiagnosis : std::uint8_t {
 
 std::string ToString(AbftDiagnosis diagnosis);
 
+// Parses exactly the ToString names; throws std::invalid_argument naming
+// the accepted values ("clean|single-element|single-column|single-row|"
+// "complex") otherwise.
+AbftDiagnosis ParseAbftDiagnosis(const std::string& name);
+
 struct AbftReport {
   AbftDiagnosis diagnosis = AbftDiagnosis::kClean;
   std::vector<std::int64_t> flagged_rows;
   std::vector<std::int64_t> flagged_cols;
   std::int64_t corrections = 0;  // elements repaired
   bool verified_after_correction = false;  // re-check passed (or was clean)
+
+  // True when any checksum flagged (the fault was visible to ABFT).
+  bool detected() const { return diagnosis != AbftDiagnosis::kClean; }
+  // True when the corruption was repaired and the re-check passed.
+  bool corrected() const {
+    return detected() && verified_after_correction;
+  }
+
+  // One JSON object per report, consistent with the record sinks'
+  // conventions (enum names via ToString, arrays for the flag sets) so
+  // network-campaign records can embed mitigation outcomes verbatim.
+  std::string ToJson() const;
 };
 
 class AbftGemm {

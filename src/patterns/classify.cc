@@ -7,30 +7,42 @@
 
 namespace saffire {
 
+namespace {
+
+constexpr const char* kPatternClassNames[] = {
+    "masked",
+    "single-element",
+    "single-element-multi-tile",
+    "single-row",
+    "single-row-multi-tile",
+    "single-column",
+    "single-column-multi-tile",
+    "single-channel",
+    "multi-channel",
+    "other"};
+static_assert(std::size(kPatternClassNames) == kNumPatternClasses);
+
+}  // namespace
+
 std::string ToString(PatternClass pattern) {
-  switch (pattern) {
-    case PatternClass::kMasked:
-      return "masked";
-    case PatternClass::kSingleElement:
-      return "single-element";
-    case PatternClass::kSingleElementMultiTile:
-      return "single-element-multi-tile";
-    case PatternClass::kSingleRow:
-      return "single-row";
-    case PatternClass::kSingleRowMultiTile:
-      return "single-row-multi-tile";
-    case PatternClass::kSingleColumn:
-      return "single-column";
-    case PatternClass::kSingleColumnMultiTile:
-      return "single-column-multi-tile";
-    case PatternClass::kSingleChannel:
-      return "single-channel";
-    case PatternClass::kMultiChannel:
-      return "multi-channel";
-    case PatternClass::kOther:
-      return "other";
+  const auto index = static_cast<std::size_t>(pattern);
+  SAFFIRE_ASSERT_MSG(index < std::size(kPatternClassNames),
+                     "pattern class " << static_cast<int>(index));
+  return kPatternClassNames[index];
+}
+
+PatternClass ParsePatternClass(const std::string& name) {
+  for (std::size_t i = 0; i < std::size(kPatternClassNames); ++i) {
+    if (name == kPatternClassNames[i]) return static_cast<PatternClass>(i);
   }
-  return "unknown";
+  SAFFIRE_CHECK_MSG(false,
+                    "unknown pattern class '"
+                        << name
+                        << "' (expected masked|single-element|"
+                           "single-element-multi-tile|single-row|"
+                           "single-row-multi-tile|single-column|"
+                           "single-column-multi-tile|single-channel|"
+                           "multi-channel|other)");
 }
 
 ClassifyContext MakeClassifyContext(const WorkloadSpec& workload,

@@ -31,6 +31,10 @@ inline constexpr int kNumPatternClasses = 10;
 
 std::string ToString(PatternClass pattern);
 
+// Parses exactly the ToString names; throws std::invalid_argument naming
+// the accepted values otherwise.
+PatternClass ParsePatternClass(const std::string& name);
+
 // Everything the classifier needs to know about how the output matrix was
 // produced: its dimensions, the output-space tile extents (from the
 // driver's plan), and — for convolutions — how matrix columns map to output

@@ -11,6 +11,29 @@
 
 namespace saffire {
 
+// The raw byte sequence ,"crc":" cannot occur inside a JSON string literal
+// (its quotes would be escaped), so the last occurrence is always the seal
+// itself.
+bool CheckpointLineCrcOk(const std::string& line) {
+  const std::size_t pos = line.rfind(",\"crc\":\"");
+  if (pos == std::string::npos) return true;
+  // The seal is the line's final member: ,"crc":"xxxxxxxx"}
+  const std::size_t hex = pos + 8;
+  if (line.size() != hex + 10 || line.compare(hex + 8, 2, "\"}") != 0) {
+    return false;
+  }
+  std::uint32_t stored = 0;
+  for (std::size_t i = hex; i < hex + 8; ++i) {
+    const char c = line[i];
+    if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+    stored = stored * 16 +
+             static_cast<std::uint32_t>(
+                 c <= '9' ? c - '0'
+                          : (c | 0x20) - 'a' + 10);
+  }
+  return stored == Crc32(std::string_view(line).substr(0, pos));
+}
+
 namespace {
 
 // Rehydrates one "record" line. Enum payloads are integers in the JSONL
@@ -59,31 +82,6 @@ ExperimentRecord ParseRecordLine(const JsonValue& json) {
   record.pe_steps = json.At("pe_steps").AsUint();
   record.pe_steps_skipped = json.At("pe_steps_skipped").AsUint();
   return record;
-}
-
-// Verifies the trailing "crc" seal when present (format v2); returns false
-// only on a failed or malformed seal. Unsealed lines pass — format v1 files
-// predate the seal. The raw byte sequence ,"crc":" cannot occur inside a
-// JSON string literal (its quotes would be escaped), so the last occurrence
-// is always the seal itself.
-bool LineCrcOk(const std::string& line) {
-  const std::size_t pos = line.rfind(",\"crc\":\"");
-  if (pos == std::string::npos) return true;
-  // The seal is the line's final member: ,"crc":"xxxxxxxx"}
-  const std::size_t hex = pos + 8;
-  if (line.size() != hex + 10 || line.compare(hex + 8, 2, "\"}") != 0) {
-    return false;
-  }
-  std::uint32_t stored = 0;
-  for (std::size_t i = hex; i < hex + 8; ++i) {
-    const char c = line[i];
-    if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
-    stored = stored * 16 +
-             static_cast<std::uint32_t>(
-                 c <= '9' ? c - '0'
-                          : (c | 0x20) - 'a' + 10);
-  }
-  return stored == Crc32(std::string_view(line).substr(0, pos));
 }
 
 // Returns true when the line contributed a record (for CheckpointLoadStats).
@@ -184,7 +182,7 @@ SweepCheckpoint LoadSweepCheckpoint(std::istream& in,
     ++line_number;
     if (line.empty()) continue;
     ++counts.lines;
-    if (!LineCrcOk(line)) {
+    if (!CheckpointLineCrcOk(line)) {
       ++counts.dropped;
       SAFFIRE_LOG_WARN << "checkpoint line " << line_number
                        << " failed its CRC seal, dropping it";

@@ -91,4 +91,10 @@ SweepCheckpoint LoadSweepCheckpoint(std::istream& in,
 void ValidateCheckpoint(const SweepCheckpoint& checkpoint,
                         const CampaignPlan& plan);
 
+// Verifies a single JSONL line's trailing "crc" seal when present; returns
+// false only on a failed or malformed seal (unsealed lines pass — format v1
+// files predate the seal). Shared by every sealed-JSONL loader, including
+// the network-sweep checkpoint (service/network_sweep.h).
+bool CheckpointLineCrcOk(const std::string& line);
+
 }  // namespace saffire

@@ -1,0 +1,421 @@
+#include "service/network_run.h"
+
+#include <algorithm>
+#include <array>
+
+#include "accel/controller.h"
+#include "accel/driver.h"
+#include "fi/injector.h"
+#include "mitigation/abft.h"
+#include "obs/metrics.h"
+#include "patterns/corruption.h"
+#include "patterns/predictor.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+
+namespace {
+
+// --- Metrics ----------------------------------------------------------------
+
+obs::Counter& ExperimentsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.dnn.experiments", "network-level fault experiments executed");
+  return counter;
+}
+
+obs::Counter& SdcCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.dnn.sdc",
+      "network experiments whose final logits deviated from golden");
+  return counter;
+}
+
+obs::Counter& MaskedCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.dnn.masked",
+      "network experiments with no final-logit deviation");
+  return counter;
+}
+
+obs::Counter& Top1FlipsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.dnn.top1_flips",
+      "evaluation samples whose top-1 class flipped under fault");
+  return counter;
+}
+
+obs::Counter& SelfchecksCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.dnn.selfchecks",
+      "appfi-rung experiments cross-validated against the cycle-accurate "
+      "rung");
+  return counter;
+}
+
+obs::Counter& SelfcheckMismatchesCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.dnn.selfcheck_mismatches",
+      "network selfchecks where the appfi rung disagreed with ground truth");
+  return counter;
+}
+
+obs::Counter& DemotionsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.dnn.demotions",
+      "network campaigns demoted from the appfi rung to cycle-accurate");
+  return counter;
+}
+
+obs::Counter& AbftDetectedCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.dnn.abft.detected",
+      "network experiments where ABFT flagged at least one layer");
+  return counter;
+}
+
+obs::Counter& AbftCorrectedCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.dnn.abft.corrected",
+      "network experiments where every flagged layer re-verified clean");
+  return counter;
+}
+
+obs::Counter& AbftUncorrectedCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.dnn.abft.uncorrected",
+      "network experiments where ABFT detected corruption it could not "
+      "repair");
+  return counter;
+}
+
+obs::Counter& PatternCounter(PatternClass pattern) {
+  // One labelled series per class, resolved once per process.
+  static std::array<obs::Counter*, kNumPatternClasses> counters = [] {
+    std::array<obs::Counter*, kNumPatternClasses> resolved{};
+    for (int i = 0; i < kNumPatternClasses; ++i) {
+      resolved[static_cast<std::size_t>(i)] =
+          &obs::MetricsRegistry::Default().GetCounter(
+              "saffire.dnn.pattern",
+              "network experiments by first-layer pattern class",
+              "class=" + ToString(static_cast<PatternClass>(i)));
+    }
+    return resolved;
+  }();
+  return *counters[static_cast<std::size_t>(pattern)];
+}
+
+// --- Experiment execution ---------------------------------------------------
+
+// Per-experiment observations collected by the layer executor as inference
+// flows through it.
+struct LayerProbe {
+  // First in-scope layer's output, post-injection, pre-ABFT-correction —
+  // the raw fault manifestation the pattern is classified from.
+  Int32Tensor first_faulty{{1, 1}};
+  bool captured = false;
+  AbftDiagnosis worst = AbftDiagnosis::kClean;
+  std::int64_t corrections = 0;
+  bool any_detected = false;
+  bool all_verified = true;
+};
+
+struct ExperimentContext {
+  const NetworkSweepSpec& spec;
+  const NetworkCampaign& campaign;
+  const PreparedNetwork& network;
+  const PreparedNetwork::Inference& golden;
+  std::int64_t golden_correct;
+  const ClassifyContext& first_context;
+  const NetworkFi& injector;
+  // The first layer the fault applies to — where corruption enters from
+  // clean inputs and the reach contract holds on both rungs.
+  int first_scope;
+};
+
+struct ExperimentResult {
+  NetworkRecord record;
+  // Corruption at the first in-scope layer (golden vs pre-ABFT faulty).
+  CorruptionMap first_map;
+};
+
+bool InScope(const NetworkCampaign& campaign, int layer) {
+  return campaign.layer == -1 || campaign.layer == layer;
+}
+
+// Shared per-layer bookkeeping: capture the raw first-scope output, then
+// (optionally) ABFT-verify and correct in place so the corrected tensor is
+// what propagates forward.
+void ObserveLayer(const ExperimentContext& context, LayerProbe& probe,
+                  int layer, const Int8Tensor& a, const Int8Tensor& b,
+                  Int32Tensor& out) {
+  if (layer == context.first_scope && !probe.captured) {
+    probe.first_faulty = out;
+    probe.captured = true;
+  }
+  if (context.spec.abft) {
+    const AbftReport report = VerifyAndCorrect(a, b, out);
+    probe.worst = std::max(probe.worst, report.diagnosis);
+    probe.corrections += report.corrections;
+    if (report.detected()) {
+      probe.any_detected = true;
+      if (!report.verified_after_correction) probe.all_verified = false;
+    }
+  }
+}
+
+ExperimentResult FinishExperiment(const ExperimentContext& context,
+                                  const FaultSpec& fault, NetworkRung rung,
+                                  const PreparedNetwork::Inference& faulty,
+                                  const LayerProbe& probe) {
+  SAFFIRE_CHECK_MSG(probe.captured, "first in-scope layer never executed");
+  ExperimentResult result;
+  result.first_map = ExtractCorruption(
+      context.golden
+          .layer_outputs[static_cast<std::size_t>(context.first_scope)],
+      probe.first_faulty);
+
+  NetworkRecord& record = result.record;
+  record.fault = fault;
+  record.rung = rung;
+  record.pattern = Classify(result.first_map, context.first_context);
+  record.corrupted_elements = result.first_map.count();
+  record.sdc = !(faulty.logits == context.golden.logits);
+  record.top1_flips = Top1Flips(context.golden.top1, faulty.top1);
+  record.batch = context.network.batch();
+  const std::vector<int>& labels = context.network.labels();
+  if (!labels.empty()) {
+    record.correct_golden = context.golden_correct;
+    std::int64_t correct = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (faulty.top1[i] == labels[i]) ++correct;
+    }
+    record.correct_faulty = correct;
+  }
+  record.abft_on = context.spec.abft;
+  record.abft_diagnosis = probe.worst;
+  record.abft_corrections = probe.corrections;
+  record.abft_corrected = probe.any_detected && probe.all_verified;
+  return result;
+}
+
+// The fast rung: clean host GEMMs with the predicted reach perturbed in.
+ExperimentResult RunAppFiExperiment(const ExperimentContext& context,
+                                    const FaultSpec& fault) {
+  LayerProbe probe;
+  const LayerGemm gemm = [&context, &fault, &probe](
+                             int layer, const Int8Tensor& a,
+                             const Int8Tensor& b) {
+    Int32Tensor out = GemmRef(a, b);
+    if (InScope(context.campaign, layer)) {
+      const WorkloadSpec& workload = context.network.layer_workload(layer);
+      out = context.spec.perturb_auto
+                ? context.injector.InjectForFault(out, workload, fault)
+                : context.injector.Inject(out, workload, fault);
+    }
+    ObserveLayer(context, probe, layer, a, b, out);
+    return out;
+  };
+  const PreparedNetwork::Inference faulty = context.network.Run(gemm);
+  return FinishExperiment(context, fault, NetworkRung::kAppFi, faulty, probe);
+}
+
+// Ground truth: the simulated accelerator runs every layer, with the fault
+// hook installed only while in-scope layers stream through the array.
+ExperimentResult RunCycleExperiment(const ExperimentContext& context,
+                                    const FaultSpec& fault) {
+  Accelerator accelerator(context.spec.accel);
+  Driver driver(accelerator);
+  FaultInjector hook({fault}, context.spec.accel.array);
+  ExecOptions exec;
+  exec.dataflow = context.campaign.dataflow;
+
+  LayerProbe probe;
+  const LayerGemm gemm = [&context, &probe, &accelerator, &driver, &hook,
+                          &exec](int layer, const Int8Tensor& a,
+                                 const Int8Tensor& b) {
+    if (InScope(context.campaign, layer)) {
+      accelerator.array().InstallFaultHook(&hook);
+    }
+    Int32Tensor out = driver.Gemm(a, b, exec);
+    accelerator.array().ClearFaultHook();
+    ObserveLayer(context, probe, layer, a, b, out);
+    return out;
+  };
+  const PreparedNetwork::Inference faulty = context.network.Run(gemm);
+  return FinishExperiment(context, fault, NetworkRung::kCycleAccurate, faulty,
+                          probe);
+}
+
+ExperimentResult RunExperimentOnRung(const ExperimentContext& context,
+                                     const FaultSpec& fault,
+                                     NetworkRung rung) {
+  return rung == NetworkRung::kAppFi ? RunAppFiExperiment(context, fault)
+                                     : RunCycleExperiment(context, fault);
+}
+
+// Soundness check of the fast rung against ground truth: every corrupted
+// element the hardware produced at the first in-scope layer must lie inside
+// the analytically predicted reach.
+bool ObservedWithinReach(const CorruptionMap& observed,
+                         const PredictedPattern& predicted) {
+  for (const MatrixCoord& coord : observed.corrupted) {
+    if (!std::binary_search(predicted.coords.begin(), predicted.coords.end(),
+                            coord)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CountRecordMetrics(const NetworkRecord& record) {
+  ExperimentsCounter().Increment();
+  PatternCounter(record.pattern).Increment();
+  (record.sdc ? SdcCounter() : MaskedCounter()).Increment();
+  Top1FlipsCounter().Increment(record.top1_flips);
+  if (record.abft_on && record.abft_diagnosis != AbftDiagnosis::kClean) {
+    AbftDetectedCounter().Increment();
+    (record.abft_corrected ? AbftCorrectedCounter()
+                           : AbftUncorrectedCounter())
+        .Increment();
+  }
+}
+
+}  // namespace
+
+SweepOutcome RunNetworkSweep(const NetworkSweepSpec& spec,
+                             const NetworkRunOptions& options,
+                             NetworkRecordSink& sink) {
+  spec.Validate();
+  const NetworkCampaignPlan plan = BuildNetworkCampaignPlan(spec);
+  if (options.resume != nullptr) {
+    ValidateNetworkCheckpoint(*options.resume, spec, plan);
+  }
+
+  // Prepared once: training/quantization dominate setup, and both rungs
+  // share the model. The golden inference runs on the host reference GEMM,
+  // which the fault-free accelerator matches bit-for-bit (the driver
+  // equivalence invariant), so one golden serves every campaign.
+  const PreparedNetwork network(spec.network);
+  const PreparedNetwork::Inference golden =
+      network.Run([](int layer, const Int8Tensor& a, const Int8Tensor& b) {
+        (void)layer;
+        return GemmRef(a, b);
+      });
+  std::int64_t golden_correct = -1;
+  if (!network.labels().empty()) {
+    golden_correct = 0;
+    for (std::size_t i = 0; i < network.labels().size(); ++i) {
+      if (golden.top1[i] == network.labels()[i]) ++golden_correct;
+    }
+  }
+
+  SweepOutcome outcome;
+  if (options.resume != nullptr) {
+    outcome.checkpoint_lines_dropped = options.resume->lines_dropped;
+  }
+  sink.OnSweepBegin(spec, plan);
+
+  bool stop_requested = false;
+  for (std::size_t ci = 0; ci < plan.campaigns.size() && !stop_requested;
+       ++ci) {
+    const NetworkCampaign& campaign = plan.campaigns[ci];
+    NetworkCampaignInfo info;
+    info.index = ci;
+    info.campaign = campaign;
+    info.key = NetworkCampaignKey(spec, campaign);
+    info.experiments = plan.experiments_per_campaign();
+    sink.OnCampaignBegin(info);
+
+    const int first_scope = campaign.layer == -1 ? 0 : campaign.layer;
+    const ClassifyContext first_context = MakeClassifyContext(
+        network.layer_workload(first_scope), spec.accel, campaign.dataflow);
+
+    AppFiSpec fi_spec;
+    fi_spec.accel = spec.accel;
+    fi_spec.dataflow = campaign.dataflow;
+    fi_spec.perturb = spec.perturb;
+    const NetworkFi injector(fi_spec);
+
+    ExperimentContext context{spec,           campaign, network,
+                              golden,         golden_correct,
+                              first_context,  injector, first_scope};
+
+    // A selfcheck mismatch demotes the campaign's remainder to ground
+    // truth, mirroring the operator-level engine ladder.
+    bool demoted = false;
+
+    for (std::int64_t ei = 0; ei < plan.experiments_per_campaign(); ++ei) {
+      if (options.stop != nullptr &&
+          options.stop->load(std::memory_order_relaxed)) {
+        stop_requested = true;
+        break;
+      }
+      if (options.resume != nullptr) {
+        const auto replay = options.resume->records.find({ci, ei});
+        if (replay != options.resume->records.end()) {
+          sink.OnRecord(replay->second);
+          ++outcome.records;
+          continue;
+        }
+      }
+
+      FaultSpec fault;
+      fault.kind = FaultKind::kStuckAt;
+      fault.pe = plan.sites[static_cast<std::size_t>(ei)];
+      fault.signal = campaign.signal;
+      fault.bit = campaign.bit;
+      fault.polarity = campaign.polarity;
+      fault.Validate(spec.accel.array);
+
+      const NetworkRung rung =
+          demoted ? NetworkRung::kCycleAccurate : spec.rung;
+      ExperimentResult result = RunExperimentOnRung(context, fault, rung);
+
+      if (rung == NetworkRung::kAppFi &&
+          SelfCheckSampled(options.resilience.selfcheck_rate, spec.seed, ci,
+                           ei)) {
+        ++outcome.selfchecks;
+        SelfchecksCounter().Increment();
+        const ExperimentResult truth = RunCycleExperiment(context, fault);
+        const PredictedPattern& predicted = PredictPattern(
+            network.layer_workload(first_scope), spec.accel,
+            campaign.dataflow, fault);
+        // Mismatch = a falsified contract: ground-truth corruption escaping
+        // the predicted reach, or — where the analytical path is provably
+        // bit-exact — any record difference. Cross-rung deviation inside
+        // the reach on trained networks is quantization-model tolerance,
+        // not a mismatch.
+        bool mismatch = !ObservedWithinReach(truth.first_map, predicted);
+        if (!mismatch &&
+            injector.ExtractionExact(network.layer_workload(first_scope),
+                                     fault)) {
+          mismatch = !RungEquivalent(result.record, truth.record);
+        }
+        if (mismatch) {
+          ++outcome.selfcheck_mismatches;
+          SelfcheckMismatchesCounter().Increment();
+          if (!demoted) {
+            demoted = true;
+            ++outcome.fallbacks;
+            DemotionsCounter().Increment();
+          }
+          result = truth;  // keep the trusted record
+        }
+      }
+
+      result.record.campaign_index = ci;
+      result.record.experiment_index = ei;
+      sink.OnRecord(result.record);
+      ++outcome.records;
+      CountRecordMetrics(result.record);
+    }
+    sink.OnCampaignEnd(ci);
+  }
+
+  outcome.stopped = stop_requested;
+  sink.OnSweepEnd(outcome);
+  return outcome;
+}
+
+}  // namespace saffire

@@ -1,0 +1,56 @@
+// RunNetworkSweep: the network-level facade beside RunSweep (service/run.h)
+// — expands a NetworkSweepSpec into campaigns, executes every experiment on
+// the configured rung, streams NetworkRecords to a sink, and returns the
+// shared SweepOutcome health summary.
+//
+// Rung semantics:
+//   kAppFi          — golden host inference + predicted-reach perturbation
+//                     per in-scope layer (appfi/appfi.h). Orders of
+//                     magnitude faster than simulation; the paper's
+//                     application-level-injector use case.
+//   kCycleAccurate  — every experiment drives the simulated accelerator
+//                     with the fault installed on the array, and the real
+//                     corrupted tensors propagate through the network.
+//
+// Cross-validation (ResilienceOptions::selfcheck_rate): a seed-deterministic
+// sample of appfi-rung experiments is re-run on the cycle-accurate rung.
+// A mismatch — observed corruption escaping the predicted reach, or, where
+// the analytical path is provably bit-exact (NetworkFi::ExtractionExact),
+// any record difference — counts in SweepOutcome::selfcheck_mismatches,
+// demotes the campaign's remaining experiments to the cycle-accurate rung
+// (SweepOutcome::fallbacks), and keeps the trusted cycle-accurate record.
+// Top-1 disagreement on trained networks within the reach contract is
+// quantization-model tolerance, not a mismatch; it is still visible in
+// records because a demoted record carries the cycle-accurate outcome.
+#pragma once
+
+#include <atomic>
+
+#include "service/network_sweep.h"
+
+namespace saffire {
+
+struct NetworkRunOptions {
+  // Only selfcheck_rate participates today (the network runner has no
+  // retry ladder yet); the full struct rides along so CLI plumbing matches
+  // RunOptions.
+  ResilienceOptions resilience;
+  // Completed records replayed to the sink instead of re-executed. Must
+  // have passed ValidateNetworkCheckpoint for this spec (RunNetworkSweep
+  // re-validates).
+  const NetworkCheckpoint* resume = nullptr;
+  // Cooperative stop: checked between experiments; a drained run returns
+  // outcome.stopped = true.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+SweepOutcome RunNetworkSweep(const NetworkSweepSpec& spec,
+                             const NetworkRunOptions& options,
+                             NetworkRecordSink& sink);
+
+inline SweepOutcome RunNetworkSweep(const NetworkSweepSpec& spec,
+                                    NetworkRecordSink& sink) {
+  return RunNetworkSweep(spec, NetworkRunOptions{}, sink);
+}
+
+}  // namespace saffire

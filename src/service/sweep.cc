@@ -4,47 +4,12 @@
 #include <set>
 #include <sstream>
 
+#include "accel/config_json.h"
 #include "common/json.h"
 
 namespace saffire {
 
-namespace {
-
-// --- JSON helpers for the nested structs -----------------------------------
-
-void WriteAccel(JsonWriter& w, const AccelConfig& accel) {
-  w.BeginObject()
-      .Key("rows").Int(accel.array.rows)
-      .Key("cols").Int(accel.array.cols)
-      .Key("input_bits").Int(accel.array.input_bits)
-      .Key("acc_bits").Int(accel.array.acc_bits)
-      .Key("spad_rows").Int(accel.spad_rows)
-      .Key("acc_rows").Int(accel.acc_rows)
-      .Key("max_compute_rows").Int(accel.max_compute_rows)
-      .Key("double_buffered_weights").Bool(accel.double_buffered_weights)
-      .Key("dram_bytes").Int(accel.dram_bytes)
-      .EndObject();
-}
-
-AccelConfig ParseAccel(const JsonValue& json) {
-  AccelConfig accel;
-  accel.array.rows = static_cast<std::int32_t>(json.At("rows").AsInt());
-  accel.array.cols = static_cast<std::int32_t>(json.At("cols").AsInt());
-  accel.array.input_bits =
-      static_cast<std::int32_t>(json.At("input_bits").AsInt());
-  accel.array.acc_bits =
-      static_cast<std::int32_t>(json.At("acc_bits").AsInt());
-  accel.spad_rows = static_cast<std::int32_t>(json.At("spad_rows").AsInt());
-  accel.acc_rows = static_cast<std::int32_t>(json.At("acc_rows").AsInt());
-  accel.max_compute_rows =
-      static_cast<std::int32_t>(json.At("max_compute_rows").AsInt());
-  accel.double_buffered_weights =
-      json.At("double_buffered_weights").AsBool();
-  accel.dram_bytes = json.At("dram_bytes").AsInt();
-  return accel;
-}
-
-void WriteWorkload(JsonWriter& w, const WorkloadSpec& workload) {
+void WriteWorkloadJson(JsonWriter& w, const WorkloadSpec& workload) {
   w.BeginObject()
       .Key("name").String(workload.name)
       .Key("op").String(ToString(workload.op));
@@ -71,7 +36,7 @@ void WriteWorkload(JsonWriter& w, const WorkloadSpec& workload) {
       .EndObject();
 }
 
-WorkloadSpec ParseWorkload(const JsonValue& json) {
+WorkloadSpec ParseWorkloadJson(const JsonValue& json) {
   WorkloadSpec workload;
   workload.name = json.At("name").AsString();
   workload.op = OpTypeFromString(json.At("op").AsString());
@@ -100,8 +65,6 @@ WorkloadSpec ParseWorkload(const JsonValue& json) {
   return workload;
 }
 
-}  // namespace
-
 std::size_t SweepSpec::CampaignCount() const {
   return workloads.size() * dataflows.size() * signals.size() *
          polarities.size() * bits.size();
@@ -127,9 +90,11 @@ std::string SweepSpec::ToJson() const {
   JsonWriter w(os);
   w.BeginObject();
   w.Key("accel");
-  WriteAccel(w, accel);
+  WriteAccelJson(w, accel);
   w.Key("workloads").BeginArray();
-  for (const WorkloadSpec& workload : workloads) WriteWorkload(w, workload);
+  for (const WorkloadSpec& workload : workloads) {
+    WriteWorkloadJson(w, workload);
+  }
   w.EndArray();
   w.Key("dataflows").BeginArray();
   for (const Dataflow dataflow : dataflows) w.String(ToString(dataflow));
@@ -169,10 +134,10 @@ SweepSpec ParseSweepSpec(const std::string& json) {
   }
 
   SweepSpec spec;
-  spec.accel = ParseAccel(root.At("accel"));
+  spec.accel = ParseAccelJson(root.At("accel"));
   spec.workloads.clear();
   for (const JsonValue& workload : root.At("workloads").AsArray()) {
-    spec.workloads.push_back(ParseWorkload(workload));
+    spec.workloads.push_back(ParseWorkloadJson(workload));
   }
   spec.dataflows.clear();
   for (const JsonValue& dataflow : root.At("dataflows").AsArray()) {

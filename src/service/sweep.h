@@ -12,9 +12,16 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "patterns/campaign.h"
 
 namespace saffire {
+
+// JSON (de)serialization of one workload, shared by SweepSpec and
+// NetworkSweepSpec (service/network_sweep.h) so spec files agree on one
+// schema. The accelerator analogue lives in accel/config_json.h.
+void WriteWorkloadJson(JsonWriter& w, const WorkloadSpec& workload);
+WorkloadSpec ParseWorkloadJson(const JsonValue& json);
 
 // The cartesian fault-model axes of one sweep. Every axis must be
 // non-empty; single-element axes pin that dimension (a single campaign is

@@ -61,6 +61,8 @@ struct ArrayConfig {
     return std::to_string(rows) + "x" + std::to_string(cols) + " INT" +
            std::to_string(input_bits) + "/ACC" + std::to_string(acc_bits);
   }
+
+  bool operator==(const ArrayConfig&) const = default;
 };
 
 // Coordinate of a processing element: row 0 is the north edge (weights

@@ -19,25 +19,92 @@ AccelConfig TestConfig() {
   return config;
 }
 
-TEST(PerturbModeTest, Names) {
+AppFiSpec TestSpec(Dataflow dataflow) {
+  AppFiSpec spec;
+  spec.accel = TestConfig();
+  spec.dataflow = dataflow;
+  return spec;
+}
+
+TEST(PerturbModeTest, RoundTripsEveryName) {
+  for (const PerturbMode mode :
+       {PerturbMode::kSetBit, PerturbMode::kClearBit, PerturbMode::kFlipBit,
+        PerturbMode::kAddDelta}) {
+    EXPECT_EQ(ParsePerturbMode(ToString(mode)), mode);
+  }
   EXPECT_EQ(ToString(PerturbMode::kSetBit), "set-bit");
   EXPECT_EQ(ToString(PerturbMode::kAddDelta), "add-delta");
 }
 
-TEST(InjectPatternTest, PerturbsExactlyPredictedCoords) {
-  const auto config = TestConfig();
+TEST(PerturbModeTest, RejectsUnknownNamesNamingTheChoices) {
+  try {
+    ParsePerturbMode("setbit");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("setbit"), std::string::npos) << message;
+    EXPECT_NE(message.find("set-bit|clear-bit|flip-bit|add-delta"),
+              std::string::npos)
+        << message;
+  }
+}
+
+TEST(PerturbForFaultTest, TracksPolarityAndBit) {
+  const FaultSpec sa1 = StuckAtAdder(PeCoord{1, 2}, 9, StuckPolarity::kStuckAt1);
+  const PerturbSpec set = PerturbForFault(sa1);
+  EXPECT_EQ(set.mode, PerturbMode::kSetBit);
+  EXPECT_EQ(set.bit, 9);
+
+  const FaultSpec sa0 = StuckAtAdder(PeCoord{1, 2}, 3, StuckPolarity::kStuckAt0);
+  EXPECT_EQ(PerturbForFault(sa0).mode, PerturbMode::kClearBit);
+
+  FaultSpec transient = sa1;
+  transient.kind = FaultKind::kTransientFlip;
+  EXPECT_EQ(PerturbForFault(transient).mode, PerturbMode::kFlipBit);
+}
+
+TEST(AppFiSpecTest, JsonRoundTrip) {
+  AppFiSpec spec = TestSpec(Dataflow::kOutputStationary);
+  spec.perturb.mode = PerturbMode::kAddDelta;
+  spec.perturb.bit = 5;
+  spec.perturb.delta = -37;
+  const AppFiSpec parsed = ParseAppFiSpec(spec.ToJson());
+  EXPECT_EQ(parsed, spec);
+}
+
+TEST(AppFiSpecTest, RejectsUnknownKeys) {
+  const AppFiSpec spec = TestSpec(Dataflow::kWeightStationary);
+  std::string json = spec.ToJson();
+  // Top-level typo.
+  std::string top = json;
+  top.insert(top.size() - 1, ",\"dataflows\":\"ws\"");
+  EXPECT_THROW(ParseAppFiSpec(top), std::invalid_argument);
+  // Nested perturb typo.
+  const std::string needle = "\"mode\"";
+  std::string nested = json;
+  nested.replace(nested.find(needle), needle.size(), "\"modes\"");
+  EXPECT_THROW(ParseAppFiSpec(nested), std::invalid_argument);
+}
+
+TEST(AppFiSpecTest, ValidateRejectsBadPerturbBit) {
+  AppFiSpec spec = TestSpec(Dataflow::kWeightStationary);
+  spec.perturb.bit = 64;
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+  EXPECT_THROW(NetworkFi{spec}, std::invalid_argument);
+}
+
+TEST(NetworkFiInjectTest, PerturbsExactlyPredictedCoords) {
   const auto workload = Gemm16x16();
-  FiRunner runner(config);
+  FiRunner runner(TestConfig());
   const auto golden =
       runner.RunGolden(workload, Dataflow::kOutputStationary).output;
   const FaultSpec fault =
       StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1);
-  PerturbSpec perturb;
-  perturb.mode = PerturbMode::kSetBit;
-  perturb.bit = 8;
-  const auto faulty = InjectPattern(golden, workload, config,
-                                    Dataflow::kOutputStationary, fault,
-                                    perturb);
+  AppFiSpec spec = TestSpec(Dataflow::kOutputStationary);
+  spec.perturb.mode = PerturbMode::kSetBit;
+  spec.perturb.bit = 8;
+  const NetworkFi injector(spec);
+  const auto faulty = injector.Inject(golden, workload, fault);
   std::int64_t differences = 0;
   for (std::int64_t r = 0; r < 16; ++r) {
     for (std::int64_t c = 0; c < 16; ++c) {
@@ -52,58 +119,72 @@ TEST(InjectPatternTest, PerturbsExactlyPredictedCoords) {
   EXPECT_EQ(differences, 1);
 }
 
-TEST(InjectPatternTest, MaskedFaultLeavesTensorUnchanged) {
-  const auto config = TestConfig();
+TEST(NetworkFiInjectTest, MaskedFaultLeavesTensorUnchanged) {
   auto workload = Conv16Kernel3x3x3x3();  // S·K = 9: columns 9..15 unused
-  FiRunner runner(config);
+  FiRunner runner(TestConfig());
   const auto golden =
       runner.RunGolden(workload, Dataflow::kWeightStationary).output;
   const FaultSpec fault =
       StuckAtAdder(PeCoord{0, 12}, 8, StuckPolarity::kStuckAt1);
-  const auto faulty =
-      InjectPattern(golden, workload, config, Dataflow::kWeightStationary,
-                    fault, PerturbSpec{});
-  EXPECT_EQ(faulty, golden);
+  const NetworkFi injector(TestSpec(Dataflow::kWeightStationary));
+  EXPECT_EQ(injector.Inject(golden, workload, fault), golden);
 }
 
-TEST(InjectPatternTest, RejectsWrongGoldenShape) {
-  const auto config = TestConfig();
+TEST(NetworkFiInjectTest, RejectsWrongGoldenShape) {
+  const NetworkFi injector(TestSpec(Dataflow::kWeightStationary));
   EXPECT_THROW(
-      InjectPattern(Int32Tensor({4, 4}), Gemm16x16(), config,
-                    Dataflow::kWeightStationary,
-                    StuckAtAdder(PeCoord{0, 0}, 8, StuckPolarity::kStuckAt1),
-                    PerturbSpec{}),
+      injector.Inject(Int32Tensor({4, 4}), Gemm16x16(),
+                      StuckAtAdder(PeCoord{0, 0}, 8,
+                                   StuckPolarity::kStuckAt1)),
       std::invalid_argument);
 }
 
-TEST(EmulateExtractionFaultTest, RejectsUnsupportedConfigurations) {
-  const auto config = TestConfig();
-  FiRunner runner(config);
+TEST(NetworkFiInjectTest, InjectForFaultMatchesExplicitPerturb) {
+  const auto workload = Gemm16x16();
+  FiRunner runner(TestConfig());
+  const auto golden =
+      runner.RunGolden(workload, Dataflow::kWeightStationary).output;
+  const FaultSpec fault =
+      StuckAtAdder(PeCoord{3, 5}, 8, StuckPolarity::kStuckAt1);
+  const NetworkFi injector(TestSpec(Dataflow::kWeightStationary));
+  PerturbSpec explicit_perturb;
+  explicit_perturb.mode = PerturbMode::kSetBit;
+  explicit_perturb.bit = 8;
+  EXPECT_EQ(injector.InjectForFault(golden, workload, fault),
+            injector.Inject(golden, workload, fault, explicit_perturb));
+}
+
+TEST(EmulateExtractionTest, RejectsUnsupportedConfigurations) {
+  FiRunner runner(TestConfig());
   const auto golden =
       runner.RunGolden(Gemm16x16(), Dataflow::kWeightStationary).output;
+  const NetworkFi injector(TestSpec(Dataflow::kWeightStationary));
   // Non-ones workload.
   auto random_workload = Gemm16x16();
   random_workload.weight_fill = OperandFill::kRandom;
   EXPECT_THROW(
-      EmulateExtractionFault(golden, random_workload, config,
-                             Dataflow::kWeightStationary,
-                             StuckAtAdder(PeCoord{0, 0}, 8,
-                                          StuckPolarity::kStuckAt1)),
+      injector.EmulateExtraction(
+          golden, random_workload,
+          StuckAtAdder(PeCoord{0, 0}, 8, StuckPolarity::kStuckAt1)),
       std::invalid_argument);
+  EXPECT_FALSE(injector.ExtractionExact(
+      random_workload,
+      StuckAtAdder(PeCoord{0, 0}, 8, StuckPolarity::kStuckAt1)));
   // Stuck-at-0.
   EXPECT_THROW(
-      EmulateExtractionFault(golden, Gemm16x16(), config,
-                             Dataflow::kWeightStationary,
-                             StuckAtAdder(PeCoord{0, 0}, 8,
-                                          StuckPolarity::kStuckAt0)),
+      injector.EmulateExtraction(
+          golden, Gemm16x16(),
+          StuckAtAdder(PeCoord{0, 0}, 8, StuckPolarity::kStuckAt0)),
       std::invalid_argument);
   // Bit colliding with real partial sums (≤ 16).
   EXPECT_THROW(
-      EmulateExtractionFault(golden, Gemm16x16(), config,
-                             Dataflow::kWeightStationary,
-                             StuckAtAdder(PeCoord{0, 0}, 2,
-                                          StuckPolarity::kStuckAt1)),
+      injector.EmulateExtraction(
+          golden, Gemm16x16(),
+          StuckAtAdder(PeCoord{0, 0}, 2, StuckPolarity::kStuckAt1)),
       std::invalid_argument);
+  // The supported configuration is recognized as exact.
+  EXPECT_TRUE(injector.ExtractionExact(
+      Gemm16x16(), StuckAtAdder(PeCoord{0, 0}, 8, StuckPolarity::kStuckAt1)));
 }
 
 TEST(SampleAdderFaultTest, StaysInBoundsAndCoversArray) {
@@ -125,6 +206,42 @@ TEST(SampleAdderFaultTest, StaysInBoundsAndCoversArray) {
   EXPECT_THROW(SampleAdderFault(config, rng, 8, 40), std::invalid_argument);
 }
 
+// The deprecated loose-parameter wrappers must stay behaviourally identical
+// to the spec-based API until they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(DeprecatedWrapperTest, MatchesSpecBasedApi) {
+  const auto config = TestConfig();
+  const auto workload = Gemm16x16();
+  FiRunner runner(config);
+  const auto golden =
+      runner.RunGolden(workload, Dataflow::kWeightStationary).output;
+  const FaultSpec fault =
+      StuckAtAdder(PeCoord{4, 9}, 8, StuckPolarity::kStuckAt1);
+  PerturbSpec perturb;
+  perturb.mode = PerturbMode::kSetBit;
+  perturb.bit = 8;
+
+  AppFiSpec spec = TestSpec(Dataflow::kWeightStationary);
+  spec.perturb = perturb;
+  const NetworkFi injector(spec);
+
+  EXPECT_EQ(InjectPattern(golden, workload, config,
+                          Dataflow::kWeightStationary, fault, perturb),
+            injector.Inject(golden, workload, fault));
+  EXPECT_EQ(EmulateExtractionFault(golden, workload, config,
+                                   Dataflow::kWeightStationary, fault),
+            injector.EmulateExtraction(golden, workload, fault));
+  const CrossValidation old_result =
+      CrossValidate(workload, config, Dataflow::kWeightStationary, fault);
+  const CrossValidation new_result = injector.CrossValidate(workload, fault);
+  EXPECT_EQ(old_result.coords_match, new_result.coords_match);
+  EXPECT_EQ(old_result.values_match, new_result.values_match);
+  EXPECT_EQ(old_result.predicted_count, new_result.predicted_count);
+  EXPECT_EQ(old_result.observed_count, new_result.observed_count);
+}
+#pragma GCC diagnostic pop
+
 // The headline cross-validation: for every Table I workload and dataflow,
 // the application-level injector reproduces the cycle-accurate faulty
 // output bit-for-bit — the paper's proposed LLTFI integration, validated.
@@ -139,13 +256,13 @@ class CrossValidateTest : public ::testing::TestWithParam<CrossValidateCase> {
 
 TEST_P(CrossValidateTest, AppLevelInjectionMatchesSimulation) {
   const auto& tc = GetParam();
-  const auto config = TestConfig();
+  const NetworkFi injector(TestSpec(tc.dataflow));
   for (const PeCoord site :
        {PeCoord{0, 0}, PeCoord{4, 9}, PeCoord{15, 15}, PeCoord{7, 3}}) {
     const FaultSpec fault =
         StuckAtAdder(site, 8, StuckPolarity::kStuckAt1);
     const CrossValidation validation =
-        CrossValidate(tc.workload(), config, tc.dataflow, fault);
+        injector.CrossValidate(tc.workload(), fault);
     EXPECT_TRUE(validation.coords_match)
         << tc.label << " " << fault.ToString();
     EXPECT_TRUE(validation.values_match)

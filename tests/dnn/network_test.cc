@@ -1,0 +1,192 @@
+// PreparedNetwork: topology preparation, the LayerGemm execution seam, and
+// the network-outcome helpers (LabelAccuracy / Top1Flips).
+#include "dnn/network.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "accel/driver.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+namespace {
+
+AccelConfig TestAccel() {
+  AccelConfig config;  // 16×16 array
+  config.max_compute_rows = 1024;
+  config.spad_rows = 2048;
+  config.acc_rows = 1024;
+  config.dram_bytes = 8 << 20;
+  return config;
+}
+
+NetworkSpec SmallMlp() {
+  NetworkSpec spec;
+  spec.kind = NetworkKind::kMlp;
+  spec.batch = 16;
+  spec.hidden = 16;
+  spec.train_samples = 300;
+  spec.train_epochs = 40;
+  spec.train_target = 0.9;
+  return spec;
+}
+
+LayerGemm HostGemm() {
+  return [](int, const Int8Tensor& a, const Int8Tensor& b) {
+    return GemmRef(a, b);
+  };
+}
+
+TEST(NetworkKindTest, RoundTripsEveryName) {
+  for (const NetworkKind kind :
+       {NetworkKind::kExtraction, NetworkKind::kMlp, NetworkKind::kCnn}) {
+    EXPECT_EQ(ParseNetworkKind(ToString(kind)), kind);
+  }
+}
+
+TEST(NetworkKindTest, ParseRejectsUnknownNamesNamingTheChoices) {
+  try {
+    ParseNetworkKind("resnet");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("resnet"), std::string::npos) << message;
+    EXPECT_NE(message.find("extraction|mlp|cnn"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(NetworkLayerCountTest, MatchesPreparedNetworks) {
+  EXPECT_EQ(NetworkLayerCount(NetworkKind::kExtraction), 1);
+  EXPECT_EQ(NetworkLayerCount(NetworkKind::kMlp), 2);
+  EXPECT_EQ(NetworkLayerCount(NetworkKind::kCnn), 2);
+}
+
+TEST(NetworkSpecTest, ValidateRejectsDegenerateMembers) {
+  NetworkSpec spec;
+  spec.batch = 0;
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+  spec = NetworkSpec{};
+  spec.noise = 2.0;
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+  spec = NetworkSpec{};
+  spec.kind = NetworkKind::kExtraction;
+  spec.extraction_k = 0;
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+  spec = NetworkSpec{};
+  spec.kind = NetworkKind::kCnn;
+  spec.conv_channels = 0;
+  EXPECT_THROW(spec.Validate(), std::invalid_argument);
+}
+
+TEST(PreparedNetworkTest, ExtractionIsOneAllOnesGemm) {
+  NetworkSpec spec;
+  spec.kind = NetworkKind::kExtraction;
+  spec.batch = 4;
+  spec.extraction_k = 8;
+  spec.extraction_n = 8;
+  const PreparedNetwork network(spec);
+  ASSERT_EQ(network.layer_count(), NetworkLayerCount(spec.kind));
+  EXPECT_EQ(network.layer_workload(0).name, "extract");
+  EXPECT_TRUE(network.labels().empty());
+
+  const auto inference = network.Run(HostGemm());
+  ASSERT_EQ(inference.layer_outputs.size(), 1u);
+  // ones(batch×k) · ones(k×n): every logit is k.
+  for (std::int64_t i = 0; i < inference.logits.size(); ++i) {
+    EXPECT_EQ(inference.logits.flat(i), spec.extraction_k);
+  }
+  EXPECT_EQ(inference.top1.size(),
+            static_cast<std::size_t>(spec.batch));
+}
+
+TEST(PreparedNetworkTest, LayerWorkloadRejectsOutOfRangeIndex) {
+  NetworkSpec spec;
+  spec.kind = NetworkKind::kExtraction;
+  const PreparedNetwork network(spec);
+  EXPECT_THROW(network.layer_workload(-1), std::invalid_argument);
+  EXPECT_THROW(network.layer_workload(1), std::invalid_argument);
+}
+
+TEST(PreparedNetworkTest, MlpLayersMatchTopologyAndLabelsScore) {
+  const PreparedNetwork network(SmallMlp());
+  ASSERT_EQ(network.layer_count(), 2);
+  EXPECT_EQ(network.layer_workload(0).name, "fc1");
+  EXPECT_EQ(network.layer_workload(1).name, "fc2");
+  EXPECT_EQ(network.layer_workload(0).GemmK(), kDigitPixels);
+  EXPECT_EQ(network.layer_workload(1).GemmN(), kDigitClasses);
+  ASSERT_EQ(network.labels().size(), 16u);
+
+  const auto inference = network.Run(HostGemm());
+  ASSERT_EQ(inference.layer_outputs.size(), 2u);
+  EXPECT_EQ(inference.layer_outputs[0].dim(1), 16);  // hidden
+  // A trained network beats chance on its own evaluation batch.
+  EXPECT_GT(LabelAccuracy(inference.top1, network.labels()), 0.5);
+}
+
+// The driver-equivalence invariant the sweep runner builds on: a fault-free
+// accelerated inference is bit-identical to the host-GEMM inference.
+TEST(PreparedNetworkTest, FaultFreeDriverInferenceMatchesHostGemm) {
+  const PreparedNetwork network(SmallMlp());
+  const auto host = network.Run(HostGemm());
+
+  Accelerator accel(TestAccel());
+  Driver driver(accel);
+  ExecOptions exec;
+  exec.dataflow = Dataflow::kWeightStationary;
+  const auto accelerated = network.Run(
+      [&](int, const Int8Tensor& a, const Int8Tensor& b) {
+        return driver.Gemm(a, b, exec);
+      });
+  EXPECT_EQ(accelerated.logits, host.logits);
+  EXPECT_EQ(accelerated.top1, host.top1);
+  for (std::size_t i = 0; i < host.layer_outputs.size(); ++i) {
+    EXPECT_EQ(accelerated.layer_outputs[i], host.layer_outputs[i]);
+  }
+}
+
+TEST(PreparedNetworkTest, CnnLowersConvToIm2ColGemm) {
+  NetworkSpec spec;
+  spec.kind = NetworkKind::kCnn;
+  spec.batch = 8;
+  spec.conv_channels = 2;
+  const PreparedNetwork network(spec);
+  ASSERT_EQ(network.layer_count(), 2);
+  EXPECT_EQ(network.layer_workload(0).name, "conv");
+  EXPECT_EQ(network.layer_workload(0).op, OpType::kConv);
+  EXPECT_EQ(network.layer_workload(0).lowering, ConvLowering::kIm2Col);
+  EXPECT_EQ(network.layer_workload(1).name, "dense");
+
+  const auto inference = network.Run(HostGemm());
+  ASSERT_EQ(inference.layer_outputs.size(), 2u);
+  EXPECT_EQ(inference.logits.dim(0), 8);
+  EXPECT_EQ(inference.logits.dim(1), kDigitClasses);
+}
+
+TEST(PreparedNetworkTest, RunRejectsWrongShapeFromExecutor) {
+  NetworkSpec spec;
+  spec.kind = NetworkKind::kExtraction;
+  const PreparedNetwork network(spec);
+  const LayerGemm bad = [](int, const Int8Tensor&, const Int8Tensor&) {
+    return Int32Tensor({1, 1});
+  };
+  EXPECT_THROW(network.Run(bad), std::invalid_argument);
+}
+
+TEST(LabelAccuracyTest, CountsAgreement) {
+  EXPECT_DOUBLE_EQ(LabelAccuracy({1, 2, 3, 4}, {1, 2, 0, 4}), 0.75);
+  EXPECT_DOUBLE_EQ(LabelAccuracy({7}, {7}), 1.0);
+  EXPECT_THROW(LabelAccuracy({1}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(LabelAccuracy({}, {}), std::invalid_argument);
+}
+
+TEST(Top1FlipsTest, CountsDisagreements) {
+  EXPECT_EQ(Top1Flips({1, 2, 3}, {1, 2, 3}), 0);
+  EXPECT_EQ(Top1Flips({1, 2, 3}, {3, 2, 1}), 2);
+  EXPECT_EQ(Top1Flips({}, {}), 0);
+  EXPECT_THROW(Top1Flips({1}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saffire

@@ -76,6 +76,56 @@ TEST(QuantizeSymmetricTest, AllZerosUseUnitScale) {
   }
 }
 
+TEST(QuantizeSymmetricTest, SaturatesExactlyAtTheInt8Extremes) {
+  // The scale is max|x|/127, so the extreme magnitudes land exactly on
+  // ±127 — never beyond — and near-boundary values round to even.
+  auto tensor = FloatTensor({1, 4});
+  tensor.flat(0) = 254.0f;
+  tensor.flat(1) = -254.0f;
+  tensor.flat(2) = 253.0f;   // 126.5 in quantized units
+  tensor.flat(3) = -253.0f;
+  float scale = 0.0f;
+  const auto q = QuantizeSymmetric(tensor, scale);
+  EXPECT_FLOAT_EQ(scale, 2.0f);
+  EXPECT_EQ(q.flat(0), 127);
+  EXPECT_EQ(q.flat(1), -127);
+  EXPECT_EQ(q.flat(2), 126);  // round half to even
+  EXPECT_EQ(q.flat(3), -126);
+  for (std::int64_t i = 0; i < q.size(); ++i) {
+    EXPECT_GE(q.flat(i), -127);
+    EXPECT_LE(q.flat(i), 127);
+  }
+}
+
+TEST(QuantizeSymmetricTest, ZeroPointStaysAtZeroForSkewedData) {
+  // Symmetric scheme: even an all-positive tensor keeps zero-point 0, so
+  // real zeros quantize to exactly 0 and the negative range goes unused.
+  auto tensor = FloatTensor({1, 3});
+  tensor.flat(0) = 0.0f;
+  tensor.flat(1) = 50.8f;
+  tensor.flat(2) = 101.6f;
+  float scale = 0.0f;
+  const auto q = QuantizeSymmetric(tensor, scale);
+  EXPECT_FLOAT_EQ(scale, 0.8f);
+  EXPECT_EQ(q.flat(0), 0);
+  EXPECT_EQ(q.flat(1), 64);  // 63.5 rounds to even
+  EXPECT_EQ(q.flat(2), 127);
+  for (std::int64_t i = 0; i < q.size(); ++i) {
+    EXPECT_GE(q.flat(i), 0);  // nothing maps below the zero-point
+  }
+}
+
+TEST(QuantizeSymmetricTest, TinyMagnitudesRoundTripThroughTheScale) {
+  auto tensor = FloatTensor({1, 2});
+  tensor.flat(0) = 1e-6f;
+  tensor.flat(1) = -1e-6f;
+  float scale = 0.0f;
+  const auto q = QuantizeSymmetric(tensor, scale);
+  EXPECT_EQ(q.flat(0), 127);
+  EXPECT_EQ(q.flat(1), -127);
+  EXPECT_NEAR(static_cast<float>(q.flat(0)) * scale, 1e-6f, 1e-9f);
+}
+
 TEST(ChooseRequantShiftTest, SmallestSufficientShift) {
   EXPECT_EQ(ChooseRequantShift(0), 0);
   EXPECT_EQ(ChooseRequantShift(127), 0);
@@ -83,6 +133,10 @@ TEST(ChooseRequantShiftTest, SmallestSufficientShift) {
   EXPECT_EQ(ChooseRequantShift(255), 1);
   EXPECT_EQ(ChooseRequantShift(256), 2);
   EXPECT_EQ(ChooseRequantShift(1 << 20), 20 - 6);
+  // The shift saturates at 31 — the widest rescale the modeled MVOUT8
+  // hardware supports — even when the magnitude would need more.
+  EXPECT_EQ(ChooseRequantShift((std::int64_t{1} << 37) - 1), 30);
+  EXPECT_EQ(ChooseRequantShift(std::int64_t{1} << 62), 31);
 }
 
 TEST_F(QuantizedMlpTest, QuantizationPreservesAccuracy) {

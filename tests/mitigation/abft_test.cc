@@ -238,11 +238,90 @@ TEST(AbftGemmTest, CleanHardwarePassesThrough) {
   EXPECT_EQ(c, GemmRef(a, b));
 }
 
-TEST(AbftDiagnosisTest, Names) {
+TEST(AbftDiagnosisTest, RoundTripsEveryName) {
   EXPECT_EQ(ToString(AbftDiagnosis::kClean), "clean");
-  EXPECT_EQ(ToString(AbftDiagnosis::kSingleColumn),
-            "single-column(corrected)");
-  EXPECT_EQ(ToString(AbftDiagnosis::kComplex), "complex(detected)");
+  EXPECT_EQ(ToString(AbftDiagnosis::kSingleColumn), "single-column");
+  EXPECT_EQ(ToString(AbftDiagnosis::kComplex), "complex");
+  for (const AbftDiagnosis diagnosis :
+       {AbftDiagnosis::kClean, AbftDiagnosis::kSingleElement,
+        AbftDiagnosis::kSingleColumn, AbftDiagnosis::kSingleRow,
+        AbftDiagnosis::kComplex}) {
+    EXPECT_EQ(ParseAbftDiagnosis(ToString(diagnosis)), diagnosis);
+  }
+}
+
+TEST(AbftDiagnosisTest, ParseRejectsUnknownNamesNamingTheChoices) {
+  try {
+    ParseAbftDiagnosis("corrected");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("corrected"), std::string::npos) << message;
+    EXPECT_NE(
+        message.find("clean|single-element|single-column|single-row|complex"),
+        std::string::npos)
+        << message;
+  }
+}
+
+// Multi-row-AND-column corruption — the underdetermined case: both checksum
+// families flag, nothing is correctable, and the tensor is left untouched.
+TEST(VerifyAndCorrectTest, ComplexPatternDetectedNotCorrected) {
+  Rng rng(12);
+  const auto a = RandomInt8(rng, 8, 8);
+  const auto b = RandomInt8(rng, 8, 8);
+  const auto golden = GemmRef(a, b);
+  auto c = golden;
+  for (std::int64_t j = 0; j < 8; ++j) c(1, j) += 300;  // full row
+  for (std::int64_t r = 0; r < 8; ++r) c(r, 4) += 700;  // full column
+  const auto tampered = c;
+  const AbftReport report = VerifyAndCorrect(a, b, c);
+  EXPECT_EQ(report.diagnosis, AbftDiagnosis::kComplex);
+  EXPECT_TRUE(report.detected());
+  EXPECT_FALSE(report.corrected());
+  EXPECT_FALSE(report.verified_after_correction);
+  EXPECT_EQ(report.corrections, 0);
+  EXPECT_GT(report.flagged_rows.size(), 1u);
+  EXPECT_GT(report.flagged_cols.size(), 1u);
+  EXPECT_EQ(c, tampered);  // no partial repairs on an undiagnosable shape
+}
+
+// Re-verify semantics: a correction that lands must flip
+// verified_after_correction back on, and the corrected()/detected()
+// accessors summarize the report consistently across outcomes.
+TEST(AbftReportTest, DetectedAndCorrectedAccessors) {
+  Rng rng(13);
+  const auto a = RandomInt8(rng, 8, 8);
+  const auto b = RandomInt8(rng, 8, 8);
+
+  auto clean = GemmRef(a, b);
+  const AbftReport clean_report = VerifyAndCorrect(a, b, clean);
+  EXPECT_FALSE(clean_report.detected());
+  EXPECT_FALSE(clean_report.corrected());
+
+  auto repairable = GemmRef(a, b);
+  repairable(2, 6) -= 1234;
+  const AbftReport repaired = VerifyAndCorrect(a, b, repairable);
+  EXPECT_TRUE(repaired.detected());
+  EXPECT_TRUE(repaired.corrected());
+  EXPECT_TRUE(repaired.verified_after_correction);
+}
+
+TEST(AbftReportTest, ToJsonEmitsDiagnosisAndFlags) {
+  Rng rng(14);
+  const auto a = RandomInt8(rng, 8, 8);
+  const auto b = RandomInt8(rng, 8, 8);
+  auto c = GemmRef(a, b);
+  for (std::int64_t r = 0; r < 8; ++r) c(r, 5) += 256;
+  const AbftReport report = VerifyAndCorrect(a, b, c);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"diagnosis\":\"single-column\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"flagged_cols\":[5]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"corrections\":8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"verified_after_correction\":true"),
+            std::string::npos)
+      << json;
 }
 
 }  // namespace

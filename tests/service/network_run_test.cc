@@ -1,0 +1,199 @@
+// RunNetworkSweep end-to-end: rung equivalence on the extraction network,
+// selfcheck cross-validation, network-level outcome fields, ABFT coverage,
+// checkpoint resume, and cooperative stop.
+#include "service/network_run.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+namespace saffire {
+namespace {
+
+AccelConfig SmallAccel() {
+  AccelConfig config;
+  config.array.rows = 8;
+  config.array.cols = 8;
+  config.max_compute_rows = 64;
+  config.spad_rows = 128;
+  config.acc_rows = 64;
+  config.dram_bytes = 1 << 20;
+  return config;
+}
+
+// One-tile extraction workload: the configuration where the appfi rung is
+// provably bit-exact against the simulator.
+NetworkSweepSpec ExtractionSpec() {
+  NetworkSweepSpec spec;
+  spec.accel = SmallAccel();
+  spec.network.kind = NetworkKind::kExtraction;
+  spec.network.batch = 4;
+  spec.network.extraction_k = 8;
+  spec.network.extraction_n = 8;
+  spec.max_sites = 6;
+  return spec;
+}
+
+NetworkSweepSpec MlpSpec() {
+  NetworkSweepSpec spec;
+  spec.accel = SmallAccel();
+  spec.network.kind = NetworkKind::kMlp;
+  spec.network.batch = 8;
+  spec.network.hidden = 8;
+  spec.network.train_samples = 60;
+  spec.network.train_epochs = 10;
+  spec.network.train_target = 0.8;
+  spec.max_sites = 3;
+  return spec;
+}
+
+TEST(RunNetworkSweepTest, ExtractionRungsAreEquivalent) {
+  NetworkSweepSpec spec = ExtractionSpec();
+  NetworkCollectorSink appfi;
+  spec.rung = NetworkRung::kAppFi;
+  const SweepOutcome appfi_outcome = RunNetworkSweep(spec, appfi);
+  NetworkCollectorSink cycle;
+  spec.rung = NetworkRung::kCycleAccurate;
+  const SweepOutcome cycle_outcome = RunNetworkSweep(spec, cycle);
+
+  EXPECT_TRUE(appfi_outcome.ok());
+  EXPECT_TRUE(cycle_outcome.ok());
+  ASSERT_EQ(appfi.records.size(), 6u);
+  ASSERT_EQ(cycle.records.size(), appfi.records.size());
+  for (std::size_t i = 0; i < appfi.records.size(); ++i) {
+    EXPECT_EQ(appfi.records[i].rung, NetworkRung::kAppFi);
+    EXPECT_EQ(cycle.records[i].rung, NetworkRung::kCycleAccurate);
+    EXPECT_TRUE(RungEquivalent(appfi.records[i], cycle.records[i]))
+        << "experiment " << i;
+  }
+  // A stuck-at-1 on a high adder bit corrupts the reached column: the
+  // extraction network reports it as SDC with a non-masked pattern.
+  for (const NetworkRecord& record : appfi.records) {
+    EXPECT_TRUE(record.sdc);
+    EXPECT_EQ(record.pattern, PatternClass::kSingleColumn);
+    EXPECT_EQ(record.batch, 4);
+    EXPECT_EQ(record.correct_golden, -1);  // extraction has no labels
+    EXPECT_EQ(record.correct_faulty, -1);
+  }
+}
+
+TEST(RunNetworkSweepTest, FullSelfcheckFindsNoMismatchOnExtraction) {
+  NetworkSweepSpec spec = ExtractionSpec();
+  spec.rung = NetworkRung::kAppFi;
+  NetworkRunOptions options;
+  options.resilience.selfcheck_rate = 1.0;
+  NetworkCollectorSink sink;
+  const SweepOutcome outcome = RunNetworkSweep(spec, options, sink);
+  EXPECT_EQ(outcome.records, 6);
+  EXPECT_EQ(outcome.selfchecks, 6);
+  EXPECT_EQ(outcome.selfcheck_mismatches, 0);
+  EXPECT_EQ(outcome.fallbacks, 0);
+  EXPECT_TRUE(outcome.ok());
+}
+
+TEST(RunNetworkSweepTest, MlpRecordsCarryNetworkOutcomes) {
+  NetworkSweepSpec spec = MlpSpec();
+  spec.rung = NetworkRung::kCycleAccurate;
+  spec.bits = {24};  // high accumulator bit: visible logit damage
+  NetworkCollectorSink sink;
+  const SweepOutcome outcome = RunNetworkSweep(spec, sink);
+  EXPECT_TRUE(outcome.ok());
+  ASSERT_EQ(sink.records.size(), 3u);
+  bool any_sdc = false;
+  for (const NetworkRecord& record : sink.records) {
+    EXPECT_EQ(record.batch, 8);
+    EXPECT_GE(record.correct_golden, 0);
+    EXPECT_LE(record.correct_golden, 8);
+    EXPECT_GE(record.correct_faulty, 0);
+    // Flipped predictions require a logit deviation.
+    if (record.top1_flips > 0) {
+      EXPECT_TRUE(record.sdc);
+    }
+    if (!record.sdc) {
+      EXPECT_EQ(record.top1_flips, 0);
+      EXPECT_EQ(record.correct_faulty, record.correct_golden);
+    }
+    any_sdc = any_sdc || record.sdc;
+  }
+  EXPECT_TRUE(any_sdc);
+}
+
+TEST(RunNetworkSweepTest, AbftCorrectsSingleColumnFaultsEndToEnd) {
+  NetworkSweepSpec spec = ExtractionSpec();
+  spec.abft = true;
+  for (const NetworkRung rung :
+       {NetworkRung::kAppFi, NetworkRung::kCycleAccurate}) {
+    spec.rung = rung;
+    NetworkCollectorSink sink;
+    const SweepOutcome outcome = RunNetworkSweep(spec, sink);
+    EXPECT_TRUE(outcome.ok());
+    ASSERT_EQ(sink.records.size(), 6u);
+    for (const NetworkRecord& record : sink.records) {
+      EXPECT_TRUE(record.abft_on);
+      // The corruption is still classified (pre-mitigation view)...
+      EXPECT_EQ(record.pattern, PatternClass::kSingleColumn);
+      EXPECT_EQ(record.abft_diagnosis, AbftDiagnosis::kSingleColumn);
+      EXPECT_TRUE(record.abft_corrected);
+      EXPECT_GT(record.abft_corrections, 0);
+      // ...but the corrected tensors feed forward, so no SDC survives.
+      EXPECT_FALSE(record.sdc) << ToString(rung);
+      EXPECT_EQ(record.top1_flips, 0);
+    }
+  }
+}
+
+TEST(RunNetworkSweepTest, ResumeReplaysCheckpointedRecords) {
+  NetworkSweepSpec spec = ExtractionSpec();
+  std::ostringstream jsonl;
+  NetworkJsonlSink jsonl_sink(jsonl);
+  NetworkCollectorSink first;
+  NetworkTeeSink tee({&jsonl_sink, &first});
+  const SweepOutcome original = RunNetworkSweep(spec, tee);
+  EXPECT_EQ(original.records, 6);
+
+  std::istringstream in(jsonl.str());
+  const NetworkCheckpoint checkpoint = LoadNetworkCheckpoint(in);
+  ASSERT_EQ(checkpoint.records.size(), 6u);
+
+  NetworkRunOptions options;
+  options.resume = &checkpoint;
+  NetworkCollectorSink resumed;
+  const SweepOutcome outcome = RunNetworkSweep(spec, options, resumed);
+  EXPECT_EQ(outcome.records, 6);
+  ASSERT_EQ(resumed.records.size(), first.records.size());
+  for (std::size_t i = 0; i < first.records.size(); ++i) {
+    EXPECT_EQ(resumed.records[i], first.records[i]) << "record " << i;
+  }
+}
+
+TEST(RunNetworkSweepTest, ResumeRejectsForeignCheckpoint) {
+  NetworkSweepSpec spec = ExtractionSpec();
+  std::ostringstream jsonl;
+  NetworkJsonlSink jsonl_sink(jsonl);
+  RunNetworkSweep(spec, jsonl_sink);
+  std::istringstream in(jsonl.str());
+  const NetworkCheckpoint checkpoint = LoadNetworkCheckpoint(in);
+
+  NetworkSweepSpec other = ExtractionSpec();
+  other.bits = {20};
+  NetworkRunOptions options;
+  options.resume = &checkpoint;
+  NetworkCollectorSink sink;
+  EXPECT_THROW(RunNetworkSweep(other, options, sink), std::invalid_argument);
+}
+
+TEST(RunNetworkSweepTest, CooperativeStopDrainsCleanly) {
+  NetworkSweepSpec spec = ExtractionSpec();
+  std::atomic<bool> stop{true};
+  NetworkRunOptions options;
+  options.stop = &stop;
+  NetworkCollectorSink sink;
+  const SweepOutcome outcome = RunNetworkSweep(spec, options, sink);
+  EXPECT_TRUE(outcome.stopped);
+  EXPECT_EQ(outcome.records, 0);
+  EXPECT_TRUE(sink.records.empty());
+}
+
+}  // namespace
+}  // namespace saffire
