@@ -61,6 +61,59 @@ NetworkSweepSpec SpecByIndex(int index) {
   return index == 0 ? ExtractionSpec() : MlpSpec();
 }
 
+// Graceful-degradation shape: a harder-trained MLP with a high-magnitude
+// stuck bit pinned to the hidden layer, so the per-policy recovered-accuracy
+// counters measure real damage (the EXPERIMENTS.md recovery recipe at bench
+// scale). One spec for every policy keeps the campaigns comparable.
+NetworkSweepSpec MitigationSpec() {
+  NetworkSweepSpec spec;
+  spec.accel = PaperScaleAccel();
+  spec.network.kind = NetworkKind::kMlp;
+  spec.network.batch = 16;
+  spec.network.hidden = 8;
+  spec.network.train_samples = 300;
+  spec.network.train_epochs = 40;
+  spec.bits = {24};
+  spec.layers = {0};
+  spec.max_sites = 4;
+  return spec;
+}
+
+// One timed arm per mitigation policy (the BENCH_mitigation.json series):
+// wall time is the cost of the baseline+mitigated pair, and the counters
+// carry the accuracy story — top-1 lost to the fault, top-1 recovered by
+// the policy, and residual SDC after mitigation.
+void BM_MitigatedNetworkSweep(benchmark::State& state) {
+  NetworkSweepSpec spec = MitigationSpec();
+  const auto policy = static_cast<MitigationPolicy>(state.range(0));
+  spec.mitigations = {policy};
+  std::int64_t golden = 0;
+  std::int64_t base = 0;
+  std::int64_t mitigated = 0;
+  std::int64_t residual_sdc = 0;
+  for (auto _ : state) {
+    NetworkCollectorSink sink;
+    RunNetworkSweep(spec, sink);
+    benchmark::DoNotOptimize(sink.records.data());
+    for (const NetworkRecord& record : sink.records) {
+      golden += record.correct_golden;
+      base += record.correct_faulty;
+      // kNone records keep the -1 sentinel: nothing mitigated, no recovery.
+      mitigated += record.mit_correct_faulty >= 0 ? record.mit_correct_faulty
+                                                  : record.correct_faulty;
+      if (record.mit_sdc) ++residual_sdc;
+    }
+  }
+  state.SetLabel("mlp/" + ToString(policy));
+  const auto iterations = static_cast<double>(state.iterations());
+  state.counters["lost_top1_per_sweep"] =
+      benchmark::Counter(static_cast<double>(golden - base) / iterations);
+  state.counters["recovered_top1_per_sweep"] =
+      benchmark::Counter(static_cast<double>(mitigated - base) / iterations);
+  state.counters["residual_sdc_per_sweep"] =
+      benchmark::Counter(static_cast<double>(residual_sdc) / iterations);
+}
+
 void BM_NetworkSweep(benchmark::State& state) {
   NetworkSweepSpec spec = SpecByIndex(static_cast<int>(state.range(0)));
   spec.rung = state.range(1) != 0 ? NetworkRung::kCycleAccurate
@@ -141,6 +194,60 @@ void PrintSummaryTables() {
             << cycle_us / appfi_us << "x (gate: >= 10x)\n\n";
 }
 
+// Per-policy recovery table, printed once before the measured benchmarks:
+// a single sweep with every policy enabled, tallied by campaign. The same
+// numbers the BM_MitigatedNetworkSweep counters record, but side by side.
+void PrintMitigationTable() {
+  NetworkSweepSpec spec = MitigationSpec();
+  spec.mitigations.clear();
+  for (int p = 0; p < kNumMitigationPolicies; ++p) {
+    spec.mitigations.push_back(static_cast<MitigationPolicy>(p));
+  }
+  const NetworkCampaignPlan plan = BuildNetworkCampaignPlan(spec);
+  NetworkCollectorSink sink;
+  RunNetworkSweep(spec, sink);
+
+  struct Tally {
+    std::int64_t experiments = 0;
+    std::int64_t golden = 0;
+    std::int64_t base = 0;
+    std::int64_t mitigated = 0;
+    std::int64_t residual_sdc = 0;
+  };
+  std::array<Tally, kNumMitigationPolicies> tallies{};
+  for (const NetworkRecord& record : sink.records) {
+    const auto policy = static_cast<std::size_t>(
+        plan.campaigns[record.campaign_index].mitigation);
+    Tally& tally = tallies[policy];
+    ++tally.experiments;
+    tally.golden += record.correct_golden;
+    tally.base += record.correct_faulty;
+    tally.mitigated += record.mit_correct_faulty >= 0
+                           ? record.mit_correct_faulty
+                           : record.correct_faulty;
+    if (record.mit_sdc) ++tally.residual_sdc;
+  }
+
+  std::cout << "=== Graceful degradation: mlp, SA1 bit 24, hidden layer, "
+            << spec.max_sites << " sites ===\n\n";
+  std::cout << std::left << std::setw(16) << "policy" << std::right
+            << std::setw(7) << "expts" << std::setw(8) << "golden"
+            << std::setw(8) << "faulty" << std::setw(11) << "mitigated"
+            << std::setw(11) << "recovered" << std::setw(10) << "res.SDC"
+            << "\n";
+  for (int p = 0; p < kNumMitigationPolicies; ++p) {
+    const Tally& tally = tallies[static_cast<std::size_t>(p)];
+    std::cout << std::left << std::setw(16)
+              << ToString(static_cast<MitigationPolicy>(p)) << std::right
+              << std::setw(7) << tally.experiments << std::setw(8)
+              << tally.golden << std::setw(8) << tally.base << std::setw(11)
+              << tally.mitigated << std::setw(11)
+              << (tally.mitigated - tally.base) << std::setw(10)
+              << tally.residual_sdc << "\n";
+  }
+  std::cout << "\n";
+}
+
 }  // namespace
 
 // Rungs: {spec, rung, abft}. Convolutional networks and the forwarding
@@ -154,8 +261,15 @@ BENCHMARK(BM_NetworkSweep)
     ->Args({1, 1, 0})
     ->Unit(benchmark::kMillisecond);
 
+// One arm per policy on the appfi rung (run_benchmarks.sh filters these
+// into BENCH_mitigation.json; the rung-speedup story stays above).
+BENCHMARK(BM_MitigatedNetworkSweep)
+    ->DenseRange(0, kNumMitigationPolicies - 1)
+    ->Unit(benchmark::kMillisecond);
+
 int main(int argc, char** argv) {
   PrintSummaryTables();
+  PrintMitigationTable();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -24,6 +24,10 @@
 //   --polarity LIST  {sa0|sa1}                    (sa1)
 //   --bit LIST       stuck bit                    (8)
 //   --layer LIST     0-based injection scope, -1 = whole network (-1)
+//   --mitigation LIST  {none|column_remap|row_remap|prune_channel|
+//                     abft_correct}  graceful-degradation policies; each
+//                    non-none campaign also runs a mitigated inference and
+//                    records recovered accuracy / residual SDC (none)
 // Sampling and hardware:
 //   --sites N        sample N fault sites (0 = exhaustive)
 //   --seed N         site-sampling / selfcheck seed (1)
@@ -41,6 +45,15 @@
 //   --selfcheck-rate F  fraction of appfi experiments re-run on the
 //                    cycle-accurate rung; a mismatch demotes the campaign
 //                    (0 = off)
+//   --max-retries N  extra attempts per experiment and rung before the
+//                    failure policy applies (2)
+//   --experiment-timeout-ms N  cooperative per-attempt deadline; an
+//                    attempt observed to exceed it is classified failed
+//                    and retried (0 = off)
+//   --on-failure {quarantine|abort}  what happens when an experiment
+//                    exhausts every retry on every rung: quarantine writes
+//                    a re-simulatable "network-failed" JSONL line and keeps
+//                    sweeping; abort rethrows (quarantine)
 //   --resume PATH    replay records from a previous --jsonl stream
 // Spec files and output:
 //   --spec PATH      load the sweep from a JSON spec (exclusive with the
@@ -53,8 +66,9 @@
 //   --metrics-format {prom|json}  exposition format (prom)
 // Shutdown and exit codes mirror campaign_cli: SIGINT/SIGTERM drain
 // cooperatively and exit 128+signo with the JSONL checkpoint resumable;
-// otherwise 0 for a healthy sweep, 3 when it completed with self-check
-// mismatches, 1 for errors.
+// otherwise 0 for a healthy sweep, 3 when it completed but quarantined
+// experiments or hit self-check mismatches, 1 for errors. SAFFIRE_CHAOS
+// (service/chaos.h) injects deterministic failures for resilience testing.
 #include <array>
 #include <fstream>
 #include <iomanip>
@@ -68,6 +82,7 @@
 #include "common/atomic_file.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "service/chaos.h"
 #include "service/network_run.h"
 #include "service/signal.h"
 
@@ -80,9 +95,10 @@ const std::set<std::string>& ValueFlags() {
       "network",      "batch",        "hidden",      "train-samples",
       "train-epochs", "conv-channels", "extraction-k", "extraction-n",
       "net-seed",     "dataflow",     "signal",      "polarity",
-      "bit",          "layer",        "sites",       "seed",
-      "rows",         "cols",         "rung",        "perturb-mode",
-      "perturb-bit",  "perturb-delta", "selfcheck-rate", "resume",
+      "bit",          "layer",        "mitigation",  "sites",
+      "seed",         "rows",         "cols",        "rung",
+      "perturb-mode", "perturb-bit",  "perturb-delta", "selfcheck-rate",
+      "max-retries",  "experiment-timeout-ms", "on-failure", "resume",
       "spec",         "csv",          "jsonl",       "metrics-out",
       "metrics-format"};
   return kFlags;
@@ -136,6 +152,10 @@ NetworkSweepSpec SpecFromFlags(
   for (const std::string& text : Split(flag("layer", "-1"), ',')) {
     spec.layers.push_back(static_cast<int>(ParseInt(Trim(text))));
   }
+  spec.mitigations.clear();
+  for (const std::string& name : Split(flag("mitigation", "none"), ',')) {
+    spec.mitigations.push_back(ParseMitigationPolicy(Trim(name)));
+  }
 
   spec.max_sites = ParseInt(flag("sites", "0"));
   spec.seed = static_cast<std::uint64_t>(ParseInt(flag("seed", "1")));
@@ -163,8 +183,25 @@ struct ClassStats {
   std::int64_t abft_corrected = 0;
 };
 
+// Per-mitigation-policy aggregation: the graceful-degradation table
+// comparing the unmitigated and mitigated outcomes of the same faults.
+struct PolicyStats {
+  std::int64_t experiments = 0;
+  std::int64_t sdc = 0;
+  std::int64_t mit_sdc = 0;
+  std::int64_t correct_faulty = 0;
+  std::int64_t mit_correct = 0;
+  std::int64_t labelled = 0;  // experiments with accuracy semantics
+};
+
 class SummarySink : public NetworkRecordSink {
  public:
+  void OnSweepBegin(const NetworkSweepSpec& spec,
+                    const NetworkCampaignPlan& plan) override {
+    (void)spec;
+    campaigns_ = plan.campaigns;
+  }
+
   void OnRecord(const NetworkRecord& record) override {
     ClassStats& stats = per_class_[static_cast<std::size_t>(record.pattern)];
     ++stats.experiments;
@@ -175,6 +212,25 @@ class SummarySink : public NetworkRecordSink {
       if (record.abft_corrected) ++stats.abft_corrected;
     }
     abft_on_ = abft_on_ || record.abft_on;
+
+    const MitigationPolicy policy =
+        campaigns_[record.campaign_index].mitigation;
+    if (policy != MitigationPolicy::kNone) {
+      any_mitigated_ = true;
+      PolicyStats& mit = per_policy_[static_cast<std::size_t>(policy)];
+      ++mit.experiments;
+      if (record.sdc) ++mit.sdc;
+      if (record.mit_sdc) ++mit.mit_sdc;
+      if (record.correct_faulty >= 0 && record.mit_correct_faulty >= 0) {
+        ++mit.labelled;
+        mit.correct_faulty += record.correct_faulty;
+        mit.mit_correct += record.mit_correct_faulty;
+      }
+    }
+  }
+
+  void OnExperimentFailed(const NetworkFailedRecord& failed) override {
+    (void)failed;
   }
 
   void Print(std::ostream& out) const {
@@ -201,11 +257,35 @@ class SummarySink : public NetworkRecordSink {
       }
       out << "\n";
     }
+    if (any_mitigated_) {
+      out << "\n" << std::left << std::setw(16) << "mitigation"
+          << std::right << std::setw(8) << "expts" << std::setw(8) << "SDC"
+          << std::setw(10) << "mit SDC" << std::setw(12) << "faulty acc"
+          << std::setw(10) << "mit acc" << "\n";
+      for (std::size_t i = 0; i < per_policy_.size(); ++i) {
+        const PolicyStats& stats = per_policy_[i];
+        if (stats.experiments == 0) continue;
+        out << std::left << std::setw(16)
+            << ToString(static_cast<MitigationPolicy>(i)) << std::right
+            << std::setw(8) << stats.experiments << std::setw(8) << stats.sdc
+            << std::setw(10) << stats.mit_sdc;
+        if (stats.labelled > 0) {
+          out << std::setw(12) << stats.correct_faulty << std::setw(10)
+              << stats.mit_correct;
+        } else {
+          out << std::setw(12) << "-" << std::setw(10) << "-";
+        }
+        out << "\n";
+      }
+    }
   }
 
  private:
   std::array<ClassStats, kNumPatternClasses> per_class_{};
+  std::array<PolicyStats, kNumMitigationPolicies> per_policy_{};
+  std::vector<NetworkCampaign> campaigns_;
   bool abft_on_ = false;
+  bool any_mitigated_ = false;
 };
 
 }  // namespace
@@ -244,12 +324,13 @@ int main(int argc, char** argv) {
   }
 
   try {
+    chaos::InstallFromEnv();
     NetworkSweepSpec spec;
     if (flags.count("spec") != 0) {
       for (const char* axis :
            {"network", "batch", "hidden", "dataflow", "signal", "polarity",
-            "bit", "layer", "sites", "seed", "rows", "cols", "rung", "abft",
-            "perturb-mode"}) {
+            "bit", "layer", "mitigation", "sites", "seed", "rows", "cols",
+            "rung", "abft", "perturb-mode"}) {
         if (flags.count(axis) != 0) {
           std::cerr << "--spec already defines the sweep; drop '--" << axis
                     << "'\n";
@@ -318,10 +399,26 @@ int main(int argc, char** argv) {
       sinks.push_back(jsonl_sink.get());
     }
     NetworkTeeSink tee(sinks);
+    // SAFFIRE_CHAOS wiring: when the schedule injects sink failures, route
+    // record delivery through the flaky decorator so resilience tests can
+    // drive the real binary through a sink crash and resume.
+    NetworkRecordSink* sink = &tee;
+    std::unique_ptr<chaos::NetworkFlakySink> flaky;
+    if (chaos::ActiveSpec().sink_throw_every > 0) {
+      flaky = std::make_unique<chaos::NetworkFlakySink>(
+          &tee, chaos::ActiveSpec().sink_throw_every);
+      sink = flaky.get();
+    }
 
     NetworkRunOptions options;
     options.resilience.selfcheck_rate =
         ParseDouble(flag("selfcheck-rate", "0"));
+    options.resilience.max_retries =
+        static_cast<int>(ParseInt(flag("max-retries", "2")));
+    options.resilience.experiment_timeout_ms =
+        ParseInt(flag("experiment-timeout-ms", "0"));
+    options.resilience.on_failure =
+        ParseOnFailure(flag("on-failure", "quarantine"));
     if (resuming) options.resume = &checkpoint;
 
     const std::string metrics_format = flag("metrics-format", "prom");
@@ -336,7 +433,7 @@ int main(int argc, char** argv) {
     ScopedSignalDrain drain;
     options.stop = drain.token();
 
-    SweepOutcome outcome = RunNetworkSweep(spec, options, tee);
+    SweepOutcome outcome = RunNetworkSweep(spec, options, *sink);
     outcome.checkpoint_lines_dropped += checkpoint.lines_dropped;
     if (csv_writer != nullptr) csv_writer->Commit();
 
@@ -376,9 +473,13 @@ int main(int argc, char** argv) {
     }
 
     if (outcome.fallbacks != 0 || outcome.selfchecks != 0 ||
+        outcome.retries != 0 || outcome.timeouts != 0 ||
         outcome.checkpoint_lines_dropped != 0 || !outcome.ok()) {
       std::cout << "[resilience] selfchecks=" << outcome.selfchecks
                 << " mismatches=" << outcome.selfcheck_mismatches
+                << " retries=" << outcome.retries
+                << " timeouts=" << outcome.timeouts
+                << " quarantined=" << outcome.quarantined
                 << " fallbacks=" << outcome.fallbacks
                 << " checkpoint_lines_dropped="
                 << outcome.checkpoint_lines_dropped << "\n";
@@ -393,8 +494,8 @@ int main(int argc, char** argv) {
       return 128 + drain.signal_number();
     }
     if (!outcome.ok()) {
-      std::cerr << "sweep completed with self-check mismatches (see "
-                   "[resilience] above)\n";
+      std::cerr << "sweep completed with quarantined experiments or "
+                   "self-check mismatches (see [resilience] above)\n";
       return 3;
     }
   } catch (const std::exception& error) {

@@ -36,6 +36,10 @@ class SmallCnn {
 
   const ConvParams& conv_params() const { return conv_; }
   std::int64_t classes() const { return classes_; }
+  // Dense-head weights [K·(P/2)·(Q/2) × classes] — row k·(P/2)·(Q/2) + p·(Q/2)
+  // + q consumes pooled position (p, q) of conv channel k (the flatten
+  // order of ForwardWith), which is what channel-salience analysis needs.
+  const Int8Tensor& dense_weights() const { return dense_; }
 
   // Activations captured after every stage of one forward pass.
   struct LayerTaps {

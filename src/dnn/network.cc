@@ -1,5 +1,7 @@
 #include "dnn/network.h"
 
+#include <cmath>
+
 #include "common/check.h"
 #include "common/rng.h"
 #include "tensor/conv.h"
@@ -9,6 +11,35 @@ namespace saffire {
 namespace {
 
 constexpr const char* kNetworkKindNames[] = {"extraction", "mlp", "cnn"};
+
+// Column-wise L1 mass of an INT8 matrix — the "incoming weight" salience
+// of a layer's output channels.
+std::vector<double> ColumnL1(const Int8Tensor& w) {
+  std::vector<double> mass(static_cast<std::size_t>(w.dim(1)), 0.0);
+  for (std::int64_t i = 0; i < w.dim(0); ++i) {
+    for (std::int64_t j = 0; j < w.dim(1); ++j) {
+      mass[static_cast<std::size_t>(j)] +=
+          std::abs(static_cast<double>(w(i, j)));
+    }
+  }
+  return mass;
+}
+
+// Row-wise L1 mass, grouped: rows [c·group, (c+1)·group) of `w` all consume
+// channel c of the previous layer, so their combined mass is how much that
+// channel matters downstream (group = 1 for dense-to-dense).
+std::vector<double> GroupedRowL1(const Int8Tensor& w, std::int64_t channels,
+                                 std::int64_t group) {
+  std::vector<double> mass(static_cast<std::size_t>(channels), 0.0);
+  for (std::int64_t i = 0; i < w.dim(0); ++i) {
+    const std::int64_t channel = i / group;
+    for (std::int64_t j = 0; j < w.dim(1); ++j) {
+      mass[static_cast<std::size_t>(channel)] +=
+          std::abs(static_cast<double>(w(i, j)));
+    }
+  }
+  return mass;
+}
 
 ConvParams DigitConv(std::int64_t batch, std::int64_t channels) {
   ConvParams conv;
@@ -156,6 +187,47 @@ PreparedNetwork::PreparedNetwork(const NetworkSpec& spec) : spec_(spec) {
     }
   }
   for (const WorkloadSpec& workload : workloads_) workload.Validate();
+
+  // Channel salience per layer, the remap planner's victim ranking: a
+  // hidden channel is as important as the L1 mass of the next layer's
+  // weights consuming it; the final layer's channels (the logits) by their
+  // incoming columns. Extraction outputs have no downstream consumer —
+  // uniform, so the remap victim choice is deterministic but arbitrary.
+  switch (spec_.kind) {
+    case NetworkKind::kExtraction:
+      salience_.push_back(std::vector<double>(
+          static_cast<std::size_t>(spec_.extraction_n), 1.0));
+      break;
+    case NetworkKind::kMlp:
+      salience_.push_back(GroupedRowL1(mlp_->w2q(), spec_.hidden, 1));
+      salience_.push_back(ColumnL1(mlp_->w2q()));
+      break;
+    case NetworkKind::kCnn: {
+      const ConvParams conv = DigitConv(spec_.batch, spec_.conv_channels);
+      const std::int64_t pooled_per_channel =
+          (conv.out_height() / 2) * (conv.out_width() / 2);
+      salience_.push_back(GroupedRowL1(cnn_->dense_weights(),
+                                       spec_.conv_channels,
+                                       pooled_per_channel));
+      salience_.push_back(ColumnL1(cnn_->dense_weights()));
+      break;
+    }
+  }
+  SAFFIRE_ASSERT_MSG(salience_.size() == workloads_.size(),
+                     salience_.size() << " vs " << workloads_.size());
+  for (std::size_t i = 0; i < salience_.size(); ++i) {
+    SAFFIRE_ASSERT_MSG(
+        static_cast<std::int64_t>(salience_[i].size()) ==
+            workloads_[i].GemmN(),
+        "layer " << i << " salience " << salience_[i].size());
+  }
+}
+
+const std::vector<double>& PreparedNetwork::channel_salience(
+    std::int64_t layer) const {
+  SAFFIRE_CHECK_MSG(layer >= 0 && layer < layer_count(),
+                    "layer " << layer << " of " << layer_count());
+  return salience_[static_cast<std::size_t>(layer)];
 }
 
 const WorkloadSpec& PreparedNetwork::layer_workload(
@@ -194,6 +266,41 @@ PreparedNetwork::Inference PreparedNetwork::Run(const LayerGemm& gemm) const {
   }
   inference.top1 = ArgmaxRows(inference.logits);
   return inference;
+}
+
+PreparedNetwork::Inference PreparedNetwork::Run(
+    const LayerGemm& gemm, const std::vector<LayerMitigationPlan>& plans,
+    const LayerObserver& observe) const {
+  if (plans.empty() && observe == nullptr) return Run(gemm);
+  SAFFIRE_CHECK_MSG(
+      plans.empty() ||
+          static_cast<std::int64_t>(plans.size()) == layer_count(),
+      plans.size() << " plans for " << layer_count() << " layers");
+  static const LayerMitigationPlan kIdentity;
+  const LayerGemm mitigated = [&](int layer, const Int8Tensor& a,
+                                  const Int8Tensor& b) {
+    const LayerMitigationPlan& plan =
+        plans.empty() ? kIdentity : plans[static_cast<std::size_t>(layer)];
+    Int32Tensor out{{1, 1}};
+    if (plan.identity()) {
+      out = gemm(layer, a, b);
+      if (observe != nullptr) observe(layer, a, b, out);
+      return out;
+    }
+    // Physical space in, logical space out: the executor (host reference,
+    // appfi injector, or driver) only ever sees the transformed operands,
+    // so the faulty physical columns stay fixed while the logical channels
+    // routed through them move.
+    const Int8Tensor a_phys = PermuteInputColumns(plan, a);
+    const Int8Tensor b_phys = TransformWeights(plan, b);
+    out = RestoreOutput(plan, gemm(layer, a_phys, b_phys));
+    if (observe != nullptr) {
+      const Int8Tensor b_logical = EffectiveWeights(plan, b);
+      observe(layer, a, b_logical, out);
+    }
+    return out;
+  };
+  return Run(mitigated);
 }
 
 double LabelAccuracy(const std::vector<int>& predictions,

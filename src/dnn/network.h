@@ -27,6 +27,7 @@
 #include "dnn/quantize.h"
 #include "dnn/synthetic.h"
 #include "fi/workload.h"
+#include "mitigation/remap.h"
 
 namespace saffire {
 
@@ -111,10 +112,36 @@ class PreparedNetwork {
   // layer executed by `gemm` (layer indices match layer_workload).
   Inference Run(const LayerGemm& gemm) const;
 
+  // Post-mitigation per-layer observer: called with the logical-space
+  // inputs the restored output corresponds to (EffectiveWeights of the
+  // layer's plan); mutating `out` — e.g. ABFT correction — propagates into
+  // the rest of the inference.
+  using LayerObserver = std::function<void(
+      int layer, const Int8Tensor& a, const Int8Tensor& b, Int32Tensor& out)>;
+
+  // Mitigated inference: every layer's plan (mitigation/remap.h) is applied
+  // around `gemm` — inputs/weights transformed into physical space before
+  // the executor runs, the output restored to logical channel order after —
+  // so the same plans drive the host reference, the appfi injector, and the
+  // cycle-accurate driver identically. `plans` must be empty (no
+  // mitigation) or size layer_count(). Remap-only plans are pure
+  // permutations: on a fault-free executor the inference is byte-identical
+  // to Run(gemm).
+  Inference Run(const LayerGemm& gemm,
+                const std::vector<LayerMitigationPlan>& plans,
+                const LayerObserver& observe = nullptr) const;
+
+  // Per-logical-channel salience of layer `layer`'s output, the remap
+  // planner's victim-selection input: hidden layers weigh each channel by
+  // the L1 mass of its outgoing next-layer weights, the final layer by its
+  // incoming weight column; kExtraction is uniform.
+  const std::vector<double>& channel_salience(std::int64_t layer) const;
+
  private:
   NetworkSpec spec_;
   std::vector<WorkloadSpec> workloads_;
   std::vector<int> labels_;
+  std::vector<std::vector<double>> salience_;  // per layer, size GemmN
 
   // kExtraction operands.
   Int8Tensor ones_a_{{1, 1}};

@@ -1,0 +1,304 @@
+#include "mitigation/remap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/check.h"
+#include "patterns/predictor.h"
+
+namespace saffire {
+
+namespace {
+
+constexpr const char* kMitigationPolicyNames[] = {
+    "none", "column_remap", "row_remap", "prune_channel", "abft_correct"};
+
+// Moves logical item `wanted[i]` to physical position `targets[i]` by
+// swapping, starting from the identity permutation. `perm[p]` is the
+// logical index held at physical position p. Deterministic; stays a
+// permutation because every wanted item is distinct.
+std::vector<std::int64_t> PlaceAtPositions(
+    std::int64_t size, const std::vector<std::int64_t>& targets,
+    const std::vector<std::int64_t>& wanted) {
+  SAFFIRE_ASSERT_MSG(targets.size() == wanted.size(),
+                     targets.size() << " targets vs " << wanted.size());
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(size));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<std::int64_t> pos = perm;  // pos[logical] = physical
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const std::int64_t target = targets[i];
+    const std::int64_t current = pos[static_cast<std::size_t>(wanted[i])];
+    if (current == target) continue;
+    std::swap(perm[static_cast<std::size_t>(target)],
+              perm[static_cast<std::size_t>(current)]);
+    pos[static_cast<std::size_t>(perm[static_cast<std::size_t>(target)])] =
+        target;
+    pos[static_cast<std::size_t>(perm[static_cast<std::size_t>(current)])] =
+        current;
+  }
+  return perm;
+}
+
+// Indices 0..size-1 ordered by ascending cost, ties by ascending index —
+// the deterministic "least important first" ranking both remaps use.
+std::vector<std::int64_t> RankAscending(std::span<const double> cost) {
+  std::vector<std::int64_t> order(cost.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&cost](std::int64_t a, std::int64_t b) {
+                     return cost[static_cast<std::size_t>(a)] <
+                            cost[static_cast<std::size_t>(b)];
+                   });
+  return order;
+}
+
+// True when the permutation is 0,1,2,...; an identity plan short-circuits
+// every transform.
+bool IsIdentity(const std::vector<std::int64_t>& perm) {
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] != static_cast<std::int64_t>(i)) return false;
+  }
+  return true;
+}
+
+void CheckPerm(const std::vector<std::int64_t>& perm, std::int64_t size,
+               const char* what) {
+  SAFFIRE_CHECK_MSG(static_cast<std::int64_t>(perm.size()) == size,
+                    what << " permutation has " << perm.size()
+                         << " entries for dimension " << size);
+  std::vector<bool> seen(static_cast<std::size_t>(size), false);
+  for (const std::int64_t p : perm) {
+    SAFFIRE_CHECK_MSG(p >= 0 && p < size && !seen[static_cast<std::size_t>(p)],
+                      what << " permutation entry " << p << " invalid");
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+}
+
+// The distinct physical output columns the fault reaches, via the
+// analytical predictor. Empty = structurally masked.
+std::vector<std::int64_t> ReachedColumns(const WorkloadSpec& workload,
+                                         const AccelConfig& accel,
+                                         Dataflow dataflow,
+                                         const FaultSpec& fault) {
+  const PredictedPattern predicted =
+      PredictPattern(workload, accel, dataflow, fault);
+  std::set<std::int64_t> cols;
+  for (const MatrixCoord& coord : predicted.coords) cols.insert(coord.col);
+  return {cols.begin(), cols.end()};
+}
+
+// Per-K-row cost of sitting in the faulty array row: for a stuck
+// weight-operand bit, the number of stationary weights (the faulty PE
+// column's tiles of this row) whose stored bit disagrees with the stuck
+// value — rows with cost 0 mask the fault entirely. For other signals the
+// row's L1 weight mass, so the least-influential rows ride the faulty PE.
+std::vector<double> KRowCost(const Int8Tensor& b, const FaultSpec& fault,
+                             std::int64_t array_cols) {
+  const std::int64_t k = b.dim(0);
+  const std::int64_t n = b.dim(1);
+  std::vector<double> cost(static_cast<std::size_t>(k), 0.0);
+  const bool operand_fault = fault.signal == MacSignal::kWeightOperand;
+  const int stuck = fault.polarity == StuckPolarity::kStuckAt1 ? 1 : 0;
+  for (std::int64_t row = 0; row < k; ++row) {
+    double c = 0.0;
+    if (operand_fault) {
+      for (std::int64_t col = fault.pe.col; col < n; col += array_cols) {
+        const auto bits = static_cast<std::uint8_t>(b(row, col));
+        if (((bits >> fault.bit) & 1) != static_cast<unsigned>(stuck)) {
+          c += 1.0;
+        }
+      }
+    } else {
+      for (std::int64_t col = 0; col < n; ++col) {
+        c += std::abs(static_cast<double>(b(row, col)));
+      }
+    }
+    cost[static_cast<std::size_t>(row)] = c;
+  }
+  return cost;
+}
+
+}  // namespace
+
+std::string ToString(MitigationPolicy policy) {
+  const auto index = static_cast<std::size_t>(policy);
+  SAFFIRE_ASSERT_MSG(index < std::size(kMitigationPolicyNames),
+                     "mitigation policy " << static_cast<int>(index));
+  return kMitigationPolicyNames[index];
+}
+
+MitigationPolicy ParseMitigationPolicy(const std::string& name) {
+  for (std::size_t i = 0; i < std::size(kMitigationPolicyNames); ++i) {
+    if (name == kMitigationPolicyNames[i]) {
+      return static_cast<MitigationPolicy>(i);
+    }
+  }
+  SAFFIRE_CHECK_MSG(false,
+                    "unknown mitigation policy '"
+                        << name
+                        << "' (expected none|column_remap|row_remap|"
+                           "prune_channel|abft_correct)");
+}
+
+bool MitigationNeedsPredictor(MitigationPolicy policy) {
+  return policy == MitigationPolicy::kColumnRemap ||
+         policy == MitigationPolicy::kRowRemap ||
+         policy == MitigationPolicy::kPruneChannel;
+}
+
+LayerMitigationPlan PlanLayerMitigation(
+    MitigationPolicy policy, const WorkloadSpec& workload,
+    const AccelConfig& accel, Dataflow dataflow, const FaultSpec& fault,
+    std::span<const double> channel_salience, const Int8Tensor* weights) {
+  const std::int64_t n = workload.GemmN();
+  const std::int64_t k = workload.GemmK();
+  SAFFIRE_CHECK_MSG(
+      channel_salience.empty() ||
+          static_cast<std::int64_t>(channel_salience.size()) == n,
+      "salience has " << channel_salience.size() << " channels, layer has "
+                      << n);
+
+  LayerMitigationPlan plan;
+  plan.policy = policy;
+  if (policy == MitigationPolicy::kNone) return plan;
+  if (policy == MitigationPolicy::kAbftCorrect) {
+    plan.abft = true;
+    return plan;
+  }
+
+  plan.reached_cols = ReachedColumns(workload, accel, dataflow, fault);
+  if (plan.reached_cols.empty()) return plan;  // masked site: nothing to do
+
+  switch (policy) {
+    case MitigationPolicy::kColumnRemap: {
+      // Send the least-salient logical channels to the faulty physical
+      // columns; everything else keeps its position (swap placement).
+      std::vector<double> salience(channel_salience.begin(),
+                                   channel_salience.end());
+      if (salience.empty()) salience.assign(static_cast<std::size_t>(n), 0.0);
+      const std::vector<std::int64_t> ranked = RankAscending(salience);
+      const std::vector<std::int64_t> victims(
+          ranked.begin(),
+          ranked.begin() +
+              static_cast<std::ptrdiff_t>(plan.reached_cols.size()));
+      std::vector<std::int64_t> perm =
+          PlaceAtPositions(n, plan.reached_cols, victims);
+      if (!IsIdentity(perm)) plan.col_perm = std::move(perm);
+      break;
+    }
+    case MitigationPolicy::kRowRemap: {
+      // The faulty array row holds K-rows {pe.row + rows·t}; fill those
+      // slots with the rows cheapest to corrupt (conflict-free rows mask a
+      // stuck weight bit exactly).
+      if (weights == nullptr) break;
+      SAFFIRE_CHECK_MSG(weights->rank() == 2 && weights->dim(0) == k &&
+                            weights->dim(1) == n,
+                        "weights " << weights->ShapeString() << " vs "
+                                   << k << "x" << n << " layer");
+      std::vector<std::int64_t> slots;
+      for (std::int64_t row = fault.pe.row; row < k;
+           row += accel.array.rows) {
+        slots.push_back(row);
+      }
+      if (slots.empty()) break;
+      const std::vector<double> cost =
+          KRowCost(*weights, fault, accel.array.cols);
+      const std::vector<std::int64_t> ranked = RankAscending(cost);
+      const std::vector<std::int64_t> chosen(
+          ranked.begin(),
+          ranked.begin() + static_cast<std::ptrdiff_t>(slots.size()));
+      std::vector<std::int64_t> perm = PlaceAtPositions(k, slots, chosen);
+      if (!IsIdentity(perm)) plan.k_perm = std::move(perm);
+      break;
+    }
+    case MitigationPolicy::kPruneChannel:
+      plan.pruned = plan.reached_cols;
+      break;
+    default:
+      SAFFIRE_ASSERT_MSG(false, "unhandled mitigation policy");
+  }
+  return plan;
+}
+
+Int8Tensor PermuteInputColumns(const LayerMitigationPlan& plan,
+                               const Int8Tensor& a) {
+  if (plan.k_perm.empty()) return a;
+  SAFFIRE_CHECK_MSG(a.rank() == 2, "input " << a.ShapeString());
+  CheckPerm(plan.k_perm, a.dim(1), "K");
+  Int8Tensor out({a.dim(0), a.dim(1)});
+  for (std::int64_t m = 0; m < a.dim(0); ++m) {
+    for (std::int64_t i = 0; i < a.dim(1); ++i) {
+      out(m, i) = a(m, plan.k_perm[static_cast<std::size_t>(i)]);
+    }
+  }
+  return out;
+}
+
+Int8Tensor TransformWeights(const LayerMitigationPlan& plan,
+                            const Int8Tensor& b) {
+  if (plan.k_perm.empty() && plan.col_perm.empty() && plan.pruned.empty()) {
+    return b;
+  }
+  SAFFIRE_CHECK_MSG(b.rank() == 2, "weights " << b.ShapeString());
+  if (!plan.k_perm.empty()) CheckPerm(plan.k_perm, b.dim(0), "K");
+  if (!plan.col_perm.empty()) CheckPerm(plan.col_perm, b.dim(1), "column");
+  std::vector<bool> prune(static_cast<std::size_t>(b.dim(1)), false);
+  for (const std::int64_t channel : plan.pruned) {
+    SAFFIRE_CHECK_MSG(channel >= 0 && channel < b.dim(1),
+                      "pruned channel " << channel << " of " << b.dim(1));
+    prune[static_cast<std::size_t>(channel)] = true;
+  }
+  Int8Tensor out({b.dim(0), b.dim(1)});
+  for (std::int64_t i = 0; i < b.dim(0); ++i) {
+    const std::int64_t row =
+        plan.k_perm.empty() ? i : plan.k_perm[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < b.dim(1); ++j) {
+      const std::int64_t col =
+          plan.col_perm.empty() ? j
+                                : plan.col_perm[static_cast<std::size_t>(j)];
+      out(i, j) =
+          prune[static_cast<std::size_t>(col)] ? std::int8_t{0}
+                                               : b(row, col);
+    }
+  }
+  return out;
+}
+
+Int32Tensor RestoreOutput(const LayerMitigationPlan& plan,
+                          const Int32Tensor& out_phys) {
+  if (plan.col_perm.empty() && plan.pruned.empty()) return out_phys;
+  SAFFIRE_CHECK_MSG(out_phys.rank() == 2, "output " << out_phys.ShapeString());
+  Int32Tensor out = out_phys;
+  if (!plan.col_perm.empty()) {
+    CheckPerm(plan.col_perm, out_phys.dim(1), "column");
+    for (std::int64_t m = 0; m < out_phys.dim(0); ++m) {
+      for (std::int64_t j = 0; j < out_phys.dim(1); ++j) {
+        out(m, plan.col_perm[static_cast<std::size_t>(j)]) =
+            out_phys(m, j);
+      }
+    }
+  }
+  for (const std::int64_t channel : plan.pruned) {
+    SAFFIRE_CHECK_MSG(channel >= 0 && channel < out.dim(1),
+                      "pruned channel " << channel << " of " << out.dim(1));
+    for (std::int64_t m = 0; m < out.dim(0); ++m) out(m, channel) = 0;
+  }
+  return out;
+}
+
+Int8Tensor EffectiveWeights(const LayerMitigationPlan& plan,
+                            const Int8Tensor& b) {
+  if (plan.pruned.empty()) return b;
+  SAFFIRE_CHECK_MSG(b.rank() == 2, "weights " << b.ShapeString());
+  Int8Tensor out = b;
+  for (const std::int64_t channel : plan.pruned) {
+    SAFFIRE_CHECK_MSG(channel >= 0 && channel < b.dim(1),
+                      "pruned channel " << channel << " of " << b.dim(1));
+    for (std::int64_t i = 0; i < b.dim(0); ++i) out(i, channel) = 0;
+  }
+  return out;
+}
+
+}  // namespace saffire

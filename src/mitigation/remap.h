@@ -1,0 +1,149 @@
+// Fault-aware graceful degradation for permanently degraded arrays — the
+// "sustainable reuse" mitigation family (Algorithmic Strategies for
+// Sustainable Reuse of Neural Network Accelerators with Permanent Faults)
+// built on the paper's central determinism result: because a stuck-at
+// fault's reach is predictable in closed form (patterns/predictor.h), a
+// diagnosed fault site can be routed around in software, with no hardware
+// spares.
+//
+// A LayerMitigationPlan is a per-layer operand/output transform:
+//
+//   kColumnRemap  — permute the weight columns so the faulty PE column
+//                   computes the least-salient output channels. The array
+//                   still corrupts the same *physical* columns; the inverse
+//                   output permutation returns every channel to its logical
+//                   position, so corruption lands where it matters least.
+//                   On a fault-free array the remap is a pure permutation:
+//                   logits are byte-identical.
+//   kRowRemap     — permute the reduction (K) dimension: weight rows and
+//                   input columns move together, so the exact integer sum
+//                   is unchanged on a fault-free array. Under weight-
+//                   stationary dataflow this chooses which weight rows sit
+//                   in the faulty array row — for a stuck weight-operand
+//                   bit, rows whose stored bits already match the stuck
+//                   value mask the fault completely.
+//   kPruneChannel — zero the weight columns mapped to the faulty PE and
+//                   force the corresponding output channels to zero, so the
+//                   known-corrupt channel never propagates (a deterministic
+//                   output-space prune, not a remap — outputs deliberately
+//                   differ from golden in the pruned channels).
+//   kAbftCorrect  — correct-and-continue: run the layer through the
+//                   Huang–Abraham checksums (mitigation/abft.h) and keep
+//                   the corrected tensor.
+//
+// Planning consumes a diagnosed fault site (fi/fault.h FaultSpec), the
+// layer's GEMM-view workload, and a per-channel salience vector; it throws
+// std::invalid_argument for forwarding-signal faults, whose reach the
+// predictor cannot bound (NetworkSweepSpec::Validate gates this upstream).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "accel/controller.h"
+#include "fi/fault.h"
+#include "fi/workload.h"
+#include "tensor/tensor.h"
+
+namespace saffire {
+
+enum class MitigationPolicy : std::uint8_t {
+  kNone = 0,
+  kColumnRemap = 1,
+  kRowRemap = 2,
+  kPruneChannel = 3,
+  kAbftCorrect = 4,
+};
+
+inline constexpr int kNumMitigationPolicies = 5;
+
+std::string ToString(MitigationPolicy policy);
+
+// Parses exactly the ToString names; throws std::invalid_argument naming
+// the accepted values
+// ("none|column_remap|row_remap|prune_channel|abft_correct") otherwise.
+MitigationPolicy ParseMitigationPolicy(const std::string& name);
+
+// True for the policies whose planning needs the analytical predictor to
+// diagnose the fault's reach (everything except kNone and kAbftCorrect,
+// which work blind).
+bool MitigationNeedsPredictor(MitigationPolicy policy);
+
+// One layer's mitigation, fully resolved against a diagnosed fault.
+struct LayerMitigationPlan {
+  MitigationPolicy policy = MitigationPolicy::kNone;
+  // Physical output column j computes logical channel col_perm[j]; empty =
+  // identity. Applied to the weight columns before the GEMM and inverted
+  // on the output after it.
+  std::vector<std::int64_t> col_perm;
+  // Physical reduction row i holds logical K-row k_perm[i]; empty =
+  // identity. Applied to the weight rows and the input columns together,
+  // so the product is exactly unchanged.
+  std::vector<std::int64_t> k_perm;
+  // Logical output channels forced to zero after the GEMM (and whose
+  // weight columns are zeroed before it). Sorted ascending.
+  std::vector<std::int64_t> pruned;
+  // Run the layer through ABFT verify-and-correct (kAbftCorrect).
+  bool abft = false;
+  // Diagnosed physical output columns the fault can reach (sorted; empty =
+  // structurally masked site, nothing to mitigate).
+  std::vector<std::int64_t> reached_cols;
+
+  bool identity() const {
+    return col_perm.empty() && k_perm.empty() && pruned.empty() && !abft;
+  }
+};
+
+// Plans one layer's mitigation for a diagnosed fault.
+//   channel_salience — per-logical-channel importance, size GemmN(); empty
+//                      means uniform (the remap then keeps the lowest
+//                      channel indices as victims, deterministically).
+//   weights          — the layer's GEMM-view weight operand ([K × N]), used
+//                      by kRowRemap to pick K-rows whose stored bits agree
+//                      with a stuck weight-operand bit (nullptr = identity
+//                      K-permutation: no information to act on).
+// Throws std::invalid_argument when the fault's reach is not predictable
+// (forwarding signals) for the predictor-backed policies.
+LayerMitigationPlan PlanLayerMitigation(MitigationPolicy policy,
+                                        const WorkloadSpec& workload,
+                                        const AccelConfig& accel,
+                                        Dataflow dataflow,
+                                        const FaultSpec& fault,
+                                        std::span<const double> channel_salience,
+                                        const Int8Tensor* weights = nullptr);
+
+// --- Per-layer transforms ---------------------------------------------------
+// The network executor applies these around the physical GEMM:
+//
+//   a' = PermuteInputColumns(plan, a)
+//   b' = TransformWeights(plan, b)
+//   out = RestoreOutput(plan, physical_gemm(a', b'))
+//
+// All three validate the plan's permutation sizes against the tensor and
+// throw std::invalid_argument on mismatch. Identity plans return their
+// argument unchanged (by value).
+
+// Input columns reordered by k_perm: a'[m][i] = a[m][k_perm[i]].
+Int8Tensor PermuteInputColumns(const LayerMitigationPlan& plan,
+                               const Int8Tensor& a);
+
+// Weight rows reordered by k_perm, columns by col_perm, pruned logical
+// columns zeroed: b'[i][j] = b[k_perm[i]][col_perm[j]] (or 0 when the
+// logical column is pruned).
+Int8Tensor TransformWeights(const LayerMitigationPlan& plan,
+                            const Int8Tensor& b);
+
+// Physical output returned to logical channel order, pruned channels
+// forced to zero: out[m][col_perm[j]] = out_phys[m][j].
+Int32Tensor RestoreOutput(const LayerMitigationPlan& plan,
+                          const Int32Tensor& out_phys);
+
+// The logical-space weights the restored output actually corresponds to:
+// `b` with pruned columns zeroed (the permutations cancel). ABFT
+// verification of a mitigated layer must check against these.
+Int8Tensor EffectiveWeights(const LayerMitigationPlan& plan,
+                            const Int8Tensor& b);
+
+}  // namespace saffire

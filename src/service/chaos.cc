@@ -174,5 +174,43 @@ void FlakySink::OnCampaignEnd(const CampaignBeginInfo& info) {
 
 void FlakySink::OnSweepEnd() { inner_->OnSweepEnd(); }
 
+NetworkFlakySink::NetworkFlakySink(NetworkRecordSink* inner, int throw_every)
+    : inner_(inner), throw_every_(throw_every) {
+  SAFFIRE_CHECK(inner != nullptr);
+  SAFFIRE_CHECK_MSG(throw_every > 0, "throw_every=" << throw_every);
+}
+
+void NetworkFlakySink::OnSweepBegin(const NetworkSweepSpec& spec,
+                                    const NetworkCampaignPlan& plan) {
+  inner_->OnSweepBegin(spec, plan);
+}
+
+void NetworkFlakySink::OnCampaignBegin(const NetworkCampaignInfo& info) {
+  inner_->OnCampaignBegin(info);
+}
+
+void NetworkFlakySink::OnRecord(const NetworkRecord& record) {
+  ++seen_;
+  if (seen_ % throw_every_ == 0) {
+    std::ostringstream os;
+    os << "chaos: injected network sink failure (record " << seen_ << ")";
+    throw ChaosError(os.str());
+  }
+  inner_->OnRecord(record);
+  ++forwarded_;
+}
+
+void NetworkFlakySink::OnExperimentFailed(const NetworkFailedRecord& failed) {
+  inner_->OnExperimentFailed(failed);
+}
+
+void NetworkFlakySink::OnCampaignEnd(std::size_t campaign_index) {
+  inner_->OnCampaignEnd(campaign_index);
+}
+
+void NetworkFlakySink::OnSweepEnd(const SweepOutcome& outcome) {
+  inner_->OnSweepEnd(outcome);
+}
+
 }  // namespace chaos
 }  // namespace saffire

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "service/network_sweep.h"
 #include "service/sink.h"
 
 namespace saffire {
@@ -100,6 +101,31 @@ class FlakySink : public RecordSink {
 
  private:
   RecordSink* inner_;
+  int throw_every_;
+  std::int64_t seen_ = 0;
+  std::int64_t forwarded_ = 0;
+};
+
+// FlakySink's network-sweep sibling: forwards to `inner` but throws
+// ChaosError from every Nth OnRecord (1-based count). Failure/begin/end
+// callbacks always forward — only record delivery is flaky, matching the
+// operator-level decorator.
+class NetworkFlakySink : public NetworkRecordSink {
+ public:
+  NetworkFlakySink(NetworkRecordSink* inner, int throw_every);
+
+  void OnSweepBegin(const NetworkSweepSpec& spec,
+                    const NetworkCampaignPlan& plan) override;
+  void OnCampaignBegin(const NetworkCampaignInfo& info) override;
+  void OnRecord(const NetworkRecord& record) override;
+  void OnExperimentFailed(const NetworkFailedRecord& failed) override;
+  void OnCampaignEnd(std::size_t campaign_index) override;
+  void OnSweepEnd(const SweepOutcome& outcome) override;
+
+  std::int64_t records_forwarded() const { return forwarded_; }
+
+ private:
+  NetworkRecordSink* inner_;
   int throw_every_;
   std::int64_t seen_ = 0;
   std::int64_t forwarded_ = 0;

@@ -2,14 +2,20 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
+#include <exception>
+#include <sstream>
+#include <thread>
 
 #include "accel/controller.h"
 #include "accel/driver.h"
+#include "common/log.h"
 #include "fi/injector.h"
 #include "mitigation/abft.h"
 #include "obs/metrics.h"
 #include "patterns/corruption.h"
 #include "patterns/predictor.h"
+#include "service/chaos.h"
 #include "tensor/gemm.h"
 
 namespace saffire {
@@ -105,6 +111,65 @@ obs::Counter& PatternCounter(PatternClass pattern) {
   return *counters[static_cast<std::size_t>(pattern)];
 }
 
+// The executor registers the saffire.resilience.* family with pool labels;
+// the network runner contributes its own series under layer="network" so
+// both layers surface through one metric name without colliding.
+obs::Counter& NetRetriesCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.resilience.retries",
+      "failed experiment/batch attempts retried", "layer=\"network\"");
+  return counter;
+}
+
+obs::Counter& NetTimeoutsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.resilience.timeouts",
+      "experiment attempts that exceeded the deadline", "layer=\"network\"");
+  return counter;
+}
+
+obs::Counter& NetQuarantinedCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.resilience.quarantined",
+      "experiments quarantined after exhausting every retry",
+      "layer=\"network\"");
+  return counter;
+}
+
+obs::Counter& MitigatedCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.dnn.mitigation.experiments",
+      "network experiments that also ran a mitigated inference");
+  return counter;
+}
+
+obs::Counter& MitRecoveredCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.dnn.mitigation.recovered_samples",
+      "evaluation samples classified correctly under mitigation but not "
+      "under the unmitigated fault");
+  return counter;
+}
+
+obs::Counter& MitResidualSdcCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Default().GetCounter(
+      "saffire.dnn.mitigation.residual_sdc",
+      "mitigated inferences whose final logits still deviated from golden");
+  return counter;
+}
+
+// Sleeps the deterministic backoff delay before retry `attempt` (no-op
+// when the policy disables backoff).
+void SleepBackoff(const ResilienceOptions& res, std::uint64_t seed,
+                  std::size_t campaign_index, std::int64_t experiment_index,
+                  int attempt) {
+  const std::int64_t delay_ms =
+      BackoffDelayMs(res, seed, campaign_index, experiment_index, attempt);
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+}
+
 // --- Experiment execution ---------------------------------------------------
 
 // Per-experiment observations collected by the layer executor as inference
@@ -128,6 +193,9 @@ struct ExperimentContext {
   std::int64_t golden_correct;
   const ClassifyContext& first_context;
   const NetworkFi& injector;
+  // Fault-free per-layer weight operands, captured from the golden run —
+  // the row-remap planner's cost input.
+  const std::vector<Int8Tensor>& golden_b;
   // The first layer the fault applies to — where corruption enters from
   // clean inputs and the reach contract holds on both rungs.
   int first_scope;
@@ -141,6 +209,26 @@ struct ExperimentResult {
 
 bool InScope(const NetworkCampaign& campaign, int layer) {
   return campaign.layer == -1 || campaign.layer == layer;
+}
+
+// Mitigation plans for one experiment: the campaign's policy planned
+// against this fault site at every in-scope layer, identity elsewhere.
+// Empty when the campaign runs unmitigated.
+std::vector<LayerMitigationPlan> BuildMitigationPlans(
+    const ExperimentContext& context, const FaultSpec& fault) {
+  if (context.campaign.mitigation == MitigationPolicy::kNone) return {};
+  std::vector<LayerMitigationPlan> plans(
+      static_cast<std::size_t>(context.network.layer_count()));
+  for (std::int64_t layer = 0; layer < context.network.layer_count();
+       ++layer) {
+    if (!InScope(context.campaign, static_cast<int>(layer))) continue;
+    plans[static_cast<std::size_t>(layer)] = PlanLayerMitigation(
+        context.campaign.mitigation, context.network.layer_workload(layer),
+        context.spec.accel, context.campaign.dataflow, fault,
+        context.network.channel_salience(layer),
+        &context.golden_b[static_cast<std::size_t>(layer)]);
+  }
+  return plans;
 }
 
 // Shared per-layer bookkeeping: capture the raw first-scope output, then
@@ -161,6 +249,53 @@ void ObserveLayer(const ExperimentContext& context, LayerProbe& probe,
       probe.any_detected = true;
       if (!report.verified_after_correction) probe.all_verified = false;
     }
+  }
+}
+
+// Second inference of the experiment, with the campaign's plans applied
+// around the same physical executor, filling the record's mit_* fields.
+// The observer corrects first (sweep-wide ABFT, or the plan's own
+// abft_correct) and captures after, so mit_corrupted is the residual
+// first-layer damage the mitigation failed to absorb.
+void RunMitigatedInference(const ExperimentContext& context,
+                           const std::vector<LayerMitigationPlan>& plans,
+                           const LayerGemm& physical,
+                           NetworkRecord& record) {
+  if (plans.empty()) return;
+  Int32Tensor mit_first{{1, 1}};
+  bool captured = false;
+  const PreparedNetwork::LayerObserver observe =
+      [&context, &plans, &mit_first, &captured](
+          int layer, const Int8Tensor& a, const Int8Tensor& b,
+          Int32Tensor& out) {
+        if (context.spec.abft ||
+            plans[static_cast<std::size_t>(layer)].abft) {
+          (void)VerifyAndCorrect(a, b, out);
+        }
+        if (layer == context.first_scope && !captured) {
+          mit_first = out;
+          captured = true;
+        }
+      };
+  const PreparedNetwork::Inference mitigated =
+      context.network.Run(physical, plans, observe);
+  SAFFIRE_CHECK_MSG(captured, "first in-scope layer never executed");
+
+  record.mit_corrupted =
+      ExtractCorruption(
+          context.golden
+              .layer_outputs[static_cast<std::size_t>(context.first_scope)],
+          mit_first)
+          .count();
+  record.mit_sdc = !(mitigated.logits == context.golden.logits);
+  record.mit_top1_flips = Top1Flips(context.golden.top1, mitigated.top1);
+  const std::vector<int>& labels = context.network.labels();
+  if (!labels.empty()) {
+    std::int64_t correct = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (mitigated.top1[i] == labels[i]) ++correct;
+    }
+    record.mit_correct_faulty = correct;
   }
 }
 
@@ -200,12 +335,15 @@ ExperimentResult FinishExperiment(const ExperimentContext& context,
 }
 
 // The fast rung: clean host GEMMs with the predicted reach perturbed in.
-ExperimentResult RunAppFiExperiment(const ExperimentContext& context,
-                                    const FaultSpec& fault) {
-  LayerProbe probe;
-  const LayerGemm gemm = [&context, &fault, &probe](
-                             int layer, const Int8Tensor& a,
-                             const Int8Tensor& b) {
+// The same physical executor serves the baseline and the mitigated
+// inference — under mitigation the injector perturbs the remapped
+// (physical) coordinates, and RestoreOutput permutes them back.
+ExperimentResult RunAppFiExperiment(
+    const ExperimentContext& context, const FaultSpec& fault,
+    const std::vector<LayerMitigationPlan>& plans) {
+  const LayerGemm physical = [&context, &fault](int layer,
+                                                const Int8Tensor& a,
+                                                const Int8Tensor& b) {
     Int32Tensor out = GemmRef(a, b);
     if (InScope(context.campaign, layer)) {
       const WorkloadSpec& workload = context.network.layer_workload(layer);
@@ -213,45 +351,172 @@ ExperimentResult RunAppFiExperiment(const ExperimentContext& context,
                 ? context.injector.InjectForFault(out, workload, fault)
                 : context.injector.Inject(out, workload, fault);
     }
+    return out;
+  };
+  LayerProbe probe;
+  const LayerGemm gemm = [&context, &physical, &probe](
+                             int layer, const Int8Tensor& a,
+                             const Int8Tensor& b) {
+    Int32Tensor out = physical(layer, a, b);
     ObserveLayer(context, probe, layer, a, b, out);
     return out;
   };
   const PreparedNetwork::Inference faulty = context.network.Run(gemm);
-  return FinishExperiment(context, fault, NetworkRung::kAppFi, faulty, probe);
+  ExperimentResult result =
+      FinishExperiment(context, fault, NetworkRung::kAppFi, faulty, probe);
+  RunMitigatedInference(context, plans, physical, result.record);
+  return result;
 }
 
 // Ground truth: the simulated accelerator runs every layer, with the fault
-// hook installed only while in-scope layers stream through the array.
-ExperimentResult RunCycleExperiment(const ExperimentContext& context,
-                                    const FaultSpec& fault) {
+// hook installed only while in-scope layers stream through the array. The
+// mitigated inference drives the same faulty array with the remapped
+// workload, so rung cross-validation gates the remap math end to end.
+ExperimentResult RunCycleExperiment(
+    const ExperimentContext& context, const FaultSpec& fault,
+    const std::vector<LayerMitigationPlan>& plans) {
   Accelerator accelerator(context.spec.accel);
   Driver driver(accelerator);
   FaultInjector hook({fault}, context.spec.accel.array);
   ExecOptions exec;
   exec.dataflow = context.campaign.dataflow;
 
-  LayerProbe probe;
-  const LayerGemm gemm = [&context, &probe, &accelerator, &driver, &hook,
-                          &exec](int layer, const Int8Tensor& a,
+  const LayerGemm physical = [&context, &accelerator, &driver, &hook, &exec](
+                                 int layer, const Int8Tensor& a,
                                  const Int8Tensor& b) {
     if (InScope(context.campaign, layer)) {
       accelerator.array().InstallFaultHook(&hook);
     }
     Int32Tensor out = driver.Gemm(a, b, exec);
     accelerator.array().ClearFaultHook();
+    return out;
+  };
+  LayerProbe probe;
+  const LayerGemm gemm = [&context, &physical, &probe](
+                             int layer, const Int8Tensor& a,
+                             const Int8Tensor& b) {
+    Int32Tensor out = physical(layer, a, b);
     ObserveLayer(context, probe, layer, a, b, out);
     return out;
   };
   const PreparedNetwork::Inference faulty = context.network.Run(gemm);
-  return FinishExperiment(context, fault, NetworkRung::kCycleAccurate, faulty,
-                          probe);
+  ExperimentResult result = FinishExperiment(
+      context, fault, NetworkRung::kCycleAccurate, faulty, probe);
+  RunMitigatedInference(context, plans, physical, result.record);
+  return result;
 }
 
-ExperimentResult RunExperimentOnRung(const ExperimentContext& context,
-                                     const FaultSpec& fault,
-                                     NetworkRung rung) {
-  return rung == NetworkRung::kAppFi ? RunAppFiExperiment(context, fault)
-                                     : RunCycleExperiment(context, fault);
+ExperimentResult RunExperimentOnRung(
+    const ExperimentContext& context, const FaultSpec& fault,
+    const std::vector<LayerMitigationPlan>& plans, NetworkRung rung) {
+  return rung == NetworkRung::kAppFi
+             ? RunAppFiExperiment(context, fault, plans)
+             : RunCycleExperiment(context, fault, plans);
+}
+
+// The network resilience ladder, mirroring the operator executor's
+// RunExperimentResilient: max_retries attempts per rung with deterministic
+// backoff, cooperative deadline classification, then demotion appfi →
+// cycle-accurate (the network's only fallback rung) and one more attempt
+// cycle. std::invalid_argument is permanent — the same spec fails
+// identically everywhere — and skips straight to the failure policy.
+// Returns true with *result filled, or false with *failure filled
+// (quarantine); under OnFailure::kAbort the final error is rethrown.
+bool RunExperimentResilient(const ExperimentContext& context,
+                            const FaultSpec& fault,
+                            const std::vector<LayerMitigationPlan>& plans,
+                            const ResilienceOptions& res, std::size_t ci,
+                            std::int64_t ei, NetworkRung rung, bool& demoted,
+                            SweepOutcome& outcome, ExperimentResult* result,
+                            NetworkFailedRecord* failure) {
+  int total_attempts = 0;
+  bool timed_out = false;
+  bool permanent = false;
+  std::exception_ptr last_error;
+  std::string last_what;
+  while (true) {
+    for (int attempt = 0; attempt <= res.max_retries; ++attempt) {
+      if (total_attempts > 0) {
+        ++outcome.retries;
+        NetRetriesCounter().Increment();
+        SleepBackoff(res, context.spec.seed, ci, ei, total_attempts - 1);
+      }
+      ++total_attempts;
+      try {
+        // Clock before the chaos hook so an injected stall lands inside the
+        // measured window, exactly like a real wedged attempt.
+        std::chrono::steady_clock::time_point start;
+        if (res.experiment_timeout_ms > 0) {
+          start = std::chrono::steady_clock::now();
+        }
+        chaos::OnExperimentAttempt(ci, ei, attempt);
+        ExperimentResult attempt_result =
+            RunExperimentOnRung(context, fault, plans, rung);
+        if (res.experiment_timeout_ms > 0) {
+          const std::int64_t elapsed_ms =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+          if (elapsed_ms > res.experiment_timeout_ms) {
+            // Cooperative deadline: the attempt already returned, but
+            // trusting one that stalled past its budget would let a single
+            // wedged site consume the sweep — classify it failed and retry.
+            ++outcome.timeouts;
+            NetTimeoutsCounter().Increment();
+            timed_out = true;
+            last_error = nullptr;
+            std::ostringstream os;
+            os << "experiment " << ei << " exceeded the "
+               << res.experiment_timeout_ms << " ms deadline (took "
+               << elapsed_ms << " ms)";
+            last_what = os.str();
+            continue;
+          }
+        }
+        *result = std::move(attempt_result);
+        return true;
+      } catch (const std::invalid_argument& error) {
+        last_error = std::current_exception();
+        last_what = error.what();
+        timed_out = false;
+        permanent = true;  // the same spec fails identically on any rung
+        break;
+      } catch (const std::exception& error) {
+        last_error = std::current_exception();
+        last_what = error.what();
+        timed_out = false;
+      }
+    }
+    if (permanent) break;
+    if (rung == NetworkRung::kCycleAccurate) break;  // bottom of the ladder
+    rung = NetworkRung::kCycleAccurate;
+    if (!demoted) {
+      // Failure-driven demotion sticks for the campaign's remainder, like a
+      // selfcheck mismatch.
+      demoted = true;
+      ++outcome.fallbacks;
+      DemotionsCounter().Increment();
+      SAFFIRE_LOG_WARN << "network campaign " << ci
+                       << ": demoting to the cycle-accurate rung after "
+                       << total_attempts << " failed appfi attempts";
+    }
+  }
+  if (res.on_failure == OnFailure::kAbort) {
+    if (last_error != nullptr) std::rethrow_exception(last_error);
+    throw std::runtime_error(last_what);
+  }
+  failure->campaign_index = ci;
+  failure->experiment_index = ei;
+  failure->rung = rung;
+  failure->attempts = total_attempts;
+  failure->timed_out = timed_out;
+  failure->error = last_what;
+  ++outcome.quarantined;
+  NetQuarantinedCounter().Increment();
+  SAFFIRE_LOG_WARN << "network campaign " << ci << " experiment " << ei
+                   << ": quarantined after " << total_attempts
+                   << " attempts: " << last_what;
+  return false;
 }
 
 // Soundness check of the fast rung against ground truth: every corrupted
@@ -268,7 +533,8 @@ bool ObservedWithinReach(const CorruptionMap& observed,
   return true;
 }
 
-void CountRecordMetrics(const NetworkRecord& record) {
+void CountRecordMetrics(const NetworkCampaign& campaign,
+                        const NetworkRecord& record) {
   ExperimentsCounter().Increment();
   PatternCounter(record.pattern).Increment();
   (record.sdc ? SdcCounter() : MaskedCounter()).Increment();
@@ -278,6 +544,15 @@ void CountRecordMetrics(const NetworkRecord& record) {
     (record.abft_corrected ? AbftCorrectedCounter()
                            : AbftUncorrectedCounter())
         .Increment();
+  }
+  if (campaign.mitigation != MitigationPolicy::kNone) {
+    MitigatedCounter().Increment();
+    if (record.mit_sdc) MitResidualSdcCounter().Increment();
+    if (record.correct_faulty >= 0 &&
+        record.mit_correct_faulty > record.correct_faulty) {
+      MitRecoveredCounter().Increment(record.mit_correct_faulty -
+                                      record.correct_faulty);
+    }
   }
 }
 
@@ -295,11 +570,14 @@ SweepOutcome RunNetworkSweep(const NetworkSweepSpec& spec,
   // Prepared once: training/quantization dominate setup, and both rungs
   // share the model. The golden inference runs on the host reference GEMM,
   // which the fault-free accelerator matches bit-for-bit (the driver
-  // equivalence invariant), so one golden serves every campaign.
+  // equivalence invariant), so one golden serves every campaign. The
+  // per-layer weight operands are kept for the row-remap cost model.
   const PreparedNetwork network(spec.network);
-  const PreparedNetwork::Inference golden =
-      network.Run([](int layer, const Int8Tensor& a, const Int8Tensor& b) {
-        (void)layer;
+  std::vector<Int8Tensor> golden_b(
+      static_cast<std::size_t>(network.layer_count()), Int8Tensor{{1, 1}});
+  const PreparedNetwork::Inference golden = network.Run(
+      [&golden_b](int layer, const Int8Tensor& a, const Int8Tensor& b) {
+        golden_b[static_cast<std::size_t>(layer)] = b;
         return GemmRef(a, b);
       });
   std::int64_t golden_correct = -1;
@@ -337,12 +615,13 @@ SweepOutcome RunNetworkSweep(const NetworkSweepSpec& spec,
     fi_spec.perturb = spec.perturb;
     const NetworkFi injector(fi_spec);
 
-    ExperimentContext context{spec,           campaign, network,
-                              golden,         golden_correct,
-                              first_context,  injector, first_scope};
+    ExperimentContext context{spec,          campaign,       network,
+                              golden,        golden_correct, first_context,
+                              injector,      golden_b,       first_scope};
 
-    // A selfcheck mismatch demotes the campaign's remainder to ground
-    // truth, mirroring the operator-level engine ladder.
+    // A selfcheck mismatch or an exhausted appfi retry ladder demotes the
+    // campaign's remainder to ground truth, mirroring the operator-level
+    // engine ladder.
     bool demoted = false;
 
     for (std::int64_t ei = 0; ei < plan.experiments_per_campaign(); ++ei) {
@@ -358,6 +637,8 @@ SweepOutcome RunNetworkSweep(const NetworkSweepSpec& spec,
           ++outcome.records;
           continue;
         }
+        // Quarantined lines carry no result, so a missing record — failed
+        // or never reached — re-simulates here.
       }
 
       FaultSpec fault;
@@ -367,17 +648,27 @@ SweepOutcome RunNetworkSweep(const NetworkSweepSpec& spec,
       fault.bit = campaign.bit;
       fault.polarity = campaign.polarity;
       fault.Validate(spec.accel.array);
+      const std::vector<LayerMitigationPlan> mit_plans =
+          BuildMitigationPlans(context, fault);
 
       const NetworkRung rung =
           demoted ? NetworkRung::kCycleAccurate : spec.rung;
-      ExperimentResult result = RunExperimentOnRung(context, fault, rung);
+      ExperimentResult result;
+      NetworkFailedRecord failure;
+      if (!RunExperimentResilient(context, fault, mit_plans,
+                                  options.resilience, ci, ei, rung, demoted,
+                                  outcome, &result, &failure)) {
+        sink.OnExperimentFailed(failure);
+        continue;
+      }
 
-      if (rung == NetworkRung::kAppFi &&
+      if (result.record.rung == NetworkRung::kAppFi &&
           SelfCheckSampled(options.resilience.selfcheck_rate, spec.seed, ci,
                            ei)) {
         ++outcome.selfchecks;
         SelfchecksCounter().Increment();
-        const ExperimentResult truth = RunCycleExperiment(context, fault);
+        const ExperimentResult truth =
+            RunCycleExperiment(context, fault, mit_plans);
         const PredictedPattern& predicted = PredictPattern(
             network.layer_workload(first_scope), spec.accel,
             campaign.dataflow, fault);
@@ -392,6 +683,7 @@ SweepOutcome RunNetworkSweep(const NetworkSweepSpec& spec,
                                      fault)) {
           mismatch = !RungEquivalent(result.record, truth.record);
         }
+        if (chaos::ForceSelfCheckMismatch(ci)) mismatch = true;
         if (mismatch) {
           ++outcome.selfcheck_mismatches;
           SelfcheckMismatchesCounter().Increment();
@@ -408,7 +700,7 @@ SweepOutcome RunNetworkSweep(const NetworkSweepSpec& spec,
       result.record.experiment_index = ei;
       sink.OnRecord(result.record);
       ++outcome.records;
-      CountRecordMetrics(result.record);
+      CountRecordMetrics(campaign, result.record);
     }
     sink.OnCampaignEnd(ci);
   }

@@ -31,9 +31,12 @@
 namespace saffire {
 
 struct NetworkRunOptions {
-  // Only selfcheck_rate participates today (the network runner has no
-  // retry ladder yet); the full struct rides along so CLI plumbing matches
-  // RunOptions.
+  // Full resilience ladder, matching the operator executor: max_retries
+  // capped-backoff attempts per rung, cooperative experiment_timeout_ms
+  // deadlines, demotion appfi → cycle-accurate on an exhausted ladder, and
+  // on_failure routing exhausted experiments to quarantine
+  // (OnExperimentFailed + a re-simulatable "network-failed" checkpoint
+  // line) or abort.
   ResilienceOptions resilience;
   // Completed records replayed to the sink instead of re-executed. Must
   // have passed ValidateNetworkCheckpoint for this spec (RunNetworkSweep

@@ -79,7 +79,7 @@ NetworkRung ParseNetworkRung(const std::string& name) {
 
 std::size_t NetworkSweepSpec::CampaignCount() const {
   return dataflows.size() * signals.size() * polarities.size() *
-         bits.size() * layers.size();
+         bits.size() * layers.size() * mitigations.size();
 }
 
 void NetworkSweepSpec::Validate() const {
@@ -97,9 +97,25 @@ void NetworkSweepSpec::Validate() const {
                                      << ToString(network.kind) << " network ("
                                      << layer_count << " layers; -1 = all)");
   }
+  SAFFIRE_CHECK_MSG(!mitigations.empty(), "network sweep has no mitigations");
   SAFFIRE_CHECK_MSG(max_sites >= 0, "max_sites=" << max_sites);
   SAFFIRE_CHECK_MSG(perturb.bit >= 0 && perturb.bit < 32,
                     "perturb bit=" << perturb.bit);
+  for (const MitigationPolicy mitigation : mitigations) {
+    if (!MitigationNeedsPredictor(mitigation)) continue;
+    // Remap/prune plans are derived from the analytical predictor
+    // (PredictPattern), regardless of the execution rung — so every swept
+    // signal must be predictor-covered when such a policy is on the axis.
+    for (const MacSignal signal : signals) {
+      SAFFIRE_CHECK_MSG(signal == MacSignal::kMulOut ||
+                            signal == MacSignal::kAdderOut ||
+                            signal == MacSignal::kWeightOperand,
+                        "mitigation " << ToString(mitigation)
+                                      << " plans from the predictor, which "
+                                         "does not cover signal "
+                                      << ToString(signal));
+    }
+  }
   if (rung == NetworkRung::kAppFi) {
     // The appfi rung derives corruption from the analytical predictor,
     // which only covers the PE-local signals; forwarding-signal sweeps must
@@ -142,6 +158,11 @@ std::string NetworkSweepSpec::ToJson() const {
   w.Key("layers").BeginArray();
   for (const int layer : layers) w.Int(layer);
   w.EndArray();
+  w.Key("mitigations").BeginArray();
+  for (const MitigationPolicy mitigation : mitigations) {
+    w.String(ToString(mitigation));
+  }
+  w.EndArray();
   w.Key("max_sites").Int(max_sites)
       .Key("seed").Uint(seed)
       .Key("rung").String(ToString(rung))
@@ -160,9 +181,9 @@ NetworkSweepSpec ParseNetworkSweepSpec(const std::string& json) {
   // silently sweeping a default axis.
   static const std::set<std::string> kKnown = {
       "accel",     "network", "dataflows",    "signals",
-      "polarities", "bits",   "layers",       "max_sites",
-      "seed",      "rung",    "abft",         "perturb_mode",
-      "perturb_bit", "perturb_delta"};
+      "polarities", "bits",   "layers",       "mitigations",
+      "max_sites", "seed",    "rung",         "abft",
+      "perturb_mode", "perturb_bit", "perturb_delta"};
   for (const auto& [key, value] : root.AsObject()) {
     (void)value;
     SAFFIRE_CHECK_MSG(kKnown.count(key) != 0,
@@ -192,6 +213,10 @@ NetworkSweepSpec ParseNetworkSweepSpec(const std::string& json) {
   for (const JsonValue& layer : root.At("layers").AsArray()) {
     spec.layers.push_back(static_cast<int>(layer.AsInt()));
   }
+  spec.mitigations.clear();
+  for (const JsonValue& mitigation : root.At("mitigations").AsArray()) {
+    spec.mitigations.push_back(ParseMitigationPolicy(mitigation.AsString()));
+  }
   spec.max_sites = root.At("max_sites").AsInt();
   spec.seed = root.At("seed").AsUint();
   spec.rung = ParseNetworkRung(root.At("rung").AsString());
@@ -214,13 +239,16 @@ NetworkCampaignPlan BuildNetworkCampaignPlan(const NetworkSweepSpec& spec) {
       for (const StuckPolarity polarity : spec.polarities) {
         for (const int bit : spec.bits) {
           for (const int layer : spec.layers) {
-            NetworkCampaign campaign;
-            campaign.dataflow = dataflow;
-            campaign.signal = signal;
-            campaign.polarity = polarity;
-            campaign.bit = bit;
-            campaign.layer = layer;
-            plan.campaigns.push_back(campaign);
+            for (const MitigationPolicy mitigation : spec.mitigations) {
+              NetworkCampaign campaign;
+              campaign.dataflow = dataflow;
+              campaign.signal = signal;
+              campaign.polarity = polarity;
+              campaign.bit = bit;
+              campaign.layer = layer;
+              campaign.mitigation = mitigation;
+              plan.campaigns.push_back(campaign);
+            }
           }
         }
       }
@@ -264,7 +292,9 @@ std::string NetworkCampaignKey(const NetworkSweepSpec& spec,
       << static_cast<int>(campaign.dataflow) << ','
       << static_cast<int>(campaign.signal) << ','
       << static_cast<int>(campaign.polarity) << ',' << campaign.bit << ','
-      << campaign.layer << ';' << spec.max_sites << ',' << spec.seed << ';'
+      << campaign.layer << ','
+      << static_cast<int>(campaign.mitigation) << ';'
+      << spec.max_sites << ',' << spec.seed << ';'
       << spec.abft << ';'
       << (spec.perturb_auto
               ? std::string("auto")
@@ -306,9 +336,10 @@ void NetworkCsvSink::OnSweepBegin(const NetworkSweepSpec& spec,
                                   const NetworkCampaignPlan& plan) {
   (void)spec;
   campaigns_ = plan.campaigns;
-  out_ << "campaign,experiment,dataflow,signal,polarity,bit,layer,pe_row,"
-          "pe_col,pattern,corrupted,sdc,top1_flips,correct_golden,"
-          "correct_faulty,abft_diagnosis,abft_corrections,abft_corrected\n";
+  out_ << "campaign,experiment,dataflow,signal,polarity,bit,layer,mitigation,"
+          "pe_row,pe_col,pattern,corrupted,sdc,top1_flips,correct_golden,"
+          "correct_faulty,abft_diagnosis,abft_corrections,abft_corrected,"
+          "mit_corrupted,mit_sdc,mit_top1_flips,mit_correct_faulty\n";
 }
 
 void NetworkCsvSink::OnRecord(const NetworkRecord& record) {
@@ -319,13 +350,16 @@ void NetworkCsvSink::OnRecord(const NetworkRecord& record) {
   out_ << record.campaign_index << ',' << record.experiment_index << ','
        << ToString(campaign.dataflow) << ',' << ToString(campaign.signal)
        << ',' << ToString(campaign.polarity) << ',' << campaign.bit << ','
-       << campaign.layer << ',' << record.fault.pe.row << ','
+       << campaign.layer << ',' << ToString(campaign.mitigation) << ','
+       << record.fault.pe.row << ','
        << record.fault.pe.col << ',' << ToString(record.pattern) << ','
        << record.corrupted_elements << ',' << (record.sdc ? 1 : 0) << ','
        << record.top1_flips << ',' << record.correct_golden << ','
        << record.correct_faulty << ',' << ToString(record.abft_diagnosis)
        << ',' << record.abft_corrections << ','
-       << (record.abft_corrected ? 1 : 0) << '\n';
+       << (record.abft_corrected ? 1 : 0) << ','
+       << record.mit_corrupted << ',' << (record.mit_sdc ? 1 : 0) << ','
+       << record.mit_top1_flips << ',' << record.mit_correct_faulty << '\n';
 }
 
 void NetworkJsonlSink::WriteSealedLine(const std::string& body) {
@@ -391,6 +425,28 @@ void NetworkJsonlSink::OnRecord(const NetworkRecord& record) {
       .Key("abft_diagnosis").Int(static_cast<int>(record.abft_diagnosis))
       .Key("abft_corrections").Int(record.abft_corrections)
       .Key("abft_corrected").Bool(record.abft_corrected)
+      .Key("mit_sdc").Bool(record.mit_sdc)
+      .Key("mit_corrupted").Int(record.mit_corrupted)
+      .Key("mit_top1_flips").Int(record.mit_top1_flips)
+      .Key("mit_correct_faulty").Int(record.mit_correct_faulty)
+      .EndObject();
+  WriteSealedLine(line.str());
+}
+
+void NetworkJsonlSink::OnExperimentFailed(const NetworkFailedRecord& failed) {
+  // Sealed like every checkpoint line, but deliberately an unknown type to
+  // LoadNetworkCheckpoint: a quarantined experiment carries no result, so a
+  // resume naturally re-simulates it.
+  std::ostringstream line;
+  JsonWriter w(line);
+  w.BeginObject()
+      .Key("type").String("network-failed")
+      .Key("campaign").Uint(failed.campaign_index)
+      .Key("experiment").Int(failed.experiment_index)
+      .Key("rung").String(ToString(failed.rung))
+      .Key("attempts").Int(failed.attempts)
+      .Key("timed_out").Bool(failed.timed_out)
+      .Key("error").String(failed.error)
       .EndObject();
   WriteSealedLine(line.str());
 }
@@ -401,6 +457,9 @@ void NetworkJsonlSink::OnSweepEnd(const SweepOutcome& outcome) {
   w.BeginObject()
       .Key("type").String("network-sweep-end")
       .Key("records").Int(outcome.records)
+      .Key("quarantined").Int(outcome.quarantined)
+      .Key("retries").Int(outcome.retries)
+      .Key("timeouts").Int(outcome.timeouts)
       .Key("fallbacks").Int(outcome.fallbacks)
       .Key("selfchecks").Int(outcome.selfchecks)
       .Key("selfcheck_mismatches").Int(outcome.selfcheck_mismatches)
@@ -450,6 +509,10 @@ NetworkRecord ParseNetworkRecordLine(const JsonValue& json) {
   record.abft_diagnosis = static_cast<AbftDiagnosis>(diagnosis);
   record.abft_corrections = json.At("abft_corrections").AsInt();
   record.abft_corrected = json.At("abft_corrected").AsBool();
+  record.mit_sdc = json.At("mit_sdc").AsBool();
+  record.mit_corrupted = json.At("mit_corrupted").AsInt();
+  record.mit_top1_flips = json.At("mit_top1_flips").AsInt();
+  record.mit_correct_faulty = json.At("mit_correct_faulty").AsInt();
   return record;
 }
 

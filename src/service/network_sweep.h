@@ -27,6 +27,7 @@
 #include "appfi/appfi.h"
 #include "dnn/network.h"
 #include "mitigation/abft.h"
+#include "mitigation/remap.h"
 #include "patterns/classify.h"
 #include "service/resilience.h"
 
@@ -60,6 +61,12 @@ struct NetworkSweepSpec {
   // or -1 (the fault is active for the whole network — a true permanent
   // fault).
   std::vector<int> layers{-1};
+  // Graceful-degradation axis (mitigation/remap.h): for every policy other
+  // than kNone each experiment runs a baseline and a mitigated inference
+  // and records the recovered-accuracy / residual-SDC deltas. The
+  // remap/prune policies plan from the analytical predictor, so they
+  // require predictor-covered signals on either rung.
+  std::vector<MitigationPolicy> mitigations{MitigationPolicy::kNone};
 
   // Site selection per campaign: 0 = exhaustive, else uniform sample.
   std::int64_t max_sites = 0;
@@ -97,6 +104,7 @@ struct NetworkCampaign {
   StuckPolarity polarity = StuckPolarity::kStuckAt1;
   int bit = 8;
   int layer = -1;  // -1 = whole network
+  MitigationPolicy mitigation = MitigationPolicy::kNone;
 };
 
 struct NetworkCampaignPlan {
@@ -148,12 +156,23 @@ struct NetworkRecord {
   std::int64_t correct_golden = -1;
   std::int64_t correct_faulty = -1;
 
-  // Mitigation outcome (meaningful when the sweep ran with abft = true).
+  // ABFT coverage (meaningful when the sweep ran with abft = true).
   bool abft_on = false;
   AbftDiagnosis abft_diagnosis = AbftDiagnosis::kClean;  // worst layer
   std::int64_t abft_corrections = 0;
   // Every flagged layer re-verified clean after correction.
   bool abft_corrected = false;
+
+  // Mitigated-run outcome (campaign.mitigation != kNone; sentinels
+  // otherwise). The mitigated inference re-runs the experiment with the
+  // campaign's LayerMitigationPlans applied; these fields are its residual
+  // damage, so (mit_correct_faulty - correct_faulty) is the recovered
+  // accuracy and mit_corrupted the residual first-layer corruption after
+  // remapping/pruning/correction.
+  bool mit_sdc = false;
+  std::int64_t mit_corrupted = 0;
+  std::int64_t mit_top1_flips = 0;
+  std::int64_t mit_correct_faulty = -1;
 
   bool operator==(const NetworkRecord&) const = default;
 };
@@ -174,6 +193,20 @@ struct NetworkCampaignInfo {
   std::int64_t experiments = 0;
 };
 
+// One quarantined network experiment — the network analogue of
+// FailedRecord, with the execution rung in place of the operator engine.
+struct NetworkFailedRecord {
+  std::size_t campaign_index = 0;
+  std::int64_t experiment_index = -1;
+  // Rung of the final attempt (the bottom of the ladder reached).
+  NetworkRung rung = NetworkRung::kCycleAccurate;
+  // Total attempts spent across both rungs.
+  int attempts = 0;
+  bool timed_out = false;
+  // what() of the final failure.
+  std::string error;
+};
+
 class NetworkRecordSink {
  public:
   virtual ~NetworkRecordSink() = default;
@@ -186,6 +219,12 @@ class NetworkRecordSink {
     (void)info;
   }
   virtual void OnRecord(const NetworkRecord& record) { (void)record; }
+  // A quarantined experiment (retries exhausted under on_failure =
+  // kQuarantine). Delivered in canonical position — where OnRecord would
+  // have been.
+  virtual void OnExperimentFailed(const NetworkFailedRecord& failed) {
+    (void)failed;
+  }
   virtual void OnCampaignEnd(std::size_t campaign_index) {
     (void)campaign_index;
   }
@@ -198,7 +237,11 @@ class NetworkCollectorSink : public NetworkRecordSink {
   void OnRecord(const NetworkRecord& record) override {
     records.push_back(record);
   }
+  void OnExperimentFailed(const NetworkFailedRecord& failed) override {
+    failures.push_back(failed);
+  }
   std::vector<NetworkRecord> records;
+  std::vector<NetworkFailedRecord> failures;
 };
 
 // Streams records as CSV (header + one row per record, canonical order).
@@ -218,7 +261,9 @@ class NetworkCsvSink : public NetworkRecordSink {
 
 // Streams the sweep as CRC-sealed JSONL — the checkpoint format
 // LoadNetworkCheckpoint reads back. Line types: "network-sweep" (header,
-// spec hash), "network-campaign" (key guard), "network-record".
+// spec hash), "network-campaign" (key guard), "network-record",
+// "network-failed" (quarantine marker; carries no resumable result, so the
+// loader skips it and a resume re-simulates the experiment).
 class NetworkJsonlSink : public NetworkRecordSink {
  public:
   // flush_every_line makes each line durable immediately (checkpoints);
@@ -229,6 +274,7 @@ class NetworkJsonlSink : public NetworkRecordSink {
                     const NetworkCampaignPlan& plan) override;
   void OnCampaignBegin(const NetworkCampaignInfo& info) override;
   void OnRecord(const NetworkRecord& record) override;
+  void OnExperimentFailed(const NetworkFailedRecord& failed) override;
   void OnSweepEnd(const SweepOutcome& outcome) override;
 
  private:
@@ -252,6 +298,9 @@ class NetworkTeeSink : public NetworkRecordSink {
   }
   void OnRecord(const NetworkRecord& record) override {
     for (NetworkRecordSink* sink : sinks_) sink->OnRecord(record);
+  }
+  void OnExperimentFailed(const NetworkFailedRecord& failed) override {
+    for (NetworkRecordSink* sink : sinks_) sink->OnExperimentFailed(failed);
   }
   void OnCampaignEnd(std::size_t campaign_index) override {
     for (NetworkRecordSink* sink : sinks_) sink->OnCampaignEnd(campaign_index);

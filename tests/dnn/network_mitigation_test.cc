@@ -1,0 +1,191 @@
+// Mitigated PreparedNetwork::Run: on a fault-free executor the remap
+// policies are pure permutations — logits and per-layer outputs are
+// byte-identical to the unmitigated inference on every dataflow — while
+// pruning zeroes exactly the planned channels. Also covers the
+// channel-salience surface the planner consumes.
+#include "dnn/network.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/controller.h"
+#include "fi/fault.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+namespace {
+
+AccelConfig SmallAccel() {
+  AccelConfig config;
+  config.array.rows = 8;
+  config.array.cols = 8;
+  config.max_compute_rows = 64;
+  config.spad_rows = 128;
+  config.acc_rows = 64;
+  config.dram_bytes = 1 << 20;
+  return config;
+}
+
+NetworkSpec SmallMlp() {
+  NetworkSpec spec;
+  spec.kind = NetworkKind::kMlp;
+  spec.batch = 8;
+  spec.hidden = 8;
+  spec.train_samples = 60;
+  spec.train_epochs = 10;
+  spec.train_target = 0.8;
+  return spec;
+}
+
+LayerGemm Reference() {
+  return [](int, const Int8Tensor& a, const Int8Tensor& b) {
+    return GemmRef(a, b);
+  };
+}
+
+void ExpectIdentical(const PreparedNetwork::Inference& actual,
+                     const PreparedNetwork::Inference& expected,
+                     const std::string& label) {
+  ASSERT_EQ(actual.layer_outputs.size(), expected.layer_outputs.size());
+  for (std::size_t layer = 0; layer < expected.layer_outputs.size();
+       ++layer) {
+    const Int32Tensor& want = expected.layer_outputs[layer];
+    const Int32Tensor& got = actual.layer_outputs[layer];
+    ASSERT_EQ(got.size(), want.size());
+    for (std::int64_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got.flat(i), want.flat(i))
+          << label << ": layer " << layer << " element " << i;
+    }
+  }
+  ASSERT_EQ(actual.logits.size(), expected.logits.size());
+  for (std::int64_t i = 0; i < expected.logits.size(); ++i) {
+    ASSERT_EQ(actual.logits.flat(i), expected.logits.flat(i))
+        << label << ": logit " << i;
+  }
+  EXPECT_EQ(actual.top1, expected.top1) << label;
+}
+
+TEST(NetworkMitigationTest, SalienceMatchesLayerWidths) {
+  const PreparedNetwork network(SmallMlp());
+  ASSERT_EQ(network.layer_count(), 2);
+  for (std::int64_t layer = 0; layer < network.layer_count(); ++layer) {
+    const std::vector<double>& salience = network.channel_salience(layer);
+    ASSERT_EQ(static_cast<std::int64_t>(salience.size()),
+              network.layer_workload(layer).GemmN());
+    for (const double s : salience) EXPECT_GE(s, 0.0);
+  }
+}
+
+TEST(NetworkMitigationTest, EmptyAndIdentityPlansAreNoOps) {
+  const PreparedNetwork network(SmallMlp());
+  const PreparedNetwork::Inference golden = network.Run(Reference());
+  ExpectIdentical(network.Run(Reference(), {}), golden, "empty plans");
+  std::vector<LayerMitigationPlan> identity(
+      static_cast<std::size_t>(network.layer_count()));
+  ExpectIdentical(network.Run(Reference(), identity), golden,
+                  "identity plans");
+}
+
+TEST(NetworkMitigationTest, ColumnRemapIsByteIdenticalFaultFreePerDataflow) {
+  const PreparedNetwork network(SmallMlp());
+  const AccelConfig accel = SmallAccel();
+  const PreparedNetwork::Inference golden = network.Run(Reference());
+  const FaultSpec fault = StuckAtAdder({1, 2}, 24, StuckPolarity::kStuckAt1);
+  for (const Dataflow dataflow :
+       {Dataflow::kOutputStationary, Dataflow::kWeightStationary,
+        Dataflow::kInputStationary}) {
+    std::vector<LayerMitigationPlan> plans;
+    for (std::int64_t layer = 0; layer < network.layer_count(); ++layer) {
+      plans.push_back(PlanLayerMitigation(
+          MitigationPolicy::kColumnRemap, network.layer_workload(layer),
+          accel, dataflow, fault, network.channel_salience(layer)));
+    }
+    ExpectIdentical(network.Run(Reference(), plans), golden,
+                    "column remap " + ToString(dataflow));
+  }
+}
+
+TEST(NetworkMitigationTest, RowRemapIsByteIdenticalFaultFreePerDataflow) {
+  const PreparedNetwork network(SmallMlp());
+  const AccelConfig accel = SmallAccel();
+  const PreparedNetwork::Inference golden = network.Run(Reference());
+  // Capture each layer's weights once: the planner ranks K-rows by them.
+  std::vector<Int8Tensor> weights(
+      static_cast<std::size_t>(network.layer_count()), Int8Tensor({1, 1}));
+  network.Run([&](int layer, const Int8Tensor& a, const Int8Tensor& b) {
+    weights[static_cast<std::size_t>(layer)] = b;
+    return GemmRef(a, b);
+  });
+  FaultSpec fault;
+  fault.pe = {3, 1};
+  fault.signal = MacSignal::kWeightOperand;
+  fault.bit = 5;
+  fault.polarity = StuckPolarity::kStuckAt1;
+  for (const Dataflow dataflow :
+       {Dataflow::kOutputStationary, Dataflow::kWeightStationary,
+        Dataflow::kInputStationary}) {
+    std::vector<LayerMitigationPlan> plans;
+    for (std::int64_t layer = 0; layer < network.layer_count(); ++layer) {
+      plans.push_back(PlanLayerMitigation(
+          MitigationPolicy::kRowRemap, network.layer_workload(layer), accel,
+          dataflow, fault, network.channel_salience(layer),
+          &weights[static_cast<std::size_t>(layer)]));
+    }
+    ExpectIdentical(network.Run(Reference(), plans), golden,
+                    "row remap " + ToString(dataflow));
+  }
+}
+
+TEST(NetworkMitigationTest, PruneZeroesPlannedChannelsInLayerOutput) {
+  NetworkSpec spec;
+  spec.kind = NetworkKind::kExtraction;
+  spec.batch = 4;
+  spec.extraction_k = 8;
+  spec.extraction_n = 8;
+  const PreparedNetwork network(spec);
+  const PreparedNetwork::Inference golden = network.Run(Reference());
+  const FaultSpec fault = StuckAtAdder({2, 5}, 8, StuckPolarity::kStuckAt1);
+  std::vector<LayerMitigationPlan> plans{PlanLayerMitigation(
+      MitigationPolicy::kPruneChannel, network.layer_workload(0),
+      SmallAccel(), Dataflow::kWeightStationary, fault,
+      network.channel_salience(0))};
+  ASSERT_FALSE(plans[0].pruned.empty());
+  const PreparedNetwork::Inference pruned =
+      network.Run(Reference(), plans);
+  const Int32Tensor& out = pruned.layer_outputs[0];
+  const Int32Tensor& want = golden.layer_outputs[0];
+  for (std::int64_t m = 0; m < out.dim(0); ++m) {
+    for (std::int64_t j = 0; j < out.dim(1); ++j) {
+      const bool is_pruned = j == plans[0].pruned[0];
+      EXPECT_EQ(out(m, j), is_pruned ? 0 : want(m, j))
+          << "row " << m << " col " << j;
+    }
+  }
+}
+
+TEST(NetworkMitigationTest, ObserverSeesLogicalTensorsAndCanCorrect) {
+  // The observer receives the logical-space operands; mutating `out`
+  // propagates into the rest of the inference.
+  const PreparedNetwork network(SmallMlp());
+  const PreparedNetwork::Inference golden = network.Run(Reference());
+  std::vector<LayerMitigationPlan> plans(
+      static_cast<std::size_t>(network.layer_count()));
+  int calls = 0;
+  const PreparedNetwork::Inference observed = network.Run(
+      Reference(), plans,
+      [&](int layer, const Int8Tensor& a, const Int8Tensor& b,
+          Int32Tensor& out) {
+        ++calls;
+        const WorkloadSpec& workload = network.layer_workload(layer);
+        EXPECT_EQ(a.dim(1), workload.GemmK());
+        EXPECT_EQ(b.dim(1), workload.GemmN());
+        EXPECT_EQ(out.dim(1), workload.GemmN());
+      });
+  EXPECT_EQ(calls, 2);
+  ExpectIdentical(observed, golden, "observer");
+}
+
+}  // namespace
+}  // namespace saffire

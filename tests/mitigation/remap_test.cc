@@ -1,0 +1,269 @@
+// Mitigation planning and transforms (mitigation/remap.h): policy name
+// round-trips, victim selection against the predicted reach, exact-inverse
+// behavior of the remaps on a fault-free GEMM, channel pruning, and the
+// row-remap masking property for stuck weight-operand bits.
+#include "mitigation/remap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "accel/controller.h"
+#include "fi/fault.h"
+#include "fi/workload.h"
+#include "tensor/gemm.h"
+
+namespace saffire {
+namespace {
+
+AccelConfig Accel(std::int32_t rows, std::int32_t cols) {
+  AccelConfig config;
+  config.array.rows = rows;
+  config.array.cols = cols;
+  config.max_compute_rows = 64;
+  config.spad_rows = 128;
+  config.acc_rows = 64;
+  config.dram_bytes = 1 << 20;
+  return config;
+}
+
+WorkloadSpec Gemm(std::int64_t m, std::int64_t k, std::int64_t n) {
+  WorkloadSpec workload;
+  workload.name = "remap-test";
+  workload.m = m;
+  workload.k = k;
+  workload.n = n;
+  return workload;
+}
+
+// Deterministic small-valued operands with distinct rows/columns.
+Int8Tensor FilledA(std::int64_t m, std::int64_t k) {
+  Int8Tensor a({m, k});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      a(i, j) = static_cast<std::int8_t>((i * 5 + j * 3) % 11 - 5);
+    }
+  }
+  return a;
+}
+
+Int8Tensor FilledB(std::int64_t k, std::int64_t n) {
+  Int8Tensor b({k, n});
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      b(i, j) = static_cast<std::int8_t>((i * 7 + j * 2) % 13 - 6);
+    }
+  }
+  return b;
+}
+
+// Emulates the physical stuck weight-operand bit under weight-stationary
+// streaming: array row r holds K-rows {r + rows·t}, array column c computes
+// output columns {c + cols·t}, and every weight stored at those positions
+// has `fault.bit` forced to the stuck value.
+Int8Tensor ForceWeightBit(const Int8Tensor& b, const FaultSpec& fault,
+                          std::int64_t rows, std::int64_t cols) {
+  Int8Tensor out = b;
+  for (std::int64_t row = fault.pe.row; row < b.dim(0); row += rows) {
+    for (std::int64_t col = fault.pe.col; col < b.dim(1); col += cols) {
+      auto bits = static_cast<std::uint8_t>(out(row, col));
+      if (fault.polarity == StuckPolarity::kStuckAt1) {
+        bits = static_cast<std::uint8_t>(bits | (1u << fault.bit));
+      } else {
+        bits = static_cast<std::uint8_t>(bits & ~(1u << fault.bit));
+      }
+      out(row, col) = static_cast<std::int8_t>(bits);
+    }
+  }
+  return out;
+}
+
+TEST(MitigationPolicyTest, NamesRoundTrip) {
+  for (int i = 0; i < kNumMitigationPolicies; ++i) {
+    const auto policy = static_cast<MitigationPolicy>(i);
+    EXPECT_EQ(ParseMitigationPolicy(ToString(policy)), policy);
+  }
+  EXPECT_EQ(ToString(MitigationPolicy::kColumnRemap), "column_remap");
+  EXPECT_THROW(ParseMitigationPolicy("colremap"), std::invalid_argument);
+}
+
+TEST(MitigationPolicyTest, PredictorNeedMatchesPolicyFamily) {
+  EXPECT_FALSE(MitigationNeedsPredictor(MitigationPolicy::kNone));
+  EXPECT_FALSE(MitigationNeedsPredictor(MitigationPolicy::kAbftCorrect));
+  EXPECT_TRUE(MitigationNeedsPredictor(MitigationPolicy::kColumnRemap));
+  EXPECT_TRUE(MitigationNeedsPredictor(MitigationPolicy::kRowRemap));
+  EXPECT_TRUE(MitigationNeedsPredictor(MitigationPolicy::kPruneChannel));
+}
+
+TEST(PlanLayerMitigationTest, ColumnRemapSendsLeastSalientToFaultyColumn) {
+  const WorkloadSpec workload = Gemm(4, 8, 8);
+  const FaultSpec fault = StuckAtAdder({2, 5}, 8, StuckPolarity::kStuckAt1);
+  const std::vector<double> salience = {8, 7, 6, 5, 4, 3, 2, 1};
+  const LayerMitigationPlan plan = PlanLayerMitigation(
+      MitigationPolicy::kColumnRemap, workload, Accel(8, 8),
+      Dataflow::kWeightStationary, fault, salience);
+  ASSERT_EQ(plan.reached_cols, (std::vector<std::int64_t>{5}));
+  ASSERT_EQ(plan.col_perm.size(), 8u);
+  // Physical column 5 computes the least-salient logical channel (7); the
+  // placement is a swap, so channel 5 moves to physical column 7.
+  EXPECT_EQ(plan.col_perm[5], 7);
+  EXPECT_EQ(plan.col_perm[7], 5);
+  EXPECT_EQ(plan.col_perm[0], 0);
+  EXPECT_FALSE(plan.identity());
+}
+
+TEST(PlanLayerMitigationTest, MaskedSiteYieldsIdentityPlan) {
+  // A 4-column workload on the 8-column array never routes data through
+  // array column 6: the site is structurally masked, nothing to mitigate.
+  const WorkloadSpec workload = Gemm(4, 8, 4);
+  const FaultSpec fault = StuckAtAdder({2, 6}, 8, StuckPolarity::kStuckAt1);
+  const LayerMitigationPlan plan = PlanLayerMitigation(
+      MitigationPolicy::kColumnRemap, workload, Accel(8, 8),
+      Dataflow::kWeightStationary, fault, {});
+  EXPECT_TRUE(plan.reached_cols.empty());
+  EXPECT_TRUE(plan.identity());
+}
+
+TEST(PlanLayerMitigationTest, NoneAndAbftPlansSkipThePredictor) {
+  const WorkloadSpec workload = Gemm(4, 8, 8);
+  // kActForward is not predictor-covered; the blind policies must still
+  // plan (the predictor-backed ones throw upstream via Validate).
+  FaultSpec fault = StuckAtAdder({1, 1}, 2, StuckPolarity::kStuckAt1);
+  fault.signal = MacSignal::kActForward;
+  const LayerMitigationPlan none = PlanLayerMitigation(
+      MitigationPolicy::kNone, workload, Accel(8, 8),
+      Dataflow::kWeightStationary, fault, {});
+  EXPECT_TRUE(none.identity());
+  const LayerMitigationPlan abft = PlanLayerMitigation(
+      MitigationPolicy::kAbftCorrect, workload, Accel(8, 8),
+      Dataflow::kWeightStationary, fault, {});
+  EXPECT_TRUE(abft.abft);
+  EXPECT_TRUE(abft.col_perm.empty());
+  EXPECT_THROW(PlanLayerMitigation(MitigationPolicy::kColumnRemap, workload,
+                                   Accel(8, 8), Dataflow::kWeightStationary,
+                                   fault, {}),
+               std::invalid_argument);
+}
+
+TEST(RemapTransformTest, ColumnRemapIsExactInverseOnFaultFreeGemm) {
+  const WorkloadSpec workload = Gemm(4, 8, 8);
+  const FaultSpec fault = StuckAtAdder({2, 5}, 8, StuckPolarity::kStuckAt1);
+  const std::vector<double> salience = {8, 7, 6, 5, 4, 3, 2, 1};
+  const LayerMitigationPlan plan = PlanLayerMitigation(
+      MitigationPolicy::kColumnRemap, workload, Accel(8, 8),
+      Dataflow::kWeightStationary, fault, salience);
+  const Int8Tensor a = FilledA(4, 8);
+  const Int8Tensor b = FilledB(8, 8);
+  const Int32Tensor golden = GemmRef(a, b);
+  const Int32Tensor restored = RestoreOutput(
+      plan, GemmRef(PermuteInputColumns(plan, a), TransformWeights(plan, b)));
+  ASSERT_EQ(restored.dim(0), golden.dim(0));
+  ASSERT_EQ(restored.dim(1), golden.dim(1));
+  for (std::int64_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(restored.flat(i), golden.flat(i)) << "element " << i;
+  }
+  // EffectiveWeights cancels the permutations: no prune, so it is b itself.
+  const Int8Tensor effective = EffectiveWeights(plan, b);
+  for (std::int64_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(effective.flat(i), b.flat(i));
+  }
+}
+
+TEST(RemapTransformTest, PruneZeroesPlannedChannelsAndNothingElse) {
+  const WorkloadSpec workload = Gemm(4, 8, 8);
+  const FaultSpec fault = StuckAtAdder({2, 5}, 8, StuckPolarity::kStuckAt1);
+  const LayerMitigationPlan plan = PlanLayerMitigation(
+      MitigationPolicy::kPruneChannel, workload, Accel(8, 8),
+      Dataflow::kWeightStationary, fault, {});
+  ASSERT_EQ(plan.pruned, (std::vector<std::int64_t>{5}));
+  const Int8Tensor a = FilledA(4, 8);
+  const Int8Tensor b = FilledB(8, 8);
+  const Int32Tensor golden = GemmRef(a, b);
+  const Int32Tensor out =
+      RestoreOutput(plan, GemmRef(a, TransformWeights(plan, b)));
+  for (std::int64_t m = 0; m < out.dim(0); ++m) {
+    for (std::int64_t j = 0; j < out.dim(1); ++j) {
+      EXPECT_EQ(out(m, j), j == 5 ? 0 : golden(m, j))
+          << "row " << m << " col " << j;
+    }
+  }
+  const Int8Tensor effective = EffectiveWeights(plan, b);
+  for (std::int64_t i = 0; i < b.dim(0); ++i) {
+    for (std::int64_t j = 0; j < b.dim(1); ++j) {
+      EXPECT_EQ(effective(i, j), j == 5 ? 0 : b(i, j));
+    }
+  }
+}
+
+TEST(RemapTransformTest, RowRemapMasksStuckWeightOperandBit) {
+  // 4×4 array, K = 8: the faulty array row 1 holds K-rows {1, 5}. Exactly
+  // rows 2 and 6 carry bit 2 already set at the faulty column, so the
+  // planner must route them onto the faulty row, where a stuck-at-1 on
+  // bit 2 then changes nothing.
+  const std::int64_t m = 3, k = 8, n = 4;
+  const WorkloadSpec workload = Gemm(m, k, n);
+  const AccelConfig accel = Accel(4, 4);
+  FaultSpec fault;
+  fault.pe = {1, 1};
+  fault.signal = MacSignal::kWeightOperand;
+  fault.bit = 2;
+  fault.polarity = StuckPolarity::kStuckAt1;
+
+  Int8Tensor b({k, n});
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) b(i, j) = 3;  // bit 2 clear
+  }
+  b(2, 1) = 4;  // bit 2 set: conflict-free with the stuck value
+  b(6, 1) = 4;
+  const Int8Tensor a = FilledA(m, k);
+  const Int32Tensor golden = GemmRef(a, b);
+
+  const LayerMitigationPlan plan =
+      PlanLayerMitigation(MitigationPolicy::kRowRemap, workload, accel,
+                          Dataflow::kWeightStationary, fault, {}, &b);
+  ASSERT_EQ(plan.k_perm.size(), static_cast<std::size_t>(k));
+  EXPECT_EQ(plan.k_perm[1], 2);
+  EXPECT_EQ(plan.k_perm[5], 6);
+
+  // Unmitigated, the stuck bit corrupts the column 1 product.
+  const Int32Tensor faulty =
+      GemmRef(a, ForceWeightBit(b, fault, accel.array.rows,
+                                accel.array.cols));
+  bool corrupted = false;
+  for (std::int64_t i = 0; i < golden.size(); ++i) {
+    corrupted = corrupted || faulty.flat(i) != golden.flat(i);
+  }
+  EXPECT_TRUE(corrupted);
+
+  // Remapped, the faulty row stores rows whose bit already matches the
+  // stuck value: the physical fault is fully masked and the restored
+  // output is exactly golden.
+  const Int8Tensor b_phys = TransformWeights(plan, b);
+  const Int8Tensor b_phys_faulty =
+      ForceWeightBit(b_phys, fault, accel.array.rows, accel.array.cols);
+  for (std::int64_t i = 0; i < b_phys.size(); ++i) {
+    EXPECT_EQ(b_phys_faulty.flat(i), b_phys.flat(i)) << "element " << i;
+  }
+  const Int32Tensor mitigated = RestoreOutput(
+      plan, GemmRef(PermuteInputColumns(plan, a), b_phys_faulty));
+  for (std::int64_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(mitigated.flat(i), golden.flat(i)) << "element " << i;
+  }
+}
+
+TEST(RemapTransformTest, TransformsRejectMismatchedShapes) {
+  const WorkloadSpec workload = Gemm(4, 8, 8);
+  const FaultSpec fault = StuckAtAdder({2, 5}, 8, StuckPolarity::kStuckAt1);
+  const LayerMitigationPlan plan = PlanLayerMitigation(
+      MitigationPolicy::kColumnRemap, workload, Accel(8, 8),
+      Dataflow::kWeightStationary, fault, {});
+  const Int8Tensor narrow = FilledB(8, 4);
+  EXPECT_THROW(TransformWeights(plan, narrow), std::invalid_argument);
+  const Int32Tensor out({4, 4});
+  EXPECT_THROW(RestoreOutput(plan, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saffire

@@ -261,7 +261,8 @@ TEST(NetworkCsvSinkTest, EmitsHeaderAndOneRowPerRecord) {
   sink.OnRecord(SampleRecord());
   const std::string csv = out.str();
   EXPECT_EQ(csv.find("campaign,experiment,dataflow,signal,polarity,bit,"
-                     "layer,pe_row,pe_col,pattern,corrupted,sdc,top1_flips"),
+                     "layer,mitigation,pe_row,pe_col,pattern,corrupted,sdc,"
+                     "top1_flips"),
             0u)
       << csv;
   // No rung column: rung-equivalent sweeps must diff byte-identically.
